@@ -1,0 +1,25 @@
+//! Augmentation-op throughput: the per-sample cost of the four view
+//! generators (they sit on the training hot path, §IV-A).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trajcl_data::{Augmentation, AugmentParams};
+use trajcl_geo::{Point, Trajectory};
+
+fn bench_augmentations(c: &mut Criterion) {
+    let traj: Trajectory = (0..200)
+        .map(|i| Point::new(i as f64 * 35.0, ((i * 31) % 17) as f64 * 40.0))
+        .collect();
+    let params = AugmentParams::default();
+    let mut group = c.benchmark_group("augmentations_200pt");
+    for aug in Augmentation::all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(aug.name(), |b| {
+            b.iter(|| black_box(aug.apply(&traj, &params, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_augmentations);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! DualSTB encoder forward cost vs sequence length and depth — validates
+//! the §IV-D cost model `O(l²·d·L)` and the Table I claim that inference
+//! is a single parallel pass.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_tensor::{Shape, Tensor};
+
+fn setup(dim: usize, layers: usize) -> (TrajClModel, Featurizer) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = dim;
+    cfg.layers = layers;
+    cfg.ffn_hidden = dim * 2;
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+    let grid = Grid::new(region, 200.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), dim), 0.0, 0.3, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 200.0), 256);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    (model, feat)
+}
+
+fn traj(n: usize) -> Trajectory {
+    (0..n)
+        .map(|i| Point::new(100.0 + i as f64 * 40.0, 5_000.0 + (i % 7) as f64 * 30.0))
+        .collect()
+}
+
+fn bench_seq_len(c: &mut Criterion) {
+    let (model, feat) = setup(32, 2);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("encoder_vs_seq_len");
+    group.sample_size(10);
+    for &l in &[25usize, 50, 100, 200] {
+        let batch: Vec<Trajectory> = (0..8).map(|_| traj(l)).collect();
+        group.bench_with_input(BenchmarkId::new("dualstb_b8", l), &l, |bch, _| {
+            bch.iter(|| black_box(model.embed(&feat, &batch, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_vs_layers");
+    group.sample_size(10);
+    for &layers in &[1usize, 2, 4] {
+        let (model, feat) = setup(32, layers);
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch: Vec<Trajectory> = (0..8).map(|_| traj(64)).collect();
+        group.bench_with_input(BenchmarkId::new("dualstb_l64", layers), &layers, |bch, _| {
+            bch.iter(|| black_box(model.embed(&feat, &batch, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_len, bench_depth);
+criterion_main!(benches);

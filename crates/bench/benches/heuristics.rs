@@ -1,0 +1,46 @@
+//! Heuristic-measure cost scaling in the number of trajectory points —
+//! the O(n²) behaviour behind Table VIII's slow rows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trajcl_data::{City, DatasetProfile};
+use trajcl_geo::Trajectory;
+use trajcl_measures::HeuristicMeasure;
+
+fn make_pair(points: usize) -> (Trajectory, Trajectory) {
+    let mut rng = StdRng::seed_from_u64(points as u64);
+    let mut cfg = DatasetProfile::porto().city_config();
+    cfg.min_points = points;
+    cfg.max_points = points;
+    cfg.mean_points = points as f64;
+    let city = City::new(cfg, &mut rng);
+    let a = city.generate_trajectory(&mut rng);
+    let b = city.generate_trajectory(&mut rng);
+    (a, b)
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_measures");
+    for &n in &[25usize, 50, 100, 200] {
+        let (a, b) = make_pair(n);
+        for measure in [
+            HeuristicMeasure::Hausdorff,
+            HeuristicMeasure::Frechet,
+            HeuristicMeasure::Edr(100.0),
+            HeuristicMeasure::Edwp,
+            HeuristicMeasure::Dtw,
+        ] {
+            group.bench_with_input(BenchmarkId::new(measure.name(), n), &n, |bch, _| {
+                bch.iter(|| measure.distance(black_box(&a), black_box(&b)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_measures
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Index microbenchmarks: IVF probe search vs brute-force scan over
+//! embeddings, and segment-index kNN — the Fig. 6 mechanism at bench
+//! granularity.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trajcl_geo::{Point, Trajectory};
+use trajcl_index::{brute_force_knn, IvfIndex, Metric, SegmentHausdorffIndex};
+use trajcl_tensor::{Shape, Tensor};
+
+fn bench_ivf_vs_brute(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("embedding_knn");
+    for &n in &[1_000usize, 10_000] {
+        let emb = Tensor::randn(Shape::d2(n, 32), 0.0, 1.0, &mut rng);
+        let index = IvfIndex::build(&emb, (n / 64).max(4), Metric::L1, &mut rng);
+        let q = emb.row(7).to_vec();
+        group.bench_with_input(BenchmarkId::new("ivf_nprobe4", n), &n, |bch, _| {
+            bch.iter(|| black_box(index.search(&q, 10, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |bch, _| {
+            bch.iter(|| black_box(brute_force_knn(&emb, &q, 10, Metric::L1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_index(c: &mut Criterion) {
+    let db: Vec<Trajectory> = (0..500)
+        .map(|i| {
+            (0..50)
+                .map(|j| Point::new(j as f64 * 40.0, (i * 13 % 500) as f64 * 20.0))
+                .collect()
+        })
+        .collect();
+    let index = SegmentHausdorffIndex::build(&db);
+    let query: Trajectory = (0..50).map(|j| Point::new(j as f64 * 40.0, 3_333.0)).collect();
+    let mut group = c.benchmark_group("segment_knn");
+    group.sample_size(10);
+    group.bench_function("hausdorff_knn10_db500", |b| {
+        b.iter(|| black_box(index.knn(&query, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ivf_vs_brute, bench_segment_index);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table I at bench granularity: amortised per-pair similarity time for
+//! Hausdorff vs embedding-space L1 comparison (with and without the
+//! encode step), using an untrained encoder — the cost structure is
+//! weight-independent.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use trajcl_core::{l1_distances, EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_data::{City, DatasetProfile};
+use trajcl_geo::{Grid, SpatialNorm, Trajectory};
+use trajcl_measures::{pairwise_distances, HeuristicMeasure};
+use trajcl_tensor::{Shape, Tensor};
+
+fn porto_batch(n: usize) -> (Vec<Trajectory>, trajcl_geo::Bbox) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = DatasetProfile::porto().city_config();
+    let region = cfg.region();
+    let city = City::new(cfg, &mut rng);
+    (city.generate(n, &mut rng), region)
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let (trajs, region) = porto_batch(120);
+    let queries = &trajs[..20];
+    let database = &trajs[20..];
+    let n_pairs = (queries.len() * database.len()) as u64;
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = TrajClConfig::scaled_default();
+    let grid = Grid::new(region, 200.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.3, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 200.0), cfg.max_len);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+
+    let mut group = c.benchmark_group("similarity_workload_20x100");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_pairs));
+    group.bench_function("hausdorff_pairwise", |b| {
+        b.iter(|| {
+            black_box(pairwise_distances(
+                black_box(queries),
+                black_box(database),
+                HeuristicMeasure::Hausdorff,
+            ))
+        })
+    });
+    group.bench_function("trajcl_encode_plus_l1", |b| {
+        b.iter(|| {
+            let q = model.embed(&feat, queries, &mut rng);
+            let d = model.embed(&feat, database, &mut rng);
+            black_box(l1_distances(&q, &d))
+        })
+    });
+    // Comparison-only cost once embeddings exist (the paper's 0.14 µs row).
+    let q = model.embed(&feat, queries, &mut rng);
+    let d = model.embed(&feat, database, &mut rng);
+    group.bench_function("l1_compare_only", |b| {
+        b.iter(|| black_box(l1_distances(black_box(&q), black_box(&d))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Kernel microbenchmarks: the matmul/softmax primitives that dominate
+//! encoder cost (§IV-D cost analysis).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use trajcl_tensor::{kernels, Shape, Tape, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(Shape::d2(n, n), 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(n, n), 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bch, _| {
+            bch.iter(|| kernels::matmul(black_box(&a), black_box(&b), false, false))
+        });
+    }
+    // The attention shape: (B*H, L, Dh) x (B*H, L, Dh)^T.
+    let q = Tensor::randn(Shape::d3(16, 64, 16), 0.0, 1.0, &mut rng);
+    let k = Tensor::randn(Shape::d3(16, 64, 16), 0.0, 1.0, &mut rng);
+    group.bench_function("attention_scores_qkT", |bch| {
+        bch.iter(|| kernels::matmul(black_box(&q), black_box(&k), false, true))
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn(Shape::d3(16, 64, 64), 0.0, 1.0, &mut rng);
+    let mut out = vec![0.0f32; x.numel()];
+    c.bench_function("softmax_rows_16x64x64", |b| {
+        b.iter(|| kernels::softmax_rows(black_box(x.data()), 64, &mut out))
+    });
+}
+
+fn bench_backward_sweep(c: &mut Criterion) {
+    // Forward + backward through a small attention block: the training-step
+    // unit of work.
+    let mut rng = StdRng::seed_from_u64(2);
+    let x0 = Tensor::randn(Shape::d3(8, 32, 32), 0.0, 1.0, &mut rng);
+    let w0 = Tensor::randn(Shape::d2(32, 32), 0.0, 0.2, &mut rng);
+    c.bench_function("attention_block_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.input(x0.clone());
+            let w = tape.param(w0.clone(), 0);
+            let q = tape.matmul(x, w, false, false);
+            let scores = tape.matmul(q, q, false, true);
+            let attn = tape.softmax(scores);
+            let ctx = tape.matmul(attn, q, false, false);
+            let loss = tape.mean_all(ctx);
+            let grads = tape.backward(loss);
+            black_box(grads.get(w).is_some())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_softmax, bench_backward_sweep
+}
+criterion_main!(benches);

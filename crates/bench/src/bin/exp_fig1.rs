@@ -1,0 +1,83 @@
+//! Fig. 1 — qualitative 3NN query comparison: Hausdorff (heuristic) vs
+//! t2vec (learned, recurrent) vs TrajCL, rendered as SVG files under
+//! `results/fig1_*.svg`.
+//!
+//! Expected shape (paper): TrajCL's neighbours hug the query trajectory;
+//! t2vec's wander; Hausdorff's are close but not as tight.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_bench::{train_all, ExperimentEnv, Scale, Table};
+use trajcl_core::{l1_distances, TrajClConfig};
+use trajcl_data::DatasetProfile;
+use trajcl_geo::render_knn_figure;
+use trajcl_measures::{hausdorff, pairwise_distances, HeuristicMeasure};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.max_epochs = 3;
+    let profile = DatasetProfile::porto();
+    let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 50);
+    eprintln!("[{}] training models...", profile.name());
+    let models = train_all(&env, &cfg, 50);
+    let mut rng = StdRng::seed_from_u64(51);
+
+    let db = &env.splits.test;
+    let query = &env.splits.downstream[0];
+    let k = 3;
+
+    // Hausdorff 3NN.
+    let hd = pairwise_distances(std::slice::from_ref(query), db, HeuristicMeasure::Hausdorff);
+    let mut order: Vec<usize> = (0..db.len()).collect();
+    order.sort_by(|&a, &b| hd[a].total_cmp(&hd[b]));
+    let hausdorff_knn: Vec<usize> = order[..k].to_vec();
+
+    // t2vec 3NN.
+    let tq = models.embed("t2vec", std::slice::from_ref(query), &mut rng);
+    let td = models.embed("t2vec", db, &mut rng);
+    let t2d = l1_distances(&tq, &td);
+    let mut order: Vec<usize> = (0..db.len()).collect();
+    order.sort_by(|&a, &b| t2d[a].total_cmp(&t2d[b]));
+    let t2vec_knn: Vec<usize> = order[..k].to_vec();
+
+    // TrajCL 3NN.
+    let cq = models.embed_trajcl(&env.featurizer, std::slice::from_ref(query), &mut rng);
+    let cd = models.embed_trajcl(&env.featurizer, db, &mut rng);
+    let cld = l1_distances(&cq, &cd);
+    let mut order: Vec<usize> = (0..db.len()).collect();
+    order.sort_by(|&a, &b| cld[a].total_cmp(&cld[b]));
+    let trajcl_knn: Vec<usize> = order[..k].to_vec();
+
+    std::fs::create_dir_all("results").ok();
+    let mut table = Table::new(
+        "Fig. 1 — 3NN results (mean Hausdorff distance of the result set, meters)",
+        &["#1", "#2", "#3", "mean dist (m)"],
+    );
+    for (name, knn) in [
+        ("Hausdorff", &hausdorff_knn),
+        ("t2vec", &t2vec_knn),
+        ("TrajCL", &trajcl_knn),
+    ] {
+        let neighbors: Vec<&trajcl_geo::Trajectory> = knn.iter().map(|&i| &db[i]).collect();
+        let svg = render_knn_figure(query, &neighbors, 480);
+        let path = format!("results/fig1_{}.svg", name.to_lowercase());
+        std::fs::write(&path, svg).expect("write svg");
+        let mean_d: f64 =
+            knn.iter().map(|&i| hausdorff(query, &db[i])).sum::<f64>() / k as f64;
+        table.row(
+            name,
+            vec![
+                knn[0].to_string(),
+                knn[1].to_string(),
+                knn[2].to_string(),
+                format!("{mean_d:.0}"),
+            ],
+        );
+        eprintln!("wrote {path}");
+    }
+    table.print();
+    table.save_json("fig1");
+    println!("paper shape check: TrajCL's result set is geographically tightest (smallest mean dist).");
+}

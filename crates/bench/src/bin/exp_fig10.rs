@@ -1,0 +1,43 @@
+//! Fig. 10 — impact of the embedding dimensionality `d` (sweep), with the
+//! mean rank under the three standard settings.
+//!
+//! Expected shape (paper): best around the middle (overfitting at very
+//! large `d` without fine-tuning); we sweep a scaled range.
+
+use trajcl_bench::harness::{eval_three_settings, train_trajcl_only};
+use trajcl_bench::{ExperimentEnv, Scale, Table};
+use trajcl_core::{EncoderVariant, TrajClConfig};
+use trajcl_data::DatasetProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let dims = [16usize, 32, 64, 128];
+    let mut table = Table::new(
+        "Fig. 10 — mean rank vs embedding dimensionality d (Porto)",
+        &["|D|=full", "ρs=0.2", "ρd=0.2", "train time (s)"],
+    );
+    for &d in &dims {
+        let mut cfg = TrajClConfig::scaled_default();
+        cfg.dim = d;
+        cfg.ffn_hidden = d * 2;
+        cfg.proj_dim = (d / 2).max(8);
+        cfg.max_epochs = 2;
+        let env = ExperimentEnv::new(DatasetProfile::porto(), &scale, d, cfg.max_len, 40);
+        let base = env.protocol();
+        eprintln!("training d={d}...");
+        let (moco, secs) = train_trajcl_only(&env, &cfg, EncoderVariant::Dual, 41);
+        let ranks = eval_three_settings(&moco, &env.featurizer, &base, 42);
+        table.row(
+            format!("d={d}"),
+            vec![
+                format!("{:.3}", ranks[0]),
+                format!("{:.3}", ranks[1]),
+                format!("{:.3}", ranks[2]),
+                trajcl_bench::fmt_secs(secs),
+            ],
+        );
+    }
+    table.print();
+    table.save_json("fig10");
+    println!("paper shape check: accuracy flat-ish with a sweet spot; time grows with d.");
+}

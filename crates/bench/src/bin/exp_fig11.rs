@@ -1,0 +1,41 @@
+//! Fig. 11 — impact of the number of encoder layers (1–4), mean rank under
+//! the three standard settings.
+//!
+//! Expected shape (paper): improves to ~2–4 layers then saturates/overfits;
+//! time grows linearly with depth.
+
+use trajcl_bench::harness::{eval_three_settings, train_trajcl_only};
+use trajcl_bench::{ExperimentEnv, Scale, Table};
+use trajcl_core::{EncoderVariant, TrajClConfig};
+use trajcl_data::DatasetProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table = Table::new(
+        "Fig. 11 — mean rank vs #encoder layers (Porto)",
+        &["|D|=full", "ρs=0.2", "ρd=0.2", "train time (s)"],
+    );
+    let env = ExperimentEnv::new(DatasetProfile::porto(), &scale, 32, 200, 43);
+    let base = env.protocol();
+    for layers in 1..=4usize {
+        let mut cfg = TrajClConfig::scaled_default();
+        cfg.dim = 32;
+        cfg.layers = layers;
+        cfg.max_epochs = 2;
+        eprintln!("training #layers={layers}...");
+        let (moco, secs) = train_trajcl_only(&env, &cfg, EncoderVariant::Dual, 44);
+        let ranks = eval_three_settings(&moco, &env.featurizer, &base, 45);
+        table.row(
+            format!("{layers} layers"),
+            vec![
+                format!("{:.3}", ranks[0]),
+                format!("{:.3}", ranks[1]),
+                format!("{:.3}", ranks[2]),
+                trajcl_bench::fmt_secs(secs),
+            ],
+        );
+    }
+    table.print();
+    table.save_json("fig11");
+    println!("paper shape check: improvement then saturation; time grows with depth.");
+}

@@ -1,0 +1,42 @@
+//! Fig. 12 — impact of the negative-sample queue size |Q_neg|, mean rank
+//! under the three standard settings.
+//!
+//! Expected shape (paper): larger queues help (more uniform embedding
+//! space) with diminishing returns; training cost grows mildly.
+
+use trajcl_bench::harness::{eval_three_settings, train_trajcl_only};
+use trajcl_bench::{ExperimentEnv, Scale, Table};
+use trajcl_core::{EncoderVariant, TrajClConfig};
+use trajcl_data::DatasetProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let queues = [64usize, 128, 256, 512, 1024];
+    let mut table = Table::new(
+        "Fig. 12 — mean rank vs negative queue size |Q_neg| (Porto)",
+        &["|D|=full", "ρs=0.2", "ρd=0.2", "train time (s)"],
+    );
+    let env = ExperimentEnv::new(DatasetProfile::porto(), &scale, 32, 200, 46);
+    let base = env.protocol();
+    for &q in &queues {
+        let mut cfg = TrajClConfig::scaled_default();
+        cfg.dim = 32;
+        cfg.queue_size = q;
+        cfg.max_epochs = 2;
+        eprintln!("training |Q_neg|={q}...");
+        let (moco, secs) = train_trajcl_only(&env, &cfg, EncoderVariant::Dual, 47);
+        let ranks = eval_three_settings(&moco, &env.featurizer, &base, 48);
+        table.row(
+            format!("|Qneg|={q}"),
+            vec![
+                format!("{:.3}", ranks[0]),
+                format!("{:.3}", ranks[1]),
+                format!("{:.3}", ranks[2]),
+                trajcl_bench::fmt_secs(secs),
+            ],
+        );
+    }
+    table.print();
+    table.save_json("fig12");
+    println!("paper shape check: bigger queues help with diminishing returns.");
+}

@@ -1,0 +1,49 @@
+//! Fig. 8 — impact of the augmentation-method pair: a 5×5 grid over
+//! {Raw, Shift, Simplify, Mask, Truncate} for the two views, reporting the
+//! mean rank at full |D| (lighter/lower is better).
+//!
+//! Expected shape (paper): Mask & Truncate best; Raw&Raw (no augmentation)
+//! and Simplify&Simplify among the worst; asymmetric pairs generally beat
+//! symmetric ones.
+
+use trajcl_bench::harness::{eval_three_settings, train_trajcl_only};
+use trajcl_bench::{ExperimentEnv, Scale, Table};
+use trajcl_core::{EncoderVariant, TrajClConfig};
+use trajcl_data::{Augmentation, DatasetProfile};
+
+fn main() {
+    let mut scale = Scale::from_args();
+    // 25 trainings: shrink defaults so the grid finishes in minutes.
+    scale.train_size = scale.train_size.min(120);
+    scale.db_size = scale.db_size.min(240);
+    scale.n_queries = scale.n_queries.min(30);
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 16;
+    cfg.max_epochs = 2;
+    let profile = DatasetProfile::porto();
+    let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 34);
+    let base = env.protocol();
+
+    let augs = Augmentation::all();
+    let headers: Vec<&str> = augs.iter().map(|a| a.name()).collect();
+    let mut table = Table::new(
+        "Fig. 8 — mean rank vs augmentation pair (rows: view 1, cols: view 2)",
+        &headers,
+    );
+    for a1 in augs {
+        let mut cells = Vec::new();
+        for a2 in augs {
+            let mut c = cfg.clone();
+            c.aug1 = a1;
+            c.aug2 = a2;
+            eprintln!("training {} & {}...", a1.name(), a2.name());
+            let (moco, _) = train_trajcl_only(&env, &c, EncoderVariant::Dual, 35);
+            let ranks = eval_three_settings(&moco, &env.featurizer, &base, 36);
+            cells.push(format!("{:.2}", ranks[0]));
+        }
+        table.row(a1.name(), cells);
+    }
+    table.print();
+    table.save_json("fig8");
+    println!("paper shape check: Mask&Trun among the best cells; Raw&Raw / Simp-heavy cells worst.");
+}

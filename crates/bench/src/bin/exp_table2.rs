@@ -1,0 +1,43 @@
+//! Table II — dataset statistics of the four (synthetic) dataset profiles.
+//!
+//! The counts are scaled (paper: 0.14–4.5 M trajectories); the per-
+//! trajectory statistics (average/maximum points and kilometres) are the
+//! quantities the simulator is calibrated to reproduce.
+
+use trajcl_bench::{Scale, Table};
+use trajcl_data::{Dataset, DatasetProfile};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table = Table::new(
+        "Table II — dataset statistics (scaled reproduction)",
+        &["Porto", "Chengdu", "Xi'an", "Germany"],
+    );
+    let stats: Vec<_> = DatasetProfile::all()
+        .iter()
+        .map(|&p| Dataset::generate(p, scale.dataset_size, 0).stats())
+        .collect();
+    table.row(
+        "#trajectories",
+        stats.iter().map(|s| s.count.to_string()).collect(),
+    );
+    table.row(
+        "Avg. #points per trajectory",
+        stats.iter().map(|s| format!("{:.0}", s.avg_points)).collect(),
+    );
+    table.row(
+        "Max. #points per trajectory",
+        stats.iter().map(|s| s.max_points.to_string()).collect(),
+    );
+    table.row(
+        "Avg. trajectory length (km)",
+        stats.iter().map(|s| format!("{:.2}", s.avg_length_km)).collect(),
+    );
+    table.row(
+        "Max. trajectory length (km)",
+        stats.iter().map(|s| format!("{:.2}", s.max_length_km)).collect(),
+    );
+    table.print();
+    table.save_json("table2");
+    println!("paper reference: avg points 48/105/118/72; avg km 6.37/3.47/3.25/252.49");
+}

@@ -1,0 +1,62 @@
+//! Table III — mean rank of the ground-truth most-similar trajectory vs
+//! database size, for every heuristic and learned method on every dataset
+//! profile.
+//!
+//! Expected shape (paper): TrajCL ≈ 1 and flat in |D|; learned baselines
+//! degrade with |D|; heuristics worse still (EDR worst by far).
+//!
+//! Runs one profile by default (`--profiles all` for all four).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_bench::harness::heuristic_rank_sweep;
+use trajcl_bench::{heuristic_set, train_all, ExperimentEnv, Scale, Table, LEARNED_METHODS};
+use trajcl_core::TrajClConfig;
+use trajcl_data::DatasetProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let all = std::env::args().any(|a| a == "all");
+    let profiles: Vec<DatasetProfile> = if all {
+        DatasetProfile::all().to_vec()
+    } else {
+        vec![DatasetProfile::porto()]
+    };
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.max_epochs = 3;
+
+    for profile in profiles {
+        let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 3);
+        eprintln!("[{}] training models...", profile.name());
+        let models = train_all(&env, &cfg, 3);
+        let full = env.protocol();
+        let sizes: Vec<usize> = (1..=5)
+            .map(|i| (full.database.len() * i / 5).max(full.queries.len()))
+            .collect();
+        let headers: Vec<String> = sizes.iter().map(|s| format!("|D|={s}")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Table III — mean rank vs database size ({})", profile.name()),
+            &header_refs,
+        );
+
+        for measure in heuristic_set(profile) {
+            let ranks = heuristic_rank_sweep(measure, &full, &sizes);
+            table.row_f64(measure.name(), &ranks);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        for name in LEARNED_METHODS {
+            if name == "CSTRM" && models.cstrm.is_none() {
+                table.row(name, vec!["-".into(); sizes.len()]);
+                continue;
+            }
+            let ranks =
+                models.learned_rank_sweep(name, &env.featurizer, &full, &sizes, &mut rng);
+            table.row_f64(name, &ranks);
+        }
+        table.print();
+        table.save_json(&format!("table3_{}", profile.name().to_lowercase()));
+    }
+    println!("paper shape check: TrajCL rows should stay near 1.0 and be the smallest per column.");
+}

@@ -1,0 +1,63 @@
+//! Table V — mean rank vs distortion rate ρd ∈ [0.1, 0.5].
+//!
+//! A ρd fraction of every trajectory's points is shifted by the Eq. 4
+//! bounded-Gaussian noise (both queries and database). Expected shape:
+//! all methods fluctuate mildly (the paper notes no unified trend because
+//! *all* trajectories are distorted); TrajCL stays lowest.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_bench::{
+    heuristic_set, mean_rank_heuristic, train_all, ExperimentEnv, Scale, Table, LEARNED_METHODS,
+};
+use trajcl_core::TrajClConfig;
+use trajcl_data::{distort, DatasetProfile};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rates = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.max_epochs = 3;
+    let profile = DatasetProfile::porto();
+    let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 8);
+    eprintln!("[{}] training models...", profile.name());
+    let models = train_all(&env, &cfg, 8);
+    let base = env.protocol();
+
+    let headers: Vec<String> = rates.iter().map(|r| format!("ρd={r}")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!("Table V — mean rank vs distortion rate ({})", profile.name()),
+        &header_refs,
+    );
+
+    let mut degrade_rng = StdRng::seed_from_u64(9);
+    let degraded: Vec<_> = rates
+        .iter()
+        .map(|&r| base.degrade(|t| distort(t, r, 100.0, 0.5, &mut degrade_rng)))
+        .collect();
+
+    for measure in heuristic_set(profile) {
+        let ranks: Vec<f64> = degraded
+            .iter()
+            .map(|p| mean_rank_heuristic(measure, p))
+            .collect();
+        table.row_f64(measure.name(), &ranks);
+    }
+    let mut rng = StdRng::seed_from_u64(10);
+    for name in LEARNED_METHODS {
+        if name == "CSTRM" && models.cstrm.is_none() {
+            table.row(name, vec!["-".into(); rates.len()]);
+            continue;
+        }
+        let ranks: Vec<f64> = degraded
+            .iter()
+            .map(|p| models.mean_rank_learned(name, &env.featurizer, p, &mut rng))
+            .collect();
+        table.row_f64(name, &ranks);
+    }
+    table.print();
+    table.save_json("table5");
+    println!("paper shape check: TrajCL lowest across all ρd; no unified growth trend.");
+}

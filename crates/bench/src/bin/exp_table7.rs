@@ -1,0 +1,56 @@
+//! Table VII — training time of the learning-based measures (seconds).
+//!
+//! Expected shape: TrjSR slowest (13-layer CNN in the paper, conv stack
+//! here); CSTRM fastest-or-close (vanilla MSM); TrajCL comparable to CSTRM
+//! and much faster than TrjSR; everything faster on Germany (smaller
+//! training set).
+
+use trajcl_bench::{train_all, ExperimentEnv, Scale, Table};
+use trajcl_core::TrajClConfig;
+use trajcl_data::DatasetProfile;
+
+fn main() {
+    let mut scale = Scale::from_args();
+    // Training time is the artifact; shrink the untimed parts.
+    scale.db_size = scale.db_size.min(100);
+    scale.n_queries = scale.n_queries.min(10);
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.max_epochs = 3;
+
+    let mut table = Table::new(
+        "Table VII — training time of learning-based measures (seconds)",
+        &["Porto", "Chengdu", "Xi'an", "Germany"],
+    );
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("t2vec", Vec::new()),
+        ("TrjSR", Vec::new()),
+        ("E2DTC", Vec::new()),
+        ("CSTRM", Vec::new()),
+        ("TrajCL", Vec::new()),
+    ];
+    for profile in DatasetProfile::all() {
+        // Germany trains on fewer trajectories, like the paper (30k vs 200k).
+        let mut s = scale.clone();
+        if profile == DatasetProfile::Germany {
+            s.train_size = (s.train_size * 3 / 10).max(20);
+        }
+        let env = ExperimentEnv::new(profile, &s, cfg.dim, cfg.max_len, 14);
+        eprintln!("[{}] training all models (train={})...", profile.name(), s.train_size);
+        let models = train_all(&env, &cfg, 14);
+        for (name, cells) in rows.iter_mut() {
+            let cell = models
+                .train_seconds
+                .get(name)
+                .map(|s| trajcl_bench::fmt_secs(*s))
+                .unwrap_or_else(|| "-".into());
+            cells.push(cell);
+        }
+    }
+    for (name, cells) in rows {
+        table.row(name, cells);
+    }
+    table.print();
+    table.save_json("table7");
+    println!("paper shape check: TrjSR slowest; TrajCL near CSTRM; Germany column smallest.");
+}

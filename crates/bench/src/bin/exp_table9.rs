@@ -1,0 +1,77 @@
+//! Table IX — index building costs (time and memory) for the embedding IVF
+//! index vs the segment-based Hausdorff index, across database sizes.
+//!
+//! Expected shape (paper): the TrajCL/IVF index takes somewhat longer to
+//! build (embedding conversion dominates) but needs an order of magnitude
+//! less memory; the segment index's memory blows up with |D| (DFT OOMs at
+//! 10 M in the paper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use trajcl_bench::{train_all, ExperimentEnv, Scale, Table};
+use trajcl_core::TrajClConfig;
+use trajcl_data::{distort, DatasetProfile};
+use trajcl_geo::Trajectory;
+use trajcl_index::{IvfIndex, Metric, SegmentHausdorffIndex};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.max_epochs = 2;
+    // Xi'an: largest #points per trajectory, like the paper's setup.
+    let profile = DatasetProfile::xian();
+    let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 17);
+    eprintln!("[{}] training TrajCL...", profile.name());
+    let models = train_all(&env, &cfg, 17);
+    let mut rng = StdRng::seed_from_u64(18);
+
+    // Databases of growing size built by distorting test trajectories
+    // (ρd = 0.2), mirroring §V-E.
+    let base = &env.splits.test;
+    let sizes = [base.len() / 4, base.len() / 2, base.len()];
+    let mut table = Table::new(
+        "Table IX — index building costs (Xi'an profile, ρd=0.2)",
+        &["|D|", "build time (s)", "RAM (MB)"],
+    );
+    for &n in &sizes {
+        let mut drng = StdRng::seed_from_u64(19);
+        let db: Vec<Trajectory> = base[..n]
+            .iter()
+            .map(|t| distort(t, 0.2, 100.0, 0.5, &mut drng))
+            .collect();
+
+        // Segment (DFT-substitute) index.
+        let t0 = Instant::now();
+        let seg = SegmentHausdorffIndex::build(&db);
+        let seg_time = t0.elapsed().as_secs_f64();
+        table.row(
+            format!("Hausdorff/segment |D|={n}"),
+            vec![
+                n.to_string(),
+                trajcl_bench::fmt_secs(seg_time),
+                trajcl_bench::fmt_mb(seg.memory_bytes()),
+            ],
+        );
+
+        // TrajCL/IVF index: embedding conversion + k-means lists.
+        let t0 = Instant::now();
+        let emb = models.embed_trajcl(&env.featurizer, &db, &mut rng);
+        let ivf = IvfIndex::build(&emb, (n / 32).max(4), Metric::L1, &mut rng);
+        let ivf_time = t0.elapsed().as_secs_f64();
+        table.row(
+            format!("TrajCL/IVF |D|={n}"),
+            vec![
+                n.to_string(),
+                trajcl_bench::fmt_secs(ivf_time),
+                trajcl_bench::fmt_mb(ivf.memory_bytes()),
+            ],
+        );
+    }
+    table.print();
+    table.save_json("table9");
+    println!(
+        "paper shape check: IVF build slower (embedding conversion) but RAM ~10x smaller; segment RAM grows fastest."
+    );
+}

@@ -1,0 +1,161 @@
+//! Tiny dependency-free argument parser for the `trajcl` CLI.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand + `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Recognised subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsedCommand {
+    /// Generate a synthetic dataset.
+    Generate,
+    /// Print dataset statistics.
+    Stats,
+    /// Train a TrajCL model.
+    Train,
+    /// Embed trajectories with a trained model.
+    Embed,
+    /// kNN query against a trajectory database.
+    Query,
+    /// Fine-tune into a heuristic-measure estimator and evaluate it.
+    Approx,
+    /// Print usage.
+    Help,
+}
+
+impl Args {
+    /// Parses an argv-style list (excluding the program name).
+    ///
+    /// Returns `Err` with a message on malformed input (option without a
+    /// value, unknown leading option, ...).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut it = argv.iter();
+        let command = match it.next() {
+            Some(c) if !c.starts_with("--") => c.clone(),
+            Some(c) => return Err(format!("expected a subcommand, got option {c}")),
+            None => "help".to_string(),
+        };
+        let mut options = BTreeMap::new();
+        let rest: Vec<&String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i];
+            if !key.starts_with("--") {
+                return Err(format!("expected --option, got {key}"));
+            }
+            // Flags like `-k 5` are normalised by the caller to `--k 5`.
+            let name = key.trim_start_matches('-').to_string();
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("option {key} needs a value"))?;
+            options.insert(name, (*value).clone());
+            i += 2;
+        }
+        Ok(Args { command, options })
+    }
+
+    /// The subcommand as an enum.
+    pub fn command(&self) -> Result<ParsedCommand, String> {
+        match self.command.as_str() {
+            "generate" => Ok(ParsedCommand::Generate),
+            "stats" => Ok(ParsedCommand::Stats),
+            "train" => Ok(ParsedCommand::Train),
+            "embed" => Ok(ParsedCommand::Embed),
+            "query" => Ok(ParsedCommand::Query),
+            "approx" => Ok(ParsedCommand::Approx),
+            "help" | "-h" | "--help" => Ok(ParsedCommand::Help),
+            other => Err(format!("unknown command {other:?}; try `trajcl help`")),
+        }
+    }
+
+    /// Required string option.
+    pub fn req(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option with default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Optional numeric option with default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key} has invalid value {v:?}")),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+trajcl — contrastive trajectory similarity learning (TrajCL, ICDE 2023)
+
+USAGE:
+  trajcl generate --profile <porto|chengdu|xian|germany> --count N --out FILE [--seed N]
+  trajcl stats    --input FILE
+  trajcl train    --input FILE --out MODEL [--dim N] [--epochs N] [--batch N] [--seed N]
+  trajcl embed    --model MODEL --input FILE --out CSV
+  trajcl query    --model MODEL --db FILE --query IDX [--k N]
+  trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw>
+
+FILES:
+  *.traj   one trajectory per line: `x,y x,y ...` (meters)
+  *.tcl    persisted model: encoder weights + featurizer (grid + cell table)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(&argv("train --input d.traj --epochs 4")).unwrap();
+        assert_eq!(a.command().unwrap(), ParsedCommand::Train);
+        assert_eq!(a.req("input").unwrap(), "d.traj");
+        assert_eq!(a.num::<usize>("epochs", 1).unwrap(), 4);
+        assert_eq!(a.num::<usize>("batch", 32).unwrap(), 32);
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.command().unwrap(), ParsedCommand::Help);
+    }
+
+    #[test]
+    fn rejects_missing_values_and_unknown_commands() {
+        assert!(Args::parse(&argv("train --input")).is_err());
+        assert!(Args::parse(&argv("--input x")).is_err());
+        let a = Args::parse(&argv("frobnicate")).unwrap();
+        assert!(a.command().is_err());
+    }
+
+    #[test]
+    fn req_reports_missing_option() {
+        let a = Args::parse(&argv("stats")).unwrap();
+        assert!(a.req("input").unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn num_rejects_garbage() {
+        let a = Args::parse(&argv("train --epochs banana")).unwrap();
+        assert!(a.num::<usize>("epochs", 1).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Subcommand implementations for the `trajcl` CLI.
+
+use crate::args::{Args, ParsedCommand, USAGE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::path::Path;
+use trajcl_core::{
+    build_featurizer, finetune, l1_distances, load_model, save_model, train, EncoderVariant,
+    FinetuneConfig, FinetuneScope, MocoState, TrajClConfig,
+};
+use trajcl_data::{
+    hit_ratio, load_trajectory_file, save_trajectory_file, Dataset, DatasetProfile,
+};
+use trajcl_measures::{pairwise_distances, HeuristicMeasure};
+use trajcl_nn::StepDecay;
+
+/// Runs a parsed command; returns the process exit code.
+pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
+    match execute(args, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+fn execute(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    match args.command()? {
+        ParsedCommand::Help => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        ParsedCommand::Generate => generate(args, out),
+        ParsedCommand::Stats => stats(args, out),
+        ParsedCommand::Train => train_cmd(args, out),
+        ParsedCommand::Embed => embed(args, out),
+        ParsedCommand::Query => query(args, out),
+        ParsedCommand::Approx => approx(args, out),
+    }
+}
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    format!("io: {e}")
+}
+
+fn parse_profile(name: &str) -> Result<DatasetProfile, String> {
+    match name.to_lowercase().as_str() {
+        "porto" => Ok(DatasetProfile::Porto),
+        "chengdu" => Ok(DatasetProfile::Chengdu),
+        "xian" | "xi'an" => Ok(DatasetProfile::Xian),
+        "germany" => Ok(DatasetProfile::Germany),
+        other => Err(format!("unknown profile {other:?}")),
+    }
+}
+
+fn parse_measure(name: &str) -> Result<HeuristicMeasure, String> {
+    match name.to_lowercase().as_str() {
+        "hausdorff" => Ok(HeuristicMeasure::Hausdorff),
+        "frechet" => Ok(HeuristicMeasure::Frechet),
+        "edr" => Ok(HeuristicMeasure::Edr(100.0)),
+        "edwp" => Ok(HeuristicMeasure::Edwp),
+        "dtw" => Ok(HeuristicMeasure::Dtw),
+        other => Err(format!("unknown measure {other:?}")),
+    }
+}
+
+fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    let profile = parse_profile(args.req("profile")?)?;
+    let count: usize = args.num("count", 1000)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let path = args.req("out")?;
+    let dataset = Dataset::generate(profile, count, seed);
+    save_trajectory_file(Path::new(path), &dataset.trajectories).map_err(io_err)?;
+    let s = dataset.stats();
+    writeln!(
+        out,
+        "wrote {} trajectories to {path} (avg {:.0} pts, avg {:.2} km)",
+        s.count, s.avg_points, s.avg_length_km
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn stats(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    let trajs = load_trajectory_file(Path::new(args.req("input")?))
+        .map_err(|e| e.to_string())?;
+    if trajs.is_empty() {
+        return Err("input file holds no trajectories".into());
+    }
+    let n = trajs.len();
+    let pts: usize = trajs.iter().map(|t| t.len()).sum();
+    let max_pts = trajs.iter().map(|t| t.len()).max().unwrap_or(0);
+    let total_km: f64 = trajs.iter().map(|t| t.length() / 1000.0).sum();
+    let max_km = trajs.iter().map(|t| t.length() / 1000.0).fold(0.0, f64::max);
+    writeln!(out, "#trajectories            {n}").map_err(io_err)?;
+    writeln!(out, "avg points / trajectory  {:.1}", pts as f64 / n as f64).map_err(io_err)?;
+    writeln!(out, "max points / trajectory  {max_pts}").map_err(io_err)?;
+    writeln!(out, "avg length (km)          {:.2}", total_km / n as f64).map_err(io_err)?;
+    writeln!(out, "max length (km)          {max_km:.2}").map_err(io_err)?;
+    Ok(())
+}
+
+/// Builds a dataset wrapper around loaded trajectories so the featurizer
+/// helper can be reused.
+fn dataset_from(trajs: Vec<trajcl_geo::Trajectory>) -> Dataset {
+    let mut region = trajs[0].bbox();
+    for t in &trajs[1..] {
+        region = region.union(&t.bbox());
+    }
+    Dataset { profile: DatasetProfile::Porto, trajectories: trajs, region }
+}
+
+fn train_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    let trajs = load_trajectory_file(Path::new(args.req("input")?))
+        .map_err(|e| e.to_string())?;
+    if trajs.len() < 8 {
+        return Err(format!("need at least 8 trajectories to train, got {}", trajs.len()));
+    }
+    let seed: u64 = args.num("seed", 0)?;
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = args.num("dim", 32)?;
+    cfg.ffn_hidden = cfg.dim * 2;
+    cfg.proj_dim = (cfg.dim / 2).max(8);
+    cfg.max_epochs = args.num("epochs", 3)?;
+    cfg.batch_size = args.num("batch", 32)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = dataset_from(trajs);
+    writeln!(out, "building featurizer (grid + node2vec)...").map_err(io_err)?;
+    let featurizer = build_featurizer(&dataset, cfg.dim, cfg.max_len, &mut rng);
+    writeln!(out, "training TrajCL (dim={}, epochs<={})...", cfg.dim, cfg.max_epochs)
+        .map_err(io_err)?;
+    let mut moco = MocoState::new(&cfg, EncoderVariant::Dual, &mut rng);
+    let report = train(
+        &mut moco,
+        &featurizer,
+        &dataset.trajectories,
+        &StepDecay::trajcl_default(),
+        &mut rng,
+    );
+    writeln!(
+        out,
+        "trained {} epochs in {:.1}s (final loss {:.4})",
+        report.epochs_run,
+        report.seconds,
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    )
+    .map_err(io_err)?;
+    let bytes = save_model(&moco.online, &featurizer, featurizer.grid().cell_side());
+    let path = args.req("out")?;
+    std::fs::write(path, bytes).map_err(io_err)?;
+    writeln!(out, "saved model to {path}").map_err(io_err)?;
+    Ok(())
+}
+
+fn embed(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    let bytes = std::fs::read(args.req("model")?).map_err(io_err)?;
+    let (model, featurizer) = load_model(&bytes).map_err(|e| e.to_string())?;
+    let trajs = load_trajectory_file(Path::new(args.req("input")?))
+        .map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(0);
+    let emb = model.embed(&featurizer, &trajs, &mut rng);
+    let path = args.req("out")?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+    for r in 0..emb.shape().rows() {
+        let row: Vec<String> = emb.row(r).iter().map(|v| format!("{v:.6}")).collect();
+        writeln!(file, "{}", row.join(",")).map_err(io_err)?;
+    }
+    writeln!(out, "wrote {} x {} embeddings to {path}", trajs.len(), model.cfg.dim)
+        .map_err(io_err)?;
+    Ok(())
+}
+
+fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    let bytes = std::fs::read(args.req("model")?).map_err(io_err)?;
+    let (model, featurizer) = load_model(&bytes).map_err(|e| e.to_string())?;
+    let db = load_trajectory_file(Path::new(args.req("db")?)).map_err(|e| e.to_string())?;
+    let qi: usize = args.num("query", 0)?;
+    let k: usize = args.num("k", 5)?;
+    if qi >= db.len() {
+        return Err(format!("query index {qi} out of range ({} trajectories)", db.len()));
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    let emb = model.embed(&featurizer, &db, &mut rng);
+    let q = model.embed(&featurizer, std::slice::from_ref(&db[qi]), &mut rng);
+    let dists = l1_distances(&q, &emb);
+    let mut order: Vec<usize> = (0..db.len()).collect();
+    order.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+    writeln!(out, "top-{k} similar to trajectory {qi}:").map_err(io_err)?;
+    for (rank, &i) in order.iter().filter(|&&i| i != qi).take(k).enumerate() {
+        writeln!(
+            out,
+            "  #{} idx={i} L1={:.4} ({} pts, {:.2} km)",
+            rank + 1,
+            dists[i],
+            db[i].len(),
+            db[i].length() / 1000.0
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn approx(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
+    let bytes = std::fs::read(args.req("model")?).map_err(io_err)?;
+    let (model, featurizer) = load_model(&bytes).map_err(|e| e.to_string())?;
+    let trajs = load_trajectory_file(Path::new(args.req("input")?))
+        .map_err(|e| e.to_string())?;
+    if trajs.len() < 20 {
+        return Err("need at least 20 trajectories for approx".into());
+    }
+    let measure = parse_measure(args.req("measure")?)?;
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = trajs.len() * 7 / 10;
+    writeln!(out, "fine-tuning towards {} on {split} trajectories...", measure.name())
+        .map_err(io_err)?;
+    let cfg = FinetuneConfig {
+        scope: FinetuneScope::LastLayer,
+        pairs_per_epoch: args.num("pairs", 128)?,
+        batch_pairs: 16,
+        epochs: args.num("epochs", 2)?,
+        lr: 2e-3,
+    };
+    let est = finetune(&model, &featurizer, &trajs[..split], measure, &cfg, &mut rng);
+    // Evaluate HR@5 on the held-out tail.
+    let eval = &trajs[split..];
+    let nq = (eval.len() / 4).max(2);
+    let (queries, database) = eval.split_at(nq);
+    let true_d = pairwise_distances(queries, database, measure);
+    let qe = est.embed(&featurizer, queries, &mut rng);
+    let de = est.embed(&featurizer, database, &mut rng);
+    let pred = l1_distances(&qe, &de);
+    let mut hr = 0.0;
+    let dbn = database.len();
+    for q in 0..nq {
+        hr += hit_ratio(&true_d[q * dbn..(q + 1) * dbn], &pred[q * dbn..(q + 1) * dbn], 5);
+    }
+    writeln!(out, "HR@5 approximating {}: {:.3}", measure.name(), hr / nq as f64)
+        .map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(line: &str) -> (i32, String) {
+        let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        let args = Args::parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let code = run(&args, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("trajcl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cmd("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let (code, out) = run_cmd("bogus --x 1");
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_then_stats() {
+        let path = tmp("gen.traj");
+        let (code, out) = run_cmd(&format!(
+            "generate --profile porto --count 30 --out {}",
+            path.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote 30 trajectories"));
+        let (code, out) = run_cmd(&format!("stats --input {}", path.display()));
+        assert_eq!(code, 0);
+        assert!(out.contains("#trajectories            30"));
+    }
+
+    #[test]
+    fn full_train_embed_query_pipeline() {
+        let data = tmp("pipeline.traj");
+        let model = tmp("pipeline.tcl");
+        let emb = tmp("pipeline.csv");
+        let (code, out) = run_cmd(&format!(
+            "generate --profile porto --count 40 --out {}",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!(
+            "train --input {} --out {} --dim 16 --epochs 1 --batch 8",
+            data.display(),
+            model.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("saved model"));
+        let (code, out) = run_cmd(&format!(
+            "embed --model {} --input {} --out {}",
+            model.display(),
+            data.display(),
+            emb.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        let lines = std::fs::read_to_string(&emb).unwrap();
+        assert_eq!(lines.lines().count(), 40);
+        assert_eq!(lines.lines().next().unwrap().split(',').count(), 16);
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --k 3",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("top-3 similar"));
+    }
+
+    #[test]
+    fn train_rejects_tiny_input() {
+        let data = tmp("tiny.traj");
+        std::fs::write(&data, "1,2 3,4\n").unwrap();
+        let (code, out) = run_cmd(&format!(
+            "train --input {} --out /dev/null",
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("at least 8"));
+    }
+
+    #[test]
+    fn measure_parsing() {
+        assert!(parse_measure("hausdorff").is_ok());
+        assert!(parse_measure("EDWP").is_ok());
+        assert!(parse_measure("cosine").is_err());
+        assert!(parse_profile("germany").is_ok());
+        assert!(parse_profile("mars").is_err());
+    }
+}

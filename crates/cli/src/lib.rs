@@ -1,0 +1,21 @@
+//! # trajcl-cli
+//!
+//! Implementation of the `trajcl` command-line tool:
+//!
+//! ```text
+//! trajcl generate --profile porto --count 1000 --out data.traj
+//! trajcl stats    --input data.traj
+//! trajcl train    --input data.traj --out model.tcl [--dim 32 --epochs 4]
+//! trajcl embed    --model model.tcl --input data.traj --out emb.csv
+//! trajcl query    --model model.tcl --db data.traj --query 0 -k 5
+//! trajcl approx   --model model.tcl --input data.traj --measure hausdorff
+//! ```
+//!
+//! The command logic lives in this library crate so it can be unit-tested;
+//! `main.rs` is a thin argv shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ParsedCommand};
+pub use commands::run;

@@ -1,0 +1,17 @@
+//! `trajcl` binary entry point — a thin shim over [`trajcl_cli::run`].
+
+use trajcl_cli::{run, Args};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `trajcl help`");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    std::process::exit(run(&args, &mut stdout));
+}

@@ -1,0 +1,151 @@
+//! TrajCL hyper-parameters.
+
+use trajcl_data::{AugmentParams, Augmentation};
+
+/// Full model + training configuration.
+///
+/// Paper defaults (§V-A): `d = 256`, 4 heads, 2 encoder layers, cell side
+/// 100 m, queue 2048, momentum 0.999, point masking + trajectory truncating
+/// as the two default views, Adam at 1e-3 halved every 5 epochs, ≤ 20
+/// epochs with early stop after 5 non-improving epochs.
+/// [`TrajClConfig::scaled_default`] shrinks the width for CPU-class runs;
+/// every experiment binary accepts overrides.
+#[derive(Debug, Clone)]
+pub struct TrajClConfig {
+    /// Embedding dimensionality `d` (structural feature / model width).
+    pub dim: usize,
+    /// Attention heads `h`.
+    pub heads: usize,
+    /// Encoder layers (`#layers`).
+    pub layers: usize,
+    /// Feed-forward hidden width inside encoder layers.
+    pub ffn_hidden: usize,
+    /// Projection-head output width (InfoNCE space).
+    pub proj_dim: usize,
+    /// Maximum points per trajectory (`l`); longer inputs are truncated.
+    pub max_len: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// InfoNCE temperature τ.
+    pub temperature: f32,
+    /// MoCo momentum coefficient `m` (paper: 0.999).
+    pub momentum: f32,
+    /// Negative-sample queue capacity |Q_neg|.
+    pub queue_size: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Early-stop patience in epochs.
+    pub patience: usize,
+    /// Augmentation generating view 1 (default: point masking).
+    pub aug1: Augmentation,
+    /// Augmentation generating view 2 (default: trajectory truncating).
+    pub aug2: Augmentation,
+    /// Augmentation parameters (ρ_m, ρ_d, ρ_b, ρ_p).
+    pub aug_params: AugmentParams,
+}
+
+impl TrajClConfig {
+    /// Paper-shaped configuration at full width (d = 256). Heavy on CPU;
+    /// prefer [`TrajClConfig::scaled_default`] for local runs.
+    pub fn paper_default() -> Self {
+        TrajClConfig {
+            dim: 256,
+            heads: 4,
+            layers: 2,
+            ffn_hidden: 512,
+            proj_dim: 128,
+            max_len: 200,
+            dropout: 0.1,
+            temperature: 0.07,
+            momentum: 0.999,
+            queue_size: 2048,
+            batch_size: 64,
+            max_epochs: 20,
+            patience: 5,
+            aug1: Augmentation::PointMask,
+            aug2: Augmentation::Truncate,
+            aug_params: AugmentParams::default(),
+        }
+    }
+
+    /// CPU-scale configuration used by tests and the scaled experiment
+    /// harness (d = 64); architecture identical to the paper's.
+    pub fn scaled_default() -> Self {
+        TrajClConfig {
+            dim: 64,
+            heads: 4,
+            layers: 2,
+            ffn_hidden: 128,
+            proj_dim: 32,
+            max_len: 200,
+            dropout: 0.1,
+            temperature: 0.07,
+            momentum: 0.99,
+            queue_size: 512,
+            batch_size: 32,
+            max_epochs: 6,
+            patience: 3,
+            aug1: Augmentation::PointMask,
+            aug2: Augmentation::Truncate,
+            aug_params: AugmentParams::default(),
+        }
+    }
+
+    /// Tiny configuration for unit tests (seconds, not minutes).
+    pub fn test_default() -> Self {
+        TrajClConfig {
+            dim: 16,
+            heads: 2,
+            layers: 1,
+            ffn_hidden: 32,
+            proj_dim: 8,
+            max_len: 64,
+            dropout: 0.0,
+            temperature: 0.07,
+            momentum: 0.9,
+            queue_size: 64,
+            batch_size: 8,
+            max_epochs: 2,
+            patience: 2,
+            aug1: Augmentation::PointMask,
+            aug2: Augmentation::Truncate,
+            aug_params: AugmentParams::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TrajClConfig::paper_default();
+        assert_eq!(c.dim, 256);
+        assert_eq!(c.heads, 4);
+        assert_eq!(c.layers, 2);
+        assert_eq!(c.queue_size, 2048);
+        assert_eq!(c.max_epochs, 20);
+        assert_eq!(c.patience, 5);
+        assert!((c.momentum - 0.999).abs() < 1e-9);
+        assert_eq!(c.aug1, Augmentation::PointMask);
+        assert_eq!(c.aug2, Augmentation::Truncate);
+        assert!((c.aug_params.rho_d - 0.3).abs() < 1e-9);
+        assert!((c.aug_params.rho_b - 0.7).abs() < 1e-9);
+        assert!((c.aug_params.rho_m - 100.0).abs() < 1e-9);
+        assert!((c.aug_params.rho_p - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_keeps_architecture() {
+        let p = TrajClConfig::paper_default();
+        let s = TrajClConfig::scaled_default();
+        assert_eq!(p.heads, s.heads);
+        assert_eq!(p.layers, s.layers);
+        assert_eq!(p.aug1, s.aug1);
+        assert_eq!(p.aug2, s.aug2);
+        assert!(s.dim < p.dim);
+    }
+}

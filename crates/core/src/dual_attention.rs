@@ -1,0 +1,217 @@
+//! DualMSM — the dual-feature multi-head self-attention module (§IV-C).
+//!
+//! Per encoder layer:
+//! 1. the **spatial branch** runs a full vanilla-MSM encoder sub-layer over
+//!    the (projected) spatial features, producing updated spatial states
+//!    and the spatial attention coefficients `A_s`;
+//! 2. the **structural branch** computes its own attention coefficients
+//!    `A_t` from the structural features (Eq. 12);
+//! 3. the two are fused per head with the learnable weight γ:
+//!    `C_ts = (A_t + γ·A_s)·V_t` (Eq. 15), concatenated across heads and
+//!    linearly transformed;
+//! 4. the result goes through the residual + layer-norm + MLP post-block of
+//!    Eqs. 10–11.
+
+use trajcl_nn::attention::{project_heads, scaled_scores, TransformerEncoderLayer};
+use trajcl_nn::{Fwd, LayerNorm, Mlp, ParamId, ParamStore};
+use rand::Rng;
+use trajcl_tensor::{Tensor, Var};
+
+/// One DualSTB encoder layer built around DualMSM.
+#[derive(Debug, Clone)]
+pub struct DualMsmLayer {
+    wq_t: ParamId,
+    wk_t: ParamId,
+    wv_t: ParamId,
+    wo_t: ParamId,
+    /// The learnable fusion weight γ of Eq. 15.
+    pub gamma: ParamId,
+    spatial: TransformerEncoderLayer,
+    ln1: LayerNorm,
+    mlp: Mlp,
+    ln2: LayerNorm,
+    dropout: f32,
+    heads: usize,
+}
+
+impl DualMsmLayer {
+    /// Registers one layer of width `dim` with `heads` heads and an
+    /// `ffn_hidden`-wide feed-forward block.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ffn_hidden: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        let mut w = |suffix: &str, rng: &mut dyn rand::RngCore| {
+            store.add(
+                format!("{name}.{suffix}"),
+                trajcl_nn::init::xavier_uniform(dim, dim, &mut &mut *rng),
+            )
+        };
+        let wq_t = w("wq_t", rng);
+        let wk_t = w("wk_t", rng);
+        let wv_t = w("wv_t", rng);
+        let wo_t = w("wo_t", rng);
+        // γ starts at 1 so both attention families contribute from step one.
+        let gamma = store.add(format!("{name}.gamma"), Tensor::scalar(1.0));
+        DualMsmLayer {
+            wq_t,
+            wk_t,
+            wv_t,
+            wo_t,
+            gamma,
+            spatial: TransformerEncoderLayer::new(
+                store,
+                &format!("{name}.spatial"),
+                dim,
+                heads,
+                ffn_hidden,
+                dropout,
+                rng,
+            ),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            mlp: Mlp::new(store, &format!("{name}.mlp"), dim, ffn_hidden, dim, dropout, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            dropout,
+            heads,
+        }
+    }
+
+    /// Applies the layer to structural states `t` and spatial states `s`
+    /// (both `(B, L, dim)`); returns the updated pair.
+    pub fn forward(&self, f: &mut Fwd, t: Var, s: Var, mask: Option<Var>) -> (Var, Var) {
+        // Spatial branch: vanilla encoder sub-layer; its attention matrix is
+        // the A_s of the (stacked) spatial MSM.
+        let (s_out, a_s) = self.spatial.forward(f, s, mask);
+
+        // Structural attention A_t (Eq. 12).
+        let q = project_heads(f, t, self.wq_t, self.heads);
+        let k = project_heads(f, t, self.wk_t, self.heads);
+        let v = project_heads(f, t, self.wv_t, self.heads);
+        let a_t = scaled_scores(f, q, k, mask);
+
+        // Fusion: C_ts = (A_t + γ A_s) V_t per head (Eq. 15).
+        let gamma = f.p(self.gamma);
+        let gated = f.tape.mul_scalar_var(a_s, gamma);
+        let combined = f.tape.add(a_t, gated);
+        let ctx = f.tape.matmul(combined, v, false, false);
+        let merged = f.tape.merge_heads(ctx, self.heads);
+        let wo = f.p(self.wo_t);
+        let cts = f.tape.matmul(merged, wo, false, false);
+
+        // Post-block (Eqs. 10–11).
+        let cts = f.dropout(cts, self.dropout);
+        let res = f.tape.add(t, cts);
+        let h = self.ln1.forward(f, res);
+        let m = self.mlp.forward(f, h);
+        let m = f.dropout(m, self.dropout);
+        let res2 = f.tape.add(h, m);
+        let t_out = self.ln2.forward(f, res2);
+        (t_out, s_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_nn::attention::attention_mask_bias;
+    use trajcl_tensor::{Shape, Tape};
+
+    fn layer_and_store(dim: usize, heads: usize) -> (DualMsmLayer, ParamStore, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let layer = DualMsmLayer::new(&mut store, "dual", dim, heads, dim * 2, 0.0, &mut rng);
+        (layer, store, rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (layer, store, mut rng) = layer_and_store(8, 2);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let t = f.input(Tensor::randn(Shape::d3(2, 5, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(1)));
+        let s = f.input(Tensor::randn(Shape::d3(2, 5, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(2)));
+        let (t2, s2) = layer.forward(&mut f, t, s, None);
+        assert_eq!(tape.shape(t2), Shape::d3(2, 5, 8));
+        assert_eq!(tape.shape(s2), Shape::d3(2, 5, 8));
+    }
+
+    #[test]
+    fn gamma_receives_gradient() {
+        let (layer, mut store, mut rng) = layer_and_store(8, 2);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
+        let t = f.input(Tensor::randn(Shape::d3(2, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(3)));
+        let s = f.input(Tensor::randn(Shape::d3(2, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(4)));
+        let (t2, _) = layer.forward(&mut f, t, s, None);
+        let loss = tape.mean_all(t2);
+        let grads = tape.backward(loss);
+        store.accumulate(grads.into_param_grads(&tape));
+        let g = store.grad(layer.gamma);
+        assert!(g.data()[0].abs() > 0.0, "γ must be trained");
+    }
+
+    #[test]
+    fn spatial_features_change_the_output() {
+        // With different spatial inputs (same structural), outputs differ:
+        // proof that A_s enters the fusion.
+        let (layer, store, mut rng) = layer_and_store(8, 2);
+        let t_val = Tensor::randn(Shape::d3(1, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(5));
+        let s1 = Tensor::randn(Shape::d3(1, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(6));
+        let s2 = Tensor::randn(Shape::d3(1, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let run = |s_val: &Tensor, rng: &mut StdRng| -> Tensor {
+            let mut tape = Tape::new();
+            let mut f = Fwd::new(&mut tape, &store, rng, false);
+            let t = f.input(t_val.clone());
+            let s = f.input(s_val.clone());
+            let (t2, _) = layer.forward(&mut f, t, s, None);
+            tape.value(t2).clone()
+        };
+        let o1 = run(&s1, &mut rng);
+        let o2 = run(&s2, &mut rng);
+        assert!(!o1.approx_eq(&o2, 1e-5), "spatial branch must influence output");
+    }
+
+    #[test]
+    fn masked_positions_do_not_influence_valid_ones() {
+        // Change padding content; valid outputs must stay identical.
+        let (layer, store, mut rng) = layer_and_store(8, 2);
+        let mask = attention_mask_bias(&[2], 4, 2);
+        let base_t = Tensor::randn(Shape::d3(1, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(8));
+        let base_s = Tensor::randn(Shape::d3(1, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let mut poisoned_t = base_t.clone();
+        let mut poisoned_s = base_s.clone();
+        for t in 2..4 {
+            for k in 0..8 {
+                poisoned_t.data_mut()[(t) * 8 + k] = 99.0;
+                poisoned_s.data_mut()[(t) * 8 + k] = -55.0;
+            }
+        }
+        let run = |tv: &Tensor, sv: &Tensor, rng: &mut StdRng| -> Tensor {
+            let mut tape = Tape::new();
+            let mut f = Fwd::new(&mut tape, &store, rng, false);
+            let t = f.input(tv.clone());
+            let s = f.input(sv.clone());
+            let m = f.input(mask.clone());
+            let (t2, _) = layer.forward(&mut f, t, s, Some(m));
+            tape.value(t2).clone()
+        };
+        let clean = run(&base_t, &base_s, &mut rng);
+        let dirty = run(&poisoned_t, &poisoned_s, &mut rng);
+        for t in 0..2 {
+            for k in 0..8 {
+                let (a, b) = (clean.at3(0, t, k), dirty.at3(0, t, k));
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "padding leaked into valid position {t}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

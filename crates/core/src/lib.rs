@@ -1,0 +1,56 @@
+//! # trajcl-core
+//!
+//! The paper's primary contribution: **TrajCL**, a contrastive
+//! trajectory-similarity learning model with a dual-feature self-attention
+//! backbone encoder (ICDE 2023).
+//!
+//! Pipeline (Fig. 2): trajectory augmentation ([`trajcl_data::augment`])
+//! → pointwise feature enrichment ([`featurizer`]) → DualSTB backbone
+//! ([`encoder`], [`dual_attention`]) → projection heads → InfoNCE over a
+//! MoCo-style dual branch with a momentum encoder and a negative queue
+//! ([`moco`], [`trainer`]). Trained encoders compare trajectories by L1
+//! distance between embeddings ([`model::l1_distances`]) and can be
+//! fine-tuned into fast estimators of heuristic measures ([`finetune()`]).
+
+pub mod config;
+pub mod dual_attention;
+pub mod encoder;
+pub mod featurizer;
+pub mod finetune;
+pub mod model;
+pub mod moco;
+pub mod persist;
+pub mod trainer;
+
+pub use config::TrajClConfig;
+pub use dual_attention::DualMsmLayer;
+pub use encoder::{DualStbEncoder, EncoderVariant};
+pub use featurizer::{BatchInputs, Featurizer};
+pub use finetune::{finetune, FinetuneConfig, FinetuneScope, FinetunedEstimator};
+pub use model::{l1_distances, TrajClModel};
+pub use moco::MocoState;
+pub use persist::{load_model, save_model, PersistError};
+pub use trainer::{train, TrainReport};
+
+use rand::Rng;
+use trajcl_data::Dataset;
+use trajcl_geo::{Grid, SpatialNorm};
+use trajcl_graph::{node2vec_cell_embeddings, SgnsConfig, WalkConfig};
+
+/// Builds the standard featurizer for a dataset: grid over the region at
+/// the profile's cell side, node2vec cell embeddings of width `dim`,
+/// spatial normalisation against the region.
+pub fn build_featurizer(
+    dataset: &Dataset,
+    dim: usize,
+    max_len: usize,
+    rng: &mut impl Rng,
+) -> Featurizer {
+    let cell_side = dataset.profile.cell_side();
+    let grid = Grid::new(dataset.region, cell_side);
+    let walk_cfg = WalkConfig::default();
+    let sgns_cfg = SgnsConfig { dim, ..Default::default() };
+    let table = node2vec_cell_embeddings(&grid, &walk_cfg, &sgns_cfg, rng);
+    let norm = SpatialNorm::new(dataset.region, cell_side);
+    Featurizer::new(grid, table, norm, max_len)
+}

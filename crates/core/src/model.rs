@@ -1,0 +1,198 @@
+//! The TrajCL model: DualSTB encoder + projection head, with batched
+//! inference helpers.
+
+use crate::config::TrajClConfig;
+use crate::encoder::{DualStbEncoder, EncoderVariant};
+use crate::featurizer::Featurizer;
+use rand::Rng;
+use trajcl_geo::Trajectory;
+use trajcl_nn::{Fwd, Mlp, ParamStore};
+use trajcl_tensor::{Shape, Tape, Tensor, Var};
+
+/// Encoder `F` plus projection head `P` (Eq. 1) and their parameters.
+#[derive(Clone)]
+pub struct TrajClModel {
+    /// All model parameters.
+    pub store: ParamStore,
+    /// The backbone encoder.
+    pub encoder: DualStbEncoder,
+    proj: Mlp,
+    /// The configuration the model was built with.
+    pub cfg: TrajClConfig,
+}
+
+impl TrajClModel {
+    /// Builds a model of the given architecture variant.
+    pub fn new(cfg: &TrajClConfig, variant: EncoderVariant, rng: &mut impl Rng) -> Self {
+        let mut store = ParamStore::new();
+        let encoder = DualStbEncoder::new(
+            &mut store,
+            "enc",
+            variant,
+            cfg.dim,
+            cfg.heads,
+            cfg.layers,
+            cfg.ffn_hidden,
+            cfg.dropout,
+            rng,
+        );
+        let proj = Mlp::new(&mut store, "proj", cfg.dim, cfg.dim, cfg.proj_dim, 0.0, rng);
+        TrajClModel { store, encoder, proj, cfg: cfg.clone() }
+    }
+
+    /// Forward to the backbone embedding `h` `(B, d)` on an existing tape.
+    pub fn forward_h(
+        &self,
+        f: &mut Fwd,
+        batch: &crate::featurizer::BatchInputs,
+    ) -> Var {
+        self.encoder.forward(f, batch)
+    }
+
+    /// Forward to the L2-normalised projection `z` `(B, proj_dim)` used by
+    /// the InfoNCE loss.
+    pub fn forward_z(
+        &self,
+        f: &mut Fwd,
+        batch: &crate::featurizer::BatchInputs,
+    ) -> Var {
+        let h = self.forward_h(f, batch);
+        let z = self.proj.forward(f, h);
+        f.tape.l2_normalize_rows(z)
+    }
+
+    /// Inference: embeds trajectories into `(N, d)` backbone embeddings,
+    /// processing `cfg.batch_size` at a time with dropout disabled.
+    pub fn embed(
+        &self,
+        featurizer: &Featurizer,
+        trajs: &[Trajectory],
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let d = self.cfg.dim;
+        let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
+        let mut row = 0usize;
+        for chunk in trajs.chunks(self.cfg.batch_size.max(1)) {
+            let batch = featurizer.featurize(chunk);
+            let mut tape = Tape::new();
+            let mut f = Fwd::new(&mut tape, &self.store, rng, false);
+            let h = self.forward_h(&mut f, &batch);
+            let hv = tape.value(h);
+            out.data_mut()[row * d..(row + chunk.len()) * d]
+                .copy_from_slice(hv.data());
+            row += chunk.len();
+        }
+        out
+    }
+}
+
+/// Row-wise L1 distance matrix between `(Q, d)` and `(N, d)` embedding
+/// tables (the similarity function of the problem statement, computed in
+/// parallel). Row-major `Q × N` output.
+pub fn l1_distances(queries: &Tensor, database: &Tensor) -> Vec<f64> {
+    let d = queries.shape().last();
+    assert_eq!(d, database.shape().last(), "embedding dims differ");
+    let q = queries.shape().rows();
+    let n = database.shape().rows();
+    let mut out = vec![0.0f64; q * n];
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let rows_per = q.div_ceil(threads.max(1)).max(1);
+    let qd = queries.data();
+    let dd = database.data();
+    std::thread::scope(|s| {
+        for (c, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let start = c * rows_per;
+            s.spawn(move || {
+                for (r, row) in chunk.chunks_mut(n).enumerate() {
+                    let qrow = &qd[(start + r) * d..(start + r + 1) * d];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        let drow = &dd[j * d..(j + 1) * d];
+                        let mut acc = 0.0f32;
+                        for (a, b) in qrow.iter().zip(drow) {
+                            acc += (a - b).abs();
+                        }
+                        *slot = acc as f64;
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_geo::{Bbox, Grid, Point, SpatialNorm};
+
+    fn setup() -> (TrajClModel, Featurizer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TrajClConfig::test_default();
+        let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let grid = Grid::new(region, 100.0);
+        let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+        let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+        let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+        (model, feat, rng)
+    }
+
+    fn traj(n: usize, y: f64) -> Trajectory {
+        (0..n).map(|i| Point::new(30.0 + i as f64 * 35.0, y)).collect()
+    }
+
+    #[test]
+    fn embed_shapes_and_determinism() {
+        let (model, feat, mut rng) = setup();
+        let trajs: Vec<Trajectory> = (0..5).map(|i| traj(6 + i, 100.0 * (i + 1) as f64)).collect();
+        let e1 = model.embed(&feat, &trajs, &mut rng);
+        let e2 = model.embed(&feat, &trajs, &mut rng);
+        assert_eq!(e1.shape(), Shape::d2(5, model.cfg.dim));
+        assert!(e1.approx_eq(&e2, 0.0), "eval-mode embedding must be deterministic");
+    }
+
+    #[test]
+    fn embed_batches_agree_with_single() {
+        let (model, feat, mut rng) = setup();
+        let trajs: Vec<Trajectory> =
+            (0..7).map(|i| traj(5 + i, 80.0 * (i + 1) as f64)).collect();
+        let all = model.embed(&feat, &trajs, &mut rng);
+        for (i, t) in trajs.iter().enumerate() {
+            let single = model.embed(&feat, std::slice::from_ref(t), &mut rng);
+            for k in 0..model.cfg.dim {
+                assert!(
+                    (all.at2(i, k) - single.at2(0, k)).abs() < 1e-4,
+                    "batching changed embedding {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z_is_unit_norm() {
+        let (model, feat, mut rng) = setup();
+        let batch = feat.featurize(&[traj(6, 100.0), traj(8, 400.0)]);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &model.store, &mut rng, false);
+        let z = model.forward_z(&mut f, &batch);
+        for r in 0..2 {
+            let row = tape.value(z).row(r);
+            let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "z row norm {norm}");
+        }
+    }
+
+    #[test]
+    fn l1_distance_matrix_correct() {
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], Shape::d2(2, 2));
+        let b = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0, 3.0, 3.0], Shape::d2(3, 2));
+        let m = l1_distances(&a, &b);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m[0], 2.0); // |0-1|+|0-1|
+        assert_eq!(m[1], 0.0);
+        assert_eq!(m[2], 6.0);
+        assert_eq!(m[3], 1.0); // |1-1|+|2-1|
+        assert_eq!(m[4], 3.0);
+        assert_eq!(m[5], 3.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Model persistence: save a trained TrajCL encoder together with its
+//! featurizer (grid geometry + node2vec cell table) so it can be reloaded
+//! for inference, fine-tuning or serving without retraining.
+//!
+//! Format (little-endian, versioned):
+//! `magic "TCL1" | config | region | cell side | max len | cell table |
+//!  ParamStore bytes` — everything needed to rebuild
+//! `(TrajClModel, Featurizer)` exactly.
+
+use crate::config::TrajClConfig;
+use crate::encoder::EncoderVariant;
+use crate::featurizer::Featurizer;
+use crate::model::TrajClModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm};
+use trajcl_nn::ParamStore;
+use trajcl_tensor::{Shape, Tensor};
+
+const MAGIC: &[u8; 4] = b"TCL1";
+
+/// Errors from loading a persisted model.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Buffer too short or structurally invalid.
+    Truncated,
+    /// Magic/version mismatch.
+    BadMagic,
+    /// Parameter store failed to decode.
+    BadStore,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "model file truncated or corrupt"),
+            PersistError::BadMagic => write!(f, "not a TrajCL model file"),
+            PersistError::BadStore => write!(f, "parameter store failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], PersistError> {
+        if self.0.len() < n {
+            return Err(PersistError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn variant_code(v: EncoderVariant) -> u32 {
+    match v {
+        EncoderVariant::Dual => 0,
+        EncoderVariant::VanillaMsm => 1,
+        EncoderVariant::Concat => 2,
+    }
+}
+
+fn variant_from(code: u32) -> Result<EncoderVariant, PersistError> {
+    match code {
+        0 => Ok(EncoderVariant::Dual),
+        1 => Ok(EncoderVariant::VanillaMsm),
+        2 => Ok(EncoderVariant::Concat),
+        _ => Err(PersistError::Truncated),
+    }
+}
+
+/// Serialises a trained model plus its featurizer.
+pub fn save_model(model: &TrajClModel, featurizer: &Featurizer, cell_side: f64) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    w.0.extend_from_slice(MAGIC);
+    // Config.
+    let c = &model.cfg;
+    for v in [
+        c.dim,
+        c.heads,
+        c.layers,
+        c.ffn_hidden,
+        c.proj_dim,
+        c.max_len,
+        c.queue_size,
+        c.batch_size,
+        c.max_epochs,
+        c.patience,
+    ] {
+        w.u32(v as u32);
+    }
+    w.f32(c.dropout);
+    w.f32(c.temperature);
+    w.f32(c.momentum);
+    w.u32(variant_code(model.encoder.variant()));
+    // Featurizer geometry: grid origin is the region min; region extent is
+    // recoverable from the grid dims.
+    let grid = featurizer.grid();
+    let origin = grid.center(0);
+    let min = Point::new(origin.x - cell_side / 2.0, origin.y - cell_side / 2.0);
+    w.f64(min.x);
+    w.f64(min.y);
+    w.f64(cell_side);
+    w.u32(grid.cols() as u32);
+    w.u32(grid.rows() as u32);
+    w.u32(featurizer.max_len() as u32);
+    // Cell-embedding table.
+    let table = featurizer.cell_table();
+    w.u32(table.shape()[0] as u32);
+    w.u32(table.shape()[1] as u32);
+    for &v in table.data() {
+        w.f32(v);
+    }
+    // Parameters.
+    let store_bytes = model.store.to_bytes();
+    w.u32(store_bytes.len() as u32);
+    w.0.extend_from_slice(&store_bytes);
+    w.0
+}
+
+/// Restores a model/featurizer pair from [`save_model`] output.
+pub fn load_model(bytes: &[u8]) -> Result<(TrajClModel, Featurizer), PersistError> {
+    let mut r = Reader(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut cfg = TrajClConfig::paper_default();
+    cfg.dim = r.u32()? as usize;
+    cfg.heads = r.u32()? as usize;
+    cfg.layers = r.u32()? as usize;
+    cfg.ffn_hidden = r.u32()? as usize;
+    cfg.proj_dim = r.u32()? as usize;
+    cfg.max_len = r.u32()? as usize;
+    cfg.queue_size = r.u32()? as usize;
+    cfg.batch_size = r.u32()? as usize;
+    cfg.max_epochs = r.u32()? as usize;
+    cfg.patience = r.u32()? as usize;
+    cfg.dropout = r.f32()?;
+    cfg.temperature = r.f32()?;
+    cfg.momentum = r.f32()?;
+    let variant = variant_from(r.u32()?)?;
+    let min_x = r.f64()?;
+    let min_y = r.f64()?;
+    let cell_side = r.f64()?;
+    let cols = r.u32()? as usize;
+    let rows = r.u32()? as usize;
+    let max_len = r.u32()? as usize;
+    let vocab = r.u32()? as usize;
+    let dim = r.u32()? as usize;
+    let n = vocab
+        .checked_mul(dim)
+        .ok_or(PersistError::Truncated)?;
+    let raw = r.take(n * 4)?;
+    let mut data = Vec::with_capacity(n);
+    for chunk in raw.chunks_exact(4) {
+        data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let table = Tensor::from_vec(data, Shape::d2(vocab, dim));
+    let store_len = r.u32()? as usize;
+    let store_bytes = r.take(store_len)?;
+    let store = ParamStore::from_bytes(store_bytes).ok_or(PersistError::BadStore)?;
+
+    let region = Bbox::new(
+        Point::new(min_x, min_y),
+        Point::new(min_x + cols as f64 * cell_side, min_y + rows as f64 * cell_side),
+    );
+    let grid = Grid::new(region, cell_side);
+    let norm = SpatialNorm::new(region, cell_side);
+    let featurizer = Featurizer::new(grid, table, norm, max_len);
+
+    // Rebuild the model skeleton (weights come from the decoded store —
+    // the RNG only shapes throwaway initial values).
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = TrajClModel::new(&cfg, variant, &mut rng);
+    if model.store.len() != store.len() {
+        return Err(PersistError::BadStore);
+    }
+    model.store.copy_values_from(&store);
+    Ok((model, featurizer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajcl_geo::Trajectory;
+
+    fn setup() -> (TrajClModel, Featurizer, Vec<Trajectory>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TrajClConfig::test_default();
+        let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0));
+        let grid = Grid::new(region, 100.0);
+        let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+        let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+        let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+        let trajs: Vec<Trajectory> = (0..4)
+            .map(|i| {
+                (0..10)
+                    .map(|j| Point::new(50.0 + j as f64 * 80.0, 100.0 + i as f64 * 150.0))
+                    .collect()
+            })
+            .collect();
+        (model, feat, trajs)
+    }
+
+    #[test]
+    fn round_trip_preserves_embeddings() {
+        let (model, feat, trajs) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = model.embed(&feat, &trajs, &mut rng);
+        let bytes = save_model(&model, &feat, 100.0);
+        let (loaded, loaded_feat) = load_model(&bytes).expect("round trip");
+        let after = loaded.embed(&loaded_feat, &trajs, &mut rng);
+        assert!(
+            before.approx_eq(&after, 1e-6),
+            "persisted model produced different embeddings"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_config_and_variant() {
+        let (model, feat, _) = setup();
+        let bytes = save_model(&model, &feat, 100.0);
+        let (loaded, loaded_feat) = load_model(&bytes).unwrap();
+        assert_eq!(loaded.cfg.dim, model.cfg.dim);
+        assert_eq!(loaded.cfg.heads, model.cfg.heads);
+        assert_eq!(loaded.cfg.layers, model.cfg.layers);
+        assert_eq!(loaded.encoder.variant(), EncoderVariant::Dual);
+        assert_eq!(loaded_feat.max_len(), feat.max_len());
+        assert_eq!(loaded_feat.dim(), feat.dim());
+        assert_eq!(loaded_feat.grid().num_cells(), feat.grid().num_cells());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(load_model(b"nope").err(), Some(PersistError::BadMagic));
+        assert_eq!(load_model(b"TC").err(), Some(PersistError::Truncated));
+        let (model, feat, _) = setup();
+        let mut bytes = save_model(&model, &feat, 100.0);
+        bytes.truncate(bytes.len() / 2);
+        assert!(load_model(&bytes).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Epoch-level training loop with the paper's schedule: Adam, initial lr
+//! 1e-3 halved every 5 epochs, ≤ 20 epochs, early stop after 5
+//! non-improving epochs (§V-A).
+
+use crate::featurizer::Featurizer;
+use crate::moco::MocoState;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::time::Instant;
+use trajcl_geo::Trajectory;
+use trajcl_nn::{Adam, StepDecay};
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean InfoNCE loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds spent training.
+    pub seconds: f64,
+    /// Epochs actually run (≤ max, depending on early stop).
+    pub epochs_run: usize,
+}
+
+/// Trains the MoCo state on `train_set`. Hyper-parameters come from the
+/// model's [`crate::TrajClConfig`]; `schedule` controls the learning rate.
+pub fn train(
+    moco: &mut MocoState,
+    featurizer: &Featurizer,
+    train_set: &[Trajectory],
+    schedule: &StepDecay,
+    rng: &mut impl Rng,
+) -> TrainReport {
+    let cfg = moco.online.cfg.clone();
+    let start = Instant::now();
+    let mut epoch_losses = Vec::new();
+    let mut best = f32::INFINITY;
+    let mut since_best = 0usize;
+    let mut order: Vec<usize> = (0..train_set.len()).collect();
+    for epoch in 0..cfg.max_epochs {
+        let mut opt = Adam::new(schedule.lr_at(epoch as u32));
+        order.shuffle(rng);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            if chunk.len() < 2 {
+                continue; // a contrastive batch needs at least two samples
+            }
+            let batch: Vec<Trajectory> =
+                chunk.iter().map(|&i| train_set[i].clone()).collect();
+            total += moco.train_step(&batch, featurizer, &mut opt, rng);
+            batches += 1;
+        }
+        let mean = total / batches.max(1) as f32;
+        epoch_losses.push(mean);
+        if mean < best - 1e-4 {
+            best = mean;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+    TrainReport {
+        epochs_run: epoch_losses.len(),
+        epoch_losses,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrajClConfig;
+    use crate::encoder::EncoderVariant;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_geo::{Bbox, Grid, Point, SpatialNorm};
+    use trajcl_tensor::{Shape, Tensor};
+
+    #[test]
+    fn training_reports_decreasing_loss() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cfg = TrajClConfig::test_default();
+        cfg.max_epochs = 3;
+        let region = Bbox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
+        let grid = Grid::new(region, 100.0);
+        let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+        let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+        let mut moco = MocoState::new(&cfg, EncoderVariant::Dual, &mut rng);
+        use rand::Rng as _;
+        let train_set: Vec<Trajectory> = (0..32)
+            .map(|_| {
+                let y = rng.gen_range(100.0..1900.0);
+                (0..20)
+                    .map(|i| Point::new(i as f64 * 80.0, y + (i % 3) as f64 * 30.0))
+                    .collect()
+            })
+            .collect();
+        let schedule = StepDecay::trajcl_default();
+        let report = train(&mut moco, &feat, &train_set, &schedule, &mut rng);
+        assert_eq!(report.epochs_run, report.epoch_losses.len());
+        assert!(report.epochs_run >= 1 && report.epochs_run <= cfg.max_epochs);
+        assert!(report.seconds > 0.0);
+        // Loss trajectories are not monotone while the negative queue warms
+        // up; finiteness plus the discrimination test in `moco` cover
+        // learning. Here we check the loop mechanics.
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+}

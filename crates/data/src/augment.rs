@@ -1,0 +1,239 @@
+//! TrajCL's four trajectory augmentation methods (§IV-A).
+//!
+//! Each method produces a low-quality *view* of the input trajectory; the
+//! contrastive framework treats two views of the same trajectory as a
+//! positive pair.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trajcl_geo::{douglas_peucker, Point, Trajectory};
+
+/// Parameters of the augmentation family (paper defaults from §IV-A).
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentParams {
+    /// Maximum point-shift offset ρ_m in meters (paper: 100).
+    pub rho_m: f64,
+    /// Std-dev of the underlying Gaussian for shifts (paper: N(0, 0.5²)).
+    pub shift_sigma: f64,
+    /// Proportion of points masked, ρ_d ∈ (0,1) (paper: 0.3).
+    pub rho_d: f64,
+    /// Proportion of points kept by truncation, ρ_b ∈ (0,1) (paper: 0.7).
+    pub rho_b: f64,
+    /// Douglas–Peucker threshold ρ_p in meters (paper: 100).
+    pub rho_p: f64,
+}
+
+impl Default for AugmentParams {
+    fn default() -> Self {
+        AugmentParams { rho_m: 100.0, shift_sigma: 0.5, rho_d: 0.3, rho_b: 0.7, rho_p: 100.0 }
+    }
+}
+
+/// The augmentation methods (plus `Raw` for the no-augmentation ablation of
+/// Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Augmentation {
+    /// Identity (no augmentation).
+    Raw,
+    /// Point shifting (Eq. 4): bounded-Gaussian offset per coordinate.
+    PointShift,
+    /// Point masking (Eq. 5): remove a random subset, keep order.
+    PointMask,
+    /// Trajectory truncating (Eq. 6): keep a random contiguous window.
+    Truncate,
+    /// Trajectory simplification (Eq. 7): Douglas–Peucker.
+    Simplify,
+}
+
+impl Augmentation {
+    /// All five options in the Fig. 8 grid order.
+    pub fn all() -> [Augmentation; 5] {
+        [
+            Augmentation::Raw,
+            Augmentation::PointShift,
+            Augmentation::Simplify,
+            Augmentation::PointMask,
+            Augmentation::Truncate,
+        ]
+    }
+
+    /// Short name used in the Fig. 8 heat-map axes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Augmentation::Raw => "Raw",
+            Augmentation::PointShift => "Shift",
+            Augmentation::PointMask => "Mask",
+            Augmentation::Truncate => "Trun.",
+            Augmentation::Simplify => "Simp.",
+        }
+    }
+
+    /// Applies the augmentation, producing a view of `traj`.
+    pub fn apply(
+        &self,
+        traj: &Trajectory,
+        params: &AugmentParams,
+        rng: &mut impl Rng,
+    ) -> Trajectory {
+        match self {
+            Augmentation::Raw => traj.clone(),
+            Augmentation::PointShift => point_shift(traj, params.rho_m, params.shift_sigma, rng),
+            Augmentation::PointMask => point_mask(traj, params.rho_d, rng),
+            Augmentation::Truncate => truncate(traj, params.rho_b, rng),
+            Augmentation::Simplify => douglas_peucker(traj, params.rho_p),
+        }
+    }
+}
+
+/// Bounded-Gaussian sample in `[-1, 1]` scaled by `rho_m` (Eq. 4's
+/// `X_n ~ (ρ_m/λ)·N(0, σ²)` truncated to the max offset).
+fn bounded_gaussian_offset(rho_m: f64, sigma: f64, rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * sigma;
+        if z.abs() <= 1.0 {
+            return z * rho_m;
+        }
+    }
+}
+
+/// Point shifting: adds an independent bounded offset to every coordinate.
+pub fn point_shift(
+    traj: &Trajectory,
+    rho_m: f64,
+    sigma: f64,
+    rng: &mut impl Rng,
+) -> Trajectory {
+    traj.points()
+        .iter()
+        .map(|p| {
+            Point::new(
+                p.x + bounded_gaussian_offset(rho_m, sigma, rng),
+                p.y + bounded_gaussian_offset(rho_m, sigma, rng),
+            )
+        })
+        .collect()
+}
+
+/// Point masking: removes `⌊ρ_d·|T|⌋` uniformly chosen points, preserving
+/// the order of the survivors (Eq. 5). Always keeps at least one point.
+pub fn point_mask(traj: &Trajectory, rho_d: f64, rng: &mut impl Rng) -> Trajectory {
+    assert!((0.0..1.0).contains(&rho_d), "rho_d must be in [0,1)");
+    let n = traj.len();
+    let keep = (((1.0 - rho_d) * n as f64).floor() as usize).max(1);
+    if keep >= n {
+        return traj.clone();
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let mut kept: Vec<usize> = indices.into_iter().take(keep).collect();
+    kept.sort_unstable();
+    kept.into_iter().map(|i| traj.point(i)).collect()
+}
+
+/// Trajectory truncating: keeps a contiguous window of `⌊ρ_b·|T|⌋` points
+/// starting at a random offset (Eq. 6).
+pub fn truncate(traj: &Trajectory, rho_b: f64, rng: &mut impl Rng) -> Trajectory {
+    assert!((0.0..=1.0).contains(&rho_b) && rho_b > 0.0, "rho_b must be in (0,1]");
+    let n = traj.len();
+    let keep = ((rho_b * n as f64).floor() as usize).clamp(1, n);
+    let max_start = n - keep;
+    let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+    traj.points()[start..start + keep].iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn zigzag(n: usize) -> Trajectory {
+        (0..n)
+            .map(|i| Point::new(i as f64 * 50.0, if i % 2 == 0 { 0.0 } else { 120.0 }))
+            .collect()
+    }
+
+    #[test]
+    fn shift_bounded_by_rho_m() {
+        let t = zigzag(40);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = point_shift(&t, 100.0, 0.5, &mut rng);
+        assert_eq!(s.len(), t.len());
+        let mut moved = false;
+        for (a, b) in t.points().iter().zip(s.points()) {
+            assert!((a.x - b.x).abs() <= 100.0 + 1e-9);
+            assert!((a.y - b.y).abs() <= 100.0 + 1e-9);
+            moved |= a != b;
+        }
+        assert!(moved, "shift must actually move points");
+    }
+
+    #[test]
+    fn mask_keeps_exact_count_and_order() {
+        let t = zigzag(30);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = point_mask(&t, 0.3, &mut rng);
+        assert_eq!(m.len(), 21); // floor(0.7 * 30)
+        // Survivors appear in the original order (subsequence check).
+        let mut cursor = 0;
+        for p in m.points() {
+            let pos = t.points()[cursor..].iter().position(|q| q == p);
+            assert!(pos.is_some(), "masked output must be a subsequence");
+            cursor += pos.unwrap() + 1;
+        }
+    }
+
+    #[test]
+    fn mask_never_empties() {
+        let t = zigzag(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = point_mask(&t, 0.9, &mut rng);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn truncate_window_is_contiguous() {
+        let t = zigzag(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let w = truncate(&t, 0.7, &mut rng);
+            assert_eq!(w.len(), 14);
+            let start = t.points().iter().position(|p| *p == w.point(0)).unwrap();
+            for (i, p) in w.points().iter().enumerate() {
+                assert_eq!(*p, t.point(start + i), "window must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_keeps_endpoints() {
+        let t = zigzag(25);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = Augmentation::Simplify.apply(&t, &AugmentParams::default(), &mut rng);
+        assert_eq!(s.point(0), t.point(0));
+        assert_eq!(s.point(s.len() - 1), t.point(t.len() - 1));
+        assert!(s.len() <= t.len());
+    }
+
+    #[test]
+    fn raw_is_identity() {
+        let t = zigzag(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Augmentation::Raw.apply(&t, &AugmentParams::default(), &mut rng), t);
+    }
+
+    #[test]
+    fn all_augmentations_produce_nonempty_views() {
+        let t = zigzag(25);
+        let params = AugmentParams::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        for aug in Augmentation::all() {
+            let v = aug.apply(&t, &params, &mut rng);
+            assert!(!v.is_empty(), "{} emptied the trajectory", aug.name());
+        }
+    }
+}

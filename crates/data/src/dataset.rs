@@ -1,0 +1,164 @@
+//! Dataset container: generation, preprocessing filter, splits and Table II
+//! statistics.
+
+use crate::city::City;
+use crate::profiles::DatasetProfile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use trajcl_geo::{Bbox, Trajectory};
+
+/// A generated dataset with its region metadata.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The profile this dataset was generated from.
+    pub profile: DatasetProfile,
+    /// All trajectories after preprocessing.
+    pub trajectories: Vec<Trajectory>,
+    /// The simulated region (used for grids and normalisation).
+    pub region: Bbox,
+}
+
+/// Summary statistics in the shape of the paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of trajectories.
+    pub count: usize,
+    /// Average points per trajectory.
+    pub avg_points: f64,
+    /// Maximum points per trajectory.
+    pub max_points: usize,
+    /// Average trajectory length (km).
+    pub avg_length_km: f64,
+    /// Maximum trajectory length (km).
+    pub max_length_km: f64,
+}
+
+/// Train/validation/test/downstream split (paper §V-A partitioning).
+#[derive(Debug, Clone)]
+pub struct Splits {
+    /// Contrastive pre-training set.
+    pub train: Vec<Trajectory>,
+    /// Validation set (10% of the training size).
+    pub validation: Vec<Trajectory>,
+    /// Query/database test pool.
+    pub test: Vec<Trajectory>,
+    /// Downstream fine-tuning pool (split 7:1:2 by the fine-tuner).
+    pub downstream: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Generates a dataset of `count` trajectories from a profile
+    /// (deterministic per profile seed + `salt`).
+    pub fn generate(profile: DatasetProfile, count: usize, salt: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(profile.seed() ^ salt);
+        let city = City::new(profile.city_config(), &mut rng);
+        let cfg = city.config();
+        // Preprocessing filter (paper: keep 20..=200-point trajectories
+        // inside the region). The simulator respects both by construction,
+        // but the filter is applied anyway to mirror the pipeline.
+        let min_p = cfg.min_points;
+        let max_p = cfg.max_points;
+        let trajectories: Vec<Trajectory> = city
+            .generate(count, &mut rng)
+            .into_iter()
+            .filter(|t| t.len() >= min_p && t.len() <= max_p)
+            .collect();
+        Dataset { profile, trajectories, region: city.region() }
+    }
+
+    /// Table II-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let count = self.trajectories.len();
+        let total_points: usize = self.trajectories.iter().map(|t| t.len()).sum();
+        let max_points = self.trajectories.iter().map(|t| t.len()).max().unwrap_or(0);
+        let lengths: Vec<f64> = self.trajectories.iter().map(|t| t.length() / 1000.0).collect();
+        DatasetStats {
+            count,
+            avg_points: total_points as f64 / count.max(1) as f64,
+            max_points,
+            avg_length_km: lengths.iter().sum::<f64>() / count.max(1) as f64,
+            max_length_km: lengths.iter().fold(0.0, |a, &b| a.max(b)),
+        }
+    }
+
+    /// Random disjoint splits following the paper's partitioning scheme,
+    /// scaled: `train_size` for training, 10% of it for validation, and the
+    /// remainder divided between the test pool and the downstream pool
+    /// (4:1).
+    pub fn split(&self, train_size: usize, rng: &mut impl Rng) -> Splits {
+        let mut indices: Vec<usize> = (0..self.trajectories.len()).collect();
+        indices.shuffle(rng);
+        let val_size = (train_size / 10).max(1);
+        let remaining = indices.len().saturating_sub(train_size + val_size);
+        let test_size = remaining * 4 / 5;
+        assert!(
+            indices.len() >= train_size + val_size,
+            "dataset too small for requested split"
+        );
+        let take = |range: std::ops::Range<usize>| -> Vec<Trajectory> {
+            indices[range].iter().map(|&i| self.trajectories[i].clone()).collect()
+        };
+        let t0 = train_size;
+        let t1 = t0 + val_size;
+        let t2 = t1 + test_size;
+        Splits {
+            train: take(0..t0),
+            validation: take(t0..t1),
+            test: take(t1..t2),
+            downstream: take(t2..indices.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetProfile::porto(), 20, 1);
+        let b = Dataset::generate(DatasetProfile::porto(), 20, 1);
+        assert_eq!(a.trajectories, b.trajectories);
+        let c = Dataset::generate(DatasetProfile::porto(), 20, 2);
+        assert_ne!(a.trajectories, c.trajectories);
+    }
+
+    #[test]
+    fn stats_match_profile_targets() {
+        let d = Dataset::generate(DatasetProfile::porto(), 300, 0);
+        let s = d.stats();
+        assert_eq!(s.count, 300);
+        // Paper Table II: Porto avg 48 points, avg 6.37 km.
+        assert!((s.avg_points - 48.0).abs() < 12.0, "avg points {}", s.avg_points);
+        assert!(s.avg_length_km > 2.0 && s.avg_length_km < 13.0, "len {}", s.avg_length_km);
+        assert!(s.max_points <= 200);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_sized() {
+        let d = Dataset::generate(DatasetProfile::chengdu(), 200, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = d.split(100, &mut rng);
+        assert_eq!(s.train.len(), 100);
+        assert_eq!(s.validation.len(), 10);
+        assert_eq!(s.test.len() + s.downstream.len(), 90);
+        let total = s.train.len() + s.validation.len() + s.test.len() + s.downstream.len();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn chengdu_has_more_points_than_porto() {
+        let porto = Dataset::generate(DatasetProfile::porto(), 150, 0).stats();
+        let chengdu = Dataset::generate(DatasetProfile::chengdu(), 150, 0).stats();
+        assert!(chengdu.avg_points > porto.avg_points + 20.0);
+        assert!(chengdu.avg_length_km < porto.avg_length_km);
+    }
+
+    #[test]
+    fn germany_is_much_longer() {
+        let g = Dataset::generate(DatasetProfile::germany(), 100, 0).stats();
+        let p = Dataset::generate(DatasetProfile::porto(), 100, 0).stats();
+        assert!(g.avg_length_km > 20.0 * p.avg_length_km);
+    }
+}

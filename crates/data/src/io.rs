@@ -1,0 +1,159 @@
+//! Plain-text trajectory I/O.
+//!
+//! Format: one trajectory per line, points as `x,y` pairs separated by
+//! spaces (meters in the local plane). Lines starting with `#` are
+//! comments. This is the interchange format of the `trajcl` CLI and is
+//! trivially produced from any GPS dataset after projection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use trajcl_geo::{Point, Trajectory};
+
+/// Errors from parsing trajectory text.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed coordinate pair with line and token context.
+    BadPoint {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Underlying I/O failure (message only, for test-friendly equality).
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadPoint { line, token } => {
+                write!(f, "line {line}: malformed point {token:?} (expected x,y)")
+            }
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses trajectories from a reader; empty/comment lines are skipped.
+pub fn read_trajectories(reader: impl Read) -> Result<Vec<Trajectory>, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (i, line) in buf.lines().enumerate() {
+        let line = line.map_err(|e| ParseError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut points = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let (x, y) = token
+                .split_once(',')
+                .ok_or_else(|| ParseError::BadPoint { line: i + 1, token: token.into() })?;
+            let x: f64 = x.parse().map_err(|_| ParseError::BadPoint {
+                line: i + 1,
+                token: token.into(),
+            })?;
+            let y: f64 = y.parse().map_err(|_| ParseError::BadPoint {
+                line: i + 1,
+                token: token.into(),
+            })?;
+            points.push(Point::new(x, y));
+        }
+        if !points.is_empty() {
+            out.push(Trajectory::new(points));
+        }
+    }
+    Ok(out)
+}
+
+/// Writes trajectories in the line format (1 cm precision).
+pub fn write_trajectories(
+    writer: &mut impl Write,
+    trajs: &[Trajectory],
+) -> std::io::Result<()> {
+    for t in trajs {
+        let mut first = true;
+        for p in t.points() {
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{:.2},{:.2}", p.x, p.y)?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Convenience: read a trajectory file from disk.
+pub fn load_trajectory_file(path: &std::path::Path) -> Result<Vec<Trajectory>, ParseError> {
+    let file = std::fs::File::open(path).map_err(|e| ParseError::Io(e.to_string()))?;
+    read_trajectories(file)
+}
+
+/// Convenience: write a trajectory file to disk.
+pub fn save_trajectory_file(
+    path: &std::path::Path,
+    trajs: &[Trajectory],
+) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_trajectories(&mut file, trajs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let trajs = vec![
+            Trajectory::from_xy(&[(0.0, 0.0), (10.5, -3.25)]),
+            Trajectory::from_xy(&[(100.0, 200.0), (101.0, 201.0), (102.0, 199.0)]),
+        ];
+        let mut buf = Vec::new();
+        write_trajectories(&mut buf, &trajs).unwrap();
+        let parsed = read_trajectories(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].len(), 2);
+        assert_eq!(parsed[1].len(), 3);
+        assert!((parsed[0].point(1).x - 10.5).abs() < 0.01);
+        assert!((parsed[0].point(1).y + 3.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n1,2 3,4\n  \n# trailing\n5,6\n";
+        let parsed = read_trajectories(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].len(), 2);
+        assert_eq!(parsed[1].len(), 1);
+    }
+
+    #[test]
+    fn reports_bad_tokens_with_line_numbers() {
+        let text = "1,2 3,4\nnot-a-point\n";
+        let err = read_trajectories(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::BadPoint { line: 2, token: "not-a-point".into() }
+        );
+        let text = "1,2 3,abc\n";
+        assert!(matches!(
+            read_trajectories(text.as_bytes()).unwrap_err(),
+            ParseError::BadPoint { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("trajcl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.traj");
+        let trajs = vec![Trajectory::from_xy(&[(1.0, 2.0), (3.0, 4.0)])];
+        save_trajectory_file(&path, &trajs).unwrap();
+        let parsed = load_trajectory_file(&path).unwrap();
+        assert_eq!(parsed.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

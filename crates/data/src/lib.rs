@@ -1,0 +1,46 @@
+//! # trajcl-data
+//!
+//! Dataset substrate for the TrajCL reproduction:
+//!
+//! * [`city`] — a synthetic city trajectory simulator substituting the
+//!   paper's four external GPS datasets (see DESIGN.md §4 for the
+//!   substitution argument);
+//! * [`profiles`] — per-dataset parameterisations matching Table II's
+//!   statistics (Porto / Chengdu / Xi'an / Germany);
+//! * [`dataset`] — generation, preprocessing filter, splits, statistics;
+//! * [`augment`] — TrajCL's four augmentation methods (§IV-A);
+//! * [`transforms`] — test-time down-sampling and distortion (Tables IV/V);
+//! * [`protocol`] — the §V-B odd/even query protocol, mean rank, HR@k and
+//!   Rk@m metrics.
+//!
+//! ```
+//! use trajcl_data::{Augmentation, AugmentParams, Dataset, DatasetProfile};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let dataset = Dataset::generate(DatasetProfile::porto(), 10, 0);
+//! assert_eq!(dataset.trajectories.len(), 10);
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let view = Augmentation::PointMask.apply(
+//!     &dataset.trajectories[0],
+//!     &AugmentParams::default(),
+//!     &mut rng,
+//! );
+//! assert!(view.len() < dataset.trajectories[0].len());
+//! ```
+
+pub mod augment;
+pub mod city;
+pub mod dataset;
+pub mod io;
+pub mod profiles;
+pub mod protocol;
+pub mod transforms;
+
+pub use augment::{point_mask, point_shift, truncate, Augmentation, AugmentParams};
+pub use city::{City, CityConfig};
+pub use dataset::{Dataset, DatasetStats, Splits};
+pub use io::{load_trajectory_file, read_trajectories, save_trajectory_file, write_trajectories};
+pub use profiles::DatasetProfile;
+pub use protocol::{hit_ratio, mean_rank, recall_k_at_m, top_k, QueryProtocol};
+pub use transforms::{distort, downsample, map_all};

@@ -1,0 +1,119 @@
+//! Test-time trajectory degradations used by the robustness experiments
+//! (Tables IV and V): down-sampling and point distortion.
+
+use crate::augment::point_shift;
+use rand::Rng;
+use trajcl_geo::Trajectory;
+
+/// Down-sampling (Table IV): drops each point independently with
+/// probability `rho_s`, always keeping at least one point.
+pub fn downsample(traj: &Trajectory, rho_s: f64, rng: &mut impl Rng) -> Trajectory {
+    assert!((0.0..1.0).contains(&rho_s), "rho_s must be in [0,1)");
+    let kept: Vec<_> = traj
+        .points()
+        .iter()
+        .filter(|_| rng.gen::<f64>() >= rho_s)
+        .copied()
+        .collect();
+    if kept.is_empty() {
+        Trajectory::new(vec![traj.point(rng.gen_range(0..traj.len()))])
+    } else {
+        Trajectory::new(kept)
+    }
+}
+
+/// Distortion (Table V): shifts a `rho_d` proportion of points following
+/// Eq. 4's bounded-Gaussian offset with max offset `rho_m`.
+pub fn distort(
+    traj: &Trajectory,
+    rho_d: f64,
+    rho_m: f64,
+    sigma: f64,
+    rng: &mut impl Rng,
+) -> Trajectory {
+    assert!((0.0..=1.0).contains(&rho_d), "rho_d must be in [0,1]");
+    let shifted = point_shift(traj, rho_m, sigma, rng);
+    let pts = traj
+        .points()
+        .iter()
+        .zip(shifted.points())
+        .map(|(orig, moved)| if rng.gen::<f64>() < rho_d { *moved } else { *orig })
+        .collect();
+    Trajectory::new(pts)
+}
+
+/// Applies `f` to every trajectory (convenience for degrading whole query
+/// sets / databases).
+pub fn map_all(
+    trajs: &[Trajectory],
+    mut f: impl FnMut(&Trajectory) -> Trajectory,
+) -> Vec<Trajectory> {
+    trajs.iter().map(&mut f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_geo::Point;
+
+    fn line(n: usize) -> Trajectory {
+        (0..n).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn downsample_rate_statistics() {
+        let t = line(1000);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = downsample(&t, 0.3, &mut rng);
+        let kept_frac = d.len() as f64 / t.len() as f64;
+        assert!((kept_frac - 0.7).abs() < 0.05, "kept {kept_frac}");
+    }
+
+    #[test]
+    fn downsample_zero_is_identity() {
+        let t = line(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(downsample(&t, 0.0, &mut rng), t);
+    }
+
+    #[test]
+    fn downsample_never_empties() {
+        let t = line(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!downsample(&t, 0.9, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn distort_moves_expected_fraction() {
+        let t = line(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = distort(&t, 0.2, 100.0, 0.5, &mut rng);
+        assert_eq!(d.len(), t.len());
+        let moved = t
+            .points()
+            .iter()
+            .zip(d.points())
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = moved as f64 / t.len() as f64;
+        assert!((frac - 0.2).abs() < 0.05, "moved fraction {frac}");
+        // Offsets bounded by rho_m per coordinate.
+        for (a, b) in t.points().iter().zip(d.points()) {
+            assert!((a.x - b.x).abs() <= 100.0 + 1e-9);
+            assert!((a.y - b.y).abs() <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn distort_full_changes_everything_distort_zero_nothing() {
+        let t = line(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(distort(&t, 0.0, 100.0, 0.5, &mut rng), t);
+        let all = distort(&t, 1.0, 100.0, 0.5, &mut rng);
+        let moved = t.points().iter().zip(all.points()).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, 100);
+    }
+}

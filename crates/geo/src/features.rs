@@ -1,0 +1,140 @@
+//! Pointwise spatial features (TrajCL Eq. 8).
+//!
+//! For each point `p_i` the spatial feature embedding is the four-tuple
+//! `(x_i, y_i, r_i, l_i)` where `r_i` is the radian between the segments
+//! around `p_i` and `l_i` is the mean length of those segments. Endpoints,
+//! which lack one neighbour, take `r = 0` and the single adjacent segment
+//! length.
+
+use crate::trajectory::{Bbox, Trajectory};
+
+/// Dimensionality of the spatial feature tuple (`d_s = 4` in the paper).
+pub const SPATIAL_DIM: usize = 4;
+
+/// One point's spatial features.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpatialFeature {
+    /// Easting.
+    pub x: f64,
+    /// Northing.
+    pub y: f64,
+    /// Radian `∠ p_{i-1} p_i p_{i+1}` (0 at the endpoints).
+    pub radian: f64,
+    /// Mean adjacent-segment length.
+    pub mean_len: f64,
+}
+
+/// Computes the spatial features of every point.
+pub fn spatial_features(traj: &Trajectory) -> Vec<SpatialFeature> {
+    let pts = traj.points();
+    let n = pts.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = pts[i];
+        let before = (i > 0).then(|| pts[i - 1].dist(&p));
+        let after = (i + 1 < n).then(|| p.dist(&pts[i + 1]));
+        let radian = if i > 0 && i + 1 < n {
+            p.angle_at(&pts[i - 1], &pts[i + 1])
+        } else {
+            0.0
+        };
+        let mean_len = match (before, after) {
+            (Some(a), Some(b)) => 0.5 * (a + b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => 0.0,
+        };
+        out.push(SpatialFeature { x: p.x, y: p.y, radian, mean_len });
+    }
+    out
+}
+
+/// Normalisation constants mapping raw spatial features into a compact
+/// range before they reach the encoder: coordinates become offsets from the
+/// region center in units of the half-extent; lengths are scaled by the
+/// cell side.
+#[derive(Clone, Copy, Debug)]
+pub struct SpatialNorm {
+    cx: f64,
+    cy: f64,
+    inv_half_w: f64,
+    inv_half_h: f64,
+    inv_len_scale: f64,
+}
+
+impl SpatialNorm {
+    /// Builds normalisation constants for a region and length scale
+    /// (typically the grid cell side).
+    pub fn new(region: Bbox, len_scale: f64) -> Self {
+        let half_w = (region.width() / 2.0).max(1e-9);
+        let half_h = (region.height() / 2.0).max(1e-9);
+        SpatialNorm {
+            cx: (region.min.x + region.max.x) / 2.0,
+            cy: (region.min.y + region.max.y) / 2.0,
+            inv_half_w: 1.0 / half_w,
+            inv_half_h: 1.0 / half_h,
+            inv_len_scale: 1.0 / len_scale.max(1e-9),
+        }
+    }
+
+    /// Normalises one feature tuple to f32 model inputs.
+    pub fn apply(&self, f: &SpatialFeature) -> [f32; SPATIAL_DIM] {
+        [
+            ((f.x - self.cx) * self.inv_half_w) as f32,
+            ((f.y - self.cy) * self.inv_half_h) as f32,
+            (f.radian / std::f64::consts::PI) as f32,
+            (f.mean_len * self.inv_len_scale) as f32,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn interior_point_angle_and_length() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (3.0, 0.0), (3.0, 4.0)]);
+        let f = spatial_features(&t);
+        assert_eq!(f.len(), 3);
+        // Middle point: right angle, segments 3 and 4 -> mean 3.5.
+        assert!((f[1].radian - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((f[1].mean_len - 3.5).abs() < 1e-12);
+        // Endpoints: zero radian, adjacent segment length.
+        assert_eq!(f[0].radian, 0.0);
+        assert!((f[0].mean_len - 3.0).abs() < 1e-12);
+        assert!((f[2].mean_len - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_features() {
+        let t = Trajectory::from_xy(&[(7.0, 8.0)]);
+        let f = spatial_features(&t);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].mean_len, 0.0);
+        assert_eq!(f[0].radian, 0.0);
+        assert_eq!((f[0].x, f[0].y), (7.0, 8.0));
+    }
+
+    #[test]
+    fn normalisation_centers_and_scales() {
+        let region = Bbox::new(Point::new(0.0, 0.0), Point::new(100.0, 200.0));
+        let norm = SpatialNorm::new(region, 10.0);
+        let f = SpatialFeature { x: 100.0, y: 0.0, radian: std::f64::consts::PI, mean_len: 5.0 };
+        let v = norm.apply(&f);
+        assert!((v[0] - 1.0).abs() < 1e-6);
+        assert!((v[1] + 1.0).abs() < 1e-6);
+        assert!((v[2] - 1.0).abs() < 1e-6);
+        assert!((v[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn straight_line_radians_are_pi() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let f = spatial_features(&t);
+        for feat in &f[1..3] {
+            assert!((feat.radian - std::f64::consts::PI).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Regular grid partitioning of the data space (TrajCL §IV-B).
+//!
+//! Trajectory points are mapped to the grid cell enclosing them; cell ids
+//! are the "tokens" whose node2vec embeddings become the structural
+//! features.
+
+use crate::point::Point;
+use crate::trajectory::{Bbox, Trajectory};
+
+/// Identifier of one grid cell (`row * cols + col`).
+pub type CellId = u32;
+
+/// A regular grid over a bounding region.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    origin: Point,
+    cell_side: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl Grid {
+    /// Covers `bbox` with square cells of side `cell_side` meters
+    /// (the paper's default is 100 m).
+    ///
+    /// # Panics
+    /// Panics if `cell_side <= 0` or the box is degenerate.
+    pub fn new(bbox: Bbox, cell_side: f64) -> Self {
+        assert!(cell_side > 0.0, "cell side must be positive");
+        let w = bbox.width();
+        let h = bbox.height();
+        assert!(w.is_finite() && h.is_finite(), "grid over an unbounded box");
+        let cols = (w / cell_side).ceil().max(1.0) as usize;
+        let rows = (h / cell_side).ceil().max(1.0) as usize;
+        Grid { origin: bbox.min, cell_side, cols, rows }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of cells (the node2vec vocabulary size).
+    pub fn num_cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Cell side length in meters.
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// The cell enclosing `p`, clamped to the grid bounds so out-of-region
+    /// points map to border cells.
+    pub fn cell_of(&self, p: &Point) -> CellId {
+        let col = ((p.x - self.origin.x) / self.cell_side)
+            .floor()
+            .clamp(0.0, (self.cols - 1) as f64) as usize;
+        let row = ((p.y - self.origin.y) / self.cell_side)
+            .floor()
+            .clamp(0.0, (self.rows - 1) as f64) as usize;
+        (row * self.cols + col) as CellId
+    }
+
+    /// `(col, row)` of a cell id.
+    pub fn col_row(&self, cell: CellId) -> (usize, usize) {
+        let c = cell as usize;
+        (c % self.cols, c / self.cols)
+    }
+
+    /// Center point of a cell.
+    pub fn center(&self, cell: CellId) -> Point {
+        let (col, row) = self.col_row(cell);
+        Point::new(
+            self.origin.x + (col as f64 + 0.5) * self.cell_side,
+            self.origin.y + (row as f64 + 0.5) * self.cell_side,
+        )
+    }
+
+    /// The up-to-eight neighbouring cells (the grid-graph edges of §IV-B).
+    pub fn neighbors8(&self, cell: CellId) -> Vec<CellId> {
+        let (col, row) = self.col_row(cell);
+        let mut out = Vec::with_capacity(8);
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let nr = row as i64 + dr;
+                let nc = col as i64 + dc;
+                if nr >= 0 && nr < self.rows as i64 && nc >= 0 && nc < self.cols as i64 {
+                    out.push((nr as usize * self.cols + nc as usize) as CellId);
+                }
+            }
+        }
+        out
+    }
+
+    /// Maps every trajectory point to its cell id.
+    pub fn cells_of(&self, traj: &Trajectory) -> Vec<CellId> {
+        traj.points().iter().map(|p| self.cell_of(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_4x3() -> Grid {
+        Grid::new(Bbox::new(Point::new(0.0, 0.0), Point::new(400.0, 300.0)), 100.0)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid_4x3();
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.num_cells(), 12);
+    }
+
+    #[test]
+    fn cell_lookup_and_round_trip() {
+        let g = grid_4x3();
+        let c = g.cell_of(&Point::new(150.0, 250.0));
+        assert_eq!(g.col_row(c), (1, 2));
+        let center = g.center(c);
+        assert_eq!(center, Point::new(150.0, 250.0));
+        assert_eq!(g.cell_of(&center), c);
+    }
+
+    #[test]
+    fn out_of_bounds_clamps_to_border() {
+        let g = grid_4x3();
+        assert_eq!(g.col_row(g.cell_of(&Point::new(-50.0, -50.0))), (0, 0));
+        assert_eq!(g.col_row(g.cell_of(&Point::new(1e9, 1e9))), (3, 2));
+    }
+
+    #[test]
+    fn neighbors_interior_and_corner() {
+        let g = grid_4x3();
+        let interior = g.cell_of(&Point::new(150.0, 150.0)); // (1,1)
+        assert_eq!(g.neighbors8(interior).len(), 8);
+        let corner = g.cell_of(&Point::new(10.0, 10.0)); // (0,0)
+        let n = g.neighbors8(corner);
+        assert_eq!(n.len(), 3);
+        assert!(!n.contains(&corner));
+    }
+
+    #[test]
+    fn trajectory_cell_sequence_depicts_shape() {
+        let g = grid_4x3();
+        let t = Trajectory::from_xy(&[(50.0, 50.0), (150.0, 50.0), (250.0, 150.0)]);
+        let cells = g.cells_of(&t);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(g.col_row(cells[0]), (0, 0));
+        assert_eq!(g.col_row(cells[1]), (1, 0));
+        assert_eq!(g.col_row(cells[2]), (2, 1));
+    }
+
+    #[test]
+    fn degenerate_region_still_has_one_cell() {
+        let g = Grid::new(Bbox::new(Point::new(5.0, 5.0), Point::new(5.0, 5.0)), 100.0);
+        assert_eq!(g.num_cells(), 1);
+        assert_eq!(g.cell_of(&Point::new(5.0, 5.0)), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # trajcl-geo
+//!
+//! Trajectory geometry substrate for the TrajCL reproduction: planar points
+//! and segments, trajectories with bounding boxes, the regular-grid space
+//! partitioning whose cells become structural tokens (§IV-B), Douglas–Peucker
+//! simplification (used by the simplification augmentation, §IV-A), and the
+//! pointwise spatial feature four-tuple `(x, y, radian, mean segment length)`
+//! of Eq. 8.
+//!
+//! Coordinates are f64 meters in a local projected plane; model-facing
+//! features are converted to f32 at the normalisation boundary.
+//!
+//! ```
+//! use trajcl_geo::{douglas_peucker, Grid, Trajectory};
+//!
+//! let t = Trajectory::from_xy(&[(0.0, 0.0), (50.0, 1.0), (100.0, 0.0)]);
+//! assert_eq!(douglas_peucker(&t, 10.0).len(), 2); // near-straight collapses
+//!
+//! let grid = Grid::new(t.bbox(), 25.0);
+//! assert_eq!(grid.cells_of(&t).len(), 3);
+//! ```
+
+pub mod features;
+pub mod grid;
+pub mod point;
+pub mod simplify;
+pub mod svg;
+pub mod trajectory;
+
+pub use features::{spatial_features, SpatialFeature, SpatialNorm, SPATIAL_DIM};
+pub use grid::{CellId, Grid};
+pub use point::Point;
+pub use simplify::{douglas_peucker, max_deviation};
+pub use svg::{render_knn_figure, render_svg, SvgLayer};
+pub use trajectory::{Bbox, Trajectory};

@@ -1,0 +1,121 @@
+//! Planar points and segment geometry.
+//!
+//! All coordinates are in meters in a local projected plane (the datasets in
+//! the paper are city-scale, where an equirectangular projection is
+//! accurate to well under GPS noise).
+
+/// A 2-D point in meters.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Easting (meters).
+    pub x: f64,
+    /// Northing (meters).
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.sq_dist(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in hot loops).
+    pub fn sq_dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+
+    /// Distance from this point to the segment `a..b`.
+    pub fn dist_to_segment(&self, a: &Point, b: &Point) -> f64 {
+        let len2 = a.sq_dist(b);
+        if len2 == 0.0 {
+            return self.dist(a);
+        }
+        let t = (((self.x - a.x) * (b.x - a.x) + (self.y - a.y) * (b.y - a.y)) / len2)
+            .clamp(0.0, 1.0);
+        self.dist(&a.lerp(b, t))
+    }
+
+    /// Interior angle at `self` between rays `self -> prev` and
+    /// `self -> next`, in radians within `[0, π]`.
+    ///
+    /// Returns `0` when either neighbour coincides with this point.
+    pub fn angle_at(&self, prev: &Point, next: &Point) -> f64 {
+        let (ux, uy) = (prev.x - self.x, prev.y - self.y);
+        let (vx, vy) = (next.x - self.x, next.y - self.y);
+        let nu = (ux * ux + uy * uy).sqrt();
+        let nv = (vx * vx + vy * vy).sqrt();
+        if nu == 0.0 || nv == 0.0 {
+            return 0.0;
+        }
+        let cos = ((ux * vx + uy * vy) / (nu * nv)).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_345() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.sq_dist(&b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn dist_to_segment_projects_and_clamps() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // Perpendicular projection inside the segment.
+        assert_eq!(Point::new(5.0, 3.0).dist_to_segment(&a, &b), 3.0);
+        // Beyond the end: distance to the endpoint.
+        assert_eq!(Point::new(13.0, 4.0).dist_to_segment(&a, &b), 5.0);
+        // Degenerate segment.
+        assert_eq!(Point::new(3.0, 4.0).dist_to_segment(&a, &a), 5.0);
+    }
+
+    #[test]
+    fn angle_straight_line_is_pi() {
+        let p = Point::new(0.0, 0.0);
+        let prev = Point::new(-1.0, 0.0);
+        let next = Point::new(1.0, 0.0);
+        assert!((p.angle_at(&prev, &next) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_right_turn_is_half_pi() {
+        let p = Point::new(0.0, 0.0);
+        let prev = Point::new(-1.0, 0.0);
+        let next = Point::new(0.0, 1.0);
+        assert!((p.angle_at(&prev, &next) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_degenerate_is_zero() {
+        let p = Point::new(1.0, 1.0);
+        assert_eq!(p.angle_at(&p, &Point::new(2.0, 2.0)), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Douglas–Peucker line simplification (used both by the *trajectory
+//! simplification* augmentation of TrajCL §IV-A and by downstream tooling).
+
+use crate::point::Point;
+use crate::trajectory::Trajectory;
+
+/// Simplifies `traj`, keeping only breaking points farther than `epsilon`
+/// meters from the current approximation (plus both end points).
+///
+/// Trajectories with fewer than three points are returned unchanged.
+pub fn douglas_peucker(traj: &Trajectory, epsilon: f64) -> Trajectory {
+    let pts = traj.points();
+    if pts.len() < 3 {
+        return traj.clone();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    // Iterative worklist instead of recursion: trajectories can be long and
+    // adversarial inputs would otherwise blow the stack.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (a, b) = (&pts[lo], &pts[hi]);
+        let mut best = 0.0;
+        let mut best_i = lo;
+        for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = p.dist_to_segment(a, b);
+            if d > best {
+                best = d;
+                best_i = i;
+            }
+        }
+        if best > epsilon {
+            keep[best_i] = true;
+            stack.push((lo, best_i));
+            stack.push((best_i, hi));
+        }
+    }
+    Trajectory::new(
+        pts.iter()
+            .zip(&keep)
+            .filter_map(|(p, &k)| k.then_some(*p))
+            .collect(),
+    )
+}
+
+/// Maximum deviation (in meters) of `original` from the polyline
+/// `simplified` — the quantity Douglas–Peucker bounds by `epsilon`.
+pub fn max_deviation(original: &Trajectory, simplified: &Trajectory) -> f64 {
+    let segs: Vec<(Point, Point)> = simplified.segments().collect();
+    if segs.is_empty() {
+        return original
+            .points()
+            .iter()
+            .map(|p| p.dist(&simplified.point(0)))
+            .fold(0.0, f64::max);
+    }
+    original
+        .points()
+        .iter()
+        .map(|p| {
+            segs.iter()
+                .map(|(a, b)| p.dist_to_segment(a, b))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let s = douglas_peucker(&t, 0.1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(0), t.point(0));
+        assert_eq!(s.point(1), t.point(3));
+    }
+
+    #[test]
+    fn sharp_turn_is_kept() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]);
+        let s = douglas_peucker(&t, 1.0);
+        assert_eq!(s.len(), 3, "the apex must survive");
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_every_non_collinear_point() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.5), (2.0, -0.5), (3.0, 0.0)]);
+        let s = douglas_peucker(&t, 0.0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn short_trajectories_unchanged() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (9.0, 9.0)]);
+        assert_eq!(douglas_peucker(&t, 100.0), t);
+        let single = Trajectory::from_xy(&[(1.0, 1.0)]);
+        assert_eq!(douglas_peucker(&single, 100.0), single);
+    }
+
+    #[test]
+    fn deviation_bounded_by_epsilon() {
+        // A noisy sine-like path.
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, 40.0 * (x / 80.0).sin() + ((i * 7919) % 13) as f64)
+            })
+            .collect();
+        let t = Trajectory::from_xy(&pts);
+        for eps in [5.0, 20.0, 100.0] {
+            let s = douglas_peucker(&t, eps);
+            let dev = max_deviation(&t, &s);
+            assert!(dev <= eps + 1e-9, "deviation {dev} exceeds epsilon {eps}");
+        }
+    }
+
+    #[test]
+    fn output_points_are_subset_in_order() {
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| (i as f64, ((i * 31) % 7) as f64))
+            .collect();
+        let t = Trajectory::from_xy(&pts);
+        let s = douglas_peucker(&t, 2.0);
+        let mut cursor = 0;
+        for p in s.points() {
+            let found = t.points()[cursor..].iter().position(|q| q == p);
+            assert!(found.is_some(), "simplified point not from input (or out of order)");
+            cursor += found.unwrap() + 1;
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Skip-gram with negative sampling (SGNS) over random walks — the training
+//! objective of node2vec \[46\].
+//!
+//! Trains directly on flat f32 tables (outside the autograd tape): SGNS
+//! gradients are two-vector rank-1 updates, so hand-rolled SGD is both
+//! simpler and orders of magnitude faster than taping every pair.
+
+use rand::Rng;
+use trajcl_geo::CellId;
+use trajcl_tensor::{Shape, Tensor};
+
+/// SGNS training configuration.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality (`d_t` for TrajCL's structural features).
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10%).
+    pub lr: f32,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig { dim: 32, window: 5, negatives: 5, epochs: 3, lr: 0.025 }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Trains cell embeddings on the walk corpus; returns a `(vocab, dim)`
+/// table whose rows are the input ("center") vectors, as node2vec uses.
+pub fn train_sgns(
+    walks: &[Vec<CellId>],
+    vocab: usize,
+    cfg: &SgnsConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let d = cfg.dim;
+    let bound = 0.5 / d as f32;
+    let mut center: Vec<f32> = (0..vocab * d).map(|_| rng.gen_range(-bound..bound)).collect();
+    let mut context: Vec<f32> = vec![0.0; vocab * d];
+
+    let total_steps = (cfg.epochs * walks.len()).max(1);
+    let mut step = 0usize;
+    let mut grad_c = vec![0.0f32; d];
+    for _epoch in 0..cfg.epochs {
+        for walk in walks {
+            let lr = cfg.lr * (1.0 - 0.9 * step as f32 / total_steps as f32);
+            step += 1;
+            for (i, &u) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(walk.len());
+                for (j, &v) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if i == j {
+                        continue;
+                    }
+                    // Positive pair (u, v), then `negatives` random draws.
+                    train_pair(&mut center, &mut context, u as usize, v as usize, 1.0, lr, d, &mut grad_c);
+                    for _ in 0..cfg.negatives {
+                        let neg = rng.gen_range(0..vocab);
+                        if neg == v as usize {
+                            continue;
+                        }
+                        train_pair(&mut center, &mut context, u as usize, neg, 0.0, lr, d, &mut grad_c);
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(center, Shape::d2(vocab, d))
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn train_pair(
+    center: &mut [f32],
+    context: &mut [f32],
+    u: usize,
+    v: usize,
+    label: f32,
+    lr: f32,
+    d: usize,
+    grad_c: &mut [f32],
+) {
+    let cu = u * d;
+    let cv = v * d;
+    let mut dot = 0.0f32;
+    for k in 0..d {
+        dot += center[cu + k] * context[cv + k];
+    }
+    let err = (label - sigmoid(dot)) * lr;
+    for k in 0..d {
+        grad_c[k] = err * context[cv + k];
+    }
+    for k in 0..d {
+        context[cv + k] += err * center[cu + k];
+    }
+    for k in 0..d {
+        center[cu + k] += grad_c[k];
+    }
+}
+
+/// Cosine similarity between two embedding rows.
+pub fn cosine(table: &Tensor, a: usize, b: usize) -> f32 {
+    let d = table.shape()[1];
+    let ra = &table.data()[a * d..(a + 1) * d];
+    let rb = &table.data()[b * d..(b + 1) * d];
+    let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+    let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn table_shape_and_finiteness() {
+        let walks = vec![vec![0u32, 1, 2, 1, 0], vec![2, 1, 0, 1, 2]];
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = train_sgns(&walks, 3, &SgnsConfig { dim: 8, ..Default::default() }, &mut rng);
+        assert_eq!(t.shape(), Shape::d2(3, 8));
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn co_occurring_tokens_become_similar() {
+        // Two disjoint "communities": {0,1,2} and {3,4,5}; walks never cross.
+        let mut walks = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let base = if rng.gen::<bool>() { 0u32 } else { 3u32 };
+            let w: Vec<u32> = (0..12).map(|_| base + rng.gen_range(0..3)).collect();
+            walks.push(w);
+        }
+        let cfg = SgnsConfig { dim: 16, epochs: 3, ..Default::default() };
+        let t = train_sgns(&walks, 6, &cfg, &mut rng);
+        let within = cosine(&t, 0, 1);
+        let across = cosine(&t, 0, 4);
+        assert!(
+            within > across + 0.2,
+            "same-community similarity {within} should beat cross {across}"
+        );
+    }
+}

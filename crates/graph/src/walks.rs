@@ -1,0 +1,171 @@
+//! Biased second-order random walks over the grid graph (node2vec \[46\]).
+//!
+//! The grid graph has one vertex per cell and edges to the eight
+//! surrounding cells (TrajCL §IV-B). Walks are biased by the node2vec
+//! return parameter `p` and in-out parameter `q`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trajcl_geo::{CellId, Grid};
+
+/// Configuration for walk generation.
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Walks started from every vertex.
+    pub walks_per_node: usize,
+    /// Return parameter `p` (likelihood of revisiting the previous node).
+    pub p: f64,
+    /// In-out parameter `q` (BFS- vs DFS-like exploration).
+    pub q: f64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { walk_length: 20, walks_per_node: 4, p: 1.0, q: 1.0 }
+    }
+}
+
+/// True if cells `a` and `b` are identical or 8-adjacent.
+fn adjacent(grid: &Grid, a: CellId, b: CellId) -> bool {
+    let (ca, ra) = grid.col_row(a);
+    let (cb, rb) = grid.col_row(b);
+    ca.abs_diff(cb) <= 1 && ra.abs_diff(rb) <= 1
+}
+
+/// Generates node2vec walks over the grid graph.
+///
+/// Returns `num_cells * walks_per_node` walks, each of length
+/// `walk_length`.
+pub fn grid_walks(grid: &Grid, cfg: &WalkConfig, rng: &mut impl Rng) -> Vec<Vec<CellId>> {
+    let n = grid.num_cells();
+    let mut walks = Vec::with_capacity(n * cfg.walks_per_node);
+    let mut starts: Vec<CellId> = (0..n as u32).collect();
+    for _ in 0..cfg.walks_per_node {
+        starts.shuffle(rng);
+        for &start in &starts {
+            walks.push(one_walk(grid, start, cfg, rng));
+        }
+    }
+    walks
+}
+
+fn one_walk(grid: &Grid, start: CellId, cfg: &WalkConfig, rng: &mut impl Rng) -> Vec<CellId> {
+    let mut walk = Vec::with_capacity(cfg.walk_length);
+    walk.push(start);
+    let mut prev: Option<CellId> = None;
+    let mut cur = start;
+    while walk.len() < cfg.walk_length {
+        let neighbors = grid.neighbors8(cur);
+        if neighbors.is_empty() {
+            break;
+        }
+        let next = match prev {
+            None => *neighbors.choose(rng).expect("nonempty"),
+            Some(pv) => {
+                // Second-order bias: weight 1/p to return, 1 to stay in the
+                // previous node's neighbourhood, 1/q to move outward.
+                let weights: Vec<f64> = neighbors
+                    .iter()
+                    .map(|&nb| {
+                        if nb == pv {
+                            1.0 / cfg.p
+                        } else if adjacent(grid, nb, pv) {
+                            1.0
+                        } else {
+                            1.0 / cfg.q
+                        }
+                    })
+                    .collect();
+                weighted_choice(&neighbors, &weights, rng)
+            }
+        };
+        prev = Some(cur);
+        cur = next;
+        walk.push(cur);
+    }
+    walk
+}
+
+fn weighted_choice(items: &[CellId], weights: &[f64], rng: &mut impl Rng) -> CellId {
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for (item, &w) in items.iter().zip(weights) {
+        pick -= w;
+        if pick <= 0.0 {
+            return *item;
+        }
+    }
+    *items.last().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_geo::{Bbox, Point};
+
+    fn grid() -> Grid {
+        Grid::new(Bbox::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0)), 100.0)
+    }
+
+    #[test]
+    fn walks_have_requested_shape() {
+        let g = grid();
+        let cfg = WalkConfig { walk_length: 10, walks_per_node: 2, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let walks = grid_walks(&g, &cfg, &mut rng);
+        assert_eq!(walks.len(), g.num_cells() * 2);
+        assert!(walks.iter().all(|w| w.len() == 10));
+    }
+
+    #[test]
+    fn walk_steps_are_adjacent() {
+        let g = grid();
+        let cfg = WalkConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for walk in grid_walks(&g, &cfg, &mut rng).iter().take(50) {
+            for w in walk.windows(2) {
+                assert!(adjacent(&g, w[0], w[1]), "non-adjacent step {:?}", w);
+                assert_ne!(w[0], w[1], "walk must move");
+            }
+        }
+    }
+
+    #[test]
+    fn every_cell_is_started_from() {
+        let g = grid();
+        let cfg = WalkConfig { walks_per_node: 1, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let walks = grid_walks(&g, &cfg, &mut rng);
+        let mut seen = vec![false; g.num_cells()];
+        for w in &walks {
+            seen[w[0] as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn low_p_increases_backtracking() {
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(3);
+        let count_backtracks = |p: f64, rng: &mut StdRng| -> usize {
+            let cfg = WalkConfig { p, q: 1.0, walk_length: 30, walks_per_node: 2 };
+            grid_walks(&g, &cfg, rng)
+                .iter()
+                .map(|w| {
+                    w.windows(3)
+                        .filter(|t| t[0] == t[2])
+                        .count()
+                })
+                .sum()
+        };
+        let returny = count_backtracks(0.05, &mut rng);
+        let explorey = count_backtracks(20.0, &mut rng);
+        assert!(
+            returny > explorey,
+            "p=0.05 should backtrack more than p=20 ({returny} vs {explorey})"
+        );
+    }
+}

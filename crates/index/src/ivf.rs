@@ -1,0 +1,288 @@
+//! IVF (inverted-file) vector index — the Faiss \[52\] substitute used for
+//! embedding kNN queries (§V-E).
+//!
+//! Build: k-means coarse quantizer (the Voronoi partition) + one inverted
+//! list per centroid. Search: probe the `nprobe` nearest lists and scan
+//! them exactly. `nprobe = nlist` degenerates to exact brute force, which
+//! the tests exploit to validate recall.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trajcl_tensor::Tensor;
+
+/// Distance metric for index search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Manhattan distance (TrajCL compares embeddings with L1).
+    L1,
+    /// Squared Euclidean distance.
+    L2,
+}
+
+impl Metric {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            Metric::L1 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs() as f64)
+                .sum(),
+            Metric::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let d = (x - y) as f64;
+                    d * d
+                })
+                .sum(),
+        }
+    }
+}
+
+/// An IVF index over fixed-dimension f32 vectors.
+pub struct IvfIndex {
+    centroids: Vec<f32>,
+    lists: Vec<Vec<u32>>,
+    vectors: Vec<f32>,
+    n: usize,
+    d: usize,
+    metric: Metric,
+}
+
+impl IvfIndex {
+    /// Builds an index over the `(N, d)` embedding table with `nlist`
+    /// Voronoi cells (clamped to `N`).
+    pub fn build(embeddings: &Tensor, nlist: usize, metric: Metric, rng: &mut impl Rng) -> Self {
+        let d = embeddings.shape().last();
+        let n = embeddings.shape().rows();
+        assert!(n > 0, "cannot index an empty table");
+        let nlist = nlist.clamp(1, n);
+        let data = embeddings.data();
+
+        // k-means++-lite init: distinct random rows.
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(rng);
+        let mut centroids: Vec<f32> = Vec::with_capacity(nlist * d);
+        for &i in ids.iter().take(nlist) {
+            centroids.extend_from_slice(&data[i * d..(i + 1) * d]);
+        }
+        // Lloyd iterations.
+        let mut assign = vec![0u32; n];
+        for _ in 0..10 {
+            for (i, slot) in assign.iter_mut().enumerate() {
+                *slot = nearest_centroid(&centroids, d, &data[i * d..(i + 1) * d], metric) as u32;
+            }
+            let mut sums = vec![0.0f64; nlist * d];
+            let mut counts = vec![0usize; nlist];
+            for (i, &c) in assign.iter().enumerate() {
+                counts[c as usize] += 1;
+                for k in 0..d {
+                    sums[c as usize * d + k] += data[i * d + k] as f64;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    for k in 0..d {
+                        centroids[c * d + k] = (sums[c * d + k] / counts[c] as f64) as f32;
+                    }
+                }
+            }
+        }
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        for (i, &c) in assign.iter().enumerate() {
+            lists[c as usize].push(i as u32);
+        }
+        IvfIndex { centroids, lists, vectors: data.to_vec(), n, d, metric }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Approximate resident memory of the index in bytes (Table IX).
+    pub fn memory_bytes(&self) -> usize {
+        self.vectors.len() * 4
+            + self.centroids.len() * 4
+            + self.lists.iter().map(|l| l.len() * 4 + 24).sum::<usize>()
+    }
+
+    /// kNN search probing the `nprobe` nearest Voronoi cells. Returns
+    /// `(id, distance)` sorted ascending; fewer than `k` results only when
+    /// the probed lists hold fewer vectors.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u32, f64)> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let nprobe = nprobe.clamp(1, self.lists.len());
+        // Rank centroids by distance to the query.
+        let mut order: Vec<usize> = (0..self.lists.len()).collect();
+        let cd: Vec<f64> = (0..self.lists.len())
+            .map(|c| self.metric.dist(query, &self.centroids[c * self.d..(c + 1) * self.d]))
+            .collect();
+        order.sort_by(|&a, &b| cd[a].total_cmp(&cd[b]));
+
+        let mut hits: Vec<(u32, f64)> = Vec::new();
+        for &c in order.iter().take(nprobe) {
+            for &id in &self.lists[c] {
+                let v = &self.vectors[id as usize * self.d..(id as usize + 1) * self.d];
+                hits.push((id, self.metric.dist(query, v)));
+            }
+        }
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Batched parallel search.
+    pub fn batch_search(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(u32, f64)>> {
+        let q = queries.shape().rows();
+        assert_eq!(queries.shape().last(), self.d, "query dimensionality mismatch");
+        let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); q];
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        let per = q.div_ceil(threads.max(1)).max(1);
+        let qd = queries.data();
+        std::thread::scope(|s| {
+            for (c, chunk) in out.chunks_mut(per).enumerate() {
+                let start = c * per;
+                s.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let row = &qd[(start + i) * self.d..(start + i + 1) * self.d];
+                        *slot = self.search(row, k, nprobe);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+fn nearest_centroid(centroids: &[f32], d: usize, v: &[f32], metric: Metric) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.len() / d {
+        let dist = metric.dist(v, &centroids[c * d..(c + 1) * d]);
+        if dist < best_d {
+            best_d = dist;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Exact brute-force kNN over an embedding table (baseline for recall
+/// measurements).
+pub fn brute_force_knn(
+    embeddings: &Tensor,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Vec<(u32, f64)> {
+    let d = embeddings.shape().last();
+    let n = embeddings.shape().rows();
+    let mut hits: Vec<(u32, f64)> = (0..n)
+        .map(|i| (i as u32, metric.dist(query, &embeddings.data()[i * d..(i + 1) * d])))
+        .collect();
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_tensor::Shape;
+
+    fn table(n: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(Shape::d2(n, d), 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn full_probe_equals_brute_force() {
+        let emb = table(200, 8, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let index = IvfIndex::build(&emb, 16, Metric::L1, &mut rng);
+        for qi in [0usize, 57, 133] {
+            let q = emb.row(qi);
+            let ivf = index.search(q, 5, index.nlist());
+            let bf = brute_force_knn(&emb, q, 5, Metric::L1);
+            assert_eq!(
+                ivf.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                bf.iter().map(|(i, _)| *i).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let emb = table(100, 6, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let index = IvfIndex::build(&emb, 8, Metric::L2, &mut rng);
+        let hits = index.search(emb.row(42), 1, 4);
+        assert_eq!(hits[0].0, 42);
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn partial_probe_has_high_recall() {
+        let emb = table(500, 8, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let index = IvfIndex::build(&emb, 20, Metric::L1, &mut rng);
+        let mut recall_sum = 0.0;
+        let trials = 30;
+        for qi in 0..trials {
+            let q = emb.row(qi * 16);
+            let approx = index.search(q, 10, 5);
+            let exact = brute_force_knn(&emb, q, 10, Metric::L1);
+            let exact_ids: Vec<u32> = exact.iter().map(|(i, _)| *i).collect();
+            let hits = approx.iter().filter(|(i, _)| exact_ids.contains(i)).count();
+            recall_sum += hits as f64 / 10.0;
+        }
+        let recall = recall_sum / trials as f64;
+        assert!(recall > 0.6, "recall@10 with nprobe=5/20 too low: {recall}");
+    }
+
+    #[test]
+    fn batch_search_matches_single() {
+        let emb = table(150, 4, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let index = IvfIndex::build(&emb, 10, Metric::L1, &mut rng);
+        let queries = table(9, 4, 8);
+        let batch = index.batch_search(&queries, 3, 10);
+        for (i, hits) in batch.iter().enumerate() {
+            let single = index.search(queries.row(i), 3, 10);
+            assert_eq!(hits, &single);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_n() {
+        let small = IvfIndex::build(&table(50, 8, 9), 4, Metric::L1, &mut StdRng::seed_from_u64(0));
+        let large = IvfIndex::build(&table(500, 8, 9), 4, Metric::L1, &mut StdRng::seed_from_u64(0));
+        assert!(large.memory_bytes() > small.memory_bytes() * 5);
+    }
+
+    #[test]
+    fn nlist_clamps_to_population() {
+        let emb = table(3, 4, 10);
+        let index = IvfIndex::build(&emb, 100, Metric::L2, &mut StdRng::seed_from_u64(0));
+        assert_eq!(index.nlist(), 3);
+        assert_eq!(index.search(emb.row(0), 3, 100).len(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! # trajcl-index
+//!
+//! The two indexes of the paper's kNN experiments (§V-E):
+//!
+//! * [`IvfIndex`] — an inverted-file (Voronoi) vector index over learned
+//!   embeddings, substituting Faiss \[52\];
+//! * [`SegmentHausdorffIndex`] — a segment-based exact Hausdorff kNN index
+//!   with lower-bound pruning, substituting DFT \[1\].
+//!
+//! Both expose `memory_bytes` so Table IX's build-cost comparison (and the
+//! DFT memory blow-up) can be reproduced.
+
+pub mod hausdorff_index;
+pub mod ivf;
+
+pub use hausdorff_index::SegmentHausdorffIndex;
+pub use ivf::{brute_force_knn, IvfIndex, Metric};

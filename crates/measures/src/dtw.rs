@@ -1,0 +1,62 @@
+//! Dynamic Time Warping — a classic order-preserving alignment measure,
+//! included beyond the paper's four heuristics as an extra comparison point
+//! for the benchmark harness.
+
+use trajcl_geo::Trajectory;
+
+/// DTW distance: the minimum sum of point distances over monotone
+/// alignments. `O(|a|·|b|)` time, `O(|b|)` memory.
+pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
+    let pa = a.points();
+    let pb = b.points();
+    assert!(!pa.is_empty() && !pb.is_empty(), "DTW of empty trajectory");
+    let m = pb.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for p in pa {
+        cur[0] = f64::INFINITY;
+        for (j, q) in pb.iter().enumerate() {
+            let d = p.dist(q);
+            cur[j + 1] = d + prev[j].min(prev[j + 1]).min(cur[j]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(dtw(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn known_small_case() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 1.0), (1.0, 1.0)]);
+        // Best alignment matches index-to-index: 1 + 1 = 2.
+        assert!((dtw(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (4.0, 2.0), (8.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 1.0), (8.0, 1.0)]);
+        assert_eq!(dtw(&a, &b), dtw(&b, &a));
+    }
+
+    #[test]
+    fn accumulates_unlike_frechet() {
+        // DTW sums costs: longer parallel paths grow the distance.
+        let short_a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        let short_b = Trajectory::from_xy(&[(0.0, 1.0), (1.0, 1.0)]);
+        let long_a = Trajectory::from_xy(&(0..10).map(|i| (i as f64, 0.0)).collect::<Vec<_>>());
+        let long_b = Trajectory::from_xy(&(0..10).map(|i| (i as f64, 1.0)).collect::<Vec<_>>());
+        assert!(dtw(&long_a, &long_b) > dtw(&short_a, &short_b));
+    }
+}

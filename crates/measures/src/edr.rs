@@ -1,0 +1,93 @@
+//! Edit Distance on Real sequence (EDR, Chen et al. \[7\]).
+//!
+//! Counts the minimum number of insert/delete/substitute edits needed to
+//! align two trajectories, where two points *match* (cost 0) when both
+//! coordinate differences are within a threshold `eps`.
+
+use trajcl_geo::Trajectory;
+
+/// EDR distance with matching threshold `eps` meters.
+///
+/// Returns the raw edit count in `[0, max(|a|, |b|)]`.
+pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let pa = a.points();
+    let pb = b.points();
+    if pa.is_empty() {
+        return pb.len() as f64;
+    }
+    if pb.is_empty() {
+        return pa.len() as f64;
+    }
+    let m = pb.len();
+    // dp[j] = cost aligning current prefix of a with b[..j].
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64).collect();
+    let mut cur = vec![0.0f64; m + 1];
+    for (i, p) in pa.iter().enumerate() {
+        cur[0] = (i + 1) as f64;
+        for (j, q) in pb.iter().enumerate() {
+            let subcost =
+                if (p.x - q.x).abs() <= eps && (p.y - q.y).abs() <= eps { 0.0 } else { 1.0 };
+            cur[j + 1] = (prev[j] + subcost) // match / substitute
+                .min(prev[j + 1] + 1.0)      // delete from a
+                .min(cur[j] + 1.0);          // insert from b
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// EDR normalised by the longer trajectory length, in `[0, 1]`.
+pub fn edr_normalized(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let denom = a.len().max(b.len()).max(1) as f64;
+    edr(a, b, eps) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)]);
+        assert_eq!(edr(&t, &t, 1.0), 0.0);
+    }
+
+    #[test]
+    fn within_threshold_matches() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.4, -0.3), (10.2, 0.1)]);
+        assert_eq!(edr(&a, &b, 0.5), 0.0);
+        assert_eq!(edr(&a, &b, 0.05), 2.0);
+    }
+
+    #[test]
+    fn insertion_cost_one_per_point() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 100.0), (10.0, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.5), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (3.0, 3.0), (6.0, 0.0), (9.0, 3.0)]);
+        let b = Trajectory::from_xy(&[(1.0, 1.0), (6.5, 0.2)]);
+        assert_eq!(edr(&a, &b, 1.0), edr(&b, &a, 1.0));
+    }
+
+    #[test]
+    fn bounded_by_longer_length() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(100.0, 100.0)]);
+        let d = edr(&a, &b, 0.5);
+        assert!(d <= 3.0);
+        assert_eq!(edr_normalized(&a, &b, 0.5), d / 3.0);
+    }
+
+    #[test]
+    fn against_empty() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        let e = Trajectory::new(vec![]);
+        assert_eq!(edr(&a, &e, 1.0), 2.0);
+        assert_eq!(edr(&e, &a, 1.0), 2.0);
+    }
+}

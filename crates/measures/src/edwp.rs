@@ -1,0 +1,227 @@
+//! Edit Distance with Projections (EDwP, Ranu et al. \[8\]).
+//!
+//! EDwP aligns trajectory *segments* (not points) using two operations:
+//! *replacement* of one segment by another, and *insertion* of a projected
+//! point that splits a segment, so trajectories sampled at different rates
+//! can still align cheaply. Costs are weighted by *coverage* (the lengths of
+//! the matched segments), so long stretches of nearby movement are cheap
+//! while divergent movement is expensive.
+//!
+//! ## Implementation
+//! Quadratic dynamic programming over point indices `(i, j)` with a third
+//! coordinate recording whether the current segment of one side has been
+//! *split* at a projection by a previous insertion:
+//!
+//! * `Whole`  — both current segments start at original points;
+//! * `SplitA` — trajectory A's current segment starts at the projection of
+//!   B's current point (B advanced past it);
+//! * `SplitB` — symmetric.
+//!
+//! The split point is a function of `(i, j)` alone, which keeps the DP
+//! quadratic while reproducing EDwP's defining behaviour: one long segment
+//! can be consumed piecewise against many short ones (see
+//! `edwp_resampling_robustness`).
+
+use trajcl_geo::{Point, Trajectory};
+
+fn project_onto(p: &Point, a: &Point, b: &Point) -> Point {
+    let len2 = a.sq_dist(b);
+    if len2 == 0.0 {
+        return *a;
+    }
+    let t = (((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len2).clamp(0.0, 1.0);
+    a.lerp(b, t)
+}
+
+/// Replacement cost × coverage for matching sub-segment `(a0,a1)` against
+/// `(b0,b1)`.
+fn op_cost(a0: &Point, a1: &Point, b0: &Point, b1: &Point) -> f64 {
+    let rep = a0.dist(b0) + a1.dist(b1);
+    let cov = a0.dist(a1) + b0.dist(b1);
+    rep * cov
+}
+
+const WHOLE: usize = 0;
+const SPLIT_A: usize = 1;
+const SPLIT_B: usize = 2;
+
+/// EDwP distance between two trajectories (`O(|a|·|b|)` time).
+///
+/// Zero for identical geometry regardless of sampling rate; grows with both
+/// the spatial gap and the length of divergent stretches.
+pub fn edwp(a: &Trajectory, b: &Trajectory) -> f64 {
+    let pa = a.points();
+    let pb = b.points();
+    assert!(!pa.is_empty() && !pb.is_empty(), "EDwP of empty trajectory");
+    if pa.len() == 1 && pb.len() == 1 {
+        return pa[0].dist(&pb[0]);
+    }
+    if pa.len() == 1 {
+        // Degenerate: treat the single point as a zero-length trajectory and
+        // charge each segment of b against it.
+        return pb
+            .windows(2)
+            .map(|w| op_cost(&pa[0], &pa[0], &w[0], &w[1]))
+            .sum();
+    }
+    if pb.len() == 1 {
+        return edwp(b, a);
+    }
+    let n = pa.len();
+    let m = pb.len();
+    // Current start of A's segment i in each split state.
+    let a_start = |i: usize, j: usize, s: usize| -> Point {
+        if s == SPLIT_A && i + 1 < n {
+            project_onto(&pb[j], &pa[i], &pa[i + 1])
+        } else {
+            pa[i]
+        }
+    };
+    let b_start = |i: usize, j: usize, s: usize| -> Point {
+        if s == SPLIT_B && j + 1 < m {
+            project_onto(&pa[i], &pb[j], &pb[j + 1])
+        } else {
+            pb[j]
+        }
+    };
+    let idx = |i: usize, j: usize, s: usize| (i * m + j) * 3 + s;
+    let mut dp = vec![f64::INFINITY; n * m * 3];
+    dp[idx(0, 0, WHOLE)] = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            for s in 0..3 {
+                let cur = dp[idx(i, j, s)];
+                if !cur.is_finite() {
+                    continue;
+                }
+                let sa = a_start(i, j, s);
+                let sb = b_start(i, j, s);
+                // Replacement: consume the rest of both current segments.
+                if i + 1 < n && j + 1 < m {
+                    let cost = op_cost(&sa, &pa[i + 1], &sb, &pb[j + 1]);
+                    let t = &mut dp[idx(i + 1, j + 1, WHOLE)];
+                    *t = t.min(cur + cost);
+                }
+                // Advance A only: match A's remaining segment against the
+                // sub-segment of B up to the projection of p_{i+1}.
+                if i + 1 < n {
+                    let proj = if j + 1 < m {
+                        project_onto(&pa[i + 1], &pb[j], &pb[j + 1])
+                    } else {
+                        sb
+                    };
+                    let cost = op_cost(&sa, &pa[i + 1], &sb, &proj);
+                    let t = &mut dp[idx(i + 1, j, SPLIT_B)];
+                    *t = t.min(cur + cost);
+                }
+                // Advance B only (symmetric).
+                if j + 1 < m {
+                    let proj = if i + 1 < n {
+                        project_onto(&pb[j + 1], &pa[i], &pa[i + 1])
+                    } else {
+                        sa
+                    };
+                    let cost = op_cost(&sb, &pb[j + 1], &sa, &proj);
+                    let t = &mut dp[idx(i, j + 1, SPLIT_A)];
+                    *t = t.min(cur + cost);
+                }
+            }
+        }
+    }
+    let end = (0..3)
+        .map(|s| dp[idx(n - 1, m - 1, s)])
+        .fold(f64::INFINITY, f64::min);
+    debug_assert!(end.is_finite(), "EDwP DP failed to reach the terminal state");
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hausdorff::hausdorff;
+
+    fn resample_line(n: usize) -> Trajectory {
+        // Same geometry as [(0,0) -> (100,0) -> (100,100)] with n points per leg.
+        let mut pts = Vec::new();
+        for i in 0..n {
+            pts.push((100.0 * i as f64 / n as f64, 0.0));
+        }
+        for i in 0..=n {
+            pts.push((100.0, 100.0 * i as f64 / n as f64));
+        }
+        Trajectory::from_xy(&pts)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]);
+        assert!(edwp(&t, &t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 2.0), (20.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 1.0), (20.0, 1.0)]);
+        let d1 = edwp(&a, &b);
+        let d2 = edwp(&b, &a);
+        assert!((d1 - d2).abs() < 1e-6 * d1.max(1.0), "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn edwp_resampling_robustness() {
+        // The defining property (paper §II): EDwP with interpolation points
+        // handles non-uniform sampling. A sparsely- and a densely-sampled
+        // version of the same path should be much closer to each other than
+        // either is to a genuinely different path.
+        let sparse = resample_line(2);
+        let dense = resample_line(10);
+        let shifted = {
+            let mut t = resample_line(2);
+            for p in t.points_mut() {
+                p.y += 50.0;
+            }
+            t
+        };
+        let same_geom = edwp(&sparse, &dense);
+        let diff_geom = edwp(&sparse, &shifted);
+        assert!(
+            same_geom < diff_geom * 0.05,
+            "resampled geometry should be near-free: {same_geom} vs {diff_geom}"
+        );
+    }
+
+    #[test]
+    fn identical_geometry_different_sampling_is_near_zero() {
+        let sparse = resample_line(1);
+        let dense = resample_line(20);
+        let d = edwp(&sparse, &dense);
+        assert!(d < 1e-6, "same geometry should cost ~0, got {d}");
+    }
+
+    #[test]
+    fn grows_with_divergence() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]);
+        let near = Trajectory::from_xy(&[(0.0, 5.0), (50.0, 5.0), (100.0, 5.0)]);
+        let far = Trajectory::from_xy(&[(0.0, 50.0), (50.0, 50.0), (100.0, 50.0)]);
+        assert!(edwp(&a, &near) < edwp(&a, &far));
+    }
+
+    #[test]
+    fn single_point_pairs() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(3.0, 4.0)]);
+        assert_eq!(edwp(&a, &b), 5.0);
+        let c = Trajectory::from_xy(&[(0.0, 0.0), (3.0, 4.0)]);
+        assert!(edwp(&a, &c).is_finite());
+        assert!((edwp(&a, &c) - edwp(&c, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_hausdorff_on_clean_parallel_paths() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (100.0, 0.0)]);
+        let near = Trajectory::from_xy(&[(0.0, 3.0), (100.0, 3.0)]);
+        let far = Trajectory::from_xy(&[(0.0, 30.0), (100.0, 30.0)]);
+        assert!(edwp(&a, &near) < edwp(&a, &far));
+        assert!(hausdorff(&a, &near) < hausdorff(&a, &far));
+    }
+}

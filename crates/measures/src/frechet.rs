@@ -1,0 +1,84 @@
+//! Discrete Fréchet distance (Alt & Godau \[10\]; Eiter–Mannila recurrence).
+//!
+//! Like Hausdorff but the point matching must respect the sequential order
+//! of both trajectories — the classic "man walking a dog" measure.
+
+use trajcl_geo::Trajectory;
+
+/// Discrete Fréchet distance between two trajectories.
+///
+/// Runs in `O(|a|·|b|)` time and `O(|b|)` memory (rolling DP rows).
+pub fn frechet(a: &Trajectory, b: &Trajectory) -> f64 {
+    let pa = a.points();
+    let pb = b.points();
+    assert!(!pa.is_empty() && !pb.is_empty(), "Fréchet of empty trajectory");
+    let m = pb.len();
+    let mut prev = vec![0.0f64; m];
+    let mut cur = vec![0.0f64; m];
+    for (i, p) in pa.iter().enumerate() {
+        for (j, q) in pb.iter().enumerate() {
+            let d = p.dist(q);
+            cur[j] = if i == 0 && j == 0 {
+                d
+            } else if i == 0 {
+                d.max(cur[j - 1])
+            } else if j == 0 {
+                d.max(prev[0])
+            } else {
+                d.max(prev[j].min(prev[j - 1]).min(cur[j - 1]))
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hausdorff::discrete_hausdorff;
+
+    #[test]
+    fn identical_is_zero() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(frechet(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn parallel_lines() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 2.0), (5.0, 2.0), (10.0, 2.0)]);
+        assert!((frechet(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (3.0, 4.0), (6.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 1.0), (6.0, 1.0)]);
+        assert_eq!(frechet(&a, &b), frechet(&b, &a));
+    }
+
+    #[test]
+    fn order_matters_unlike_hausdorff() {
+        // Same point sets, opposite directions: Hausdorff (set-based) is 0,
+        // Fréchet must pay for the reversed order.
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(10.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(discrete_hausdorff(&a, &b), 0.0);
+        assert!((frechet(&a, &b) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bounded_by_discrete_hausdorff() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (2.0, 3.0), (5.0, 1.0), (7.0, 4.0)]);
+        let b = Trajectory::from_xy(&[(1.0, 0.0), (3.0, 2.0), (6.0, 2.0)]);
+        assert!(frechet(&a, &b) >= discrete_hausdorff(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn single_point_vs_line() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(0.0, 0.0), (6.0, 8.0)]);
+        assert_eq!(frechet(&a, &b), 10.0);
+    }
+}

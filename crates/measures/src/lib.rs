@@ -1,0 +1,179 @@
+//! # trajcl-measures
+//!
+//! The heuristic trajectory-similarity measures TrajCL is evaluated against
+//! and fine-tuned towards (§II, §V): Hausdorff, discrete Fréchet, EDR and
+//! EDwP, plus DTW as an extra reference. All take `O(n²)` time in the
+//! number of points — the inefficiency the paper's Table VIII quantifies.
+//!
+//! [`HeuristicMeasure`] is a small dispatch enum used by the experiment
+//! harness; [`pairwise_distances`] evaluates query×database blocks on all
+//! cores.
+//!
+//! ```
+//! use trajcl_geo::Trajectory;
+//! use trajcl_measures::{hausdorff, HeuristicMeasure};
+//!
+//! let a = Trajectory::from_xy(&[(0.0, 0.0), (100.0, 0.0)]);
+//! let b = Trajectory::from_xy(&[(0.0, 30.0), (100.0, 30.0)]);
+//! assert_eq!(hausdorff(&a, &b), 30.0);
+//! assert_eq!(HeuristicMeasure::Hausdorff.distance(&a, &b), 30.0);
+//! ```
+
+pub mod dtw;
+pub mod edr;
+pub mod edwp;
+pub mod frechet;
+pub mod hausdorff;
+
+pub use dtw::dtw;
+pub use edr::{edr, edr_normalized};
+pub use edwp::edwp;
+pub use frechet::frechet;
+pub use hausdorff::{directed_hausdorff, discrete_hausdorff, hausdorff};
+
+use trajcl_geo::Trajectory;
+
+/// Dispatchable heuristic measure (distance semantics: lower = more
+/// similar).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HeuristicMeasure {
+    /// Symmetric point-to-polyline Hausdorff distance.
+    Hausdorff,
+    /// Discrete Fréchet distance.
+    Frechet,
+    /// Edit Distance on Real sequence with the given matching threshold
+    /// (meters).
+    Edr(f64),
+    /// Edit Distance with Projections.
+    Edwp,
+    /// Dynamic Time Warping.
+    Dtw,
+}
+
+impl HeuristicMeasure {
+    /// Distance between two trajectories under this measure.
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        match self {
+            HeuristicMeasure::Hausdorff => hausdorff(a, b),
+            HeuristicMeasure::Frechet => frechet(a, b),
+            HeuristicMeasure::Edr(eps) => edr(a, b, *eps),
+            HeuristicMeasure::Edwp => edwp(a, b),
+            HeuristicMeasure::Dtw => dtw(a, b),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeuristicMeasure::Hausdorff => "Hausdorff",
+            HeuristicMeasure::Frechet => "Frechet",
+            HeuristicMeasure::Edr(_) => "EDR",
+            HeuristicMeasure::Edwp => "EDwP",
+            HeuristicMeasure::Dtw => "DTW",
+        }
+    }
+
+    /// The paper's four fine-tuning targets (EDR threshold in meters).
+    pub fn paper_set(edr_eps: f64) -> [HeuristicMeasure; 4] {
+        [
+            HeuristicMeasure::Edr(edr_eps),
+            HeuristicMeasure::Edwp,
+            HeuristicMeasure::Hausdorff,
+            HeuristicMeasure::Frechet,
+        ]
+    }
+}
+
+/// Computes the `queries × database` distance matrix in parallel
+/// (row-major: `out[qi * db.len() + di]`).
+pub fn pairwise_distances(
+    queries: &[Trajectory],
+    database: &[Trajectory],
+    measure: HeuristicMeasure,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; queries.len() * database.len()];
+    if queries.is_empty() || database.is_empty() {
+        return out;
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows_per = queries.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|s| {
+        for (c, chunk) in out.chunks_mut(rows_per * database.len()).enumerate() {
+            let start = c * rows_per;
+            s.spawn(move || {
+                for (r, row) in chunk.chunks_mut(database.len()).enumerate() {
+                    let q = &queries[start + r];
+                    for (d, slot) in row.iter_mut().enumerate() {
+                        *slot = measure.distance(q, &database[d]);
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Rank (1-based) of `target` among `dists` sorted ascending: one plus the
+/// number of strictly smaller distances.
+pub fn rank_of(dists: &[f64], target: usize) -> usize {
+    let t = dists[target];
+    1 + dists.iter().filter(|&&d| d < t).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(y: f64) -> Trajectory {
+        Trajectory::from_xy(&[(0.0, y), (50.0, y), (100.0, y)])
+    }
+
+    #[test]
+    fn enum_dispatch_matches_functions() {
+        let a = line(0.0);
+        let b = line(7.0);
+        assert_eq!(HeuristicMeasure::Hausdorff.distance(&a, &b), hausdorff(&a, &b));
+        assert_eq!(HeuristicMeasure::Frechet.distance(&a, &b), frechet(&a, &b));
+        assert_eq!(HeuristicMeasure::Edr(1.0).distance(&a, &b), edr(&a, &b, 1.0));
+        assert_eq!(HeuristicMeasure::Edwp.distance(&a, &b), edwp(&a, &b));
+        assert_eq!(HeuristicMeasure::Dtw.distance(&a, &b), dtw(&a, &b));
+    }
+
+    #[test]
+    fn pairwise_matrix_matches_direct_eval() {
+        let queries = vec![line(0.0), line(5.0)];
+        let db = vec![line(1.0), line(2.0), line(10.0)];
+        let m = pairwise_distances(&queries, &db, HeuristicMeasure::Hausdorff);
+        assert_eq!(m.len(), 6);
+        for (qi, q) in queries.iter().enumerate() {
+            for (di, d) in db.iter().enumerate() {
+                assert_eq!(m[qi * 3 + di], hausdorff(q, d));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_counts_strictly_smaller() {
+        let d = [5.0, 1.0, 3.0, 3.0];
+        assert_eq!(rank_of(&d, 1), 1);
+        assert_eq!(rank_of(&d, 2), 2);
+        assert_eq!(rank_of(&d, 3), 2);
+        assert_eq!(rank_of(&d, 0), 4);
+    }
+
+    #[test]
+    fn all_measures_rank_near_before_far() {
+        let q = line(0.0);
+        let db = vec![line(100.0), line(2.0), line(50.0)];
+        for m in [
+            HeuristicMeasure::Hausdorff,
+            HeuristicMeasure::Frechet,
+            HeuristicMeasure::Edr(5.0),
+            HeuristicMeasure::Edwp,
+            HeuristicMeasure::Dtw,
+        ] {
+            let dists = pairwise_distances(std::slice::from_ref(&q), &db, m);
+            assert_eq!(rank_of(&dists, 1), 1, "measure {} failed", m.name());
+        }
+    }
+}

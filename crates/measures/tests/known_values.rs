@@ -1,0 +1,135 @@
+//! Hand-computed reference values and cross-measure relationships for the
+//! heuristic similarity measures.
+
+use trajcl_geo::Trajectory;
+use trajcl_measures::{
+    discrete_hausdorff, dtw, edr, edr_normalized, edwp, frechet, hausdorff, rank_of,
+    HeuristicMeasure,
+};
+
+fn t(p: &[(f64, f64)]) -> Trajectory {
+    Trajectory::from_xy(p)
+}
+
+#[test]
+fn hausdorff_hand_computed_l_shape() {
+    // Square corner path vs its diagonal: the farthest point of the corner
+    // path from the diagonal is the corner itself, at distance √2/2 · 10.
+    let corner = t(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+    let diagonal = t(&[(0.0, 0.0), (10.0, 10.0)]);
+    let expect = 10.0 / 2.0_f64.sqrt();
+    assert!((hausdorff(&corner, &diagonal) - expect).abs() < 1e-9);
+}
+
+#[test]
+fn frechet_hand_computed_crossing() {
+    // Two crossing diagonals of a unit square: the leash must reach a far
+    // corner pair at some moment -> distance 1 (sides have length 1).
+    let d1 = t(&[(0.0, 0.0), (1.0, 1.0)]);
+    let d2 = t(&[(0.0, 1.0), (1.0, 0.0)]);
+    assert!((frechet(&d1, &d2) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn dtw_hand_computed_offset_points() {
+    // Point sequences [(0),(1),(2)] vs [(0),(2)] on a line: optimal monotone
+    // alignment is 0-0, 1-{0 or 2}, 2-2 => total 1.
+    let a = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+    let b = t(&[(0.0, 0.0), (2.0, 0.0)]);
+    assert!((dtw(&a, &b) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn edr_counts_minimal_edits() {
+    // b equals a with one substituted middle point far away -> 1 edit.
+    let a = t(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+    let b = t(&[(0.0, 0.0), (10.0, 500.0), (20.0, 0.0), (30.0, 0.0)]);
+    assert_eq!(edr(&a, &b, 1.0), 1.0);
+    assert!((edr_normalized(&a, &b, 1.0) - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn discrete_vs_continuous_hausdorff_ordering() {
+    // Continuous (point-to-segment) never exceeds discrete (point-to-point).
+    let a = t(&[(0.0, 0.0), (10.0, 0.0), (20.0, 5.0)]);
+    let b = t(&[(0.0, 2.0), (20.0, 2.0)]);
+    assert!(hausdorff(&a, &b) <= discrete_hausdorff(&a, &b) + 1e-12);
+}
+
+#[test]
+fn translation_shifts_all_metric_measures_consistently() {
+    let a = t(&[(0.0, 0.0), (10.0, 5.0), (20.0, 0.0)]);
+    let near = t(&[(0.0, 1.0), (10.0, 6.0), (20.0, 1.0)]);
+    let far = t(&[(0.0, 100.0), (10.0, 105.0), (20.0, 100.0)]);
+    for m in [
+        HeuristicMeasure::Hausdorff,
+        HeuristicMeasure::Frechet,
+        HeuristicMeasure::Dtw,
+        HeuristicMeasure::Edwp,
+    ] {
+        let dn = m.distance(&a, &near);
+        let df = m.distance(&a, &far);
+        assert!(dn < df, "{} ordering broken: {dn} !< {df}", m.name());
+    }
+}
+
+#[test]
+fn edwp_prefers_shape_over_sampling() {
+    // Identical L-shaped geometry at different sampling rates is closer
+    // than a straight path of the same length.
+    let l_sparse = t(&[(0.0, 0.0), (100.0, 0.0), (100.0, 100.0)]);
+    let l_dense = t(&[
+        (0.0, 0.0),
+        (25.0, 0.0),
+        (50.0, 0.0),
+        (75.0, 0.0),
+        (100.0, 0.0),
+        (100.0, 25.0),
+        (100.0, 50.0),
+        (100.0, 75.0),
+        (100.0, 100.0),
+    ]);
+    let straight = t(&[(0.0, 0.0), (200.0, 0.0)]);
+    assert!(edwp(&l_sparse, &l_dense) < edwp(&l_sparse, &straight));
+}
+
+#[test]
+fn rank_of_handles_all_positions() {
+    let d = [0.5, 0.1, 0.9];
+    assert_eq!(rank_of(&d, 1), 1);
+    assert_eq!(rank_of(&d, 0), 2);
+    assert_eq!(rank_of(&d, 2), 3);
+}
+
+#[test]
+fn measures_scale_with_coordinates() {
+    // Scaling all coordinates by c scales metric distances by c
+    // (homogeneity) for point-distance-based measures.
+    let a = t(&[(0.0, 0.0), (3.0, 4.0), (6.0, 0.0)]);
+    let b = t(&[(0.0, 2.0), (6.0, 2.0)]);
+    let scale = |tr: &Trajectory, c: f64| -> Trajectory {
+        tr.points().iter().map(|p| trajcl_geo::Point::new(p.x * c, p.y * c)).collect()
+    };
+    for m in [HeuristicMeasure::Hausdorff, HeuristicMeasure::Frechet, HeuristicMeasure::Dtw] {
+        let base = m.distance(&a, &b);
+        let scaled = m.distance(&scale(&a, 10.0), &scale(&b, 10.0));
+        assert!(
+            (scaled - 10.0 * base).abs() < 1e-6 * scaled.max(1.0),
+            "{} not homogeneous: {base} -> {scaled}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn longer_divergence_costs_more_under_edwp_and_dtw() {
+    // Accumulating measures charge per unit of divergent travel.
+    let a_short = t(&[(0.0, 0.0), (10.0, 0.0)]);
+    let b_short = t(&[(0.0, 5.0), (10.0, 5.0)]);
+    let a_long = t(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]);
+    let b_long = t(&[(0.0, 5.0), (50.0, 5.0), (100.0, 5.0)]);
+    assert!(edwp(&a_long, &b_long) > edwp(&a_short, &b_short));
+    assert!(dtw(&a_long, &b_long) > dtw(&a_short, &b_short));
+    // ...while max-based Hausdorff does not.
+    assert!((hausdorff(&a_long, &b_long) - hausdorff(&a_short, &b_short)).abs() < 1e-9);
+}

@@ -1,0 +1,281 @@
+//! Multi-head self-attention, Transformer encoder layers, padding masks and
+//! sinusoidal positional encodings.
+//!
+//! The vanilla multi-head self-attention module (MSM) here is the one used
+//! by the CSTRM/T3S baselines and by the `TrajCL-MSM` / `TrajCL-concat`
+//! ablations; TrajCL's DualMSM (in `trajcl-core`) builds on the same
+//! primitives ([`project_heads`], [`scaled_scores`]) but learns two
+//! attention-coefficient matrices and fuses them.
+
+use crate::modules::{Fwd, Mlp};
+use crate::store::{ParamId, ParamStore};
+use crate::{init, LayerNorm};
+use rand::Rng;
+use trajcl_tensor::{Shape, Tensor, Var};
+
+/// Large negative bias used to mask padded attention slots.
+pub const MASK_NEG: f32 = -1e9;
+
+/// Sinusoidal position table of shape `(l, d)` following Vaswani et al. /
+/// TrajCL Eq. 9.
+pub fn sinusoidal_pe(l: usize, d: usize) -> Tensor {
+    let mut pe = Tensor::zeros(Shape::d2(l, d));
+    for i in 0..l {
+        for j in 0..d {
+            let exponent = if j % 2 == 0 { j } else { j - 1 } as f32 / d as f32;
+            let angle = i as f32 / 10_000f32.powf(exponent);
+            pe.data_mut()[i * d + j] = if j % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+    pe
+}
+
+/// Adds a `(l, d)` positional table to a `(B, l, d)` tensor.
+pub fn add_positional(f: &mut Fwd, x: Var, pe: &Tensor) -> Var {
+    let xs = f.tape.shape(x);
+    assert_eq!(xs.rank(), 3, "positional encoding expects (B, L, D)");
+    let (b, l, d) = (xs[0], xs[1], xs[2]);
+    assert_eq!(pe.shape(), Shape::d2(l, d), "PE table shape mismatch");
+    let mut tiled = Tensor::zeros(Shape::d3(b, l, d));
+    for bi in 0..b {
+        tiled.data_mut()[bi * l * d..(bi + 1) * l * d].copy_from_slice(pe.data());
+    }
+    let pe_var = f.input(tiled);
+    f.tape.add(x, pe_var)
+}
+
+/// Additive attention-mask bias of shape `(B*heads, l, l)`: `0` where the
+/// key position is valid, [`MASK_NEG`] where it is padding.
+pub fn attention_mask_bias(lens: &[usize], l: usize, heads: usize) -> Tensor {
+    let b = lens.len();
+    let mut mask = Tensor::zeros(Shape::d3(b * heads, l, l));
+    for (bi, &len) in lens.iter().enumerate() {
+        debug_assert!(len <= l);
+        for h in 0..heads {
+            let base = (bi * heads + h) * l * l;
+            for q in 0..l {
+                for k in len..l {
+                    mask.data_mut()[base + q * l + k] = MASK_NEG;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Projects `(B, L, D)` through weight `w` and splits into
+/// `(B*heads, L, D/heads)`.
+pub fn project_heads(f: &mut Fwd, x: Var, w: ParamId, heads: usize) -> Var {
+    let wv = f.p(w);
+    let proj = f.tape.matmul(x, wv, false, false);
+    f.tape.split_heads(proj, heads)
+}
+
+/// `softmax(Q·Kᵀ/√dh + mask)` attention coefficients.
+pub fn scaled_scores(f: &mut Fwd, q: Var, k: Var, mask: Option<Var>) -> Var {
+    let dh = f.tape.shape(q).last();
+    let scores = f.tape.matmul(q, k, false, true);
+    let scaled = f.tape.scale(scores, 1.0 / (dh as f32).sqrt());
+    let biased = match mask {
+        Some(m) => f.tape.add(scaled, m),
+        None => scaled,
+    };
+    f.tape.softmax(biased)
+}
+
+/// Vanilla multi-head self-attention (the Transformer MSM).
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    wo: ParamId,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Model dimension.
+    pub dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Registers projection weights for model dimension `dim` and `heads`
+    /// heads (`dim` must be divisible by `heads`).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        let mut mk = |suffix: &str, mut rng: &mut dyn rand::RngCore| {
+            store.add(format!("{name}.{suffix}"), init::xavier_uniform(dim, dim, &mut rng))
+        };
+        let wq = mk("wq", rng);
+        let wk = mk("wk", rng);
+        let wv = mk("wv", rng);
+        let wo = mk("wo", rng);
+        MultiHeadSelfAttention { wq, wk, wv, wo, heads, dim }
+    }
+
+    /// Runs attention over `(B, L, dim)`, returning the contextualised
+    /// output `(B, L, dim)` and the attention coefficients
+    /// `(B*heads, L, L)`.
+    pub fn forward(&self, f: &mut Fwd, x: Var, mask: Option<Var>) -> (Var, Var) {
+        let q = project_heads(f, x, self.wq, self.heads);
+        let k = project_heads(f, x, self.wk, self.heads);
+        let v = project_heads(f, x, self.wv, self.heads);
+        let attn = scaled_scores(f, q, k, mask);
+        let ctx = f.tape.matmul(attn, v, false, false);
+        let merged = f.tape.merge_heads(ctx, self.heads);
+        let wo = f.p(self.wo);
+        let out = f.tape.matmul(merged, wo, false, false);
+        (out, attn)
+    }
+}
+
+/// One pre-built Transformer encoder layer:
+/// `LN(x + Dropout(MSM(x)))` then `LN(h + Dropout(MLP(h)))`
+/// (TrajCL Eq. 10–11 structure, vanilla-attention variant).
+#[derive(Debug, Clone)]
+pub struct TransformerEncoderLayer {
+    /// The attention sub-layer.
+    pub attn: MultiHeadSelfAttention,
+    ln1: LayerNorm,
+    mlp: Mlp,
+    ln2: LayerNorm,
+    dropout: f32,
+}
+
+impl TransformerEncoderLayer {
+    /// Registers one encoder layer with a `hidden`-wide feed-forward block.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        hidden: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        TransformerEncoderLayer {
+            attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            mlp: Mlp::new(store, &format!("{name}.mlp"), dim, hidden, dim, dropout, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            dropout,
+        }
+    }
+
+    /// Applies the layer; also returns the attention coefficients.
+    pub fn forward(&self, f: &mut Fwd, x: Var, mask: Option<Var>) -> (Var, Var) {
+        let (a, attn) = self.attn.forward(f, x, mask);
+        let a = f.dropout(a, self.dropout);
+        let res = f.tape.add(x, a);
+        let h = self.ln1.forward(f, res);
+        let m = self.mlp.forward(f, h);
+        let m = f.dropout(m, self.dropout);
+        let res2 = f.tape.add(h, m);
+        (self.ln2.forward(f, res2), attn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_tensor::Tape;
+
+    #[test]
+    fn pe_table_values() {
+        let pe = sinusoidal_pe(4, 6);
+        // Position 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        for j in 0..6 {
+            let expect = if j % 2 == 0 { 0.0 } else { 1.0 };
+            assert!((pe.at2(0, j) - expect).abs() < 1e-6);
+        }
+        // All values bounded by 1.
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        // Different positions differ.
+        assert!(pe.row(1) != pe.row(2));
+    }
+
+    #[test]
+    fn mask_bias_blocks_padding() {
+        let mask = attention_mask_bias(&[2, 3], 3, 2);
+        assert_eq!(mask.shape(), Shape::d3(4, 3, 3));
+        // Batch 0 (len 2): column 2 masked for every query and head.
+        for h in 0..2 {
+            for q in 0..3 {
+                assert_eq!(mask.at3(h, q, 2), MASK_NEG);
+                assert_eq!(mask.at3(h, q, 1), 0.0);
+            }
+        }
+        // Batch 1 (len 3): nothing masked.
+        for h in 2..4 {
+            assert!(mask.data()[h * 9..(h + 1) * 9].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_and_ignore_padding() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let msm = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let x = f.input(Tensor::randn(Shape::d3(2, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(1)));
+        let mask = f.input(attention_mask_bias(&[2, 4], 4, 2));
+        let (out, attn) = msm.forward(&mut f, x, Some(mask));
+        assert_eq!(tape.shape(out), Shape::d3(2, 4, 8));
+        let a = tape.value(attn);
+        assert_eq!(a.shape(), Shape::d3(4, 4, 4));
+        for bh in 0..4 {
+            for q in 0..4 {
+                let row: Vec<f32> = (0..4).map(|k| a.at3(bh, q, k)).collect();
+                let sum: f32 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "attn row must sum to 1");
+                if bh < 2 {
+                    // First batch element has length 2: keys 2,3 masked.
+                    assert!(row[2] < 1e-6 && row[3] < 1e-6, "masked keys got weight");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_layer_preserves_shape_and_grads_flow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer =
+            TransformerEncoderLayer::new(&mut store, "enc", 8, 2, 16, 0.1, &mut rng);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
+        let x = f.input(Tensor::randn(Shape::d3(2, 3, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(3)));
+        let (y, _attn) = layer.forward(&mut f, x, None);
+        assert_eq!(tape.shape(y), Shape::d3(2, 3, 8));
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        let pairs = grads.into_param_grads(&tape);
+        store.accumulate(pairs);
+        assert!(store.grad_norm() > 0.0, "gradients must reach encoder params");
+    }
+
+    #[test]
+    fn add_positional_changes_values_per_time_step() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let store = ParamStore::new();
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let x = f.input(Tensor::zeros(Shape::d3(2, 3, 4)));
+        let pe = sinusoidal_pe(3, 4);
+        let y = add_positional(&mut f, x, &pe);
+        let v = tape.value(y);
+        for bi in 0..2 {
+            for t in 0..3 {
+                for d in 0..4 {
+                    assert_eq!(v.at3(bi, t, d), pe.at2(t, d));
+                }
+            }
+        }
+    }
+}

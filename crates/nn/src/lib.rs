@@ -1,0 +1,27 @@
+//! # trajcl-nn
+//!
+//! Neural-network building blocks on top of [`trajcl_tensor`]: a persistent
+//! [`ParamStore`] with optimizer state and serialisation, standard layers
+//! (linear, layer norm, MLP, embedding, conv), vanilla multi-head
+//! self-attention with padding masks and sinusoidal positional encodings,
+//! GRU/LSTM cells for the recurrent baselines, and SGD/Adam optimizers with
+//! the paper's step-decay schedule.
+//!
+//! The TrajCL-specific DualMSM/DualSTB modules live in `trajcl-core` and are
+//! composed from the primitives exported here.
+
+pub mod attention;
+pub mod init;
+pub mod modules;
+pub mod optim;
+pub mod rnn;
+pub mod store;
+
+pub use attention::{
+    add_positional, attention_mask_bias, project_heads, scaled_scores, sinusoidal_pe,
+    MultiHeadSelfAttention, TransformerEncoderLayer, MASK_NEG,
+};
+pub use modules::{Conv2d, Embedding, Fwd, LayerNorm, Linear, Mlp};
+pub use optim::{Adam, Sgd, StepDecay};
+pub use rnn::{run_gru, run_lstm, GruCell, LstmCell};
+pub use store::{ParamId, ParamStore};

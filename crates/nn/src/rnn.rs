@@ -1,0 +1,303 @@
+//! Recurrent cells (GRU / LSTM) for the t2vec, E2DTC, T3S and Traj2SimVec
+//! baselines.
+//!
+//! Sequences are processed step-by-step on the tape; variable lengths are
+//! handled with per-step update masks so the final hidden state of each
+//! batch element is the state at its own last valid position (matching how
+//! packed sequences behave in the original PyTorch baselines).
+
+use crate::modules::Fwd;
+use crate::store::{ParamId, ParamStore};
+use crate::init;
+use rand::Rng;
+use trajcl_tensor::{Shape, Tensor, Var};
+
+/// A gated recurrent unit cell.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+}
+
+impl GruCell {
+    /// Registers GRU parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut w = |s: &str, a: usize, b: usize, mut rng: &mut dyn rand::RngCore| {
+            store.add(format!("{name}.{s}"), init::xavier_uniform(a, b, &mut rng))
+        };
+        let wz = w("wz", in_dim, hidden, rng);
+        let uz = w("uz", hidden, hidden, rng);
+        let wr = w("wr", in_dim, hidden, rng);
+        let ur = w("ur", hidden, hidden, rng);
+        let wh = w("wh", in_dim, hidden, rng);
+        let uh = w("uh", hidden, hidden, rng);
+        let bz = store.add(format!("{name}.bz"), Tensor::zeros(Shape::d1(hidden)));
+        let br = store.add(format!("{name}.br"), Tensor::zeros(Shape::d1(hidden)));
+        let bh = store.add(format!("{name}.bh"), Tensor::zeros(Shape::d1(hidden)));
+        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden }
+    }
+
+    /// One step: `(x_t (B, in), h (B, hidden)) -> h' (B, hidden)`.
+    pub fn step(&self, f: &mut Fwd, x: Var, h: Var) -> Var {
+        let gate = |f: &mut Fwd, w, u, b, x, h| {
+            let (wv, uv, bv) = (f.p(w), f.p(u), f.p(b));
+            let xs = f.tape.matmul(x, wv, false, false);
+            let hs = f.tape.matmul(h, uv, false, false);
+            let s = f.tape.add(xs, hs);
+            f.tape.add_bias(s, bv)
+        };
+        let z_pre = gate(f, self.wz, self.uz, self.bz, x, h);
+        let z = f.tape.sigmoid(z_pre);
+        let r_pre = gate(f, self.wr, self.ur, self.br, x, h);
+        let r = f.tape.sigmoid(r_pre);
+        let rh = f.tape.mul(r, h);
+        let n_pre = gate(f, self.wh, self.uh, self.bh, x, rh);
+        let n = f.tape.tanh_op(n_pre);
+        // h' = (1 - z) ⊙ n + z ⊙ h
+        let zh = f.tape.mul(z, h);
+        let zn = f.tape.mul(z, n);
+        let n_minus_zn = f.tape.sub(n, zn);
+        f.tape.add(n_minus_zn, zh)
+    }
+}
+
+/// An LSTM cell.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wi: ParamId,
+    ui: ParamId,
+    bi: ParamId,
+    wf: ParamId,
+    uf: ParamId,
+    bf: ParamId,
+    wo: ParamId,
+    uo: ParamId,
+    bo: ParamId,
+    wg: ParamId,
+    ug: ParamId,
+    bg: ParamId,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+}
+
+impl LstmCell {
+    /// Registers LSTM parameters (forget-gate bias initialised to 1).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut w = |s: &str, a: usize, b: usize, mut rng: &mut dyn rand::RngCore| {
+            store.add(format!("{name}.{s}"), init::xavier_uniform(a, b, &mut rng))
+        };
+        let wi = w("wi", in_dim, hidden, rng);
+        let ui = w("ui", hidden, hidden, rng);
+        let wf = w("wf", in_dim, hidden, rng);
+        let uf = w("uf", hidden, hidden, rng);
+        let wo = w("wo", in_dim, hidden, rng);
+        let uo = w("uo", hidden, hidden, rng);
+        let wg = w("wg", in_dim, hidden, rng);
+        let ug = w("ug", hidden, hidden, rng);
+        let bi = store.add(format!("{name}.bi"), Tensor::zeros(Shape::d1(hidden)));
+        let bf = store.add(format!("{name}.bf"), Tensor::ones(Shape::d1(hidden)));
+        let bo = store.add(format!("{name}.bo"), Tensor::zeros(Shape::d1(hidden)));
+        let bg = store.add(format!("{name}.bg"), Tensor::zeros(Shape::d1(hidden)));
+        LstmCell { wi, ui, bi, wf, uf, bf, wo, uo, bo, wg, ug, bg, in_dim, hidden }
+    }
+
+    /// One step: returns `(h', c')`.
+    pub fn step(&self, f: &mut Fwd, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let gate = |f: &mut Fwd, w, u, b, x, h| {
+            let (wv, uv, bv) = (f.p(w), f.p(u), f.p(b));
+            let xs = f.tape.matmul(x, wv, false, false);
+            let hs = f.tape.matmul(h, uv, false, false);
+            let s = f.tape.add(xs, hs);
+            f.tape.add_bias(s, bv)
+        };
+        let i_pre = gate(f, self.wi, self.ui, self.bi, x, h);
+        let i = f.tape.sigmoid(i_pre);
+        let fg_pre = gate(f, self.wf, self.uf, self.bf, x, h);
+        let fg = f.tape.sigmoid(fg_pre);
+        let o_pre = gate(f, self.wo, self.uo, self.bo, x, h);
+        let o = f.tape.sigmoid(o_pre);
+        let g_pre = gate(f, self.wg, self.ug, self.bg, x, h);
+        let g = f.tape.tanh_op(g_pre);
+        let fc = f.tape.mul(fg, c);
+        let ig = f.tape.mul(i, g);
+        let c_new = f.tape.add(fc, ig);
+        let tc = f.tape.tanh_op(c_new);
+        let h_new = f.tape.mul(o, tc);
+        (h_new, c_new)
+    }
+}
+
+/// Runs an RNN cell over a `(B, L, in_dim)` sequence with per-element valid
+/// lengths, freezing each element's state once its sequence ends.
+///
+/// Returns `(all_states (B, L, hidden), final_state (B, hidden))`.
+pub fn run_gru(f: &mut Fwd, cell: &GruCell, xs: Var, lens: &[usize]) -> (Var, Var) {
+    let shape = f.tape.shape(xs);
+    assert_eq!(shape.rank(), 3, "run_gru expects (B, L, D)");
+    let (b, l, _) = (shape[0], shape[1], shape[2]);
+    assert_eq!(lens.len(), b);
+    let mut h = f.input(Tensor::zeros(Shape::d2(b, cell.hidden)));
+    let mut states = Vec::with_capacity(l);
+    for t in 0..l {
+        let x_t = f.tape.select_time(xs, t);
+        let h_new = cell.step(f, x_t, h);
+        h = freeze_finished(f, h_new, h, lens, t, cell.hidden);
+        states.push(h);
+    }
+    let all = f.tape.stack_time(&states);
+    (all, h)
+}
+
+/// Runs an LSTM over a sequence the same way as [`run_gru`].
+pub fn run_lstm(f: &mut Fwd, cell: &LstmCell, xs: Var, lens: &[usize]) -> (Var, Var) {
+    let shape = f.tape.shape(xs);
+    assert_eq!(shape.rank(), 3, "run_lstm expects (B, L, D)");
+    let (b, l, _) = (shape[0], shape[1], shape[2]);
+    assert_eq!(lens.len(), b);
+    let mut h = f.input(Tensor::zeros(Shape::d2(b, cell.hidden)));
+    let mut c = f.input(Tensor::zeros(Shape::d2(b, cell.hidden)));
+    let mut states = Vec::with_capacity(l);
+    for t in 0..l {
+        let x_t = f.tape.select_time(xs, t);
+        let (h_new, c_new) = cell.step(f, x_t, h, c);
+        h = freeze_finished(f, h_new, h, lens, t, cell.hidden);
+        c = freeze_finished(f, c_new, c, lens, t, cell.hidden);
+        states.push(h);
+    }
+    let all = f.tape.stack_time(&states);
+    (all, h)
+}
+
+/// `new` where `t < len[b]`, otherwise `old` (keeps finished sequences
+/// frozen at their last valid state).
+fn freeze_finished(
+    f: &mut Fwd,
+    new: Var,
+    old: Var,
+    lens: &[usize],
+    t: usize,
+    hidden: usize,
+) -> Var {
+    if lens.iter().all(|&len| t < len) {
+        return new;
+    }
+    let b = lens.len();
+    let mut mask = Tensor::zeros(Shape::d2(b, hidden));
+    for (bi, &len) in lens.iter().enumerate() {
+        if t < len {
+            mask.data_mut()[bi * hidden..(bi + 1) * hidden].fill(1.0);
+        }
+    }
+    let inv_mask = mask.map(|v| 1.0 - v);
+    let m = f.input(mask);
+    let im = f.input(inv_mask);
+    let keep_new = f.tape.mul(new, m);
+    let keep_old = f.tape.mul(old, im);
+    f.tape.add(keep_new, keep_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trajcl_tensor::Tape;
+
+    #[test]
+    fn gru_step_shape_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 4, 6, &mut rng);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let x = f.input(Tensor::randn(Shape::d2(3, 4), 0.0, 1.0, &mut StdRng::seed_from_u64(1)));
+        let h = f.input(Tensor::zeros(Shape::d2(3, 6)));
+        let h2 = cell.step(&mut f, x, h);
+        assert_eq!(tape.shape(h2), Shape::d2(3, 6));
+        // GRU state from zero init is a convex-ish mix of tanh outputs: bounded.
+        assert!(tape.value(h2).max_abs() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 4, 5, &mut rng);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let x = f.input(Tensor::randn(Shape::d2(2, 4), 0.0, 1.0, &mut StdRng::seed_from_u64(3)));
+        let h = f.input(Tensor::zeros(Shape::d2(2, 5)));
+        let c = f.input(Tensor::zeros(Shape::d2(2, 5)));
+        let (h2, c2) = cell.step(&mut f, x, h, c);
+        assert_eq!(tape.shape(h2), Shape::d2(2, 5));
+        assert_eq!(tape.shape(c2), Shape::d2(2, 5));
+    }
+
+    #[test]
+    fn run_gru_freezes_short_sequences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let xs = f.input(Tensor::randn(Shape::d3(2, 5, 3), 0.0, 1.0, &mut StdRng::seed_from_u64(5)));
+        let (all, fin) = run_gru(&mut f, &cell, xs, &[2, 5]);
+        assert_eq!(tape.shape(all), Shape::d3(2, 5, 4));
+        assert_eq!(tape.shape(fin), Shape::d2(2, 4));
+        // Element 0 (len 2): states at t >= 1 must all equal the state at t=1.
+        let a = tape.value(all);
+        for t in 2..5 {
+            for d in 0..4 {
+                assert!(
+                    (a.at3(0, t, d) - a.at3(0, 1, d)).abs() < 1e-6,
+                    "finished sequence state changed at t={t}"
+                );
+            }
+        }
+        // Final state equals last row of all-states.
+        let fv = tape.value(fin);
+        for d in 0..4 {
+            assert!((fv.at2(0, d) - a.at3(0, 1, d)).abs() < 1e-6);
+            assert!((fv.at2(1, d) - a.at3(1, 4, d)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rnn_gradients_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
+        let xs = f.input(Tensor::randn(Shape::d3(2, 4, 3), 0.0, 1.0, &mut StdRng::seed_from_u64(7)));
+        let (_, fin) = run_gru(&mut f, &cell, xs, &[4, 4]);
+        let loss = tape.mean_all(fin);
+        let grads = tape.backward(loss);
+        store.accumulate(grads.into_param_grads(&tape));
+        assert!(store.grad_norm() > 0.0);
+    }
+}

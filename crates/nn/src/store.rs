@@ -1,0 +1,337 @@
+//! Persistent parameter storage shared across tapes.
+//!
+//! A [`ParamStore`] owns the model weights plus per-parameter optimizer
+//! state. Tapes are rebuilt every step; modules *bind* their parameters into
+//! the current tape with [`ParamStore::bind`], and after the backward pass
+//! gradients are routed back by parameter id with
+//! [`ParamStore::accumulate`].
+
+use bytes::{Buf, BufMut, BytesMut};
+use trajcl_tensor::{Shape, Tape, Tensor, Var};
+
+/// Opaque handle to a parameter slot in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Clone)]
+struct Slot {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Adam first moment.
+    m: Tensor,
+    /// Adam second moment.
+    v: Tensor,
+}
+
+/// Owns model parameters, their gradients and optimizer state.
+///
+/// Cloning a store produces an independent copy with identical slot layout —
+/// this is how the MoCo momentum encoder is created.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let shape = value.shape();
+        self.slots.push(Slot {
+            name: name.into(),
+            value,
+            grad: Tensor::zeros(shape),
+            m: Tensor::zeros(shape),
+            v: Tensor::zeros(shape),
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Binds parameter `id` into `tape` as a differentiable leaf.
+    pub fn bind(&self, tape: &mut Tape, id: ParamId) -> Var {
+        tape.param(self.slots[id.0].value.clone(), id.0)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable access to a parameter value (used by optimizers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].value
+    }
+
+    /// Current gradient accumulator of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].grad
+    }
+
+    /// Registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar parameters (for model-size reporting).
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.numel()).sum()
+    }
+
+    /// All parameter ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Ids of parameters whose name satisfies `pred` (used by fine-tuning
+    /// to select trainable subsets by name prefix).
+    pub fn ids_where(&self, pred: impl Fn(&str) -> bool) -> Vec<ParamId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(&s.name))
+            .map(|(i, _)| ParamId(i))
+            .collect()
+    }
+
+    /// Zeroes the gradients of every parameter whose name does NOT satisfy
+    /// `keep` — i.e. freezes everything else before the optimizer step.
+    pub fn zero_grads_where_not(&mut self, keep: impl Fn(&str) -> bool) {
+        for s in &mut self.slots {
+            if !keep(&s.name) {
+                s.grad.data_mut().fill(0.0);
+            }
+        }
+    }
+
+    /// Clears all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            s.grad.data_mut().fill(0.0);
+        }
+    }
+
+    /// Adds tape gradients (from `Grads::into_param_grads`) into the
+    /// per-parameter accumulators. Repeated bindings of the same parameter
+    /// sum naturally.
+    pub fn accumulate(&mut self, grads: Vec<(usize, Tensor)>) {
+        for (id, g) in grads {
+            self.slots[id].grad.add_assign_scaled(&g, 1.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .map(|s| s.grad.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for s in &mut self.slots {
+                s.grad.scale_in_place(scale);
+            }
+        }
+    }
+
+    /// MoCo momentum (EMA) update: `self = m*self + (1-m)*other`.
+    ///
+    /// # Panics
+    /// Panics if the two stores have different slot layouts.
+    pub fn ema_update_from(&mut self, other: &ParamStore, momentum: f32) {
+        assert_eq!(self.slots.len(), other.slots.len(), "store layout mismatch");
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            assert_eq!(a.value.shape(), b.value.shape(), "slot shape mismatch");
+            for (x, &y) in a.value.data_mut().iter_mut().zip(b.value.data()) {
+                *x = momentum * *x + (1.0 - momentum) * y;
+            }
+        }
+    }
+
+    /// Copies all parameter values (not optimizer state) from `other`.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.slots.len(), other.slots.len(), "store layout mismatch");
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            a.value = b.value.clone();
+        }
+    }
+
+    pub(crate) fn adam_state_mut(&mut self, id: usize) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor) {
+        let s = &mut self.slots[id];
+        (&mut s.value, &s.grad, &mut s.m, &mut s.v)
+    }
+
+    /// Serializes parameter values (names + shapes + data) to bytes.
+    ///
+    /// Optimizer state is not saved; a deserialized store is ready for
+    /// inference or fresh fine-tuning.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.slots.len() as u32);
+        for s in &self.slots {
+            buf.put_u32_le(s.name.len() as u32);
+            buf.put_slice(s.name.as_bytes());
+            let shape = s.value.shape();
+            let dims = shape.dims();
+            buf.put_u8(dims.len() as u8);
+            for &d in dims {
+                buf.put_u32_le(d as u32);
+            }
+            for &v in s.value.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Restores a store from [`ParamStore::to_bytes`] output.
+    ///
+    /// Returns `None` if the buffer is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut buf = bytes;
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len + 1 {
+                return None;
+            }
+            let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec()).ok()?;
+            let rank = buf.get_u8() as usize;
+            if rank == 0 || rank > 4 || buf.remaining() < rank * 4 {
+                return None;
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(buf.get_u32_le() as usize);
+            }
+            let shape = Shape::from_slice(&dims);
+            let n = shape.numel();
+            if buf.remaining() < n * 4 {
+                return None;
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(buf.get_f32_le());
+            }
+            store.add(name, Tensor::from_vec(data, shape));
+        }
+        Some(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_bind_and_accumulate() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![1.0, 2.0], Shape::d1(2)));
+        let mut tape = Tape::new();
+        let w = store.bind(&mut tape, id);
+        let loss = tape.sum_all(w);
+        let grads = tape.backward(loss);
+        store.accumulate(grads.into_param_grads(&tape));
+        assert_eq!(store.grad(id).data(), &[1.0, 1.0]);
+        // Accumulation is additive until cleared.
+        let mut tape = Tape::new();
+        let w = store.bind(&mut tape, id);
+        let loss = tape.sum_all(w);
+        let grads = tape.backward(loss);
+        store.accumulate(grads.into_param_grads(&tape));
+        assert_eq!(store.grad(id).data(), &[2.0, 2.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn double_binding_sums_gradients() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let w1 = store.bind(&mut tape, id);
+        let w2 = store.bind(&mut tape, id);
+        let prod = tape.mul(w1, w2); // w^2 -> d/dw = 2w = 6
+        let loss = tape.sum_all(prod);
+        let grads = tape.backward(loss);
+        store.accumulate(grads.into_param_grads(&tape));
+        assert!((store.grad(id).data()[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(Shape::d1(2)));
+        store.slots[id.0].grad = Tensor::from_vec(vec![3.0, 4.0], Shape::d1(2));
+        store.clip_grad_norm(10.0);
+        assert_eq!(store.grad(id).data(), &[3.0, 4.0]); // norm 5 <= 10
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ema_update_moves_towards_source() {
+        let mut a = ParamStore::new();
+        let ida = a.add("w", Tensor::scalar(0.0));
+        let mut b = ParamStore::new();
+        b.add("w", Tensor::scalar(10.0));
+        a.ema_update_from(&b, 0.9);
+        assert!((a.value(ida).data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut store = ParamStore::new();
+        store.add("layer.weight", Tensor::from_vec(vec![1.5, -2.0, 0.25, 9.0], Shape::d2(2, 2)));
+        store.add("layer.bias", Tensor::from_vec(vec![0.5], Shape::d1(1)));
+        let bytes = store.to_bytes();
+        let restored = ParamStore::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.name(ParamId(0)), "layer.weight");
+        assert_eq!(restored.value(ParamId(0)).data(), store.value(ParamId(0)).data());
+        assert_eq!(restored.value(ParamId(1)).shape(), Shape::d1(1));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(ParamStore::from_bytes(&[1, 2, 3]).is_none());
+        let mut bytes = ParamStore::new().to_bytes();
+        bytes[0] = 200; // claims 200 slots, provides none
+        assert!(ParamStore::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn num_scalars_counts_everything() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::zeros(Shape::d2(3, 4)));
+        store.add("b", Tensor::zeros(Shape::d1(5)));
+        assert_eq!(store.num_scalars(), 17);
+    }
+}

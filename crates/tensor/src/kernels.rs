@@ -1,0 +1,392 @@
+//! Raw numeric kernels shared by the forward and backward passes.
+//!
+//! Everything here operates on plain slices; the tape layer handles shapes,
+//! broadcasting decisions and gradient bookkeeping.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Work (in f32 multiply-adds) below which kernels stay single-threaded.
+/// Thread spawn costs ~10µs; this keeps small ops cheap while letting
+/// attention-sized matmuls use all cores.
+const PAR_THRESHOLD: usize = 1 << 17;
+
+/// Runs `f(row_index, row)` over contiguous rows of `out`, in parallel when
+/// the total work estimate is large enough.
+///
+/// `work_per_row` is an estimate in multiply-adds used for the threshold
+/// decision only.
+#[allow(clippy::manual_is_multiple_of)]
+pub fn for_each_row(
+    out: &mut [f32],
+    row_len: usize,
+    work_per_row: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert!(row_len > 0 && out.len() % row_len == 0);
+    let n_rows = out.len() / row_len;
+    let threads = available_threads();
+    if threads <= 1 || n_rows <= 1 || n_rows * work_per_row < PAR_THRESHOLD {
+        for (i, row) in out.chunks_mut(row_len).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let rows_per = n_rows.div_ceil(threads.min(n_rows));
+    std::thread::scope(|s| {
+        for (c, chunk) in out.chunks_mut(rows_per * row_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+                    f(c * rows_per + i, row);
+                }
+            });
+        }
+    });
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Dimensions of one side of a (possibly batched) matmul after resolving the
+/// transpose flag.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MatDims {
+    pub batch: usize,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+pub(crate) fn mat_dims(shape: Shape, transposed: bool) -> MatDims {
+    let r = shape.rank();
+    assert!(r >= 2, "matmul operand must have rank >= 2, got {shape}");
+    let (mut rows, mut cols) = (shape[r - 2], shape[r - 1]);
+    if transposed {
+        std::mem::swap(&mut rows, &mut cols);
+    }
+    MatDims { batch: shape.numel() / (rows * cols), rows, cols }
+}
+
+/// General (optionally batched / transposed) matrix multiply:
+/// `out = a_eff · b_eff` where `x_eff` is `x` with its last two dims swapped
+/// when the corresponding flag is set.
+///
+/// Supported batch combinations (Ba = batch of a, Bb = batch of b):
+/// * `Ba == Bb` — per-batch multiply;
+/// * `Bb == 1`  — shared right operand (e.g. weights);
+/// * `Ba == 1`  — shared left operand.
+///
+/// # Panics
+/// Panics on inner-dimension or batch mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
+    let da = mat_dims(a.shape(), ta);
+    let db = mat_dims(b.shape(), tb);
+    assert_eq!(
+        da.cols, db.rows,
+        "matmul inner dims mismatch: {}{} x {}{}",
+        a.shape(),
+        if ta { "^T" } else { "" },
+        b.shape(),
+        if tb { "^T" } else { "" }
+    );
+    let batch = match (da.batch, db.batch) {
+        (x, y) if x == y => x,
+        (x, 1) => x,
+        (1, y) => y,
+        (x, y) => panic!("matmul batch mismatch: {x} vs {y}"),
+    };
+    let (m, k, n) = (da.rows, da.cols, db.cols);
+    let out_shape = if batch == 1 && a.shape().rank() == 2 && b.shape().rank() == 2 {
+        Shape::d2(m, n)
+    } else {
+        Shape::d3(batch, m, n)
+    };
+    let mut out = Tensor::zeros(out_shape);
+
+    let a_stride = if da.batch == 1 { 0 } else { m * k };
+    let b_stride = if db.batch == 1 { 0 } else { k * n };
+    let ad = a.data();
+    let bd = b.data();
+    // Parallelise over all (batch, row) pairs: each output row is independent.
+    for_each_row(out.data_mut(), n, k * n, |r, out_row| {
+        let (bi, i) = (r / m, r % m);
+        let a_mat = &ad[bi * a_stride..bi * a_stride + m * k];
+        let b_mat = &bd[bi * b_stride..bi * b_stride + k * n];
+        matmul_row(a_mat, b_mat, i, m, k, n, ta, tb, out_row);
+    });
+    out
+}
+
+/// Accumulating variant: `acc += a_eff · b_eff` where `acc` already has the
+/// right shape. Used by backward passes that sum gradient contributions over
+/// the batch dimension (e.g. shared weight matrices).
+pub fn matmul_acc_into(acc: &mut Tensor, a: &Tensor, b: &Tensor, ta: bool, tb: bool) {
+    let prod = matmul(a, b, ta, tb);
+    if prod.shape() == acc.shape() {
+        acc.add_assign_scaled(&prod, 1.0);
+        return;
+    }
+    // Batched product reduced into a rank-2 accumulator: sum over batch.
+    let ps = prod.shape();
+    assert!(
+        ps.rank() == 3 && Shape::d2(ps[1], ps[2]) == acc.shape(),
+        "matmul_acc_into: cannot reduce {ps} into {}",
+        acc.shape()
+    );
+    let mn = ps[1] * ps[2];
+    let accd = acc.data_mut();
+    for bi in 0..ps[0] {
+        let src = &prod.data()[bi * mn..(bi + 1) * mn];
+        for (x, &y) in accd.iter_mut().zip(src) {
+            *x += y;
+        }
+    }
+}
+
+/// Computes one output row `out_row = a_eff[i, :] · b_eff`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_row(
+    a: &[f32],
+    b: &[f32],
+    i: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+    out_row: &mut [f32],
+) {
+    debug_assert_eq!(out_row.len(), n);
+    match (ta, tb) {
+        (false, false) => {
+            // Row of a is contiguous; iterate k outer for streaming access to b.
+            let a_row = &a[i * k..(i + 1) * k];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        (false, true) => {
+            // b_eff[kk, j] = b[j, kk]; rows of both operands are contiguous.
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                *o += dot(a_row, b_row);
+            }
+        }
+        (true, false) => {
+            // a_eff[i, kk] = a[kk, i]: strided reads of a, streaming b.
+            for kk in 0..k {
+                let av = a[kk * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        (true, true) => {
+            // a_eff[i, kk] = a[kk*m + i] (a stored (k, m));
+            // b_eff[kk, j] = b[j*k + kk] (b stored (n, k)).
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (kk, &bv) in b_row.iter().enumerate() {
+                    acc += a[kk * m + i] * bv;
+                }
+                *o += acc;
+            }
+        }
+    }
+}
+
+/// Plain dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Unrolled by 4 to help auto-vectorisation.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        total += a[i] * b[i];
+    }
+    total
+}
+
+/// Numerically-stable softmax over the last dimension, written into `out`.
+pub fn softmax_rows(x: &[f32], row_len: usize, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (xr, or) in x.chunks(row_len).zip(out.chunks_mut(row_len)) {
+        let max = xr.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        if !max.is_finite() {
+            // Entire row masked out: define softmax as uniform to avoid NaNs.
+            let u = 1.0 / row_len as f32;
+            or.fill(u);
+            continue;
+        }
+        let mut sum = 0.0;
+        for (o, &v) in or.iter_mut().zip(xr) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in or.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: Vec<f32>, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data, Shape::d2(r, c))
+    }
+
+    #[test]
+    fn matmul_2x2_identity() {
+        let a = t2(vec![1., 2., 3., 4.], 2, 2);
+        let i = t2(vec![1., 0., 0., 1.], 2, 2);
+        assert_eq!(matmul(&a, &i, false, false).data(), a.data());
+        assert_eq!(matmul(&i, &a, false, false).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rect() {
+        // (2,3) x (3,2)
+        let a = t2(vec![1., 2., 3., 4., 5., 6.], 2, 3);
+        let b = t2(vec![7., 8., 9., 10., 11., 12.], 3, 2);
+        let c = matmul(&a, &b, false, false);
+        assert_eq!(c.shape(), Shape::d2(2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transpose_flags_agree_with_materialized() {
+        let a = t2(vec![1., 2., 3., 4., 5., 6.], 2, 3);
+        let b = t2(vec![1., -1., 2., 0.5, 3., -2.], 2, 3);
+        // a (2,3) x b^T (3,2)
+        let via_flag = matmul(&a, &b, false, true);
+        let via_mat = matmul(&a, &b.transpose_last2(), false, false);
+        assert!(via_flag.approx_eq(&via_mat, 1e-6));
+        // a^T (3,2) x b (2,3)
+        let via_flag = matmul(&a, &b, true, false);
+        let via_mat = matmul(&a.transpose_last2(), &b, false, false);
+        assert!(via_flag.approx_eq(&via_mat, 1e-6));
+        // a^T x b^T (3,3)... inner dims: a^T is (3,2), b^T is (3,2) -> mismatch;
+        // use square operands instead.
+        let sa = t2(vec![1., 2., 3., 4.], 2, 2);
+        let sb = t2(vec![5., 6., 7., 8.], 2, 2);
+        let via_flag = matmul(&sa, &sb, true, true);
+        let via_mat = matmul(&sa.transpose_last2(), &sb.transpose_last2(), false, false);
+        assert!(via_flag.approx_eq(&via_mat, 1e-6));
+    }
+
+    #[test]
+    fn matmul_batched_matches_loop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), Shape::d3(2, 2, 3));
+        let b = Tensor::from_vec((0..12).map(|x| 1.0 - x as f32 * 0.25).collect(), Shape::d3(2, 3, 2));
+        let c = matmul(&a, &b, false, false);
+        assert_eq!(c.shape(), Shape::d3(2, 2, 2));
+        for bi in 0..2 {
+            let am = t2(a.data()[bi * 6..(bi + 1) * 6].to_vec(), 2, 3);
+            let bm = t2(b.data()[bi * 6..(bi + 1) * 6].to_vec(), 3, 2);
+            let cm = matmul(&am, &bm, false, false);
+            assert_eq!(&c.data()[bi * 4..(bi + 1) * 4], cm.data());
+        }
+    }
+
+    #[test]
+    fn matmul_batched_with_shared_weights() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), Shape::d3(2, 2, 3));
+        let w = t2(vec![1., 0., 0., 1., 1., 1.], 3, 2);
+        let c = matmul(&a, &w, false, false);
+        assert_eq!(c.shape(), Shape::d3(2, 2, 2));
+        for bi in 0..2 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    let expect: f32 =
+                        (0..3).map(|k| a.at3(bi, i, k) * w.at2(k, j)).sum();
+                    assert!((c.at3(bi, i, j) - expect).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_acc_reduces_batch() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), Shape::d3(2, 2, 3));
+        let g = Tensor::from_vec(vec![1.0; 8], Shape::d3(2, 2, 2));
+        // dW = sum_b a_b^T g_b has shape (3, 2)
+        let mut acc = Tensor::zeros(Shape::d2(3, 2));
+        matmul_acc_into(&mut acc, &a, &g, true, false);
+        let mut expect = Tensor::zeros(Shape::d2(3, 2));
+        for bi in 0..2 {
+            for k in 0..3 {
+                for j in 0..2 {
+                    let v: f32 = (0..2).map(|i| a.at3(bi, i, k) * g.at3(bi, i, j)).sum();
+                    expect.data_mut()[k * 2 + j] += v;
+                }
+            }
+        }
+        assert!(acc.approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_stable() {
+        let x = vec![1000.0, 1001.0, 999.0, -5.0, 0.0, 5.0];
+        let mut out = vec![0.0; 6];
+        softmax_rows(&x, 3, &mut out);
+        for row in out.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+        assert!(out[1] > out[0] && out[0] > out[2]);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let x = vec![f32::NEG_INFINITY; 4];
+        let mut out = vec![0.0; 4];
+        softmax_rows(&x, 4, &mut out);
+        assert!(out.iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|x| x as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..13).map(|x| 2.0 - x as f32 * 0.1).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn for_each_row_covers_all_rows_parallel() {
+        let mut out = vec![0.0f32; 64 * 128];
+        for_each_row(&mut out, 128, 1 << 20, |i, row| {
+            row.fill(i as f32);
+        });
+        for (i, row) in out.chunks(128).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f32));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Tensor shapes of rank 1–4 with copy semantics.
+//!
+//! Shapes are tiny fixed-capacity arrays so they can be freely copied around
+//! the tape without heap traffic.
+
+use std::fmt;
+
+/// Maximum supported tensor rank.
+pub const MAX_RANK: usize = 4;
+
+/// The shape (dimension sizes) of a [`crate::Tensor`].
+///
+/// Rank is between 1 and [`MAX_RANK`]. A scalar is represented as `\[1\]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// Rank-1 shape `[a]`.
+    pub fn d1(a: usize) -> Self {
+        Shape { dims: [a, 1, 1, 1], rank: 1 }
+    }
+
+    /// Rank-2 shape `[a, b]`.
+    pub fn d2(a: usize, b: usize) -> Self {
+        Shape { dims: [a, b, 1, 1], rank: 2 }
+    }
+
+    /// Rank-3 shape `[a, b, c]`.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape { dims: [a, b, c, 1], rank: 3 }
+    }
+
+    /// Rank-4 shape `[a, b, c, d]`.
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Shape { dims: [a, b, c, d], rank: 4 }
+    }
+
+    /// Builds a shape from a slice of dimension sizes.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or longer than [`MAX_RANK`].
+    pub fn from_slice(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_RANK,
+            "shape rank must be 1..={MAX_RANK}, got {}",
+            dims.len()
+        );
+        let mut out = [1usize; MAX_RANK];
+        out[..dims.len()].copy_from_slice(dims);
+        Shape { dims: out, rank: dims.len() as u8 }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// The dimension sizes as a slice of length `rank()`.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Size of the last dimension.
+    #[inline]
+    pub fn last(&self) -> usize {
+        self.dims[self.rank as usize - 1]
+    }
+
+    /// Product of all dimensions except the last (i.e. the number of
+    /// contiguous "rows" of length [`Shape::last`]).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.numel() / self.last()
+    }
+
+    /// Returns a copy with the last two dimensions swapped.
+    ///
+    /// # Panics
+    /// Panics if rank < 2.
+    pub fn transpose_last2(&self) -> Self {
+        assert!(self.rank >= 2, "transpose needs rank >= 2");
+        let mut s = *self;
+        let r = self.rank as usize;
+        s.dims.swap(r - 1, r - 2);
+        s
+    }
+}
+
+impl std::ops::Index<usize> for Shape {
+    type Output = usize;
+    #[inline]
+    fn index(&self, i: usize) -> &usize {
+        &self.dims()[i]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+        assert_eq!(s.last(), 4);
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s[1], 3);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        for dims in [&[5usize][..], &[2, 7], &[1, 2, 3], &[4, 3, 2, 1]] {
+            let s = Shape::from_slice(dims);
+            assert_eq!(s.dims(), dims);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_last_two() {
+        assert_eq!(Shape::d2(2, 3).transpose_last2(), Shape::d2(3, 2));
+        assert_eq!(Shape::d3(5, 2, 3).transpose_last2(), Shape::d3(5, 3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape rank")]
+    fn rejects_rank_zero() {
+        Shape::from_slice(&[]);
+    }
+
+    #[test]
+    fn equality_ignores_padding() {
+        assert_eq!(Shape::d2(2, 3), Shape::from_slice(&[2, 3]));
+        assert_ne!(Shape::d2(2, 3), Shape::d3(2, 3, 1));
+    }
+
+    #[test]
+    fn display_matches_dims() {
+        assert_eq!(format!("{}", Shape::d3(1, 2, 3)), "[1, 2, 3]");
+    }
+}

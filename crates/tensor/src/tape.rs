@@ -1,0 +1,666 @@
+//! The autograd tape: forward-op constructors and node storage.
+//!
+//! A [`Tape`] is rebuilt for every training step (define-by-run). Nodes are
+//! appended in topological order, so the backward sweep in
+//! [`crate::backward`] is a single reverse iteration.
+
+use crate::kernels::{self, matmul};
+use crate::op::Op;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Handle to a node on a [`Tape`]; a plain index, cheap to copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Reverse-mode autodiff tape.
+pub struct Tape {
+    pub(crate) values: Vec<Tensor>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) requires: Vec<bool>,
+    /// External parameter-store ids, used to route gradients back to the
+    /// optimizer after [`Tape::backward`](crate::backward).
+    pub(crate) param_binding: Vec<Option<usize>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape {
+            values: Vec::with_capacity(64),
+            ops: Vec::with_capacity(64),
+            requires: Vec::with_capacity(64),
+            param_binding: Vec::with_capacity(64),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The forward value of `v`.
+    #[inline]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.0]
+    }
+
+    /// Shape of the forward value of `v`.
+    #[inline]
+    pub fn shape(&self, v: Var) -> Shape {
+        self.values[v.0].shape()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires: bool) -> Var {
+        debug_assert!(value.all_finite() || !cfg!(debug_assertions), "non-finite forward value");
+        self.values.push(value);
+        self.ops.push(op);
+        self.requires.push(requires);
+        self.param_binding.push(None);
+        Var(self.values.len() - 1)
+    }
+
+    fn req(&self, v: Var) -> bool {
+        self.requires[v.0]
+    }
+
+    // ----- leaves ---------------------------------------------------------
+
+    /// Records a constant input (no gradient).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Records a differentiable parameter bound to external id `param_id`.
+    ///
+    /// After [`backward`](crate::backward) the gradient for this node can be
+    /// routed back to the parameter store through
+    /// [`Grads::into_param_grads`](crate::backward::Grads::into_param_grads).
+    pub fn param(&mut self, value: Tensor, param_id: usize) -> Var {
+        let v = self.push(value, Op::Leaf, true);
+        self.param_binding[v.0] = Some(param_id);
+        v
+    }
+
+    // ----- elementwise ----------------------------------------------------
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        let r = self.req(a) || self.req(b);
+        self.push(out, Op::Add(a, b), r)
+    }
+
+    /// Adds a rank-1 bias over the last dimension of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let xs = self.shape(x);
+        let bs = self.shape(bias);
+        assert_eq!(bs.rank(), 1, "bias must be rank 1, got {bs}");
+        assert_eq!(bs[0], xs.last(), "bias dim {bs} != last dim of {xs}");
+        let bd = self.value(bias).data().to_vec();
+        let mut out = self.value(x).clone();
+        for row in out.data_mut().chunks_mut(bd.len()) {
+            for (o, &b) in row.iter_mut().zip(&bd) {
+                *o += b;
+            }
+        }
+        let r = self.req(x) || self.req(bias);
+        self.push(out, Op::AddBias(x, bias), r)
+    }
+
+    /// Elementwise difference; shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        let r = self.req(a) || self.req(b);
+        self.push(out, Op::Sub(a, b), r)
+    }
+
+    /// Hadamard product; shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        let r = self.req(a) || self.req(b);
+        self.push(out, Op::Mul(a, b), r)
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&mut self, x: Var, c: f32) -> Var {
+        let out = self.value(x).map(|v| v * c);
+        let r = self.req(x);
+        self.push(out, Op::Scale(x, c), r)
+    }
+
+    /// Addition of a constant scalar.
+    pub fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        let out = self.value(x).map(|v| v + c);
+        let r = self.req(x);
+        self.push(out, Op::AddScalar(x), r)
+    }
+
+    // ----- linear algebra ---------------------------------------------------
+
+    /// (Batched) matrix product with transpose flags; see
+    /// [`kernels::matmul`] for the supported shape combinations.
+    pub fn matmul(&mut self, a: Var, b: Var, ta: bool, tb: bool) -> Var {
+        let out = matmul(self.value(a), self.value(b), ta, tb);
+        let r = self.req(a) || self.req(b);
+        self.push(out, Op::Matmul { a, b, ta, tb }, r)
+    }
+
+    /// Per-row dot product of two `(R, D)` tensors, returning `(R, 1)`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
+        let d = av.shape().last();
+        let rows = av.shape().rows();
+        let mut out = Tensor::zeros(Shape::d2(rows, 1));
+        for i in 0..rows {
+            out.data_mut()[i] = kernels::dot(
+                &av.data()[i * d..(i + 1) * d],
+                &bv.data()[i * d..(i + 1) * d],
+            );
+        }
+        let r = self.req(a) || self.req(b);
+        self.push(out, Op::RowDot(a, b), r)
+    }
+
+    // ----- nonlinearities ----------------------------------------------------
+
+    /// Numerically-stable softmax over the last dimension.
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let xv = self.value(x);
+        let mut out = Tensor::zeros(xv.shape());
+        kernels::softmax_rows(xv.data(), xv.shape().last(), out.data_mut());
+        let r = self.req(x);
+        self.push(out, Op::Softmax(x), r)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(|v| v.max(0.0));
+        let r = self.req(x);
+        self.push(out, Op::Relu(x), r)
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(gelu_fwd);
+        let r = self.req(x);
+        self.push(out, Op::Gelu(x), r)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_op(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(f32::tanh);
+        let r = self.req(x);
+        self.push(out, Op::Tanh(x), r)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let r = self.req(x);
+        self.push(out, Op::Sigmoid(x), r)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs_op(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(f32::abs);
+        let r = self.req(x);
+        self.push(out, Op::Abs(x), r)
+    }
+
+    /// Inverted dropout: keeps elements with probability `1-p` and scales
+    /// them by `1/(1-p)`. Identity when `training` is false or `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f32, training: bool, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        if !training || p == 0.0 {
+            // Record a no-op pass-through so graph structure is stable.
+            let out = self.value(x).clone();
+            let mask = Tensor::ones(out.shape());
+            let r = self.req(x);
+            return self.push(out, Op::Dropout { x, mask }, r);
+        }
+        let keep = 1.0 - p;
+        let inv = 1.0 / keep;
+        let xv = self.value(x);
+        let mut mask = Tensor::zeros(xv.shape());
+        for m in mask.data_mut() {
+            if rng.gen::<f32>() < keep {
+                *m = inv;
+            }
+        }
+        let out = xv.zip_map(&mask, |v, m| v * m);
+        let r = self.req(x);
+        self.push(out, Op::Dropout { x, mask }, r)
+    }
+
+    // ----- normalisation ----------------------------------------------------
+
+    /// Layer normalisation over the last dimension, with learnable `gamma`
+    /// (scale) and `beta` (shift), both rank-1 of that dimension.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xs = self.shape(x);
+        let d = xs.last();
+        assert_eq!(self.shape(gamma), Shape::d1(d), "layer_norm gamma shape");
+        assert_eq!(self.shape(beta), Shape::d1(d), "layer_norm beta shape");
+        let rows = xs.rows();
+        let mut mean = Tensor::zeros(Shape::d1(rows));
+        let mut rstd = Tensor::zeros(Shape::d1(rows));
+        let mut out = Tensor::zeros(xs);
+        {
+            let xv = self.value(x).data();
+            let g = self.value(gamma).data();
+            let b = self.value(beta).data();
+            for i in 0..rows {
+                let row = &xv[i * d..(i + 1) * d];
+                let mu: f32 = row.iter().sum::<f32>() / d as f32;
+                let var: f32 =
+                    row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let rs = 1.0 / (var + eps).sqrt();
+                mean.data_mut()[i] = mu;
+                rstd.data_mut()[i] = rs;
+                let orow = &mut out.data_mut()[i * d..(i + 1) * d];
+                for j in 0..d {
+                    orow[j] = (row[j] - mu) * rs * g[j] + b[j];
+                }
+            }
+        }
+        let r = self.req(x) || self.req(gamma) || self.req(beta);
+        self.push(out, Op::LayerNorm { x, gamma, beta, mean, rstd }, r)
+    }
+
+    /// Scales each row of a rank-2 tensor to unit L2 norm.
+    pub fn l2_normalize_rows(&mut self, x: Var) -> Var {
+        let xv = self.value(x);
+        let d = xv.shape().last();
+        let rows = xv.shape().rows();
+        let mut inv_norms = Tensor::zeros(Shape::d1(rows));
+        let mut out = xv.clone();
+        for i in 0..rows {
+            let row = &mut out.data_mut()[i * d..(i + 1) * d];
+            let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+            let inv = 1.0 / n;
+            inv_norms.data_mut()[i] = inv;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        let r = self.req(x);
+        self.push(out, Op::L2NormalizeRows { x, inv_norms }, r)
+    }
+
+    // ----- shape plumbing ---------------------------------------------------
+
+    /// Concatenates along the last dimension; leading dimensions must match.
+    pub fn concat(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let rows = self.shape(parts[0]).rows();
+        let mut widths = Vec::with_capacity(parts.len());
+        for &p in parts {
+            assert_eq!(self.shape(p).rows(), rows, "concat leading dims mismatch");
+            widths.push(self.shape(p).last());
+        }
+        let total: usize = widths.iter().sum();
+        let lead = self.shape(parts[0]);
+        let mut dims = lead.dims().to_vec();
+        *dims.last_mut().unwrap() = total;
+        let mut out = Tensor::zeros(Shape::from_slice(&dims));
+        {
+            let od = out.data_mut();
+            let mut off = 0;
+            for (&p, &w) in parts.iter().zip(&widths) {
+                let pd = self.values[p.0].data();
+                for i in 0..rows {
+                    od[i * total + off..i * total + off + w]
+                        .copy_from_slice(&pd[i * w..(i + 1) * w]);
+                }
+                off += w;
+            }
+        }
+        let r = parts.iter().any(|&p| self.req(p));
+        self.push(out, Op::Concat { parts: parts.to_vec() }, r)
+    }
+
+    /// `(B, L, H*Dh) -> (B*H, L, Dh)` for multi-head attention.
+    pub fn split_heads(&mut self, x: Var, heads: usize) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.rank(), 3, "split_heads expects rank 3, got {xs}");
+        let (b, l, d) = (xs[0], xs[1], xs[2]);
+        assert_eq!(d % heads, 0, "model dim {d} not divisible by {heads} heads");
+        let dh = d / heads;
+        let mut out = Tensor::zeros(Shape::d3(b * heads, l, dh));
+        split_heads_copy(self.value(x).data(), out.data_mut(), b, l, heads, dh, false);
+        let r = self.req(x);
+        self.push(out, Op::SplitHeads { x, heads }, r)
+    }
+
+    /// `(B*H, L, Dh) -> (B, L, H*Dh)`, inverse of [`Tape::split_heads`].
+    pub fn merge_heads(&mut self, x: Var, heads: usize) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.rank(), 3, "merge_heads expects rank 3, got {xs}");
+        let (bh, l, dh) = (xs[0], xs[1], xs[2]);
+        assert_eq!(bh % heads, 0, "batch*heads {bh} not divisible by {heads}");
+        let b = bh / heads;
+        let mut out = Tensor::zeros(Shape::d3(b, l, heads * dh));
+        split_heads_copy(self.value(x).data(), out.data_mut(), b, l, heads, dh, true);
+        let r = self.req(x);
+        self.push(out, Op::MergeHeads { x, heads }, r)
+    }
+
+    /// Reinterprets the value under a new shape (same element count).
+    pub fn reshape(&mut self, x: Var, shape: Shape) -> Var {
+        let out = self.value(x).clone().reshaped(shape);
+        let r = self.req(x);
+        self.push(out, Op::Reshape(x), r)
+    }
+
+    /// `(B, L, D)` slice at time step `t`, producing `(B, D)`.
+    pub fn select_time(&mut self, x: Var, t: usize) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.rank(), 3, "select_time expects rank 3");
+        let (b, l, d) = (xs[0], xs[1], xs[2]);
+        assert!(t < l, "time index {t} out of range {l}");
+        let mut out = Tensor::zeros(Shape::d2(b, d));
+        for bi in 0..b {
+            let src = &self.value(x).data()[(bi * l + t) * d..(bi * l + t + 1) * d];
+            out.data_mut()[bi * d..(bi + 1) * d].copy_from_slice(src);
+        }
+        let r = self.req(x);
+        self.push(out, Op::SelectTime { x, t }, r)
+    }
+
+    /// Stacks `L` tensors of shape `(B, D)` into `(B, L, D)`.
+    pub fn stack_time(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_time of zero parts");
+        let s0 = self.shape(parts[0]);
+        assert_eq!(s0.rank(), 2, "stack_time parts must be rank 2");
+        let (b, d) = (s0[0], s0[1]);
+        let l = parts.len();
+        let mut out = Tensor::zeros(Shape::d3(b, l, d));
+        for (t, &p) in parts.iter().enumerate() {
+            assert_eq!(self.shape(p), s0, "stack_time shape mismatch at {t}");
+            let pd = self.values[p.0].data();
+            for bi in 0..b {
+                out.data_mut()[(bi * l + t) * d..(bi * l + t + 1) * d]
+                    .copy_from_slice(&pd[bi * d..(bi + 1) * d]);
+            }
+        }
+        let r = parts.iter().any(|&p| self.req(p));
+        self.push(out, Op::StackTime { parts: parts.to_vec() }, r)
+    }
+
+    // ----- pooling / gathering ----------------------------------------------
+
+    /// Masked mean over time: averages the first `lens[b]` positions of each
+    /// sequence in a `(B, L, D)` tensor, producing `(B, D)`.
+    pub fn mean_pool_masked(&mut self, x: Var, lens: &[usize]) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.rank(), 3, "mean_pool_masked expects rank 3");
+        let (b, l, d) = (xs[0], xs[1], xs[2]);
+        assert_eq!(lens.len(), b, "lens length must equal batch");
+        let mut out = Tensor::zeros(Shape::d2(b, d));
+        for (bi, &len) in lens.iter().enumerate() {
+            assert!(len >= 1 && len <= l, "invalid length {len} for L={l}");
+            let inv = 1.0 / len as f32;
+            let orow = &mut out.data_mut()[bi * d..(bi + 1) * d];
+            for t in 0..len {
+                let src = &self.values[x.0].data()[(bi * l + t) * d..(bi * l + t + 1) * d];
+                for (o, &v) in orow.iter_mut().zip(src) {
+                    *o += v * inv;
+                }
+            }
+        }
+        let r = self.req(x);
+        self.push(out, Op::MeanPoolMasked { x, lens: lens.to_vec() }, r)
+    }
+
+    /// Row gather from an embedding `table` of shape `(V, D)`:
+    /// `out[i, :] = table[ids[i], :]`, producing `(N, D)`.
+    pub fn embedding(&mut self, table: Var, ids: &[u32]) -> Var {
+        let ts = self.shape(table);
+        assert_eq!(ts.rank(), 2, "embedding table must be rank 2");
+        let (v, d) = (ts[0], ts[1]);
+        let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+        for (i, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < v, "embedding id {id} out of range {v}");
+            let src = &self.values[table.0].data()[id as usize * d..(id as usize + 1) * d];
+            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src);
+        }
+        let r = self.req(table);
+        self.push(out, Op::Embedding { table, ids: ids.to_vec() }, r)
+    }
+
+    // ----- reductions / losses ------------------------------------------------
+
+    /// Mean of all elements, producing a scalar node.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let out = Tensor::scalar(self.value(x).mean());
+        let r = self.req(x);
+        self.push(out, Op::MeanAll(x), r)
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let out = Tensor::scalar(self.value(x).sum());
+        let r = self.req(x);
+        self.push(out, Op::SumAll(x), r)
+    }
+
+    /// Mean cross-entropy between `(B, C)` logits and integer class targets.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let ls = self.shape(logits);
+        assert_eq!(ls.rank(), 2, "cross_entropy expects rank-2 logits");
+        let (b, c) = (ls[0], ls[1]);
+        assert_eq!(targets.len(), b, "targets length must equal batch");
+        let mut probs = Tensor::zeros(ls);
+        kernels::softmax_rows(self.value(logits).data(), c, probs.data_mut());
+        let mut loss = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < c, "target {t} out of range {c}");
+            loss -= probs.data()[i * c + t].max(1e-12).ln();
+        }
+        let out = Tensor::scalar(loss / b as f32);
+        let r = self.req(logits);
+        self.push(
+            out,
+            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+            r,
+        )
+    }
+
+    /// `x * s` with a learnable 1-element scale `s` (e.g. the γ fusion weight
+    /// in DualMSM).
+    pub fn mul_scalar_var(&mut self, x: Var, s: Var) -> Var {
+        assert_eq!(self.shape(s).numel(), 1, "scale must be a single element");
+        let sv = self.value(s).data()[0];
+        let out = self.value(x).map(|v| v * sv);
+        let r = self.req(x) || self.req(s);
+        self.push(out, Op::MulScalarVar { x, s }, r)
+    }
+
+    // ----- convolution (for the TrjSR baseline) -------------------------------
+
+    /// 2-D convolution in NCHW layout with square stride and zero padding.
+    ///
+    /// `x: (B, C, H, W)`, `w: (O, C, K, K)`, `bias: (O)`.
+    pub fn conv2d(&mut self, x: Var, w: Var, bias: Var, stride: usize, pad: usize) -> Var {
+        let xs = self.shape(x);
+        let ws = self.shape(w);
+        assert_eq!(xs.rank(), 4, "conv2d input must be rank 4 (NCHW)");
+        assert_eq!(ws.rank(), 4, "conv2d weight must be rank 4 (OCKK)");
+        let (b, c, h, wd) = (xs[0], xs[1], xs[2], xs[3]);
+        let (o, cw, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        assert_eq!(c, cw, "conv2d channel mismatch");
+        assert_eq!(self.shape(bias), Shape::d1(o), "conv2d bias shape");
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (wd + 2 * pad - kw) / stride + 1;
+        let mut out = Tensor::zeros(Shape::d4(b, o, oh, ow));
+        {
+            let xd = self.value(x).data();
+            let wdt = self.value(w).data();
+            let bd = self.value(bias).data();
+            let plane = oh * ow;
+            kernels::for_each_row(out.data_mut(), plane, c * kh * kw * plane, |r, orow| {
+                let (bi, oc) = (r / o, r % o);
+                conv2d_plane(
+                    xd, wdt, bd[oc], bi, oc, c, h, wd, kh, kw, stride, pad, oh, ow, orow,
+                );
+            });
+        }
+        let r = self.req(x) || self.req(w) || self.req(bias);
+        self.push(out, Op::Conv2d { x, w, bias, stride, pad }, r)
+    }
+
+    /// Non-overlapping max pooling with a square `size` window.
+    pub fn max_pool2d(&mut self, x: Var, size: usize) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.rank(), 4, "max_pool2d input must be rank 4");
+        let (b, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+        assert!(h % size == 0 && w % size == 0, "pool size must divide H and W");
+        let (oh, ow) = (h / size, w / size);
+        let mut out = Tensor::zeros(Shape::d4(b, c, oh, ow));
+        let mut argmax = vec![0u32; out.numel()];
+        {
+            let xd = self.value(x).data();
+            let od = out.data_mut();
+            let mut oi = 0;
+            for bc in 0..b * c {
+                let base = bc * h * w;
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for di in 0..size {
+                            for dj in 0..size {
+                                let idx = base + (i * size + di) * w + (j * size + dj);
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        od[oi] = best;
+                        argmax[oi] = best_idx as u32;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        let r = self.req(x);
+        self.push(out, Op::MaxPool2d { x, argmax }, r)
+    }
+
+    /// Global average pooling `(B, C, H, W) -> (B, C)`.
+    pub fn avg_pool2d_global(&mut self, x: Var) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.rank(), 4, "avg_pool2d_global input must be rank 4");
+        let (b, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = Tensor::zeros(Shape::d2(b, c));
+        for bc in 0..b * c {
+            let plane = &self.value(x).data()[bc * h * w..(bc + 1) * h * w];
+            out.data_mut()[bc] = plane.iter().sum::<f32>() * inv;
+        }
+        let r = self.req(x);
+        self.push(out, Op::AvgPool2dGlobal(x), r)
+    }
+}
+
+/// Shared index shuffle for head split/merge.
+///
+/// `reverse = false`: src is `(B, L, H*Dh)`, dst is `(B*H, L, Dh)`.
+/// `reverse = true` : src is `(B*H, L, Dh)`, dst is `(B, L, H*Dh)`.
+pub(crate) fn split_heads_copy(
+    src: &[f32],
+    dst: &mut [f32],
+    b: usize,
+    l: usize,
+    heads: usize,
+    dh: usize,
+    reverse: bool,
+) {
+    for bi in 0..b {
+        for h in 0..heads {
+            for t in 0..l {
+                let packed = (bi * l + t) * heads * dh + h * dh;
+                let split = ((bi * heads + h) * l + t) * dh;
+                if reverse {
+                    dst[packed..packed + dh].copy_from_slice(&src[split..split + dh]);
+                } else {
+                    dst[split..split + dh].copy_from_slice(&src[packed..packed + dh]);
+                }
+            }
+        }
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU; used by the backward pass.
+pub(crate) fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_plane(
+    x: &[f32],
+    w: &[f32],
+    bias: f32,
+    bi: usize,
+    oc: usize,
+    c: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    for i in 0..oh {
+        for j in 0..ow {
+            let mut acc = bias;
+            for ci in 0..c {
+                let xbase = (bi * c + ci) * h * wd;
+                let wbase = (oc * c + ci) * kh * kw;
+                for di in 0..kh {
+                    let yi = (i * stride + di) as isize - pad as isize;
+                    if yi < 0 || yi as usize >= h {
+                        continue;
+                    }
+                    for dj in 0..kw {
+                        let xj = (j * stride + dj) as isize - pad as isize;
+                        if xj < 0 || xj as usize >= wd {
+                            continue;
+                        }
+                        acc += x[xbase + yi as usize * wd + xj as usize]
+                            * w[wbase + di * kw + dj];
+                    }
+                }
+            }
+            out[i * ow + j] = acc;
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate property-based tests (proptest): measure axioms,
+//! augmentation invariants and grid/tensor laws that must hold for any
+//! input, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+use trajcl::data::{point_mask, truncate};
+use trajcl::geo::{douglas_peucker, max_deviation, Bbox, Grid, Point, Trajectory};
+use trajcl::measures::{dtw, edr, edwp, frechet, hausdorff};
+use trajcl::tensor::{kernels, Shape, Tensor};
+
+/// Strategy: a trajectory of 2..=40 points in a 10 km box.
+fn arb_trajectory() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0f64..10_000.0, 0.0f64..10_000.0), 2..40)
+        .prop_map(|pts| Trajectory::from_xy(&pts))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn measures_are_symmetric_and_nonnegative(a in arb_trajectory(), b in arb_trajectory()) {
+        for (name, d_ab, d_ba) in [
+            ("hausdorff", hausdorff(&a, &b), hausdorff(&b, &a)),
+            ("frechet", frechet(&a, &b), frechet(&b, &a)),
+            ("dtw", dtw(&a, &b), dtw(&b, &a)),
+            ("edr", edr(&a, &b, 50.0), edr(&b, &a, 50.0)),
+            ("edwp", edwp(&a, &b), edwp(&b, &a)),
+        ] {
+            prop_assert!(d_ab >= 0.0, "{name} negative: {d_ab}");
+            let scale = d_ab.abs().max(1.0);
+            prop_assert!(((d_ab - d_ba) / scale).abs() < 1e-6,
+                "{name} asymmetric: {d_ab} vs {d_ba}");
+        }
+    }
+
+    #[test]
+    fn measures_identity_is_zero(a in arb_trajectory()) {
+        // Segment-based Hausdorff projects onto `lerp`-interpolated points,
+        // which are not bit-exact endpoints; allow FP dust.
+        prop_assert!(hausdorff(&a, &a) < 1e-6);
+        prop_assert!(frechet(&a, &a) == 0.0);
+        prop_assert!(dtw(&a, &a) == 0.0);
+        prop_assert!(edr(&a, &a, 1.0) == 0.0);
+        prop_assert!(edwp(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hausdorff_lower_bounds_frechet(a in arb_trajectory(), b in arb_trajectory()) {
+        // The continuous Hausdorff (free matching) can never exceed the
+        // discrete Fréchet (order-constrained matching over the same points).
+        prop_assert!(hausdorff(&a, &b) <= frechet(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn douglas_peucker_respects_epsilon(t in arb_trajectory(), eps in 1.0f64..500.0) {
+        let s = douglas_peucker(&t, eps);
+        prop_assert!(s.len() >= 2 || t.len() < 3);
+        prop_assert!(s.len() <= t.len());
+        prop_assert!(max_deviation(&t, &s) <= eps + 1e-9);
+        // Endpoints preserved.
+        prop_assert_eq!(s.point(0), t.point(0));
+        prop_assert_eq!(s.point(s.len() - 1), t.point(t.len() - 1));
+    }
+
+    #[test]
+    fn masking_yields_ordered_subsequence(t in arb_trajectory(), rho in 0.0f64..0.9, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = point_mask(&t, rho, &mut rng);
+        prop_assert!(!m.is_empty());
+        prop_assert!(m.len() <= t.len());
+        let mut cursor = 0usize;
+        for p in m.points() {
+            let found = t.points()[cursor..].iter().position(|q| q == p);
+            prop_assert!(found.is_some(), "not a subsequence");
+            cursor += found.unwrap() + 1;
+        }
+    }
+
+    #[test]
+    fn truncation_is_contiguous_window(t in arb_trajectory(), rho in 0.1f64..1.0, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = truncate(&t, rho, &mut rng);
+        prop_assert!(!w.is_empty());
+        let start = t.points().iter().position(|p| *p == w.point(0));
+        prop_assert!(start.is_some());
+        let start = start.unwrap();
+        for (i, p) in w.points().iter().enumerate() {
+            prop_assert_eq!(*p, t.point(start + i));
+        }
+    }
+
+    #[test]
+    fn grid_cell_round_trip(x in 0.0f64..9_999.0, y in 0.0f64..9_999.0) {
+        let grid = Grid::new(
+            Bbox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0)),
+            100.0,
+        );
+        let cell = grid.cell_of(&Point::new(x, y));
+        prop_assert!((cell as usize) < grid.num_cells());
+        // The cell's center maps back to the same cell.
+        prop_assert_eq!(grid.cell_of(&grid.center(cell)), cell);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in prop::collection::vec(-30.0f32..30.0, 12)) {
+        let mut out = vec![0.0f32; 12];
+        kernels::softmax_rows(&data, 4, &mut out);
+        for row in out.chunks(4) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn matmul_identity_law(vals in prop::collection::vec(-10.0f32..10.0, 16)) {
+        let a = Tensor::from_vec(vals, Shape::d2(4, 4));
+        let mut eye = Tensor::zeros(Shape::d2(4, 4));
+        for i in 0..4 {
+            eye.data_mut()[i * 4 + i] = 1.0;
+        }
+        let prod = kernels::matmul(&a, &eye, false, false);
+        prop_assert!(prod.approx_eq(&a, 1e-5));
+        // (A·I)^T == A^T via transpose flags.
+        let at = kernels::matmul(&eye, &a, false, true);
+        prop_assert!(at.approx_eq(&a.transpose_last2(), 1e-5));
+    }
+
+    #[test]
+    fn edwp_zero_across_resampling(n in 2usize..8) {
+        // Same straight geometry sampled at different densities costs ~0.
+        let sparse = Trajectory::from_xy(&[(0.0, 0.0), (1_000.0, 0.0)]);
+        let dense: Vec<(f64, f64)> = (0..=n).map(|i| (1_000.0 * i as f64 / n as f64, 0.0)).collect();
+        let dense = Trajectory::from_xy(&dense);
+        prop_assert!(edwp(&sparse, &dense) < 1e-6);
+    }
+}
