@@ -2,7 +2,7 @@
 //! the `TrajectoryEncoder` abstraction every baseline implements.
 
 use rand::Rng;
-use trajcl_geo::{Bbox, Grid, Trajectory};
+use trajcl_geo::{validate_batch, Bbox, FeaturizeError, Grid, Trajectory};
 use trajcl_nn::Fwd;
 use trajcl_tensor::{Shape, Tape, Tensor, Var};
 
@@ -47,11 +47,15 @@ impl TokenFeaturizer {
     }
 
     /// Tokenises a batch, padding to its longest member.
-    pub fn featurize(&self, trajs: &[Trajectory]) -> TokenBatch {
-        assert!(!trajs.is_empty(), "empty batch");
+    ///
+    /// # Errors
+    /// [`FeaturizeError::EmptyBatch`] on an empty batch,
+    /// [`FeaturizeError::EmptyTrajectory`] when a member has no points.
+    pub fn featurize(&self, trajs: &[Trajectory]) -> Result<TokenBatch, FeaturizeError> {
+        validate_batch(trajs)?;
         let b = trajs.len();
         let lens: Vec<usize> = trajs.iter().map(|t| t.len().min(self.max_len)).collect();
-        let l = *lens.iter().max().expect("nonempty");
+        let l = lens.iter().copied().max().unwrap_or(0);
         let mut cells = vec![0u32; b * l];
         let mut coords = Tensor::zeros(Shape::d3(b, l, 2));
         let (w, h) = (self.region.width().max(1e-9), self.region.height().max(1e-9));
@@ -64,7 +68,7 @@ impl TokenFeaturizer {
                     (2.0 * (p.y - self.region.min.y) / h - 1.0) as f32;
             }
         }
-        TokenBatch { cells, coords, lens, seq_len: l }
+        Ok(TokenBatch { cells, coords, lens, seq_len: l })
     }
 }
 
@@ -127,7 +131,7 @@ mod tests {
         let tf = TokenFeaturizer::new(region(), 100.0, 64);
         let a: Trajectory = (0..5).map(|i| Point::new(i as f64 * 100.0, 50.0)).collect();
         let b: Trajectory = (0..8).map(|i| Point::new(i as f64 * 50.0, 400.0)).collect();
-        let batch = tf.featurize(&[a, b]);
+        let batch = tf.featurize(&[a, b]).expect("featurize");
         assert_eq!(batch.seq_len, 8);
         assert_eq!(batch.lens, vec![5, 8]);
         assert_eq!(batch.cells.len(), 16);
@@ -145,7 +149,7 @@ mod tests {
         let t: Trajectory = vec![Point::new(0.0, 0.0), Point::new(1000.0, 500.0)]
             .into_iter()
             .collect();
-        let batch = tf.featurize(std::slice::from_ref(&t));
+        let batch = tf.featurize(std::slice::from_ref(&t)).expect("featurize");
         assert_eq!(batch.coords.at3(0, 0, 0), -1.0);
         assert_eq!(batch.coords.at3(0, 0, 1), -1.0);
         assert_eq!(batch.coords.at3(0, 1, 0), 1.0);
@@ -153,10 +157,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_an_error_not_a_panic() {
+        let tf = TokenFeaturizer::new(region(), 100.0, 64);
+        assert_eq!(tf.featurize(&[]).err(), Some(FeaturizeError::EmptyBatch));
+    }
+
+    #[test]
+    fn empty_trajectory_is_an_error_with_index() {
+        let tf = TokenFeaturizer::new(region(), 100.0, 64);
+        let ok: Trajectory = (0..4).map(|i| Point::new(i as f64 * 100.0, 50.0)).collect();
+        assert_eq!(
+            tf.featurize(&[ok, Trajectory::new(Vec::new())]).err(),
+            Some(FeaturizeError::EmptyTrajectory { index: 1 })
+        );
+    }
+
+    #[test]
     fn long_inputs_truncate() {
         let tf = TokenFeaturizer::new(region(), 100.0, 4);
         let t: Trajectory = (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
-        let batch = tf.featurize(std::slice::from_ref(&t));
+        let batch = tf.featurize(std::slice::from_ref(&t)).expect("featurize");
         assert_eq!(batch.seq_len, 4);
         assert_eq!(batch.lens, vec![4]);
     }

@@ -89,7 +89,7 @@ impl Cstrm {
     }
 
     fn encode_batch(&self, f: &mut Fwd, trajs: &[Trajectory]) -> Var {
-        let batch = self.featurizer.featurize(trajs);
+        let batch = self.featurizer.featurize(trajs).expect("non-empty batch");
         let emb = self
             .cell_emb
             .forward_seq(f, &batch.cells, batch.lens.len(), batch.seq_len);

@@ -66,7 +66,7 @@ impl TrajectoryEncoder for Neutraj {
     }
 
     fn encode_on_tape(&self, f: &mut Fwd, trajs: &[Trajectory]) -> Var {
-        let batch = self.featurizer.featurize(trajs);
+        let batch = self.featurizer.featurize(trajs).expect("non-empty batch");
         let (b, l) = (batch.lens.len(), batch.seq_len);
         let coords = f.input(batch.coords.clone());
         let coord_emb = self.coord_proj.forward(f, coords);

@@ -96,8 +96,8 @@ impl T2Vec {
                 point_shift(&down, 30.0, 0.5, rng)
             })
             .collect();
-        let src = self.featurizer.featurize(&corrupted);
-        let dst = self.featurizer.featurize(trajs);
+        let src = self.featurizer.featurize(&corrupted).expect("non-empty batch");
+        let dst = self.featurizer.featurize(trajs).expect("non-empty batch");
         let vocab = self.featurizer.vocab();
         let b = trajs.len();
 
@@ -215,7 +215,7 @@ impl TrajectoryEncoder for T2Vec {
     }
 
     fn encode_on_tape(&self, f: &mut Fwd, trajs: &[Trajectory]) -> Var {
-        let batch = self.featurizer.featurize(trajs);
+        let batch = self.featurizer.featurize(trajs).expect("non-empty batch");
         let emb = self.embed_tokens(f, &batch);
         let (_, state) = run_gru(f, &self.encoder, emb, &batch.lens);
         state
@@ -266,8 +266,12 @@ mod tests {
 
     #[test]
     fn different_trajectories_get_different_embeddings() {
-        let (model, pool, mut rng) = setup();
-        let e = model.embed(&pool[..2], &mut rng);
+        let (model, _, mut rng) = setup();
+        // Fixed rows several grid cells apart so the token sequences are
+        // guaranteed to differ (random rows may share a cell row).
+        let a: Trajectory = (0..14).map(|i| Point::new(i as f64 * 140.0, 300.0)).collect();
+        let b: Trajectory = (0..14).map(|i| Point::new(i as f64 * 140.0, 1500.0)).collect();
+        let e = model.embed(&[a, b], &mut rng);
         let d: f32 = (0..16).map(|k| (e.at2(0, k) - e.at2(1, k)).abs()).sum();
         assert!(d > 1e-4);
     }

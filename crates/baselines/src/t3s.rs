@@ -82,7 +82,7 @@ impl TrajectoryEncoder for T3s {
     }
 
     fn encode_on_tape(&self, f: &mut Fwd, trajs: &[Trajectory]) -> Var {
-        let batch = self.featurizer.featurize(trajs);
+        let batch = self.featurizer.featurize(trajs).expect("non-empty batch");
         let (b, l) = (batch.lens.len(), batch.seq_len);
         // Attention view over cell tokens.
         let emb = self.cell_emb.forward_seq(f, &batch.cells, b, l);

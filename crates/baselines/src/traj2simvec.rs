@@ -63,7 +63,7 @@ impl TrajectoryEncoder for Traj2SimVec {
     }
 
     fn encode_on_tape(&self, f: &mut Fwd, trajs: &[Trajectory]) -> Var {
-        let batch = self.featurizer.featurize(trajs);
+        let batch = self.featurizer.featurize(trajs).expect("non-empty batch");
         let coords = f.input(batch.coords.clone());
         let emb = self.coord_proj.forward(f, coords);
         let (_, state) = run_lstm(f, &self.lstm, emb, &batch.lens);

@@ -121,7 +121,7 @@ impl TrajectoryEncoder for TrajGat {
     }
 
     fn encode_on_tape(&self, f: &mut Fwd, trajs: &[Trajectory]) -> Var {
-        let batch = self.featurizer.featurize(trajs);
+        let batch = self.featurizer.featurize(trajs).expect("non-empty batch");
         let (b, l) = (batch.lens.len(), batch.seq_len);
         let emb = self.cell_emb.forward_seq(f, &batch.cells, b, l);
         let pe = sinusoidal_pe(l, self.dim);
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn graph_bias_marks_adjacent_cells() {
         let (model, pool, _) = setup();
-        let batch = model.featurizer.featurize(&pool[..1]);
+        let batch = model.featurizer.featurize(&pool[..1]).expect("featurize");
         let bias = model.graph_bias(&batch.cells, &batch.lens, batch.seq_len);
         // Self-pairs are always adjacent (same cell).
         for q in 0..batch.lens[0] {

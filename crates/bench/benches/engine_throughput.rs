@@ -1,0 +1,60 @@
+//! Batched embedding throughput of the unified engine: trajectories/sec
+//! through `Engine::embed_all` across inference batch sizes {1, 16, 128}.
+//! This is the baseline later serving/perf PRs measure against.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_tensor::{Shape, Tensor};
+
+fn engine_with_batch(batch: usize) -> Engine {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.ffn_hidden = 64;
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+    let grid = Grid::new(region, 200.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.3, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 200.0), 128);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    Engine::builder()
+        .trajcl(model, feat)
+        .batch_size(batch)
+        .build()
+        .expect("engine build")
+}
+
+fn workload(n: usize, points: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            (0..points)
+                .map(|t| {
+                    Point::new(
+                        200.0 + t as f64 * 60.0,
+                        500.0 + (i % 37) as f64 * 250.0 + (t % 5) as f64 * 20.0,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_embed_all(c: &mut Criterion) {
+    let trajs = workload(128, 48);
+    let mut group = c.benchmark_group("engine_embed_all_128trajs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trajs.len() as u64));
+    for &batch in &[1usize, 16, 128] {
+        let engine = engine_with_batch(batch);
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, _| {
+            b.iter(|| black_box(engine.embed_all(&trajs).expect("embed")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed_all);
+criterion_main!(benches);

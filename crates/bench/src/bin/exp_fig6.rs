@@ -12,7 +12,7 @@ use trajcl_bench::{train_all, ExperimentEnv, Scale, Table};
 use trajcl_core::TrajClConfig;
 use trajcl_data::{distort, DatasetProfile};
 use trajcl_geo::Trajectory;
-use trajcl_index::{IvfIndex, Metric, SegmentHausdorffIndex};
+use trajcl_index::SegmentHausdorffIndex;
 
 fn main() {
     let scale = Scale::from_args();
@@ -23,7 +23,6 @@ fn main() {
     let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 27);
     eprintln!("[{}] training TrajCL...", profile.name());
     let models = train_all(&env, &cfg, 27);
-    let mut rng = StdRng::seed_from_u64(28);
 
     let base = &env.splits.test;
     let k = 10;
@@ -56,13 +55,17 @@ fn main() {
         let _ = seg.batch_knn(&queries, k);
         let seg_time = t0.elapsed().as_secs_f64();
 
-        let emb = models.embed_trajcl(&env.featurizer, &db, &mut rng);
-        let ivf = IvfIndex::build(&emb, (n / 32).max(4), Metric::L1, &mut rng);
+        // The learned route through the unified engine: database embedding
+        // + IVF build at construction, then encode/search per query batch.
+        let engine = models
+            .trajcl_engine(&env.featurizer, db, Some((n / 32).max(4)), 4)
+            .expect("engine build");
         let t0 = Instant::now();
-        let q_emb = models.embed_trajcl(&env.featurizer, &queries, &mut rng);
+        let q_emb = engine.embed_all(&queries).expect("encode queries");
         let encode_time = t0.elapsed().as_secs_f64();
+        let index = engine.index().expect("ivf index built");
         let t0 = Instant::now();
-        let _ = ivf.batch_search(&q_emb, k, 4);
+        let _ = index.batch_search(&q_emb, k, 4);
         let search_time = t0.elapsed().as_secs_f64();
 
         table.row(

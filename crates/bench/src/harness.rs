@@ -13,6 +13,7 @@ use trajcl_core::{
     build_featurizer, l1_distances, train, EncoderVariant, Featurizer, MocoState, TrajClConfig,
 };
 use trajcl_data::{mean_rank, Dataset, DatasetProfile, QueryProtocol, Splits};
+use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::Trajectory;
 use trajcl_measures::{pairwise_distances, HeuristicMeasure};
 use trajcl_nn::StepDecay;
@@ -274,6 +275,38 @@ impl TrainedModels {
     }
 }
 
+impl TrainedModels {
+    /// Packages the trained TrajCL model as a serving [`Engine`] over
+    /// `database` — the harness entry point for engine-routed experiments
+    /// (kNN costs, index builds, throughput benches).
+    pub fn trajcl_engine(
+        &self,
+        featurizer: &Featurizer,
+        database: Vec<Trajectory>,
+        nlist: Option<usize>,
+        nprobe: usize,
+    ) -> Result<Engine, EngineError> {
+        Engine::builder()
+            .trajcl(self.trajcl.online.clone(), featurizer.clone())
+            .database(database)
+            .maybe_ivf_index(nlist)
+            .nprobe(nprobe)
+            .build()
+    }
+}
+
+impl ExperimentEnv {
+    /// An exact-measure engine over `database` (the heuristic comparison
+    /// arm of the kNN experiments).
+    pub fn heuristic_engine(
+        &self,
+        measure: HeuristicMeasure,
+        database: Vec<Trajectory>,
+    ) -> Result<Engine, EngineError> {
+        Engine::builder().heuristic(measure).database(database).build()
+    }
+}
+
 /// Trains only TrajCL (used by the parameter studies, Figs. 5/7–12).
 pub fn train_trajcl_only(
     env: &ExperimentEnv,
@@ -409,6 +442,37 @@ mod tests {
         // Odd/even splits of the same trajectory are near-identical under
         // Hausdorff — mean rank must be far better than random (db/2 = 30).
         assert!(mr < 8.0, "Hausdorff mean rank {mr} too poor");
+    }
+
+    #[test]
+    fn engine_entry_points_serve_knn() {
+        let scale = tiny_scale();
+        let env = ExperimentEnv::new(DatasetProfile::porto(), &scale, 16, 64, 10);
+        let db: Vec<Trajectory> = env.splits.test[..40].to_vec();
+
+        let heuristic = env
+            .heuristic_engine(HeuristicMeasure::Hausdorff, db.clone())
+            .expect("heuristic engine");
+        let hits = heuristic.knn(&db[5], 3).expect("knn");
+        assert_eq!(hits[0].0, 5, "exact measure ranks the query itself first");
+
+        // A fresh (untrained) TrajCL state is enough to validate routing.
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = TrajClConfig::test_default();
+        let models = TrainedModels {
+            trajcl: MocoState::new(&cfg, EncoderVariant::Dual, &mut rng),
+            t2vec: T2Vec::new(env.token_featurizer.clone(), 16, &mut rng),
+            trjsr: TrjSr::new(env.dataset.region, &TrjSrConfig::default(), &mut rng),
+            e2dtc: E2dtc::new(env.token_featurizer.clone(), 16, 4, &mut rng),
+            cstrm: None,
+            train_seconds: BTreeMap::new(),
+        };
+        let engine = models
+            .trajcl_engine(&env.featurizer, db.clone(), Some(6), 6)
+            .expect("trajcl engine");
+        assert!(engine.index().is_some());
+        let hits = engine.knn(&db[5], 3).expect("knn");
+        assert_eq!(hits[0].0, 5, "self-query through the IVF engine");
     }
 
     #[test]

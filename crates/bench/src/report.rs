@@ -4,11 +4,10 @@
 //! dump the raw numbers as JSON next to the binary's output for
 //! EXPERIMENTS.md bookkeeping.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// A simple aligned text table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption (e.g. "Table III — Porto").
     pub title: String,
@@ -80,9 +79,27 @@ impl Table {
         println!("{}", self.render());
     }
 
-    /// Serialises the table (title, headers, rows) as JSON.
+    /// Serialises the table (title, headers, rows) as JSON. Hand-rolled so
+    /// the offline build needs no serde; the shape matches what
+    /// `#[derive(Serialize)]` produced.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let headers: Vec<String> = self.headers.iter().map(|h| json_str(h)).collect();
+        let _ = writeln!(out, "  \"headers\": [{}],", headers.join(", "));
+        out.push_str("  \"rows\": [");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let cells: Vec<String> = cells.iter().map(|c| json_str(c)).collect();
+            let _ = write!(out, "\n    [{}, [{}]]", json_str(label), cells.join(", "));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// Writes the JSON dump to `results/<name>.json` under the workspace
@@ -98,6 +115,27 @@ impl Table {
             eprintln!("warning: cannot write {}: {e}", path.display());
         }
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a duration in seconds with adaptive precision.

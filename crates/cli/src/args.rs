@@ -30,11 +30,15 @@ pub enum ParsedCommand {
     Help,
 }
 
+/// Options that are boolean flags: `--json` takes no value.
+const BOOL_FLAGS: &[&str] = &["json"];
+
 impl Args {
     /// Parses an argv-style list (excluding the program name).
     ///
     /// Returns `Err` with a message on malformed input (option without a
-    /// value, unknown leading option, ...).
+    /// value, unknown leading option, ...). Options listed in
+    /// [`BOOL_FLAGS`] take no value and parse as `"true"`.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut it = argv.iter();
         let command = match it.next() {
@@ -52,6 +56,11 @@ impl Args {
             }
             // Flags like `-k 5` are normalised by the caller to `--k 5`.
             let name = key.trim_start_matches('-').to_string();
+            if BOOL_FLAGS.contains(&name.as_str()) {
+                options.insert(name, "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = rest
                 .get(i + 1)
                 .ok_or_else(|| format!("option {key} needs a value"))?;
@@ -59,6 +68,11 @@ impl Args {
             i += 2;
         }
         Ok(Args { command, options })
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.options.get(key).map(String::as_str), Some("true") | Some("1"))
     }
 
     /// The subcommand as an enum.
@@ -108,12 +122,16 @@ USAGE:
   trajcl stats    --input FILE
   trajcl train    --input FILE --out MODEL [--dim N] [--epochs N] [--batch N] [--seed N]
   trajcl embed    --model MODEL --input FILE --out CSV
-  trajcl query    --model MODEL --db FILE --query IDX [--k N]
-  trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw>
+  trajcl query    --model MODEL --db FILE --query IDX [--k N] [--index NLIST] [--json]
+  trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw> [--json]
 
 FILES:
   *.traj   one trajectory per line: `x,y x,y ...` (meters)
-  *.tcl    persisted model: encoder weights + featurizer (grid + cell table)
+  *.tcl    persisted engine: encoder weights + featurizer (grid + cell
+           table) + serving configuration; legacy model-only files load too
+
+All commands run through the unified trajcl-engine API; `--json` emits one
+machine-readable JSON object per line instead of the human-readable report.
 ";
 
 #[cfg(test)]
@@ -157,5 +175,16 @@ mod tests {
     fn num_rejects_garbage() {
         let a = Args::parse(&argv("train --epochs banana")).unwrap();
         assert!(a.num::<usize>("epochs", 1).is_err());
+    }
+
+    #[test]
+    fn json_flag_takes_no_value() {
+        let a = Args::parse(&argv("query --json --k 3")).unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.num::<usize>("k", 5).unwrap(), 3);
+        let a = Args::parse(&argv("query --k 3 --json")).unwrap();
+        assert!(a.flag("json"));
+        let a = Args::parse(&argv("query --k 3")).unwrap();
+        assert!(!a.flag("json"));
     }
 }

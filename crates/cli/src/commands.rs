@@ -1,19 +1,18 @@
 //! Subcommand implementations for the `trajcl` CLI.
+//!
+//! Every command drives the unified [`trajcl_engine::Engine`] API and
+//! propagates the typed [`EngineError`] — no stringly-typed plumbing.
 
 use crate::args::{Args, ParsedCommand, USAGE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write as _;
 use std::path::Path;
-use trajcl_core::{
-    build_featurizer, finetune, l1_distances, load_model, save_model, train, EncoderVariant,
-    FinetuneConfig, FinetuneScope, MocoState, TrajClConfig,
-};
-use trajcl_data::{
-    hit_ratio, load_trajectory_file, save_trajectory_file, Dataset, DatasetProfile,
-};
+use trajcl_core::{load_model, FinetuneConfig, FinetuneScope, TrajClConfig};
+use trajcl_data::{hit_ratio, load_trajectory_file, save_trajectory_file, Dataset, DatasetProfile};
+use trajcl_engine::{Engine, EngineError};
+use trajcl_geo::Trajectory;
 use trajcl_measures::{pairwise_distances, HeuristicMeasure};
-use trajcl_nn::StepDecay;
 
 /// Runs a parsed command; returns the process exit code.
 pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
@@ -26,10 +25,10 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
     }
 }
 
-fn execute(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    match args.command()? {
+fn execute(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    match args.command().map_err(EngineError::InvalidInput)? {
         ParsedCommand::Help => {
-            writeln!(out, "{USAGE}").map_err(io_err)?;
+            writeln!(out, "{USAGE}")?;
             Ok(())
         }
         ParsedCommand::Generate => generate(args, out),
@@ -41,70 +40,90 @@ fn execute(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
     }
 }
 
-fn io_err(e: impl std::fmt::Display) -> String {
-    format!("io: {e}")
+fn invalid(msg: impl Into<String>) -> EngineError {
+    EngineError::InvalidInput(msg.into())
 }
 
-fn parse_profile(name: &str) -> Result<DatasetProfile, String> {
+fn req<'a>(args: &'a Args, key: &str) -> Result<&'a str, EngineError> {
+    args.req(key).map_err(invalid)
+}
+
+fn num<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, EngineError> {
+    args.num(key, default).map_err(invalid)
+}
+
+fn parse_profile(name: &str) -> Result<DatasetProfile, EngineError> {
     match name.to_lowercase().as_str() {
         "porto" => Ok(DatasetProfile::Porto),
         "chengdu" => Ok(DatasetProfile::Chengdu),
         "xian" | "xi'an" => Ok(DatasetProfile::Xian),
         "germany" => Ok(DatasetProfile::Germany),
-        other => Err(format!("unknown profile {other:?}")),
+        other => Err(invalid(format!("unknown profile {other:?}"))),
     }
 }
 
-fn parse_measure(name: &str) -> Result<HeuristicMeasure, String> {
+fn parse_measure(name: &str) -> Result<HeuristicMeasure, EngineError> {
     match name.to_lowercase().as_str() {
         "hausdorff" => Ok(HeuristicMeasure::Hausdorff),
         "frechet" => Ok(HeuristicMeasure::Frechet),
         "edr" => Ok(HeuristicMeasure::Edr(100.0)),
         "edwp" => Ok(HeuristicMeasure::Edwp),
         "dtw" => Ok(HeuristicMeasure::Dtw),
-        other => Err(format!("unknown measure {other:?}")),
+        other => Err(invalid(format!("unknown measure {other:?}"))),
     }
 }
 
-fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    let profile = parse_profile(args.req("profile")?)?;
-    let count: usize = args.num("count", 1000)?;
-    let seed: u64 = args.num("seed", 0)?;
-    let path = args.req("out")?;
+/// Loads a persisted engine, accepting both the engine format (`TCE1`) and
+/// legacy model-only files (`TCL1`) for backwards compatibility.
+fn load_engine(path: &str) -> Result<Engine, EngineError> {
+    let bytes = std::fs::read(path)?;
+    match Engine::from_bytes(&bytes) {
+        Ok(engine) => Ok(engine),
+        Err(EngineError::CorruptEngineFile("bad magic")) => {
+            let (model, featurizer) = load_model(&bytes)?;
+            Engine::builder().trajcl(model, featurizer).build()
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let profile = parse_profile(req(args, "profile")?)?;
+    let count: usize = num(args, "count", 1000)?;
+    let seed: u64 = num(args, "seed", 0)?;
+    let path = req(args, "out")?;
     let dataset = Dataset::generate(profile, count, seed);
-    save_trajectory_file(Path::new(path), &dataset.trajectories).map_err(io_err)?;
+    save_trajectory_file(Path::new(path), &dataset.trajectories)?;
     let s = dataset.stats();
     writeln!(
         out,
         "wrote {} trajectories to {path} (avg {:.0} pts, avg {:.2} km)",
         s.count, s.avg_points, s.avg_length_km
-    )
-    .map_err(io_err)?;
+    )?;
     Ok(())
 }
 
-fn stats(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    let trajs = load_trajectory_file(Path::new(args.req("input")?))
-        .map_err(|e| e.to_string())?;
+fn stats(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
     if trajs.is_empty() {
-        return Err("input file holds no trajectories".into());
+        return Err(EngineError::EmptyBatch);
     }
     let n = trajs.len();
     let pts: usize = trajs.iter().map(|t| t.len()).sum();
     let max_pts = trajs.iter().map(|t| t.len()).max().unwrap_or(0);
     let total_km: f64 = trajs.iter().map(|t| t.length() / 1000.0).sum();
     let max_km = trajs.iter().map(|t| t.length() / 1000.0).fold(0.0, f64::max);
-    writeln!(out, "#trajectories            {n}").map_err(io_err)?;
-    writeln!(out, "avg points / trajectory  {:.1}", pts as f64 / n as f64).map_err(io_err)?;
-    writeln!(out, "max points / trajectory  {max_pts}").map_err(io_err)?;
-    writeln!(out, "avg length (km)          {:.2}", total_km / n as f64).map_err(io_err)?;
-    writeln!(out, "max length (km)          {max_km:.2}").map_err(io_err)?;
+    writeln!(out, "#trajectories            {n}")?;
+    writeln!(out, "avg points / trajectory  {:.1}", pts as f64 / n as f64)?;
+    writeln!(out, "max points / trajectory  {max_pts}")?;
+    writeln!(out, "avg length (km)          {:.2}", total_km / n as f64)?;
+    writeln!(out, "max length (km)          {max_km:.2}")?;
     Ok(())
 }
 
 /// Builds a dataset wrapper around loaded trajectories so the featurizer
 /// helper can be reused.
-fn dataset_from(trajs: Vec<trajcl_geo::Trajectory>) -> Dataset {
+fn dataset_from(trajs: Vec<Trajectory>) -> Dataset {
     let mut region = trajs[0].bbox();
     for t in &trajs[1..] {
         region = region.union(&t.bbox());
@@ -112,132 +131,150 @@ fn dataset_from(trajs: Vec<trajcl_geo::Trajectory>) -> Dataset {
     Dataset { profile: DatasetProfile::Porto, trajectories: trajs, region }
 }
 
-fn train_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    let trajs = load_trajectory_file(Path::new(args.req("input")?))
-        .map_err(|e| e.to_string())?;
+fn train_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
     if trajs.len() < 8 {
-        return Err(format!("need at least 8 trajectories to train, got {}", trajs.len()));
+        return Err(EngineError::TooFewTrajectories { needed: 8, got: trajs.len() });
     }
-    let seed: u64 = args.num("seed", 0)?;
+    let seed: u64 = num(args, "seed", 0)?;
     let mut cfg = TrajClConfig::scaled_default();
-    cfg.dim = args.num("dim", 32)?;
+    cfg.dim = num(args, "dim", 32)?;
     cfg.ffn_hidden = cfg.dim * 2;
     cfg.proj_dim = (cfg.dim / 2).max(8);
-    cfg.max_epochs = args.num("epochs", 3)?;
-    cfg.batch_size = args.num("batch", 32)?;
+    cfg.max_epochs = num(args, "epochs", 3)?;
+    cfg.batch_size = num(args, "batch", 32)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let dataset = dataset_from(trajs);
-    writeln!(out, "building featurizer (grid + node2vec)...").map_err(io_err)?;
-    let featurizer = build_featurizer(&dataset, cfg.dim, cfg.max_len, &mut rng);
-    writeln!(out, "training TrajCL (dim={}, epochs<={})...", cfg.dim, cfg.max_epochs)
-        .map_err(io_err)?;
-    let mut moco = MocoState::new(&cfg, EncoderVariant::Dual, &mut rng);
-    let report = train(
-        &mut moco,
-        &featurizer,
-        &dataset.trajectories,
-        &StepDecay::trajcl_default(),
-        &mut rng,
-    );
+    writeln!(out, "building featurizer (grid + node2vec) and training TrajCL (dim={}, epochs<={})...", cfg.dim, cfg.max_epochs)?;
+    let engine = Engine::builder()
+        .train_trajcl(&dataset, &cfg, &mut rng)?
+        .batch_size(cfg.batch_size)
+        .build()?;
+    let report = engine.train_report().expect("builder-trained engine has a report");
     writeln!(
         out,
         "trained {} epochs in {:.1}s (final loss {:.4})",
         report.epochs_run,
         report.seconds,
         report.epoch_losses.last().copied().unwrap_or(f32::NAN)
-    )
-    .map_err(io_err)?;
-    let bytes = save_model(&moco.online, &featurizer, featurizer.grid().cell_side());
-    let path = args.req("out")?;
-    std::fs::write(path, bytes).map_err(io_err)?;
-    writeln!(out, "saved model to {path}").map_err(io_err)?;
+    )?;
+    let path = req(args, "out")?;
+    std::fs::write(path, engine.to_bytes()?)?;
+    writeln!(out, "saved engine to {path}")?;
     Ok(())
 }
 
-fn embed(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    let bytes = std::fs::read(args.req("model")?).map_err(io_err)?;
-    let (model, featurizer) = load_model(&bytes).map_err(|e| e.to_string())?;
-    let trajs = load_trajectory_file(Path::new(args.req("input")?))
-        .map_err(|e| e.to_string())?;
-    let mut rng = StdRng::seed_from_u64(0);
-    let emb = model.embed(&featurizer, &trajs, &mut rng);
-    let path = args.req("out")?;
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+fn embed(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let engine = load_engine(req(args, "model")?)?;
+    let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
+    let emb = engine.embed_all(&trajs)?;
+    let path = req(args, "out")?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     for r in 0..emb.shape().rows() {
         let row: Vec<String> = emb.row(r).iter().map(|v| format!("{v:.6}")).collect();
-        writeln!(file, "{}", row.join(",")).map_err(io_err)?;
+        writeln!(file, "{}", row.join(","))?;
     }
-    writeln!(out, "wrote {} x {} embeddings to {path}", trajs.len(), model.cfg.dim)
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "wrote {} x {} embeddings to {path}",
+        trajs.len(),
+        engine.backend().dim()
+    )?;
     Ok(())
 }
 
-fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    let bytes = std::fs::read(args.req("model")?).map_err(io_err)?;
-    let (model, featurizer) = load_model(&bytes).map_err(|e| e.to_string())?;
-    let db = load_trajectory_file(Path::new(args.req("db")?)).map_err(|e| e.to_string())?;
-    let qi: usize = args.num("query", 0)?;
-    let k: usize = args.num("k", 5)?;
-    if qi >= db.len() {
-        return Err(format!("query index {qi} out of range ({} trajectories)", db.len()));
+/// One kNN hit as a JSON line (schema: rank, index, distance, points, km).
+fn json_hit_line(rank: usize, id: u32, dist: f64, points: usize, km: f64) -> String {
+    format!(
+        "{{\"rank\":{rank},\"index\":{id},\"distance\":{dist:.6},\"points\":{points},\"km\":{km:.3}}}"
+    )
+}
+
+/// The approx summary as a JSON line (schema: measure, k, hr, queries,
+/// database).
+fn json_approx_line(measure: &str, k: usize, hr: f64, queries: usize, database: usize) -> String {
+    format!(
+        "{{\"measure\":\"{measure}\",\"k\":{k},\"hr\":{hr:.4},\"queries\":{queries},\"database\":{database}}}"
+    )
+}
+
+fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let mut engine = load_engine(req(args, "model")?)?;
+    if args.options.contains_key("index") {
+        let nlist: usize = num(args, "index", 16)?;
+        engine = engine.with_ivf_index(nlist.max(1));
     }
-    let mut rng = StdRng::seed_from_u64(0);
-    let emb = model.embed(&featurizer, &db, &mut rng);
-    let q = model.embed(&featurizer, std::slice::from_ref(&db[qi]), &mut rng);
-    let dists = l1_distances(&q, &emb);
-    let mut order: Vec<usize> = (0..db.len()).collect();
-    order.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
-    writeln!(out, "top-{k} similar to trajectory {qi}:").map_err(io_err)?;
-    for (rank, &i) in order.iter().filter(|&&i| i != qi).take(k).enumerate() {
+    let db = load_trajectory_file(Path::new(req(args, "db")?))?;
+    let engine = engine.with_database(db)?;
+    let qi: usize = num(args, "query", 0)?;
+    let k: usize = num(args, "k", 5)?;
+    let hits = engine.knn_by_index(qi, k)?;
+    let db = engine.database();
+    if args.flag("json") {
+        for (rank, (id, dist)) in hits.iter().enumerate() {
+            let t = &db[*id as usize];
+            writeln!(
+                out,
+                "{}",
+                json_hit_line(rank + 1, *id, *dist, t.len(), t.length() / 1000.0)
+            )?;
+        }
+        return Ok(());
+    }
+    writeln!(out, "top-{k} similar to trajectory {qi}:")?;
+    for (rank, (id, dist)) in hits.iter().enumerate() {
+        let t = &db[*id as usize];
         writeln!(
             out,
-            "  #{} idx={i} L1={:.4} ({} pts, {:.2} km)",
+            "  #{} idx={id} L1={dist:.4} ({} pts, {:.2} km)",
             rank + 1,
-            dists[i],
-            db[i].len(),
-            db[i].length() / 1000.0
-        )
-        .map_err(io_err)?;
+            t.len(),
+            t.length() / 1000.0
+        )?;
     }
     Ok(())
 }
 
-fn approx(args: &Args, out: &mut impl std::io::Write) -> Result<(), String> {
-    let bytes = std::fs::read(args.req("model")?).map_err(io_err)?;
-    let (model, featurizer) = load_model(&bytes).map_err(|e| e.to_string())?;
-    let trajs = load_trajectory_file(Path::new(args.req("input")?))
-        .map_err(|e| e.to_string())?;
+fn approx(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let engine = load_engine(req(args, "model")?)?;
+    let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
     if trajs.len() < 20 {
-        return Err("need at least 20 trajectories for approx".into());
+        return Err(EngineError::TooFewTrajectories { needed: 20, got: trajs.len() });
     }
-    let measure = parse_measure(args.req("measure")?)?;
+    let measure = parse_measure(req(args, "measure")?)?;
+    let json = args.flag("json");
     let mut rng = StdRng::seed_from_u64(1);
     let split = trajs.len() * 7 / 10;
-    writeln!(out, "fine-tuning towards {} on {split} trajectories...", measure.name())
-        .map_err(io_err)?;
+    if !json {
+        writeln!(out, "fine-tuning towards {} on {split} trajectories...", measure.name())?;
+    }
     let cfg = FinetuneConfig {
         scope: FinetuneScope::LastLayer,
-        pairs_per_epoch: args.num("pairs", 128)?,
+        pairs_per_epoch: num(args, "pairs", 128)?,
         batch_pairs: 16,
-        epochs: args.num("epochs", 2)?,
+        epochs: num(args, "epochs", 2)?,
         lr: 2e-3,
     };
-    let est = finetune(&model, &featurizer, &trajs[..split], measure, &cfg, &mut rng);
+    let estimator = engine.approximate_measure(measure, &trajs[..split], &cfg, &mut rng)?;
     // Evaluate HR@5 on the held-out tail.
     let eval = &trajs[split..];
     let nq = (eval.len() / 4).max(2);
     let (queries, database) = eval.split_at(nq);
     let true_d = pairwise_distances(queries, database, measure);
-    let qe = est.embed(&featurizer, queries, &mut rng);
-    let de = est.embed(&featurizer, database, &mut rng);
-    let pred = l1_distances(&qe, &de);
+    let qe = estimator.embed_all(queries)?;
+    let de = estimator.embed_all(database)?;
+    let pred = trajcl_core::l1_distances(&qe, &de);
     let mut hr = 0.0;
     let dbn = database.len();
     for q in 0..nq {
         hr += hit_ratio(&true_d[q * dbn..(q + 1) * dbn], &pred[q * dbn..(q + 1) * dbn], 5);
     }
-    writeln!(out, "HR@5 approximating {}: {:.3}", measure.name(), hr / nq as f64)
-        .map_err(io_err)?;
+    let hr = hr / nq as f64;
+    if json {
+        writeln!(out, "{}", json_approx_line(measure.name(), 5, hr, nq, dbn))?;
+    } else {
+        writeln!(out, "HR@5 approximating {}: {hr:.3}", measure.name())?;
+    }
     Ok(())
 }
 
@@ -257,6 +294,18 @@ mod tests {
         let dir = std::env::temp_dir().join("trajcl_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Pedestrian JSON-object check: one `{...}` per line with the given
+    /// keys, no nesting (the CLI promises flat objects).
+    fn assert_json_lines(text: &str, keys: &[&str]) {
+        assert!(!text.trim().is_empty(), "no JSON lines emitted");
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+            for key in keys {
+                assert!(line.contains(&format!("\"{key}\":")), "missing key {key}: {line}");
+            }
+        }
     }
 
     #[test]
@@ -303,7 +352,7 @@ mod tests {
             model.display()
         ));
         assert_eq!(code, 0, "{out}");
-        assert!(out.contains("saved model"));
+        assert!(out.contains("saved engine"));
         let (code, out) = run_cmd(&format!(
             "embed --model {} --input {} --out {}",
             model.display(),
@@ -321,6 +370,16 @@ mod tests {
         ));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("top-3 similar"));
+
+        // The same query through the IVF index route, as JSON lines.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --k 3 --index 4 --json",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
+        assert_eq!(out.lines().count(), 3);
     }
 
     #[test]
@@ -333,6 +392,22 @@ mod tests {
         ));
         assert_eq!(code, 1);
         assert!(out.contains("at least 8"));
+    }
+
+    #[test]
+    fn json_line_schemas_are_stable() {
+        let hit = json_hit_line(1, 42, 0.25, 17, 1.234);
+        assert_eq!(
+            hit,
+            "{\"rank\":1,\"index\":42,\"distance\":0.250000,\"points\":17,\"km\":1.234}"
+        );
+        let approx = json_approx_line("Hausdorff", 5, 0.75, 4, 9);
+        assert_eq!(
+            approx,
+            "{\"measure\":\"Hausdorff\",\"k\":5,\"hr\":0.7500,\"queries\":4,\"database\":9}"
+        );
+        assert_json_lines(&hit, &["rank", "index", "distance", "points", "km"]);
+        assert_json_lines(&approx, &["measure", "k", "hr", "queries", "database"]);
     }
 
     #[test]

@@ -201,7 +201,7 @@ mod tests {
     fn all_variants_produce_embeddings() {
         for variant in [EncoderVariant::Dual, EncoderVariant::VanillaMsm, EncoderVariant::Concat] {
             let (enc, store, feat, mut rng) = setup(variant);
-            let batch = feat.featurize(&[traj(5, 100.0), traj(9, 700.0)]);
+            let batch = feat.featurize(&[traj(5, 100.0), traj(9, 700.0)]).expect("featurize");
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
             let h = enc.forward(&mut f, &batch);
@@ -217,8 +217,8 @@ mod tests {
         let (enc, store, feat, mut rng) = setup(EncoderVariant::Dual);
         let a = traj(4, 200.0);
         let long = traj(12, 800.0);
-        let solo = feat.featurize(std::slice::from_ref(&a));
-        let padded = feat.featurize(&[a.clone(), long]);
+        let solo = feat.featurize(std::slice::from_ref(&a)).expect("featurize");
+        let padded = feat.featurize(&[a.clone(), long]).expect("featurize");
         let embed = |batch: &crate::featurizer::BatchInputs, rng: &mut StdRng| -> Vec<f32> {
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, &store, rng, false);
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn gradients_reach_all_parameters_dual() {
         let (enc, mut store, feat, mut rng) = setup(EncoderVariant::Dual);
-        let batch = feat.featurize(&[traj(6, 300.0), traj(7, 600.0)]);
+        let batch = feat.featurize(&[traj(6, 300.0), traj(7, 600.0)]).expect("featurize");
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
         let h = enc.forward(&mut f, &batch);
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn different_trajectories_embed_differently() {
         let (enc, store, feat, mut rng) = setup(EncoderVariant::Dual);
-        let batch = feat.featurize(&[traj(8, 100.0), traj(8, 900.0)]);
+        let batch = feat.featurize(&[traj(8, 100.0), traj(8, 900.0)]).expect("featurize");
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
         let h = enc.forward(&mut f, &batch);

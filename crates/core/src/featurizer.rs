@@ -9,7 +9,9 @@
 //! Batches are padded to the longest member (capped at `max_len`); padding
 //! is excluded from attention (mask) and pooling (lengths) downstream.
 
-use trajcl_geo::{spatial_features, Grid, SpatialNorm, Trajectory, SPATIAL_DIM};
+use trajcl_geo::{
+    spatial_features, validate_batch, FeaturizeError, Grid, SpatialNorm, Trajectory, SPATIAL_DIM,
+};
 use trajcl_tensor::{Shape, Tensor};
 
 /// A featurised batch ready for the encoder.
@@ -91,19 +93,14 @@ impl Featurizer {
 
     /// Featurises a batch, padding to the longest member (≤ `max_len`).
     ///
-    /// # Panics
-    /// Panics on an empty batch or an empty trajectory.
-    pub fn featurize(&self, trajs: &[Trajectory]) -> BatchInputs {
-        assert!(!trajs.is_empty(), "empty batch");
+    /// # Errors
+    /// [`FeaturizeError::EmptyBatch`] on an empty batch,
+    /// [`FeaturizeError::EmptyTrajectory`] when a member has no points.
+    pub fn featurize(&self, trajs: &[Trajectory]) -> Result<BatchInputs, FeaturizeError> {
+        validate_batch(trajs)?;
         let b = trajs.len();
-        let lens: Vec<usize> = trajs
-            .iter()
-            .map(|t| {
-                assert!(!t.is_empty(), "empty trajectory in batch");
-                t.len().min(self.max_len)
-            })
-            .collect();
-        let l = *lens.iter().max().expect("nonempty");
+        let lens: Vec<usize> = trajs.iter().map(|t| t.len().min(self.max_len)).collect();
+        let l = lens.iter().copied().max().unwrap_or(0);
         let d = self.dim();
         let mut structural = Tensor::zeros(Shape::d3(b, l, d));
         let mut spatial = Tensor::zeros(Shape::d3(b, l, SPATIAL_DIM));
@@ -128,7 +125,7 @@ impl Featurizer {
                     .copy_from_slice(&sf);
             }
         }
-        BatchInputs { structural, spatial, lens, cells }
+        Ok(BatchInputs { structural, spatial, lens, cells })
     }
 }
 
@@ -159,7 +156,7 @@ mod tests {
     #[test]
     fn shapes_and_lengths() {
         let f = featurizer(64);
-        let batch = f.featurize(&[traj(5, 100.0), traj(9, 500.0)]);
+        let batch = f.featurize(&[traj(5, 100.0), traj(9, 500.0)]).expect("featurize");
         assert_eq!(batch.batch(), 2);
         assert_eq!(batch.seq_len(), 9);
         assert_eq!(batch.lens, vec![5, 9]);
@@ -170,7 +167,7 @@ mod tests {
     #[test]
     fn padding_rows_are_zero() {
         let f = featurizer(64);
-        let batch = f.featurize(&[traj(3, 100.0), traj(6, 500.0)]);
+        let batch = f.featurize(&[traj(3, 100.0), traj(6, 500.0)]).expect("featurize");
         for t in 3..6 {
             for k in 0..8 {
                 assert_eq!(batch.structural.at3(0, t, k), 0.0);
@@ -185,7 +182,7 @@ mod tests {
     fn structural_rows_come_from_cell_table() {
         let f = featurizer(64);
         let t = traj(4, 100.0);
-        let batch = f.featurize(std::slice::from_ref(&t));
+        let batch = f.featurize(std::slice::from_ref(&t)).expect("featurize");
         for (i, p) in t.points().iter().enumerate() {
             let cell = f.grid().cell_of(p) as usize;
             let expect = &f.cell_embeddings.data()[cell * 8..(cell + 1) * 8];
@@ -198,15 +195,31 @@ mod tests {
     #[test]
     fn long_trajectories_truncate_to_max_len() {
         let f = featurizer(6);
-        let batch = f.featurize(&[traj(20, 100.0)]);
+        let batch = f.featurize(&[traj(20, 100.0)]).expect("featurize");
         assert_eq!(batch.seq_len(), 6);
         assert_eq!(batch.lens, vec![6]);
     }
 
     #[test]
+    fn empty_batch_is_an_error_not_a_panic() {
+        let f = featurizer(64);
+        assert_eq!(f.featurize(&[]).err(), Some(FeaturizeError::EmptyBatch));
+    }
+
+    #[test]
+    fn empty_trajectory_is_an_error_with_index() {
+        let f = featurizer(64);
+        let empty = Trajectory::new(Vec::new());
+        assert_eq!(
+            f.featurize(&[traj(4, 100.0), empty]).err(),
+            Some(FeaturizeError::EmptyTrajectory { index: 1 })
+        );
+    }
+
+    #[test]
     fn spatial_features_are_normalised() {
         let f = featurizer(64);
-        let batch = f.featurize(&[traj(10, 500.0)]);
+        let batch = f.featurize(&[traj(10, 500.0)]).expect("featurize");
         // Coordinates fall in [-1, 1]; radian/len scaled reasonably.
         for t in 0..10 {
             assert!(batch.spatial.at3(0, t, 0).abs() <= 1.0);

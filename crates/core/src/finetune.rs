@@ -76,11 +76,22 @@ impl FinetunedEstimator {
         trajs: &[Trajectory],
         rng: &mut impl Rng,
     ) -> Tensor {
+        self.embed_chunked(featurizer, trajs, self.model.cfg.batch_size, rng)
+    }
+
+    /// Like [`FinetunedEstimator::embed`] with an explicit chunk size.
+    pub fn embed_chunked(
+        &self,
+        featurizer: &Featurizer,
+        trajs: &[Trajectory],
+        batch: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         let d = self.model.cfg.dim;
         let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
         let mut row = 0usize;
-        for chunk in trajs.chunks(self.model.cfg.batch_size.max(1)) {
-            let batch = featurizer.featurize(chunk);
+        for chunk in trajs.chunks(batch.max(1)) {
+            let batch = featurizer.featurize(chunk).expect("embed: non-empty chunk");
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, &self.store, rng, false);
             let h = self.model.forward_h(&mut f, &batch);
@@ -167,8 +178,8 @@ pub fn finetune(
                 rights.push(pool[j].clone());
                 labels.push((measure.distance(&pool[i], &pool[j]) / sigma) as f32);
             }
-            let lb = featurizer.featurize(&lefts);
-            let rb = featurizer.featurize(&rights);
+            let lb = featurizer.featurize(&lefts).expect("sampled pairs are non-empty");
+            let rb = featurizer.featurize(&rights).expect("sampled pairs are non-empty");
 
             let mut tape = Tape::new();
             {

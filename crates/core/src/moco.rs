@@ -83,8 +83,8 @@ impl MocoState {
             trajs.iter().map(|t| self.aug1.apply(t, &params, rng)).collect();
         let view2: Vec<Trajectory> =
             trajs.iter().map(|t| self.aug2.apply(t, &params, rng)).collect();
-        let batch1 = featurizer.featurize(&view1);
-        let batch2 = featurizer.featurize(&view2);
+        let batch1 = featurizer.featurize(&view1).expect("augmented views stay non-empty");
+        let batch2 = featurizer.featurize(&view2).expect("augmented views stay non-empty");
 
         // Target branch: no gradients, eval-mode dropout, momentum params.
         let z2: Tensor = {
@@ -231,7 +231,7 @@ mod tests {
         let v2: Vec<Trajectory> =
             eval.iter().map(|t| moco.aug2.apply(t, &params, &mut rng)).collect();
         let z = |views: &[Trajectory], rng: &mut StdRng| -> Tensor {
-            let batch = feat.featurize(views);
+            let batch = feat.featurize(views).expect("featurize");
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, &moco.online.store, rng, false);
             let zv = moco.online.forward_z(&mut f, &batch);

@@ -69,11 +69,24 @@ impl TrajClModel {
         trajs: &[Trajectory],
         rng: &mut impl Rng,
     ) -> Tensor {
+        self.embed_chunked(featurizer, trajs, self.cfg.batch_size, rng)
+    }
+
+    /// Like [`TrajClModel::embed`] with an explicit chunk size — callers
+    /// that already batch (the engine) pass their own chunk through as one
+    /// forward pass.
+    pub fn embed_chunked(
+        &self,
+        featurizer: &Featurizer,
+        trajs: &[Trajectory],
+        batch: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         let d = self.cfg.dim;
         let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
         let mut row = 0usize;
-        for chunk in trajs.chunks(self.cfg.batch_size.max(1)) {
-            let batch = featurizer.featurize(chunk);
+        for chunk in trajs.chunks(batch.max(1)) {
+            let batch = featurizer.featurize(chunk).expect("embed: non-empty chunk");
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, &self.store, rng, false);
             let h = self.forward_h(&mut f, &batch);
@@ -171,7 +184,7 @@ mod tests {
     #[test]
     fn z_is_unit_norm() {
         let (model, feat, mut rng) = setup();
-        let batch = feat.featurize(&[traj(6, 100.0), traj(8, 400.0)]);
+        let batch = feat.featurize(&[traj(6, 100.0), traj(8, 400.0)]).expect("featurize");
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &model.store, &mut rng, false);
         let z = model.forward_z(&mut f, &batch);

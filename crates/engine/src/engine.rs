@@ -1,0 +1,485 @@
+//! [`Engine`] + [`EngineBuilder`]: one front door for training, embedding,
+//! kNN serving, heuristic approximation and persistence.
+//!
+//! The engine owns a boxed [`SimilarityBackend`], an optional trajectory
+//! database with its cached embedding table, and an optional IVF index.
+//! Queries route automatically: indexed search when an index exists, brute
+//! force over the cached table otherwise, and an exact database scan for
+//! heuristic (no-embedding) backends.
+
+use crate::backend::{FinetunedBackend, HeuristicBackend, SimilarityBackend, TrajClBackend};
+use crate::error::EngineError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajcl_core::{
+    build_featurizer, finetune, load_model, save_model, train, EncoderVariant, FinetuneConfig,
+    MocoState, TrajClConfig, TrainReport,
+};
+use trajcl_data::Dataset;
+use trajcl_geo::{validate_batch, Trajectory};
+use trajcl_index::{brute_force_knn, IvfIndex, Metric};
+use trajcl_measures::HeuristicMeasure;
+use trajcl_tensor::{Shape, Tensor};
+
+const ENGINE_MAGIC: &[u8; 4] = b"TCE1";
+
+/// Default inference mini-batch size for [`Engine::embed_all`].
+pub const DEFAULT_BATCH: usize = 64;
+
+/// A similarity-serving engine: backend + database + optional IVF index.
+pub struct Engine {
+    backend: Box<dyn SimilarityBackend>,
+    database: Vec<Trajectory>,
+    embeddings: Option<Tensor>,
+    index: Option<IvfIndex>,
+    nlist: Option<usize>,
+    nprobe: usize,
+    batch_size: usize,
+    seed: u64,
+    train_report: Option<TrainReport>,
+}
+
+impl Engine {
+    /// Starts a builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> &dyn SimilarityBackend {
+        self.backend.as_ref()
+    }
+
+    /// The served trajectory database (empty for engines reloaded from
+    /// bytes, which carry embeddings but not geometry).
+    pub fn database(&self) -> &[Trajectory] {
+        &self.database
+    }
+
+    /// Cached database embeddings, when the backend embeds.
+    pub fn embeddings(&self) -> Option<&Tensor> {
+        self.embeddings.as_ref()
+    }
+
+    /// The IVF index, when one was built.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
+    }
+
+    /// Training report from [`EngineBuilder::train_trajcl`], when the
+    /// engine's model was trained by the builder.
+    pub fn train_report(&self) -> Option<&TrainReport> {
+        self.train_report.as_ref()
+    }
+
+    /// Embeds trajectories in chunks of the configured batch size,
+    /// returning `(N, dim)`.
+    pub fn embed_all(&self, trajs: &[Trajectory]) -> Result<Tensor, EngineError> {
+        validate_batch(trajs)?;
+        if !self.backend.supports_embedding() {
+            return Err(EngineError::NoEmbedding { backend: self.backend.name().to_string() });
+        }
+        let d = self.backend.dim();
+        let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
+        let mut row = 0usize;
+        for chunk in trajs.chunks(self.batch_size.max(1)) {
+            let e = self.backend.embed_batch(chunk)?;
+            out.data_mut()[row * d..(row + chunk.len()) * d].copy_from_slice(e.data());
+            row += chunk.len();
+        }
+        Ok(out)
+    }
+
+    /// Distance between two trajectories under the active backend.
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
+        self.backend.distance(a, b)
+    }
+
+    /// k nearest database entries to `query`, `(id, distance)` ascending.
+    ///
+    /// Routing: IVF index (probing the configured `nprobe` lists) when one
+    /// was built, brute force over the cached embedding table otherwise,
+    /// exact measure scan for heuristic backends.
+    pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<(u32, f64)>, EngineError> {
+        if query.is_empty() {
+            return Err(EngineError::EmptyTrajectory { index: 0 });
+        }
+        if !self.backend.supports_embedding() {
+            // Heuristic route: exact scan over database geometry.
+            if self.database.is_empty() {
+                return Err(EngineError::NoDatabase);
+            }
+            let mut hits: Vec<(u32, f64)> = Vec::with_capacity(self.database.len());
+            for (i, t) in self.database.iter().enumerate() {
+                hits.push((i as u32, self.backend.distance(query, t)?));
+            }
+            hits.sort_by(|a, b| a.1.total_cmp(&b.1));
+            hits.truncate(k);
+            return Ok(hits);
+        }
+        let q = self.backend.embed_batch(std::slice::from_ref(query))?;
+        if let Some(index) = &self.index {
+            return Ok(index.search(q.row(0), k, self.nprobe));
+        }
+        match &self.embeddings {
+            Some(emb) => Ok(brute_force_knn(emb, q.row(0), k, Metric::L1)),
+            None => Err(EngineError::NoDatabase),
+        }
+    }
+
+    /// kNN by database index (the CLI's `query` command).
+    pub fn knn_by_index(&self, qi: usize, k: usize) -> Result<Vec<(u32, f64)>, EngineError> {
+        if self.database.is_empty() {
+            return Err(EngineError::NoDatabase);
+        }
+        if qi >= self.database.len() {
+            return Err(EngineError::QueryOutOfRange { index: qi, len: self.database.len() });
+        }
+        // Exclude the query itself from its own result list.
+        let hits = self.knn(&self.database[qi], k + 1)?;
+        Ok(hits.into_iter().filter(|(id, _)| *id as usize != qi).take(k).collect())
+    }
+
+    /// Attaches (or replaces) the served database, re-embedding it and
+    /// rebuilding the IVF index when one is configured. This is how a
+    /// persisted engine (which carries no geometry) resumes serving.
+    pub fn with_database(mut self, trajs: Vec<Trajectory>) -> Result<Engine, EngineError> {
+        self.database = trajs;
+        self.embeddings = None;
+        self.index = None;
+        if self.backend.supports_embedding() && !self.database.is_empty() {
+            let emb = self.embed_all(&self.database)?;
+            if let Some(nlist) = self.nlist {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                self.index = Some(IvfIndex::build(&emb, nlist, Metric::L1, &mut rng));
+            }
+            self.embeddings = Some(emb);
+        }
+        Ok(self)
+    }
+
+    /// Requests an IVF index with `nlist` cells; takes effect at the next
+    /// [`Engine::with_database`] call.
+    pub fn with_ivf_index(mut self, nlist: usize) -> Self {
+        self.nlist = Some(nlist);
+        self
+    }
+
+    /// Fine-tunes the engine's TrajCL model into a fast estimator of
+    /// `measure` (wrapping [`trajcl_core::finetune`]) and returns a new
+    /// engine serving the same database through the refined embeddings.
+    ///
+    /// # Errors
+    /// [`EngineError::Unsupported`] unless the active backend is TrajCL;
+    /// [`EngineError::TooFewTrajectories`] when `pool` cannot form pairs.
+    pub fn approximate_measure(
+        &self,
+        measure: HeuristicMeasure,
+        pool: &[Trajectory],
+        cfg: &FinetuneConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Engine, EngineError> {
+        let (model, featurizer) = self.backend.as_trajcl().ok_or_else(|| {
+            EngineError::Unsupported(format!(
+                "approximate_measure needs a TrajCL backend, got {:?}",
+                self.backend.name()
+            ))
+        })?;
+        if pool.len() < 2 {
+            return Err(EngineError::TooFewTrajectories { needed: 2, got: pool.len() });
+        }
+        validate_batch(pool)?;
+        let estimator = finetune(model, featurizer, pool, measure, cfg, rng);
+        let backend = FinetunedBackend::new(
+            estimator,
+            featurizer.clone(),
+            measure.name(),
+            model.cfg.dim,
+        );
+        EngineBuilder::new()
+            .backend(Box::new(backend))
+            .database(self.database.clone())
+            .maybe_ivf_index(self.nlist)
+            .nprobe(self.nprobe)
+            .batch_size(self.batch_size)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// Serialises the whole engine: model + featurizer (via
+    /// [`trajcl_core::persist`]), cached embeddings, IVF index and serving
+    /// configuration. Database geometry is not persisted — a reloaded
+    /// engine answers kNN by id from its index/embeddings.
+    ///
+    /// # Errors
+    /// [`EngineError::Unsupported`] unless the active backend is TrajCL.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, EngineError> {
+        let (model, featurizer) = self.backend.as_trajcl().ok_or_else(|| {
+            EngineError::Unsupported(format!(
+                "persistence needs a TrajCL backend, got {:?}",
+                self.backend.name()
+            ))
+        })?;
+        let mut out = Vec::new();
+        out.extend_from_slice(ENGINE_MAGIC);
+        let model_bytes = save_model(model, featurizer, featurizer.grid().cell_side());
+        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&model_bytes);
+        out.extend_from_slice(&(self.nprobe as u32).to_le_bytes());
+        out.extend_from_slice(&(self.batch_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.nlist.unwrap_or(0) as u32).to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        match &self.embeddings {
+            Some(emb) => {
+                out.push(1);
+                out.extend_from_slice(&(emb.shape().rows() as u32).to_le_bytes());
+                out.extend_from_slice(&(emb.shape().last() as u32).to_le_bytes());
+                for &v in emb.data() {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        match &self.index {
+            Some(index) => {
+                let bytes = index.to_bytes();
+                out.push(1);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(&bytes);
+            }
+            None => out.push(0),
+        }
+        Ok(out)
+    }
+
+    /// Restores an engine from [`Engine::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Engine, EngineError> {
+        let mut r = bytes;
+        let take = |r: &mut &[u8], n: usize| -> Result<Vec<u8>, EngineError> {
+            if r.len() < n {
+                return Err(EngineError::CorruptEngineFile("truncated"));
+            }
+            let (head, rest) = r.split_at(n);
+            *r = rest;
+            Ok(head.to_vec())
+        };
+        let u32_of = |r: &mut &[u8]| -> Result<u32, EngineError> {
+            take(r, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        if take(&mut r, 4)? != ENGINE_MAGIC {
+            return Err(EngineError::CorruptEngineFile("bad magic"));
+        }
+        let model_len = u32_of(&mut r)? as usize;
+        let model_bytes = take(&mut r, model_len)?;
+        let (model, featurizer) = load_model(&model_bytes)?;
+        let nprobe = u32_of(&mut r)? as usize;
+        let batch_size = u32_of(&mut r)? as usize;
+        let nlist_raw = u32_of(&mut r)? as usize;
+        let seed = u64::from_le_bytes(
+            take(&mut r, 8)?
+                .try_into()
+                .map_err(|_| EngineError::CorruptEngineFile("seed"))?,
+        );
+        let embeddings = match take(&mut r, 1)?[0] {
+            0 => None,
+            _ => {
+                let rows = u32_of(&mut r)? as usize;
+                let dim = u32_of(&mut r)? as usize;
+                let n = rows
+                    .checked_mul(dim)
+                    .and_then(|n| n.checked_mul(4).map(|_| n))
+                    .ok_or(EngineError::CorruptEngineFile("embedding table size"))?;
+                let raw = take(&mut r, n * 4)?;
+                let data: Vec<f32> = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Some(Tensor::from_vec(data, Shape::d2(rows, dim)))
+            }
+        };
+        let index = match take(&mut r, 1)?[0] {
+            0 => None,
+            _ => {
+                let len = u32_of(&mut r)? as usize;
+                let raw = take(&mut r, len)?;
+                Some(
+                    IvfIndex::from_bytes(&raw)
+                        .ok_or(EngineError::CorruptEngineFile("ivf index"))?,
+                )
+            }
+        };
+        Ok(Engine {
+            backend: Box::new(TrajClBackend::new(model, featurizer)),
+            database: Vec::new(),
+            embeddings,
+            index,
+            nlist: (nlist_raw > 0).then_some(nlist_raw),
+            nprobe,
+            batch_size: batch_size.max(1),
+            seed,
+            train_report: None,
+        })
+    }
+}
+
+/// Builder-pattern construction of an [`Engine`]:
+/// dataset → featurizer → backend → optional IVF index.
+pub struct EngineBuilder {
+    backend: Option<Box<dyn SimilarityBackend>>,
+    database: Vec<Trajectory>,
+    nlist: Option<usize>,
+    nprobe: usize,
+    batch_size: usize,
+    seed: u64,
+    train_report: Option<TrainReport>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with no backend, no database and no index.
+    pub fn new() -> Self {
+        EngineBuilder {
+            backend: None,
+            database: Vec::new(),
+            nlist: None,
+            nprobe: 4,
+            batch_size: DEFAULT_BATCH,
+            seed: 0,
+            train_report: None,
+        }
+    }
+
+    /// Uses an explicit backend (any [`SimilarityBackend`]).
+    pub fn backend(mut self, backend: Box<dyn SimilarityBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Uses a trained TrajCL model + featurizer as the backend.
+    pub fn trajcl(self, model: trajcl_core::TrajClModel, featurizer: trajcl_core::Featurizer) -> Self {
+        self.backend(Box::new(TrajClBackend::new(model, featurizer)))
+    }
+
+    /// Uses an exact heuristic measure as a no-embedding backend.
+    pub fn heuristic(self, measure: HeuristicMeasure) -> Self {
+        self.backend(Box::new(HeuristicBackend::new(measure)))
+    }
+
+    /// Trains TrajCL on the dataset's trajectories and uses it as the
+    /// backend: builds the featurizer (grid + node2vec + normalisation),
+    /// runs MoCo contrastive training, and stashes the [`TrainReport`]
+    /// (readable via [`Engine::train_report`]).
+    ///
+    /// # Errors
+    /// [`EngineError::TooFewTrajectories`] when the dataset cannot form a
+    /// contrastive batch.
+    pub fn train_trajcl(
+        self,
+        dataset: &Dataset,
+        cfg: &TrajClConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, EngineError> {
+        self.train_trajcl_on(dataset, &dataset.trajectories, cfg, rng)
+    }
+
+    /// Like [`EngineBuilder::train_trajcl`] but trains on an explicit
+    /// subset (e.g. a train split) while building the featurizer over the
+    /// full dataset region.
+    pub fn train_trajcl_on(
+        mut self,
+        dataset: &Dataset,
+        train_set: &[Trajectory],
+        cfg: &TrajClConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, EngineError> {
+        if train_set.len() < 2 {
+            return Err(EngineError::TooFewTrajectories { needed: 2, got: train_set.len() });
+        }
+        validate_batch(train_set)?;
+        let featurizer = build_featurizer(dataset, cfg.dim, cfg.max_len, rng);
+        let mut moco = MocoState::new(cfg, EncoderVariant::Dual, rng);
+        let report = train(
+            &mut moco,
+            &featurizer,
+            train_set,
+            &trajcl_nn::StepDecay::trajcl_default(),
+            rng,
+        );
+        self.train_report = Some(report);
+        Ok(self.trajcl(moco.online, featurizer))
+    }
+
+    /// Sets the trajectory database the engine will serve.
+    pub fn database(mut self, trajs: Vec<Trajectory>) -> Self {
+        self.database = trajs;
+        self
+    }
+
+    /// Builds an IVF index with `nlist` Voronoi cells over the database
+    /// embeddings (ignored for heuristic backends).
+    pub fn ivf_index(mut self, nlist: usize) -> Self {
+        self.nlist = Some(nlist);
+        self
+    }
+
+    /// Like [`EngineBuilder::ivf_index`] but optional (plumbing helper).
+    pub fn maybe_ivf_index(mut self, nlist: Option<usize>) -> Self {
+        self.nlist = nlist;
+        self
+    }
+
+    /// Number of Voronoi cells probed per indexed query (default 4).
+    pub fn nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe.max(1);
+        self
+    }
+
+    /// Inference mini-batch size (default [`DEFAULT_BATCH`]).
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Seed for index construction (k-means initialisation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Assembles the engine: embeds the database (embedding backends) and
+    /// builds the IVF index when requested.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidInput`] when no backend was configured;
+    /// embedding errors propagate from the backend.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let backend = self
+            .backend
+            .ok_or_else(|| EngineError::InvalidInput("EngineBuilder: no backend configured".into()))?;
+        let mut engine = Engine {
+            backend,
+            database: self.database,
+            embeddings: None,
+            index: None,
+            nlist: self.nlist,
+            nprobe: self.nprobe,
+            batch_size: self.batch_size,
+            seed: self.seed,
+            train_report: self.train_report,
+        };
+        if engine.backend.supports_embedding() && !engine.database.is_empty() {
+            let emb = engine.embed_all(&engine.database)?;
+            if let Some(nlist) = engine.nlist {
+                let mut rng = StdRng::seed_from_u64(engine.seed);
+                engine.index = Some(IvfIndex::build(&emb, nlist, Metric::L1, &mut rng));
+            }
+            engine.embeddings = Some(emb);
+        }
+        Ok(engine)
+    }
+}

@@ -1,0 +1,268 @@
+//! Integration tests for the unified engine: builder flows, kNN routing,
+//! heuristic fallback, fine-tuning, and whole-engine persistence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_core::{EncoderVariant, Featurizer, FinetuneConfig, FinetuneScope, TrajClConfig, TrajClModel};
+use trajcl_data::{Dataset, DatasetProfile};
+use trajcl_engine::{Engine, EngineBuilder, EngineError, HeuristicBackend, SimilarityBackend};
+use trajcl_geo::{Grid, SpatialNorm, Trajectory};
+use trajcl_measures::HeuristicMeasure;
+use trajcl_tensor::{Shape, Tensor};
+
+/// An untrained TrajCL backend over the dataset's region — weights are
+/// random but deterministic, which is all routing/persistence tests need.
+fn untrained_trajcl(dataset: &Dataset) -> (TrajClModel, Featurizer) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = TrajClConfig::test_default();
+    let cell_side = dataset.profile.cell_side();
+    let grid = Grid::new(dataset.region, cell_side);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(dataset.region, cell_side), cfg.max_len);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    (model, feat)
+}
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    Dataset::generate(DatasetProfile::porto(), n, seed)
+}
+
+#[test]
+fn builder_requires_a_backend() {
+    let err = EngineBuilder::new().build().err().expect("no backend must fail");
+    assert!(matches!(err, EngineError::InvalidInput(_)));
+}
+
+#[test]
+fn boxed_dyn_backend_flows_through_builder() {
+    // The acceptance criterion in one test: Box<dyn SimilarityBackend>
+    // compiles and drives an Engine.
+    let ds = dataset(20, 1);
+    let backend: Box<dyn SimilarityBackend> =
+        Box::new(HeuristicBackend::new(HeuristicMeasure::Dtw));
+    let engine = Engine::builder()
+        .backend(backend)
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    assert_eq!(engine.backend().name(), "DTW");
+    assert_eq!(engine.backend().dim(), 0);
+    let hits = engine.knn(&ds.trajectories[3], 4).unwrap();
+    assert_eq!(hits[0].0, 3, "self-query returns itself under an exact measure");
+    assert_eq!(hits.len(), 4);
+}
+
+#[test]
+fn heuristic_engine_matches_direct_measure_ranking() {
+    let ds = dataset(25, 2);
+    let engine = Engine::builder()
+        .heuristic(HeuristicMeasure::Hausdorff)
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    let q = &ds.trajectories[0];
+    let hits = engine.knn(q, 5).unwrap();
+    let mut exact: Vec<(u32, f64)> = ds
+        .trajectories
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i as u32, HeuristicMeasure::Hausdorff.distance(q, t)))
+        .collect();
+    exact.sort_by(|a, b| a.1.total_cmp(&b.1));
+    exact.truncate(5);
+    assert_eq!(hits, exact);
+}
+
+#[test]
+fn indexed_and_brute_force_routes_agree_at_full_probe() {
+    let ds = dataset(60, 3);
+    let (model, feat) = untrained_trajcl(&ds);
+    let brute = Engine::builder()
+        .trajcl(model.clone(), feat.clone())
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    let indexed = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories.clone())
+        .ivf_index(8)
+        .nprobe(8) // full probe -> exact
+        .build()
+        .unwrap();
+    assert!(brute.index().is_none() && indexed.index().is_some());
+    for qi in [0usize, 17, 42] {
+        let a = brute.knn(&ds.trajectories[qi], 5).unwrap();
+        let b = indexed.knn(&ds.trajectories[qi], 5).unwrap();
+        assert_eq!(
+            a.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            b.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            "routes disagree on query {qi}"
+        );
+    }
+}
+
+#[test]
+fn embed_all_chunking_is_invisible() {
+    let ds = dataset(30, 4);
+    let (model, feat) = untrained_trajcl(&ds);
+    let big = Engine::builder()
+        .trajcl(model.clone(), feat.clone())
+        .batch_size(64)
+        .build()
+        .unwrap();
+    let small = Engine::builder().trajcl(model, feat).batch_size(3).build().unwrap();
+    let e1 = big.embed_all(&ds.trajectories).unwrap();
+    let e2 = small.embed_all(&ds.trajectories).unwrap();
+    assert_eq!(e1.shape(), Shape::d2(30, big.backend().dim()));
+    assert!(e1.approx_eq(&e2, 1e-5), "batch size must not change embeddings");
+}
+
+#[test]
+fn empty_and_degenerate_batches_error_cleanly() {
+    let ds = dataset(10, 5);
+    let (model, feat) = untrained_trajcl(&ds);
+    let engine = Engine::builder().trajcl(model, feat).build().unwrap();
+    assert!(matches!(engine.embed_all(&[]), Err(EngineError::EmptyBatch)));
+    let mut batch = ds.trajectories.clone();
+    batch.insert(2, Trajectory::new(Vec::new()));
+    assert!(matches!(
+        engine.embed_all(&batch),
+        Err(EngineError::EmptyTrajectory { index: 2 })
+    ));
+    assert!(matches!(engine.knn(&ds.trajectories[0], 3), Err(EngineError::NoDatabase)));
+    assert!(matches!(
+        engine.knn(&Trajectory::new(Vec::new()), 3),
+        Err(EngineError::EmptyTrajectory { index: 0 })
+    ));
+}
+
+#[test]
+fn knn_by_index_validates_and_excludes_self() {
+    let ds = dataset(15, 6);
+    let (model, feat) = untrained_trajcl(&ds);
+    let engine = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    assert!(matches!(
+        engine.knn_by_index(99, 3),
+        Err(EngineError::QueryOutOfRange { index: 99, len: 15 })
+    ));
+    let hits = engine.knn_by_index(4, 3).unwrap();
+    assert_eq!(hits.len(), 3);
+    assert!(hits.iter().all(|(id, _)| *id != 4), "self must be excluded");
+}
+
+#[test]
+fn persistence_round_trip_is_bit_exact() {
+    // The satellite acceptance test: save an Engine (model + featurizer +
+    // IVF index), reload it, and require identical kNN results and
+    // bit-for-bit embeddings.
+    let ds = dataset(50, 8);
+    let (model, feat) = untrained_trajcl(&ds);
+    let engine = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories.clone())
+        .ivf_index(6)
+        .nprobe(3)
+        .seed(11)
+        .build()
+        .unwrap();
+    let bytes = engine.to_bytes().unwrap();
+    let restored = Engine::from_bytes(&bytes).unwrap();
+
+    // Embeddings: bit-for-bit (tolerance 0.0).
+    let before = engine.embed_all(&ds.trajectories).unwrap();
+    let after = restored.embed_all(&ds.trajectories).unwrap();
+    assert!(before.approx_eq(&after, 0.0), "embeddings changed across persistence");
+    let cached = restored.embeddings().expect("embedding table persisted");
+    assert_eq!(cached.data(), before.data(), "cached table differs from recompute");
+
+    // kNN: identical ids AND distances through the persisted index.
+    assert!(restored.index().is_some(), "index must survive persistence");
+    for qi in [0usize, 13, 37] {
+        let a = engine.knn(&ds.trajectories[qi], 5).unwrap();
+        let b = restored.knn(&ds.trajectories[qi], 5).unwrap();
+        assert_eq!(a, b, "kNN diverged after reload on query {qi}");
+    }
+}
+
+#[test]
+fn persistence_rejects_garbage_and_heuristic_backends() {
+    assert!(matches!(
+        Engine::from_bytes(b"not an engine"),
+        Err(EngineError::CorruptEngineFile(_))
+    ));
+    let engine = Engine::builder()
+        .heuristic(HeuristicMeasure::Edwp)
+        .build()
+        .unwrap();
+    assert!(matches!(engine.to_bytes(), Err(EngineError::Unsupported(_))));
+
+    let ds = dataset(12, 9);
+    let (model, feat) = untrained_trajcl(&ds);
+    let trajcl = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories)
+        .build()
+        .unwrap();
+    let mut bytes = trajcl.to_bytes().unwrap();
+    bytes.truncate(bytes.len() / 3);
+    assert!(Engine::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn approximate_measure_produces_a_serving_engine() {
+    let ds = dataset(24, 10);
+    let (model, feat) = untrained_trajcl(&ds);
+    let engine = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    let cfg = FinetuneConfig {
+        scope: FinetuneScope::HeadOnly,
+        pairs_per_epoch: 16,
+        batch_pairs: 8,
+        epochs: 1,
+        lr: 1e-3,
+    };
+    let mut rng = StdRng::seed_from_u64(12);
+    let approx = engine
+        .approximate_measure(HeuristicMeasure::Hausdorff, &ds.trajectories[..16], &cfg, &mut rng)
+        .unwrap();
+    assert!(approx.backend().name().contains("Hausdorff"));
+    assert_eq!(approx.database().len(), engine.database().len());
+    let hits = approx.knn(&ds.trajectories[0], 3).unwrap();
+    assert_eq!(hits.len(), 3);
+
+    // Heuristic backends cannot be fine-tuned.
+    let heuristic = Engine::builder().heuristic(HeuristicMeasure::Dtw).build().unwrap();
+    assert!(matches!(
+        heuristic.approximate_measure(HeuristicMeasure::Dtw, &ds.trajectories, &cfg, &mut rng),
+        Err(EngineError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn trained_engine_end_to_end_via_builder() {
+    // The full builder flow: dataset -> featurizer -> trained backend ->
+    // IVF index, then self-queries hit themselves.
+    let ds = dataset(40, 13);
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut cfg = TrajClConfig::test_default();
+    cfg.max_epochs = 1;
+    let engine = Engine::builder()
+        .train_trajcl(&ds, &cfg, &mut rng)
+        .unwrap()
+        .database(ds.trajectories.clone())
+        .ivf_index(5)
+        .nprobe(5)
+        .build()
+        .unwrap();
+    assert!(engine.train_report().is_some());
+    assert!(engine.train_report().unwrap().epochs_run >= 1);
+    let hits = engine.knn(&ds.trajectories[7], 1).unwrap();
+    assert_eq!(hits[0].0, 7, "a trajectory's nearest neighbour is itself");
+}

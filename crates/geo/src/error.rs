@@ -1,0 +1,70 @@
+//! Errors for trajectory batch featurisation, shared by every featurizer
+//! in the workspace (`trajcl_core::Featurizer`, the baselines'
+//! `TokenFeaturizer`) so callers at any layer handle one type.
+
+/// Why a batch of trajectories could not be featurised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeaturizeError {
+    /// The batch holds no trajectories.
+    EmptyBatch,
+    /// The trajectory at `index` holds no points.
+    EmptyTrajectory {
+        /// Position of the offending trajectory within the batch.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FeaturizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeaturizeError::EmptyBatch => write!(f, "cannot featurize an empty batch"),
+            FeaturizeError::EmptyTrajectory { index } => {
+                write!(f, "trajectory {index} in the batch holds no points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeaturizeError {}
+
+/// Validates the common preconditions: a non-empty batch of non-empty
+/// trajectories.
+pub fn validate_batch(trajs: &[crate::Trajectory]) -> Result<(), FeaturizeError> {
+    if trajs.is_empty() {
+        return Err(FeaturizeError::EmptyBatch);
+    }
+    for (index, t) in trajs.iter().enumerate() {
+        if t.is_empty() {
+            return Err(FeaturizeError::EmptyTrajectory { index });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Trajectory};
+
+    #[test]
+    fn validates_empty_batch() {
+        assert_eq!(validate_batch(&[]), Err(FeaturizeError::EmptyBatch));
+    }
+
+    #[test]
+    fn validates_empty_trajectory_with_index() {
+        let good: Trajectory = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)].into_iter().collect();
+        let bad = Trajectory::new(Vec::new());
+        assert_eq!(
+            validate_batch(&[good.clone(), bad]),
+            Err(FeaturizeError::EmptyTrajectory { index: 1 })
+        );
+        assert_eq!(validate_batch(&[good]), Ok(()));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(FeaturizeError::EmptyBatch.to_string().contains("empty batch"));
+        assert!(FeaturizeError::EmptyTrajectory { index: 3 }.to_string().contains('3'));
+    }
+}

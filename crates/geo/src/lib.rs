@@ -20,6 +20,7 @@
 //! assert_eq!(grid.cells_of(&t).len(), 3);
 //! ```
 
+pub mod error;
 pub mod features;
 pub mod grid;
 pub mod point;
@@ -27,6 +28,7 @@ pub mod simplify;
 pub mod svg;
 pub mod trajectory;
 
+pub use error::{validate_batch, FeaturizeError};
 pub use features::{spatial_features, SpatialFeature, SpatialNorm, SPATIAL_DIM};
 pub use grid::{CellId, Grid};
 pub use point::Point;

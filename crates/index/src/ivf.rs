@@ -143,6 +143,95 @@ impl IvfIndex {
         hits
     }
 
+    /// Serialises the index (magic `IVF1`, metric, dims, centroids,
+    /// inverted lists, vectors; little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.vectors.len() * 4);
+        out.extend_from_slice(b"IVF1");
+        out.push(match self.metric {
+            Metric::L1 => 0u8,
+            Metric::L2 => 1u8,
+        });
+        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        out.extend_from_slice(&(self.d as u32).to_le_bytes());
+        out.extend_from_slice(&(self.lists.len() as u32).to_le_bytes());
+        for &c in &self.centroids {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for list in &self.lists {
+            out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+            for &id in list {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        for &v in &self.vectors {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores an index from [`IvfIndex::to_bytes`] output; `None` when
+    /// the buffer is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = bytes;
+        let take = |r: &mut &[u8], n: usize| -> Option<Vec<u8>> {
+            if r.len() < n {
+                return None;
+            }
+            let (head, rest) = r.split_at(n);
+            *r = rest;
+            Some(head.to_vec())
+        };
+        let u32_of = |r: &mut &[u8]| -> Option<u32> {
+            take(r, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        if take(&mut r, 4)? != b"IVF1" {
+            return None;
+        }
+        let metric = match take(&mut r, 1)?[0] {
+            0 => Metric::L1,
+            1 => Metric::L2,
+            _ => return None,
+        };
+        let n = u32_of(&mut r)? as usize;
+        let d = u32_of(&mut r)? as usize;
+        let nlist = u32_of(&mut r)? as usize;
+        let nc = nlist.checked_mul(d)?.checked_mul(4)?;
+        let raw = take(&mut r, nc)?;
+        let centroids: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut lists = Vec::with_capacity(nlist);
+        let mut total_ids = 0usize;
+        for _ in 0..nlist {
+            let len = u32_of(&mut r)? as usize;
+            total_ids += len;
+            if total_ids > n {
+                return None;
+            }
+            let raw = take(&mut r, len.checked_mul(4)?)?;
+            lists.push(
+                raw.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect::<Vec<u32>>(),
+            );
+        }
+        if total_ids != n || lists.iter().flatten().any(|&id| id as usize >= n) {
+            return None;
+        }
+        let nv = n.checked_mul(d)?.checked_mul(4)?;
+        let raw = take(&mut r, nv)?;
+        let vectors: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if !r.is_empty() {
+            return None;
+        }
+        Some(IvfIndex { centroids, lists, vectors, n, d, metric })
+    }
+
     /// Batched parallel search.
     pub fn batch_search(
         &self,
@@ -276,6 +365,37 @@ mod tests {
         let small = IvfIndex::build(&table(50, 8, 9), 4, Metric::L1, &mut StdRng::seed_from_u64(0));
         let large = IvfIndex::build(&table(500, 8, 9), 4, Metric::L1, &mut StdRng::seed_from_u64(0));
         assert!(large.memory_bytes() > small.memory_bytes() * 5);
+    }
+
+    #[test]
+    fn serialization_round_trip_preserves_search() {
+        let emb = table(120, 6, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let index = IvfIndex::build(&emb, 10, Metric::L1, &mut rng);
+        let bytes = index.to_bytes();
+        let restored = IvfIndex::from_bytes(&bytes).expect("round trip");
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.nlist(), index.nlist());
+        for qi in [0usize, 33, 77] {
+            assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3),
+                "restored index diverged on query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(IvfIndex::from_bytes(b"nope").is_none());
+        assert!(IvfIndex::from_bytes(b"IVF1").is_none());
+        let emb = table(30, 4, 13);
+        let index = IvfIndex::build(&emb, 4, Metric::L2, &mut StdRng::seed_from_u64(0));
+        let mut bytes = index.to_bytes();
+        bytes.truncate(bytes.len() - 7);
+        assert!(IvfIndex::from_bytes(&bytes).is_none());
+        bytes.clear();
+        assert!(IvfIndex::from_bytes(&bytes).is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Fig. 1 scenario: k-nearest-neighbour trajectory queries, comparing
-//! the heuristic Hausdorff measure with learned TrajCL embeddings served
-//! from an IVF index.
+//! the heuristic Hausdorff measure with learned TrajCL embeddings — both
+//! served through the unified engine API, with the segment-based Hausdorff
+//! index as the exact-route accelerator reference.
 //!
 //! ```sh
 //! cargo run --release --example knn_query
@@ -9,10 +10,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use trajcl::core::{build_featurizer, train, EncoderVariant, MocoState, TrajClConfig};
+use trajcl::core::TrajClConfig;
 use trajcl::data::{Dataset, DatasetProfile};
-use trajcl::index::{IvfIndex, Metric, SegmentHausdorffIndex};
-use trajcl::nn::StepDecay;
+use trajcl::engine::Engine;
+use trajcl::index::SegmentHausdorffIndex;
+use trajcl::measures::HeuristicMeasure;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
@@ -20,34 +22,49 @@ fn main() {
     let dataset = Dataset::generate(DatasetProfile::porto(), 500, 1);
     let splits = dataset.split(150, &mut rng);
     let cfg = TrajClConfig::test_default();
-    let featurizer = build_featurizer(&dataset, cfg.dim, cfg.max_len, &mut rng);
-    let mut moco = MocoState::new(&cfg, EncoderVariant::Dual, &mut rng);
-    train(&mut moco, &featurizer, &splits.train, &StepDecay::trajcl_default(), &mut rng);
 
-    let db = &splits.test;
+    let db = splits.test.clone();
     let query = &splits.downstream[0];
     let k = 3;
 
-    // Heuristic route: segment index + exact Hausdorff kNN.
+    // Heuristic route: the exact measure behind the same Engine API
+    // (database scan), plus the segment index as the specialised
+    // accelerator it substitutes for.
     let t0 = Instant::now();
-    let seg_index = SegmentHausdorffIndex::build(db);
+    let hausdorff_engine = Engine::builder()
+        .heuristic(HeuristicMeasure::Hausdorff)
+        .database(db.clone())
+        .build()
+        .expect("heuristic engine");
+    let heur_build = t0.elapsed();
+    let t0 = Instant::now();
+    let hausdorff_knn = hausdorff_engine.knn(query, k).expect("heuristic knn");
+    let heur_query = t0.elapsed();
+    let t0 = Instant::now();
+    let seg_index = SegmentHausdorffIndex::build(&db);
     let seg_build = t0.elapsed();
     let t0 = Instant::now();
-    let hausdorff_knn = seg_index.knn(query, k);
+    let seg_knn = seg_index.knn(query, k);
     let seg_query = t0.elapsed();
 
-    // Learned route: embed database once, IVF index, embedding kNN.
+    // Learned route: train TrajCL, embed the database once, serve kNN from
+    // an IVF index — one builder chain.
     let t0 = Instant::now();
-    let db_emb = moco.online.embed(&featurizer, db, &mut rng);
-    let ivf = IvfIndex::build(&db_emb, 16, Metric::L1, &mut rng);
+    let trajcl_engine = Engine::builder()
+        .train_trajcl_on(&dataset, &splits.train, &cfg, &mut rng)
+        .expect("training")
+        .database(db.clone())
+        .ivf_index(16)
+        .nprobe(4)
+        .build()
+        .expect("trajcl engine");
     let ivf_build = t0.elapsed();
     let t0 = Instant::now();
-    let q_emb = moco.online.embed(&featurizer, std::slice::from_ref(query), &mut rng);
-    let trajcl_knn = ivf.search(q_emb.row(0), k, 4);
+    let trajcl_knn = trajcl_engine.knn(query, k).expect("trajcl knn");
     let ivf_query = t0.elapsed();
 
     println!("\nquery trajectory: {} points, {:.1} km", query.len(), query.length() / 1000.0);
-    println!("\n{k}NN via Hausdorff + segment index (build {seg_build:?}, query {seg_query:?}):");
+    println!("\n{k}NN via Hausdorff engine (build {heur_build:?}, query {heur_query:?}):");
     for (rank, (id, d)) in hausdorff_knn.iter().enumerate() {
         let t = &db[*id as usize];
         println!(
@@ -57,7 +74,11 @@ fn main() {
             t.length() / 1000.0
         );
     }
-    println!("\n{k}NN via TrajCL embeddings + IVF (build {ivf_build:?}, query {ivf_query:?}):");
+    println!("(segment-index reference: build {seg_build:?}, query {seg_query:?}, same ids: {})",
+        seg_knn.iter().map(|(i, _)| *i).eq(hausdorff_knn.iter().map(|(i, _)| *i)));
+    println!(
+        "\n{k}NN via TrajCL engine + IVF (train+build {ivf_build:?}, query {ivf_query:?}):"
+    );
     for (rank, (id, d)) in trajcl_knn.iter().enumerate() {
         let t = &db[*id as usize];
         println!(

@@ -1,5 +1,6 @@
-//! Quickstart: train TrajCL on a small synthetic taxi dataset and use the
-//! learned embeddings to find similar trajectories.
+//! Quickstart: train TrajCL on a small synthetic taxi dataset through the
+//! unified engine and use the learned embeddings to find similar
+//! trajectories.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,15 +8,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trajcl::core::{build_featurizer, l1_distances, train, EncoderVariant, MocoState, TrajClConfig};
+use trajcl::core::TrajClConfig;
 use trajcl::data::{Dataset, DatasetProfile};
-use trajcl::nn::StepDecay;
+use trajcl::engine::Engine;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
-    // 1. Data: a Porto-like synthetic taxi dataset (see DESIGN.md §4 for
-    //    why the paper's external GPS datasets are substituted).
+    // 1. Data: a Porto-like synthetic taxi dataset (see DESIGN.md for why
+    //    the paper's external GPS datasets are substituted).
     println!("generating dataset...");
     let dataset = Dataset::generate(DatasetProfile::porto(), 400, 0);
     let stats = dataset.stats();
@@ -25,46 +26,38 @@ fn main() {
     );
     let splits = dataset.split(150, &mut rng);
 
-    // 2. Featurizer: 100 m grid + node2vec cell embeddings + spatial norm.
-    println!("building featurizer (node2vec over the grid graph)...");
-    let cfg = TrajClConfig::test_default();
-    let featurizer = build_featurizer(&dataset, cfg.dim, cfg.max_len, &mut rng);
-
-    // 3. Contrastive pre-training (MoCo dual branch + InfoNCE).
-    println!("training TrajCL ({} params)...", {
-        let probe = MocoState::new(&cfg, EncoderVariant::Dual, &mut StdRng::seed_from_u64(0));
-        probe.online.store.num_scalars()
-    });
-    let mut moco = MocoState::new(&cfg, EncoderVariant::Dual, &mut rng);
-    let report = train(
-        &mut moco,
-        &featurizer,
-        &splits.train,
-        &StepDecay::trajcl_default(),
-        &mut rng,
-    );
-    println!(
-        "  {} epochs in {:.1}s, losses {:?}",
-        report.epochs_run, report.seconds, report.epoch_losses
-    );
-
-    // 4. Similarity search: embed the test pool; for one query trajectory's
-    //    odd-point view, its even-point view should be the nearest match.
+    // 2-4. One builder chain: featurizer (100 m grid + node2vec + spatial
+    //    norm) -> MoCo contrastive pre-training -> serving database. The
+    //    database plants one ground-truth match: the even-point view of the
+    //    query trajectory at index 0.
     let query_full = &splits.test[0];
     let query = query_full.odd_points();
     let mut db = vec![query_full.even_points()];
     db.extend(splits.test[1..40.min(splits.test.len())].iter().cloned());
 
-    let q_emb = moco.online.embed(&featurizer, std::slice::from_ref(&query), &mut rng);
-    let db_emb = moco.online.embed(&featurizer, &db, &mut rng);
-    let dists = l1_distances(&q_emb, &db_emb);
-    let mut order: Vec<usize> = (0..db.len()).collect();
-    order.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+    println!("training TrajCL + building the engine (grid, node2vec, MoCo)...");
+    let cfg = TrajClConfig::test_default();
+    let engine = Engine::builder()
+        .train_trajcl_on(&dataset, &splits.train, &cfg, &mut rng)
+        .expect("training")
+        .database(db)
+        .build()
+        .expect("engine build");
+    let report = engine.train_report().expect("trained via builder");
+    println!(
+        "  {} epochs in {:.1}s, losses {:?}",
+        report.epochs_run, report.seconds, report.epoch_losses
+    );
 
+    // Similarity search: for the query's odd-point view, its even-point
+    // view (database index 0) should be the nearest match. One full
+    // ranking serves both the top-3 printout and the rank lookup.
+    let db_len = engine.database().len();
+    let full = engine.knn(&query, db_len).expect("knn");
     println!("top-3 most similar trajectories to the query (index 0 is the planted match):");
-    for (rank, &i) in order.iter().take(3).enumerate() {
-        println!("  #{} -> database[{}]  L1 distance {:.3}", rank + 1, i, dists[i]);
+    for (rank, (id, dist)) in full.iter().take(3).enumerate() {
+        println!("  #{} -> database[{id}]  L1 distance {dist:.3}", rank + 1);
     }
-    let gt_rank = order.iter().position(|&i| i == 0).unwrap() + 1;
-    println!("ground-truth match ranked {gt_rank} of {}", db.len());
+    let gt_rank = full.iter().position(|(id, _)| *id == 0).unwrap() + 1;
+    println!("ground-truth match ranked {gt_rank} of {db_len}");
 }

@@ -1,6 +1,7 @@
 //! Robustness demo (the Tables IV/V story): degrade a query workload by
 //! down-sampling and distortion and watch how the heuristic measures fall
-//! apart while TrajCL keeps finding the planted ground-truth match.
+//! apart while TrajCL keeps finding the planted ground-truth match. Both
+//! measure families run through the unified engine API.
 //!
 //! ```sh
 //! cargo run --release --example robustness
@@ -8,10 +9,28 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trajcl::core::{build_featurizer, l1_distances, train, EncoderVariant, MocoState, TrajClConfig};
+use trajcl::core::{l1_distances, TrajClConfig};
 use trajcl::data::{distort, downsample, mean_rank, Dataset, DatasetProfile, QueryProtocol};
-use trajcl::measures::{pairwise_distances, HeuristicMeasure};
-use trajcl::nn::StepDecay;
+use trajcl::engine::Engine;
+use trajcl::measures::HeuristicMeasure;
+
+/// Mean rank of the planted matches under any engine backend.
+fn engine_mean_rank(engine: &Engine, proto: &QueryProtocol) -> f64 {
+    if engine.backend().dim() > 0 {
+        let q = engine.embed_all(&proto.queries).expect("embed queries");
+        let d = engine.embed_all(&proto.database).expect("embed database");
+        mean_rank(&l1_distances(&q, &d), proto.database.len(), &proto.ground_truth)
+    } else {
+        let dbn = proto.database.len();
+        let mut dists = Vec::with_capacity(proto.queries.len() * dbn);
+        for q in &proto.queries {
+            for t in &proto.database {
+                dists.push(engine.distance(q, t).expect("distance"));
+            }
+        }
+        mean_rank(&dists, dbn, &proto.ground_truth)
+    }
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(31);
@@ -19,9 +38,19 @@ fn main() {
     let dataset = Dataset::generate(DatasetProfile::porto(), 500, 3);
     let splits = dataset.split(150, &mut rng);
     let cfg = TrajClConfig::test_default();
-    let featurizer = build_featurizer(&dataset, cfg.dim, cfg.max_len, &mut rng);
-    let mut moco = MocoState::new(&cfg, EncoderVariant::Dual, &mut rng);
-    train(&mut moco, &featurizer, &splits.train, &StepDecay::trajcl_default(), &mut rng);
+    let trajcl = Engine::builder()
+        .train_trajcl_on(&dataset, &splits.train, &cfg, &mut rng)
+        .expect("training")
+        .build()
+        .expect("engine build");
+    let hausdorff = Engine::builder()
+        .heuristic(HeuristicMeasure::Hausdorff)
+        .build()
+        .expect("engine build");
+    let edr = Engine::builder()
+        .heuristic(HeuristicMeasure::Edr(100.0))
+        .build()
+        .expect("engine build");
 
     let base = QueryProtocol::build(&splits.test, 20, 120, &mut rng);
     let mut drng = StdRng::seed_from_u64(32);
@@ -34,19 +63,9 @@ fn main() {
     println!("\nmean rank of the planted match (1.0 = perfect, db = 120):");
     println!("{:24} {:>10} {:>10} {:>10}", "", "Hausdorff", "EDR", "TrajCL");
     for (name, proto) in &settings {
-        let h = {
-            let d = pairwise_distances(&proto.queries, &proto.database, HeuristicMeasure::Hausdorff);
-            mean_rank(&d, proto.database.len(), &proto.ground_truth)
-        };
-        let e = {
-            let d = pairwise_distances(&proto.queries, &proto.database, HeuristicMeasure::Edr(100.0));
-            mean_rank(&d, proto.database.len(), &proto.ground_truth)
-        };
-        let t = {
-            let q = moco.online.embed(&featurizer, &proto.queries, &mut rng);
-            let db = moco.online.embed(&featurizer, &proto.database, &mut rng);
-            mean_rank(&l1_distances(&q, &db), proto.database.len(), &proto.ground_truth)
-        };
+        let h = engine_mean_rank(&hausdorff, proto);
+        let e = engine_mean_rank(&edr, proto);
+        let t = engine_mean_rank(&trajcl, proto);
         println!("{name:24} {h:>10.2} {e:>10.2} {t:>10.2}");
     }
     println!("\n(the contrastive views — masking & truncation — are exactly what make");

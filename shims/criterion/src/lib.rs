@@ -1,0 +1,268 @@
+//! Offline drop-in subset of the `criterion` bench API.
+//!
+//! The build environment has no crates.io access, so this shim keeps the
+//! workspace's `benches/` compiling and *running*: every benchmark executes
+//! a warm-up pass plus a small number of timed iterations and prints the
+//! mean wall-clock per iteration. No statistics, plots or regression
+//! tracking — the numbers are indicative, the harness shape is identical.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (defers to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration measurement driver handed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters_done: u64,
+    max_iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(max_iters: u64, budget: Duration) -> Self {
+        Bencher { mean_ns: f64::NAN, iters_done: 0, max_iters, budget }
+    }
+
+    /// Times `f` over up to `max_iters` iterations (bounded by the time
+    /// budget) after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.max_iters && (iters == 0 || start.elapsed() < self.budget) {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Benchmark identifier: function name + parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level bench context.
+pub struct Criterion {
+    sample_size: u64,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line overrides (accepted and ignored; the shim has
+    /// no filtering or baseline machinery).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Builder-style default iteration count (consuming, as on the real
+    /// `Criterion`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Builder-style time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_one(name, self.sample_size, self.measurement_time, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, f: F) {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.measurement_time, self.throughput, f);
+    }
+
+    /// Runs a parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.measurement_time, self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: u64,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher::new(sample_size.max(1), budget);
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{name:<48} (closure never called Bencher::iter)");
+        return;
+    }
+    let per = b.mean_ns;
+    let human = if per >= 1e9 {
+        format!("{:.3} s", per / 1e9)
+    } else if per >= 1e6 {
+        format!("{:.3} ms", per / 1e6)
+    } else if per >= 1e3 {
+        format!("{:.3} µs", per / 1e3)
+    } else {
+        format!("{per:.0} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (per / 1e9);
+            println!("{name:<48} {human:>12}/iter  ({eps:.0} elem/s, {} iters)", b.iters_done);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let bps = n as f64 / (per / 1e9);
+            println!("{name:<48} {human:>12}/iter  ({:.1} MB/s, {} iters)", bps / 1e6, b.iters_done);
+        }
+        None => println!("{name:<48} {human:>12}/iter  ({} iters)", b.iters_done),
+    }
+}
+
+/// Declares a group of benchmark functions. Both forms of the real macro
+/// are supported: `criterion_group!(name, targets...)` and
+/// `criterion_group! { name = ...; config = ...; targets = ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut b = Bencher::new(5, Duration::from_secs(1));
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, b.iters_done + 1); // +1 warm-up
+        assert!(b.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(4));
+        group.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("p", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(0)));
+    }
+}

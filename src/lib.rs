@@ -12,14 +12,19 @@
 //! * [`data`] — synthetic datasets, augmentations, evaluation protocol;
 //! * [`core`] — TrajCL itself (DualMSM/DualSTB, MoCo, fine-tuning);
 //! * [`baselines`] — t2vec, E2DTC, TrjSR, CSTRM, T3S, Traj2SimVec, TrajGAT;
-//! * [`index`] — IVF embedding index + segment Hausdorff index.
+//! * [`index`] — IVF embedding index + segment Hausdorff index;
+//! * [`engine`] — the unified similarity API: one object-safe
+//!   `SimilarityBackend` over TrajCL, baselines and heuristic measures,
+//!   served by `Engine`/`EngineBuilder` with kNN routing and persistence.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md /
-//! EXPERIMENTS.md for the reproduction methodology.
+//! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for
+//! the architecture (crate graph, engine trait diagram, error-handling
+//! policy).
 
 pub use trajcl_baselines as baselines;
 pub use trajcl_core as core;
 pub use trajcl_data as data;
+pub use trajcl_engine as engine;
 pub use trajcl_geo as geo;
 pub use trajcl_graph as graph;
 pub use trajcl_index as index;

@@ -116,11 +116,13 @@ fn finetuning_tracks_hausdorff_better_than_raw() {
     let mut rng = p.rng.clone();
     let pool = &p.splits.downstream;
     let split = pool.len() * 7 / 10;
+    // Budget sized so the regression reliably beats the raw encoder: with
+    // very few pairs the comparison degenerates into seed luck.
     let cfg = FinetuneConfig {
         scope: FinetuneScope::AllLayers,
-        pairs_per_epoch: 96,
+        pairs_per_epoch: 160,
         batch_pairs: 16,
-        epochs: 3,
+        epochs: 5,
         lr: 2e-3,
     };
     let measure = HeuristicMeasure::Hausdorff;
@@ -145,7 +147,7 @@ fn finetuning_tracks_hausdorff_better_than_raw() {
         hr_r += hit_ratio(&true_d[q * db..(q + 1) * db], &raw[q * db..(q + 1) * db], 5);
     }
     assert!(
-        hr_t >= hr_r,
+        hr_t >= hr_r - 1e-9,
         "fine-tuning reduced HR@5: tuned {hr_t} vs raw {hr_r}"
     );
 }
