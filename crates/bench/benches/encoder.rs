@@ -30,13 +30,12 @@ fn traj(n: usize) -> Trajectory {
 
 fn bench_seq_len(c: &mut Criterion) {
     let (model, feat) = setup(32, 2);
-    let mut rng = StdRng::seed_from_u64(1);
     let mut group = c.benchmark_group("encoder_vs_seq_len");
     group.sample_size(10);
     for &l in &[25usize, 50, 100, 200] {
         let batch: Vec<Trajectory> = (0..8).map(|_| traj(l)).collect();
         group.bench_with_input(BenchmarkId::new("dualstb_b8", l), &l, |bch, _| {
-            bch.iter(|| black_box(model.embed(&feat, &batch, &mut rng)))
+            bch.iter(|| black_box(model.embed(&feat, &batch)))
         });
     }
     group.finish();
@@ -47,10 +46,9 @@ fn bench_depth(c: &mut Criterion) {
     group.sample_size(10);
     for &layers in &[1usize, 2, 4] {
         let (model, feat) = setup(32, layers);
-        let mut rng = StdRng::seed_from_u64(2);
         let batch: Vec<Trajectory> = (0..8).map(|_| traj(64)).collect();
         group.bench_with_input(BenchmarkId::new("dualstb_l64", layers), &layers, |bch, _| {
-            bch.iter(|| black_box(model.embed(&feat, &batch, &mut rng)))
+            bch.iter(|| black_box(model.embed(&feat, &batch)))
         });
     }
     group.finish();

@@ -46,14 +46,14 @@ fn bench_pairwise(c: &mut Criterion) {
     });
     group.bench_function("trajcl_encode_plus_l1", |b| {
         b.iter(|| {
-            let q = model.embed(&feat, queries, &mut rng);
-            let d = model.embed(&feat, database, &mut rng);
+            let q = model.embed(&feat, queries);
+            let d = model.embed(&feat, database);
             black_box(l1_distances(&q, &d))
         })
     });
     // Comparison-only cost once embeddings exist (the paper's 0.14 µs row).
-    let q = model.embed(&feat, queries, &mut rng);
-    let d = model.embed(&feat, database, &mut rng);
+    let q = model.embed(&feat, queries);
+    let d = model.embed(&feat, database);
     group.bench_function("l1_compare_only", |b| {
         b.iter(|| black_box(l1_distances(black_box(&q), black_box(&d))))
     });

@@ -43,8 +43,8 @@ fn main() {
     let t2vec_knn: Vec<usize> = order[..k].to_vec();
 
     // TrajCL 3NN.
-    let cq = models.embed_trajcl(&env.featurizer, std::slice::from_ref(query), &mut rng);
-    let cd = models.embed_trajcl(&env.featurizer, db, &mut rng);
+    let cq = models.embed_trajcl(&env.featurizer, std::slice::from_ref(query));
+    let cd = models.embed_trajcl(&env.featurizer, db);
     let cld = l1_distances(&cq, &cd);
     let mut order: Vec<usize> = (0..db.len()).collect();
     order.sort_by(|&a, &b| cld[a].total_cmp(&cld[b]));

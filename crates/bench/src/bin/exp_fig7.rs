@@ -67,8 +67,8 @@ fn main() {
         let queries = &eval[..nq];
         let database = &eval[nq..];
         let true_d = pairwise_distances(queries, database, HeuristicMeasure::Hausdorff);
-        let qe = est.embed(&env.featurizer, queries, &mut rng);
-        let de = est.embed(&env.featurizer, database, &mut rng);
+        let qe = est.embed(&env.featurizer, queries);
+        let de = est.embed(&env.featurizer, database);
         let pred = l1_distances(&qe, &de);
         let mut hr = 0.0;
         for q in 0..nq {

@@ -58,8 +58,8 @@ fn main() {
     let t2vec_us = amortised(q, d, t2vec_encode);
 
     let t0 = Instant::now();
-    let q = models.embed_trajcl(&env.featurizer, &proto.queries, &mut rng);
-    let d = models.embed_trajcl(&env.featurizer, &proto.database, &mut rng);
+    let q = models.embed_trajcl(&env.featurizer, &proto.queries);
+    let d = models.embed_trajcl(&env.featurizer, &proto.database);
     let trajcl_encode = t0.elapsed().as_secs_f64();
     let trajcl_us = amortised(q, d, trajcl_encode);
 

@@ -123,16 +123,16 @@ fn main() {
         let est = finetune(&models.trajcl.online, &env.featurizer, ft_train, measure, &ft_cfg, &mut rng);
         add(
             "TrajCL (ft)".into(),
-            est.embed(&env.featurizer, &queries, &mut rng),
-            est.embed(&env.featurizer, &database, &mut rng),
+            est.embed(&env.featurizer, &queries),
+            est.embed(&env.featurizer, &database),
         );
         let mut all_cfg = ft_cfg.clone();
         all_cfg.scope = FinetuneScope::AllLayers;
         let est = finetune(&models.trajcl.online, &env.featurizer, ft_train, measure, &all_cfg, &mut rng);
         add(
             "TrajCL* (ft)".into(),
-            est.embed(&env.featurizer, &queries, &mut rng),
-            est.embed(&env.featurizer, &database, &mut rng),
+            est.embed(&env.featurizer, &queries),
+            est.embed(&env.featurizer, &database),
         );
 
         // Supervised methods trained from scratch on the same pairs.

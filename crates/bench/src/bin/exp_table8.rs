@@ -64,8 +64,8 @@ fn main() {
         let t0 = Instant::now();
         let (q, d) = if name == "TrajCL" {
             (
-                models.embed_trajcl(&env.featurizer, &proto.queries, &mut rng),
-                models.embed_trajcl(&env.featurizer, &proto.database, &mut rng),
+                models.embed_trajcl(&env.featurizer, &proto.queries),
+                models.embed_trajcl(&env.featurizer, &proto.database),
             )
         } else {
             (

@@ -57,7 +57,7 @@ fn main() {
 
         // TrajCL/IVF index: embedding conversion + k-means lists.
         let t0 = Instant::now();
-        let emb = models.embed_trajcl(&env.featurizer, &db, &mut rng);
+        let emb = models.embed_trajcl(&env.featurizer, &db);
         let ivf = IvfIndex::build(&emb, (n / 32).max(4), Metric::L1, &mut rng);
         let ivf_time = t0.elapsed().as_secs_f64();
         table.row(

@@ -1,0 +1,248 @@
+//! Perf snapshot: a fixed embed+knn workload whose throughput is recorded,
+//! commit-tagged, in `BENCH_embed.json` at the repo root — the repo's
+//! long-term perf trajectory.
+//!
+//! Usage:
+//!   perf_snapshot [--quick] [--label NAME] [--out BENCH_embed.json]
+//!                 [--check BENCH_embed.json]
+//!
+//! * default: measure and append a run entry to `--out` (created if absent);
+//! * `--check FILE`: measure, compare the batch=128 embed throughput against
+//!   the last entry recorded in FILE, and exit non-zero on a regression of
+//!   more than 30% (the CI `perf-smoke` gate). Nothing is written.
+//! * `--quick`: fewer repetitions (CI-sized).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_tensor::{Shape, Tensor};
+
+/// Maximum tolerated throughput drop vs. the committed baseline.
+const MAX_REGRESSION: f64 = 0.30;
+
+const BATCH_SIZES: [usize; 3] = [1, 16, 128];
+
+fn engine_with_batch(batch: usize, database: Vec<Trajectory>) -> Engine {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.ffn_hidden = 64;
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+    let grid = Grid::new(region, 200.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.3, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 200.0), 128);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    Engine::builder()
+        .trajcl(model, feat)
+        .batch_size(batch)
+        .database(database)
+        .build()
+        .expect("engine build")
+}
+
+/// Same deterministic workload as the `engine_throughput` criterion bench.
+fn workload(n: usize, points: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            (0..points)
+                .map(|t| {
+                    Point::new(
+                        200.0 + t as f64 * 60.0,
+                        500.0 + (i % 37) as f64 * 250.0 + (t % 5) as f64 * 20.0,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Snapshot {
+    commit: String,
+    label: String,
+    quick: bool,
+    /// trajectories/sec through `Engine::embed_all`, per batch size.
+    embed: Vec<(usize, f64)>,
+    /// single-query kNN queries/sec (k = 10, brute-force route).
+    knn_qps: f64,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"commit\":\"{}\",\"label\":\"{}\",\"quick\":{}",
+            self.commit, self.label, self.quick
+        ));
+        for (b, tps) in &self.embed {
+            s.push_str(&format!(",\"embed_{b}\":{tps:.1}"));
+        }
+        s.push_str(&format!(",\"knn_qps\":{:.1}}}", self.knn_qps));
+        s
+    }
+}
+
+fn measure(quick: bool, label: &str) -> Snapshot {
+    let trajs = workload(128, 48);
+    let reps = if quick { 2 } else { 5 };
+    let mut embed = Vec::new();
+    for &batch in &BATCH_SIZES {
+        let engine = engine_with_batch(batch, Vec::new());
+        let secs = time_best(reps, || {
+            let e = engine.embed_all(&trajs).expect("embed");
+            std::hint::black_box(e);
+        });
+        let tps = trajs.len() as f64 / secs;
+        eprintln!("embed_all batch={batch:<4} {tps:9.1} trajs/sec ({:.1} ms)", secs * 1e3);
+        embed.push((batch, tps));
+    }
+
+    let engine = engine_with_batch(128, trajs.clone());
+    let queries: Vec<Trajectory> = trajs.iter().take(16).cloned().collect();
+    let secs = time_best(reps, || {
+        for q in &queries {
+            std::hint::black_box(engine.knn(q, 10).expect("knn"));
+        }
+    });
+    let knn_qps = queries.len() as f64 / secs;
+    eprintln!("knn k=10            {knn_qps:9.1} queries/sec");
+
+    Snapshot {
+        commit: git_commit(),
+        label: label.to_string(),
+        quick,
+        embed,
+        knn_qps,
+    }
+}
+
+fn git_commit() -> String {
+    let head = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let Some(head) = head else {
+        return "unknown".to_string();
+    };
+    // Mark measurements taken from an uncommitted tree, so the trajectory
+    // never attributes two different code states to one commit id.
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{head}-dirty")
+    } else {
+        head
+    }
+}
+
+/// Appends `snap` to the JSON-array file at `path` (creating it if absent).
+fn append_run(path: &str, snap: &Snapshot) {
+    let entry = snap.to_json();
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .filter(|s| !s.trim().is_empty());
+    let body = match existing {
+        Some(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            let sep = if trimmed.ends_with('[') { "" } else { "," };
+            format!("{trimmed}{sep}\n  {entry}\n]\n")
+        }
+        None => format!("[\n  {entry}\n]\n"),
+    };
+    std::fs::write(path, body).expect("write snapshot file");
+    eprintln!("recorded run '{}' ({}) -> {path}", snap.label, snap.commit);
+}
+
+/// Extracts the last `"embed_128":<number>` recorded in `path`.
+fn last_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"embed_128\":";
+    let mut last = None;
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find(key) {
+        rest = &rest[pos + key.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            last = Some(v);
+        }
+    }
+    last
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_embed.json".to_string();
+    let mut check: Option<String> = None;
+    let mut label = "snapshot".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args[i].clone());
+            }
+            "--label" => {
+                i += 1;
+                label = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let snap = measure(quick, &label);
+
+    if let Some(baseline_path) = check {
+        let Some(baseline) = last_baseline(&baseline_path) else {
+            eprintln!("no baseline found in {baseline_path}; nothing to check against");
+            std::process::exit(2);
+        };
+        let measured = snap
+            .embed
+            .iter()
+            .find(|(b, _)| *b == 128)
+            .map(|(_, t)| *t)
+            .expect("batch=128 measured");
+        let floor = baseline * (1.0 - MAX_REGRESSION);
+        eprintln!(
+            "check: measured {measured:.1} trajs/sec vs baseline {baseline:.1} (floor {floor:.1})"
+        );
+        if measured < floor {
+            eprintln!("FAIL: embed throughput regressed more than {:.0}%", MAX_REGRESSION * 100.0);
+            std::process::exit(1);
+        }
+        eprintln!("OK: within the regression budget");
+    } else {
+        append_run(&out, &snap);
+    }
+}

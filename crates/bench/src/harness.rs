@@ -241,14 +241,10 @@ impl TrainedModels {
         }
     }
 
-    /// Embeds with TrajCL using an explicit featurizer (the env's).
-    pub fn embed_trajcl(
-        &self,
-        featurizer: &Featurizer,
-        trajs: &[Trajectory],
-        rng: &mut StdRng,
-    ) -> Tensor {
-        self.trajcl.online.embed(featurizer, trajs, rng)
+    /// Embeds with TrajCL using an explicit featurizer (the env's),
+    /// through the tape-free serving path (no RNG involved).
+    pub fn embed_trajcl(&self, featurizer: &Featurizer, trajs: &[Trajectory]) -> Tensor {
+        self.trajcl.online.embed(featurizer, trajs)
     }
 
     /// Mean rank of a learned method on a protocol.
@@ -261,8 +257,8 @@ impl TrainedModels {
     ) -> f64 {
         let (q, d) = if name == "TrajCL" {
             (
-                self.embed_trajcl(featurizer, &protocol.queries, rng),
-                self.embed_trajcl(featurizer, &protocol.database, rng),
+                self.embed_trajcl(featurizer, &protocol.queries),
+                self.embed_trajcl(featurizer, &protocol.database),
             )
         } else {
             (
@@ -335,10 +331,9 @@ pub fn eval_three_settings(
     let mut drng = StdRng::seed_from_u64(seed);
     let down = base.degrade(|t| downsample(t, 0.2, &mut drng));
     let dist = base.degrade(|t| distort(t, 0.2, 100.0, 0.5, &mut drng));
-    let mut rng = StdRng::seed_from_u64(seed ^ 1);
-    let mut rank = |p: &QueryProtocol| -> f64 {
-        let q = moco.online.embed(featurizer, &p.queries, &mut rng);
-        let d = moco.online.embed(featurizer, &p.database, &mut rng);
+    let rank = |p: &QueryProtocol| -> f64 {
+        let q = moco.online.embed(featurizer, &p.queries);
+        let d = moco.online.embed(featurizer, &p.database);
         mean_rank(&l1_distances(&q, &d), p.database.len(), &p.ground_truth)
     };
     [rank(base), rank(&down), rank(&dist)]
@@ -396,8 +391,8 @@ impl TrainedModels {
     ) -> Vec<f64> {
         let (q, d) = if name == "TrajCL" {
             (
-                self.embed_trajcl(featurizer, &protocol.queries, rng),
-                self.embed_trajcl(featurizer, &protocol.database, rng),
+                self.embed_trajcl(featurizer, &protocol.queries),
+                self.embed_trajcl(featurizer, &protocol.database),
             )
         } else {
             (

@@ -12,10 +12,12 @@
 //! 4. the result goes through the residual + layer-norm + MLP post-block of
 //!    Eqs. 10–11.
 
-use trajcl_nn::attention::{project_heads, scaled_scores, TransformerEncoderLayer};
-use trajcl_nn::{Fwd, LayerNorm, Mlp, ParamId, ParamStore};
+use trajcl_nn::attention::{
+    infer_project_heads, project_heads, scaled_scores, TransformerEncoderLayer,
+};
+use trajcl_nn::{Fwd, InferFwd, LayerNorm, Mlp, ParamId, ParamStore};
 use rand::Rng;
-use trajcl_tensor::{Tensor, Var};
+use trajcl_tensor::{InferCtx, Tensor, Var};
 
 /// One DualSTB encoder layer built around DualMSM.
 #[derive(Debug, Clone)]
@@ -112,6 +114,55 @@ impl DualMsmLayer {
         let m = f.dropout(m, self.dropout);
         let res2 = f.tape.add(h, m);
         let t_out = self.ln2.forward(f, res2);
+        (t_out, s_out)
+    }
+
+    /// Tape-free forward (dropout elided), mirroring [`DualMsmLayer::forward`]
+    /// with lengths in place of an additive mask tensor. The γ-fusion
+    /// `A_t + γ·A_s` is computed in place on the structural coefficients,
+    /// never materialising the scaled copy.
+    ///
+    /// When `need_spatial_out` is false (the encoder's last layer, whose
+    /// spatial output feeds nothing — only `A_s` enters the fusion, Eq.
+    /// 15), the spatial branch computes just its attention coefficients
+    /// and the whole spatial value path (V/output projections, residual
+    /// MLP block) is skipped; `None` is returned in its place.
+    pub fn infer_forward(
+        &self,
+        f: &mut InferFwd,
+        t: &Tensor,
+        s: &Tensor,
+        lens: &[usize],
+        need_spatial_out: bool,
+    ) -> (Tensor, Option<Tensor>) {
+        // Spatial branch (coefficients A_s are needed for the fusion).
+        let (s_out, a_s) = if need_spatial_out {
+            let (s_out, a_s) = self.spatial.infer_forward(f, s, lens, true);
+            (Some(s_out), a_s.expect("spatial branch computes coefficients"))
+        } else {
+            (None, self.spatial.attn.infer_attention_probs(f, s, lens))
+        };
+
+        // Structural attention A_t fused with γ·A_s and the value multiply
+        // in one kernel pass (Eq. 12 + Eq. 15) — A_t is never materialised.
+        let q = infer_project_heads(f, t, self.wq_t, self.heads);
+        let k = infer_project_heads(f, t, self.wk_t, self.heads);
+        let v = infer_project_heads(f, t, self.wv_t, self.heads);
+        let gamma = f.p(self.gamma).data()[0];
+        let ctx_heads = f.ctx.fused_attention_bias(&q, &k, &v, &a_s, gamma, lens);
+        let merged = f.ctx.merge_heads(&ctx_heads, self.heads);
+        let mut h = f.ctx.matmul(&merged, f.p(self.wo_t), false, false);
+        for tmp in [a_s, q, k, v, ctx_heads, merged] {
+            f.ctx.recycle(tmp);
+        }
+
+        // Post-block (Eqs. 10–11).
+        InferCtx::add_inplace(&mut h, t);
+        self.ln1.infer_forward_inplace(f, &mut h);
+        let mut t_out = self.mlp.infer_forward(f, &h);
+        InferCtx::add_inplace(&mut t_out, &h);
+        self.ln2.infer_forward_inplace(f, &mut t_out);
+        f.ctx.recycle(h);
         (t_out, s_out)
     }
 }

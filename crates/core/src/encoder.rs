@@ -8,8 +8,8 @@ use trajcl_geo::SPATIAL_DIM;
 use trajcl_nn::attention::{
     add_positional, attention_mask_bias, sinusoidal_pe, TransformerEncoderLayer,
 };
-use trajcl_nn::{Fwd, Linear, ParamStore};
-use trajcl_tensor::Var;
+use trajcl_nn::{Fwd, InferFwd, Linear, ParamStore};
+use trajcl_tensor::{InferCtx, Tensor, Var};
 
 /// Encoder architecture variant (Fig. 7 ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +171,64 @@ impl DualStbEncoder {
             }
         };
         f.tape.mean_pool_masked(pooled, &batch.lens)
+    }
+
+    /// Tape-free forward: the serving-path twin of
+    /// [`DualStbEncoder::forward`]. No autograd bookkeeping, no additive
+    /// mask tensor (lengths are passed straight to the fused attention
+    /// kernels), dropout statically elided, and every intermediate drawn
+    /// from the [`InferCtx`] scratch arena.
+    pub fn infer_forward(&self, f: &mut InferFwd, batch: &BatchInputs) -> Tensor {
+        let l = batch.seq_len();
+        let pe = sinusoidal_pe(l, self.dim);
+        let lens = &batch.lens;
+        let mut t = f.ctx.alloc_copy(&batch.structural);
+        InferCtx::add_pe_inplace(&mut t, &pe);
+
+        let pooled = match self.variant {
+            EncoderVariant::Dual => {
+                let mut s = self.spatial_proj.infer_forward(f, &batch.spatial);
+                InferCtx::add_pe_inplace(&mut s, &pe);
+                let last = self.dual_layers.len().saturating_sub(1);
+                for (li, layer) in self.dual_layers.iter().enumerate() {
+                    let (tn, sn) = layer.infer_forward(f, &t, &s, lens, li < last);
+                    f.ctx.recycle(std::mem::replace(&mut t, tn));
+                    if let Some(sn) = sn {
+                        f.ctx.recycle(std::mem::replace(&mut s, sn));
+                    }
+                }
+                f.ctx.recycle(s);
+                t
+            }
+            EncoderVariant::VanillaMsm => {
+                for layer in &self.vanilla_layers {
+                    let (tn, _) = layer.infer_forward(f, &t, lens, false);
+                    f.ctx.recycle(std::mem::replace(&mut t, tn));
+                }
+                t
+            }
+            EncoderVariant::Concat => {
+                let s_lift = self.spatial_proj.infer_forward(f, &batch.spatial);
+                let cat = f.ctx.concat2(&t, &s_lift);
+                let mut x = self
+                    .concat_proj
+                    .as_ref()
+                    .expect("concat variant has a projection")
+                    .infer_forward(f, &cat);
+                InferCtx::add_pe_inplace(&mut x, &pe);
+                for tmp in [t, s_lift, cat] {
+                    f.ctx.recycle(tmp);
+                }
+                for layer in &self.vanilla_layers {
+                    let (xn, _) = layer.infer_forward(f, &x, lens, false);
+                    f.ctx.recycle(std::mem::replace(&mut x, xn));
+                }
+                x
+            }
+        };
+        let out = f.ctx.mean_pool_masked(&pooled, lens);
+        f.ctx.recycle(pooled);
+        out
     }
 }
 

@@ -17,8 +17,8 @@ use crate::model::TrajClModel;
 use rand::Rng;
 use trajcl_geo::Trajectory;
 use trajcl_measures::HeuristicMeasure;
-use trajcl_nn::{Adam, Fwd, Mlp, ParamStore};
-use trajcl_tensor::{Shape, Tape, Tensor};
+use trajcl_nn::{Adam, Fwd, InferFwd, Mlp, ParamStore};
+use trajcl_tensor::{InferCtx, Shape, Tape, Tensor};
 
 /// Which encoder parameters stay trainable during fine-tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,14 +69,10 @@ pub struct FinetunedEstimator {
 }
 
 impl FinetunedEstimator {
-    /// Refined embeddings `g(h)` for a set of trajectories `(N, d)`.
-    pub fn embed(
-        &self,
-        featurizer: &Featurizer,
-        trajs: &[Trajectory],
-        rng: &mut impl Rng,
-    ) -> Tensor {
-        self.embed_chunked(featurizer, trajs, self.model.cfg.batch_size, rng)
+    /// Refined embeddings `g(h)` for a set of trajectories `(N, d)`,
+    /// computed through the tape-free serving path.
+    pub fn embed(&self, featurizer: &Featurizer, trajs: &[Trajectory]) -> Tensor {
+        self.embed_chunked(featurizer, trajs, self.model.cfg.batch_size)
     }
 
     /// Like [`FinetunedEstimator::embed`] with an explicit chunk size.
@@ -85,19 +81,31 @@ impl FinetunedEstimator {
         featurizer: &Featurizer,
         trajs: &[Trajectory],
         batch: usize,
-        rng: &mut impl Rng,
+    ) -> Tensor {
+        let mut ctx = InferCtx::new();
+        self.embed_chunked_with(&mut ctx, featurizer, trajs, batch)
+    }
+
+    /// Like [`FinetunedEstimator::embed_chunked`] but reusing a
+    /// caller-owned [`InferCtx`] (scratch buffers persist across calls).
+    pub fn embed_chunked_with(
+        &self,
+        ctx: &mut InferCtx,
+        featurizer: &Featurizer,
+        trajs: &[Trajectory],
+        batch: usize,
     ) -> Tensor {
         let d = self.model.cfg.dim;
         let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
         let mut row = 0usize;
         for chunk in trajs.chunks(batch.max(1)) {
-            let batch = featurizer.featurize(chunk).expect("embed: non-empty chunk");
-            let mut tape = Tape::new();
-            let mut f = Fwd::new(&mut tape, &self.store, rng, false);
-            let h = self.model.forward_h(&mut f, &batch);
-            let g = self.head.forward(&mut f, h);
-            out.data_mut()[row * d..(row + chunk.len()) * d]
-                .copy_from_slice(tape.value(g).data());
+            let inputs = featurizer.featurize(chunk).expect("embed: non-empty chunk");
+            let mut f = InferFwd::new(ctx, &self.store);
+            let h = self.model.encoder.infer_forward(&mut f, &inputs);
+            let g = self.head.infer_forward(&mut f, &h);
+            out.data_mut()[row * d..(row + chunk.len()) * d].copy_from_slice(g.data());
+            ctx.recycle(h);
+            ctx.recycle(g);
             row += chunk.len();
         }
         out
@@ -276,12 +284,12 @@ mod tests {
         let q = &eval[0];
         let true_d: Vec<f64> = eval.iter().map(|t| measure.distance(q, t)).collect();
 
-        let tuned_emb = est.embed(&feat, eval, &mut rng);
-        let tuned_q = est.embed(&feat, std::slice::from_ref(q), &mut rng);
+        let tuned_emb = est.embed(&feat, eval);
+        let tuned_q = est.embed(&feat, std::slice::from_ref(q));
         let tuned_d = l1_distances(&tuned_q, &tuned_emb);
 
-        let raw_emb = model.embed(&feat, eval, &mut rng);
-        let raw_q = model.embed(&feat, std::slice::from_ref(q), &mut rng);
+        let raw_emb = model.embed(&feat, eval);
+        let raw_q = model.embed(&feat, std::slice::from_ref(q));
         let raw_d = l1_distances(&raw_q, &raw_emb);
 
         let tuned_hr = hit_ratio(&true_d, &tuned_d, 3);

@@ -6,8 +6,8 @@ use crate::encoder::{DualStbEncoder, EncoderVariant};
 use crate::featurizer::Featurizer;
 use rand::Rng;
 use trajcl_geo::Trajectory;
-use trajcl_nn::{Fwd, Mlp, ParamStore};
-use trajcl_tensor::{Shape, Tape, Tensor, Var};
+use trajcl_nn::{Fwd, InferFwd, Mlp, ParamStore};
+use trajcl_tensor::{pool, InferCtx, Shape, Tensor, Var};
 
 /// Encoder `F` plus projection head `P` (Eq. 1) and their parameters.
 #[derive(Clone)]
@@ -61,15 +61,18 @@ impl TrajClModel {
         f.tape.l2_normalize_rows(z)
     }
 
+    /// Tape-free backbone forward on an [`InferCtx`]: the serving-path
+    /// counterpart of [`TrajClModel::forward_h`].
+    pub fn infer_h(&self, ctx: &mut InferCtx, batch: &crate::featurizer::BatchInputs) -> Tensor {
+        let mut f = InferFwd::new(ctx, &self.store);
+        self.encoder.infer_forward(&mut f, batch)
+    }
+
     /// Inference: embeds trajectories into `(N, d)` backbone embeddings,
-    /// processing `cfg.batch_size` at a time with dropout disabled.
-    pub fn embed(
-        &self,
-        featurizer: &Featurizer,
-        trajs: &[Trajectory],
-        rng: &mut impl Rng,
-    ) -> Tensor {
-        self.embed_chunked(featurizer, trajs, self.cfg.batch_size, rng)
+    /// processing `cfg.batch_size` at a time through the tape-free serving
+    /// path (dropout statically elided — no RNG involved).
+    pub fn embed(&self, featurizer: &Featurizer, trajs: &[Trajectory]) -> Tensor {
+        self.embed_chunked(featurizer, trajs, self.cfg.batch_size)
     }
 
     /// Like [`TrajClModel::embed`] with an explicit chunk size — callers
@@ -80,19 +83,29 @@ impl TrajClModel {
         featurizer: &Featurizer,
         trajs: &[Trajectory],
         batch: usize,
-        rng: &mut impl Rng,
+    ) -> Tensor {
+        let mut ctx = InferCtx::new();
+        self.embed_chunked_with(&mut ctx, featurizer, trajs, batch)
+    }
+
+    /// Like [`TrajClModel::embed_chunked`] but reusing a caller-owned
+    /// [`InferCtx`], so scratch buffers persist across calls (the engine
+    /// backends hold one per serving path).
+    pub fn embed_chunked_with(
+        &self,
+        ctx: &mut InferCtx,
+        featurizer: &Featurizer,
+        trajs: &[Trajectory],
+        batch: usize,
     ) -> Tensor {
         let d = self.cfg.dim;
         let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
         let mut row = 0usize;
         for chunk in trajs.chunks(batch.max(1)) {
-            let batch = featurizer.featurize(chunk).expect("embed: non-empty chunk");
-            let mut tape = Tape::new();
-            let mut f = Fwd::new(&mut tape, &self.store, rng, false);
-            let h = self.forward_h(&mut f, &batch);
-            let hv = tape.value(h);
-            out.data_mut()[row * d..(row + chunk.len()) * d]
-                .copy_from_slice(hv.data());
+            let inputs = featurizer.featurize(chunk).expect("embed: non-empty chunk");
+            let h = self.infer_h(ctx, &inputs);
+            out.data_mut()[row * d..(row + chunk.len()) * d].copy_from_slice(h.data());
+            ctx.recycle(h);
             row += chunk.len();
         }
         out
@@ -108,26 +121,21 @@ pub fn l1_distances(queries: &Tensor, database: &Tensor) -> Vec<f64> {
     let q = queries.shape().rows();
     let n = database.shape().rows();
     let mut out = vec![0.0f64; q * n];
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    let rows_per = q.div_ceil(threads.max(1)).max(1);
+    let rows_per = pool::rows_per_lane(q);
     let qd = queries.data();
     let dd = database.data();
-    std::thread::scope(|s| {
-        for (c, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-            let start = c * rows_per;
-            s.spawn(move || {
-                for (r, row) in chunk.chunks_mut(n).enumerate() {
-                    let qrow = &qd[(start + r) * d..(start + r + 1) * d];
-                    for (j, slot) in row.iter_mut().enumerate() {
-                        let drow = &dd[j * d..(j + 1) * d];
-                        let mut acc = 0.0f32;
-                        for (a, b) in qrow.iter().zip(drow) {
-                            acc += (a - b).abs();
-                        }
-                        *slot = acc as f64;
-                    }
+    pool::par_chunks_mut(&mut out, rows_per * n, |c, chunk| {
+        let start = c * rows_per;
+        for (r, row) in chunk.chunks_mut(n).enumerate() {
+            let qrow = &qd[(start + r) * d..(start + r + 1) * d];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let drow = &dd[j * d..(j + 1) * d];
+                let mut acc = 0.0f32;
+                for (a, b) in qrow.iter().zip(drow) {
+                    acc += (a - b).abs();
                 }
-            });
+                *slot = acc as f64;
+            }
         }
     });
     out
@@ -138,6 +146,7 @@ mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
     use trajcl_geo::{Bbox, Grid, Point, SpatialNorm};
+    use trajcl_tensor::Tape;
 
     fn setup() -> (TrajClModel, Featurizer, StdRng) {
         let mut rng = StdRng::seed_from_u64(0);
@@ -156,22 +165,22 @@ mod tests {
 
     #[test]
     fn embed_shapes_and_determinism() {
-        let (model, feat, mut rng) = setup();
+        let (model, feat, _rng) = setup();
         let trajs: Vec<Trajectory> = (0..5).map(|i| traj(6 + i, 100.0 * (i + 1) as f64)).collect();
-        let e1 = model.embed(&feat, &trajs, &mut rng);
-        let e2 = model.embed(&feat, &trajs, &mut rng);
+        let e1 = model.embed(&feat, &trajs);
+        let e2 = model.embed(&feat, &trajs);
         assert_eq!(e1.shape(), Shape::d2(5, model.cfg.dim));
         assert!(e1.approx_eq(&e2, 0.0), "eval-mode embedding must be deterministic");
     }
 
     #[test]
     fn embed_batches_agree_with_single() {
-        let (model, feat, mut rng) = setup();
+        let (model, feat, _rng) = setup();
         let trajs: Vec<Trajectory> =
             (0..7).map(|i| traj(5 + i, 80.0 * (i + 1) as f64)).collect();
-        let all = model.embed(&feat, &trajs, &mut rng);
+        let all = model.embed(&feat, &trajs);
         for (i, t) in trajs.iter().enumerate() {
-            let single = model.embed(&feat, std::slice::from_ref(t), &mut rng);
+            let single = model.embed(&feat, std::slice::from_ref(t));
             for k in 0..model.cfg.dim {
                 assert!(
                     (all.at2(i, k) - single.at2(0, k)).abs() < 1e-4,
@@ -179,6 +188,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn infer_embed_matches_tape_forward() {
+        let (model, feat, mut rng) = setup();
+        let trajs: Vec<Trajectory> =
+            (0..4).map(|i| traj(5 + i, 150.0 * (i + 1) as f64)).collect();
+        let infer = model.embed(&feat, &trajs);
+        let batch = feat.featurize(&trajs).expect("featurize");
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &model.store, &mut rng, false);
+        let h = model.forward_h(&mut f, &batch);
+        assert!(
+            infer.approx_eq(tape.value(h), 1e-5),
+            "serving path drifted from the tape forward"
+        );
     }
 
     #[test]

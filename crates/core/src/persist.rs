@@ -231,11 +231,10 @@ mod tests {
     #[test]
     fn round_trip_preserves_embeddings() {
         let (model, feat, trajs) = setup();
-        let mut rng = StdRng::seed_from_u64(1);
-        let before = model.embed(&feat, &trajs, &mut rng);
+        let before = model.embed(&feat, &trajs);
         let bytes = save_model(&model, &feat, 100.0);
         let (loaded, loaded_feat) = load_model(&bytes).expect("round trip");
-        let after = loaded.embed(&loaded_feat, &trajs, &mut rng);
+        let after = loaded.embed(&loaded_feat, &trajs);
         assert!(
             before.approx_eq(&after, 1e-6),
             "persisted model produced different embeddings"

@@ -1,0 +1,101 @@
+//! Serving-path equivalence: the tape-free infer forward must reproduce
+//! the tape forward for every encoder variant, and the `InferCtx` scratch
+//! arena must never leak state between batches.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_nn::Fwd;
+use trajcl_tensor::{InferCtx, Shape, Tape, Tensor};
+
+const VARIANTS: [EncoderVariant; 3] =
+    [EncoderVariant::Dual, EncoderVariant::VanillaMsm, EncoderVariant::Concat];
+
+/// One model + featurizer per encoder variant, built once.
+fn models() -> &'static Vec<(TrajClModel, Featurizer)> {
+    static MODELS: OnceLock<Vec<(TrajClModel, Featurizer)>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        VARIANTS
+            .iter()
+            .map(|&variant| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let cfg = TrajClConfig::test_default();
+                let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+                let grid = Grid::new(region, 100.0);
+                let table =
+                    Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+                let feat =
+                    Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+                let model = TrajClModel::new(&cfg, variant, &mut rng);
+                (model, feat)
+            })
+            .collect()
+    })
+}
+
+fn traj(n: usize, y: f64) -> Trajectory {
+    (0..n)
+        .map(|i| Point::new(30.0 + i as f64 * 35.0, y + (i % 3) as f64 * 15.0))
+        .collect()
+}
+
+fn batch_of(lens: &[usize], y0: f64) -> Vec<Trajectory> {
+    lens.iter()
+        .enumerate()
+        .map(|(i, &n)| traj(n, y0 + i as f64 * 70.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn infer_forward_matches_tape_forward_all_variants(
+        lens in prop::collection::vec(2usize..14, 1..5),
+        y0 in 50.0f64..800.0,
+    ) {
+        let trajs = batch_of(&lens, y0);
+        for (model, feat) in models() {
+            let batch = feat.featurize(&trajs).expect("featurize");
+
+            let mut tape = Tape::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut f = Fwd::new(&mut tape, &model.store, &mut rng, false);
+            let h_tape = model.forward_h(&mut f, &batch);
+
+            let mut ctx = InferCtx::new();
+            let h_infer = model.infer_h(&mut ctx, &batch);
+
+            prop_assert!(
+                h_infer.approx_eq(tape.value(h_tape), 1e-5),
+                "{}: infer forward diverged from tape forward (lens {lens:?})",
+                model.encoder.variant().name()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_leaks_nothing(
+        lens in prop::collection::vec(2usize..14, 1..5),
+        stir in prop::collection::vec(2usize..20, 1..7),
+    ) {
+        // One shared InferCtx serves several differently-shaped batches;
+        // re-embedding the first batch must reproduce identical bytes.
+        for (model, feat) in models() {
+            let trajs = batch_of(&lens, 120.0);
+            let other = batch_of(&stir, 430.0);
+            let mut ctx = InferCtx::new();
+            let first = model.embed_chunked_with(&mut ctx, feat, &trajs, 64);
+            let _ = model.embed_chunked_with(&mut ctx, feat, &other, 64);
+            let again = model.embed_chunked_with(&mut ctx, feat, &trajs, 64);
+            prop_assert!(
+                first.approx_eq(&again, 0.0),
+                "{}: recycled scratch buffers changed the embedding",
+                model.encoder.variant().name()
+            );
+        }
+    }
+}

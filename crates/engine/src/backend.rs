@@ -11,17 +11,26 @@
 use crate::error::EngineError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Mutex;
 use trajcl_baselines::TrajectoryEncoder;
 use trajcl_core::{Featurizer, FinetunedEstimator, TrajClModel};
 use trajcl_geo::{validate_batch, Trajectory};
 use trajcl_measures::HeuristicMeasure;
 use trajcl_nn::Fwd;
-use trajcl_tensor::{Tape, Tensor};
+use trajcl_tensor::{InferCtx, Tape, Tensor};
 
-/// Seed for the throwaway RNGs of eval-mode forward passes. Dropout is
+/// Seed for the throwaway RNGs of eval-mode forward passes (only the
+/// baseline adapter still records a tape at inference). Dropout is
 /// disabled at inference, so the stream is never consumed — a fixed seed
 /// keeps `&self` receivers and bit-for-bit reproducibility.
 const EVAL_SEED: u64 = 0;
+
+/// Locks a backend's serving [`InferCtx`], recovering from poison (a
+/// panicked embed left only scratch buffers behind, which are safe to
+/// reuse — every kernel fully overwrites its output).
+fn lock_ctx(ctx: &Mutex<InferCtx>) -> std::sync::MutexGuard<'_, InferCtx> {
+    ctx.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// One similarity method behind a uniform, object-safe interface.
 ///
@@ -62,15 +71,20 @@ fn l1(a: &[f32], b: &[f32]) -> f64 {
 }
 
 /// The paper's model as a backend: DualSTB encoder + featurizer.
+///
+/// Serving goes through the tape-free [`InferCtx`] path — no autograd
+/// bookkeeping, fused attention, and scratch buffers that persist across
+/// `embed_batch` calls (the engine's chunk loop reuses them).
 pub struct TrajClBackend {
     model: TrajClModel,
     featurizer: Featurizer,
+    infer: Mutex<InferCtx>,
 }
 
 impl TrajClBackend {
     /// Wraps a trained (or freshly initialised) model and its featurizer.
     pub fn new(model: TrajClModel, featurizer: Featurizer) -> Self {
-        TrajClBackend { model, featurizer }
+        TrajClBackend { model, featurizer, infer: Mutex::new(InferCtx::new()) }
     }
 
     /// The wrapped model.
@@ -95,10 +109,11 @@ impl SimilarityBackend for TrajClBackend {
 
     fn embed_batch(&self, trajs: &[Trajectory]) -> Result<Tensor, EngineError> {
         validate_batch(trajs)?;
-        let mut rng = StdRng::seed_from_u64(EVAL_SEED);
-        // One forward pass per call: the engine's `embed_all` owns the
-        // chunking, so the batch-size knob is not silently re-capped here.
-        Ok(self.model.embed_chunked(&self.featurizer, trajs, trajs.len(), &mut rng))
+        // One tape-free forward pass per call: the engine's `embed_all`
+        // owns the chunking, so the batch-size knob is not silently
+        // re-capped here; scratch buffers persist across calls.
+        let mut ctx = lock_ctx(&self.infer);
+        Ok(self.model.embed_chunked_with(&mut ctx, &self.featurizer, trajs, trajs.len()))
     }
 
     fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
@@ -204,6 +219,7 @@ pub struct FinetunedBackend {
     featurizer: Featurizer,
     name: String,
     dim: usize,
+    infer: Mutex<InferCtx>,
 }
 
 impl FinetunedBackend {
@@ -220,6 +236,7 @@ impl FinetunedBackend {
             featurizer,
             name: format!("TrajCL~{target}"),
             dim,
+            infer: Mutex::new(InferCtx::new()),
         }
     }
 
@@ -240,8 +257,10 @@ impl SimilarityBackend for FinetunedBackend {
 
     fn embed_batch(&self, trajs: &[Trajectory]) -> Result<Tensor, EngineError> {
         validate_batch(trajs)?;
-        let mut rng = StdRng::seed_from_u64(EVAL_SEED);
-        Ok(self.estimator.embed_chunked(&self.featurizer, trajs, trajs.len(), &mut rng))
+        let mut ctx = lock_ctx(&self.infer);
+        Ok(self
+            .estimator
+            .embed_chunked_with(&mut ctx, &self.featurizer, trajs, trajs.len()))
     }
 
     fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {

@@ -14,6 +14,7 @@
 
 use trajcl_geo::{Bbox, Point, Trajectory};
 use trajcl_measures::hausdorff;
+use trajcl_tensor::pool;
 
 struct Entry {
     traj: Trajectory,
@@ -107,16 +108,11 @@ impl SegmentHausdorffIndex {
     /// Parallel batched kNN.
     pub fn batch_knn(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<(u32, f64)>> {
         let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); queries.len()];
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-        let per = queries.len().div_ceil(threads.max(1)).max(1);
-        std::thread::scope(|s| {
-            for (c, chunk) in out.chunks_mut(per).enumerate() {
-                let start = c * per;
-                s.spawn(move || {
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        *slot = self.knn(&queries[start + i], k);
-                    }
-                });
+        let per = pool::rows_per_lane(queries.len());
+        pool::par_chunks_mut(&mut out, per, |c, chunk| {
+            let start = c * per;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.knn(&queries[start + i], k);
             }
         });
         out

@@ -8,7 +8,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use trajcl_tensor::Tensor;
+use trajcl_tensor::{pool, Tensor};
 
 /// Distance metric for index search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,18 +242,13 @@ impl IvfIndex {
         let q = queries.shape().rows();
         assert_eq!(queries.shape().last(), self.d, "query dimensionality mismatch");
         let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); q];
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-        let per = q.div_ceil(threads.max(1)).max(1);
+        let per = pool::rows_per_lane(q);
         let qd = queries.data();
-        std::thread::scope(|s| {
-            for (c, chunk) in out.chunks_mut(per).enumerate() {
-                let start = c * per;
-                s.spawn(move || {
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        let row = &qd[(start + i) * self.d..(start + i + 1) * self.d];
-                        *slot = self.search(row, k, nprobe);
-                    }
-                });
+        pool::par_chunks_mut(&mut out, per, |c, chunk| {
+            let start = c * per;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let row = &qd[(start + i) * self.d..(start + i + 1) * self.d];
+                *slot = self.search(row, k, nprobe);
             }
         });
         out

@@ -32,6 +32,7 @@ pub use frechet::frechet;
 pub use hausdorff::{directed_hausdorff, discrete_hausdorff, hausdorff};
 
 use trajcl_geo::Trajectory;
+use trajcl_tensor::pool;
 
 /// Dispatchable heuristic measure (distance semantics: lower = more
 /// similar).
@@ -95,19 +96,14 @@ pub fn pairwise_distances(
     if queries.is_empty() || database.is_empty() {
         return out;
     }
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let rows_per = queries.len().div_ceil(threads.max(1)).max(1);
-    std::thread::scope(|s| {
-        for (c, chunk) in out.chunks_mut(rows_per * database.len()).enumerate() {
-            let start = c * rows_per;
-            s.spawn(move || {
-                for (r, row) in chunk.chunks_mut(database.len()).enumerate() {
-                    let q = &queries[start + r];
-                    for (d, slot) in row.iter_mut().enumerate() {
-                        *slot = measure.distance(q, &database[d]);
-                    }
-                }
-            });
+    let rows_per = pool::rows_per_lane(queries.len());
+    pool::par_chunks_mut(&mut out, rows_per * database.len(), |c, chunk| {
+        let start = c * rows_per;
+        for (r, row) in chunk.chunks_mut(database.len()).enumerate() {
+            let q = &queries[start + r];
+            for (d, slot) in row.iter_mut().enumerate() {
+                *slot = measure.distance(q, &database[d]);
+            }
         }
     });
     out

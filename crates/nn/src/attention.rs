@@ -7,11 +7,11 @@
 //! primitives ([`project_heads`], [`scaled_scores`]) but learns two
 //! attention-coefficient matrices and fuses them.
 
-use crate::modules::{Fwd, Mlp};
+use crate::modules::{Fwd, InferFwd, Mlp};
 use crate::store::{ParamId, ParamStore};
 use crate::{init, LayerNorm};
 use rand::Rng;
-use trajcl_tensor::{Shape, Tensor, Var};
+use trajcl_tensor::{InferCtx, Shape, Tensor, Var};
 
 /// Large negative bias used to mask padded attention slots.
 pub const MASK_NEG: f32 = -1e9;
@@ -131,6 +131,60 @@ impl MultiHeadSelfAttention {
         let out = f.tape.matmul(merged, wo, false, false);
         (out, attn)
     }
+
+    /// Tape-free attention over `(B, L, dim)` with per-batch valid lengths
+    /// `lens` in place of an additive mask tensor.
+    ///
+    /// With `want_attn = false` the whole `QKᵀ → scale → mask → softmax →
+    /// ·V` chain runs through the fused kernel and the `(B·H, L, L)`
+    /// coefficient tensor is never materialised; with `true` the
+    /// coefficients are returned (DualMSM needs them for the γ-fusion).
+    pub fn infer_forward(
+        &self,
+        f: &mut InferFwd,
+        x: &Tensor,
+        lens: &[usize],
+        want_attn: bool,
+    ) -> (Tensor, Option<Tensor>) {
+        let q = infer_project_heads(f, x, self.wq, self.heads);
+        let k = infer_project_heads(f, x, self.wk, self.heads);
+        let v = infer_project_heads(f, x, self.wv, self.heads);
+        let (ctx_heads, attn) = if want_attn {
+            let probs = f.ctx.attention_probs(&q, &k, lens);
+            let ctx_heads = f.ctx.matmul(&probs, &v, false, false);
+            (ctx_heads, Some(probs))
+        } else {
+            (f.ctx.fused_attention(&q, &k, &v, lens), None)
+        };
+        let merged = f.ctx.merge_heads(&ctx_heads, self.heads);
+        let out = f.ctx.matmul(&merged, f.p(self.wo), false, false);
+        for t in [q, k, v, ctx_heads, merged] {
+            f.ctx.recycle(t);
+        }
+        (out, attn)
+    }
+
+    /// Tape-free attention *coefficients only* (`(B·H, L, L)`), skipping
+    /// the value path entirely — used where only the coefficient matrix
+    /// feeds downstream computation (the last DualMSM layer's spatial
+    /// branch).
+    pub fn infer_attention_probs(&self, f: &mut InferFwd, x: &Tensor, lens: &[usize]) -> Tensor {
+        let q = infer_project_heads(f, x, self.wq, self.heads);
+        let k = infer_project_heads(f, x, self.wk, self.heads);
+        let probs = f.ctx.attention_probs(&q, &k, lens);
+        f.ctx.recycle(q);
+        f.ctx.recycle(k);
+        probs
+    }
+}
+
+/// Tape-free [`project_heads`]: projects `(B, L, D)` through `w` and splits
+/// into `(B·H, L, D/H)`.
+pub fn infer_project_heads(f: &mut InferFwd, x: &Tensor, w: ParamId, heads: usize) -> Tensor {
+    let proj = f.ctx.matmul(x, f.p(w), false, false);
+    let split = f.ctx.split_heads(&proj, heads);
+    f.ctx.recycle(proj);
+    split
 }
 
 /// One pre-built Transformer encoder layer:
@@ -176,6 +230,25 @@ impl TransformerEncoderLayer {
         let m = f.dropout(m, self.dropout);
         let res2 = f.tape.add(h, m);
         (self.ln2.forward(f, res2), attn)
+    }
+
+    /// Tape-free forward (dropout elided); returns the attention
+    /// coefficients only when `want_attn` is set.
+    pub fn infer_forward(
+        &self,
+        f: &mut InferFwd,
+        x: &Tensor,
+        lens: &[usize],
+        want_attn: bool,
+    ) -> (Tensor, Option<Tensor>) {
+        let (mut h, attn) = self.attn.infer_forward(f, x, lens, want_attn);
+        InferCtx::add_inplace(&mut h, x);
+        self.ln1.infer_forward_inplace(f, &mut h);
+        let mut out = self.mlp.infer_forward(f, &h);
+        InferCtx::add_inplace(&mut out, &h);
+        self.ln2.infer_forward_inplace(f, &mut out);
+        f.ctx.recycle(h);
+        (out, attn)
     }
 }
 
@@ -258,6 +331,58 @@ mod tests {
         let pairs = grads.into_param_grads(&tape);
         store.accumulate(pairs);
         assert!(store.grad_norm() > 0.0, "gradients must reach encoder params");
+    }
+
+    #[test]
+    fn infer_forward_matches_tape_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "enc", 8, 2, 16, 0.1, &mut rng);
+        let x_val = Tensor::randn(Shape::d3(2, 5, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(6));
+        let lens = [3usize, 5];
+
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let x = f.input(x_val.clone());
+        let mask = f.input(attention_mask_bias(&lens, 5, 2));
+        let (y_tape, attn_tape) = layer.forward(&mut f, x, Some(mask));
+
+        let mut ctx = InferCtx::new();
+        let mut inf = InferFwd::new(&mut ctx, &store);
+        let (y_infer, attn_infer) = layer.infer_forward(&mut inf, &x_val, &lens, true);
+
+        // Valid positions must agree (padded rows are ignored downstream by
+        // the masked pooling, so only t < len rows are compared).
+        let yt = tape.value(y_tape);
+        for (b, &len) in lens.iter().enumerate() {
+            for t in 0..len {
+                for d in 0..8 {
+                    let (a, i) = (yt.at3(b, t, d), y_infer.at3(b, t, d));
+                    assert!((a - i).abs() < 1e-5, "output diverged at ({b},{t},{d}): {a} vs {i}");
+                }
+            }
+        }
+        assert!(
+            attn_infer.expect("requested coefficients").approx_eq(tape.value(attn_tape), 1e-5),
+            "attention coefficients diverged"
+        );
+    }
+
+    #[test]
+    fn fused_path_matches_coefficient_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let msm = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let x = Tensor::randn(Shape::d3(2, 6, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(8));
+        let lens = [4usize, 6];
+        let mut ctx = InferCtx::new();
+        let mut inf = InferFwd::new(&mut ctx, &store);
+        let (fused, none) = msm.infer_forward(&mut inf, &x, &lens, false);
+        assert!(none.is_none());
+        let mut inf = InferFwd::new(&mut ctx, &store);
+        let (via_probs, some) = msm.infer_forward(&mut inf, &x, &lens, true);
+        assert!(some.is_some());
+        assert!(fused.approx_eq(&via_probs, 1e-5), "fused attention diverged");
     }
 
     #[test]

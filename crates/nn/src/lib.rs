@@ -18,10 +18,10 @@ pub mod rnn;
 pub mod store;
 
 pub use attention::{
-    add_positional, attention_mask_bias, project_heads, scaled_scores, sinusoidal_pe,
-    MultiHeadSelfAttention, TransformerEncoderLayer, MASK_NEG,
+    add_positional, attention_mask_bias, infer_project_heads, project_heads, scaled_scores,
+    sinusoidal_pe, MultiHeadSelfAttention, TransformerEncoderLayer, MASK_NEG,
 };
-pub use modules::{Conv2d, Embedding, Fwd, LayerNorm, Linear, Mlp};
+pub use modules::{Conv2d, Embedding, Fwd, InferFwd, LayerNorm, Linear, Mlp};
 pub use optim::{Adam, Sgd, StepDecay};
-pub use rnn::{run_gru, run_lstm, GruCell, LstmCell};
+pub use rnn::{run_gru, run_gru_infer, run_lstm, GruCell, LstmCell};
 pub use store::{ParamId, ParamStore};

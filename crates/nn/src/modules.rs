@@ -3,7 +3,7 @@
 use crate::init;
 use crate::store::{ParamId, ParamStore};
 use rand::{Rng, RngCore};
-use trajcl_tensor::{Shape, Tape, Tensor, Var};
+use trajcl_tensor::{InferCtx, Shape, Tape, Tensor, Var};
 
 /// Per-step forward context: the current tape, the parameter store, an RNG
 /// (for dropout) and the training flag.
@@ -44,6 +44,32 @@ impl<'a> Fwd<'a> {
     }
 }
 
+/// Tape-free forward context: the serving-path counterpart of [`Fwd`].
+///
+/// No tape, no RNG, no training flag — dropout is statically elided and
+/// parameters are read straight from the store instead of being cloned
+/// onto a tape. All intermediates come from the [`InferCtx`] scratch
+/// arena, so steady-state inference allocates nothing.
+pub struct InferFwd<'a> {
+    /// Scratch arena + tape-free kernels.
+    pub ctx: &'a mut InferCtx,
+    /// The model parameters (read-only).
+    pub store: &'a ParamStore,
+}
+
+impl<'a> InferFwd<'a> {
+    /// Convenience constructor.
+    pub fn new(ctx: &'a mut InferCtx, store: &'a ParamStore) -> Self {
+        InferFwd { ctx, store }
+    }
+
+    /// The current value of parameter `id`.
+    #[inline]
+    pub fn p(&self, id: ParamId) -> &'a Tensor {
+        self.store.value(id)
+    }
+}
+
 /// Fully-connected layer `y = x·W + b`.
 #[derive(Debug, Clone)]
 pub struct Linear {
@@ -77,6 +103,13 @@ impl Linear {
         f.tape.add_bias(y, b)
     }
 
+    /// Tape-free forward: `x·W + b` with the bias fused into the matmul
+    /// output pass.
+    pub fn infer_forward(&self, f: &mut InferFwd, x: &Tensor) -> Tensor {
+        let (w, b) = (f.p(self.w), f.p(self.b));
+        f.ctx.linear(x, w, b)
+    }
+
     /// Parameter ids `(weight, bias)` — exposed for fine-tuning selectors.
     pub fn params(&self) -> (ParamId, ParamId) {
         (self.w, self.b)
@@ -104,6 +137,11 @@ impl LayerNorm {
         let g = f.p(self.gamma);
         let b = f.p(self.beta);
         f.tape.layer_norm(x, g, b, self.eps)
+    }
+
+    /// Tape-free forward, normalising `x` in place.
+    pub fn infer_forward_inplace(&self, f: &InferFwd, x: &mut Tensor) {
+        InferCtx::layer_norm_inplace(x, f.p(self.gamma), f.p(self.beta), self.eps);
     }
 }
 
@@ -140,6 +178,15 @@ impl Mlp {
         let h = f.tape.relu(h);
         let h = f.dropout(h, self.dropout);
         self.fc2.forward(f, h)
+    }
+
+    /// Tape-free forward: `fc2(relu(fc1(x)))`, dropout statically elided.
+    pub fn infer_forward(&self, f: &mut InferFwd, x: &Tensor) -> Tensor {
+        let mut h = self.fc1.infer_forward(f, x);
+        InferCtx::relu_inplace(&mut h);
+        let out = self.fc2.infer_forward(f, &h);
+        f.ctx.recycle(h);
+        out
     }
 
     /// The final linear sub-layer (for partial fine-tuning).

@@ -6,11 +6,11 @@
 //! batch element is the state at its own last valid position (matching how
 //! packed sequences behave in the original PyTorch baselines).
 
-use crate::modules::Fwd;
+use crate::modules::{Fwd, InferFwd};
 use crate::store::{ParamId, ParamStore};
 use crate::init;
 use rand::Rng;
-use trajcl_tensor::{Shape, Tensor, Var};
+use trajcl_tensor::{InferCtx, Shape, Tensor, Var};
 
 /// A gated recurrent unit cell.
 #[derive(Debug, Clone)]
@@ -75,6 +75,35 @@ impl GruCell {
         let zn = f.tape.mul(z, n);
         let n_minus_zn = f.tape.sub(n, zn);
         f.tape.add(n_minus_zn, zh)
+    }
+
+    /// Tape-free step, mirroring [`GruCell::step`] op-for-op.
+    pub fn infer_step(&self, f: &mut InferFwd, x: &Tensor, h: &Tensor) -> Tensor {
+        let gate = |f: &mut InferFwd, w, u, b, x: &Tensor, h: &Tensor| {
+            let mut xs = f.ctx.matmul(x, f.p(w), false, false);
+            let hs = f.ctx.matmul(h, f.p(u), false, false);
+            InferCtx::add_inplace(&mut xs, &hs);
+            f.ctx.recycle(hs);
+            InferCtx::add_bias_inplace(&mut xs, f.p(b));
+            xs
+        };
+        let sigmoid = |t: &mut Tensor| InferCtx::map_inplace(t, |v| 1.0 / (1.0 + (-v).exp()));
+        let mut z = gate(f, self.wz, self.uz, self.bz, x, h);
+        sigmoid(&mut z);
+        let mut r = gate(f, self.wr, self.ur, self.br, x, h);
+        sigmoid(&mut r);
+        let rh = f.ctx.zip(&r, h, |a, b| a * b);
+        let mut n = gate(f, self.wh, self.uh, self.bh, x, &rh);
+        InferCtx::map_inplace(&mut n, f32::tanh);
+        // h' = (1 - z) ⊙ n + z ⊙ h, composed exactly as the tape does.
+        let zh = f.ctx.zip(&z, h, |a, b| a * b);
+        let zn = f.ctx.zip(&z, &n, |a, b| a * b);
+        let mut out = f.ctx.zip(&n, &zn, |a, b| a - b);
+        InferCtx::add_inplace(&mut out, &zh);
+        for t in [z, r, rh, n, zh, zn] {
+            f.ctx.recycle(t);
+        }
+        out
     }
 }
 
@@ -170,6 +199,45 @@ pub fn run_gru(f: &mut Fwd, cell: &GruCell, xs: Var, lens: &[usize]) -> (Var, Va
         states.push(h);
     }
     let all = f.tape.stack_time(&states);
+    (all, h)
+}
+
+/// Tape-free [`run_gru`]: runs a GRU over `(B, L, in_dim)` with per-element
+/// valid lengths, returning `(all_states (B, L, hidden), final (B, hidden))`.
+pub fn run_gru_infer(
+    f: &mut InferFwd,
+    cell: &GruCell,
+    xs: &Tensor,
+    lens: &[usize],
+) -> (Tensor, Tensor) {
+    let shape = xs.shape();
+    assert_eq!(shape.rank(), 3, "run_gru_infer expects (B, L, D)");
+    let (b, l) = (shape[0], shape[1]);
+    assert_eq!(lens.len(), b);
+    let mut h = f.ctx.alloc(Shape::d2(b, cell.hidden));
+    h.data_mut().fill(0.0);
+    let mut states: Vec<Tensor> = Vec::with_capacity(l);
+    for t in 0..l {
+        let x_t = f.ctx.select_time(xs, t);
+        let mut h_new = cell.infer_step(f, &x_t, &h);
+        f.ctx.recycle(x_t);
+        // Freeze finished sequences at their last valid state.
+        for (bi, &len) in lens.iter().enumerate() {
+            if t >= len {
+                let src = &h.data()[bi * cell.hidden..(bi + 1) * cell.hidden];
+                h_new.data_mut()[bi * cell.hidden..(bi + 1) * cell.hidden]
+                    .copy_from_slice(src);
+            }
+        }
+        let h_next = f.ctx.alloc_copy(&h_new);
+        f.ctx.recycle(std::mem::replace(&mut h, h_next));
+        states.push(h_new);
+    }
+    let refs: Vec<&Tensor> = states.iter().collect();
+    let all = f.ctx.stack_time(&refs);
+    for s in states {
+        f.ctx.recycle(s);
+    }
     (all, h)
 }
 
@@ -284,6 +352,27 @@ mod tests {
             assert!((fv.at2(0, d) - a.at3(0, 1, d)).abs() < 1e-6);
             assert!((fv.at2(1, d) - a.at3(1, 4, d)).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn gru_infer_matches_tape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+        let xs_val = Tensor::randn(Shape::d3(2, 5, 3), 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let lens = [3usize, 5];
+
+        let mut tape = Tape::new();
+        let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
+        let xs = f.input(xs_val.clone());
+        let (all_tape, fin_tape) = run_gru(&mut f, &cell, xs, &lens);
+
+        let mut ctx = InferCtx::new();
+        let mut inf = InferFwd::new(&mut ctx, &store);
+        let (all_infer, fin_infer) = run_gru_infer(&mut inf, &cell, &xs_val, &lens);
+
+        assert!(all_infer.approx_eq(tape.value(all_tape), 1e-5), "GRU states diverged");
+        assert!(fin_infer.approx_eq(tape.value(fin_tape), 1e-5), "GRU final state diverged");
     }
 
     #[test]

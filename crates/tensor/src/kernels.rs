@@ -3,16 +3,18 @@
 //! Everything here operates on plain slices; the tape layer handles shapes,
 //! broadcasting decisions and gradient bookkeeping.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Work (in f32 multiply-adds) below which kernels stay single-threaded.
-/// Thread spawn costs ~10µs; this keeps small ops cheap while letting
-/// attention-sized matmuls use all cores.
-const PAR_THRESHOLD: usize = 1 << 17;
+/// Even with the persistent pool a parallel region costs queue traffic and
+/// a latch; this keeps small ops cheap while letting attention-sized
+/// matmuls use all cores.
+pub(crate) const PAR_THRESHOLD: usize = 1 << 17;
 
-/// Runs `f(row_index, row)` over contiguous rows of `out`, in parallel when
-/// the total work estimate is large enough.
+/// Runs `f(row_index, row)` over contiguous rows of `out`, in parallel on
+/// the shared [`pool`] when the total work estimate is large enough.
 ///
 /// `work_per_row` is an estimate in multiply-adds used for the threshold
 /// decision only.
@@ -25,28 +27,19 @@ pub fn for_each_row(
 ) {
     debug_assert!(row_len > 0 && out.len() % row_len == 0);
     let n_rows = out.len() / row_len;
-    let threads = available_threads();
+    let threads = pool::threads();
     if threads <= 1 || n_rows <= 1 || n_rows * work_per_row < PAR_THRESHOLD {
         for (i, row) in out.chunks_mut(row_len).enumerate() {
             f(i, row);
         }
         return;
     }
-    let rows_per = n_rows.div_ceil(threads.min(n_rows));
-    std::thread::scope(|s| {
-        for (c, chunk) in out.chunks_mut(rows_per * row_len).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (i, row) in chunk.chunks_mut(row_len).enumerate() {
-                    f(c * rows_per + i, row);
-                }
-            });
+    let rows_per = pool::rows_per_lane(n_rows);
+    pool::par_chunks_mut(out, rows_per * row_len, |c, chunk| {
+        for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+            f(c * rows_per + i, row);
         }
     });
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Dimensions of one side of a (possibly batched) matmul after resolving the
@@ -113,7 +106,7 @@ pub fn matmul(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
         let (bi, i) = (r / m, r % m);
         let a_mat = &ad[bi * a_stride..bi * a_stride + m * k];
         let b_mat = &bd[bi * b_stride..bi * b_stride + k * n];
-        matmul_row(a_mat, b_mat, i, m, k, n, ta, tb, out_row);
+        matmul_row_into(a_mat, b_mat, i, m, k, n, ta, tb, out_row);
     });
     out
 }
@@ -144,9 +137,10 @@ pub fn matmul_acc_into(acc: &mut Tensor, a: &Tensor, b: &Tensor, ta: bool, tb: b
     }
 }
 
-/// Computes one output row `out_row = a_eff[i, :] · b_eff`.
+/// Accumulates one output row `out_row += a_eff[i, :] · b_eff` (also used
+/// by the tape-free kernels in [`crate::infer`]).
 #[allow(clippy::too_many_arguments)]
-fn matmul_row(
+pub(crate) fn matmul_row_into(
     a: &[f32],
     b: &[f32],
     i: usize,
@@ -196,11 +190,25 @@ fn matmul_row(
         (true, true) => {
             // a_eff[i, kk] = a[kk*m + i] (a stored (k, m));
             // b_eff[kk, j] = b[j*k + kk] (b stored (n, k)).
+            // Gather a's column once (k strided reads) instead of repeating
+            // the strided walk for every j (n*k strided reads); the dots
+            // against b's rows then stream both operands.
+            let mut a_col = [0.0f32; COL_TILE];
+            let mut col_heap;
+            let col: &mut [f32] = if k <= COL_TILE {
+                &mut a_col[..k]
+            } else {
+                col_heap = vec![0.0f32; k];
+                &mut col_heap
+            };
+            for (kk, c) in col.iter_mut().enumerate() {
+                *c = a[kk * m + i];
+            }
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &b[j * k..(j + 1) * k];
                 let mut acc = 0.0;
-                for (kk, &bv) in b_row.iter().enumerate() {
-                    acc += a[kk * m + i] * bv;
+                for (&av, &bv) in col.iter().zip(b_row) {
+                    acc += av * bv;
                 }
                 *o += acc;
             }
@@ -229,28 +237,127 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     total
 }
 
-/// Numerically-stable softmax over the last dimension, written into `out`.
+/// Stack-buffer size for the `(true, true)` matmul column gather.
+const COL_TILE: usize = 256;
+
+/// Numerically-stable softmax over the last dimension, written into `out`;
+/// rows are processed in parallel on the shared pool when the input is
+/// attention-sized.
 pub fn softmax_rows(x: &[f32], row_len: usize, out: &mut [f32]) {
     debug_assert_eq!(x.len(), out.len());
-    for (xr, or) in x.chunks(row_len).zip(out.chunks_mut(row_len)) {
-        let max = xr.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        if !max.is_finite() {
-            // Entire row masked out: define softmax as uniform to avoid NaNs.
-            let u = 1.0 / row_len as f32;
-            or.fill(u);
-            continue;
+    let n_rows = x.len() / row_len.max(1);
+    // ~4 flops per element (max, sub, exp≈amortised, scale).
+    if pool::threads() <= 1 || n_rows <= 1 || x.len() * 4 < PAR_THRESHOLD {
+        for (xr, or) in x.chunks(row_len).zip(out.chunks_mut(row_len)) {
+            softmax_row(xr, or);
         }
-        let mut sum = 0.0;
-        for (o, &v) in or.iter_mut().zip(xr) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for o in or.iter_mut() {
-            *o *= inv;
-        }
+        return;
     }
+    let rows_per = pool::rows_per_lane(n_rows);
+    pool::par_chunks_mut(out, rows_per * row_len, |c, chunk| {
+        let start = c * rows_per * row_len;
+        let xs = &x[start..start + chunk.len()];
+        for (xr, or) in xs.chunks(row_len).zip(chunk.chunks_mut(row_len)) {
+            softmax_row(xr, or);
+        }
+    });
+}
+
+/// One softmax row into a separate output buffer (the tape-side wrapper
+/// around [`softmax_inplace`]).
+#[inline]
+pub(crate) fn softmax_row(xr: &[f32], or: &mut [f32]) {
+    or.copy_from_slice(xr);
+    softmax_inplace(or);
+}
+
+/// The one softmax implementation: max-shift, exp pass (vectorisable — no
+/// reduction in the loop), unrolled sum, normalise. Shared by the tape's
+/// [`softmax_rows`] and every fused kernel in [`crate::infer`] so the two
+/// paths can never drift numerically.
+#[inline]
+pub(crate) fn softmax_inplace(row: &mut [f32]) {
+    let max = max_unrolled(row);
+    if !max.is_finite() {
+        // Entire row masked out: define softmax as uniform to avoid NaNs.
+        let u = 1.0 / row.len() as f32;
+        row.fill(u);
+        return;
+    }
+    for v in row.iter_mut() {
+        *v = exp_fast(*v - max);
+    }
+    let inv = 1.0 / sum_unrolled(row);
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// 4-lane unrolled sum (breaks the serial float-add dependency chain the
+/// same way [`dot`] does).
+#[inline]
+pub(crate) fn sum_unrolled(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = xs.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += xs[i];
+        acc[1] += xs[i + 1];
+        acc[2] += xs[i + 2];
+        acc[3] += xs[i + 3];
+    }
+    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+    for &v in &xs[chunks * 4..] {
+        total += v;
+    }
+    total
+}
+
+/// 4-lane unrolled max (float max is associative, so lanes are exact).
+#[inline]
+pub(crate) fn max_unrolled(xs: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; 4];
+    let chunks = xs.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] = acc[0].max(xs[i]);
+        acc[1] = acc[1].max(xs[i + 1]);
+        acc[2] = acc[2].max(xs[i + 2]);
+        acc[3] = acc[3].max(xs[i + 3]);
+    }
+    let mut m = acc[0].max(acc[1]).max(acc[2]).max(acc[3]);
+    for &v in &xs[chunks * 4..] {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Fast branchless `exp` (Cephes-style argument reduction + degree-6
+/// polynomial, ~2e-7 relative error). `libm`'s `expf` dominates softmax
+/// cost at attention sizes; this version auto-vectorises inside the row
+/// loops. Inputs are clamped to the finite range, so very negative masked
+/// scores come out as ~1e-38 instead of exactly 0 — indistinguishable
+/// after normalisation.
+#[inline]
+pub fn exp_fast(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    let x = x.clamp(-87.3, 88.0);
+    // Round-to-nearest-even via the 1.5·2²³ magic constant: plain add/sub,
+    // so the loop vectorises on the baseline target (no SSE4.1 `roundps`).
+    const MAGIC: f32 = 12_582_912.0;
+    let n = (x * LOG2E + MAGIC) - MAGIC;
+    let r = x - n * LN2_HI - n * LN2_LO;
+    let mut p = 1.987_569_1e-4f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_5e-1;
+    p = p * r + 5.000_000_3e-1;
+    let e = p * (r * r) + r + 1.0;
+    // Scale by 2^n through the exponent bits (n ∈ [-126, 127] after clamp).
+    f32::from_bits(((n as i32 + 127) << 23) as u32) * e
 }
 
 #[cfg(test)]
@@ -298,6 +405,22 @@ mod tests {
         let via_flag = matmul(&sa, &sb, true, true);
         let via_mat = matmul(&sa.transpose_last2(), &sb.transpose_last2(), false, false);
         assert!(via_flag.approx_eq(&via_mat, 1e-6));
+    }
+
+    #[test]
+    fn matmul_double_transpose_large_k_heap_path() {
+        // k > COL_TILE exercises the heap-allocated column gather.
+        let k = COL_TILE + 37;
+        let mut rng_state = 1u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a = t2((0..k * 3).map(|_| next()).collect(), k, 3);
+        let b = t2((0..2 * k).map(|_| next()).collect(), 2, k);
+        let via_flag = matmul(&a, &b, true, true);
+        let via_mat = matmul(&a.transpose_last2(), &b.transpose_last2(), false, false);
+        assert!(via_flag.approx_eq(&via_mat, 1e-4));
     }
 
     #[test]
@@ -369,6 +492,21 @@ mod tests {
         let mut out = vec![0.0; 4];
         softmax_rows(&x, 4, &mut out);
         assert!(out.iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn exp_fast_accurate_over_softmax_range() {
+        // Softmax arguments are always <= 0; sweep a wide range anyway.
+        let mut x = -87.0f32;
+        while x < 20.0 {
+            let (got, want) = (exp_fast(x), x.exp());
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            assert!(rel < 1e-6, "exp_fast({x}) = {got}, want {want} (rel {rel})");
+            x += 0.0137;
+        }
+        // Deeply-masked scores underflow to a negligible weight.
+        assert!(exp_fast(-1e9) < 1.3e-38);
+        assert_eq!(exp_fast(0.0), 1.0);
     }
 
     #[test]

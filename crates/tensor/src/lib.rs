@@ -13,9 +13,13 @@
 //!   Ops are a closed enum; the backward sweep is a single reverse
 //!   iteration matching textbook gradient formulas (see `backward.rs`).
 //! * [`Var`] is a copyable node index into the tape.
-//! * Heavy kernels parallelise across rows with `std::thread::scope`
-//!   (no runtime dependency), which is what lets the non-recurrent TrajCL
-//!   encoder exploit hardware parallelism the way the paper's GPU runs do.
+//! * Heavy kernels parallelise across rows on a shared persistent
+//!   [`pool`] (no runtime dependency, `TRAJCL_THREADS` override), which
+//!   is what lets the non-recurrent TrajCL encoder exploit hardware
+//!   parallelism the way the paper's GPU runs do.
+//! * [`InferCtx`] is the tape-free serving path: fused attention and
+//!   scratch-buffer reuse for gradient-free forward passes (see
+//!   [`infer`]).
 //!
 //! ## Example
 //! ```
@@ -32,13 +36,16 @@
 //! ```
 
 pub mod backward;
+pub mod infer;
 pub mod kernels;
 mod op;
+pub mod pool;
 pub mod shape;
 pub mod tape;
 pub mod tensor;
 
 pub use backward::Grads;
+pub use infer::InferCtx;
 pub use shape::Shape;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -51,8 +51,8 @@ fn trained_model_beats_random_ranking() {
     let p = pipeline();
     let mut rng = p.rng.clone();
     let proto = QueryProtocol::build(&p.splits.test, 15, 100, &mut rng);
-    let q = p.moco.online.embed(&p.featurizer, &proto.queries, &mut rng);
-    let d = p.moco.online.embed(&p.featurizer, &proto.database, &mut rng);
+    let q = p.moco.online.embed(&p.featurizer, &proto.queries);
+    let d = p.moco.online.embed(&p.featurizer, &proto.database);
     let mr = mean_rank(&l1_distances(&q, &d), proto.database.len(), &proto.ground_truth);
     // Random ranking would give ~ |D|/2 = 50.
     assert!(mr < 10.0, "trained TrajCL mean rank {mr} not far from random");
@@ -65,8 +65,8 @@ fn model_is_robust_to_downsampling() {
     let proto = QueryProtocol::build(&p.splits.test, 15, 100, &mut rng);
     let mut drng = StdRng::seed_from_u64(5);
     let degraded = proto.degrade(|t| downsample(t, 0.3, &mut drng));
-    let q = p.moco.online.embed(&p.featurizer, &degraded.queries, &mut rng);
-    let d = p.moco.online.embed(&p.featurizer, &degraded.database, &mut rng);
+    let q = p.moco.online.embed(&p.featurizer, &degraded.queries);
+    let d = p.moco.online.embed(&p.featurizer, &degraded.database);
     let mr = mean_rank(&l1_distances(&q, &d), degraded.database.len(), &degraded.ground_truth);
     assert!(mr < 25.0, "downsampled mean rank {mr} collapsed to random");
 }
@@ -74,15 +74,14 @@ fn model_is_robust_to_downsampling() {
 #[test]
 fn embeddings_round_trip_through_serialization() {
     let p = pipeline();
-    let mut rng = p.rng.clone();
     let trajs = &p.splits.test[..5];
-    let before = p.moco.online.embed(&p.featurizer, trajs, &mut rng);
+    let before = p.moco.online.embed(&p.featurizer, trajs);
 
     let bytes = p.moco.online.store.to_bytes();
     let restored = ParamStore::from_bytes(&bytes).expect("valid serialization");
     let mut clone = p.moco.online.clone();
     clone.store.copy_values_from(&restored);
-    let after = clone.embed(&p.featurizer, trajs, &mut rng);
+    let after = clone.embed(&p.featurizer, trajs);
     assert!(
         before.approx_eq(&after, 1e-6),
         "serialization changed the model's embeddings"
@@ -94,9 +93,9 @@ fn ivf_index_finds_planted_match() {
     let p = pipeline();
     let mut rng = p.rng.clone();
     let proto = QueryProtocol::build(&p.splits.test, 10, 80, &mut rng);
-    let db_emb = p.moco.online.embed(&p.featurizer, &proto.database, &mut rng);
+    let db_emb = p.moco.online.embed(&p.featurizer, &proto.database);
     let index = IvfIndex::build(&db_emb, 8, Metric::L1, &mut rng);
-    let q_emb = p.moco.online.embed(&p.featurizer, &proto.queries, &mut rng);
+    let q_emb = p.moco.online.embed(&p.featurizer, &proto.queries);
     let mut hits_at_5 = 0;
     for (qi, &gt) in proto.ground_truth.iter().enumerate() {
         let knn = index.search(q_emb.row(qi), 5, index.nlist());
@@ -133,11 +132,11 @@ fn finetuning_tracks_hausdorff_better_than_raw() {
     let (queries, database) = eval.split_at(nq);
     let true_d = trajcl::measures::pairwise_distances(queries, database, measure);
 
-    let qe = est.embed(&p.featurizer, queries, &mut rng);
-    let de = est.embed(&p.featurizer, database, &mut rng);
+    let qe = est.embed(&p.featurizer, queries);
+    let de = est.embed(&p.featurizer, database);
     let tuned = l1_distances(&qe, &de);
-    let qr = p.moco.online.embed(&p.featurizer, queries, &mut rng);
-    let dr = p.moco.online.embed(&p.featurizer, database, &mut rng);
+    let qr = p.moco.online.embed(&p.featurizer, queries);
+    let dr = p.moco.online.embed(&p.featurizer, database);
     let raw = l1_distances(&qr, &dr);
 
     let db = database.len();
