@@ -33,7 +33,11 @@ pub struct TokenBatch {
 impl TokenFeaturizer {
     /// Builds a tokeniser over `region` with `cell_side`-meter cells.
     pub fn new(region: Bbox, cell_side: f64, max_len: usize) -> Self {
-        TokenFeaturizer { grid: Grid::new(region, cell_side), region, max_len }
+        TokenFeaturizer {
+            grid: Grid::new(region, cell_side),
+            region,
+            max_len,
+        }
     }
 
     /// Token vocabulary size.
@@ -58,7 +62,10 @@ impl TokenFeaturizer {
         let l = lens.iter().copied().max().unwrap_or(0);
         let mut cells = vec![0u32; b * l];
         let mut coords = Tensor::zeros(Shape::d3(b, l, 2));
-        let (w, h) = (self.region.width().max(1e-9), self.region.height().max(1e-9));
+        let (w, h) = (
+            self.region.width().max(1e-9),
+            self.region.height().max(1e-9),
+        );
         for (bi, traj) in trajs.iter().enumerate() {
             for (t, p) in traj.points().iter().take(lens[bi]).enumerate() {
                 cells[bi * l + t] = self.grid.cell_of(p);
@@ -68,7 +75,12 @@ impl TokenFeaturizer {
                     (2.0 * (p.y - self.region.min.y) / h - 1.0) as f32;
             }
         }
-        Ok(TokenBatch { cells, coords, lens, seq_len: l })
+        Ok(TokenBatch {
+            cells,
+            coords,
+            lens,
+            seq_len: l,
+        })
     }
 }
 
@@ -109,8 +121,7 @@ pub trait TrajectoryEncoder {
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, self.store(), rng, false);
             let h = self.encode_on_tape(&mut f, chunk);
-            out.data_mut()[row * d..(row + chunk.len()) * d]
-                .copy_from_slice(tape.value(h).data());
+            out.data_mut()[row * d..(row + chunk.len()) * d].copy_from_slice(tape.value(h).data());
             row += chunk.len();
         }
         out

@@ -10,7 +10,7 @@
 
 use crate::common::{TokenFeaturizer, TrajectoryEncoder};
 use rand::Rng;
-use trajcl_data::{Augmentation, AugmentParams};
+use trajcl_data::{AugmentParams, Augmentation};
 use trajcl_geo::Trajectory;
 use trajcl_nn::attention::{add_positional, attention_mask_bias, sinusoidal_pe};
 use trajcl_nn::{Adam, Embedding, Fwd, ParamStore, TransformerEncoderLayer};
@@ -65,8 +65,7 @@ impl Cstrm {
     /// that makes CSTRM run out of memory on Germany in the paper.
     pub fn new(featurizer: TokenFeaturizer, cfg: &CstrmConfig, rng: &mut impl Rng) -> Self {
         let mut store = ParamStore::new();
-        let cell_emb =
-            Embedding::new(&mut store, "cstrm.cells", featurizer.vocab(), cfg.dim, rng);
+        let cell_emb = Embedding::new(&mut store, "cstrm.cells", featurizer.vocab(), cfg.dim, rng);
         let layers = (0..cfg.layers)
             .map(|i| {
                 TransformerEncoderLayer::new(
@@ -80,7 +79,14 @@ impl Cstrm {
                 )
             })
             .collect();
-        Cstrm { store, cell_emb, layers, featurizer, dim: cfg.dim, heads: cfg.heads }
+        Cstrm {
+            store,
+            cell_emb,
+            layers,
+            featurizer,
+            dim: cfg.dim,
+            heads: cfg.heads,
+        }
     }
 
     /// Estimated parameter count (used to emulate the Germany OOM check).
@@ -201,7 +207,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let region = Bbox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
         let tf = TokenFeaturizer::new(region, 200.0, 32);
-        let cfg = CstrmConfig { dim: 16, heads: 2, layers: 1, ..Default::default() };
+        let cfg = CstrmConfig {
+            dim: 16,
+            heads: 2,
+            layers: 1,
+            ..Default::default()
+        };
         let model = Cstrm::new(tf, &cfg, &mut rng);
         use rand::Rng as _;
         let pool: Vec<Trajectory> = (0..12)
@@ -216,7 +227,14 @@ mod tests {
     #[test]
     fn trains_with_finite_loss() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = CstrmConfig { dim: 16, heads: 2, layers: 1, epochs: 2, batch_size: 6, ..Default::default() };
+        let cfg = CstrmConfig {
+            dim: 16,
+            heads: 2,
+            layers: 1,
+            epochs: 2,
+            batch_size: 6,
+            ..Default::default()
+        };
         let losses = model.train(&pool, &cfg, &mut rng);
         assert_eq!(losses.len(), 2);
         assert!(losses.iter().all(|l| l.is_finite()));

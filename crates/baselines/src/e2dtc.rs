@@ -53,7 +53,11 @@ impl E2dtc {
     pub fn new(featurizer: TokenFeaturizer, dim: usize, k: usize, rng: &mut impl Rng) -> Self {
         let backbone = T2Vec::new(featurizer, dim, rng);
         let centroids = Tensor::zeros(Shape::d2(k.max(1), dim));
-        E2dtc { backbone, centroids, k: k.max(1) }
+        E2dtc {
+            backbone,
+            centroids,
+            k: k.max(1),
+        }
     }
 
     /// Current cluster centroids `(k, dim)`.
@@ -79,7 +83,9 @@ impl E2dtc {
                     continue;
                 }
                 // Reconstruction step keeps the embedding space anchored...
-                total += self.backbone.train_step(chunk, &mut opt, &cfg.backbone, rng);
+                total += self
+                    .backbone
+                    .train_step(chunk, &mut opt, &cfg.backbone, rng);
                 // ...then the compactness step sharpens cluster structure.
                 total += cfg.cluster_weight
                     * self.compactness_step(chunk, &mut opt, cfg.cluster_weight, rng);
@@ -97,9 +103,7 @@ impl E2dtc {
         let n = emb.shape().rows();
         let k = self.k.min(n);
         // Initialise with distinct random rows.
-        let mut centers: Vec<Vec<f32>> = (0..k)
-            .map(|i| emb.row(i * n / k).to_vec())
-            .collect();
+        let mut centers: Vec<Vec<f32>> = (0..k).map(|i| emb.row(i * n / k).to_vec()).collect();
         for _iter in 0..8 {
             let mut sums = vec![vec![0.0f32; d]; k];
             let mut counts = vec![0usize; k];
@@ -227,7 +231,12 @@ mod tests {
     fn trains_and_embeds() {
         let (mut model, pool, mut rng) = setup();
         let cfg = E2dtcConfig {
-            backbone: T2VecConfig { dim: 16, epochs: 1, batch_size: 6, ..Default::default() },
+            backbone: T2VecConfig {
+                dim: 16,
+                epochs: 1,
+                batch_size: 6,
+                ..Default::default()
+            },
             clusters: 3,
             cluster_epochs: 1,
             cluster_weight: 0.1,

@@ -33,7 +33,14 @@ impl Neutraj {
         let coord_proj = Linear::new(&mut store, "neutraj.coord", 2, dim, rng);
         let memory = Embedding::new(&mut store, "neutraj.memory", featurizer.vocab(), dim, rng);
         let lstm = LstmCell::new(&mut store, "neutraj.lstm", dim, dim, rng);
-        Neutraj { store, coord_proj, memory, lstm, featurizer, dim }
+        Neutraj {
+            store,
+            coord_proj,
+            memory,
+            lstm,
+            featurizer,
+            dim,
+        }
     }
 
     /// Supervised training via pair regression.
@@ -113,7 +120,12 @@ mod tests {
     #[test]
     fn memory_table_receives_gradients() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = NeutrajConfig { pairs_per_epoch: 16, batch_pairs: 8, epochs: 1, lr: 2e-3 };
+        let cfg = NeutrajConfig {
+            pairs_per_epoch: 16,
+            batch_pairs: 8,
+            epochs: 1,
+            lr: 2e-3,
+        };
         model.train(&pool, HeuristicMeasure::Hausdorff, &cfg, &mut rng);
         // After one epoch the memory table must have moved from init.
         let id = model.store.ids_where(|n| n == "neutraj.memory.table")[0];
@@ -122,7 +134,10 @@ mod tests {
         let fresh = Neutraj::new(TokenFeaturizer::new(region, 200.0, 32), 16, &mut fresh_rng);
         let fresh_id = fresh.store.ids_where(|n| n == "neutraj.memory.table")[0];
         assert!(
-            !model.store.value(id).approx_eq(fresh.store.value(fresh_id), 0.0),
+            !model
+                .store
+                .value(id)
+                .approx_eq(fresh.store.value(fresh_id), 0.0),
             "spatial memory was never updated"
         );
     }
@@ -130,7 +145,12 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = NeutrajConfig { pairs_per_epoch: 48, batch_pairs: 8, epochs: 3, lr: 2e-3 };
+        let cfg = NeutrajConfig {
+            pairs_per_epoch: 48,
+            batch_pairs: 8,
+            epochs: 3,
+            lr: 2e-3,
+        };
         let losses = model.train(&pool, HeuristicMeasure::Hausdorff, &cfg, &mut rng);
         assert!(losses[2] < losses[0], "loss should drop: {losses:?}");
     }

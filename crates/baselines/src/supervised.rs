@@ -28,7 +28,12 @@ pub struct SupervisedConfig {
 
 impl Default for SupervisedConfig {
     fn default() -> Self {
-        SupervisedConfig { pairs_per_epoch: 256, batch_pairs: 16, epochs: 4, lr: 1e-3 }
+        SupervisedConfig {
+            pairs_per_epoch: 256,
+            batch_pairs: 16,
+            epochs: 4,
+            lr: 1e-3,
+        }
     }
 }
 

@@ -65,7 +65,15 @@ impl T2Vec {
         let encoder = GruCell::new(&mut store, "t2vec.enc", dim, dim, rng);
         let decoder = GruCell::new(&mut store, "t2vec.dec", dim, dim, rng);
         let out_proj = Linear::new(&mut store, "t2vec.out", dim, dim, rng);
-        T2Vec { store, cell_emb, encoder, decoder, out_proj, featurizer, dim }
+        T2Vec {
+            store,
+            cell_emb,
+            encoder,
+            decoder,
+            out_proj,
+            featurizer,
+            dim,
+        }
     }
 
     /// The token featurizer (grid) this model was built over.
@@ -96,7 +104,10 @@ impl T2Vec {
                 point_shift(&down, 30.0, 0.5, rng)
             })
             .collect();
-        let src = self.featurizer.featurize(&corrupted).expect("non-empty batch");
+        let src = self
+            .featurizer
+            .featurize(&corrupted)
+            .expect("non-empty batch");
         let dst = self.featurizer.featurize(trajs).expect("non-empty batch");
         let vocab = self.featurizer.vocab();
         let b = trajs.len();
@@ -139,10 +150,9 @@ impl T2Vec {
                 // {true, negatives...}; cross-entropy with target index 0.
                 let table = f.p(self.cell_emb_table_id());
                 let cand = f.tape.embedding(table, cand_ids); // (B*(k+1), dim)
-                let cand3 = f.tape.reshape(
-                    cand,
-                    Shape::d3(b, cfg.neg_cells + 1, self.dim),
-                );
+                let cand3 = f
+                    .tape
+                    .reshape(cand, Shape::d3(b, cfg.neg_cells + 1, self.dim));
                 let h3 = f.tape.reshape(logits_src, Shape::d3(b, 1, self.dim));
                 let scores = f.tape.matmul(h3, cand3, false, true); // (B, 1, k+1)
                 let scores2 = f.tape.reshape(scores, Shape::d2(b, cfg.neg_cells + 1));
@@ -254,7 +264,12 @@ mod tests {
     #[test]
     fn training_reduces_reconstruction_loss() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = T2VecConfig { dim: 16, epochs: 4, batch_size: 6, ..Default::default() };
+        let cfg = T2VecConfig {
+            dim: 16,
+            epochs: 4,
+            batch_size: 6,
+            ..Default::default()
+        };
         let losses = model.train(&pool, &cfg, &mut rng);
         assert_eq!(losses.len(), 4);
         assert!(losses.iter().all(|l| l.is_finite()));
@@ -269,8 +284,12 @@ mod tests {
         let (model, _, mut rng) = setup();
         // Fixed rows several grid cells apart so the token sequences are
         // guaranteed to differ (random rows may share a cell row).
-        let a: Trajectory = (0..14).map(|i| Point::new(i as f64 * 140.0, 300.0)).collect();
-        let b: Trajectory = (0..14).map(|i| Point::new(i as f64 * 140.0, 1500.0)).collect();
+        let a: Trajectory = (0..14)
+            .map(|i| Point::new(i as f64 * 140.0, 300.0))
+            .collect();
+        let b: Trajectory = (0..14)
+            .map(|i| Point::new(i as f64 * 140.0, 1500.0))
+            .collect();
         let e = model.embed(&[a, b], &mut rng);
         let d: f32 = (0..16).map(|k| (e.at2(0, k) - e.at2(1, k)).abs()).sum();
         assert!(d > 1e-4);

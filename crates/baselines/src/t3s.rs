@@ -31,12 +31,7 @@ pub struct T3s {
 
 impl T3s {
     /// Builds an untrained T3S of width `dim` with `heads` attention heads.
-    pub fn new(
-        featurizer: TokenFeaturizer,
-        dim: usize,
-        heads: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(featurizer: TokenFeaturizer, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
         let mut store = ParamStore::new();
         let cell_emb = Embedding::new(&mut store, "t3s.cells", featurizer.vocab(), dim, rng);
         let attn =
@@ -44,7 +39,17 @@ impl T3s {
         let coord_proj = Linear::new(&mut store, "t3s.coord", 2, dim, rng);
         let lstm = LstmCell::new(&mut store, "t3s.lstm", dim, dim, rng);
         let lambda = store.add("t3s.lambda", Tensor::scalar(0.5));
-        T3s { store, cell_emb, attn, coord_proj, lstm, lambda, featurizer, dim, heads }
+        T3s {
+            store,
+            cell_emb,
+            attn,
+            coord_proj,
+            lstm,
+            lambda,
+            featurizer,
+            dim,
+            heads,
+        }
     }
 
     /// Supervised training via pair regression.
@@ -138,18 +143,31 @@ mod tests {
     #[test]
     fn supervised_training_reduces_loss() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = T3sConfig { pairs_per_epoch: 48, batch_pairs: 8, epochs: 3, lr: 2e-3 };
+        let cfg = T3sConfig {
+            pairs_per_epoch: 48,
+            batch_pairs: 8,
+            epochs: 3,
+            lr: 2e-3,
+        };
         let losses = model.train(&pool, HeuristicMeasure::Hausdorff, &cfg, &mut rng);
         assert_eq!(losses.len(), 3);
         assert!(losses.iter().all(|l| l.is_finite()));
-        assert!(losses[2] < losses[0], "regression loss should drop: {losses:?}");
+        assert!(
+            losses[2] < losses[0],
+            "regression loss should drop: {losses:?}"
+        );
     }
 
     #[test]
     fn lambda_is_trainable() {
         let (mut model, pool, mut rng) = setup();
         let before = model.store.value(model.lambda).data()[0];
-        let cfg = T3sConfig { pairs_per_epoch: 32, batch_pairs: 8, epochs: 2, lr: 5e-3 };
+        let cfg = T3sConfig {
+            pairs_per_epoch: 32,
+            batch_pairs: 8,
+            epochs: 2,
+            lr: 5e-3,
+        };
         model.train(&pool, HeuristicMeasure::Frechet, &cfg, &mut rng);
         let after = model.store.value(model.lambda).data()[0];
         assert_ne!(before, after, "λ should receive updates");

@@ -30,7 +30,13 @@ impl Traj2SimVec {
         let mut store = ParamStore::new();
         let coord_proj = Linear::new(&mut store, "t2sv.coord", 2, dim, rng);
         let lstm = LstmCell::new(&mut store, "t2sv.lstm", dim, dim, rng);
-        Traj2SimVec { store, coord_proj, lstm, featurizer, dim }
+        Traj2SimVec {
+            store,
+            coord_proj,
+            lstm,
+            featurizer,
+            dim,
+        }
     }
 
     /// Supervised training via pair regression.
@@ -104,7 +110,12 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = Traj2SimVecConfig { pairs_per_epoch: 48, batch_pairs: 8, epochs: 3, lr: 2e-3 };
+        let cfg = Traj2SimVecConfig {
+            pairs_per_epoch: 48,
+            batch_pairs: 8,
+            epochs: 3,
+            lr: 2e-3,
+        };
         let losses = model.train(&pool, HeuristicMeasure::Hausdorff, &cfg, &mut rng);
         assert!(losses[2] < losses[0], "loss should drop: {losses:?}");
     }

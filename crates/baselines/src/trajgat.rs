@@ -43,8 +43,17 @@ impl TrajGat {
         let mut store = ParamStore::new();
         let table = node2vec_cell_embeddings(
             &featurizer.grid,
-            &WalkConfig { walk_length: 10, walks_per_node: 2, p: 1.0, q: 1.0 },
-            &SgnsConfig { dim, epochs: 1, ..Default::default() },
+            &WalkConfig {
+                walk_length: 10,
+                walks_per_node: 2,
+                p: 1.0,
+                q: 1.0,
+            },
+            &SgnsConfig {
+                dim,
+                epochs: 1,
+                ..Default::default()
+            },
             rng,
         );
         let cell_emb = Embedding::from_pretrained(&mut store, "gat.cells", table);
@@ -62,7 +71,15 @@ impl TrajGat {
             })
             .collect();
         let adj_weight = store.add("gat.adj_weight", Tensor::scalar(1.0));
-        TrajGat { store, cell_emb, layers, adj_weight, featurizer, dim, heads }
+        TrajGat {
+            store,
+            cell_emb,
+            layers,
+            adj_weight,
+            featurizer,
+            dim,
+            heads,
+        }
     }
 
     /// Adjacency bonus matrix for a tokenised batch: `1` where two valid
@@ -186,7 +203,12 @@ mod tests {
         let (mut model, pool, mut rng) = setup();
         let e = model.embed(&pool[..3], &mut rng);
         assert_eq!(e.shape(), Shape::d2(3, 16));
-        let cfg = TrajGatConfig { pairs_per_epoch: 32, batch_pairs: 8, epochs: 2, lr: 2e-3 };
+        let cfg = TrajGatConfig {
+            pairs_per_epoch: 32,
+            batch_pairs: 8,
+            epochs: 2,
+            lr: 2e-3,
+        };
         let losses = model.train(&pool, HeuristicMeasure::Hausdorff, &cfg, &mut rng);
         assert!(losses.iter().all(|l| l.is_finite()));
         assert!(losses[1] <= losses[0] * 1.5, "loss exploded: {losses:?}");

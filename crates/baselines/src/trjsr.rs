@@ -36,7 +36,10 @@ impl Rasterizer {
     /// are densified so the path is continuous at the image scale.
     pub fn render(&self, traj: &Trajectory) -> Vec<f32> {
         let mut img = vec![0.0f32; self.res * self.res];
-        let (w, h) = (self.region.width().max(1e-9), self.region.height().max(1e-9));
+        let (w, h) = (
+            self.region.width().max(1e-9),
+            self.region.height().max(1e-9),
+        );
         let mut plot = |x: f64, y: f64| {
             let px = (((x - self.region.min.x) / w) * self.res as f64)
                 .clamp(0.0, self.res as f64 - 1.0) as usize;
@@ -160,8 +163,10 @@ impl TrjSr {
         cfg: &TrjSrConfig,
         rng: &mut impl Rng,
     ) -> f32 {
-        let degraded: Vec<Trajectory> =
-            trajs.iter().map(|t| downsample(t, cfg.corrupt_rate, rng)).collect();
+        let degraded: Vec<Trajectory> = trajs
+            .iter()
+            .map(|t| downsample(t, cfg.corrupt_rate, rng))
+            .collect();
         let input = self.raster.render_batch(&degraded);
         let target = self.raster.render_batch(trajs);
         let mut tape = Tape::new();
@@ -247,7 +252,11 @@ mod tests {
     fn setup() -> (TrjSr, Vec<Trajectory>, StdRng) {
         let mut rng = StdRng::seed_from_u64(2);
         let region = Bbox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
-        let cfg = TrjSrConfig { dim: 16, res: 16, ..Default::default() };
+        let cfg = TrjSrConfig {
+            dim: 16,
+            res: 16,
+            ..Default::default()
+        };
         let model = TrjSr::new(region, &cfg, &mut rng);
         use rand::Rng as _;
         let pool: Vec<Trajectory> = (0..10)
@@ -277,7 +286,13 @@ mod tests {
     #[test]
     fn training_reduces_sr_loss() {
         let (mut model, pool, mut rng) = setup();
-        let cfg = TrjSrConfig { dim: 16, res: 16, epochs: 3, batch_size: 5, ..Default::default() };
+        let cfg = TrjSrConfig {
+            dim: 16,
+            res: 16,
+            epochs: 3,
+            batch_size: 5,
+            ..Default::default()
+        };
         let losses = model.train(&pool, &cfg, &mut rng);
         assert!(losses.iter().all(|l| l.is_finite()));
         assert!(losses[2] < losses[0], "SR loss should drop: {losses:?}");

@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
-use trajcl_data::{Augmentation, AugmentParams};
+use trajcl_data::{AugmentParams, Augmentation};
 use trajcl_geo::{Point, Trajectory};
 
 fn bench_augmentations(c: &mut Criterion) {

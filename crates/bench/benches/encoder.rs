@@ -47,9 +47,11 @@ fn bench_depth(c: &mut Criterion) {
     for &layers in &[1usize, 2, 4] {
         let (model, feat) = setup(32, layers);
         let batch: Vec<Trajectory> = (0..8).map(|_| traj(64)).collect();
-        group.bench_with_input(BenchmarkId::new("dualstb_l64", layers), &layers, |bch, _| {
-            bch.iter(|| black_box(model.embed(&feat, &batch)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dualstb_l64", layers),
+            &layers,
+            |bch, _| bch.iter(|| black_box(model.embed(&feat, &batch))),
+        );
     }
     group.finish();
 }

@@ -34,7 +34,9 @@ fn bench_segment_index(c: &mut Criterion) {
         })
         .collect();
     let index = SegmentHausdorffIndex::build(&db);
-    let query: Trajectory = (0..50).map(|j| Point::new(j as f64 * 40.0, 3_333.0)).collect();
+    let query: Trajectory = (0..50)
+        .map(|j| Point::new(j as f64 * 40.0, 3_333.0))
+        .collect();
     let mut group = c.benchmark_group("segment_knn");
     group.sample_size(10);
     group.bench_function("hausdorff_knn10_db500", |b| {

@@ -64,8 +64,7 @@ fn main() {
         let svg = render_knn_figure(query, &neighbors, 480);
         let path = format!("results/fig1_{}.svg", name.to_lowercase());
         std::fs::write(&path, svg).expect("write svg");
-        let mean_d: f64 =
-            knn.iter().map(|&i| hausdorff(query, &db[i])).sum::<f64>() / k as f64;
+        let mean_d: f64 = knn.iter().map(|&i| hausdorff(query, &db[i])).sum::<f64>() / k as f64;
         table.row(
             name,
             vec![
@@ -79,5 +78,7 @@ fn main() {
     }
     table.print();
     table.save_json("fig1");
-    println!("paper shape check: TrajCL's result set is geographically tightest (smallest mean dist).");
+    println!(
+        "paper shape check: TrajCL's result set is geographically tightest (smallest mean dist)."
+    );
 }

@@ -39,7 +39,13 @@ fn main() {
     for &cp in &checkpoints {
         while done < cp {
             let t0 = std::time::Instant::now();
-            train(&mut moco, &env.featurizer, &env.splits.train, &schedule, &mut rng);
+            train(
+                &mut moco,
+                &env.featurizer,
+                &env.splits.train,
+                &schedule,
+                &mut rng,
+            );
             elapsed += t0.elapsed().as_secs_f64();
             done += 1;
         }

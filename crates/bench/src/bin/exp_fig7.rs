@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trajcl_bench::harness::{eval_three_settings, train_trajcl_only};
 use trajcl_bench::{ExperimentEnv, Scale, Table};
-use trajcl_core::{finetune, l1_distances, EncoderVariant, FinetuneConfig, FinetuneScope, TrajClConfig};
+use trajcl_core::{
+    finetune, l1_distances, EncoderVariant, FinetuneConfig, FinetuneScope, TrajClConfig,
+};
 use trajcl_data::{hit_ratio, DatasetProfile};
 use trajcl_measures::{pairwise_distances, HeuristicMeasure};
 

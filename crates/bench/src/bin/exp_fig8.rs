@@ -45,5 +45,7 @@ fn main() {
     }
     table.print();
     table.save_json("fig8");
-    println!("paper shape check: Mask&Trun among the best cells; Raw&Raw / Simp-heavy cells worst.");
+    println!(
+        "paper shape check: Mask&Trun among the best cells; Raw&Raw / Simp-heavy cells worst."
+    );
 }

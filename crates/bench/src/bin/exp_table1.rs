@@ -23,7 +23,10 @@ fn main() {
     cfg.dim = 32;
     cfg.max_epochs = 2;
     let env = ExperimentEnv::new(DatasetProfile::porto(), &scale, cfg.dim, cfg.max_len, 1);
-    eprintln!("training models (train={}, db={})...", scale.train_size, scale.db_size);
+    eprintln!(
+        "training models (train={}, db={})...",
+        scale.train_size, scale.db_size
+    );
     let models = train_all(&env, &cfg, 1);
     let proto = env.protocol();
     let n_pairs = (proto.queries.len() * proto.database.len()) as f64;
@@ -39,10 +42,7 @@ fn main() {
     // Learned methods: measure encode and compare phases separately, then
     // amortise at the paper's pairs-per-encode ratio (10^8 pairs for 101k
     // encodes) — the quantity the paper's Table I reports.
-    let amortised = |q: trajcl_tensor::Tensor,
-                         d: trajcl_tensor::Tensor,
-                         encode_secs: f64|
-     -> f64 {
+    let amortised = |q: trajcl_tensor::Tensor, d: trajcl_tensor::Tensor, encode_secs: f64| -> f64 {
         let t0 = Instant::now();
         let _ = l1_distances(&q, &d);
         let compare_secs = t0.elapsed().as_secs_f64();

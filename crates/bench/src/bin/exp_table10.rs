@@ -12,8 +12,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trajcl_baselines::{train_pair_regression, SupervisedConfig, T3s, Traj2SimVec, TrajGat,
-    TrajectoryEncoder};
+use trajcl_baselines::{
+    train_pair_regression, SupervisedConfig, T3s, Traj2SimVec, TrajGat, TrajectoryEncoder,
+};
 use trajcl_bench::{heuristic_set, train_all, ExperimentEnv, Scale, Table};
 use trajcl_core::{finetune, l1_distances, FinetuneConfig, FinetuneScope, TrajClConfig};
 use trajcl_data::{hit_ratio, recall_k_at_m, DatasetProfile};
@@ -41,7 +42,10 @@ fn main() {
     cfg.max_epochs = 2;
     let profile = DatasetProfile::porto();
     let env = ExperimentEnv::new(profile, &scale, cfg.dim, cfg.max_len, 20);
-    eprintln!("[{}] pre-training self-supervised models...", profile.name());
+    eprintln!(
+        "[{}] pre-training self-supervised models...",
+        profile.name()
+    );
     let models = train_all(&env, &cfg, 20);
 
     // Downstream pool split 7:1:2 (train : val : eval).
@@ -53,9 +57,19 @@ fn main() {
     let queries: Vec<Trajectory> = eval_all[..n_q].to_vec();
     let database: Vec<Trajectory> = eval_all[n_q..].to_vec();
     let db = database.len();
-    eprintln!("fine-tune pool: {} train, {} queries x {} database", ft_train.len(), n_q, db);
+    eprintln!(
+        "fine-tune pool: {} train, {} queries x {} database",
+        ft_train.len(),
+        n_q,
+        db
+    );
 
-    let sup_cfg = SupervisedConfig { pairs_per_epoch: 128, batch_pairs: 16, epochs: 2, lr: 2e-3 };
+    let sup_cfg = SupervisedConfig {
+        pairs_per_epoch: 128,
+        batch_pairs: 16,
+        epochs: 2,
+        lr: 2e-3,
+    };
     let ft_cfg = FinetuneConfig {
         scope: FinetuneScope::LastLayer,
         pairs_per_epoch: 128,
@@ -65,7 +79,10 @@ fn main() {
     };
 
     let mut table = Table::new(
-        format!("Table X — approximating heuristic measures ({})", profile.name()),
+        format!(
+            "Table X — approximating heuristic measures ({})",
+            profile.name()
+        ),
         &["measure", "HR@5", "HR@20", "R5@20"],
     );
     let mut rng = StdRng::seed_from_u64(21);
@@ -102,7 +119,8 @@ fn main() {
         {
             // Each baseline is fine-tuned from its pre-trained state; clone
             // the stores so one measure's tuning does not leak into the next.
-            let mut t2v = trajcl_baselines::T2Vec::new(env.token_featurizer.clone(), cfg.dim, &mut rng);
+            let mut t2v =
+                trajcl_baselines::T2Vec::new(env.token_featurizer.clone(), cfg.dim, &mut rng);
             t2v.store_mut().copy_values_from(models.t2vec.store());
             finetune_baseline!("t2vec", t2v);
         }
@@ -113,14 +131,22 @@ fn main() {
                 layers: cfg.layers,
                 ..Default::default()
             };
-            let mut c = trajcl_baselines::Cstrm::new(env.token_featurizer.clone(), &cstrm_cfg, &mut rng);
+            let mut c =
+                trajcl_baselines::Cstrm::new(env.token_featurizer.clone(), &cstrm_cfg, &mut rng);
             c.store_mut().copy_values_from(cstrm_ref.store());
             finetune_baseline!("CSTRM", c);
         }
 
         // TrajCL (last layer) and TrajCL* (all layers).
         eprintln!("[{}] fine-tuning TrajCL...", measure.name());
-        let est = finetune(&models.trajcl.online, &env.featurizer, ft_train, measure, &ft_cfg, &mut rng);
+        let est = finetune(
+            &models.trajcl.online,
+            &env.featurizer,
+            ft_train,
+            measure,
+            &ft_cfg,
+            &mut rng,
+        );
         add(
             "TrajCL (ft)".into(),
             est.embed(&env.featurizer, &queries),
@@ -128,7 +154,14 @@ fn main() {
         );
         let mut all_cfg = ft_cfg.clone();
         all_cfg.scope = FinetuneScope::AllLayers;
-        let est = finetune(&models.trajcl.online, &env.featurizer, ft_train, measure, &all_cfg, &mut rng);
+        let est = finetune(
+            &models.trajcl.online,
+            &env.featurizer,
+            ft_train,
+            measure,
+            &all_cfg,
+            &mut rng,
+        );
         add(
             "TrajCL* (ft)".into(),
             est.embed(&env.featurizer, &queries),
@@ -145,7 +178,13 @@ fn main() {
             add("Traj2SimVec".into(), q, d);
         }
         {
-            let mut m = TrajGat::new(env.token_featurizer.clone(), cfg.dim, cfg.heads, 1, &mut rng);
+            let mut m = TrajGat::new(
+                env.token_featurizer.clone(),
+                cfg.dim,
+                cfg.heads,
+                1,
+                &mut rng,
+            );
             m.train(ft_train, measure, &sup_cfg, &mut rng);
             let q = m.embed(&queries, &mut rng);
             let d = m.embed(&database, &mut rng);
@@ -161,5 +200,7 @@ fn main() {
     }
     table.print();
     table.save_json("table10");
-    println!("paper shape check: TrajCL*/TrajCL lead most cells; Hausdorff/Frechet easiest targets.");
+    println!(
+        "paper shape check: TrajCL*/TrajCL lead most cells; Hausdorff/Frechet easiest targets."
+    );
 }

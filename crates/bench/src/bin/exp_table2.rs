@@ -23,7 +23,10 @@ fn main() {
     );
     table.row(
         "Avg. #points per trajectory",
-        stats.iter().map(|s| format!("{:.0}", s.avg_points)).collect(),
+        stats
+            .iter()
+            .map(|s| format!("{:.0}", s.avg_points))
+            .collect(),
     );
     table.row(
         "Max. #points per trajectory",
@@ -31,11 +34,17 @@ fn main() {
     );
     table.row(
         "Avg. trajectory length (km)",
-        stats.iter().map(|s| format!("{:.2}", s.avg_length_km)).collect(),
+        stats
+            .iter()
+            .map(|s| format!("{:.2}", s.avg_length_km))
+            .collect(),
     );
     table.row(
         "Max. trajectory length (km)",
-        stats.iter().map(|s| format!("{:.2}", s.max_length_km)).collect(),
+        stats
+            .iter()
+            .map(|s| format!("{:.2}", s.max_length_km))
+            .collect(),
     );
     table.print();
     table.save_json("table2");

@@ -37,7 +37,10 @@ fn main() {
         let headers: Vec<String> = sizes.iter().map(|s| format!("|D|={s}")).collect();
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(
-            format!("Table III — mean rank vs database size ({})", profile.name()),
+            format!(
+                "Table III — mean rank vs database size ({})",
+                profile.name()
+            ),
             &header_refs,
         );
 
@@ -51,8 +54,7 @@ fn main() {
                 table.row(name, vec!["-".into(); sizes.len()]);
                 continue;
             }
-            let ranks =
-                models.learned_rank_sweep(name, &env.featurizer, &full, &sizes, &mut rng);
+            let ranks = models.learned_rank_sweep(name, &env.featurizer, &full, &sizes, &mut rng);
             table.row_f64(name, &ranks);
         }
         table.print();

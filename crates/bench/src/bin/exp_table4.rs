@@ -27,7 +27,10 @@ fn main() {
     let headers: Vec<String> = rates.iter().map(|r| format!("ρs={r}")).collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
-        format!("Table IV — mean rank vs down-sampling rate ({})", profile.name()),
+        format!(
+            "Table IV — mean rank vs down-sampling rate ({})",
+            profile.name()
+        ),
         &header_refs,
     );
 

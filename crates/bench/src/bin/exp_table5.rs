@@ -28,7 +28,10 @@ fn main() {
     let headers: Vec<String> = rates.iter().map(|r| format!("ρd={r}")).collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
-        format!("Table V — mean rank vs distortion rate ({})", profile.name()),
+        format!(
+            "Table V — mean rank vs distortion rate ({})",
+            profile.name()
+        ),
         &header_refs,
     );
 

@@ -35,7 +35,10 @@ fn main() {
     let protos: Vec<(&str, QueryProtocol)> = vec![
         ("|D|=full", base.clone()),
         ("ρs=0.2", base.degrade(|t| downsample(t, 0.2, &mut deg_rng))),
-        ("ρd=0.2", base.degrade(|t| distort(t, 0.2, 100.0, 0.5, &mut deg_rng))),
+        (
+            "ρd=0.2",
+            base.degrade(|t| distort(t, 0.2, 100.0, 0.5, &mut deg_rng)),
+        ),
     ];
 
     let headers: Vec<&str> = protos.iter().map(|(n, _)| *n).collect();

@@ -36,7 +36,11 @@ fn main() {
             s.train_size = (s.train_size * 3 / 10).max(20);
         }
         let env = ExperimentEnv::new(profile, &s, cfg.dim, cfg.max_len, 14);
-        eprintln!("[{}] training all models (train={})...", profile.name(), s.train_size);
+        eprintln!(
+            "[{}] training all models (train={})...",
+            profile.name(),
+            s.train_size
+        );
         let models = train_all(&env, &cfg, 14);
         for (name, cells) in rows.iter_mut() {
             let cell = models

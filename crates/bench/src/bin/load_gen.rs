@@ -1,0 +1,377 @@
+//! Closed-loop load generator for the serving layer: records p50/p99
+//! latency and qps, commit-tagged, into `BENCH_serve.json` — the serve
+//! counterpart of `perf_snapshot` / BENCH_embed.json.
+//!
+//! Scenarios (per client-thread count, default 1/8/32):
+//!
+//! * `mutex` — clients call `Engine::knn` directly, serialising on the
+//!   backend's single serving `Mutex<InferCtx>` (the PR-2 path);
+//! * `serve` — clients call `Server::knn` through the micro-batcher, the
+//!   per-worker context pool and the LRU embedding cache, against a hot
+//!   query pool (repeated queries, the "millions of users" profile);
+//! * `serve_cold` — same runtime with the cache disabled and a query pool
+//!   larger than any batch, isolating the batcher itself.
+//!
+//! Usage:
+//!   load_gen [--quick] [--label NAME] [--out BENCH_serve.json]
+//!            [--check BENCH_serve.json]
+//!
+//! * default: measure and append a run entry to `--out`;
+//! * `--check FILE`: measure, compare the 8-client serving ratios
+//!   (hot/cold qps speedup over the in-run mutex baseline, cold p99 tail
+//!   ratio) against the last entry in FILE, and exit non-zero when any
+//!   regressed more than 30% (the CI serve gate — ratios, not raw
+//!   numbers, so the committed baseline is portable across machines).
+//!   Nothing is written.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_bench::snapfile::{append_run, git_commit, last_value};
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_serve::{ServeConfig, Server};
+use trajcl_tensor::{Shape, Tensor};
+
+/// Maximum tolerated qps-ratio regression vs. the baseline.
+const MAX_REGRESSION: f64 = 0.30;
+/// Tolerance for the p99 tail ratio, wider than the qps band: p99 over a
+/// quick 400 ms window rests on a handful of tail samples and scheduler
+/// convoying differs across runner core counts, so the tail gate catches
+/// order-of-magnitude regressions without flaking on noise.
+const TAIL_REGRESSION: f64 = 1.0;
+
+const THREAD_COUNTS: [usize; 3] = [1, 8, 32];
+const K: usize = 10;
+/// Distinct queries in the hot pool (cachable working set).
+const HOT_QUERIES: usize = 64;
+/// Distinct queries in the cold pool (defeats the 0-capacity cache).
+const COLD_QUERIES: usize = 512;
+const DB_SIZE: usize = 256;
+/// Batcher workers, pinned (not `available_parallelism`) so gated numbers
+/// are comparable across runners with different core counts.
+const WORKERS: usize = 2;
+
+fn engine() -> Engine {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cfg = TrajClConfig::scaled_default();
+    cfg.dim = 32;
+    cfg.ffn_hidden = 64;
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+    let grid = Grid::new(region, 200.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.3, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 200.0), 128);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    Engine::builder()
+        .trajcl(model, feat)
+        .batch_size(128)
+        .database(workload(DB_SIZE, 0))
+        .build()
+        .expect("engine build")
+}
+
+/// Deterministic trajectories; `salt` decorrelates pools.
+fn workload(n: usize, salt: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            (0..48)
+                .map(|t| {
+                    Point::new(
+                        200.0 + t as f64 * 60.0,
+                        400.0 + ((i + salt) % 61) as f64 * 150.0 + (t % 7) as f64 * 17.0,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Latency distribution + throughput of one scenario cell.
+#[derive(Clone, Copy)]
+struct Cell {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Runs `op` closed-loop from `threads` clients for `measure` seconds
+/// (after `warmup`), returning the merged latency stats.
+fn run_cell(
+    threads: usize,
+    warmup: Duration,
+    measure: Duration,
+    op: impl Fn(usize, usize) + Sync,
+) -> Cell {
+    let barrier = Barrier::new(threads);
+    let next = AtomicUsize::new(0);
+    let mut all: Vec<Vec<u64>> = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|client| {
+                let barrier = &barrier;
+                let next = &next;
+                let op = &op;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(4096);
+                    barrier.wait();
+                    let start = Instant::now();
+                    let warm_until = start + warmup;
+                    let until = warm_until + measure;
+                    loop {
+                        let now = Instant::now();
+                        if now >= until {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let t = Instant::now();
+                        op(client, i);
+                        if now >= warm_until {
+                            lat.push(t.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            all.push(h.join().expect("client thread"));
+        }
+    });
+    let _ = t0;
+    let mut merged: Vec<u64> = all.into_iter().flatten().collect();
+    merged.sort_unstable();
+    let ops = merged.len();
+    Cell {
+        qps: ops as f64 / measure.as_secs_f64(),
+        p50_us: percentile_us(&merged, 0.50),
+        p99_us: percentile_us(&merged, 0.99),
+    }
+}
+
+struct Snapshot {
+    commit: String,
+    label: String,
+    quick: bool,
+    /// (scenario, threads, cell)
+    cells: Vec<(&'static str, usize, Cell)>,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"commit\":\"{}\",\"label\":\"{}\",\"quick\":{},\"hot\":{HOT_QUERIES},\"db\":{DB_SIZE}",
+            self.commit, self.label, self.quick
+        );
+        for (name, threads, cell) in &self.cells {
+            s.push_str(&format!(
+                ",\"{name}_{threads}_qps\":{:.1},\"{name}_{threads}_p50_us\":{:.1},\"{name}_{threads}_p99_us\":{:.1}",
+                cell.qps, cell.p50_us, cell.p99_us
+            ));
+        }
+        // Within-run ratios vs. the mutex baseline: these cancel machine
+        // speed and scheduler effects, so they are what the CI gate
+        // compares across runners (raw cells are kept for humans).
+        if let (Some(m), Some(sv)) = (self.cell("mutex", 8), self.cell("serve", 8)) {
+            s.push_str(&format!(",\"speedup_8\":{:.3}", sv.qps / m.qps));
+        }
+        if let (Some(m), Some(sc)) = (self.cell("mutex", 8), self.cell("serve_cold", 8)) {
+            s.push_str(&format!(
+                ",\"cold_speedup_8\":{:.3},\"cold_tail_ratio_8\":{:.3}",
+                sc.qps / m.qps,
+                sc.p99_us / m.p99_us
+            ));
+        }
+        s.push('}');
+        s
+    }
+
+    fn cell(&self, name: &str, threads: usize) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|(n, t, _)| *n == name && *t == threads)
+            .map(|(_, _, c)| c)
+    }
+}
+
+fn measure_all(quick: bool, label: &str) -> Snapshot {
+    let (warmup, measure) = if quick {
+        (Duration::from_millis(100), Duration::from_millis(400))
+    } else {
+        (Duration::from_millis(250), Duration::from_millis(1500))
+    };
+    let engine = Arc::new(engine());
+    let hot = workload(HOT_QUERIES, 7);
+    let cold = workload(COLD_QUERIES, 13);
+    let mut cells = Vec::new();
+
+    for &threads in &THREAD_COUNTS {
+        // Baseline: Engine::knn through the single serving mutex.
+        let cell = run_cell(threads, warmup, measure, |_, i| {
+            let hits = engine.knn(&hot[i % hot.len()], K).expect("knn");
+            std::hint::black_box(hits);
+        });
+        eprintln!(
+            "mutex      threads={threads:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us",
+            cell.qps, cell.p50_us, cell.p99_us
+        );
+        cells.push(("mutex", threads, cell));
+    }
+
+    for &threads in &THREAD_COUNTS {
+        // Batched serving, hot query pool (cache + batcher).
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: WORKERS,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server");
+        let cell = run_cell(threads, warmup, measure, |_, i| {
+            let hits = server.knn(&hot[i % hot.len()], K).expect("knn");
+            std::hint::black_box(hits);
+        });
+        let stats = server.stats();
+        eprintln!(
+            "serve      threads={threads:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us  (cache {}/{} hit, {} batches)",
+            cell.qps, cell.p50_us, cell.p99_us, stats.cache_hits,
+            stats.cache_hits + stats.cache_misses, stats.batches
+        );
+        cells.push(("serve", threads, cell));
+        server.shutdown();
+    }
+
+    // Cache-off, wide query pool: isolates the micro-batcher.
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: WORKERS,
+            cache_cap: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server");
+    let cell = run_cell(8, warmup, measure, |_, i| {
+        let hits = server.knn(&cold[i % cold.len()], K).expect("knn");
+        std::hint::black_box(hits);
+    });
+    let stats = server.stats();
+    eprintln!(
+        "serve_cold threads=8   {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us  ({} trajs / {} batches)",
+        cell.qps, cell.p50_us, cell.p99_us, stats.batched_trajs, stats.batches
+    );
+    cells.push(("serve_cold", 8, cell));
+    server.shutdown();
+
+    Snapshot {
+        commit: git_commit(),
+        label: label.to_string(),
+        quick,
+        cells,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut check: Option<String> = None;
+    let mut label = "snapshot".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args[i].clone());
+            }
+            "--label" => {
+                i += 1;
+                label = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let snap = measure_all(quick, &label);
+
+    if let Some(baseline_path) = check {
+        // The gate compares WITHIN-RUN ratios vs. the mutex baseline, not
+        // raw qps/latency: both sides of each ratio are measured on the
+        // same machine in the same run, so runner speed and scheduler
+        // effects cancel and the committed baseline stays comparable
+        // across machines. Gated (all vs. last committed entry, 30%):
+        //   * speedup_8        — hot serve qps / mutex qps (cache+batcher)
+        //   * cold_speedup_8   — cache-off serve qps / mutex qps (batcher)
+        //   * cold_tail_ratio_8 — cache-off serve p99 / mutex p99 (lower
+        //     is better: the batcher's tail-latency win over convoying)
+        let mutex = snap.cell("mutex", 8).copied().expect("mutex@8 measured");
+        let hot = snap.cell("serve", 8).copied().expect("serve@8 measured");
+        let cold = snap
+            .cell("serve_cold", 8)
+            .copied()
+            .expect("serve_cold@8 measured");
+        let ratios = [
+            ("speedup_8", hot.qps / mutex.qps, false),
+            ("cold_speedup_8", cold.qps / mutex.qps, false),
+            ("cold_tail_ratio_8", cold.p99_us / mutex.p99_us, true),
+        ];
+        let mut failed = false;
+        let mut checked = 0usize;
+        for (key, measured, lower_is_better) in ratios {
+            let Some(base) = last_value(&baseline_path, key) else {
+                eprintln!("no {key} baseline in {baseline_path}; skipping");
+                continue;
+            };
+            checked += 1;
+            let (bound, budget, ok) = if lower_is_better {
+                let ceiling = base * (1.0 + TAIL_REGRESSION);
+                (ceiling, TAIL_REGRESSION, measured <= ceiling)
+            } else {
+                let floor = base * (1.0 - MAX_REGRESSION);
+                (floor, MAX_REGRESSION, measured >= floor)
+            };
+            eprintln!(
+                "check {key}: {measured:.3} vs baseline {base:.3} ({} {bound:.3})",
+                if lower_is_better { "ceiling" } else { "floor" }
+            );
+            if !ok {
+                eprintln!("FAIL: {key} regressed more than {:.0}%", budget * 100.0);
+                failed = true;
+            }
+        }
+        if checked == 0 {
+            eprintln!("no usable baseline found in {baseline_path}");
+            std::process::exit(2);
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("OK: within the regression budget");
+    } else {
+        let entry = snap.to_json();
+        append_run(&out, &entry);
+        eprintln!("recorded run '{}' ({}) -> {out}", snap.label, snap.commit);
+    }
+}

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use trajcl_bench::snapfile::{append_run, git_commit, last_value};
 use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
 use trajcl_engine::Engine;
 use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
@@ -108,7 +109,10 @@ fn measure(quick: bool, label: &str) -> Snapshot {
             std::hint::black_box(e);
         });
         let tps = trajs.len() as f64 / secs;
-        eprintln!("embed_all batch={batch:<4} {tps:9.1} trajs/sec ({:.1} ms)", secs * 1e3);
+        eprintln!(
+            "embed_all batch={batch:<4} {tps:9.1} trajs/sec ({:.1} ms)",
+            secs * 1e3
+        );
         embed.push((batch, tps));
     }
 
@@ -129,65 +133,6 @@ fn measure(quick: bool, label: &str) -> Snapshot {
         embed,
         knn_qps,
     }
-}
-
-fn git_commit() -> String {
-    let head = std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
-    let Some(head) = head else {
-        return "unknown".to_string();
-    };
-    // Mark measurements taken from an uncommitted tree, so the trajectory
-    // never attributes two different code states to one commit id.
-    let dirty = std::process::Command::new("git")
-        .args(["status", "--porcelain"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .is_some_and(|o| !o.stdout.is_empty());
-    if dirty {
-        format!("{head}-dirty")
-    } else {
-        head
-    }
-}
-
-/// Appends `snap` to the JSON-array file at `path` (creating it if absent).
-fn append_run(path: &str, snap: &Snapshot) {
-    let entry = snap.to_json();
-    let existing = std::fs::read_to_string(path)
-        .ok()
-        .filter(|s| !s.trim().is_empty());
-    let body = match existing {
-        Some(existing) => {
-            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
-            let sep = if trimmed.ends_with('[') { "" } else { "," };
-            format!("{trimmed}{sep}\n  {entry}\n]\n")
-        }
-        None => format!("[\n  {entry}\n]\n"),
-    };
-    std::fs::write(path, body).expect("write snapshot file");
-    eprintln!("recorded run '{}' ({}) -> {path}", snap.label, snap.commit);
-}
-
-/// Extracts the last `"embed_128":<number>` recorded in `path`.
-fn last_baseline(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"embed_128\":";
-    let mut last = None;
-    let mut rest = text.as_str();
-    while let Some(pos) = rest.find(key) {
-        rest = &rest[pos + key.len()..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        if let Ok(v) = rest[..end].trim().parse::<f64>() {
-            last = Some(v);
-        }
-    }
-    last
 }
 
 fn main() {
@@ -223,7 +168,7 @@ fn main() {
     let snap = measure(quick, &label);
 
     if let Some(baseline_path) = check {
-        let Some(baseline) = last_baseline(&baseline_path) else {
+        let Some(baseline) = last_value(&baseline_path, "embed_128") else {
             eprintln!("no baseline found in {baseline_path}; nothing to check against");
             std::process::exit(2);
         };
@@ -238,11 +183,15 @@ fn main() {
             "check: measured {measured:.1} trajs/sec vs baseline {baseline:.1} (floor {floor:.1})"
         );
         if measured < floor {
-            eprintln!("FAIL: embed throughput regressed more than {:.0}%", MAX_REGRESSION * 100.0);
+            eprintln!(
+                "FAIL: embed throughput regressed more than {:.0}%",
+                MAX_REGRESSION * 100.0
+            );
             std::process::exit(1);
         }
         eprintln!("OK: within the regression budget");
     } else {
-        append_run(&out, &snap);
+        append_run(&out, &snap.to_json());
+        eprintln!("recorded run '{}' ({}) -> {out}", snap.label, snap.commit);
     }
 }

@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::time::Instant;
 use trajcl_baselines::{
-    Cstrm, CstrmConfig, E2dtc, E2dtcConfig, T2Vec, T2VecConfig, TokenFeaturizer,
-    TrajectoryEncoder, TrjSr, TrjSrConfig,
+    Cstrm, CstrmConfig, E2dtc, E2dtcConfig, T2Vec, T2VecConfig, TokenFeaturizer, TrajectoryEncoder,
+    TrjSr, TrjSrConfig,
 };
 use trajcl_core::{
     build_featurizer, l1_distances, train, EncoderVariant, Featurizer, MocoState, TrajClConfig,
@@ -35,7 +35,12 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { dataset_size: 1600, train_size: 300, db_size: 600, n_queries: 50 }
+        Scale {
+            dataset_size: 1600,
+            train_size: 300,
+            db_size: 600,
+            n_queries: 50,
+        }
     }
 }
 
@@ -87,13 +92,18 @@ pub struct ExperimentEnv {
 impl ExperimentEnv {
     /// Generates data and featurizers for `profile` (deterministic per
     /// profile + seed).
-    pub fn new(profile: DatasetProfile, scale: &Scale, dim: usize, max_len: usize, seed: u64) -> Self {
+    pub fn new(
+        profile: DatasetProfile,
+        scale: &Scale,
+        dim: usize,
+        max_len: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ profile.seed());
         let dataset = Dataset::generate(profile, scale.dataset_size, seed);
         let splits = dataset.split(scale.train_size, &mut rng);
         let featurizer = build_featurizer(&dataset, dim, max_len, &mut rng);
-        let token_featurizer =
-            TokenFeaturizer::new(dataset.region, profile.cell_side(), max_len);
+        let token_featurizer = TokenFeaturizer::new(dataset.region, profile.cell_side(), max_len);
         ExperimentEnv {
             profile,
             dataset,
@@ -152,7 +162,13 @@ pub fn train_all(env: &ExperimentEnv, cfg: &TrajClConfig, seed: u64) -> TrainedM
 
     let t0 = Instant::now();
     let mut trajcl = MocoState::new(cfg, EncoderVariant::Dual, &mut rng);
-    train(&mut trajcl, &env.featurizer, &env.splits.train, &schedule, &mut rng);
+    train(
+        &mut trajcl,
+        &env.featurizer,
+        &env.splits.train,
+        &schedule,
+        &mut rng,
+    );
     secs.insert("TrajCL", t0.elapsed().as_secs_f64());
 
     let t2v_cfg = T2VecConfig {
@@ -212,7 +228,14 @@ pub fn train_all(env: &ExperimentEnv, cfg: &TrajClConfig, seed: u64) -> TrainedM
         None
     };
 
-    TrainedModels { trajcl, t2vec, trjsr, e2dtc, cstrm, train_seconds: secs }
+    TrainedModels {
+        trajcl,
+        t2vec,
+        trjsr,
+        e2dtc,
+        cstrm,
+        train_seconds: secs,
+    }
 }
 
 /// Whether CSTRM's trainable cell table fits the (scaled) memory budget.
@@ -299,7 +322,10 @@ impl ExperimentEnv {
         measure: HeuristicMeasure,
         database: Vec<Trajectory>,
     ) -> Result<Engine, EngineError> {
-        Engine::builder().heuristic(measure).database(database).build()
+        Engine::builder()
+            .heuristic(measure)
+            .database(database)
+            .build()
     }
 }
 
@@ -314,7 +340,13 @@ pub fn train_trajcl_only(
     let schedule = StepDecay::trajcl_default();
     let t0 = Instant::now();
     let mut moco = MocoState::new(cfg, variant, &mut rng);
-    train(&mut moco, &env.featurizer, &env.splits.train, &schedule, &mut rng);
+    train(
+        &mut moco,
+        &env.featurizer,
+        &env.splits.train,
+        &schedule,
+        &mut rng,
+    );
     (moco, t0.elapsed().as_secs_f64())
 }
 
@@ -414,7 +446,12 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> Scale {
-        Scale { dataset_size: 260, train_size: 40, db_size: 60, n_queries: 10 }
+        Scale {
+            dataset_size: 260,
+            train_size: 40,
+            db_size: 60,
+            n_queries: 10,
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod snapfile;
 
 pub use harness::{
     cstrm_table_feasible, heuristic_set, mean_rank_heuristic, train_all, ExperimentEnv, Scale,

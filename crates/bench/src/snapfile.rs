@@ -1,0 +1,84 @@
+//! Shared plumbing for the commit-tagged perf-snapshot files
+//! (`BENCH_embed.json`, `BENCH_serve.json`): git tagging, JSON-array
+//! appending, and baseline extraction — one implementation for every
+//! snapshot binary so the two files can never drift in format.
+
+/// The current short commit id, suffixed `-dirty` when the working tree
+/// has uncommitted changes (so a perf trajectory never attributes two
+/// code states to one commit id); `"unknown"` outside a git checkout.
+pub fn git_commit() -> String {
+    let head = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let Some(head) = head else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{head}-dirty")
+    } else {
+        head
+    }
+}
+
+/// Appends one JSON object to the JSON-array file at `path`, creating the
+/// file when absent.
+pub fn append_run(path: &str, entry: &str) {
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .filter(|s| !s.trim().is_empty());
+    let body = match existing {
+        Some(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            let sep = if trimmed.ends_with('[') { "" } else { "," };
+            format!("{trimmed}{sep}\n  {entry}\n]\n")
+        }
+        None => format!("[\n  {entry}\n]\n"),
+    };
+    std::fs::write(path, body).expect("write snapshot file");
+}
+
+/// The last `"key":<number>` recorded in the file at `path` (the active
+/// baseline for regression checks); `None` when absent.
+pub fn last_value(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"{key}\":");
+    let mut last = None;
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            last = Some(v);
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_extract_round_trip() {
+        let path = std::env::temp_dir().join("trajcl_snapfile_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        append_run(&path, "{\"a\":1.5,\"b\":2}");
+        append_run(&path, "{\"a\":3.25}");
+        assert_eq!(last_value(&path, "a"), Some(3.25));
+        assert_eq!(last_value(&path, "b"), Some(2.0));
+        assert_eq!(last_value(&path, "c"), None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -26,6 +26,8 @@ pub enum ParsedCommand {
     Query,
     /// Fine-tune into a heuristic-measure estimator and evaluate it.
     Approx,
+    /// Run the concurrent query server over stdin/stdout frames.
+    Serve,
     /// Print usage.
     Help,
 }
@@ -38,7 +40,7 @@ impl Args {
     ///
     /// Returns `Err` with a message on malformed input (option without a
     /// value, unknown leading option, ...). Options listed in
-    /// [`BOOL_FLAGS`] take no value and parse as `"true"`.
+    /// `BOOL_FLAGS` take no value and parse as `"true"`.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut it = argv.iter();
         let command = match it.next() {
@@ -72,7 +74,10 @@ impl Args {
 
     /// Whether a boolean flag was passed.
     pub fn flag(&self, key: &str) -> bool {
-        matches!(self.options.get(key).map(String::as_str), Some("true") | Some("1"))
+        matches!(
+            self.options.get(key).map(String::as_str),
+            Some("true") | Some("1")
+        )
     }
 
     /// The subcommand as an enum.
@@ -84,6 +89,7 @@ impl Args {
             "embed" => Ok(ParsedCommand::Embed),
             "query" => Ok(ParsedCommand::Query),
             "approx" => Ok(ParsedCommand::Approx),
+            "serve" => Ok(ParsedCommand::Serve),
             "help" | "-h" | "--help" => Ok(ParsedCommand::Help),
             other => Err(format!("unknown command {other:?}; try `trajcl help`")),
         }
@@ -124,6 +130,8 @@ USAGE:
   trajcl embed    --model MODEL --input FILE --out CSV
   trajcl query    --model MODEL --db FILE --query IDX [--k N] [--index NLIST] [--json]
   trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw> [--json]
+  trajcl serve    --model MODEL --db FILE [--index NLIST] [--workers N]
+                  [--max-batch N] [--max-wait-us N] [--cache N] [--queue N]
 
 FILES:
   *.traj   one trajectory per line: `x,y x,y ...` (meters)
@@ -132,6 +140,11 @@ FILES:
 
 All commands run through the unified trajcl-engine API; `--json` emits one
 machine-readable JSON object per line instead of the human-readable report.
+
+`serve` speaks length-prefixed JSON frames (`LEN\\n{...}\\n`) on
+stdin/stdout: ops embed, knn, distance, upsert, remove, compact, stats.
+Responses may arrive out of order; pass a numeric \"req\" field to match
+them up. Logs go to stderr; stdout carries only protocol frames.
 ";
 
 #[cfg(test)]

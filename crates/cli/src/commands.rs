@@ -13,9 +13,11 @@ use trajcl_data::{hit_ratio, load_trajectory_file, save_trajectory_file, Dataset
 use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::Trajectory;
 use trajcl_measures::{pairwise_distances, HeuristicMeasure};
+use trajcl_serve::{ServeConfig, Server};
 
-/// Runs a parsed command; returns the process exit code.
-pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
+/// Runs a parsed command; returns the process exit code. (`Send` because
+/// `serve` fans request handling out across threads that share `out`.)
+pub fn run(args: &Args, out: &mut (impl std::io::Write + Send)) -> i32 {
     match execute(args, out) {
         Ok(()) => 0,
         Err(e) => {
@@ -25,7 +27,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
     }
 }
 
-fn execute(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+fn execute(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), EngineError> {
     match args.command().map_err(EngineError::InvalidInput)? {
         ParsedCommand::Help => {
             writeln!(out, "{USAGE}")?;
@@ -37,6 +39,7 @@ fn execute(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError
         ParsedCommand::Embed => embed(args, out),
         ParsedCommand::Query => query(args, out),
         ParsedCommand::Approx => approx(args, out),
+        ParsedCommand::Serve => serve(args, out),
     }
 }
 
@@ -112,7 +115,10 @@ fn stats(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> 
     let pts: usize = trajs.iter().map(|t| t.len()).sum();
     let max_pts = trajs.iter().map(|t| t.len()).max().unwrap_or(0);
     let total_km: f64 = trajs.iter().map(|t| t.length() / 1000.0).sum();
-    let max_km = trajs.iter().map(|t| t.length() / 1000.0).fold(0.0, f64::max);
+    let max_km = trajs
+        .iter()
+        .map(|t| t.length() / 1000.0)
+        .fold(0.0, f64::max);
     writeln!(out, "#trajectories            {n}")?;
     writeln!(out, "avg points / trajectory  {:.1}", pts as f64 / n as f64)?;
     writeln!(out, "max points / trajectory  {max_pts}")?;
@@ -128,13 +134,20 @@ fn dataset_from(trajs: Vec<Trajectory>) -> Dataset {
     for t in &trajs[1..] {
         region = region.union(&t.bbox());
     }
-    Dataset { profile: DatasetProfile::Porto, trajectories: trajs, region }
+    Dataset {
+        profile: DatasetProfile::Porto,
+        trajectories: trajs,
+        region,
+    }
 }
 
 fn train_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
     let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
     if trajs.len() < 8 {
-        return Err(EngineError::TooFewTrajectories { needed: 8, got: trajs.len() });
+        return Err(EngineError::TooFewTrajectories {
+            needed: 8,
+            got: trajs.len(),
+        });
     }
     let seed: u64 = num(args, "seed", 0)?;
     let mut cfg = TrajClConfig::scaled_default();
@@ -145,12 +158,18 @@ fn train_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineErr
     cfg.batch_size = num(args, "batch", 32)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let dataset = dataset_from(trajs);
-    writeln!(out, "building featurizer (grid + node2vec) and training TrajCL (dim={}, epochs<={})...", cfg.dim, cfg.max_epochs)?;
+    writeln!(
+        out,
+        "building featurizer (grid + node2vec) and training TrajCL (dim={}, epochs<={})...",
+        cfg.dim, cfg.max_epochs
+    )?;
     let engine = Engine::builder()
         .train_trajcl(&dataset, &cfg, &mut rng)?
         .batch_size(cfg.batch_size)
         .build()?;
-    let report = engine.train_report().expect("builder-trained engine has a report");
+    let report = engine
+        .train_report()
+        .expect("builder-trained engine has a report");
     writeln!(
         out,
         "trained {} epochs in {:.1}s (final loss {:.4})",
@@ -235,18 +254,100 @@ fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> 
     Ok(())
 }
 
+/// Builds the serving runtime from CLI options and pumps protocol frames
+/// between `input` and `out` until end-of-stream.
+fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), EngineError> {
+    let engine = load_engine(req(args, "model")?)?;
+    // The server only ever consults its own MutableIndex, so k-means must
+    // train there and nowhere else: remember the engine's persisted IVF
+    // configuration, then strip it so with_database skips the engine-side
+    // build (which would otherwise duplicate both the training time and
+    // the vector table).
+    let engine_nlist = engine.nlist();
+    let engine = engine.without_ivf_index();
+    let db = load_trajectory_file(Path::new(req(args, "db")?))?;
+    let engine = engine.with_database(db)?;
+    let mut cfg = ServeConfig {
+        ivf_nlist: engine_nlist,
+        ..ServeConfig::default()
+    };
+    if args.options.contains_key("index") {
+        let nlist: usize = num(args, "index", 16)?;
+        cfg.ivf_nlist = Some(nlist.max(1));
+    }
+    cfg.workers = num(args, "workers", cfg.workers)?;
+    cfg.max_batch = num(args, "max-batch", cfg.max_batch)?;
+    cfg.max_wait = std::time::Duration::from_micros(num(args, "max-wait-us", 2000u64)?);
+    cfg.cache_cap = num(args, "cache", cfg.cache_cap)?;
+    cfg.queue_cap = num(args, "queue", cfg.queue_cap)?;
+    let handlers = cfg.workers.max(1);
+    let server = Server::new(std::sync::Arc::new(engine), cfg)?;
+    eprintln!(
+        "trajcl serve: {} vectors indexed, {} workers; reading frames from stdin",
+        server.stats().index_len,
+        handlers
+    );
+    let stdin = std::io::stdin();
+    serve_session(&server, &mut stdin.lock(), out, handlers)?;
+    server.shutdown();
+    Ok(())
+}
+
+/// Pumps frames: requests are dispatched to `handlers` threads so
+/// independent queries micro-batch; responses are written as they finish
+/// (out of order — the protocol's `req` echo matches them up).
+fn serve_session(
+    server: &Server,
+    input: &mut impl std::io::BufRead,
+    out: &mut (impl std::io::Write + Send),
+    handlers: usize,
+) -> Result<(), EngineError> {
+    let out = std::sync::Mutex::new(out);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(handlers.max(1) * 2);
+    let rx = std::sync::Mutex::new(rx);
+    std::thread::scope(|scope| -> Result<(), EngineError> {
+        for _ in 0..handlers.max(1) {
+            let rx = &rx;
+            let out = &out;
+            scope.spawn(move || loop {
+                let payload = {
+                    let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
+                    rx.recv()
+                };
+                let Ok(payload) = payload else { return };
+                let response = trajcl_serve::proto::handle(server, &payload);
+                let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
+                let _ = trajcl_serve::proto::write_frame(&mut *out, &response);
+            });
+        }
+        while let Some(payload) = trajcl_serve::proto::read_frame(input)? {
+            tx.send(payload)
+                .expect("handler threads outlive the reader");
+        }
+        drop(tx);
+        Ok(())
+    })
+}
+
 fn approx(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
     let engine = load_engine(req(args, "model")?)?;
     let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
     if trajs.len() < 20 {
-        return Err(EngineError::TooFewTrajectories { needed: 20, got: trajs.len() });
+        return Err(EngineError::TooFewTrajectories {
+            needed: 20,
+            got: trajs.len(),
+        });
     }
     let measure = parse_measure(req(args, "measure")?)?;
     let json = args.flag("json");
     let mut rng = StdRng::seed_from_u64(1);
     let split = trajs.len() * 7 / 10;
     if !json {
-        writeln!(out, "fine-tuning towards {} on {split} trajectories...", measure.name())?;
+        writeln!(
+            out,
+            "fine-tuning towards {} on {split} trajectories...",
+            measure.name()
+        )?;
     }
     let cfg = FinetuneConfig {
         scope: FinetuneScope::LastLayer,
@@ -267,7 +368,11 @@ fn approx(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError>
     let mut hr = 0.0;
     let dbn = database.len();
     for q in 0..nq {
-        hr += hit_ratio(&true_d[q * dbn..(q + 1) * dbn], &pred[q * dbn..(q + 1) * dbn], 5);
+        hr += hit_ratio(
+            &true_d[q * dbn..(q + 1) * dbn],
+            &pred[q * dbn..(q + 1) * dbn],
+            5,
+        );
     }
     let hr = hr / nq as f64;
     if json {
@@ -301,9 +406,15 @@ mod tests {
     fn assert_json_lines(text: &str, keys: &[&str]) {
         assert!(!text.trim().is_empty(), "no JSON lines emitted");
         for line in text.lines() {
-            assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not an object: {line}"
+            );
             for key in keys {
-                assert!(line.contains(&format!("\"{key}\":")), "missing key {key}: {line}");
+                assert!(
+                    line.contains(&format!("\"{key}\":")),
+                    "missing key {key}: {line}"
+                );
             }
         }
     }
@@ -386,10 +497,7 @@ mod tests {
     fn train_rejects_tiny_input() {
         let data = tmp("tiny.traj");
         std::fs::write(&data, "1,2 3,4\n").unwrap();
-        let (code, out) = run_cmd(&format!(
-            "train --input {} --out /dev/null",
-            data.display()
-        ));
+        let (code, out) = run_cmd(&format!("train --input {} --out /dev/null", data.display()));
         assert_eq!(code, 1);
         assert!(out.contains("at least 8"));
     }
@@ -408,6 +516,67 @@ mod tests {
         );
         assert_json_lines(&hit, &["rank", "index", "distance", "points", "km"]);
         assert_json_lines(&approx, &["measure", "k", "hr", "queries", "database"]);
+    }
+
+    #[test]
+    fn serve_session_answers_frames() {
+        use trajcl_serve::proto::{read_frame, write_frame};
+
+        let data = tmp("serve.traj");
+        let model = tmp("serve.tcl");
+        let (code, out) = run_cmd(&format!(
+            "generate --profile porto --count 24 --out {}",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!(
+            "train --input {} --out {} --dim 16 --epochs 1 --batch 8",
+            data.display(),
+            model.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+
+        let engine = load_engine(&model.display().to_string())
+            .unwrap()
+            .with_database(trajcl_data::load_trajectory_file(std::path::Path::new(&data)).unwrap())
+            .unwrap();
+        let server = Server::new(std::sync::Arc::new(engine), ServeConfig::default()).unwrap();
+
+        // A pipelined session: knn, upsert, remove, stats, one bad frame.
+        let mut input = Vec::new();
+        let q = "{\"req\":1,\"op\":\"knn\",\"traj\":[[0,0],[500,300],[900,900]],\"k\":3}";
+        write_frame(&mut input, q).unwrap();
+        write_frame(
+            &mut input,
+            "{\"req\":2,\"op\":\"upsert\",\"id\":1000,\"traj\":[[1,1],[2,2]]}",
+        )
+        .unwrap();
+        write_frame(&mut input, "{\"req\":3,\"op\":\"remove\",\"id\":1000}").unwrap();
+        write_frame(&mut input, "{\"req\":4,\"op\":\"stats\"}").unwrap();
+        write_frame(&mut input, "{\"req\":5,\"op\":\"frobnicate\"}").unwrap();
+        let mut output = Vec::new();
+        // One handler: the upsert/remove pair on id 1000 is order-dependent
+        // (a pipelined client would await the upsert ack before removing).
+        serve_session(&server, &mut &input[..], &mut output, 1).unwrap();
+        server.shutdown();
+
+        let mut reader = &output[..];
+        let mut responses = Vec::new();
+        while let Some(frame) = read_frame(&mut reader).unwrap() {
+            responses.push(frame);
+        }
+        assert_eq!(responses.len(), 5);
+        let find = |req: usize| {
+            responses
+                .iter()
+                .find(|r| r.contains(&format!("\"req\":{req},")))
+                .unwrap_or_else(|| panic!("no response for req {req}"))
+        };
+        assert!(find(1).contains("\"ok\":true") && find(1).contains("\"hits\":["));
+        assert!(find(2).contains("\"replaced\":false"));
+        assert!(find(3).contains("\"removed\":true"));
+        assert!(find(4).contains("\"size\":24"));
+        assert!(find(5).contains("\"ok\":false"));
     }
 
     #[test]

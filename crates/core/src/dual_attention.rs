@@ -12,11 +12,11 @@
 //! 4. the result goes through the residual + layer-norm + MLP post-block of
 //!    Eqs. 10–11.
 
+use rand::Rng;
 use trajcl_nn::attention::{
     infer_project_heads, project_heads, scaled_scores, TransformerEncoderLayer,
 };
 use trajcl_nn::{Fwd, InferFwd, LayerNorm, Mlp, ParamId, ParamStore};
-use rand::Rng;
 use trajcl_tensor::{InferCtx, Tensor, Var};
 
 /// One DualSTB encoder layer built around DualMSM.
@@ -77,7 +77,15 @@ impl DualMsmLayer {
                 rng,
             ),
             ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
-            mlp: Mlp::new(store, &format!("{name}.mlp"), dim, ffn_hidden, dim, dropout, rng),
+            mlp: Mlp::new(
+                store,
+                &format!("{name}.mlp"),
+                dim,
+                ffn_hidden,
+                dim,
+                dropout,
+                rng,
+            ),
             ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
             dropout,
             heads,
@@ -138,7 +146,10 @@ impl DualMsmLayer {
         // Spatial branch (coefficients A_s are needed for the fusion).
         let (s_out, a_s) = if need_spatial_out {
             let (s_out, a_s) = self.spatial.infer_forward(f, s, lens, true);
-            (Some(s_out), a_s.expect("spatial branch computes coefficients"))
+            (
+                Some(s_out),
+                a_s.expect("spatial branch computes coefficients"),
+            )
         } else {
             (None, self.spatial.attn.infer_attention_probs(f, s, lens))
         };
@@ -186,8 +197,18 @@ mod tests {
         let (layer, store, mut rng) = layer_and_store(8, 2);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
-        let t = f.input(Tensor::randn(Shape::d3(2, 5, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(1)));
-        let s = f.input(Tensor::randn(Shape::d3(2, 5, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(2)));
+        let t = f.input(Tensor::randn(
+            Shape::d3(2, 5, 8),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        ));
+        let s = f.input(Tensor::randn(
+            Shape::d3(2, 5, 8),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(2),
+        ));
         let (t2, s2) = layer.forward(&mut f, t, s, None);
         assert_eq!(tape.shape(t2), Shape::d3(2, 5, 8));
         assert_eq!(tape.shape(s2), Shape::d3(2, 5, 8));
@@ -198,8 +219,18 @@ mod tests {
         let (layer, mut store, mut rng) = layer_and_store(8, 2);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
-        let t = f.input(Tensor::randn(Shape::d3(2, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(3)));
-        let s = f.input(Tensor::randn(Shape::d3(2, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(4)));
+        let t = f.input(Tensor::randn(
+            Shape::d3(2, 4, 8),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+        ));
+        let s = f.input(Tensor::randn(
+            Shape::d3(2, 4, 8),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(4),
+        ));
         let (t2, _) = layer.forward(&mut f, t, s, None);
         let loss = tape.mean_all(t2);
         let grads = tape.backward(loss);
@@ -226,7 +257,10 @@ mod tests {
         };
         let o1 = run(&s1, &mut rng);
         let o2 = run(&s2, &mut rng);
-        assert!(!o1.approx_eq(&o2, 1e-5), "spatial branch must influence output");
+        assert!(
+            !o1.approx_eq(&o2, 1e-5),
+            "spatial branch must influence output"
+        );
     }
 
     #[test]

@@ -67,7 +67,13 @@ impl DualStbEncoder {
         dropout: f32,
         rng: &mut impl Rng,
     ) -> Self {
-        let spatial_proj = Linear::new(store, &format!("{name}.spatial_proj"), SPATIAL_DIM, dim, rng);
+        let spatial_proj = Linear::new(
+            store,
+            &format!("{name}.spatial_proj"),
+            SPATIAL_DIM,
+            dim,
+            rng,
+        );
         let concat_proj = (variant == EncoderVariant::Concat)
             .then(|| Linear::new(store, &format!("{name}.concat_proj"), 2 * dim, dim, rng));
         let mut dual_layers = Vec::new();
@@ -252,18 +258,31 @@ mod tests {
     }
 
     fn traj(n: usize, y: f64) -> Trajectory {
-        (0..n).map(|i| Point::new(30.0 + i as f64 * 35.0, y)).collect()
+        (0..n)
+            .map(|i| Point::new(30.0 + i as f64 * 35.0, y))
+            .collect()
     }
 
     #[test]
     fn all_variants_produce_embeddings() {
-        for variant in [EncoderVariant::Dual, EncoderVariant::VanillaMsm, EncoderVariant::Concat] {
+        for variant in [
+            EncoderVariant::Dual,
+            EncoderVariant::VanillaMsm,
+            EncoderVariant::Concat,
+        ] {
             let (enc, store, feat, mut rng) = setup(variant);
-            let batch = feat.featurize(&[traj(5, 100.0), traj(9, 700.0)]).expect("featurize");
+            let batch = feat
+                .featurize(&[traj(5, 100.0), traj(9, 700.0)])
+                .expect("featurize");
             let mut tape = Tape::new();
             let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
             let h = enc.forward(&mut f, &batch);
-            assert_eq!(tape.shape(h), Shape::d2(2, 16), "variant {}", variant.name());
+            assert_eq!(
+                tape.shape(h),
+                Shape::d2(2, 16),
+                "variant {}",
+                variant.name()
+            );
             assert!(tape.value(h).all_finite());
         }
     }
@@ -286,14 +305,19 @@ mod tests {
         let e1 = embed(&solo, &mut rng);
         let e2 = embed(&padded, &mut rng);
         for (x, y) in e1.iter().zip(&e2) {
-            assert!((x - y).abs() < 1e-4, "padding changed the embedding: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-4,
+                "padding changed the embedding: {x} vs {y}"
+            );
         }
     }
 
     #[test]
     fn gradients_reach_all_parameters_dual() {
         let (enc, mut store, feat, mut rng) = setup(EncoderVariant::Dual);
-        let batch = feat.featurize(&[traj(6, 300.0), traj(7, 600.0)]).expect("featurize");
+        let batch = feat
+            .featurize(&[traj(6, 300.0), traj(7, 600.0)])
+            .expect("featurize");
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
         let h = enc.forward(&mut f, &batch);
@@ -307,9 +331,7 @@ mod tests {
         let last = enc.num_layers() - 1;
         let dead_prefix = format!("enc.layer{last}.spatial.");
         let expected_dead = |name: &str| {
-            name.starts_with(&dead_prefix)
-                && !name.contains("attn.wq")
-                && !name.contains("attn.wk")
+            name.starts_with(&dead_prefix) && !name.contains("attn.wq") && !name.contains("attn.wk")
         };
         let mut missing = Vec::new();
         for id in store.ids() {
@@ -330,7 +352,9 @@ mod tests {
     #[test]
     fn different_trajectories_embed_differently() {
         let (enc, store, feat, mut rng) = setup(EncoderVariant::Dual);
-        let batch = feat.featurize(&[traj(8, 100.0), traj(8, 900.0)]).expect("featurize");
+        let batch = feat
+            .featurize(&[traj(8, 100.0), traj(8, 900.0)])
+            .expect("featurize");
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
         let h = enc.forward(&mut f, &batch);

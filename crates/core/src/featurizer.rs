@@ -56,14 +56,23 @@ impl Featurizer {
     /// # Panics
     /// Panics if the embedding table's vocabulary does not cover the grid.
     pub fn new(grid: Grid, cell_embeddings: Tensor, norm: SpatialNorm, max_len: usize) -> Self {
-        assert_eq!(cell_embeddings.shape().rank(), 2, "cell table must be rank 2");
+        assert_eq!(
+            cell_embeddings.shape().rank(),
+            2,
+            "cell table must be rank 2"
+        );
         assert!(
             cell_embeddings.shape()[0] >= grid.num_cells(),
             "cell table covers {} cells but grid has {}",
             cell_embeddings.shape()[0],
             grid.num_cells()
         );
-        Featurizer { grid, cell_embeddings, norm, max_len }
+        Featurizer {
+            grid,
+            cell_embeddings,
+            norm,
+            max_len,
+        }
     }
 
     /// Structural embedding dimensionality.
@@ -117,15 +126,18 @@ impl Featurizer {
                 let cell = self.grid.cell_of(p);
                 cells[bi * l + t] = cell;
                 let src = &self.cell_embeddings.data()[cell as usize * d..(cell as usize + 1) * d];
-                structural.data_mut()[(bi * l + t) * d..(bi * l + t + 1) * d]
-                    .copy_from_slice(src);
+                structural.data_mut()[(bi * l + t) * d..(bi * l + t + 1) * d].copy_from_slice(src);
                 let sf = self.norm.apply(feat);
-                spatial.data_mut()
-                    [(bi * l + t) * SPATIAL_DIM..(bi * l + t + 1) * SPATIAL_DIM]
+                spatial.data_mut()[(bi * l + t) * SPATIAL_DIM..(bi * l + t + 1) * SPATIAL_DIM]
                     .copy_from_slice(&sf);
             }
         }
-        Ok(BatchInputs { structural, spatial, lens, cells })
+        Ok(BatchInputs {
+            structural,
+            spatial,
+            lens,
+            cells,
+        })
     }
 }
 
@@ -139,24 +151,23 @@ mod tests {
         let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
         let grid = Grid::new(region, 100.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let table = Tensor::randn(
-            Shape::d2(grid.num_cells(), 8),
-            0.0,
-            1.0,
-            &mut rng,
-        );
+        let table = Tensor::randn(Shape::d2(grid.num_cells(), 8), 0.0, 1.0, &mut rng);
         let norm = SpatialNorm::new(region, 100.0);
         Featurizer::new(grid, table, norm, max_len)
     }
 
     fn traj(n: usize, y: f64) -> Trajectory {
-        (0..n).map(|i| Point::new(50.0 + i as f64 * 40.0, y)).collect()
+        (0..n)
+            .map(|i| Point::new(50.0 + i as f64 * 40.0, y))
+            .collect()
     }
 
     #[test]
     fn shapes_and_lengths() {
         let f = featurizer(64);
-        let batch = f.featurize(&[traj(5, 100.0), traj(9, 500.0)]).expect("featurize");
+        let batch = f
+            .featurize(&[traj(5, 100.0), traj(9, 500.0)])
+            .expect("featurize");
         assert_eq!(batch.batch(), 2);
         assert_eq!(batch.seq_len(), 9);
         assert_eq!(batch.lens, vec![5, 9]);
@@ -167,7 +178,9 @@ mod tests {
     #[test]
     fn padding_rows_are_zero() {
         let f = featurizer(64);
-        let batch = f.featurize(&[traj(3, 100.0), traj(6, 500.0)]).expect("featurize");
+        let batch = f
+            .featurize(&[traj(3, 100.0), traj(6, 500.0)])
+            .expect("featurize");
         for t in 3..6 {
             for k in 0..8 {
                 assert_eq!(batch.structural.at3(0, t, k), 0.0);

@@ -135,7 +135,10 @@ pub fn finetune(
     cfg: &FinetuneConfig,
     rng: &mut impl Rng,
 ) -> FinetunedEstimator {
-    assert!(pool.len() >= 2, "need at least two trajectories to form pairs");
+    assert!(
+        pool.len() >= 2,
+        "need at least two trajectories to form pairs"
+    );
     let d = pretrained.cfg.dim;
     let mut store = pretrained.store.clone();
     let head = Mlp::new(&mut store, "ft_head", d, d, d, 0.0, rng);
@@ -186,8 +189,12 @@ pub fn finetune(
                 rights.push(pool[j].clone());
                 labels.push((measure.distance(&pool[i], &pool[j]) / sigma) as f32);
             }
-            let lb = featurizer.featurize(&lefts).expect("sampled pairs are non-empty");
-            let rb = featurizer.featurize(&rights).expect("sampled pairs are non-empty");
+            let lb = featurizer
+                .featurize(&lefts)
+                .expect("sampled pairs are non-empty");
+            let rb = featurizer
+                .featurize(&rights)
+                .expect("sampled pairs are non-empty");
 
             let mut tape = Tape::new();
             {
@@ -221,7 +228,12 @@ pub fn finetune(
             opt.step(&mut store);
         }
     }
-    FinetunedEstimator { store, model: pretrained.clone(), head, sigma }
+    FinetunedEstimator {
+        store,
+        model: pretrained.clone(),
+        head,
+        sigma,
+    }
 }
 
 impl TrajClModel {
@@ -260,7 +272,9 @@ mod tests {
             .map(|_| {
                 let y = rng.gen_range(100.0..2900.0);
                 let x0 = rng.gen_range(0.0..800.0);
-                (0..16).map(|i| Point::new(x0 + i as f64 * 90.0, y)).collect()
+                (0..16)
+                    .map(|i| Point::new(x0 + i as f64 * 90.0, y))
+                    .collect()
             })
             .collect();
         (model, feat, pool, rng)
@@ -311,7 +325,14 @@ mod tests {
             epochs: 1,
             lr: 1e-2,
         };
-        let est = finetune(&model, &feat, &pool, HeuristicMeasure::Frechet, &cfg, &mut rng);
+        let est = finetune(
+            &model,
+            &feat,
+            &pool,
+            HeuristicMeasure::Frechet,
+            &cfg,
+            &mut rng,
+        );
         // All encoder params must equal the pre-trained values.
         for id in model.store.ids() {
             let name = model.store.name(id).to_string();
@@ -334,7 +355,14 @@ mod tests {
             epochs: 1,
             lr: 1e-2,
         };
-        let est = finetune(&model, &feat, &pool, HeuristicMeasure::Hausdorff, &cfg, &mut rng);
+        let est = finetune(
+            &model,
+            &feat,
+            &pool,
+            HeuristicMeasure::Hausdorff,
+            &cfg,
+            &mut rng,
+        );
         let last = model.encoder.num_layers() - 1;
         let last_prefix = format!("enc.layer{last}");
         let mut moved_last = false;

@@ -17,8 +17,8 @@ pub mod dual_attention;
 pub mod encoder;
 pub mod featurizer;
 pub mod finetune;
-pub mod model;
 pub mod moco;
+pub mod model;
 pub mod persist;
 pub mod trainer;
 
@@ -27,8 +27,8 @@ pub use dual_attention::DualMsmLayer;
 pub use encoder::{DualStbEncoder, EncoderVariant};
 pub use featurizer::{BatchInputs, Featurizer};
 pub use finetune::{finetune, FinetuneConfig, FinetuneScope, FinetunedEstimator};
-pub use model::{l1_distances, TrajClModel};
 pub use moco::MocoState;
+pub use model::{l1_distances, TrajClModel};
 pub use persist::{load_model, save_model, PersistError};
 pub use trainer::{train, TrainReport};
 
@@ -49,7 +49,10 @@ pub fn build_featurizer(
     let cell_side = dataset.profile.cell_side();
     let grid = Grid::new(dataset.region, cell_side);
     let walk_cfg = WalkConfig::default();
-    let sgns_cfg = SgnsConfig { dim, ..Default::default() };
+    let sgns_cfg = SgnsConfig {
+        dim,
+        ..Default::default()
+    };
     let table = node2vec_cell_embeddings(&grid, &walk_cfg, &sgns_cfg, rng);
     let norm = SpatialNorm::new(dataset.region, cell_side);
     Featurizer::new(grid, table, norm, max_len)

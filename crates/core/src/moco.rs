@@ -41,7 +41,13 @@ impl MocoState {
             let norm = v.frobenius_norm().max(1e-9);
             queue.push_back(v.data().iter().map(|x| x / norm).collect());
         }
-        MocoState { online, target_store, queue, aug1: cfg.aug1, aug2: cfg.aug2 }
+        MocoState {
+            online,
+            target_store,
+            queue,
+            aug1: cfg.aug1,
+            aug2: cfg.aug2,
+        }
     }
 
     /// Current number of stored negatives.
@@ -79,12 +85,20 @@ impl MocoState {
     ) -> f32 {
         let cfg = self.online.cfg.clone();
         let params = cfg.aug_params;
-        let view1: Vec<Trajectory> =
-            trajs.iter().map(|t| self.aug1.apply(t, &params, rng)).collect();
-        let view2: Vec<Trajectory> =
-            trajs.iter().map(|t| self.aug2.apply(t, &params, rng)).collect();
-        let batch1 = featurizer.featurize(&view1).expect("augmented views stay non-empty");
-        let batch2 = featurizer.featurize(&view2).expect("augmented views stay non-empty");
+        let view1: Vec<Trajectory> = trajs
+            .iter()
+            .map(|t| self.aug1.apply(t, &params, rng))
+            .collect();
+        let view2: Vec<Trajectory> = trajs
+            .iter()
+            .map(|t| self.aug2.apply(t, &params, rng))
+            .collect();
+        let batch1 = featurizer
+            .featurize(&view1)
+            .expect("augmented views stay non-empty");
+        let batch2 = featurizer
+            .featurize(&view2)
+            .expect("augmented views stay non-empty");
 
         // Target branch: no gradients, eval-mode dropout, momentum params.
         let z2: Tensor = {
@@ -116,7 +130,8 @@ impl MocoState {
         opt.step(&mut self.online.store);
 
         // Momentum update (Eq. 3) and queue rotation.
-        self.target_store.ema_update_from(&self.online.store, cfg.momentum);
+        self.target_store
+            .ema_update_from(&self.online.store, cfg.momentum);
         for r in 0..z2.shape().rows() {
             if self.queue.len() >= cfg.queue_size {
                 self.queue.pop_front();
@@ -150,7 +165,9 @@ mod tests {
             .map(|_| {
                 let y = rng.gen_range(100.0..1900.0);
                 let x0 = rng.gen_range(0.0..500.0);
-                (0..20).map(|i| Point::new(x0 + i as f64 * 60.0, y)).collect()
+                (0..20)
+                    .map(|i| Point::new(x0 + i as f64 * 60.0, y))
+                    .collect()
             })
             .collect()
     }
@@ -174,11 +191,21 @@ mod tests {
         let (mut moco, feat, mut rng) = setup();
         let batch = trajs(6, &mut rng);
         let mut opt = Adam::new(1e-3);
-        let w_before = moco.online.store.value(moco.online.store.ids().next().unwrap()).clone();
+        let w_before = moco
+            .online
+            .store
+            .value(moco.online.store.ids().next().unwrap())
+            .clone();
         let loss = moco.train_step(&batch, &feat, &mut opt, &mut rng);
         assert!(loss.is_finite() && loss > 0.0, "loss {loss}");
-        let w_after = moco.online.store.value(moco.online.store.ids().next().unwrap());
-        assert!(!w_before.approx_eq(w_after, 0.0), "online weights must move");
+        let w_after = moco
+            .online
+            .store
+            .value(moco.online.store.ids().next().unwrap());
+        assert!(
+            !w_before.approx_eq(w_after, 0.0),
+            "online weights must move"
+        );
     }
 
     #[test]
@@ -226,10 +253,14 @@ mod tests {
         // Evaluate alignment on held-out trajectories.
         let eval = &pool[16..24];
         let params = moco.online.cfg.aug_params;
-        let v1: Vec<Trajectory> =
-            eval.iter().map(|t| moco.aug1.apply(t, &params, &mut rng)).collect();
-        let v2: Vec<Trajectory> =
-            eval.iter().map(|t| moco.aug2.apply(t, &params, &mut rng)).collect();
+        let v1: Vec<Trajectory> = eval
+            .iter()
+            .map(|t| moco.aug1.apply(t, &params, &mut rng))
+            .collect();
+        let v2: Vec<Trajectory> = eval
+            .iter()
+            .map(|t| moco.aug2.apply(t, &params, &mut rng))
+            .collect();
         let z = |views: &[Trajectory], rng: &mut StdRng| -> Tensor {
             let batch = feat.featurize(views).expect("featurize");
             let mut tape = Tape::new();

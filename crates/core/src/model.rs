@@ -37,25 +37,22 @@ impl TrajClModel {
             rng,
         );
         let proj = Mlp::new(&mut store, "proj", cfg.dim, cfg.dim, cfg.proj_dim, 0.0, rng);
-        TrajClModel { store, encoder, proj, cfg: cfg.clone() }
+        TrajClModel {
+            store,
+            encoder,
+            proj,
+            cfg: cfg.clone(),
+        }
     }
 
     /// Forward to the backbone embedding `h` `(B, d)` on an existing tape.
-    pub fn forward_h(
-        &self,
-        f: &mut Fwd,
-        batch: &crate::featurizer::BatchInputs,
-    ) -> Var {
+    pub fn forward_h(&self, f: &mut Fwd, batch: &crate::featurizer::BatchInputs) -> Var {
         self.encoder.forward(f, batch)
     }
 
     /// Forward to the L2-normalised projection `z` `(B, proj_dim)` used by
     /// the InfoNCE loss.
-    pub fn forward_z(
-        &self,
-        f: &mut Fwd,
-        batch: &crate::featurizer::BatchInputs,
-    ) -> Var {
+    pub fn forward_z(&self, f: &mut Fwd, batch: &crate::featurizer::BatchInputs) -> Var {
         let h = self.forward_h(f, batch);
         let z = self.proj.forward(f, h);
         f.tape.l2_normalize_rows(z)
@@ -160,24 +157,30 @@ mod tests {
     }
 
     fn traj(n: usize, y: f64) -> Trajectory {
-        (0..n).map(|i| Point::new(30.0 + i as f64 * 35.0, y)).collect()
+        (0..n)
+            .map(|i| Point::new(30.0 + i as f64 * 35.0, y))
+            .collect()
     }
 
     #[test]
     fn embed_shapes_and_determinism() {
         let (model, feat, _rng) = setup();
-        let trajs: Vec<Trajectory> = (0..5).map(|i| traj(6 + i, 100.0 * (i + 1) as f64)).collect();
+        let trajs: Vec<Trajectory> = (0..5)
+            .map(|i| traj(6 + i, 100.0 * (i + 1) as f64))
+            .collect();
         let e1 = model.embed(&feat, &trajs);
         let e2 = model.embed(&feat, &trajs);
         assert_eq!(e1.shape(), Shape::d2(5, model.cfg.dim));
-        assert!(e1.approx_eq(&e2, 0.0), "eval-mode embedding must be deterministic");
+        assert!(
+            e1.approx_eq(&e2, 0.0),
+            "eval-mode embedding must be deterministic"
+        );
     }
 
     #[test]
     fn embed_batches_agree_with_single() {
         let (model, feat, _rng) = setup();
-        let trajs: Vec<Trajectory> =
-            (0..7).map(|i| traj(5 + i, 80.0 * (i + 1) as f64)).collect();
+        let trajs: Vec<Trajectory> = (0..7).map(|i| traj(5 + i, 80.0 * (i + 1) as f64)).collect();
         let all = model.embed(&feat, &trajs);
         for (i, t) in trajs.iter().enumerate() {
             let single = model.embed(&feat, std::slice::from_ref(t));
@@ -193,8 +196,9 @@ mod tests {
     #[test]
     fn infer_embed_matches_tape_forward() {
         let (model, feat, mut rng) = setup();
-        let trajs: Vec<Trajectory> =
-            (0..4).map(|i| traj(5 + i, 150.0 * (i + 1) as f64)).collect();
+        let trajs: Vec<Trajectory> = (0..4)
+            .map(|i| traj(5 + i, 150.0 * (i + 1) as f64))
+            .collect();
         let infer = model.embed(&feat, &trajs);
         let batch = feat.featurize(&trajs).expect("featurize");
         let mut tape = Tape::new();
@@ -209,7 +213,9 @@ mod tests {
     #[test]
     fn z_is_unit_norm() {
         let (model, feat, mut rng) = setup();
-        let batch = feat.featurize(&[traj(6, 100.0), traj(8, 400.0)]).expect("featurize");
+        let batch = feat
+            .featurize(&[traj(6, 100.0), traj(8, 400.0)])
+            .expect("featurize");
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &model.store, &mut rng, false);
         let z = model.forward_z(&mut f, &batch);

@@ -173,9 +173,7 @@ pub fn load_model(bytes: &[u8]) -> Result<(TrajClModel, Featurizer), PersistErro
     let max_len = r.u32()? as usize;
     let vocab = r.u32()? as usize;
     let dim = r.u32()? as usize;
-    let n = vocab
-        .checked_mul(dim)
-        .ok_or(PersistError::Truncated)?;
+    let n = vocab.checked_mul(dim).ok_or(PersistError::Truncated)?;
     let raw = r.take(n * 4)?;
     let mut data = Vec::with_capacity(n);
     for chunk in raw.chunks_exact(4) {
@@ -188,7 +186,10 @@ pub fn load_model(bytes: &[u8]) -> Result<(TrajClModel, Featurizer), PersistErro
 
     let region = Bbox::new(
         Point::new(min_x, min_y),
-        Point::new(min_x + cols as f64 * cell_side, min_y + rows as f64 * cell_side),
+        Point::new(
+            min_x + cols as f64 * cell_side,
+            min_y + rows as f64 * cell_side,
+        ),
     );
     let grid = Grid::new(region, cell_side);
     let norm = SpatialNorm::new(region, cell_side);

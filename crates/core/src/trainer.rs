@@ -45,8 +45,7 @@ pub fn train(
             if chunk.len() < 2 {
                 continue; // a contrastive batch needs at least two samples
             }
-            let batch: Vec<Trajectory> =
-                chunk.iter().map(|&i| train_set[i].clone()).collect();
+            let batch: Vec<Trajectory> = chunk.iter().map(|&i| train_set[i].clone()).collect();
             total += moco.train_step(&batch, featurizer, &mut opt, rng);
             batches += 1;
         }

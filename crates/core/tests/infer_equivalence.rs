@@ -11,8 +11,11 @@ use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
 use trajcl_nn::Fwd;
 use trajcl_tensor::{InferCtx, Shape, Tape, Tensor};
 
-const VARIANTS: [EncoderVariant; 3] =
-    [EncoderVariant::Dual, EncoderVariant::VanillaMsm, EncoderVariant::Concat];
+const VARIANTS: [EncoderVariant; 3] = [
+    EncoderVariant::Dual,
+    EncoderVariant::VanillaMsm,
+    EncoderVariant::Concat,
+];
 
 /// One model + featurizer per encoder variant, built once.
 fn models() -> &'static Vec<(TrajClModel, Featurizer)> {
@@ -25,8 +28,7 @@ fn models() -> &'static Vec<(TrajClModel, Featurizer)> {
                 let cfg = TrajClConfig::test_default();
                 let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
                 let grid = Grid::new(region, 100.0);
-                let table =
-                    Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+                let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
                 let feat =
                     Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
                 let model = TrajClModel::new(&cfg, variant, &mut rng);

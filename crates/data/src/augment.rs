@@ -25,7 +25,13 @@ pub struct AugmentParams {
 
 impl Default for AugmentParams {
     fn default() -> Self {
-        AugmentParams { rho_m: 100.0, shift_sigma: 0.5, rho_d: 0.3, rho_b: 0.7, rho_p: 100.0 }
+        AugmentParams {
+            rho_m: 100.0,
+            shift_sigma: 0.5,
+            rho_d: 0.3,
+            rho_b: 0.7,
+            rho_p: 100.0,
+        }
     }
 }
 
@@ -102,12 +108,7 @@ fn bounded_gaussian_offset(rho_m: f64, sigma: f64, rng: &mut impl Rng) -> f64 {
 }
 
 /// Point shifting: adds an independent bounded offset to every coordinate.
-pub fn point_shift(
-    traj: &Trajectory,
-    rho_m: f64,
-    sigma: f64,
-    rng: &mut impl Rng,
-) -> Trajectory {
+pub fn point_shift(traj: &Trajectory, rho_m: f64, sigma: f64, rng: &mut impl Rng) -> Trajectory {
     traj.points()
         .iter()
         .map(|p| {
@@ -138,11 +139,18 @@ pub fn point_mask(traj: &Trajectory, rho_d: f64, rng: &mut impl Rng) -> Trajecto
 /// Trajectory truncating: keeps a contiguous window of `⌊ρ_b·|T|⌋` points
 /// starting at a random offset (Eq. 6).
 pub fn truncate(traj: &Trajectory, rho_b: f64, rng: &mut impl Rng) -> Trajectory {
-    assert!((0.0..=1.0).contains(&rho_b) && rho_b > 0.0, "rho_b must be in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&rho_b) && rho_b > 0.0,
+        "rho_b must be in (0,1]"
+    );
     let n = traj.len();
     let keep = ((rho_b * n as f64).floor() as usize).clamp(1, n);
     let max_start = n - keep;
-    let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+    let start = if max_start == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_start)
+    };
     traj.points()[start..start + keep].iter().copied().collect()
 }
 
@@ -178,7 +186,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m = point_mask(&t, 0.3, &mut rng);
         assert_eq!(m.len(), 21); // floor(0.7 * 30)
-        // Survivors appear in the original order (subsequence check).
+                                 // Survivors appear in the original order (subsequence check).
         let mut cursor = 0;
         for p in m.points() {
             let pos = t.points()[cursor..].iter().position(|q| q == p);
@@ -223,7 +231,10 @@ mod tests {
     fn raw_is_identity() {
         let t = zigzag(10);
         let mut rng = StdRng::seed_from_u64(5);
-        assert_eq!(Augmentation::Raw.apply(&t, &AugmentParams::default(), &mut rng), t);
+        assert_eq!(
+            Augmentation::Raw.apply(&t, &AugmentParams::default(), &mut rng),
+            t
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl City {
                 )
             })
             .collect();
-        City { cfg, hotspot_centers }
+        City {
+            cfg,
+            hotspot_centers,
+        }
     }
 
     /// The simulator configuration.
@@ -93,7 +96,10 @@ impl City {
                 (c.y + gaussian(rng) * spread).clamp(0.0, cfg.height),
             )
         } else {
-            Point::new(rng.gen_range(0.0..cfg.width), rng.gen_range(0.0..cfg.height))
+            Point::new(
+                rng.gen_range(0.0..cfg.width),
+                rng.gen_range(0.0..cfg.height),
+            )
         }
     }
 

@@ -64,7 +64,11 @@ impl Dataset {
             .into_iter()
             .filter(|t| t.len() >= min_p && t.len() <= max_p)
             .collect();
-        Dataset { profile, trajectories, region: city.region() }
+        Dataset {
+            profile,
+            trajectories,
+            region: city.region(),
+        }
     }
 
     /// Table II-style statistics.
@@ -72,7 +76,11 @@ impl Dataset {
         let count = self.trajectories.len();
         let total_points: usize = self.trajectories.iter().map(|t| t.len()).sum();
         let max_points = self.trajectories.iter().map(|t| t.len()).max().unwrap_or(0);
-        let lengths: Vec<f64> = self.trajectories.iter().map(|t| t.length() / 1000.0).collect();
+        let lengths: Vec<f64> = self
+            .trajectories
+            .iter()
+            .map(|t| t.length() / 1000.0)
+            .collect();
         DatasetStats {
             count,
             avg_points: total_points as f64 / count.max(1) as f64,
@@ -97,7 +105,10 @@ impl Dataset {
             "dataset too small for requested split"
         );
         let take = |range: std::ops::Range<usize>| -> Vec<Trajectory> {
-            indices[range].iter().map(|&i| self.trajectories[i].clone()).collect()
+            indices[range]
+                .iter()
+                .map(|&i| self.trajectories[i].clone())
+                .collect()
         };
         let t0 = train_size;
         let t1 = t0 + val_size;
@@ -130,8 +141,16 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.count, 300);
         // Paper Table II: Porto avg 48 points, avg 6.37 km.
-        assert!((s.avg_points - 48.0).abs() < 12.0, "avg points {}", s.avg_points);
-        assert!(s.avg_length_km > 2.0 && s.avg_length_km < 13.0, "len {}", s.avg_length_km);
+        assert!(
+            (s.avg_points - 48.0).abs() < 12.0,
+            "avg points {}",
+            s.avg_points
+        );
+        assert!(
+            s.avg_length_km > 2.0 && s.avg_length_km < 13.0,
+            "len {}",
+            s.avg_length_km
+        );
         assert!(s.max_points <= 200);
     }
 

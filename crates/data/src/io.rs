@@ -47,9 +47,10 @@ pub fn read_trajectories(reader: impl Read) -> Result<Vec<Trajectory>, ParseErro
         }
         let mut points = Vec::new();
         for token in trimmed.split_whitespace() {
-            let (x, y) = token
-                .split_once(',')
-                .ok_or_else(|| ParseError::BadPoint { line: i + 1, token: token.into() })?;
+            let (x, y) = token.split_once(',').ok_or_else(|| ParseError::BadPoint {
+                line: i + 1,
+                token: token.into(),
+            })?;
             let x: f64 = x.parse().map_err(|_| ParseError::BadPoint {
                 line: i + 1,
                 token: token.into(),
@@ -68,10 +69,7 @@ pub fn read_trajectories(reader: impl Read) -> Result<Vec<Trajectory>, ParseErro
 }
 
 /// Writes trajectories in the line format (1 cm precision).
-pub fn write_trajectories(
-    writer: &mut impl Write,
-    trajs: &[Trajectory],
-) -> std::io::Result<()> {
+pub fn write_trajectories(writer: &mut impl Write, trajs: &[Trajectory]) -> std::io::Result<()> {
     for t in trajs {
         let mut first = true;
         for p in t.points() {
@@ -93,10 +91,7 @@ pub fn load_trajectory_file(path: &std::path::Path) -> Result<Vec<Trajectory>, P
 }
 
 /// Convenience: write a trajectory file to disk.
-pub fn save_trajectory_file(
-    path: &std::path::Path,
-    trajs: &[Trajectory],
-) -> std::io::Result<()> {
+pub fn save_trajectory_file(path: &std::path::Path, trajs: &[Trajectory]) -> std::io::Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     write_trajectories(&mut file, trajs)
 }
@@ -136,7 +131,10 @@ mod tests {
         let err = read_trajectories(text.as_bytes()).unwrap_err();
         assert_eq!(
             err,
-            ParseError::BadPoint { line: 2, token: "not-a-point".into() }
+            ParseError::BadPoint {
+                line: 2,
+                token: "not-a-point".into()
+            }
         );
         let text = "1,2 3,abc\n";
         assert!(matches!(

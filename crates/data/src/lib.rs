@@ -37,7 +37,7 @@ pub mod profiles;
 pub mod protocol;
 pub mod transforms;
 
-pub use augment::{point_mask, point_shift, truncate, Augmentation, AugmentParams};
+pub use augment::{point_mask, point_shift, truncate, AugmentParams, Augmentation};
 pub use city::{City, CityConfig};
 pub use dataset::{Dataset, DatasetStats, Splits};
 pub use io::{load_trajectory_file, read_trajectories, save_trajectory_file, write_trajectories};

@@ -221,7 +221,9 @@ mod tests {
         let g = DatasetProfile::germany().city_config();
         assert!(g.width > 100_000.0);
         assert!(DatasetProfile::germany().cell_side() > DatasetProfile::porto().cell_side());
-        assert!(DatasetProfile::germany().default_train_size()
-            < DatasetProfile::porto().default_train_size());
+        assert!(
+            DatasetProfile::germany().default_train_size()
+                < DatasetProfile::porto().default_train_size()
+        );
     }
 }

@@ -36,7 +36,11 @@ impl QueryProtocol {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(db_size >= n_queries, "database must hold all ground truths");
-        assert!(pool.len() >= db_size, "pool too small: {} < {db_size}", pool.len());
+        assert!(
+            pool.len() >= db_size,
+            "pool too small: {} < {db_size}",
+            pool.len()
+        );
         let mut indices: Vec<usize> = (0..pool.len()).collect();
         indices.shuffle(rng);
         let query_src = &indices[..n_queries];
@@ -53,7 +57,11 @@ impl QueryProtocol {
         for &i in filler_src {
             database.push(pool[i].clone());
         }
-        QueryProtocol { queries, database, ground_truth }
+        QueryProtocol {
+            queries,
+            database,
+            ground_truth,
+        }
     }
 
     /// Shrinks the database to its first `db_size` entries (all ground
@@ -81,7 +89,11 @@ impl QueryProtocol {
 /// Mean rank of the ground-truth match given the full distance matrix
 /// (row-major `queries × database`, smaller = more similar).
 pub fn mean_rank(dists: &[f64], db_size: usize, ground_truth: &[usize]) -> f64 {
-    assert_eq!(dists.len(), ground_truth.len() * db_size, "matrix shape mismatch");
+    assert_eq!(
+        dists.len(),
+        ground_truth.len() * db_size,
+        "matrix shape mismatch"
+    );
     let mut total = 0.0;
     for (qi, &gt) in ground_truth.iter().enumerate() {
         let row = &dists[qi * db_size..(qi + 1) * db_size];
@@ -95,7 +107,11 @@ pub fn mean_rank(dists: &[f64], db_size: usize, ground_truth: &[usize]) -> f64 {
 /// Indices of the `k` smallest values (ties broken by index).
 pub fn top_k(dists: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..dists.len()).collect();
-    idx.sort_by(|&a, &b| dists[a].partial_cmp(&dists[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        dists[a]
+            .partial_cmp(&dists[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }
@@ -188,9 +204,8 @@ mod tests {
         let p = pool(40);
         let mut rng = StdRng::seed_from_u64(2);
         let proto = QueryProtocol::build(&p, 3, 20, &mut rng);
-        let degraded = proto.degrade(|t| {
-            Trajectory::new(t.points().iter().take(5).copied().collect())
-        });
+        let degraded =
+            proto.degrade(|t| Trajectory::new(t.points().iter().take(5).copied().collect()));
         assert!(degraded.queries.iter().all(|t| t.len() <= 5));
         assert!(degraded.database.iter().all(|t| t.len() <= 5));
         assert_eq!(degraded.ground_truth, proto.ground_truth);

@@ -37,7 +37,13 @@ pub fn distort(
         .points()
         .iter()
         .zip(shifted.points())
-        .map(|(orig, moved)| if rng.gen::<f64>() < rho_d { *moved } else { *orig })
+        .map(|(orig, moved)| {
+            if rng.gen::<f64>() < rho_d {
+                *moved
+            } else {
+                *orig
+            }
+        })
         .collect();
     Trajectory::new(pts)
 }
@@ -113,7 +119,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(distort(&t, 0.0, 100.0, 0.5, &mut rng), t);
         let all = distort(&t, 1.0, 100.0, 0.5, &mut rng);
-        let moved = t.points().iter().zip(all.points()).filter(|(a, b)| a != b).count();
+        let moved = t
+            .points()
+            .iter()
+            .zip(all.points())
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(moved, 100);
     }
 }

@@ -37,7 +37,10 @@ fn lock_ctx(ctx: &Mutex<InferCtx>) -> std::sync::MutexGuard<'_, InferCtx> {
 /// Implementations are *deterministic at inference*: calling
 /// [`SimilarityBackend::embed_batch`] twice on the same input must produce
 /// identical bytes (the engine's persistence tests rely on it).
-pub trait SimilarityBackend {
+///
+/// The trait requires `Send + Sync` so an [`crate::Engine`] can be shared
+/// across serving threads (`trajcl-serve` holds one behind an `Arc`).
+pub trait SimilarityBackend: Send + Sync {
     /// Human-readable name (paper table spelling).
     fn name(&self) -> &str;
 
@@ -46,6 +49,20 @@ pub trait SimilarityBackend {
 
     /// Embeds a non-empty batch into `(B, dim)`.
     fn embed_batch(&self, trajs: &[Trajectory]) -> Result<Tensor, EngineError>;
+
+    /// Like [`SimilarityBackend::embed_batch`] but running through a
+    /// caller-owned [`InferCtx`] instead of the backend's internal serving
+    /// context. This is the concurrency seam: a serving runtime with a
+    /// pool of per-worker contexts embeds without ever contending on the
+    /// backend's internal `Mutex`. Backends without a tape-free path fall
+    /// back to [`SimilarityBackend::embed_batch`].
+    fn embed_batch_with(
+        &self,
+        _ctx: &mut InferCtx,
+        trajs: &[Trajectory],
+    ) -> Result<Tensor, EngineError> {
+        self.embed_batch(trajs)
+    }
 
     /// Distance between two trajectories under this method (lower = more
     /// similar). Embedding backends use L1 in embedding space; heuristic
@@ -84,7 +101,11 @@ pub struct TrajClBackend {
 impl TrajClBackend {
     /// Wraps a trained (or freshly initialised) model and its featurizer.
     pub fn new(model: TrajClModel, featurizer: Featurizer) -> Self {
-        TrajClBackend { model, featurizer, infer: Mutex::new(InferCtx::new()) }
+        TrajClBackend {
+            model,
+            featurizer,
+            infer: Mutex::new(InferCtx::new()),
+        }
     }
 
     /// The wrapped model.
@@ -113,7 +134,20 @@ impl SimilarityBackend for TrajClBackend {
         // owns the chunking, so the batch-size knob is not silently
         // re-capped here; scratch buffers persist across calls.
         let mut ctx = lock_ctx(&self.infer);
-        Ok(self.model.embed_chunked_with(&mut ctx, &self.featurizer, trajs, trajs.len()))
+        Ok(self
+            .model
+            .embed_chunked_with(&mut ctx, &self.featurizer, trajs, trajs.len()))
+    }
+
+    fn embed_batch_with(
+        &self,
+        ctx: &mut InferCtx,
+        trajs: &[Trajectory],
+    ) -> Result<Tensor, EngineError> {
+        validate_batch(trajs)?;
+        Ok(self
+            .model
+            .embed_chunked_with(ctx, &self.featurizer, trajs, trajs.len()))
     }
 
     fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
@@ -145,7 +179,7 @@ impl<E: TrajectoryEncoder> EncoderBackend<E> {
     }
 }
 
-impl<E: TrajectoryEncoder> SimilarityBackend for EncoderBackend<E> {
+impl<E: TrajectoryEncoder + Send + Sync> SimilarityBackend for EncoderBackend<E> {
     fn name(&self) -> &str {
         self.encoder.name()
     }
@@ -200,12 +234,16 @@ impl SimilarityBackend for HeuristicBackend {
 
     fn embed_batch(&self, trajs: &[Trajectory]) -> Result<Tensor, EngineError> {
         validate_batch(trajs)?;
-        Err(EngineError::NoEmbedding { backend: self.name().to_string() })
+        Err(EngineError::NoEmbedding {
+            backend: self.name().to_string(),
+        })
     }
 
     fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
         if a.is_empty() || b.is_empty() {
-            return Err(EngineError::EmptyTrajectory { index: usize::from(!a.is_empty()) });
+            return Err(EngineError::EmptyTrajectory {
+                index: usize::from(!a.is_empty()),
+            });
         }
         Ok(self.measure.distance(a, b))
     }
@@ -263,6 +301,17 @@ impl SimilarityBackend for FinetunedBackend {
             .embed_chunked_with(&mut ctx, &self.featurizer, trajs, trajs.len()))
     }
 
+    fn embed_batch_with(
+        &self,
+        ctx: &mut InferCtx,
+        trajs: &[Trajectory],
+    ) -> Result<Tensor, EngineError> {
+        validate_batch(trajs)?;
+        Ok(self
+            .estimator
+            .embed_chunked_with(ctx, &self.featurizer, trajs, trajs.len()))
+    }
+
     fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
         let e = self.embed_batch(&[a.clone(), b.clone()])?;
         Ok(l1(e.row(0), e.row(1)))
@@ -278,7 +327,9 @@ mod tests {
     use trajcl_tensor::Shape;
 
     pub(crate) fn traj(n: usize, y: f64) -> Trajectory {
-        (0..n).map(|i| Point::new(40.0 + i as f64 * 45.0, y)).collect()
+        (0..n)
+            .map(|i| Point::new(40.0 + i as f64 * 45.0, y))
+            .collect()
     }
 
     pub(crate) fn trajcl_backend() -> TrajClBackend {
@@ -304,7 +355,9 @@ mod tests {
                 16,
                 &mut rng,
             ))),
-            Box::new(EncoderBackend::new(trajcl_baselines::T3s::new(tf, 16, 2, &mut rng))),
+            Box::new(EncoderBackend::new(trajcl_baselines::T3s::new(
+                tf, 16, 2, &mut rng,
+            ))),
             Box::new(HeuristicBackend::new(HeuristicMeasure::Hausdorff)),
             Box::new(HeuristicBackend::new(HeuristicMeasure::Edwp)),
         ];
@@ -314,9 +367,15 @@ mod tests {
             let d = backend.distance(&a, &b).expect("distance");
             assert!(d.is_finite() && d >= 0.0, "{}: {d}", backend.name());
             let self_d = backend.distance(&a, &a).expect("self distance");
-            assert!(self_d <= d, "{}: self-distance should not exceed cross", backend.name());
+            assert!(
+                self_d <= d,
+                "{}: self-distance should not exceed cross",
+                backend.name()
+            );
             if backend.supports_embedding() {
-                let e = backend.embed_batch(std::slice::from_ref(&a)).expect("embed");
+                let e = backend
+                    .embed_batch(std::slice::from_ref(&a))
+                    .expect("embed");
                 assert_eq!(e.shape(), Shape::d2(1, backend.dim()));
             } else {
                 assert!(matches!(
@@ -328,18 +387,42 @@ mod tests {
     }
 
     #[test]
+    fn embed_batch_with_matches_internal_context() {
+        let backend = trajcl_backend();
+        let batch = [traj(6, 100.0), traj(9, 500.0)];
+        let internal = backend.embed_batch(&batch).unwrap();
+        let mut ctx = InferCtx::new();
+        let external = backend.embed_batch_with(&mut ctx, &batch).unwrap();
+        assert!(
+            internal.approx_eq(&external, 0.0),
+            "caller-owned context must serve identical bytes"
+        );
+        // And the default-impl fallback still validates inputs.
+        assert!(matches!(
+            backend.embed_batch_with(&mut ctx, &[]),
+            Err(EngineError::EmptyBatch)
+        ));
+    }
+
+    #[test]
     fn embedding_is_deterministic_per_call() {
         let backend = trajcl_backend();
         let batch = [traj(6, 100.0), traj(9, 500.0)];
         let e1 = backend.embed_batch(&batch).unwrap();
         let e2 = backend.embed_batch(&batch).unwrap();
-        assert!(e1.approx_eq(&e2, 0.0), "same input must embed to identical bytes");
+        assert!(
+            e1.approx_eq(&e2, 0.0),
+            "same input must embed to identical bytes"
+        );
     }
 
     #[test]
     fn empty_inputs_surface_engine_errors() {
         let backend: Box<dyn SimilarityBackend> = Box::new(trajcl_backend());
-        assert!(matches!(backend.embed_batch(&[]), Err(EngineError::EmptyBatch)));
+        assert!(matches!(
+            backend.embed_batch(&[]),
+            Err(EngineError::EmptyBatch)
+        ));
         let empty = Trajectory::new(Vec::new());
         assert!(matches!(
             backend.embed_batch(&[traj(5, 100.0), empty.clone()]),

@@ -13,13 +13,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trajcl_core::{
     build_featurizer, finetune, load_model, save_model, train, EncoderVariant, FinetuneConfig,
-    MocoState, TrajClConfig, TrainReport,
+    MocoState, TrainReport, TrajClConfig,
 };
 use trajcl_data::Dataset;
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{brute_force_knn, IvfIndex, Metric};
+use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric};
 use trajcl_measures::HeuristicMeasure;
-use trajcl_tensor::{Shape, Tensor};
+use trajcl_tensor::{InferCtx, Shape, Tensor};
 
 const ENGINE_MAGIC: &[u8; 4] = b"TCE1";
 
@@ -72,18 +72,60 @@ impl Engine {
         self.train_report.as_ref()
     }
 
+    /// Number of IVF cells requested at build time (`None` = brute force).
+    pub fn nlist(&self) -> Option<usize> {
+        self.nlist
+    }
+
+    /// Number of IVF cells probed per indexed query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Inference mini-batch size used by [`Engine::embed_all`].
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Seed used for index construction (k-means initialisation).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Embeds trajectories in chunks of the configured batch size,
     /// returning `(N, dim)`.
     pub fn embed_all(&self, trajs: &[Trajectory]) -> Result<Tensor, EngineError> {
+        self.embed_chunks(trajs, |chunk| self.backend.embed_batch(chunk))
+    }
+
+    /// Like [`Engine::embed_all`] but running every forward through a
+    /// caller-owned [`InferCtx`] (the serving runtime's per-worker
+    /// contexts) instead of the backend's internal one.
+    pub fn embed_all_with(
+        &self,
+        ctx: &mut InferCtx,
+        trajs: &[Trajectory],
+    ) -> Result<Tensor, EngineError> {
+        self.embed_chunks(trajs, |chunk| self.backend.embed_batch_with(ctx, chunk))
+    }
+
+    /// The shared validate → chunk → scatter loop behind both embed paths.
+    fn embed_chunks(
+        &self,
+        trajs: &[Trajectory],
+        mut embed: impl FnMut(&[Trajectory]) -> Result<Tensor, EngineError>,
+    ) -> Result<Tensor, EngineError> {
         validate_batch(trajs)?;
         if !self.backend.supports_embedding() {
-            return Err(EngineError::NoEmbedding { backend: self.backend.name().to_string() });
+            return Err(EngineError::NoEmbedding {
+                backend: self.backend.name().to_string(),
+            });
         }
         let d = self.backend.dim();
         let mut out = Tensor::zeros(Shape::d2(trajs.len(), d));
         let mut row = 0usize;
         for chunk in trajs.chunks(self.batch_size.max(1)) {
-            let e = self.backend.embed_batch(chunk)?;
+            let e = embed(chunk)?;
             out.data_mut()[row * d..(row + chunk.len()) * d].copy_from_slice(e.data());
             row += chunk.len();
         }
@@ -99,30 +141,50 @@ impl Engine {
     ///
     /// Routing: IVF index (probing the configured `nprobe` lists) when one
     /// was built, brute force over the cached embedding table otherwise,
-    /// exact measure scan for heuristic backends.
+    /// exact measure scan for heuristic backends. A single-query wrapper
+    /// over [`Engine::knn_batch`].
     pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<(u32, f64)>, EngineError> {
-        if query.is_empty() {
-            return Err(EngineError::EmptyTrajectory { index: 0 });
-        }
+        let mut hits = self.knn_batch(std::slice::from_ref(query), k)?;
+        Ok(hits.pop().expect("one result row per query"))
+    }
+
+    /// k nearest database entries for a *batch* of queries, one `(id,
+    /// distance)` row per query.
+    ///
+    /// All queries share a single fused embedding forward (chunked at the
+    /// engine batch size) before fanning out to the index or brute-force
+    /// scan — the entry point the serving layer's micro-batcher drives, and
+    /// what keeps N concurrent `knn` callers from paying N separate
+    /// forwards.
+    pub fn knn_batch(
+        &self,
+        queries: &[Trajectory],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, f64)>>, EngineError> {
+        validate_batch(queries)?;
         if !self.backend.supports_embedding() {
             // Heuristic route: exact scan over database geometry.
             if self.database.is_empty() {
                 return Err(EngineError::NoDatabase);
             }
-            let mut hits: Vec<(u32, f64)> = Vec::with_capacity(self.database.len());
-            for (i, t) in self.database.iter().enumerate() {
-                hits.push((i as u32, self.backend.distance(query, t)?));
+            let mut out = Vec::with_capacity(queries.len());
+            for query in queries {
+                let mut hits: Vec<(u32, f64)> = Vec::with_capacity(self.database.len());
+                for (i, t) in self.database.iter().enumerate() {
+                    hits.push((i as u32, self.backend.distance(query, t)?));
+                }
+                hits.sort_by(|a, b| a.1.total_cmp(&b.1));
+                hits.truncate(k);
+                out.push(hits);
             }
-            hits.sort_by(|a, b| a.1.total_cmp(&b.1));
-            hits.truncate(k);
-            return Ok(hits);
+            return Ok(out);
         }
-        let q = self.backend.embed_batch(std::slice::from_ref(query))?;
+        let q = self.embed_all(queries)?;
         if let Some(index) = &self.index {
-            return Ok(index.search(q.row(0), k, self.nprobe));
+            return Ok(index.batch_search(&q, k, self.nprobe));
         }
         match &self.embeddings {
-            Some(emb) => Ok(brute_force_knn(emb, q.row(0), k, Metric::L1)),
+            Some(emb) => Ok(brute_force_batch_knn(emb, &q, k, Metric::L1)),
             None => Err(EngineError::NoDatabase),
         }
     }
@@ -133,11 +195,18 @@ impl Engine {
             return Err(EngineError::NoDatabase);
         }
         if qi >= self.database.len() {
-            return Err(EngineError::QueryOutOfRange { index: qi, len: self.database.len() });
+            return Err(EngineError::QueryOutOfRange {
+                index: qi,
+                len: self.database.len(),
+            });
         }
         // Exclude the query itself from its own result list.
         let hits = self.knn(&self.database[qi], k + 1)?;
-        Ok(hits.into_iter().filter(|(id, _)| *id as usize != qi).take(k).collect())
+        Ok(hits
+            .into_iter()
+            .filter(|(id, _)| *id as usize != qi)
+            .take(k)
+            .collect())
     }
 
     /// Attaches (or replaces) the served database, re-embedding it and
@@ -165,8 +234,18 @@ impl Engine {
         self
     }
 
+    /// Drops the IVF configuration (and any built index): subsequent
+    /// [`Engine::with_database`] calls cache embeddings but skip k-means.
+    /// The serving layer uses this so index training happens once, in its
+    /// own [`trajcl_index::MutableIndex`], not twice.
+    pub fn without_ivf_index(mut self) -> Self {
+        self.nlist = None;
+        self.index = None;
+        self
+    }
+
     /// Fine-tunes the engine's TrajCL model into a fast estimator of
-    /// `measure` (wrapping [`trajcl_core::finetune`]) and returns a new
+    /// `measure` (wrapping [`trajcl_core::finetune()`]) and returns a new
     /// engine serving the same database through the refined embeddings.
     ///
     /// # Errors
@@ -186,16 +265,15 @@ impl Engine {
             ))
         })?;
         if pool.len() < 2 {
-            return Err(EngineError::TooFewTrajectories { needed: 2, got: pool.len() });
+            return Err(EngineError::TooFewTrajectories {
+                needed: 2,
+                got: pool.len(),
+            });
         }
         validate_batch(pool)?;
         let estimator = finetune(model, featurizer, pool, measure, cfg, rng);
-        let backend = FinetunedBackend::new(
-            estimator,
-            featurizer.clone(),
-            measure.name(),
-            model.cfg.dim,
-        );
+        let backend =
+            FinetunedBackend::new(estimator, featurizer.clone(), measure.name(), model.cfg.dim);
         EngineBuilder::new()
             .backend(Box::new(backend))
             .database(self.database.clone())
@@ -361,7 +439,11 @@ impl EngineBuilder {
     }
 
     /// Uses a trained TrajCL model + featurizer as the backend.
-    pub fn trajcl(self, model: trajcl_core::TrajClModel, featurizer: trajcl_core::Featurizer) -> Self {
+    pub fn trajcl(
+        self,
+        model: trajcl_core::TrajClModel,
+        featurizer: trajcl_core::Featurizer,
+    ) -> Self {
         self.backend(Box::new(TrajClBackend::new(model, featurizer)))
     }
 
@@ -398,7 +480,10 @@ impl EngineBuilder {
         rng: &mut impl Rng,
     ) -> Result<Self, EngineError> {
         if train_set.len() < 2 {
-            return Err(EngineError::TooFewTrajectories { needed: 2, got: train_set.len() });
+            return Err(EngineError::TooFewTrajectories {
+                needed: 2,
+                got: train_set.len(),
+            });
         }
         validate_batch(train_set)?;
         let featurizer = build_featurizer(dataset, cfg.dim, cfg.max_len, rng);
@@ -458,9 +543,9 @@ impl EngineBuilder {
     /// [`EngineError::InvalidInput`] when no backend was configured;
     /// embedding errors propagate from the backend.
     pub fn build(self) -> Result<Engine, EngineError> {
-        let backend = self
-            .backend
-            .ok_or_else(|| EngineError::InvalidInput("EngineBuilder: no backend configured".into()))?;
+        let backend = self.backend.ok_or_else(|| {
+            EngineError::InvalidInput("EngineBuilder: no backend configured".into())
+        })?;
         let mut engine = Engine {
             backend,
             database: self.database,

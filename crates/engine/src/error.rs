@@ -65,7 +65,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "trajectory {index} in the batch holds no points")
             }
             EngineError::NoEmbedding { backend } => {
-                write!(f, "backend {backend:?} has no embedding space (heuristic measure)")
+                write!(
+                    f,
+                    "backend {backend:?} has no embedding space (heuristic measure)"
+                )
             }
             EngineError::NoDatabase => write!(f, "engine has no database to query"),
             EngineError::QueryOutOfRange { index, len } => {
@@ -144,9 +147,11 @@ mod tests {
     fn displays_are_informative() {
         let e = EngineError::QueryOutOfRange { index: 9, len: 5 };
         assert!(e.to_string().contains('9') && e.to_string().contains('5'));
-        assert!(EngineError::NoEmbedding { backend: "Hausdorff".into() }
-            .to_string()
-            .contains("Hausdorff"));
+        assert!(EngineError::NoEmbedding {
+            backend: "Hausdorff".into()
+        }
+        .to_string()
+        .contains("Hausdorff"));
     }
 
     #[test]

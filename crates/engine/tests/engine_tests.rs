@@ -3,7 +3,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trajcl_core::{EncoderVariant, Featurizer, FinetuneConfig, FinetuneScope, TrajClConfig, TrajClModel};
+use trajcl_core::{
+    EncoderVariant, Featurizer, FinetuneConfig, FinetuneScope, TrajClConfig, TrajClModel,
+};
 use trajcl_data::{Dataset, DatasetProfile};
 use trajcl_engine::{Engine, EngineBuilder, EngineError, HeuristicBackend, SimilarityBackend};
 use trajcl_geo::{Grid, SpatialNorm, Trajectory};
@@ -18,7 +20,12 @@ fn untrained_trajcl(dataset: &Dataset) -> (TrajClModel, Featurizer) {
     let cell_side = dataset.profile.cell_side();
     let grid = Grid::new(dataset.region, cell_side);
     let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
-    let feat = Featurizer::new(grid, table, SpatialNorm::new(dataset.region, cell_side), cfg.max_len);
+    let feat = Featurizer::new(
+        grid,
+        table,
+        SpatialNorm::new(dataset.region, cell_side),
+        cfg.max_len,
+    );
     let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
     (model, feat)
 }
@@ -29,7 +36,10 @@ fn dataset(n: usize, seed: u64) -> Dataset {
 
 #[test]
 fn builder_requires_a_backend() {
-    let err = EngineBuilder::new().build().err().expect("no backend must fail");
+    let err = EngineBuilder::new()
+        .build()
+        .err()
+        .expect("no backend must fail");
     assert!(matches!(err, EngineError::InvalidInput(_)));
 }
 
@@ -48,7 +58,10 @@ fn boxed_dyn_backend_flows_through_builder() {
     assert_eq!(engine.backend().name(), "DTW");
     assert_eq!(engine.backend().dim(), 0);
     let hits = engine.knn(&ds.trajectories[3], 4).unwrap();
-    assert_eq!(hits[0].0, 3, "self-query returns itself under an exact measure");
+    assert_eq!(
+        hits[0].0, 3,
+        "self-query returns itself under an exact measure"
+    );
     assert_eq!(hits.len(), 4);
 }
 
@@ -110,11 +123,18 @@ fn embed_all_chunking_is_invisible() {
         .batch_size(64)
         .build()
         .unwrap();
-    let small = Engine::builder().trajcl(model, feat).batch_size(3).build().unwrap();
+    let small = Engine::builder()
+        .trajcl(model, feat)
+        .batch_size(3)
+        .build()
+        .unwrap();
     let e1 = big.embed_all(&ds.trajectories).unwrap();
     let e2 = small.embed_all(&ds.trajectories).unwrap();
     assert_eq!(e1.shape(), Shape::d2(30, big.backend().dim()));
-    assert!(e1.approx_eq(&e2, 1e-5), "batch size must not change embeddings");
+    assert!(
+        e1.approx_eq(&e2, 1e-5),
+        "batch size must not change embeddings"
+    );
 }
 
 #[test]
@@ -122,14 +142,20 @@ fn empty_and_degenerate_batches_error_cleanly() {
     let ds = dataset(10, 5);
     let (model, feat) = untrained_trajcl(&ds);
     let engine = Engine::builder().trajcl(model, feat).build().unwrap();
-    assert!(matches!(engine.embed_all(&[]), Err(EngineError::EmptyBatch)));
+    assert!(matches!(
+        engine.embed_all(&[]),
+        Err(EngineError::EmptyBatch)
+    ));
     let mut batch = ds.trajectories.clone();
     batch.insert(2, Trajectory::new(Vec::new()));
     assert!(matches!(
         engine.embed_all(&batch),
         Err(EngineError::EmptyTrajectory { index: 2 })
     ));
-    assert!(matches!(engine.knn(&ds.trajectories[0], 3), Err(EngineError::NoDatabase)));
+    assert!(matches!(
+        engine.knn(&ds.trajectories[0], 3),
+        Err(EngineError::NoDatabase)
+    ));
     assert!(matches!(
         engine.knn(&Trajectory::new(Vec::new()), 3),
         Err(EngineError::EmptyTrajectory { index: 0 })
@@ -175,9 +201,16 @@ fn persistence_round_trip_is_bit_exact() {
     // Embeddings: bit-for-bit (tolerance 0.0).
     let before = engine.embed_all(&ds.trajectories).unwrap();
     let after = restored.embed_all(&ds.trajectories).unwrap();
-    assert!(before.approx_eq(&after, 0.0), "embeddings changed across persistence");
+    assert!(
+        before.approx_eq(&after, 0.0),
+        "embeddings changed across persistence"
+    );
     let cached = restored.embeddings().expect("embedding table persisted");
-    assert_eq!(cached.data(), before.data(), "cached table differs from recompute");
+    assert_eq!(
+        cached.data(),
+        before.data(),
+        "cached table differs from recompute"
+    );
 
     // kNN: identical ids AND distances through the persisted index.
     assert!(restored.index().is_some(), "index must survive persistence");
@@ -198,7 +231,10 @@ fn persistence_rejects_garbage_and_heuristic_backends() {
         .heuristic(HeuristicMeasure::Edwp)
         .build()
         .unwrap();
-    assert!(matches!(engine.to_bytes(), Err(EngineError::Unsupported(_))));
+    assert!(matches!(
+        engine.to_bytes(),
+        Err(EngineError::Unsupported(_))
+    ));
 
     let ds = dataset(12, 9);
     let (model, feat) = untrained_trajcl(&ds);
@@ -230,7 +266,12 @@ fn approximate_measure_produces_a_serving_engine() {
     };
     let mut rng = StdRng::seed_from_u64(12);
     let approx = engine
-        .approximate_measure(HeuristicMeasure::Hausdorff, &ds.trajectories[..16], &cfg, &mut rng)
+        .approximate_measure(
+            HeuristicMeasure::Hausdorff,
+            &ds.trajectories[..16],
+            &cfg,
+            &mut rng,
+        )
         .unwrap();
     assert!(approx.backend().name().contains("Hausdorff"));
     assert_eq!(approx.database().len(), engine.database().len());
@@ -238,7 +279,10 @@ fn approximate_measure_produces_a_serving_engine() {
     assert_eq!(hits.len(), 3);
 
     // Heuristic backends cannot be fine-tuned.
-    let heuristic = Engine::builder().heuristic(HeuristicMeasure::Dtw).build().unwrap();
+    let heuristic = Engine::builder()
+        .heuristic(HeuristicMeasure::Dtw)
+        .build()
+        .unwrap();
     assert!(matches!(
         heuristic.approximate_measure(HeuristicMeasure::Dtw, &ds.trajectories, &cfg, &mut rng),
         Err(EngineError::Unsupported(_))

@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn validates_empty_trajectory_with_index() {
-        let good: Trajectory = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)].into_iter().collect();
+        let good: Trajectory = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]
+            .into_iter()
+            .collect();
         let bad = Trajectory::new(Vec::new());
         assert_eq!(
             validate_batch(&[good.clone(), bad]),
@@ -64,7 +66,11 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(FeaturizeError::EmptyBatch.to_string().contains("empty batch"));
-        assert!(FeaturizeError::EmptyTrajectory { index: 3 }.to_string().contains('3'));
+        assert!(FeaturizeError::EmptyBatch
+            .to_string()
+            .contains("empty batch"));
+        assert!(FeaturizeError::EmptyTrajectory { index: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -44,7 +44,12 @@ pub fn spatial_features(traj: &Trajectory) -> Vec<SpatialFeature> {
             (None, Some(b)) => b,
             (None, None) => 0.0,
         };
-        out.push(SpatialFeature { x: p.x, y: p.y, radian, mean_len });
+        out.push(SpatialFeature {
+            x: p.x,
+            y: p.y,
+            radian,
+            mean_len,
+        });
     }
     out
 }
@@ -121,7 +126,12 @@ mod tests {
     fn normalisation_centers_and_scales() {
         let region = Bbox::new(Point::new(0.0, 0.0), Point::new(100.0, 200.0));
         let norm = SpatialNorm::new(region, 10.0);
-        let f = SpatialFeature { x: 100.0, y: 0.0, radian: std::f64::consts::PI, mean_len: 5.0 };
+        let f = SpatialFeature {
+            x: 100.0,
+            y: 0.0,
+            radian: std::f64::consts::PI,
+            mean_len: 5.0,
+        };
         let v = norm.apply(&f);
         assert!((v[0] - 1.0).abs() < 1e-6);
         assert!((v[1] + 1.0).abs() < 1e-6);

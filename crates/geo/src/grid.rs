@@ -32,7 +32,12 @@ impl Grid {
         assert!(w.is_finite() && h.is_finite(), "grid over an unbounded box");
         let cols = (w / cell_side).ceil().max(1.0) as usize;
         let rows = (h / cell_side).ceil().max(1.0) as usize;
-        Grid { origin: bbox.min, cell_side, cols, rows }
+        Grid {
+            origin: bbox.min,
+            cell_side,
+            cols,
+            rows,
+        }
     }
 
     /// Number of columns.
@@ -112,7 +117,10 @@ mod tests {
     use super::*;
 
     fn grid_4x3() -> Grid {
-        Grid::new(Bbox::new(Point::new(0.0, 0.0), Point::new(400.0, 300.0)), 100.0)
+        Grid::new(
+            Bbox::new(Point::new(0.0, 0.0), Point::new(400.0, 300.0)),
+            100.0,
+        )
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Point {
 
     /// Linear interpolation: `self + t * (other - self)`.
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// Distance from this point to the segment `a..b`.
@@ -42,8 +45,8 @@ impl Point {
         if len2 == 0.0 {
             return self.dist(a);
         }
-        let t = (((self.x - a.x) * (b.x - a.x) + (self.y - a.y) * (b.y - a.y)) / len2)
-            .clamp(0.0, 1.0);
+        let t =
+            (((self.x - a.x) * (b.x - a.x) + (self.y - a.y) * (b.y - a.y)) / len2).clamp(0.0, 1.0);
         self.dist(&a.lerp(b, t))
     }
 

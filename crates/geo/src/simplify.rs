@@ -123,15 +123,16 @@ mod tests {
 
     #[test]
     fn output_points_are_subset_in_order() {
-        let pts: Vec<(f64, f64)> = (0..30)
-            .map(|i| (i as f64, ((i * 31) % 7) as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64, ((i * 31) % 7) as f64)).collect();
         let t = Trajectory::from_xy(&pts);
         let s = douglas_peucker(&t, 2.0);
         let mut cursor = 0;
         for p in s.points() {
             let found = t.points()[cursor..].iter().position(|q| q == p);
-            assert!(found.is_some(), "simplified point not from input (or out of order)");
+            assert!(
+                found.is_some(),
+                "simplified point not from input (or out of order)"
+            );
             cursor += found.unwrap() + 1;
         }
     }

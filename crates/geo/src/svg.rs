@@ -112,7 +112,12 @@ mod tests {
     #[test]
     fn renders_valid_svg_structure() {
         let a = t(&[(0.0, 0.0), (100.0, 100.0)]);
-        let layers = [SvgLayer { traj: &a, color: "red".into(), width: 2.0, label: None }];
+        let layers = [SvgLayer {
+            traj: &a,
+            color: "red".into(),
+            width: 2.0,
+            label: None,
+        }];
         let svg = render_svg(&layers, 256);
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
@@ -133,7 +138,12 @@ mod tests {
     #[test]
     fn coordinates_fit_viewport() {
         let a = t(&[(1000.0, 2000.0), (1100.0, 2100.0)]);
-        let layers = [SvgLayer { traj: &a, color: "blue".into(), width: 1.0, label: None }];
+        let layers = [SvgLayer {
+            traj: &a,
+            color: "blue".into(),
+            width: 1.0,
+            label: None,
+        }];
         let svg = render_svg(&layers, 100);
         // All plotted coordinates must be within [0, 100].
         for cap in svg.split("points=\"").skip(1) {
@@ -152,7 +162,12 @@ mod tests {
     fn north_is_up() {
         // A point with larger y must get a SMALLER svg y (flipped axis).
         let a = t(&[(0.0, 0.0), (0.0, 100.0)]);
-        let layers = [SvgLayer { traj: &a, color: "k".into(), width: 1.0, label: None }];
+        let layers = [SvgLayer {
+            traj: &a,
+            color: "k".into(),
+            width: 1.0,
+            label: None,
+        }];
         let svg = render_svg(&layers, 100);
         let coords: Vec<(f64, f64)> = svg
             .split("points=\"")
@@ -167,6 +182,9 @@ mod tests {
                 (x.parse().unwrap(), y.parse().unwrap())
             })
             .collect();
-        assert!(coords[1].1 < coords[0].1, "higher y should render higher up");
+        assert!(
+            coords[1].1 < coords[0].1,
+            "higher y should render higher up"
+        );
     }
 }

@@ -79,7 +79,9 @@ impl Trajectory {
 
     /// Builds a trajectory from `(x, y)` tuples.
     pub fn from_xy(coords: &[(f64, f64)]) -> Self {
-        Trajectory { points: coords.iter().map(|&(x, y)| Point::new(x, y)).collect() }
+        Trajectory {
+            points: coords.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        }
     }
 
     /// Number of points `|T|`.
@@ -154,7 +156,9 @@ impl Trajectory {
 
 impl FromIterator<Point> for Trajectory {
     fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
-        Trajectory { points: iter.into_iter().collect() }
+        Trajectory {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -57,8 +57,19 @@ mod tests {
             100.0,
         );
         let mut rng = StdRng::seed_from_u64(7);
-        let walk_cfg = WalkConfig { walk_length: 15, walks_per_node: 6, p: 1.0, q: 1.0 };
-        let sgns_cfg = SgnsConfig { dim: 16, window: 3, negatives: 4, epochs: 3, lr: 0.025 };
+        let walk_cfg = WalkConfig {
+            walk_length: 15,
+            walks_per_node: 6,
+            p: 1.0,
+            q: 1.0,
+        };
+        let sgns_cfg = SgnsConfig {
+            dim: 16,
+            window: 3,
+            negatives: 4,
+            epochs: 3,
+            lr: 0.025,
+        };
         let table = node2vec_cell_embeddings(&grid, &walk_cfg, &sgns_cfg, &mut rng);
         assert_eq!(table.shape()[0], grid.num_cells());
 

@@ -26,7 +26,13 @@ pub struct SgnsConfig {
 
 impl Default for SgnsConfig {
     fn default() -> Self {
-        SgnsConfig { dim: 32, window: 5, negatives: 5, epochs: 3, lr: 0.025 }
+        SgnsConfig {
+            dim: 32,
+            window: 5,
+            negatives: 5,
+            epochs: 3,
+            lr: 0.025,
+        }
     }
 }
 
@@ -44,7 +50,9 @@ pub fn train_sgns(
 ) -> Tensor {
     let d = cfg.dim;
     let bound = 0.5 / d as f32;
-    let mut center: Vec<f32> = (0..vocab * d).map(|_| rng.gen_range(-bound..bound)).collect();
+    let mut center: Vec<f32> = (0..vocab * d)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     let mut context: Vec<f32> = vec![0.0; vocab * d];
 
     let total_steps = (cfg.epochs * walks.len()).max(1);
@@ -62,13 +70,31 @@ pub fn train_sgns(
                         continue;
                     }
                     // Positive pair (u, v), then `negatives` random draws.
-                    train_pair(&mut center, &mut context, u as usize, v as usize, 1.0, lr, d, &mut grad_c);
+                    train_pair(
+                        &mut center,
+                        &mut context,
+                        u as usize,
+                        v as usize,
+                        1.0,
+                        lr,
+                        d,
+                        &mut grad_c,
+                    );
                     for _ in 0..cfg.negatives {
                         let neg = rng.gen_range(0..vocab);
                         if neg == v as usize {
                             continue;
                         }
-                        train_pair(&mut center, &mut context, u as usize, neg, 0.0, lr, d, &mut grad_c);
+                        train_pair(
+                            &mut center,
+                            &mut context,
+                            u as usize,
+                            neg,
+                            0.0,
+                            lr,
+                            d,
+                            &mut grad_c,
+                        );
                     }
                 }
             }
@@ -127,7 +153,15 @@ mod tests {
     fn table_shape_and_finiteness() {
         let walks = vec![vec![0u32, 1, 2, 1, 0], vec![2, 1, 0, 1, 2]];
         let mut rng = StdRng::seed_from_u64(0);
-        let t = train_sgns(&walks, 3, &SgnsConfig { dim: 8, ..Default::default() }, &mut rng);
+        let t = train_sgns(
+            &walks,
+            3,
+            &SgnsConfig {
+                dim: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(t.shape(), Shape::d2(3, 8));
         assert!(t.all_finite());
     }
@@ -142,7 +176,11 @@ mod tests {
             let w: Vec<u32> = (0..12).map(|_| base + rng.gen_range(0..3)).collect();
             walks.push(w);
         }
-        let cfg = SgnsConfig { dim: 16, epochs: 3, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 3,
+            ..Default::default()
+        };
         let t = train_sgns(&walks, 6, &cfg, &mut rng);
         let within = cosine(&t, 0, 1);
         let across = cosine(&t, 0, 4);

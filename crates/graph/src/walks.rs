@@ -23,7 +23,12 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { walk_length: 20, walks_per_node: 4, p: 1.0, q: 1.0 }
+        WalkConfig {
+            walk_length: 20,
+            walks_per_node: 4,
+            p: 1.0,
+            q: 1.0,
+        }
     }
 }
 
@@ -107,13 +112,20 @@ mod tests {
     use trajcl_geo::{Bbox, Point};
 
     fn grid() -> Grid {
-        Grid::new(Bbox::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0)), 100.0)
+        Grid::new(
+            Bbox::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0)),
+            100.0,
+        )
     }
 
     #[test]
     fn walks_have_requested_shape() {
         let g = grid();
-        let cfg = WalkConfig { walk_length: 10, walks_per_node: 2, ..Default::default() };
+        let cfg = WalkConfig {
+            walk_length: 10,
+            walks_per_node: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let walks = grid_walks(&g, &cfg, &mut rng);
         assert_eq!(walks.len(), g.num_cells() * 2);
@@ -136,7 +148,10 @@ mod tests {
     #[test]
     fn every_cell_is_started_from() {
         let g = grid();
-        let cfg = WalkConfig { walks_per_node: 1, ..Default::default() };
+        let cfg = WalkConfig {
+            walks_per_node: 1,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let walks = grid_walks(&g, &cfg, &mut rng);
         let mut seen = vec![false; g.num_cells()];
@@ -151,14 +166,15 @@ mod tests {
         let g = grid();
         let mut rng = StdRng::seed_from_u64(3);
         let count_backtracks = |p: f64, rng: &mut StdRng| -> usize {
-            let cfg = WalkConfig { p, q: 1.0, walk_length: 30, walks_per_node: 2 };
+            let cfg = WalkConfig {
+                p,
+                q: 1.0,
+                walk_length: 30,
+                walks_per_node: 2,
+            };
             grid_walks(&g, &cfg, rng)
                 .iter()
-                .map(|w| {
-                    w.windows(3)
-                        .filter(|t| t[0] == t[2])
-                        .count()
-                })
+                .map(|w| w.windows(3).filter(|t| t[0] == t[2]).count())
                 .sum()
         };
         let returny = count_backtracks(0.05, &mut rng);

@@ -20,14 +20,11 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Distance between two equal-length vectors under this metric.
     #[inline]
-    fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
+    pub fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
         match self {
-            Metric::L1 => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs() as f64)
-                .sum(),
+            Metric::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum(),
             Metric::L2 => a
                 .iter()
                 .zip(b)
@@ -93,7 +90,14 @@ impl IvfIndex {
         for (i, &c) in assign.iter().enumerate() {
             lists[c as usize].push(i as u32);
         }
-        IvfIndex { centroids, lists, vectors: data.to_vec(), n, d, metric }
+        IvfIndex {
+            centroids,
+            lists,
+            vectors: data.to_vec(),
+            n,
+            d,
+            metric,
+        }
     }
 
     /// Number of indexed vectors.
@@ -109,6 +113,17 @@ impl IvfIndex {
     /// Number of inverted lists.
     pub fn nlist(&self) -> usize {
         self.lists.len()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The indexed vector at position `id` (the compaction path of the
+    /// mutable index reads sealed rows back out).
+    pub fn vector(&self, id: u32) -> &[f32] {
+        &self.vectors[id as usize * self.d..(id as usize + 1) * self.d]
     }
 
     /// Approximate resident memory of the index in bytes (Table IX).
@@ -127,7 +142,10 @@ impl IvfIndex {
         // Rank centroids by distance to the query.
         let mut order: Vec<usize> = (0..self.lists.len()).collect();
         let cd: Vec<f64> = (0..self.lists.len())
-            .map(|c| self.metric.dist(query, &self.centroids[c * self.d..(c + 1) * self.d]))
+            .map(|c| {
+                self.metric
+                    .dist(query, &self.centroids[c * self.d..(c + 1) * self.d])
+            })
             .collect();
         order.sort_by(|&a, &b| cd[a].total_cmp(&cd[b]));
 
@@ -229,18 +247,24 @@ impl IvfIndex {
         if !r.is_empty() {
             return None;
         }
-        Some(IvfIndex { centroids, lists, vectors, n, d, metric })
+        Some(IvfIndex {
+            centroids,
+            lists,
+            vectors,
+            n,
+            d,
+            metric,
+        })
     }
 
     /// Batched parallel search.
-    pub fn batch_search(
-        &self,
-        queries: &Tensor,
-        k: usize,
-        nprobe: usize,
-    ) -> Vec<Vec<(u32, f64)>> {
+    pub fn batch_search(&self, queries: &Tensor, k: usize, nprobe: usize) -> Vec<Vec<(u32, f64)>> {
         let q = queries.shape().rows();
-        assert_eq!(queries.shape().last(), self.d, "query dimensionality mismatch");
+        assert_eq!(
+            queries.shape().last(),
+            self.d,
+            "query dimensionality mismatch"
+        );
         let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); q];
         let per = pool::rows_per_lane(q);
         let qd = queries.data();
@@ -279,11 +303,40 @@ pub fn brute_force_knn(
     let d = embeddings.shape().last();
     let n = embeddings.shape().rows();
     let mut hits: Vec<(u32, f64)> = (0..n)
-        .map(|i| (i as u32, metric.dist(query, &embeddings.data()[i * d..(i + 1) * d])))
+        .map(|i| {
+            (
+                i as u32,
+                metric.dist(query, &embeddings.data()[i * d..(i + 1) * d]),
+            )
+        })
         .collect();
     hits.sort_by(|a, b| a.1.total_cmp(&b.1));
     hits.truncate(k);
     hits
+}
+
+/// Parallel batched brute-force kNN: one result row per query row,
+/// splitting queries across the shared pool (the engine's no-IVF route).
+pub fn brute_force_batch_knn(
+    embeddings: &Tensor,
+    queries: &Tensor,
+    k: usize,
+    metric: Metric,
+) -> Vec<Vec<(u32, f64)>> {
+    let d = embeddings.shape().last();
+    let q = queries.shape().rows();
+    assert_eq!(queries.shape().last(), d, "query dimensionality mismatch");
+    let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); q];
+    let per = pool::rows_per_lane(q);
+    let qd = queries.data();
+    pool::par_chunks_mut(&mut out, per, |c, chunk| {
+        let start = c * per;
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let row = &qd[(start + i) * d..(start + i + 1) * d];
+            *slot = brute_force_knn(embeddings, row, k, metric);
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -357,8 +410,18 @@ mod tests {
 
     #[test]
     fn memory_accounting_scales_with_n() {
-        let small = IvfIndex::build(&table(50, 8, 9), 4, Metric::L1, &mut StdRng::seed_from_u64(0));
-        let large = IvfIndex::build(&table(500, 8, 9), 4, Metric::L1, &mut StdRng::seed_from_u64(0));
+        let small = IvfIndex::build(
+            &table(50, 8, 9),
+            4,
+            Metric::L1,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let large = IvfIndex::build(
+            &table(500, 8, 9),
+            4,
+            Metric::L1,
+            &mut StdRng::seed_from_u64(0),
+        );
         assert!(large.memory_bytes() > small.memory_bytes() * 5);
     }
 

@@ -9,9 +9,15 @@
 //!
 //! Both expose `memory_bytes` so Table IX's build-cost comparison (and the
 //! DFT memory blow-up) can be reproduced.
+//!
+//! For serving, [`MutableIndex`] wraps the IVF machinery in an upsert /
+//! remove / compact lifecycle with immutable, atomically-swapped read
+//! snapshots ([`IndexSnapshot`]).
 
 pub mod hausdorff_index;
 pub mod ivf;
+pub mod mutable;
 
 pub use hausdorff_index::SegmentHausdorffIndex;
-pub use ivf::{brute_force_knn, IvfIndex, Metric};
+pub use ivf::{brute_force_batch_knn, brute_force_knn, IvfIndex, Metric};
+pub use mutable::{IndexSnapshot, MutableIndex};

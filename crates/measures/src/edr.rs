@@ -25,11 +25,14 @@ pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
     for (i, p) in pa.iter().enumerate() {
         cur[0] = (i + 1) as f64;
         for (j, q) in pb.iter().enumerate() {
-            let subcost =
-                if (p.x - q.x).abs() <= eps && (p.y - q.y).abs() <= eps { 0.0 } else { 1.0 };
+            let subcost = if (p.x - q.x).abs() <= eps && (p.y - q.y).abs() <= eps {
+                0.0
+            } else {
+                1.0
+            };
             cur[j + 1] = (prev[j] + subcost) // match / substitute
-                .min(prev[j + 1] + 1.0)      // delete from a
-                .min(cur[j] + 1.0);          // insert from b
+                .min(prev[j + 1] + 1.0) // delete from a
+                .min(cur[j] + 1.0); // insert from b
         }
         std::mem::swap(&mut prev, &mut cur);
     }

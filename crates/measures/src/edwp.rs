@@ -131,7 +131,10 @@ pub fn edwp(a: &Trajectory, b: &Trajectory) -> f64 {
     let end = (0..3)
         .map(|s| dp[idx(n - 1, m - 1, s)])
         .fold(f64::INFINITY, f64::min);
-    debug_assert!(end.is_finite(), "EDwP DP failed to reach the terminal state");
+    debug_assert!(
+        end.is_finite(),
+        "EDwP DP failed to reach the terminal state"
+    );
     end
 }
 

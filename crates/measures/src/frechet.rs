@@ -11,7 +11,10 @@ use trajcl_geo::Trajectory;
 pub fn frechet(a: &Trajectory, b: &Trajectory) -> f64 {
     let pa = a.points();
     let pb = b.points();
-    assert!(!pa.is_empty() && !pb.is_empty(), "Fréchet of empty trajectory");
+    assert!(
+        !pa.is_empty() && !pb.is_empty(),
+        "Fréchet of empty trajectory"
+    );
     let m = pb.len();
     let mut prev = vec![0.0f64; m];
     let mut cur = vec![0.0f64; m];

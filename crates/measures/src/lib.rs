@@ -128,9 +128,15 @@ mod tests {
     fn enum_dispatch_matches_functions() {
         let a = line(0.0);
         let b = line(7.0);
-        assert_eq!(HeuristicMeasure::Hausdorff.distance(&a, &b), hausdorff(&a, &b));
+        assert_eq!(
+            HeuristicMeasure::Hausdorff.distance(&a, &b),
+            hausdorff(&a, &b)
+        );
         assert_eq!(HeuristicMeasure::Frechet.distance(&a, &b), frechet(&a, &b));
-        assert_eq!(HeuristicMeasure::Edr(1.0).distance(&a, &b), edr(&a, &b, 1.0));
+        assert_eq!(
+            HeuristicMeasure::Edr(1.0).distance(&a, &b),
+            edr(&a, &b, 1.0)
+        );
         assert_eq!(HeuristicMeasure::Edwp.distance(&a, &b), edwp(&a, &b));
         assert_eq!(HeuristicMeasure::Dtw.distance(&a, &b), dtw(&a, &b));
     }

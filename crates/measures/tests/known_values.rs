@@ -108,9 +108,16 @@ fn measures_scale_with_coordinates() {
     let a = t(&[(0.0, 0.0), (3.0, 4.0), (6.0, 0.0)]);
     let b = t(&[(0.0, 2.0), (6.0, 2.0)]);
     let scale = |tr: &Trajectory, c: f64| -> Trajectory {
-        tr.points().iter().map(|p| trajcl_geo::Point::new(p.x * c, p.y * c)).collect()
+        tr.points()
+            .iter()
+            .map(|p| trajcl_geo::Point::new(p.x * c, p.y * c))
+            .collect()
     };
-    for m in [HeuristicMeasure::Hausdorff, HeuristicMeasure::Frechet, HeuristicMeasure::Dtw] {
+    for m in [
+        HeuristicMeasure::Hausdorff,
+        HeuristicMeasure::Frechet,
+        HeuristicMeasure::Dtw,
+    ] {
         let base = m.distance(&a, &b);
         let scaled = m.distance(&scale(&a, 10.0), &scale(&b, 10.0));
         assert!(

@@ -108,13 +108,23 @@ impl MultiHeadSelfAttention {
     ) -> Self {
         assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
         let mut mk = |suffix: &str, mut rng: &mut dyn rand::RngCore| {
-            store.add(format!("{name}.{suffix}"), init::xavier_uniform(dim, dim, &mut rng))
+            store.add(
+                format!("{name}.{suffix}"),
+                init::xavier_uniform(dim, dim, &mut rng),
+            )
         };
         let wq = mk("wq", rng);
         let wk = mk("wk", rng);
         let wv = mk("wv", rng);
         let wo = mk("wo", rng);
-        MultiHeadSelfAttention { wq, wk, wv, wo, heads, dim }
+        MultiHeadSelfAttention {
+            wq,
+            wk,
+            wv,
+            wo,
+            heads,
+            dim,
+        }
     }
 
     /// Runs attention over `(B, L, dim)`, returning the contextualised
@@ -214,7 +224,15 @@ impl TransformerEncoderLayer {
         TransformerEncoderLayer {
             attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
             ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
-            mlp: Mlp::new(store, &format!("{name}.mlp"), dim, hidden, dim, dropout, rng),
+            mlp: Mlp::new(
+                store,
+                &format!("{name}.mlp"),
+                dim,
+                hidden,
+                dim,
+                dropout,
+                rng,
+            ),
             ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
             dropout,
         }
@@ -296,7 +314,12 @@ mod tests {
         let msm = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, &mut rng);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
-        let x = f.input(Tensor::randn(Shape::d3(2, 4, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(1)));
+        let x = f.input(Tensor::randn(
+            Shape::d3(2, 4, 8),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        ));
         let mask = f.input(attention_mask_bias(&[2, 4], 4, 2));
         let (out, attn) = msm.forward(&mut f, x, Some(mask));
         assert_eq!(tape.shape(out), Shape::d3(2, 4, 8));
@@ -319,18 +342,25 @@ mod tests {
     fn encoder_layer_preserves_shape_and_grads_flow() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut store = ParamStore::new();
-        let layer =
-            TransformerEncoderLayer::new(&mut store, "enc", 8, 2, 16, 0.1, &mut rng);
+        let layer = TransformerEncoderLayer::new(&mut store, "enc", 8, 2, 16, 0.1, &mut rng);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
-        let x = f.input(Tensor::randn(Shape::d3(2, 3, 8), 0.0, 1.0, &mut StdRng::seed_from_u64(3)));
+        let x = f.input(Tensor::randn(
+            Shape::d3(2, 3, 8),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+        ));
         let (y, _attn) = layer.forward(&mut f, x, None);
         assert_eq!(tape.shape(y), Shape::d3(2, 3, 8));
         let loss = tape.mean_all(y);
         let grads = tape.backward(loss);
         let pairs = grads.into_param_grads(&tape);
         store.accumulate(pairs);
-        assert!(store.grad_norm() > 0.0, "gradients must reach encoder params");
+        assert!(
+            store.grad_norm() > 0.0,
+            "gradients must reach encoder params"
+        );
     }
 
     #[test]
@@ -358,12 +388,17 @@ mod tests {
             for t in 0..len {
                 for d in 0..8 {
                     let (a, i) = (yt.at3(b, t, d), y_infer.at3(b, t, d));
-                    assert!((a - i).abs() < 1e-5, "output diverged at ({b},{t},{d}): {a} vs {i}");
+                    assert!(
+                        (a - i).abs() < 1e-5,
+                        "output diverged at ({b},{t},{d}): {a} vs {i}"
+                    );
                 }
             }
         }
         assert!(
-            attn_infer.expect("requested coefficients").approx_eq(tape.value(attn_tape), 1e-5),
+            attn_infer
+                .expect("requested coefficients")
+                .approx_eq(tape.value(attn_tape), 1e-5),
             "attention coefficients diverged"
         );
     }
@@ -382,7 +417,10 @@ mod tests {
         let mut inf = InferFwd::new(&mut ctx, &store);
         let (via_probs, some) = msm.infer_forward(&mut inf, &x, &lens, true);
         assert!(some.is_some());
-        assert!(fused.approx_eq(&via_probs, 1e-5), "fused attention diverged");
+        assert!(
+            fused.approx_eq(&via_probs, 1e-5),
+            "fused attention diverged"
+        );
     }
 
     #[test]

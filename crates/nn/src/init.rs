@@ -39,7 +39,10 @@ mod tests {
         let w = xavier_uniform(64, 64, &mut rng);
         let bound = (6.0 / 128.0f32).sqrt();
         assert!(w.data().iter().all(|v| v.abs() <= bound));
-        assert!(w.max_abs() > bound * 0.5, "values should spread near the bound");
+        assert!(
+            w.max_abs() > bound * 0.5,
+            "values should spread near the bound"
+        );
     }
 
     #[test]
@@ -48,7 +51,10 @@ mod tests {
         let w = kaiming_normal(256, 256, &mut rng);
         let std = (w.data().iter().map(|v| v * v).sum::<f32>() / w.numel() as f32).sqrt();
         let expect = (2.0 / 256.0f32).sqrt();
-        assert!((std - expect).abs() < expect * 0.1, "std={std} expect={expect}");
+        assert!(
+            (std - expect).abs() < expect * 0.1,
+            "std={std} expect={expect}"
+        );
     }
 
     #[test]

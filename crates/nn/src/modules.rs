@@ -22,7 +22,12 @@ impl<'a> Fwd<'a> {
         rng: &'a mut dyn RngCore,
         training: bool,
     ) -> Self {
-        Fwd { tape, store, rng, training }
+        Fwd {
+            tape,
+            store,
+            rng,
+            training,
+        }
     }
 
     /// Binds parameter `id` into the current tape.
@@ -90,9 +95,17 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.add(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.add(
+            format!("{name}.weight"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = store.add(format!("{name}.bias"), Tensor::zeros(Shape::d1(out_dim)));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to `(.., in_dim)` input.
@@ -129,7 +142,11 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.add(format!("{name}.gamma"), Tensor::ones(Shape::d1(dim)));
         let beta = store.add(format!("{name}.beta"), Tensor::zeros(Shape::d1(dim)));
-        LayerNorm { gamma, beta, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     /// Normalises the last dimension of `x`.
@@ -214,7 +231,10 @@ impl Embedding {
         dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let table = store.add(format!("{name}.table"), init::embedding_init(vocab, dim, rng));
+        let table = store.add(
+            format!("{name}.table"),
+            init::embedding_init(vocab, dim, rng),
+        );
         Embedding { table, vocab, dim }
     }
 
@@ -259,7 +279,10 @@ impl Conv2d {
         pad: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.add(format!("{name}.weight"), init::conv_xavier(out_ch, in_ch, k, rng));
+        let w = store.add(
+            format!("{name}.weight"),
+            init::conv_xavier(out_ch, in_ch, k, rng),
+        );
         let b = store.add(format!("{name}.bias"), Tensor::zeros(Shape::d1(out_ch)));
         Conv2d { w, b, stride, pad }
     }
@@ -277,11 +300,7 @@ mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
 
-    fn ctx<'a>(
-        tape: &'a mut Tape,
-        store: &'a ParamStore,
-        rng: &'a mut StdRng,
-    ) -> Fwd<'a> {
+    fn ctx<'a>(tape: &'a mut Tape, store: &'a ParamStore, rng: &'a mut StdRng) -> Fwd<'a> {
         Fwd::new(tape, store, rng, false)
     }
 
@@ -323,7 +342,12 @@ mod tests {
         let ln = LayerNorm::new(&mut store, "ln", 8);
         let mut tape = Tape::new();
         let mut f = ctx(&mut tape, &store, &mut rng);
-        let x = f.input(Tensor::randn(Shape::d2(4, 8), 5.0, 3.0, &mut StdRng::seed_from_u64(3)));
+        let x = f.input(Tensor::randn(
+            Shape::d2(4, 8),
+            5.0,
+            3.0,
+            &mut StdRng::seed_from_u64(3),
+        ));
         let y = ln.forward(&mut f, x);
         for r in 0..4 {
             let row = tape.value(y).row(r);
@@ -355,10 +379,7 @@ mod tests {
     fn embedding_lookup_rows() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut store = ParamStore::new();
-        let table = Tensor::from_vec(
-            vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0],
-            Shape::d2(3, 2),
-        );
+        let table = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], Shape::d2(3, 2));
         let emb = Embedding::from_pretrained(&mut store, "e", table);
         let mut tape = Tape::new();
         let mut f = ctx(&mut tape, &store, &mut rng);

@@ -43,7 +43,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard betas `(0.9, 0.999)`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Applies one Adam step using the store's accumulated gradients, then
@@ -85,7 +91,11 @@ impl StepDecay {
     /// `factor`-decay every `every` epochs starting from `initial`.
     pub fn new(initial: f32, every: u32, factor: f32) -> Self {
         assert!(every > 0, "decay interval must be positive");
-        StepDecay { initial, every, factor }
+        StepDecay {
+            initial,
+            every,
+            factor,
+        }
     }
 
     /// TrajCL's published schedule: 1e-3 halved every 5 epochs.

@@ -6,9 +6,9 @@
 //! batch element is the state at its own last valid position (matching how
 //! packed sequences behave in the original PyTorch baselines).
 
+use crate::init;
 use crate::modules::{Fwd, InferFwd};
 use crate::store::{ParamId, ParamStore};
-use crate::init;
 use rand::Rng;
 use trajcl_tensor::{InferCtx, Shape, Tensor, Var};
 
@@ -51,7 +51,19 @@ impl GruCell {
         let bz = store.add(format!("{name}.bz"), Tensor::zeros(Shape::d1(hidden)));
         let br = store.add(format!("{name}.br"), Tensor::zeros(Shape::d1(hidden)));
         let bh = store.add(format!("{name}.bh"), Tensor::zeros(Shape::d1(hidden)));
-        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden }
+        GruCell {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step: `(x_t (B, in), h (B, hidden)) -> h' (B, hidden)`.
@@ -152,7 +164,22 @@ impl LstmCell {
         let bf = store.add(format!("{name}.bf"), Tensor::ones(Shape::d1(hidden)));
         let bo = store.add(format!("{name}.bo"), Tensor::zeros(Shape::d1(hidden)));
         let bg = store.add(format!("{name}.bg"), Tensor::zeros(Shape::d1(hidden)));
-        LstmCell { wi, ui, bi, wf, uf, bf, wo, uo, bo, wg, ug, bg, in_dim, hidden }
+        LstmCell {
+            wi,
+            ui,
+            bi,
+            wf,
+            uf,
+            bf,
+            wo,
+            uo,
+            bo,
+            wg,
+            ug,
+            bg,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step: returns `(h', c')`.
@@ -225,8 +252,7 @@ pub fn run_gru_infer(
         for (bi, &len) in lens.iter().enumerate() {
             if t >= len {
                 let src = &h.data()[bi * cell.hidden..(bi + 1) * cell.hidden];
-                h_new.data_mut()[bi * cell.hidden..(bi + 1) * cell.hidden]
-                    .copy_from_slice(src);
+                h_new.data_mut()[bi * cell.hidden..(bi + 1) * cell.hidden].copy_from_slice(src);
             }
         }
         let h_next = f.ctx.alloc_copy(&h_new);
@@ -302,7 +328,12 @@ mod tests {
         let cell = GruCell::new(&mut store, "gru", 4, 6, &mut rng);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
-        let x = f.input(Tensor::randn(Shape::d2(3, 4), 0.0, 1.0, &mut StdRng::seed_from_u64(1)));
+        let x = f.input(Tensor::randn(
+            Shape::d2(3, 4),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        ));
         let h = f.input(Tensor::zeros(Shape::d2(3, 6)));
         let h2 = cell.step(&mut f, x, h);
         assert_eq!(tape.shape(h2), Shape::d2(3, 6));
@@ -317,7 +348,12 @@ mod tests {
         let cell = LstmCell::new(&mut store, "lstm", 4, 5, &mut rng);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
-        let x = f.input(Tensor::randn(Shape::d2(2, 4), 0.0, 1.0, &mut StdRng::seed_from_u64(3)));
+        let x = f.input(Tensor::randn(
+            Shape::d2(2, 4),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+        ));
         let h = f.input(Tensor::zeros(Shape::d2(2, 5)));
         let c = f.input(Tensor::zeros(Shape::d2(2, 5)));
         let (h2, c2) = cell.step(&mut f, x, h, c);
@@ -332,7 +368,12 @@ mod tests {
         let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, false);
-        let xs = f.input(Tensor::randn(Shape::d3(2, 5, 3), 0.0, 1.0, &mut StdRng::seed_from_u64(5)));
+        let xs = f.input(Tensor::randn(
+            Shape::d3(2, 5, 3),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(5),
+        ));
         let (all, fin) = run_gru(&mut f, &cell, xs, &[2, 5]);
         assert_eq!(tape.shape(all), Shape::d3(2, 5, 4));
         assert_eq!(tape.shape(fin), Shape::d2(2, 4));
@@ -371,8 +412,14 @@ mod tests {
         let mut inf = InferFwd::new(&mut ctx, &store);
         let (all_infer, fin_infer) = run_gru_infer(&mut inf, &cell, &xs_val, &lens);
 
-        assert!(all_infer.approx_eq(tape.value(all_tape), 1e-5), "GRU states diverged");
-        assert!(fin_infer.approx_eq(tape.value(fin_tape), 1e-5), "GRU final state diverged");
+        assert!(
+            all_infer.approx_eq(tape.value(all_tape), 1e-5),
+            "GRU states diverged"
+        );
+        assert!(
+            fin_infer.approx_eq(tape.value(fin_tape), 1e-5),
+            "GRU final state diverged"
+        );
     }
 
     #[test]
@@ -382,7 +429,12 @@ mod tests {
         let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
         let mut tape = Tape::new();
         let mut f = Fwd::new(&mut tape, &store, &mut rng, true);
-        let xs = f.input(Tensor::randn(Shape::d3(2, 4, 3), 0.0, 1.0, &mut StdRng::seed_from_u64(7)));
+        let xs = f.input(Tensor::randn(
+            Shape::d3(2, 4, 3),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(7),
+        ));
         let (_, fin) = run_gru(&mut f, &cell, xs, &[4, 4]);
         let loss = tape.mean_all(fin);
         let grads = tape.backward(loss);

@@ -176,7 +176,10 @@ impl ParamStore {
         }
     }
 
-    pub(crate) fn adam_state_mut(&mut self, id: usize) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor) {
+    pub(crate) fn adam_state_mut(
+        &mut self,
+        id: usize,
+    ) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor) {
         let s = &mut self.slots[id];
         (&mut s.value, &s.grad, &mut s.m, &mut s.v)
     }
@@ -309,13 +312,19 @@ mod tests {
     #[test]
     fn serialization_round_trip() {
         let mut store = ParamStore::new();
-        store.add("layer.weight", Tensor::from_vec(vec![1.5, -2.0, 0.25, 9.0], Shape::d2(2, 2)));
+        store.add(
+            "layer.weight",
+            Tensor::from_vec(vec![1.5, -2.0, 0.25, 9.0], Shape::d2(2, 2)),
+        );
         store.add("layer.bias", Tensor::from_vec(vec![0.5], Shape::d1(1)));
         let bytes = store.to_bytes();
         let restored = ParamStore::from_bytes(&bytes).unwrap();
         assert_eq!(restored.len(), 2);
         assert_eq!(restored.name(ParamId(0)), "layer.weight");
-        assert_eq!(restored.value(ParamId(0)).data(), store.value(ParamId(0)).data());
+        assert_eq!(
+            restored.value(ParamId(0)).data(),
+            store.value(ParamId(0)).data()
+        );
         assert_eq!(restored.value(ParamId(1)).shape(), Shape::d1(1));
     }
 

@@ -1,0 +1,195 @@
+//! The dynamic micro-batcher: a bounded MPSC queue of embed requests
+//! drained by worker threads into fused forward passes.
+//!
+//! Callers submit small embed jobs (one or two trajectories each) and
+//! block on a per-job response channel. A worker dequeues the first
+//! pending job, then keeps harvesting — instantly while the queue is
+//! non-empty, and for at most `max_wait` while it is — until the fused
+//! batch reaches `max_batch` trajectories. The whole batch runs as ONE
+//! tape-free forward through the worker's own
+//! [`InferCtx`](trajcl_tensor::InferCtx) (checked out of a shared
+//! [`CtxPool`]), so concurrent callers share a forward instead of
+//! serialising on the backend's internal mutex.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use trajcl_engine::{Engine, EngineError};
+use trajcl_geo::Trajectory;
+use trajcl_tensor::CtxPool;
+
+/// One embed request: a few trajectories plus the channel carrying their
+/// embedding rows back to the blocked caller.
+pub(crate) struct EmbedJob {
+    pub trajs: Vec<Trajectory>,
+    pub resp: SyncSender<Result<Vec<Vec<f32>>, EngineError>>,
+}
+
+/// Batching knobs (see [`crate::ServeConfig`] for the user-facing copy).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BatchPolicy {
+    pub max_batch: usize,
+    pub max_wait: Duration,
+}
+
+/// Shared batching counters (exported through `Server::stats`).
+#[derive(Default)]
+pub(crate) struct BatchStats {
+    /// Fused forward passes run.
+    pub batches: AtomicU64,
+    /// Jobs served across all batches.
+    pub jobs: AtomicU64,
+    /// Trajectories embedded across all batches.
+    pub trajs: AtomicU64,
+    /// Jobs submitted but not yet claimed by a worker's batch. When this
+    /// hits zero mid-collection there is no straggler to wait for — every
+    /// client is blocked on a response — so the worker dispatches
+    /// immediately instead of idling out `max_wait` (which would stall
+    /// closed-loop callers for nothing).
+    pub pending: AtomicUsize,
+}
+
+/// Worker threads draining a shared receiver into fused forwards.
+pub(crate) struct Batcher {
+    tx: SyncSender<EmbedJob>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns `workers` threads over a bounded queue of `queue_cap` jobs.
+    pub fn spawn(
+        engine: Arc<Engine>,
+        workers: usize,
+        queue_cap: usize,
+        policy: BatchPolicy,
+        stats: Arc<BatchStats>,
+    ) -> Batcher {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<EmbedJob>(queue_cap.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let ctx_pool = Arc::new(CtxPool::with_contexts(workers));
+        let handles = (0..workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = Arc::clone(&rx);
+                let ctx_pool = Arc::clone(&ctx_pool);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("trajcl-serve-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, &ctx_pool, policy, &stats))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Batcher {
+            tx,
+            workers: handles,
+        }
+    }
+
+    /// A submission handle (cloned per caller; all clones feed one queue).
+    pub fn sender(&self) -> SyncSender<EmbedJob> {
+        self.tx.clone()
+    }
+
+    /// Closes the queue and joins every worker. Jobs already queued are
+    /// still served before the workers exit.
+    pub fn shutdown(self) {
+        drop(self.tx);
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Collects one batch from the queue: the first job blocks indefinitely,
+/// companions are harvested until `max_batch` trajectories or the
+/// `max_wait` deadline — but the timed wait is skipped whenever no
+/// submission is in flight (see [`BatchStats::pending`]). Returns `None`
+/// when the queue closed with nothing pending.
+fn collect_batch(
+    rx: &Receiver<EmbedJob>,
+    policy: BatchPolicy,
+    stats: &BatchStats,
+) -> Option<Vec<EmbedJob>> {
+    let first = rx.recv().ok()?;
+    stats.pending.fetch_sub(1, Ordering::AcqRel);
+    let mut total = first.trajs.len();
+    let mut jobs = vec![first];
+    let deadline = Instant::now() + policy.max_wait;
+    while total < policy.max_batch {
+        match rx.try_recv() {
+            Ok(job) => {
+                stats.pending.fetch_sub(1, Ordering::AcqRel);
+                total += job.trajs.len();
+                jobs.push(job);
+            }
+            Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => {
+                if stats.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => {
+                        stats.pending.fetch_sub(1, Ordering::AcqRel);
+                        total += job.trajs.len();
+                        jobs.push(job);
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+    }
+    Some(jobs)
+}
+
+fn worker_loop(
+    engine: &Engine,
+    rx: &Mutex<Receiver<EmbedJob>>,
+    ctx_pool: &CtxPool,
+    policy: BatchPolicy,
+    stats: &BatchStats,
+) {
+    let mut ctx = ctx_pool.checkout();
+    loop {
+        // Hold the receiver lock across the whole collection window: a
+        // second idle worker grabbing stragglers would only shrink the
+        // fused batch (busy workers are already off running forwards).
+        let jobs = {
+            let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
+            collect_batch(&rx, policy, stats)
+        };
+        let Some(jobs) = jobs else { return };
+        let all: Vec<Trajectory> = jobs.iter().flat_map(|j| j.trajs.iter().cloned()).collect();
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.jobs.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats.trajs.fetch_add(all.len() as u64, Ordering::Relaxed);
+        match engine.embed_all_with(&mut ctx, &all) {
+            Ok(emb) => {
+                let d = emb.shape().last();
+                let mut row = 0usize;
+                for job in jobs {
+                    let rows: Vec<Vec<f32>> = (0..job.trajs.len())
+                        .map(|i| emb.data()[(row + i) * d..(row + i + 1) * d].to_vec())
+                        .collect();
+                    row += job.trajs.len();
+                    let _ = job.resp.send(Ok(rows));
+                }
+            }
+            Err(e) => {
+                // Jobs are validated at submission, so a batch failure is
+                // systemic; every waiter learns the same cause.
+                let msg = format!("batched embed failed: {e}");
+                for job in jobs {
+                    let _ = job.resp.send(Err(EngineError::InvalidInput(msg.clone())));
+                }
+            }
+        }
+    }
+}

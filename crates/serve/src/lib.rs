@@ -1,0 +1,62 @@
+//! # trajcl-serve
+//!
+//! A concurrent, micro-batching serving runtime over a
+//! [`trajcl_engine::Engine`] — the layer that turns the library into a
+//! server:
+//!
+//! * **dynamic micro-batcher** ([`batcher`]) — callers block on a bounded
+//!   MPSC queue; worker threads drain up to `max_batch` trajectories (or
+//!   wait at most `max_wait` for stragglers) and run ONE fused tape-free
+//!   forward per batch through per-worker [`trajcl_tensor::InferCtx`]s
+//!   checked out of a shared [`trajcl_tensor::CtxPool`], replacing the
+//!   engine backends' single serving mutex;
+//! * **mutable, snapshot-readable index** ([`trajcl_index::MutableIndex`])
+//!   — `upsert`/`remove` land in a brute-force-scanned write buffer next
+//!   to the sealed IVF lists, `compact()` re-trains centroids and swaps
+//!   the snapshot atomically, so readers never block on writers;
+//! * **LRU embedding cache** ([`cache`]) — keyed by trajectory content
+//!   hash and consulted before the batcher, so hot queries skip the model
+//!   entirely;
+//! * **wire protocol** ([`proto`]) — length-prefixed JSON frames over any
+//!   byte stream, driven by the `trajcl serve` CLI subcommand.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+//! use trajcl_engine::Engine;
+//! use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+//! use trajcl_serve::{ServeConfig, Server};
+//! use trajcl_tensor::{Shape, Tensor};
+//!
+//! // A tiny engine over 8 synthetic trajectories.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let cfg = TrajClConfig::test_default();
+//! let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+//! let grid = Grid::new(region, 100.0);
+//! let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+//! let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+//! let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+//! let db: Vec<Trajectory> = (0..8)
+//!     .map(|i| (0..6).map(|t| Point::new(t as f64 * 90.0, i as f64 * 120.0)).collect())
+//!     .collect();
+//! let engine = Engine::builder().trajcl(model, feat).database(db.clone()).build().unwrap();
+//!
+//! // Wrap it in the serving runtime and query concurrently.
+//! let server = Server::new(Arc::new(engine), ServeConfig::default()).unwrap();
+//! let hits = server.knn(&db[2], 3).unwrap();
+//! assert_eq!(hits[0].0, 2); // the query is its own nearest neighbour
+//! server.upsert(100, &db[5]).unwrap();
+//! server.remove(0);
+//! assert_eq!(server.compact(), 8); // 8 live vectors re-sealed
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use cache::{content_hash, LruCache};
+pub use server::{ServeConfig, Server, ServerStats};

@@ -1,0 +1,247 @@
+//! The wire protocol of `trajcl serve`: length-prefixed JSON frames over
+//! any byte stream (stdin/stdout in the CLI).
+//!
+//! A frame is the payload's byte length in ASCII decimal, a newline, the
+//! JSON payload, and a closing newline:
+//!
+//! ```text
+//! 43
+//! {"op":"knn","traj":[[0,0],[100,50]],"k":3}
+//! ```
+//!
+//! Requests are flat JSON objects with an `"op"` discriminator; responses
+//! are flat objects with `"ok"` plus op-specific fields, `distance` keys
+//! matching the CLI's existing `--json` output. An optional numeric
+//! `"req"` field is echoed back verbatim so pipelined callers can match
+//! responses to requests regardless of completion order.
+
+use std::io::{BufRead, Write};
+
+use trajcl_geo::{Point, Trajectory};
+
+use crate::json::{escape, parse, Json};
+use crate::server::Server;
+
+/// Largest accepted frame payload (a ~100k-point trajectory is ~2 MB of
+/// JSON); bigger headers are rejected before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Reads one frame's payload; `Ok(None)` on clean end-of-stream.
+pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        if !header.trim().is_empty() {
+            break;
+        }
+        // Blank lines between frames are tolerated.
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad frame header {:?} (max {MAX_FRAME_LEN})", header.trim()),
+            )
+        })?;
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    let payload = String::from_utf8(payload)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 frame"))?;
+    // Consume the trailing newline when present (ragged last frame is ok).
+    let mut nl = [0u8; 1];
+    match reader.read_exact(&mut nl) {
+        Ok(()) if nl[0] != b'\n' => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame payload not followed by newline",
+            ))
+        }
+        _ => {}
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    writeln!(writer, "{}", payload.len())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Decodes `[[x,y],...]` into a trajectory.
+fn parse_traj(value: &Json) -> Result<Trajectory, String> {
+    let pts = value
+        .as_arr()
+        .ok_or("\"traj\" must be an array of [x,y] pairs")?;
+    let mut out = Vec::with_capacity(pts.len());
+    for (i, p) in pts.iter().enumerate() {
+        let pair = p
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| format!("point {i} must be a two-element [x,y] array"))?;
+        let x = pair[0]
+            .as_f64()
+            .ok_or_else(|| format!("point {i}: x is not a number"))?;
+        let y = pair[1]
+            .as_f64()
+            .ok_or_else(|| format!("point {i}: y is not a number"))?;
+        out.push(Point::new(x, y));
+    }
+    Ok(Trajectory::new(out))
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+/// The `"req":N,` echo prefix (empty when the request carried no `req`).
+fn req_echo(obj: &Json) -> String {
+    match obj.get("req").and_then(Json::as_u64) {
+        Some(n) => format!("\"req\":{n},"),
+        None => String::new(),
+    }
+}
+
+fn err_response(echo: &str, msg: &str) -> String {
+    format!("{{{echo}\"ok\":false,\"error\":\"{}\"}}", escape(msg))
+}
+
+/// Executes one request payload against `server`, returning the response
+/// payload (errors are in-band: `{"ok":false,"error":...}`).
+pub fn handle(server: &Server, payload: &str) -> String {
+    let obj = match parse(payload) {
+        Ok(v) => v,
+        Err(e) => return err_response("", &format!("malformed JSON: {e}")),
+    };
+    let echo = req_echo(&obj);
+    match dispatch(server, &obj) {
+        Ok(body) => format!("{{{echo}\"ok\":true,{body}}}"),
+        Err(msg) => err_response(&echo, &msg),
+    }
+}
+
+fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
+    let op = field(obj, "op")?
+        .as_str()
+        .ok_or("\"op\" must be a string")?;
+    match op {
+        "embed" => {
+            let traj = parse_traj(field(obj, "traj")?)?;
+            let e = server.embed(&traj).map_err(|e| e.to_string())?;
+            let vals: Vec<String> = e.iter().map(|v| format!("{v:.6}")).collect();
+            Ok(format!("\"embedding\":[{}]", vals.join(",")))
+        }
+        "knn" => {
+            let traj = parse_traj(field(obj, "traj")?)?;
+            let k = field(obj, "k")?
+                .as_u64()
+                .ok_or("\"k\" must be a non-negative integer")?;
+            let hits = server.knn(&traj, k as usize).map_err(|e| e.to_string())?;
+            let rows: Vec<String> = hits
+                .iter()
+                .enumerate()
+                .map(|(rank, (id, dist))| {
+                    format!(
+                        "{{\"rank\":{},\"index\":{id},\"distance\":{dist:.6}}}",
+                        rank + 1
+                    )
+                })
+                .collect();
+            Ok(format!("\"hits\":[{}]", rows.join(",")))
+        }
+        "distance" => {
+            let a = parse_traj(field(obj, "a")?)?;
+            let b = parse_traj(field(obj, "b")?)?;
+            let d = server.distance(&a, &b).map_err(|e| e.to_string())?;
+            Ok(format!("\"distance\":{d:.6}"))
+        }
+        "upsert" => {
+            let id = field(obj, "id")?
+                .as_u64()
+                .ok_or("\"id\" must be a non-negative integer")?;
+            let traj = parse_traj(field(obj, "traj")?)?;
+            let replaced = server.upsert(id, &traj).map_err(|e| e.to_string())?;
+            Ok(format!("\"replaced\":{replaced}"))
+        }
+        "remove" => {
+            let id = field(obj, "id")?
+                .as_u64()
+                .ok_or("\"id\" must be a non-negative integer")?;
+            Ok(format!("\"removed\":{}", server.remove(id)))
+        }
+        "compact" => Ok(format!("\"sealed\":{}", server.compact())),
+        "stats" => {
+            let s = server.stats();
+            Ok(format!(
+                "\"size\":{},\"buffer\":{},\"generation\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                s.index_len,
+                s.buffer_len,
+                s.generation,
+                s.requests,
+                s.batches,
+                s.batched_jobs,
+                s.cache_hits,
+                s.cache_misses,
+            ))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"stats"}"#).unwrap();
+        write_frame(&mut buf, r#"{"op":"compact"}"#).unwrap();
+        let mut reader = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut reader).unwrap().unwrap(),
+            r#"{"op":"stats"}"#
+        );
+        assert_eq!(
+            read_frame(&mut reader).unwrap().unwrap(),
+            r#"{"op":"compact"}"#
+        );
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_reader_rejects_garbage_headers() {
+        let mut reader = Cursor::new(b"banana\n{}\n".to_vec());
+        assert!(read_frame(&mut reader).is_err());
+        // An absurd length must be rejected BEFORE any allocation.
+        let mut reader = Cursor::new(b"9999999999999\n{}\n".to_vec());
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn frame_reader_tolerates_blank_lines() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"\n\n");
+        write_frame(&mut buf, "{}").unwrap();
+        let mut reader = Cursor::new(buf);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "{}");
+    }
+
+    #[test]
+    fn parse_traj_validates_shape() {
+        assert!(parse_traj(&parse("[[1,2],[3,4]]").unwrap()).is_ok());
+        assert!(parse_traj(&parse("[[1,2],[3]]").unwrap()).is_err());
+        assert!(parse_traj(&parse("[1,2]").unwrap()).is_err());
+        assert!(parse_traj(&parse("\"x\"").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! [`Server`]: the concurrent serving runtime over an [`Engine`].
+//!
+//! Request flow for an embedding-backed query:
+//!
+//! ```text
+//! caller ──► LRU cache ──miss──► micro-batcher ──► fused InferCtx forward
+//!    │           │ hit                                   (worker pool)
+//!    │           ▼
+//!    └──► MutableIndex snapshot ──► (id, distance) hits
+//! ```
+//!
+//! Everything is `&self`: the server is shared across any number of
+//! threads (the CLI's stdin dispatcher, the load generator's clients, the
+//! concurrency tests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use trajcl_engine::{Engine, EngineError};
+use trajcl_geo::{validate_batch, Trajectory};
+use trajcl_index::{Metric, MutableIndex};
+
+use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
+use crate::cache::{content_hash, LruCache};
+
+/// Tuning knobs for [`Server::new`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Batcher worker threads (each owns an `InferCtx` from the pool).
+    pub workers: usize,
+    /// Maximum trajectories fused into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker holds a non-full batch open for stragglers.
+    pub max_wait: Duration,
+    /// Bounded request-queue capacity (submitters block when full).
+    pub queue_cap: usize,
+    /// LRU embedding-cache entries; `0` disables the cache.
+    pub cache_cap: usize,
+    /// IVF cells for the server's mutable index; `None` inherits the
+    /// engine's configuration. Setting it here (instead of building an
+    /// engine-side index the server would never consult) avoids training
+    /// k-means twice over the same table.
+    pub ivf_nlist: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            max_batch: 128,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 1024,
+            cache_cap: 4096,
+            ivf_nlist: None,
+        }
+    }
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Query and mutation requests answered (embed/knn/distance/upsert/
+    /// remove/compact; `stats` reads themselves are not counted).
+    pub requests: u64,
+    /// Fused forward passes run by the batcher.
+    pub batches: u64,
+    /// Embed jobs served through the batcher.
+    pub batched_jobs: u64,
+    /// Trajectories embedded through the batcher.
+    pub batched_trajs: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+    /// Live vectors in the index.
+    pub index_len: usize,
+    /// Vectors in the index write buffer (not yet compacted).
+    pub buffer_len: usize,
+    /// Index snapshot generation.
+    pub generation: u64,
+}
+
+/// The concurrent micro-batching query server (see module docs).
+pub struct Server {
+    engine: Arc<Engine>,
+    index: MutableIndex,
+    batcher: Mutex<Option<Batcher>>,
+    /// `None` after shutdown; dropped before joining workers so the queue
+    /// actually closes (the batcher's own sender is not the last one).
+    tx: Mutex<Option<mpsc::SyncSender<EmbedJob>>>,
+    cache: Option<Mutex<LruCache>>,
+    nprobe: usize,
+    batch_stats: Arc<BatchStats>,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Server {
+    /// Wraps `engine` in a serving runtime, seeding the mutable index from
+    /// the engine's database embeddings (ids are database positions).
+    ///
+    /// # Errors
+    /// [`EngineError::NoEmbedding`] for heuristic (no-embedding) backends —
+    /// serve them through [`Engine::knn`] directly.
+    pub fn new(engine: Arc<Engine>, cfg: ServeConfig) -> Result<Server, EngineError> {
+        if !engine.backend().supports_embedding() {
+            return Err(EngineError::NoEmbedding {
+                backend: engine.backend().name().to_string(),
+            });
+        }
+        let dim = engine.backend().dim();
+        let nlist = cfg.ivf_nlist.or(engine.nlist());
+        let index = match engine.embeddings() {
+            Some(table) => MutableIndex::from_table(
+                (0..table.shape().rows() as u64).collect(),
+                table,
+                Metric::L1,
+                nlist,
+                engine.seed(),
+            ),
+            None => MutableIndex::new(dim, Metric::L1, nlist, engine.seed()),
+        };
+        let batch_stats = Arc::new(BatchStats::default());
+        let batcher = Batcher::spawn(
+            Arc::clone(&engine),
+            cfg.workers,
+            cfg.queue_cap,
+            BatchPolicy {
+                max_batch: cfg.max_batch.max(1),
+                max_wait: cfg.max_wait,
+            },
+            Arc::clone(&batch_stats),
+        );
+        let tx = batcher.sender();
+        let nprobe = engine.nprobe();
+        Ok(Server {
+            engine,
+            index,
+            batcher: Mutex::new(Some(batcher)),
+            tx: Mutex::new(Some(tx)),
+            cache: (cfg.cache_cap > 0).then(|| Mutex::new(LruCache::new(cfg.cache_cap))),
+            nprobe,
+            batch_stats,
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Embeds trajectories through the batcher, no cache consulted.
+    fn embed_uncached(&self, trajs: Vec<Trajectory>) -> Result<Vec<Vec<f32>>, EngineError> {
+        validate_batch(&trajs)?;
+        let (resp, rx) = mpsc::sync_channel(1);
+        let tx = {
+            let guard = self.tx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.clone()
+        };
+        let tx = tx.ok_or_else(|| EngineError::InvalidInput("server is shutting down".into()))?;
+        // Advertise the in-flight submission BEFORE the (possibly blocking)
+        // send, so a collecting worker knows a straggler is coming.
+        self.batch_stats.pending.fetch_add(1, Ordering::AcqRel);
+        tx.send(EmbedJob { trajs, resp }).map_err(|_| {
+            self.batch_stats.pending.fetch_sub(1, Ordering::AcqRel);
+            EngineError::InvalidInput("server is shutting down".into())
+        })?;
+        rx.recv()
+            .map_err(|_| EngineError::InvalidInput("serve worker dropped the response".into()))?
+    }
+
+    /// Embeds one trajectory: LRU cache first, micro-batcher on a miss.
+    pub fn embed(&self, traj: &Trajectory) -> Result<Vec<f32>, EngineError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.embed_inner(traj)
+    }
+
+    fn embed_inner(&self, traj: &Trajectory) -> Result<Vec<f32>, EngineError> {
+        let mut rows = self.embed_many(std::slice::from_ref(traj))?;
+        Ok(rows.pop().expect("one row per trajectory"))
+    }
+
+    /// Embeds several trajectories: the cache is consulted per trajectory
+    /// and ALL misses go to the batcher as one job (one queue round-trip,
+    /// one straggler window — `distance` pays this once, not twice).
+    fn embed_many(&self, trajs: &[Trajectory]) -> Result<Vec<Vec<f32>>, EngineError> {
+        let keys: Vec<u64> = trajs.iter().map(content_hash).collect();
+        let mut rows: Vec<Option<Vec<f32>>> = vec![None; trajs.len()];
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().unwrap_or_else(|p| p.into_inner());
+            for ((row, traj), &key) in rows.iter_mut().zip(trajs).zip(&keys) {
+                if let Some(hit) = cache.get(key, traj) {
+                    *row = Some(hit.to_vec());
+                }
+            }
+        }
+        let missing: Vec<usize> = (0..trajs.len()).filter(|&i| rows[i].is_none()).collect();
+        self.cache_hits
+            .fetch_add((trajs.len() - missing.len()) as u64, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            let submit: Vec<Trajectory> = missing.iter().map(|&i| trajs[i].clone()).collect();
+            let fresh = self.embed_uncached(submit)?;
+            let mut cache = self
+                .cache
+                .as_ref()
+                .map(|c| c.lock().unwrap_or_else(|p| p.into_inner()));
+            for (&i, row) in missing.iter().zip(fresh) {
+                if let Some(cache) = cache.as_mut() {
+                    cache.put(keys[i], trajs[i].clone(), row.clone());
+                }
+                rows[i] = Some(row);
+            }
+        }
+        Ok(rows.into_iter().map(|r| r.expect("filled above")).collect())
+    }
+
+    /// k nearest indexed trajectories to `query`: `(id, distance)`
+    /// ascending, against one consistent index snapshot.
+    pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<(u64, f64)>, EngineError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let q = self.embed_inner(query)?;
+        Ok(self.index.search(&q, k, self.nprobe))
+    }
+
+    /// L1 distance between two trajectories in embedding space (both
+    /// trajectories share one cache pass and one batcher submission).
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut rows = self.embed_many(&[a.clone(), b.clone()])?;
+        let eb = rows.pop().expect("two rows");
+        let ea = rows.pop().expect("two rows");
+        Ok(ea.iter().zip(&eb).map(|(x, y)| (x - y).abs() as f64).sum())
+    }
+
+    /// Inserts or replaces trajectory `id` in the served index (embedding
+    /// it first). Returns `true` when the id already existed.
+    pub fn upsert(&self, id: u64, traj: &Trajectory) -> Result<bool, EngineError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let v = self.embed_inner(traj)?;
+        Ok(self.index.upsert(id, v))
+    }
+
+    /// Removes `id` from the served index; `true` when it was present.
+    pub fn remove(&self, id: u64) -> bool {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.index.remove(id)
+    }
+
+    /// Re-trains the index (folds the write buffer and tombstones into a
+    /// fresh sealed part); returns the number of live vectors sealed.
+    pub fn compact(&self) -> usize {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.index.compact()
+    }
+
+    /// The served mutable index (snapshots, diagnostics).
+    pub fn index(&self) -> &MutableIndex {
+        &self.index
+    }
+
+    /// A point-in-time copy of the server's counters (all three index
+    /// fields read from ONE snapshot, so they are mutually consistent
+    /// even while writers churn).
+    pub fn stats(&self) -> ServerStats {
+        let snap = self.index.snapshot();
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batch_stats.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batch_stats.jobs.load(Ordering::Relaxed),
+            batched_trajs: self.batch_stats.trajs.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            index_len: snap.len(),
+            buffer_len: snap.buffer_len(),
+            generation: snap.generation(),
+        }
+    }
+
+    /// Stops the batcher workers (served requests drain first). Called by
+    /// `Drop`; explicit for tests and the CLI's clean-exit path.
+    pub fn shutdown(&self) {
+        // Drop our sender first: workers exit once every sender is gone.
+        drop(self.tx.lock().unwrap_or_else(|p| p.into_inner()).take());
+        let batcher = {
+            let mut guard = self.batcher.lock().unwrap_or_else(|p| p.into_inner());
+            guard.take()
+        };
+        if let Some(batcher) = batcher {
+            batcher.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,327 @@
+//! Concurrency suite for `trajcl-serve`: mixed mutation/query traffic
+//! against a brute-force oracle, compaction-preserves-kNN properties, and
+//! barrier-based snapshot-consistency (no torn reads).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_index::{Metric, MutableIndex};
+use trajcl_serve::{ServeConfig, Server};
+use trajcl_tensor::{Shape, Tensor};
+
+/// A tiny deterministic TrajCL engine (no pre-loaded database).
+fn tiny_engine() -> Engine {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = TrajClConfig::test_default();
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+    let grid = Grid::new(region, 100.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    Engine::builder()
+        .trajcl(model, feat)
+        .build()
+        .expect("engine")
+}
+
+/// A well-separated synthetic trajectory; injective over the id ranges
+/// the tests use (`t * 1000 + i`, `i < 1000 / 9.7`), so no two ids share
+/// geometry (ties would make kNN rank comparisons ambiguous).
+fn traj_for(id: u64) -> Trajectory {
+    let y0 = 10.0 + (id % 1000) as f64 * 9.7 + (id / 1000) as f64 * 211.0;
+    (0..6)
+        .map(|t| Point::new(40.0 + t as f64 * 120.0, y0 + t as f64 * 3.0))
+        .collect()
+}
+
+fn l1(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum()
+}
+
+#[test]
+fn mixed_ops_from_many_threads_match_brute_force_oracle() {
+    let server =
+        Arc::new(Server::new(Arc::new(tiny_engine()), ServeConfig::default()).expect("server"));
+    const THREADS: u64 = 4;
+    const OPS: u64 = 30;
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Each thread owns the id range [t*1000, t*1000+OPS): the
+                // final index state is independent of interleaving.
+                for i in 0..OPS {
+                    let id = t * 1000 + i;
+                    server.upsert(id, &traj_for(id)).expect("upsert");
+                    if i % 3 == 0 {
+                        let hits = server.knn(&traj_for(id), 5).expect("knn");
+                        assert!(hits.len() <= 5);
+                        assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1), "sorted hits");
+                    }
+                    if i % 5 == 4 {
+                        assert!(server.remove(id - 2));
+                    }
+                    if t == 0 && i % 11 == 10 {
+                        server.compact();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    // Brute-force oracle over the expected final live set, using the same
+    // (cached) embeddings the server serves.
+    let mut oracle: HashMap<u64, Vec<f32>> = HashMap::new();
+    for t in 0..THREADS {
+        for i in 0..OPS {
+            let id = t * 1000 + i;
+            oracle.insert(id, server.embed(&traj_for(id)).expect("embed"));
+        }
+        for i in 0..OPS {
+            if i % 5 == 4 {
+                oracle.remove(&(t * 1000 + i - 2));
+            }
+        }
+    }
+    assert_eq!(server.stats().index_len, oracle.len());
+
+    for qid in [0u64, 7, 1003, 2019, 3025] {
+        let q = server.embed(&traj_for(qid)).expect("embed");
+        let mut want: Vec<(u64, f64)> = oracle.iter().map(|(id, v)| (*id, l1(&q, v))).collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let got = server.knn(&traj_for(qid), 5).expect("knn");
+        let got_ids: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+        let want_ids: Vec<u64> = want.iter().take(5).map(|(id, _)| *id).collect();
+        assert_eq!(got_ids, want_ids, "query {qid} diverged from oracle");
+    }
+
+    // And the same ground truth must survive a full compaction.
+    server.compact();
+    for qid in [0u64, 1003, 3025] {
+        let q = server.embed(&traj_for(qid)).expect("embed");
+        let mut want: Vec<(u64, f64)> = oracle.iter().map(|(id, v)| (*id, l1(&q, v))).collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let got: Vec<u64> = server
+            .knn(&traj_for(qid), 5)
+            .expect("knn")
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        let want_ids: Vec<u64> = want.iter().take(5).map(|(id, _)| *id).collect();
+        assert_eq!(got, want_ids, "post-compact query {qid} diverged");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_embeds_fuse_into_batches_and_stay_correct() {
+    let engine = Arc::new(tiny_engine());
+    let server = Arc::new(
+        Server::new(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 2,
+                max_batch: 64,
+                max_wait: std::time::Duration::from_millis(20),
+                queue_cap: 256,
+                cache_cap: 0, // force every request through the batcher
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server"),
+    );
+    const THREADS: usize = 8;
+    const PER: usize = 6;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (0..PER)
+                    .map(|i| {
+                        let traj = traj_for((t * PER + i) as u64);
+                        (traj.clone(), server.embed(&traj).expect("embed"))
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut results = Vec::new();
+    for h in handles {
+        results.extend(h.join().expect("client thread"));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.batched_trajs as usize, THREADS * PER);
+    assert!(
+        stats.batches < (THREADS * PER) as u64,
+        "no fusion happened: {} batches for {} jobs",
+        stats.batches,
+        stats.batched_jobs
+    );
+    // Batched results must match a direct single-trajectory forward.
+    for (traj, served) in results {
+        let direct = engine
+            .embed_all(std::slice::from_ref(&traj))
+            .expect("embed");
+        let diff = l1(&served, direct.row(0));
+        assert!(diff < 1e-4, "batched embedding diverged by {diff}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_readers_never_observe_torn_state() {
+    // Writer churns upserts/removes/compactions; readers grab snapshots
+    // behind a start barrier and assert (a) internal consistency, (b)
+    // immutability of a held snapshot, (c) monotonic generations.
+    let index = Arc::new(MutableIndex::new(4, Metric::L1, Some(3), 7));
+    for id in 0..16u64 {
+        index.upsert(id, vec![id as f32, 0.0, 0.0, 0.0]);
+    }
+    index.compact();
+    const READERS: usize = 4;
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let index = Arc::clone(&index);
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for round in 0..60u64 {
+                for id in 0..8u64 {
+                    index.upsert(
+                        1000 + round * 10 + id,
+                        vec![round as f32, id as f32, 0.0, 0.0],
+                    );
+                }
+                for id in 0..8u64 {
+                    index.remove(1000 + round * 10 + id);
+                }
+                if round % 7 == 0 {
+                    index.compact();
+                }
+            }
+            stop.store(true, Ordering::Release);
+        })
+    };
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let index = Arc::clone(&index);
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut last_gen = 0u64;
+                let query = [3.0f32, 0.0, 0.0, 0.0];
+                while !stop.load(Ordering::Acquire) {
+                    let snap = index.snapshot();
+                    // (a) internal consistency: the live-id set is duplicate
+                    // free, matches len(), and a full search returns exactly
+                    // min(k, len) hits drawn from it.
+                    let ids = snap.live_ids();
+                    assert_eq!(ids.len(), snap.len(), "len/live_ids torn");
+                    assert!(ids.windows(2).all(|w| w[0] < w[1]), "duplicate live id");
+                    let hits = snap.search(&query, ids.len() + 4, usize::MAX);
+                    assert_eq!(hits.len(), ids.len(), "search size torn");
+                    for (id, _) in &hits {
+                        assert!(ids.binary_search(id).is_ok(), "hit id {id} not live");
+                    }
+                    // (b) a held snapshot is immutable under churn.
+                    let again = snap.search(&query, ids.len() + 4, usize::MAX);
+                    assert_eq!(hits, again, "held snapshot changed");
+                    assert_eq!(snap.live_ids(), ids, "held snapshot changed ids");
+                    // (c) generations only move forward.
+                    assert!(snap.generation() >= last_gen, "generation went backwards");
+                    last_gen = snap.generation();
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+    // The sealed baseline (0..16) survived the churn untouched.
+    let ids = index.snapshot().live_ids();
+    assert_eq!(ids, (0..16u64).collect::<Vec<_>>());
+}
+
+/// Random vectors as flat f32 rows.
+fn random_rows(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // `compact()` must not change full-probe kNN results (rank tolerance
+    // zero at full probe: both sides are exact over the same live set),
+    // and partial-probe recall against the compacted ground truth stays
+    // high.
+    #[test]
+    fn compaction_preserves_knn(
+        n in 20usize..80,
+        k in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let d = 6;
+        let rows = random_rows(n, d, seed);
+        let index = MutableIndex::new(d, Metric::L1, Some(5), seed);
+        for (i, v) in rows.iter().enumerate() {
+            index.upsert(i as u64, v.clone());
+        }
+        // Remove a deterministic fifth to exercise tombstone folding.
+        for i in (0..n).step_by(5) {
+            index.remove(i as u64);
+        }
+        let queries: Vec<Vec<f32>> = random_rows(4, d, seed ^ 0xabcd);
+        let live = index.snapshot().live_ids().len();
+        let before: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| index.search(q, k, usize::MAX).into_iter().map(|(id, _)| id).collect())
+            .collect();
+        index.compact();
+        for (q, want) in queries.iter().zip(&before) {
+            let after: Vec<u64> =
+                index.search(q, k, usize::MAX).into_iter().map(|(id, _)| id).collect();
+            prop_assert_eq!(&after, want, "full-probe kNN changed across compact()");
+            // Partial probe (3 of 5 cells): every hit it returns must rank
+            // within 3k of the true ordering — the IVF approximation may
+            // shuffle the tail but must not surface far-away vectors.
+            let truth: Vec<u64> = index
+                .search(q, live, usize::MAX)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            for id in index.search(q, k, 3).into_iter().map(|(id, _)| id) {
+                let rank = truth.iter().position(|&t| t == id).unwrap();
+                prop_assert!(
+                    rank < 3 * k,
+                    "nprobe=3 returned id {} at true rank {} (k={})",
+                    id,
+                    rank,
+                    k
+                );
+            }
+        }
+    }
+}

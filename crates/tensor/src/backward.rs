@@ -131,7 +131,11 @@ impl Tape {
                 }
                 self.acc(grads, *x, dx);
             }
-            Op::CrossEntropy { logits, targets, probs } => {
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
                 let gs = g.data()[0];
                 let (b, c) = (probs.shape()[0], probs.shape()[1]);
                 let scale = gs / b as f32;
@@ -141,7 +145,13 @@ impl Tape {
                 }
                 self.acc(grads, *logits, dl);
             }
-            Op::LayerNorm { x, gamma, beta, mean, rstd } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                mean,
+                rstd,
+            } => {
                 let xs = val(*x).shape();
                 let d = xs.last();
                 let rows = xs.rows();
@@ -207,15 +217,19 @@ impl Tape {
                 self.acc(grads, *x, dx);
             }
             Op::Abs(x) => {
-                let dx = g.zip_map(val(*x), |gv, xv| gv * xv.signum() * (xv != 0.0) as u8 as f32);
+                let dx = g.zip_map(val(*x), |gv, xv| {
+                    gv * xv.signum() * (xv != 0.0) as u8 as f32
+                });
                 self.acc(grads, *x, dx);
             }
             Op::Dropout { x, mask } => {
                 self.acc(grads, *x, g.zip_map(mask, |gv, m| gv * m));
             }
             Op::Concat { parts } => {
-                let widths: Vec<usize> =
-                    parts.iter().map(|&p| self.values[p.0].shape().last()).collect();
+                let widths: Vec<usize> = parts
+                    .iter()
+                    .map(|&p| self.values[p.0].shape().last())
+                    .collect();
                 let total: usize = widths.iter().sum();
                 let rows = self.values[i].shape().rows();
                 let mut off = 0;
@@ -362,7 +376,13 @@ impl Tape {
                     self.acc(grads, p, dp);
                 }
             }
-            Op::Conv2d { x, w, bias, stride, pad } => {
+            Op::Conv2d {
+                x,
+                w,
+                bias,
+                stride,
+                pad,
+            } => {
                 self.conv2d_backward(i, g, *x, *w, *bias, *stride, *pad, grads);
             }
             Op::MaxPool2d { x, argmax } => {

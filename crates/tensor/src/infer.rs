@@ -143,7 +143,8 @@ impl InferCtx {
         let da = mat_dims(a.shape(), ta);
         let db = mat_dims(b.shape(), tb);
         assert_eq!(
-            da.cols, db.rows,
+            da.cols,
+            db.rows,
             "matmul inner dims mismatch: {} x {}",
             a.shape(),
             b.shape()
@@ -315,7 +316,11 @@ impl InferCtx {
     ) -> Tensor {
         let (bh, l, dh) = attn_dims(q, k, lens);
         assert_eq!(v.shape(), q.shape(), "fused_attention_bias v shape");
-        assert_eq!(a.shape(), Shape::d3(bh, l, l), "fused_attention_bias a shape");
+        assert_eq!(
+            a.shape(),
+            Shape::d3(bh, l, l),
+            "fused_attention_bias a shape"
+        );
         let heads = bh / lens.len();
         let scale = 1.0 / (dh as f32).sqrt();
         let mut out = self.alloc(q.shape());
@@ -387,8 +392,7 @@ impl InferCtx {
         let od = out.data_mut();
         for i in 0..rows {
             od[i * total..i * total + wa].copy_from_slice(&a.data()[i * wa..(i + 1) * wa]);
-            od[i * total + wa..(i + 1) * total]
-                .copy_from_slice(&b.data()[i * wb..(i + 1) * wb]);
+            od[i * total + wa..(i + 1) * total].copy_from_slice(&b.data()[i * wb..(i + 1) * wb]);
         }
         out
     }
@@ -438,7 +442,11 @@ impl InferCtx {
     /// `dst += alpha · src` (shapes must match) — the DualMSM fusion
     /// `A_t + γ·A_s` without materialising the scaled copy.
     pub fn add_scaled_inplace(dst: &mut Tensor, src: &Tensor, alpha: f32) {
-        assert_eq!(dst.shape(), src.shape(), "add_scaled_inplace shape mismatch");
+        assert_eq!(
+            dst.shape(),
+            src.shape(),
+            "add_scaled_inplace shape mismatch"
+        );
         for (x, &y) in dst.data_mut().iter_mut().zip(src.data()) {
             *x += alpha * y;
         }
@@ -461,7 +469,11 @@ impl InferCtx {
     pub fn add_pe_inplace(x: &mut Tensor, pe: &Tensor) {
         let xs = x.shape();
         assert_eq!(xs.rank(), 3, "add_pe_inplace expects (B, L, D)");
-        assert_eq!(pe.shape(), Shape::d2(xs[1], xs[2]), "PE table shape mismatch");
+        assert_eq!(
+            pe.shape(),
+            Shape::d2(xs[1], xs[2]),
+            "PE table shape mismatch"
+        );
         let pd = pe.data();
         for batch in x.data_mut().chunks_mut(pd.len()) {
             for (o, &p) in batch.iter_mut().zip(pd) {
@@ -571,6 +583,85 @@ fn scores_into(q_row: &[f32], kt: &[f32], len: usize, scale: f32, out: &mut [f32
     }
 }
 
+/// A checkout pool of [`InferCtx`]s for concurrent serving.
+///
+/// An `InferCtx` is deliberately not `Sync` — its scratch arena is a
+/// single-threaded bag of buffers. A serving runtime with many worker
+/// threads wants one warm context per *in-flight forward pass* without
+/// pinning contexts to threads (workers come and go; batches migrate).
+/// `CtxPool` is the seam: [`CtxPool::checkout`] hands out an exclusive
+/// [`PooledCtx`] guard (creating a fresh context only when the free list
+/// is empty) and the guard's `Drop` returns the context — with all its
+/// grown scratch buffers — to the free list for the next caller.
+///
+/// The pool itself is `Sync`; share it behind an `Arc`.
+#[derive(Default)]
+pub struct CtxPool {
+    free: std::sync::Mutex<Vec<InferCtx>>,
+}
+
+impl CtxPool {
+    /// An empty pool; contexts are created lazily on checkout.
+    pub fn new() -> CtxPool {
+        CtxPool::default()
+    }
+
+    /// A pool pre-warmed with `n` fresh contexts (their arenas still grow
+    /// on first use; pre-warming only avoids the checkout-time creation).
+    pub fn with_contexts(n: usize) -> CtxPool {
+        CtxPool {
+            free: std::sync::Mutex::new((0..n).map(|_| InferCtx::new()).collect()),
+        }
+    }
+
+    /// Exclusive use of one context until the guard drops.
+    pub fn checkout(&self) -> PooledCtx<'_> {
+        let ctx = {
+            let mut free = self.free.lock().unwrap_or_else(|p| p.into_inner());
+            free.pop()
+        };
+        PooledCtx {
+            pool: self,
+            ctx: Some(ctx.unwrap_or_default()),
+        }
+    }
+
+    /// Number of contexts currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+/// RAII guard over a checked-out [`InferCtx`]; derefs to the context and
+/// returns it to its [`CtxPool`] on drop.
+pub struct PooledCtx<'a> {
+    pool: &'a CtxPool,
+    ctx: Option<InferCtx>,
+}
+
+impl std::ops::Deref for PooledCtx<'_> {
+    type Target = InferCtx;
+
+    fn deref(&self) -> &InferCtx {
+        self.ctx.as_ref().expect("context present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledCtx<'_> {
+    fn deref_mut(&mut self) -> &mut InferCtx {
+        self.ctx.as_mut().expect("context present until drop")
+    }
+}
+
+impl Drop for PooledCtx<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            let mut free = self.pool.free.lock().unwrap_or_else(|p| p.into_inner());
+            free.push(ctx);
+        }
+    }
+}
+
 /// Tiled 2-D multiply `out = a·b (+ bias)`: rows of `a` are processed in
 /// blocks of [`MR`] so each streamed row of `b` is reused from cache, with
 /// per-element accumulation order identical to the row-wise kernel.
@@ -668,7 +759,10 @@ mod tests {
             let a = randn(Shape::d2(rows, 8), rows as u64);
             let b = randn(Shape::d2(8, 6), 100 + rows as u64);
             let got = ctx.matmul(&a, &b, false, false);
-            assert!(got.approx_eq(&matmul(&a, &b, false, false), 1e-6), "rows={rows}");
+            assert!(
+                got.approx_eq(&matmul(&a, &b, false, false), 1e-6),
+                "rows={rows}"
+            );
         }
     }
 
@@ -736,7 +830,10 @@ mod tests {
         ctx.recycle(poison);
         for _ in 0..4 {
             let again = ctx.matmul(&a, &b, false, false);
-            assert!(again.approx_eq(&baseline, 0.0), "recycled buffer leaked state");
+            assert!(
+                again.approx_eq(&baseline, 0.0),
+                "recycled buffer leaked state"
+            );
             ctx.recycle(again);
         }
     }
@@ -753,5 +850,58 @@ mod tests {
         let want = tape.layer_norm(xv, gv, bv, 1e-5);
         InferCtx::layer_norm_inplace(&mut x, &gamma, &beta, 1e-5);
         assert!(x.approx_eq(tape.value(want), 0.0));
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_contexts() {
+        let pool = CtxPool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut ctx = pool.checkout();
+            let t = ctx.alloc(Shape::d2(4, 4));
+            ctx.recycle(t);
+        }
+        assert_eq!(pool.idle(), 1, "dropped guard must return its context");
+        let a = pool.checkout();
+        assert_eq!(pool.idle(), 0);
+        let b = pool.checkout();
+        drop(b);
+        drop(a);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn prewarmed_pool_starts_full() {
+        let pool = CtxPool::with_contexts(3);
+        assert_eq!(pool.idle(), 3);
+        let _a = pool.checkout();
+        let _b = pool.checkout();
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = std::sync::Arc::new(CtxPool::with_contexts(2));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..16 {
+                    let mut ctx = pool.checkout();
+                    let t = ctx.alloc(Shape::d2(8, 8));
+                    ctx.recycle(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every checked-out context came back.
+        assert!(pool.idle() >= 2 && pool.idle() <= 4 + 2);
     }
 }

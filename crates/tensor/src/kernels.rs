@@ -58,7 +58,11 @@ pub(crate) fn mat_dims(shape: Shape, transposed: bool) -> MatDims {
     if transposed {
         std::mem::swap(&mut rows, &mut cols);
     }
-    MatDims { batch: shape.numel() / (rows * cols), rows, cols }
+    MatDims {
+        batch: shape.numel() / (rows * cols),
+        rows,
+        cols,
+    }
 }
 
 /// General (optionally batched / transposed) matrix multiply:
@@ -76,7 +80,8 @@ pub fn matmul(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     let da = mat_dims(a.shape(), ta);
     let db = mat_dims(b.shape(), tb);
     assert_eq!(
-        da.cols, db.rows,
+        da.cols,
+        db.rows,
         "matmul inner dims mismatch: {}{} x {}{}",
         a.shape(),
         if ta { "^T" } else { "" },
@@ -425,8 +430,14 @@ mod tests {
 
     #[test]
     fn matmul_batched_matches_loop() {
-        let a = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), Shape::d3(2, 2, 3));
-        let b = Tensor::from_vec((0..12).map(|x| 1.0 - x as f32 * 0.25).collect(), Shape::d3(2, 3, 2));
+        let a = Tensor::from_vec(
+            (0..12).map(|x| x as f32 * 0.5).collect(),
+            Shape::d3(2, 2, 3),
+        );
+        let b = Tensor::from_vec(
+            (0..12).map(|x| 1.0 - x as f32 * 0.25).collect(),
+            Shape::d3(2, 3, 2),
+        );
         let c = matmul(&a, &b, false, false);
         assert_eq!(c.shape(), Shape::d3(2, 2, 2));
         for bi in 0..2 {
@@ -446,8 +457,7 @@ mod tests {
         for bi in 0..2 {
             for i in 0..2 {
                 for j in 0..2 {
-                    let expect: f32 =
-                        (0..3).map(|k| a.at3(bi, i, k) * w.at2(k, j)).sum();
+                    let expect: f32 = (0..3).map(|k| a.at3(bi, i, k) * w.at2(k, j)).sum();
                     assert!((c.at3(bi, i, j) - expect).abs() < 1e-5);
                 }
             }

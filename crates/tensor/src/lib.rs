@@ -45,7 +45,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use backward::Grads;
-pub use infer::InferCtx;
+pub use infer::{CtxPool, InferCtx, PooledCtx};
 pub use shape::Shape;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

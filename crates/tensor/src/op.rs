@@ -26,14 +26,29 @@ pub(crate) enum Op {
     /// `x + c` for a constant scalar (gradient is pass-through).
     AddScalar(Var),
     /// `a_eff · b_eff` with per-operand transpose flags; batched.
-    Matmul { a: Var, b: Var, ta: bool, tb: bool },
+    Matmul {
+        a: Var,
+        b: Var,
+        ta: bool,
+        tb: bool,
+    },
     /// Softmax over the last dimension.
     Softmax(Var),
     /// Mean cross-entropy of `logits` rows against integer `targets`;
     /// stores the softmax probabilities for the backward pass.
-    CrossEntropy { logits: Var, targets: Vec<usize>, probs: Tensor },
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
     /// Layer normalisation over the last dimension with affine params.
-    LayerNorm { x: Var, gamma: Var, beta: Var, mean: Tensor, rstd: Tensor },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        mean: Tensor,
+        rstd: Tensor,
+    },
     Relu(Var),
     /// tanh-approximated GELU.
     Gelu(Var),
@@ -42,39 +57,76 @@ pub(crate) enum Op {
     /// Elementwise absolute value.
     Abs(Var),
     /// Inverted-dropout; `mask` elements are `0` or `1/(1-p)`.
-    Dropout { x: Var, mask: Tensor },
+    Dropout {
+        x: Var,
+        mask: Tensor,
+    },
     /// Concatenation along the last dimension.
-    Concat { parts: Vec<Var> },
+    Concat {
+        parts: Vec<Var>,
+    },
     /// `(B, L, H*Dh) -> (B*H, L, Dh)` head split for multi-head attention.
-    SplitHeads { x: Var, heads: usize },
+    SplitHeads {
+        x: Var,
+        heads: usize,
+    },
     /// Inverse of [`Op::SplitHeads`].
-    MergeHeads { x: Var, heads: usize },
+    MergeHeads {
+        x: Var,
+        heads: usize,
+    },
     /// Shape reinterpretation; same element count.
     Reshape(Var),
     /// Mean over the time dimension of `(B, L, D)` restricted to the first
     /// `lens[b]` positions of each sequence.
-    MeanPoolMasked { x: Var, lens: Vec<usize> },
+    MeanPoolMasked {
+        x: Var,
+        lens: Vec<usize>,
+    },
     /// Row gather: `out[i, :] = table[ids[i], :]`.
-    Embedding { table: Var, ids: Vec<u32> },
+    Embedding {
+        table: Var,
+        ids: Vec<u32>,
+    },
     /// Per-row dot product of two `(R, D)` tensors -> `(R, 1)`.
     RowDot(Var, Var),
     /// Rows scaled to unit L2 norm; stores `1/||row||`.
-    L2NormalizeRows { x: Var, inv_norms: Tensor },
+    L2NormalizeRows {
+        x: Var,
+        inv_norms: Tensor,
+    },
     /// Mean of all elements -> scalar.
     MeanAll(Var),
     /// Sum of all elements -> scalar.
     SumAll(Var),
     /// `x * s` where `s` is a learnable 1-element tensor.
-    MulScalarVar { x: Var, s: Var },
+    MulScalarVar {
+        x: Var,
+        s: Var,
+    },
     /// `(B, L, D) -> (B, D)` slice at time `t`.
-    SelectTime { x: Var, t: usize },
+    SelectTime {
+        x: Var,
+        t: usize,
+    },
     /// `L × (B, D) -> (B, L, D)` stack along a new time dimension.
-    StackTime { parts: Vec<Var> },
+    StackTime {
+        parts: Vec<Var>,
+    },
     /// 2-D convolution, NCHW layout, square kernel from `w`'s shape.
-    Conv2d { x: Var, w: Var, bias: Var, stride: usize, pad: usize },
+    Conv2d {
+        x: Var,
+        w: Var,
+        bias: Var,
+        stride: usize,
+        pad: usize,
+    },
     /// Non-overlapping max pooling with square window `size`;
     /// `argmax[i]` is the flat input index chosen for output element `i`.
-    MaxPool2d { x: Var, argmax: Vec<u32> },
+    MaxPool2d {
+        x: Var,
+        argmax: Vec<u32>,
+    },
     /// Global average pooling `(B, C, H, W) -> (B, C)`.
     AvgPool2dGlobal(Var),
 }

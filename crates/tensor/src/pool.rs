@@ -76,7 +76,9 @@ pub struct ThreadPool {
 }
 
 fn run_task(task: Task) {
-    let result = catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.ctx, task.index) }));
+    let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+        (task.call)(task.ctx, task.index)
+    }));
     // SAFETY: the owning caller is blocked until `complete_one` below.
     let latch = unsafe { &*task.latch };
     if result.is_err() {
@@ -245,8 +247,7 @@ where
         let end = (start + chunk_len).min(len);
         // SAFETY: [start, end) ranges are disjoint across task indices and
         // in-bounds; `data` is exclusively borrowed for the whole region.
-        let chunk =
-            unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
         f(i, chunk);
     });
 }

@@ -20,22 +20,34 @@ pub struct Shape {
 impl Shape {
     /// Rank-1 shape `[a]`.
     pub fn d1(a: usize) -> Self {
-        Shape { dims: [a, 1, 1, 1], rank: 1 }
+        Shape {
+            dims: [a, 1, 1, 1],
+            rank: 1,
+        }
     }
 
     /// Rank-2 shape `[a, b]`.
     pub fn d2(a: usize, b: usize) -> Self {
-        Shape { dims: [a, b, 1, 1], rank: 2 }
+        Shape {
+            dims: [a, b, 1, 1],
+            rank: 2,
+        }
     }
 
     /// Rank-3 shape `[a, b, c]`.
     pub fn d3(a: usize, b: usize, c: usize) -> Self {
-        Shape { dims: [a, b, c, 1], rank: 3 }
+        Shape {
+            dims: [a, b, c, 1],
+            rank: 3,
+        }
     }
 
     /// Rank-4 shape `[a, b, c, d]`.
     pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
-        Shape { dims: [a, b, c, d], rank: 4 }
+        Shape {
+            dims: [a, b, c, d],
+            rank: 4,
+        }
     }
 
     /// Builds a shape from a slice of dimension sizes.
@@ -50,7 +62,10 @@ impl Shape {
         );
         let mut out = [1usize; MAX_RANK];
         out[..dims.len()].copy_from_slice(dims);
-        Shape { dims: out, rank: dims.len() as u8 }
+        Shape {
+            dims: out,
+            rank: dims.len() as u8,
+        }
     }
 
     /// Number of dimensions.

@@ -64,7 +64,10 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires: bool) -> Var {
-        debug_assert!(value.all_finite() || !cfg!(debug_assertions), "non-finite forward value");
+        debug_assert!(
+            value.all_finite() || !cfg!(debug_assertions),
+            "non-finite forward value"
+        );
         self.values.push(value);
         self.ops.push(op);
         self.requires.push(requires);
@@ -224,7 +227,10 @@ impl Tape {
     /// Inverted dropout: keeps elements with probability `1-p` and scales
     /// them by `1/(1-p)`. Identity when `training` is false or `p == 0`.
     pub fn dropout(&mut self, x: Var, p: f32, training: bool, rng: &mut impl Rng) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         if !training || p == 0.0 {
             // Record a no-op pass-through so graph structure is stable.
             let out = self.value(x).clone();
@@ -266,8 +272,7 @@ impl Tape {
             for i in 0..rows {
                 let row = &xv[i * d..(i + 1) * d];
                 let mu: f32 = row.iter().sum::<f32>() / d as f32;
-                let var: f32 =
-                    row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
                 let rs = 1.0 / (var + eps).sqrt();
                 mean.data_mut()[i] = mu;
                 rstd.data_mut()[i] = rs;
@@ -278,7 +283,17 @@ impl Tape {
             }
         }
         let r = self.req(x) || self.req(gamma) || self.req(beta);
-        self.push(out, Op::LayerNorm { x, gamma, beta, mean, rstd }, r)
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                mean,
+                rstd,
+            },
+            r,
+        )
     }
 
     /// Scales each row of a rank-2 tensor to unit L2 norm.
@@ -330,7 +345,13 @@ impl Tape {
             }
         }
         let r = parts.iter().any(|&p| self.req(p));
-        self.push(out, Op::Concat { parts: parts.to_vec() }, r)
+        self.push(
+            out,
+            Op::Concat {
+                parts: parts.to_vec(),
+            },
+            r,
+        )
     }
 
     /// `(B, L, H*Dh) -> (B*H, L, Dh)` for multi-head attention.
@@ -398,7 +419,13 @@ impl Tape {
             }
         }
         let r = parts.iter().any(|&p| self.req(p));
-        self.push(out, Op::StackTime { parts: parts.to_vec() }, r)
+        self.push(
+            out,
+            Op::StackTime {
+                parts: parts.to_vec(),
+            },
+            r,
+        )
     }
 
     // ----- pooling / gathering ----------------------------------------------
@@ -423,7 +450,14 @@ impl Tape {
             }
         }
         let r = self.req(x);
-        self.push(out, Op::MeanPoolMasked { x, lens: lens.to_vec() }, r)
+        self.push(
+            out,
+            Op::MeanPoolMasked {
+                x,
+                lens: lens.to_vec(),
+            },
+            r,
+        )
     }
 
     /// Row gather from an embedding `table` of shape `(V, D)`:
@@ -439,7 +473,14 @@ impl Tape {
             out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src);
         }
         let r = self.req(table);
-        self.push(out, Op::Embedding { table, ids: ids.to_vec() }, r)
+        self.push(
+            out,
+            Op::Embedding {
+                table,
+                ids: ids.to_vec(),
+            },
+            r,
+        )
     }
 
     // ----- reductions / losses ------------------------------------------------
@@ -475,7 +516,11 @@ impl Tape {
         let r = self.req(logits);
         self.push(
             out,
-            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
             r,
         )
     }
@@ -520,7 +565,17 @@ impl Tape {
             });
         }
         let r = self.req(x) || self.req(w) || self.req(bias);
-        self.push(out, Op::Conv2d { x, w, bias, stride, pad }, r)
+        self.push(
+            out,
+            Op::Conv2d {
+                x,
+                w,
+                bias,
+                stride,
+                pad,
+            },
+            r,
+        )
     }
 
     /// Non-overlapping max pooling with a square `size` window.
@@ -528,7 +583,10 @@ impl Tape {
         let xs = self.shape(x);
         assert_eq!(xs.rank(), 4, "max_pool2d input must be rank 4");
         let (b, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
-        assert!(h % size == 0 && w % size == 0, "pool size must divide H and W");
+        assert!(
+            h % size == 0 && w % size == 0,
+            "pool size must divide H and W"
+        );
         let (oh, ow) = (h / size, w / size);
         let mut out = Tensor::zeros(Shape::d4(b, c, oh, ow));
         let mut argmax = vec![0u32; out.numel()];
@@ -655,8 +713,7 @@ fn conv2d_plane(
                         if xj < 0 || xj as usize >= wd {
                             continue;
                         }
-                        acc += x[xbase + yi as usize * wd + xj as usize]
-                            * w[wbase + di * kw + dj];
+                        acc += x[xbase + yi as usize * wd + xj as usize] * w[wbase + di * kw + dj];
                     }
                 }
             }

@@ -18,7 +18,10 @@ pub struct Tensor {
 impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// A tensor of ones.
@@ -28,12 +31,18 @@ impl Tensor {
 
     /// A tensor filled with `value`.
     pub fn full(shape: Shape, value: f32) -> Self {
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// A rank-1 single-element tensor holding `value`.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::d1(1) }
+        Tensor {
+            data: vec![value],
+            shape: Shape::d1(1),
+        }
     }
 
     /// Wraps an existing buffer.
@@ -185,7 +194,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { data: out, shape: s.transpose_last2() }
+        Tensor {
+            data: out,
+            shape: s.transpose_last2(),
+        }
     }
 
     /// Sum of all elements.
@@ -230,7 +242,12 @@ impl fmt::Debug for Tensor {
         if self.numel() <= 16 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{:?}, ... ({} elements)]", &self.data[..8], self.numel())
+            write!(
+                f,
+                "[{:?}, ... ({} elements)]",
+                &self.data[..8],
+                self.numel()
+            )
         }
     }
 }
@@ -286,7 +303,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn(Shape::d1(20_000), 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
         assert!((var - 4.0).abs() < 0.15, "var={var}");

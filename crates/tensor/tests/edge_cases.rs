@@ -85,7 +85,10 @@ fn dropout_extreme_keep_probability() {
     let x = tape.param(Tensor::ones(Shape::d2(10, 10)), 0);
     let y = tape.dropout(x, 0.99, true, &mut rng);
     let kept = tape.value(y).data().iter().filter(|&&v| v != 0.0).count();
-    assert!(kept < 20, "p=0.99 should drop almost everything, kept {kept}");
+    assert!(
+        kept < 20,
+        "p=0.99 should drop almost everything, kept {kept}"
+    );
     // Kept values carry the 1/(1-p) = 100x scale.
     for &v in tape.value(y).data() {
         assert!(v == 0.0 || (v - 100.0).abs() < 1.0);
@@ -101,7 +104,10 @@ fn layer_norm_constant_row_is_finite() {
     let b = tape.input(Tensor::zeros(Shape::d1(4)));
     let y = tape.layer_norm(x, g, b, 1e-5);
     assert!(tape.value(y).all_finite());
-    assert!(tape.value(y).max_abs() < 1e-2, "constant row normalises to ~0");
+    assert!(
+        tape.value(y).max_abs() < 1e-2,
+        "constant row normalises to ~0"
+    );
 }
 
 #[test]

@@ -73,7 +73,12 @@ fn grad_add_bias_wrt_bias() {
 
 #[test]
 fn grad_matmul_all_transpose_combos() {
-    for (ta, tb, seed) in [(false, false, 10), (false, true, 11), (true, false, 12), (true, true, 13)] {
+    for (ta, tb, seed) in [
+        (false, false, 10),
+        (false, true, 11),
+        (true, false, 12),
+        (true, true, 13),
+    ] {
         // x has shape so that x_eff is (3, 4); other operand fixed with b_eff (4, 2).
         let xs = if ta { Shape::d2(4, 3) } else { Shape::d2(3, 4) };
         let bs = if tb { Shape::d2(2, 4) } else { Shape::d2(4, 2) };
@@ -164,12 +169,7 @@ fn grad_softmax() {
 #[test]
 fn grad_cross_entropy() {
     let x0 = randt(Shape::d2(4, 6), 42);
-    assert_grad_matches(
-        |t, x| t.cross_entropy(x, &[0, 3, 5, 2]),
-        &x0,
-        EPS,
-        TOL,
-    );
+    assert_grad_matches(|t, x| t.cross_entropy(x, &[0, 3, 5, 2]), &x0, EPS, TOL);
 }
 
 #[test]
@@ -216,11 +216,51 @@ fn grad_layer_norm_wrt_input_gamma_beta() {
 fn grad_nonlinearities() {
     // Shift inputs away from the ReLU/abs kink so finite differences are valid.
     let x0 = randt(Shape::d2(3, 4), 70).map(|v| if v.abs() < 0.1 { v + 0.3 } else { v });
-    assert_grad_matches(|t, x| { let y = t.relu(x); to_scalar(t, y, 71) }, &x0, 1e-3, TOL);
-    assert_grad_matches(|t, x| { let y = t.gelu(x); to_scalar(t, y, 72) }, &x0, EPS, TOL);
-    assert_grad_matches(|t, x| { let y = t.tanh_op(x); to_scalar(t, y, 73) }, &x0, EPS, TOL);
-    assert_grad_matches(|t, x| { let y = t.sigmoid(x); to_scalar(t, y, 74) }, &x0, EPS, TOL);
-    assert_grad_matches(|t, x| { let y = t.abs_op(x); to_scalar(t, y, 75) }, &x0, 1e-3, TOL);
+    assert_grad_matches(
+        |t, x| {
+            let y = t.relu(x);
+            to_scalar(t, y, 71)
+        },
+        &x0,
+        1e-3,
+        TOL,
+    );
+    assert_grad_matches(
+        |t, x| {
+            let y = t.gelu(x);
+            to_scalar(t, y, 72)
+        },
+        &x0,
+        EPS,
+        TOL,
+    );
+    assert_grad_matches(
+        |t, x| {
+            let y = t.tanh_op(x);
+            to_scalar(t, y, 73)
+        },
+        &x0,
+        EPS,
+        TOL,
+    );
+    assert_grad_matches(
+        |t, x| {
+            let y = t.sigmoid(x);
+            to_scalar(t, y, 74)
+        },
+        &x0,
+        EPS,
+        TOL,
+    );
+    assert_grad_matches(
+        |t, x| {
+            let y = t.abs_op(x);
+            to_scalar(t, y, 75)
+        },
+        &x0,
+        1e-3,
+        TOL,
+    );
 }
 
 #[test]
@@ -249,7 +289,10 @@ fn grad_dropout_training_mask_routes_gradient() {
     let grads = tape.backward(loss);
     let g = grads.get(x).unwrap();
     let nonzero = g.data().iter().filter(|&&v| v != 0.0).count();
-    assert_eq!(nonzero, kept, "gradient must flow only through kept elements");
+    assert_eq!(
+        nonzero, kept,
+        "gradient must flow only through kept elements"
+    );
 }
 
 #[test]

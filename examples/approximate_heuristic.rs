@@ -32,7 +32,11 @@ fn main() {
     let measure = HeuristicMeasure::Edwp;
     let pool = &splits.downstream;
     let split = pool.len() * 7 / 10;
-    println!("fine-tuning towards {} on {} trajectories...", measure.name(), split);
+    println!(
+        "fine-tuning towards {} on {} trajectories...",
+        measure.name(),
+        split
+    );
     let ft_cfg = FinetuneConfig {
         scope: FinetuneScope::LastLayer,
         pairs_per_epoch: 96,
@@ -71,12 +75,30 @@ fn main() {
     let db = database.len();
     let (mut hr_tuned, mut hr_raw) = (0.0, 0.0);
     for q in 0..nq {
-        hr_tuned += hit_ratio(&true_d[q * db..(q + 1) * db], &pred_tuned[q * db..(q + 1) * db], 5);
-        hr_raw += hit_ratio(&true_d[q * db..(q + 1) * db], &pred_raw[q * db..(q + 1) * db], 5);
+        hr_tuned += hit_ratio(
+            &true_d[q * db..(q + 1) * db],
+            &pred_tuned[q * db..(q + 1) * db],
+            5,
+        );
+        hr_raw += hit_ratio(
+            &true_d[q * db..(q + 1) * db],
+            &pred_raw[q * db..(q + 1) * db],
+            5,
+        );
     }
-    println!("\nHR@5 approximating {} (backend {:?}):", measure.name(), estimator.backend().name());
-    println!("  pre-trained encoder (no fine-tuning): {:.3}", hr_raw / nq as f64);
-    println!("  fine-tuned estimator:                 {:.3}", hr_tuned / nq as f64);
+    println!(
+        "\nHR@5 approximating {} (backend {:?}):",
+        measure.name(),
+        estimator.backend().name()
+    );
+    println!(
+        "  pre-trained encoder (no fine-tuning): {:.3}",
+        hr_raw / nq as f64
+    );
+    println!(
+        "  fine-tuned estimator:                 {:.3}",
+        hr_tuned / nq as f64
+    );
     println!(
         "\nwall-clock for the {}x{} similarity matrix: exact {} = {exact_time:?}, estimator = {est_time:?}",
         nq,

@@ -63,7 +63,11 @@ fn main() {
     let trajcl_knn = trajcl_engine.knn(query, k).expect("trajcl knn");
     let ivf_query = t0.elapsed();
 
-    println!("\nquery trajectory: {} points, {:.1} km", query.len(), query.length() / 1000.0);
+    println!(
+        "\nquery trajectory: {} points, {:.1} km",
+        query.len(),
+        query.length() / 1000.0
+    );
     println!("\n{k}NN via Hausdorff engine (build {heur_build:?}, query {heur_query:?}):");
     for (rank, (id, d)) in hausdorff_knn.iter().enumerate() {
         let t = &db[*id as usize];
@@ -74,11 +78,14 @@ fn main() {
             t.length() / 1000.0
         );
     }
-    println!("(segment-index reference: build {seg_build:?}, query {seg_query:?}, same ids: {})",
-        seg_knn.iter().map(|(i, _)| *i).eq(hausdorff_knn.iter().map(|(i, _)| *i)));
     println!(
-        "\n{k}NN via TrajCL engine + IVF (train+build {ivf_build:?}, query {ivf_query:?}):"
+        "(segment-index reference: build {seg_build:?}, query {seg_query:?}, same ids: {})",
+        seg_knn
+            .iter()
+            .map(|(i, _)| *i)
+            .eq(hausdorff_knn.iter().map(|(i, _)| *i))
     );
+    println!("\n{k}NN via TrajCL engine + IVF (train+build {ivf_build:?}, query {ivf_query:?}):");
     for (rank, (id, d)) in trajcl_knn.iter().enumerate() {
         let t = &db[*id as usize];
         println!(

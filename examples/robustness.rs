@@ -19,7 +19,11 @@ fn engine_mean_rank(engine: &Engine, proto: &QueryProtocol) -> f64 {
     if engine.backend().dim() > 0 {
         let q = engine.embed_all(&proto.queries).expect("embed queries");
         let d = engine.embed_all(&proto.database).expect("embed database");
-        mean_rank(&l1_distances(&q, &d), proto.database.len(), &proto.ground_truth)
+        mean_rank(
+            &l1_distances(&q, &d),
+            proto.database.len(),
+            &proto.ground_truth,
+        )
     } else {
         let dbn = proto.database.len();
         let mut dists = Vec::with_capacity(proto.queries.len() * dbn);
@@ -56,12 +60,21 @@ fn main() {
     let mut drng = StdRng::seed_from_u64(32);
     let settings: Vec<(&str, QueryProtocol)> = vec![
         ("clean", base.clone()),
-        ("down-sampled ρs=0.4", base.degrade(|t| downsample(t, 0.4, &mut drng))),
-        ("distorted ρd=0.4", base.degrade(|t| distort(t, 0.4, 100.0, 0.5, &mut drng))),
+        (
+            "down-sampled ρs=0.4",
+            base.degrade(|t| downsample(t, 0.4, &mut drng)),
+        ),
+        (
+            "distorted ρd=0.4",
+            base.degrade(|t| distort(t, 0.4, 100.0, 0.5, &mut drng)),
+        ),
     ];
 
     println!("\nmean rank of the planted match (1.0 = perfect, db = 120):");
-    println!("{:24} {:>10} {:>10} {:>10}", "", "Hausdorff", "EDR", "TrajCL");
+    println!(
+        "{:24} {:>10} {:>10} {:>10}",
+        "", "Hausdorff", "EDR", "TrajCL"
+    );
     for (name, proto) in &settings {
         let h = engine_mean_rank(&hausdorff, proto);
         let e = engine_mean_rank(&edr, proto);

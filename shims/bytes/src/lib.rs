@@ -1,5 +1,5 @@
 //! Offline drop-in subset of the `bytes` crate: the little-endian
-//! reader/writer surface [`trajcl_nn::ParamStore`] serialisation uses
+//! reader/writer surface `trajcl_nn::ParamStore` serialisation uses
 //! ([`Buf`] over `&[u8]`, [`BufMut`]/[`BytesMut`] for building buffers).
 
 /// Read cursor over a byte source.

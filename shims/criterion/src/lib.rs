@@ -24,7 +24,12 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(max_iters: u64, budget: Duration) -> Self {
-        Bencher { mean_ns: f64::NAN, iters_done: 0, max_iters, budget }
+        Bencher {
+            mean_ns: f64::NAN,
+            iters_done: 0,
+            max_iters,
+            budget,
+        }
     }
 
     /// Times `f` over up to `max_iters` iterations (bounded by the time
@@ -50,12 +55,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` id.
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// Id from the parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -82,7 +91,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10, measurement_time: Duration::from_secs(2) }
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
     }
 }
 
@@ -154,7 +166,13 @@ impl BenchmarkGroup<'_> {
     /// Runs a named benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, f: F) {
         let full = format!("{}/{}", self.name, name);
-        run_one(&full, self.sample_size, self.measurement_time, self.throughput, f);
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
     }
 
     /// Runs a parameterised benchmark in this group.
@@ -165,9 +183,13 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, self.sample_size, self.measurement_time, self.throughput, |b| {
-            f(b, input)
-        });
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
     }
 
     /// Ends the group (printing is per-benchmark; nothing buffered).
@@ -200,11 +222,18 @@ fn run_one<F: FnMut(&mut Bencher)>(
     match throughput {
         Some(Throughput::Elements(n)) => {
             let eps = n as f64 / (per / 1e9);
-            println!("{name:<48} {human:>12}/iter  ({eps:.0} elem/s, {} iters)", b.iters_done);
+            println!(
+                "{name:<48} {human:>12}/iter  ({eps:.0} elem/s, {} iters)",
+                b.iters_done
+            );
         }
         Some(Throughput::Bytes(n)) => {
             let bps = n as f64 / (per / 1e9);
-            println!("{name:<48} {human:>12}/iter  ({:.1} MB/s, {} iters)", bps / 1e6, b.iters_done);
+            println!(
+                "{name:<48} {human:>12}/iter  ({:.1} MB/s, {} iters)",
+                bps / 1e6,
+                b.iters_done
+            );
         }
         None => println!("{name:<48} {human:>12}/iter  ({} iters)", b.iters_done),
     }

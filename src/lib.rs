@@ -15,7 +15,10 @@
 //! * [`index`] — IVF embedding index + segment Hausdorff index;
 //! * [`engine`] — the unified similarity API: one object-safe
 //!   `SimilarityBackend` over TrajCL, baselines and heuristic measures,
-//!   served by `Engine`/`EngineBuilder` with kNN routing and persistence.
+//!   served by `Engine`/`EngineBuilder` with kNN routing and persistence;
+//! * [`serve`] — the concurrent serving runtime: micro-batched embedding,
+//!   a mutable snapshot-readable index, an LRU embedding cache and the
+//!   `trajcl serve` wire protocol.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for
 //! the architecture (crate graph, engine trait diagram, error-handling
@@ -30,4 +33,5 @@ pub use trajcl_graph as graph;
 pub use trajcl_index as index;
 pub use trajcl_measures as measures;
 pub use trajcl_nn as nn;
+pub use trajcl_serve as serve;
 pub use trajcl_tensor as tensor;

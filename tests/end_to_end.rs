@@ -42,7 +42,12 @@ fn pipeline() -> &'static Pipeline {
         );
         assert!(report.epochs_run >= 1);
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
-        Pipeline { featurizer, splits, moco, rng }
+        Pipeline {
+            featurizer,
+            splits,
+            moco,
+            rng,
+        }
     })
 }
 
@@ -53,9 +58,16 @@ fn trained_model_beats_random_ranking() {
     let proto = QueryProtocol::build(&p.splits.test, 15, 100, &mut rng);
     let q = p.moco.online.embed(&p.featurizer, &proto.queries);
     let d = p.moco.online.embed(&p.featurizer, &proto.database);
-    let mr = mean_rank(&l1_distances(&q, &d), proto.database.len(), &proto.ground_truth);
+    let mr = mean_rank(
+        &l1_distances(&q, &d),
+        proto.database.len(),
+        &proto.ground_truth,
+    );
     // Random ranking would give ~ |D|/2 = 50.
-    assert!(mr < 10.0, "trained TrajCL mean rank {mr} not far from random");
+    assert!(
+        mr < 10.0,
+        "trained TrajCL mean rank {mr} not far from random"
+    );
 }
 
 #[test]
@@ -67,7 +79,11 @@ fn model_is_robust_to_downsampling() {
     let degraded = proto.degrade(|t| downsample(t, 0.3, &mut drng));
     let q = p.moco.online.embed(&p.featurizer, &degraded.queries);
     let d = p.moco.online.embed(&p.featurizer, &degraded.database);
-    let mr = mean_rank(&l1_distances(&q, &d), degraded.database.len(), &degraded.ground_truth);
+    let mr = mean_rank(
+        &l1_distances(&q, &d),
+        degraded.database.len(),
+        &degraded.ground_truth,
+    );
     assert!(mr < 25.0, "downsampled mean rank {mr} collapsed to random");
 }
 
@@ -125,7 +141,14 @@ fn finetuning_tracks_hausdorff_better_than_raw() {
         lr: 2e-3,
     };
     let measure = HeuristicMeasure::Hausdorff;
-    let est = finetune(&p.moco.online, &p.featurizer, &pool[..split], measure, &cfg, &mut rng);
+    let est = finetune(
+        &p.moco.online,
+        &p.featurizer,
+        &pool[..split],
+        measure,
+        &cfg,
+        &mut rng,
+    );
 
     let eval = &pool[split..];
     let nq = 4.min(eval.len() / 2);
@@ -142,7 +165,11 @@ fn finetuning_tracks_hausdorff_better_than_raw() {
     let db = database.len();
     let (mut hr_t, mut hr_r) = (0.0, 0.0);
     for q in 0..nq {
-        hr_t += hit_ratio(&true_d[q * db..(q + 1) * db], &tuned[q * db..(q + 1) * db], 5);
+        hr_t += hit_ratio(
+            &true_d[q * db..(q + 1) * db],
+            &tuned[q * db..(q + 1) * db],
+            5,
+        );
         hr_r += hit_ratio(&true_d[q * db..(q + 1) * db], &raw[q * db..(q + 1) * db], 5);
     }
     assert!(
