@@ -1,0 +1,289 @@
+//! Million-scale kNN benchmark: exact brute force vs IVF vs IVF+SQ8 over
+//! synthetic embedding tables, recorded commit-tagged into
+//! `BENCH_index.json` — the index counterpart of `perf_snapshot` /
+//! `load_gen`.
+//!
+//! The table is a Gaussian-mixture synthetic (clustered, like real
+//! trajectory embeddings) of `--n` rows × `--dim` dimensions; queries are
+//! perturbed database rows. Three contenders answer the same k=10 batch:
+//!
+//! * `exact` — `brute_force_batch_knn` over the f32 table (ground truth);
+//! * `ivf` — f32-storage `IvfIndex`, `nprobe` of `nlist` cells;
+//! * `sq8` — SQ8-quantized `IvfIndex` (1 byte/dim), asymmetric scan plus
+//!   exact rescoring of the top `rescore_factor · k` candidates against
+//!   the f32 table (the engine's serving configuration).
+//!
+//! Usage:
+//!   index_scale [--quick] [--n N] [--dim D] [--label NAME]
+//!               [--out BENCH_index.json] [--check]
+//!
+//! * default: measure and append a run entry to `--out`;
+//! * `--check`: measure and gate on ABSOLUTE floors — recall@10 ≥ 0.95
+//!   for both IVF and IVF+SQ8, SQ8 memory ≤ 32% of the f32 index, and
+//!   quantized-vs-exact qps ratio ≥ 2× (quick) / 4× (full). Absolute
+//!   rather than baseline-relative because the ratios depend on the run's
+//!   own `n`/`nlist` geometry, which both sides of each ratio share.
+//!   Nothing is written.
+//!
+//! Scales to 1M rows (`--n 1000000`); the committed baseline entry is a
+//! 100k full run.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajcl_bench::snapfile::{append_run, git_commit};
+use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric, Quantization};
+use trajcl_tensor::{Shape, Tensor};
+
+const K: usize = 10;
+const CLUSTERS: usize = 64;
+/// Floors for `--check` (quick, full).
+const MIN_RECALL: f64 = 0.95;
+const MIN_SQ8_SPEEDUP_QUICK: f64 = 2.0;
+const MIN_SQ8_SPEEDUP_FULL: f64 = 4.0;
+const MAX_MEM_RATIO: f64 = 0.32;
+
+/// Clustered synthetic table: `n` rows scattered around `CLUSTERS`
+/// Gaussian centers (IVF behaves like it does on real embeddings, not on
+/// uniform noise).
+fn mixture_table(n: usize, d: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = Tensor::randn(Shape::d2(CLUSTERS, d), 0.0, 1.0, &mut rng);
+    let noise = Tensor::randn(Shape::d2(n, d), 0.0, 0.25, &mut rng);
+    let mut data = noise.data().to_vec();
+    for i in 0..n {
+        let c = centers.row(rng.gen_range(0..CLUSTERS));
+        for j in 0..d {
+            data[i * d + j] += c[j];
+        }
+    }
+    Tensor::from_vec(data, Shape::d2(n, d))
+}
+
+/// Queries: perturbed copies of evenly-spaced database rows.
+fn queries_from(table: &Tensor, q: usize, seed: u64) -> Tensor {
+    let n = table.shape().rows();
+    let d = table.shape().last();
+    let noise = Tensor::randn(Shape::d2(q, d), 0.0, 0.05, &mut StdRng::seed_from_u64(seed));
+    let mut data = noise.data().to_vec();
+    for i in 0..q {
+        let row = table.row((i * (n / q).max(1)) % n);
+        for j in 0..d {
+            data[i * d + j] += row[j];
+        }
+    }
+    Tensor::from_vec(data, Shape::d2(q, d))
+}
+
+/// Mean recall@k of `got` against the exact ground truth.
+fn recall_at_k(got: &[Vec<(u32, f64)>], truth: &[Vec<(u32, f64)>], k: usize) -> f64 {
+    let mut sum = 0.0;
+    for (g, t) in got.iter().zip(truth) {
+        let t_ids: Vec<u32> = t.iter().map(|(id, _)| *id).collect();
+        let hits = g.iter().filter(|(id, _)| t_ids.contains(id)).count();
+        sum += hits as f64 / k.min(t.len()).max(1) as f64;
+    }
+    sum / got.len().max(1) as f64
+}
+
+/// Times `f` (one warmup call, one measured call), returning
+/// `(result, qps over `q` queries)`.
+fn timed<T>(q: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    let out = f();
+    (out, q as f64 / t0.elapsed().as_secs_f64())
+}
+
+struct Run {
+    n: usize,
+    d: usize,
+    nlist: usize,
+    nprobe: usize,
+    exact_qps: f64,
+    ivf_qps: f64,
+    ivf_recall: f64,
+    sq8_qps: f64,
+    sq8_recall: f64,
+    f32_bytes: usize,
+    sq8_bytes: usize,
+}
+
+impl Run {
+    fn speedup_ivf(&self) -> f64 {
+        self.ivf_qps / self.exact_qps
+    }
+
+    fn speedup_sq8(&self) -> f64 {
+        self.sq8_qps / self.exact_qps
+    }
+
+    fn mem_ratio(&self) -> f64 {
+        self.sq8_bytes as f64 / self.f32_bytes as f64
+    }
+
+    fn to_json(&self, label: &str, quick: bool) -> String {
+        format!(
+            "{{\"commit\":\"{}\",\"label\":\"{label}\",\"quick\":{quick},\"n\":{},\"d\":{},\"nlist\":{},\"nprobe\":{},\"k\":{K},\
+\"exact_qps\":{:.1},\"ivf_qps\":{:.1},\"sq8_qps\":{:.1},\
+\"ivf_recall10\":{:.4},\"sq8_recall10\":{:.4},\
+\"f32_index_bytes\":{},\"sq8_index_bytes\":{},\"table_bytes\":{},\
+\"speedup_ivf\":{:.2},\"speedup_sq8\":{:.2},\"mem_ratio\":{:.3}}}",
+            git_commit(),
+            self.n,
+            self.d,
+            self.nlist,
+            self.nprobe,
+            self.exact_qps,
+            self.ivf_qps,
+            self.sq8_qps,
+            self.ivf_recall,
+            self.sq8_recall,
+            self.f32_bytes,
+            self.sq8_bytes,
+            self.n * self.d * 4,
+            self.speedup_ivf(),
+            self.speedup_sq8(),
+            self.mem_ratio(),
+        )
+    }
+}
+
+fn measure(n: usize, d: usize, nlist: usize, nprobe: usize, nq: usize) -> Run {
+    eprintln!("building {n} x {d} mixture table ({nlist} cells, nprobe {nprobe}, {nq} queries)");
+    let table = mixture_table(n, d, 42);
+    let queries = queries_from(&table, nq, 43);
+
+    let (truth, exact_qps) = timed(nq, || {
+        brute_force_batch_knn(&table, &queries, K, Metric::L1)
+    });
+    eprintln!("exact    {exact_qps:>9.1} qps  (ground truth)");
+
+    let t0 = Instant::now();
+    let ivf = IvfIndex::build(&table, nlist, Metric::L1, &mut StdRng::seed_from_u64(7));
+    let ivf_build_s = t0.elapsed().as_secs_f64();
+    let (ivf_hits, ivf_qps) = timed(nq, || ivf.batch_search(&queries, K, nprobe));
+    let ivf_recall = recall_at_k(&ivf_hits, &truth, K);
+    eprintln!(
+        "ivf      {ivf_qps:>9.1} qps  recall@10 {ivf_recall:.4}  ({:.1} MB, built in {ivf_build_s:.1}s)",
+        ivf.memory_bytes() as f64 / 1e6
+    );
+
+    let t0 = Instant::now();
+    let sq8 = IvfIndex::build_with(
+        &table,
+        nlist,
+        Metric::L1,
+        Quantization::Sq8,
+        4,
+        &mut StdRng::seed_from_u64(7),
+    );
+    let sq8_build_s = t0.elapsed().as_secs_f64();
+    let (sq8_hits, sq8_qps) = timed(nq, || {
+        sq8.batch_search_rescored(&queries, K, nprobe, Some(&table))
+    });
+    let sq8_recall = recall_at_k(&sq8_hits, &truth, K);
+    eprintln!(
+        "ivf+sq8  {sq8_qps:>9.1} qps  recall@10 {sq8_recall:.4}  ({:.1} MB, built in {sq8_build_s:.1}s)",
+        sq8.memory_bytes() as f64 / 1e6
+    );
+
+    Run {
+        n,
+        d,
+        nlist,
+        nprobe,
+        exact_qps,
+        ivf_qps,
+        ivf_recall,
+        sq8_qps,
+        sq8_recall,
+        f32_bytes: ivf.memory_bytes(),
+        sq8_bytes: sq8.memory_bytes(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut check = false;
+    let mut n: Option<usize> = None;
+    let mut d: Option<usize> = None;
+    let mut out = "BENCH_index.json".to_string();
+    let mut label = "snapshot".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--n" => {
+                i += 1;
+                n = Some(args[i].parse().expect("--n N"));
+            }
+            "--dim" => {
+                i += 1;
+                d = Some(args[i].parse().expect("--dim D"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--label" => {
+                i += 1;
+                label = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (n, d, nlist, nprobe, nq) = if quick {
+        (n.unwrap_or(20_000), d.unwrap_or(32), 128, 8, 64)
+    } else {
+        let n = n.unwrap_or(100_000);
+        // nlist ~ sqrt(n), power-of-two-ish, with enough cells that
+        // nprobe/nlist stays a small probed fraction at any scale.
+        let nlist = ((n as f64).sqrt() as usize).next_power_of_two().max(64);
+        (n, d.unwrap_or(64), nlist, 16, 200)
+    };
+    let run = measure(n, d, nlist, nprobe, nq);
+
+    if check {
+        let min_speedup = if quick {
+            MIN_SQ8_SPEEDUP_QUICK
+        } else {
+            MIN_SQ8_SPEEDUP_FULL
+        };
+        let gates = [
+            ("ivf_recall10", run.ivf_recall, MIN_RECALL, true),
+            ("sq8_recall10", run.sq8_recall, MIN_RECALL, true),
+            ("speedup_sq8", run.speedup_sq8(), min_speedup, true),
+            ("mem_ratio", run.mem_ratio(), MAX_MEM_RATIO, false),
+        ];
+        let mut failed = false;
+        for (key, measured, bound, at_least) in gates {
+            let ok = if at_least {
+                measured >= bound
+            } else {
+                measured <= bound
+            };
+            eprintln!(
+                "check {key}: {measured:.3} ({} {bound:.3}) {}",
+                if at_least { "floor" } else { "ceiling" },
+                if ok { "ok" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("OK: index-scale gates passed");
+    } else {
+        append_run(&out, &run.to_json(&label, quick));
+        eprintln!("recorded run '{label}' -> {out}");
+    }
+}

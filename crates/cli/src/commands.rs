@@ -217,12 +217,32 @@ fn json_approx_line(measure: &str, k: usize, hr: f64, queries: usize, database: 
     )
 }
 
+/// Parses the `--quantize` option (`sq8` | `none`), when present.
+fn parse_quantize(args: &Args) -> Result<Option<trajcl_engine::Quantization>, EngineError> {
+    args.options
+        .get("quantize")
+        .map(|v| v.parse().map_err(invalid))
+        .transpose()
+}
+
 fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
     let mut engine = load_engine(req(args, "model")?)?;
     if args.options.contains_key("index") {
         let nlist: usize = num(args, "index", 16)?;
         engine = engine.with_ivf_index(nlist.max(1));
     }
+    if let Some(quant) = parse_quantize(args)? {
+        // Quantization is a property of the IVF index; without one the
+        // flag would silently do nothing.
+        if quant != trajcl_engine::Quantization::None && !args.options.contains_key("index") {
+            return Err(invalid(
+                "--quantize needs --index NLIST (quantization applies to the IVF index)",
+            ));
+        }
+        engine = engine.with_quantization(quant);
+    }
+    let rescore = num(args, "rescore-factor", engine.rescore_factor())?;
+    engine = engine.with_rescore_factor(rescore);
     let db = load_trajectory_file(Path::new(req(args, "db")?))?;
     let engine = engine.with_database(db)?;
     let qi: usize = num(args, "query", 0)?;
@@ -275,6 +295,7 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
         let nlist: usize = num(args, "index", 16)?;
         cfg.ivf_nlist = Some(nlist.max(1));
     }
+    cfg.quantization = parse_quantize(args)?;
     cfg.workers = num(args, "workers", cfg.workers)?;
     cfg.max_batch = num(args, "max-batch", cfg.max_batch)?;
     cfg.max_wait = std::time::Duration::from_micros(num(args, "max-wait-us", 2000u64)?);
@@ -491,6 +512,34 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
         assert_eq!(out.lines().count(), 3);
+
+        // And through SQ8-quantized storage with exact rescoring.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --k 3 --index 4 --quantize sq8 --rescore-factor 8 --json",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
+        assert_eq!(out.lines().count(), 3);
+
+        // Unknown quantization is rejected with a parse error.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --quantize pq4",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown quantization"));
+
+        // --quantize without --index would be a silent no-op; reject it.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --quantize sq8",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("--index"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use trajcl_core::{
 };
 use trajcl_data::Dataset;
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric};
+use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric, Quantization, DEFAULT_RESCORE_FACTOR};
 use trajcl_measures::HeuristicMeasure;
 use trajcl_tensor::{InferCtx, Shape, Tensor};
 
@@ -34,6 +34,8 @@ pub struct Engine {
     index: Option<IvfIndex>,
     nlist: Option<usize>,
     nprobe: usize,
+    quantization: Quantization,
+    rescore_factor: usize,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -80,6 +82,18 @@ impl Engine {
     /// Number of IVF cells probed per indexed query.
     pub fn nprobe(&self) -> usize {
         self.nprobe
+    }
+
+    /// Storage quantization applied when building the IVF index.
+    pub fn quantization(&self) -> Quantization {
+        self.quantization
+    }
+
+    /// Over-fetch multiplier for SQ8 rescoring (indexed queries re-rank
+    /// the top `rescore_factor · k` quantized candidates against the
+    /// exact cached embedding table).
+    pub fn rescore_factor(&self) -> usize {
+        self.rescore_factor
     }
 
     /// Inference mini-batch size used by [`Engine::embed_all`].
@@ -181,7 +195,10 @@ impl Engine {
         }
         let q = self.embed_all(queries)?;
         if let Some(index) = &self.index {
-            return Ok(index.batch_search(&q, k, self.nprobe));
+            // Quantized indexes rescore their top rescore_factor·k SQ8
+            // candidates against the engine's exact embedding table, so
+            // served distances stay exact f32.
+            return Ok(index.batch_search_rescored(&q, k, self.nprobe, self.embeddings.as_ref()));
         }
         match &self.embeddings {
             Some(emb) => Ok(brute_force_batch_knn(emb, &q, k, Metric::L1)),
@@ -220,7 +237,14 @@ impl Engine {
             let emb = self.embed_all(&self.database)?;
             if let Some(nlist) = self.nlist {
                 let mut rng = StdRng::seed_from_u64(self.seed);
-                self.index = Some(IvfIndex::build(&emb, nlist, Metric::L1, &mut rng));
+                self.index = Some(IvfIndex::build_with(
+                    &emb,
+                    nlist,
+                    Metric::L1,
+                    self.quantization,
+                    self.rescore_factor,
+                    &mut rng,
+                ));
             }
             self.embeddings = Some(emb);
         }
@@ -231,6 +255,20 @@ impl Engine {
     /// [`Engine::with_database`] call.
     pub fn with_ivf_index(mut self, nlist: usize) -> Self {
         self.nlist = Some(nlist);
+        self
+    }
+
+    /// Requests SQ8 (or exact) index storage; takes effect at the next
+    /// [`Engine::with_database`] call.
+    pub fn with_quantization(mut self, quantization: Quantization) -> Self {
+        self.quantization = quantization;
+        self
+    }
+
+    /// Sets the SQ8 rescoring over-fetch multiplier; takes effect at the
+    /// next [`Engine::with_database`] call.
+    pub fn with_rescore_factor(mut self, rescore_factor: usize) -> Self {
+        self.rescore_factor = rescore_factor.max(1);
         self
     }
 
@@ -279,6 +317,8 @@ impl Engine {
             .database(self.database.clone())
             .maybe_ivf_index(self.nlist)
             .nprobe(self.nprobe)
+            .quantization(self.quantization)
+            .rescore_factor(self.rescore_factor)
             .batch_size(self.batch_size)
             .seed(self.seed)
             .build()
@@ -327,6 +367,13 @@ impl Engine {
             }
             None => out.push(0),
         }
+        // Quantization tail (appended so pre-SQ8 files — which simply end
+        // here — still load with default settings).
+        out.push(match self.quantization {
+            Quantization::None => 0u8,
+            Quantization::Sq8 => 1u8,
+        });
+        out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
         Ok(out)
     }
 
@@ -386,6 +433,29 @@ impl Engine {
                 )
             }
         };
+        // Optional quantization tail: absent in pre-SQ8 engine files.
+        let (quantization, rescore_factor) = if r.is_empty() {
+            (
+                index
+                    .as_ref()
+                    .map_or(Quantization::None, IvfIndex::quantization),
+                index
+                    .as_ref()
+                    .map_or(DEFAULT_RESCORE_FACTOR, IvfIndex::rescore_factor),
+            )
+        } else {
+            let quant = match take(&mut r, 1)?[0] {
+                0 => Quantization::None,
+                1 => Quantization::Sq8,
+                _ => return Err(EngineError::CorruptEngineFile("quantization")),
+            };
+            let rescore = (u32_of(&mut r)? as usize).max(1);
+            // The tail is the final field: anything after it is corruption.
+            if !r.is_empty() {
+                return Err(EngineError::CorruptEngineFile("trailing bytes"));
+            }
+            (quant, rescore)
+        };
         Ok(Engine {
             backend: Box::new(TrajClBackend::new(model, featurizer)),
             database: Vec::new(),
@@ -393,6 +463,8 @@ impl Engine {
             index,
             nlist: (nlist_raw > 0).then_some(nlist_raw),
             nprobe,
+            quantization,
+            rescore_factor,
             batch_size: batch_size.max(1),
             seed,
             train_report: None,
@@ -407,6 +479,8 @@ pub struct EngineBuilder {
     database: Vec<Trajectory>,
     nlist: Option<usize>,
     nprobe: usize,
+    quantization: Quantization,
+    rescore_factor: usize,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -426,6 +500,8 @@ impl EngineBuilder {
             database: Vec::new(),
             nlist: None,
             nprobe: 4,
+            quantization: Quantization::None,
+            rescore_factor: DEFAULT_RESCORE_FACTOR,
             batch_size: DEFAULT_BATCH,
             seed: 0,
             train_report: None,
@@ -524,6 +600,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Storage quantization of the IVF index (default exact f32).
+    /// [`Quantization::Sq8`] stores database vectors as per-dimension
+    /// int8 codes — 4× smaller — and rescores quantized candidates
+    /// against the exact cached embedding table at query time.
+    pub fn quantization(mut self, quantization: Quantization) -> Self {
+        self.quantization = quantization;
+        self
+    }
+
+    /// SQ8 rescoring over-fetch multiplier (default
+    /// [`DEFAULT_RESCORE_FACTOR`]): indexed queries re-rank the top
+    /// `rescore_factor · k` quantized candidates exactly.
+    pub fn rescore_factor(mut self, rescore_factor: usize) -> Self {
+        self.rescore_factor = rescore_factor.max(1);
+        self
+    }
+
     /// Inference mini-batch size (default [`DEFAULT_BATCH`]).
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
@@ -553,6 +646,8 @@ impl EngineBuilder {
             index: None,
             nlist: self.nlist,
             nprobe: self.nprobe,
+            quantization: self.quantization,
+            rescore_factor: self.rescore_factor,
             batch_size: self.batch_size,
             seed: self.seed,
             train_report: self.train_report,
@@ -561,7 +656,14 @@ impl EngineBuilder {
             let emb = engine.embed_all(&engine.database)?;
             if let Some(nlist) = engine.nlist {
                 let mut rng = StdRng::seed_from_u64(engine.seed);
-                engine.index = Some(IvfIndex::build(&emb, nlist, Metric::L1, &mut rng));
+                engine.index = Some(IvfIndex::build_with(
+                    &emb,
+                    nlist,
+                    Metric::L1,
+                    engine.quantization,
+                    engine.rescore_factor,
+                    &mut rng,
+                ));
             }
             engine.embeddings = Some(emb);
         }

@@ -7,7 +7,9 @@ use trajcl_core::{
     EncoderVariant, Featurizer, FinetuneConfig, FinetuneScope, TrajClConfig, TrajClModel,
 };
 use trajcl_data::{Dataset, DatasetProfile};
-use trajcl_engine::{Engine, EngineBuilder, EngineError, HeuristicBackend, SimilarityBackend};
+use trajcl_engine::{
+    Engine, EngineBuilder, EngineError, HeuristicBackend, Quantization, SimilarityBackend,
+};
 use trajcl_geo::{Grid, SpatialNorm, Trajectory};
 use trajcl_measures::HeuristicMeasure;
 use trajcl_tensor::{Shape, Tensor};
@@ -110,6 +112,54 @@ fn indexed_and_brute_force_routes_agree_at_full_probe() {
             a.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
             b.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
             "routes disagree on query {qi}"
+        );
+    }
+}
+
+#[test]
+fn quantized_index_route_matches_brute_force_and_persists() {
+    // SQ8 storage with exact rescoring: at full probe the quantized route
+    // must return the same ids AND the same (exact, rescored) distances
+    // as the brute-force route, in a 4x-smaller index.
+    let ds = dataset(60, 15);
+    let (model, feat) = untrained_trajcl(&ds);
+    let brute = Engine::builder()
+        .trajcl(model.clone(), feat.clone())
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    let quantized = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories.clone())
+        .ivf_index(8)
+        .nprobe(8) // full probe
+        .quantization(Quantization::Sq8)
+        .rescore_factor(4)
+        .seed(3)
+        .build()
+        .unwrap();
+    let index = quantized.index().expect("index built");
+    assert_eq!(index.quantization(), Quantization::Sq8);
+    assert_eq!(quantized.quantization(), Quantization::Sq8);
+    for qi in [0usize, 17, 42] {
+        let a = brute.knn(&ds.trajectories[qi], 5).unwrap();
+        let b = quantized.knn(&ds.trajectories[qi], 5).unwrap();
+        assert_eq!(a, b, "quantized route diverged on query {qi}");
+    }
+
+    // Persistence carries the IVF2 section and the quantization config.
+    let restored = Engine::from_bytes(&quantized.to_bytes().unwrap()).unwrap();
+    assert_eq!(restored.quantization(), Quantization::Sq8);
+    assert_eq!(restored.rescore_factor(), 4);
+    assert_eq!(
+        restored.index().expect("index persisted").quantization(),
+        Quantization::Sq8
+    );
+    for qi in [0usize, 17, 42] {
+        assert_eq!(
+            quantized.knn(&ds.trajectories[qi], 5).unwrap(),
+            restored.knn(&ds.trajectories[qi], 5).unwrap(),
+            "kNN diverged after reload on query {qi}"
         );
     }
 }
@@ -245,6 +295,11 @@ fn persistence_rejects_garbage_and_heuristic_backends() {
         .unwrap();
     let mut bytes = trajcl.to_bytes().unwrap();
     bytes.truncate(bytes.len() / 3);
+    assert!(Engine::from_bytes(&bytes).is_err());
+
+    // Trailing garbage after the (final) quantization tail is corruption.
+    let mut bytes = trajcl.to_bytes().unwrap();
+    bytes.push(0);
     assert!(Engine::from_bytes(&bytes).is_err());
 }
 

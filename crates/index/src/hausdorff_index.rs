@@ -76,6 +76,12 @@ impl SegmentHausdorffIndex {
     }
 
     /// Exact k-nearest-neighbour search under the Hausdorff distance.
+    ///
+    /// Candidates are scanned in ascending lower-bound order, but the
+    /// typical query terminates after a handful of exact evaluations — so
+    /// instead of sorting all `N` lower bounds, `select_nth_unstable`
+    /// partitions out a small prefix and only that prefix is sorted; the
+    /// tail is sorted lazily in the (rare) case the scan outlives it.
     pub fn knn(&self, query: &Trajectory, k: usize) -> Vec<(u32, f64)> {
         let k = k.min(self.entries.len());
         if k == 0 {
@@ -87,21 +93,30 @@ impl SegmentHausdorffIndex {
             .enumerate()
             .map(|(i, e)| (i as u32, Self::lower_bound(query, &e.bbox)))
             .collect();
-        order.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let prefix = (4 * k).max(32).min(order.len());
+        if prefix < order.len() {
+            order.select_nth_unstable_by(prefix - 1, |a, b| a.1.total_cmp(&b.1));
+        }
+        order[..prefix].sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let mut best: Vec<(u32, f64)> = Vec::with_capacity(k + 1);
-        let mut pruned = 0usize;
-        for &(id, lb) in &order {
+        let mut tail_sorted = prefix == order.len();
+        let mut i = 0;
+        while i < order.len() {
+            if i == prefix && !tail_sorted {
+                order[prefix..].sort_by(|a, b| a.1.total_cmp(&b.1));
+                tail_sorted = true;
+            }
+            let (id, lb) = order[i];
             if best.len() == k && lb >= best[k - 1].1 {
-                pruned = self.entries.len() - (best.len() + pruned);
                 break; // every remaining candidate has an even larger LB
             }
             let d = hausdorff(query, &self.entries[id as usize].traj);
             best.push((id, d));
             best.sort_by(|a, b| a.1.total_cmp(&b.1));
             best.truncate(k);
+            i += 1;
         }
-        let _ = pruned;
         best
     }
 

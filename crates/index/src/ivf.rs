@@ -5,10 +5,21 @@
 //! list per centroid. Search: probe the `nprobe` nearest lists and scan
 //! them exactly. `nprobe = nlist` degenerates to exact brute force, which
 //! the tests exploit to validate recall.
+//!
+//! Storage is either exact f32 rows or SQ8 scalar-quantized codes
+//! ([`Quantization::Sq8`]): one byte per dimension with per-dimension
+//! affine decode, scanned by the asymmetric f32-query × int8-database
+//! kernels in [`crate::kernels`] and optionally **rescored** exactly — the
+//! top `rescore_factor · k` SQ8 candidates re-ranked against a
+//! caller-supplied exact f32 table (the engine keeps its embedding table
+//! for precisely this). All scans run through the blocked f32 kernels and
+//! the fused bounded top-k selector, never a full sort.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use trajcl_tensor::{pool, Tensor};
+
+use crate::kernels::{self, Sq8Codebook, TopK};
 
 /// Distance metric for index search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,37 +31,96 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// Distance between two equal-length vectors under this metric.
+    /// Distance between two equal-length vectors under this metric
+    /// (blocked f32 kernel, widened to `f64` at the boundary).
     #[inline]
     pub fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
-        match self {
-            Metric::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum(),
-            Metric::L2 => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| {
-                    let d = (x - y) as f64;
-                    d * d
-                })
-                .sum(),
+        kernels::dist(*self, a, b)
+    }
+}
+
+/// How database vectors are stored inside an [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Quantization {
+    /// Exact f32 rows (4 bytes per dimension).
+    #[default]
+    None,
+    /// Per-dimension int8 scalar quantization (1 byte per dimension,
+    /// asymmetric search, optional exact rescoring).
+    Sq8,
+}
+
+impl std::str::FromStr for Quantization {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Quantization, String> {
+        match s.to_lowercase().as_str() {
+            "none" | "f32" => Ok(Quantization::None),
+            "sq8" | "int8" => Ok(Quantization::Sq8),
+            other => Err(format!("unknown quantization {other:?} (try sq8)")),
         }
     }
 }
 
-/// An IVF index over fixed-dimension f32 vectors.
+/// Default over-fetch multiplier for SQ8 rescoring.
+pub const DEFAULT_RESCORE_FACTOR: usize = 4;
+
+/// The vector payload of an index: exact rows or SQ8 codes.
+enum Storage {
+    F32(Vec<f32>),
+    Sq8 { codes: Vec<u8>, cb: Sq8Codebook },
+}
+
+/// Reusable per-thread search state: centroid ranking buffer, fused
+/// top-k heap and candidate list. One scratch serves any number of
+/// queries — batch search allocates one per pool lane, not per query.
+#[derive(Default)]
+pub struct SearchScratch {
+    /// `(centroid distance, centroid)` ranking buffer.
+    order: Vec<(f32, u32)>,
+    topk: TopK,
+    /// SQ8 candidate buffer between scan and rescore.
+    cand: Vec<(u32, f64)>,
+}
+
+/// An IVF index over fixed-dimension vectors (exact f32 or SQ8-quantized).
 pub struct IvfIndex {
     centroids: Vec<f32>,
     lists: Vec<Vec<u32>>,
-    vectors: Vec<f32>,
+    storage: Storage,
     n: usize,
     d: usize,
     metric: Metric,
+    rescore_factor: usize,
 }
 
 impl IvfIndex {
-    /// Builds an index over the `(N, d)` embedding table with `nlist`
-    /// Voronoi cells (clamped to `N`).
+    /// Builds an exact-storage index over the `(N, d)` embedding table
+    /// with `nlist` Voronoi cells (clamped to `N`).
     pub fn build(embeddings: &Tensor, nlist: usize, metric: Metric, rng: &mut impl Rng) -> Self {
+        Self::build_with(
+            embeddings,
+            nlist,
+            metric,
+            Quantization::None,
+            DEFAULT_RESCORE_FACTOR,
+            rng,
+        )
+    }
+
+    /// Builds an index with explicit storage quantization. With
+    /// [`Quantization::Sq8`] the table is stored as int8 codes (4× smaller)
+    /// and searches over-fetch `rescore_factor · k` candidates for exact
+    /// rescoring when a caller supplies the exact table
+    /// ([`IvfIndex::search_rescored`]).
+    pub fn build_with(
+        embeddings: &Tensor,
+        nlist: usize,
+        metric: Metric,
+        quant: Quantization,
+        rescore_factor: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let d = embeddings.shape().last();
         let n = embeddings.shape().rows();
         assert!(n > 0, "cannot index an empty table");
@@ -64,12 +134,19 @@ impl IvfIndex {
         for &i in ids.iter().take(nlist) {
             centroids.extend_from_slice(&data[i * d..(i + 1) * d]);
         }
-        // Lloyd iterations.
+        // Lloyd iterations: blocked-kernel assignment fanned across the
+        // shared pool (the O(n · nlist · d) inner loop), serial means.
         let mut assign = vec![0u32; n];
         for _ in 0..10 {
-            for (i, slot) in assign.iter_mut().enumerate() {
-                *slot = nearest_centroid(&centroids, d, &data[i * d..(i + 1) * d], metric) as u32;
-            }
+            let per = pool::rows_per_lane(n);
+            let centroids_ref = &centroids;
+            pool::par_chunks_mut(&mut assign, per, |c, chunk| {
+                let start = c * per;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let row = &data[(start + i) * d..(start + i + 1) * d];
+                    *slot = kernels::argmin_row(metric, row, centroids_ref, d) as u32;
+                }
+            });
             let mut sums = vec![0.0f64; nlist * d];
             let mut counts = vec![0usize; nlist];
             for (i, &c) in assign.iter().enumerate() {
@@ -90,13 +167,25 @@ impl IvfIndex {
         for (i, &c) in assign.iter().enumerate() {
             lists[c as usize].push(i as u32);
         }
+        let storage = match quant {
+            Quantization::None => Storage::F32(data.to_vec()),
+            Quantization::Sq8 => {
+                let cb = Sq8Codebook::train(data, d);
+                let mut codes = Vec::with_capacity(n * d);
+                for row in data.chunks_exact(d) {
+                    cb.encode_into(row, &mut codes);
+                }
+                Storage::Sq8 { codes, cb }
+            }
+        };
         IvfIndex {
             centroids,
             lists,
-            vectors: data.to_vec(),
+            storage,
             n,
             d,
             metric,
+            rescore_factor: rescore_factor.max(1),
         }
     }
 
@@ -120,52 +209,205 @@ impl IvfIndex {
         self.d
     }
 
-    /// The indexed vector at position `id` (the compaction path of the
-    /// mutable index reads sealed rows back out).
+    /// The storage quantization of this index.
+    pub fn quantization(&self) -> Quantization {
+        match self.storage {
+            Storage::F32(_) => Quantization::None,
+            Storage::Sq8 { .. } => Quantization::Sq8,
+        }
+    }
+
+    /// Over-fetch multiplier used by SQ8 rescoring.
+    pub fn rescore_factor(&self) -> usize {
+        self.rescore_factor
+    }
+
+    /// The SQ8 codebook, when the index is quantized (the worst-case
+    /// distance error bound quantization-aware tests reason about).
+    pub fn codebook(&self) -> Option<&Sq8Codebook> {
+        match &self.storage {
+            Storage::F32(_) => None,
+            Storage::Sq8 { cb, .. } => Some(cb),
+        }
+    }
+
+    /// The exact indexed vector at position `id`.
+    ///
+    /// # Panics
+    /// On SQ8 storage, which holds no exact rows — use
+    /// [`IvfIndex::decode_vector_into`] there.
     pub fn vector(&self, id: u32) -> &[f32] {
-        &self.vectors[id as usize * self.d..(id as usize + 1) * self.d]
+        match &self.storage {
+            Storage::F32(vectors) => &vectors[id as usize * self.d..(id as usize + 1) * self.d],
+            Storage::Sq8 { .. } => {
+                panic!("IvfIndex::vector on SQ8 storage; use decode_vector_into")
+            }
+        }
+    }
+
+    /// Appends row `id` to `out`: the exact row for f32 storage, the
+    /// decoded (quantized) row for SQ8 — the read-back path compaction
+    /// uses, which works for either storage.
+    pub fn decode_vector_into(&self, id: u32, out: &mut Vec<f32>) {
+        let at = id as usize * self.d;
+        match &self.storage {
+            Storage::F32(vectors) => out.extend_from_slice(&vectors[at..at + self.d]),
+            Storage::Sq8 { codes, cb } => {
+                let start = out.len();
+                out.resize(start + self.d, 0.0);
+                cb.decode_into(&codes[at..at + self.d], &mut out[start..]);
+            }
+        }
     }
 
     /// Approximate resident memory of the index in bytes (Table IX).
     pub fn memory_bytes(&self) -> usize {
-        self.vectors.len() * 4
+        let payload = match &self.storage {
+            Storage::F32(vectors) => vectors.len() * 4,
+            Storage::Sq8 { codes, cb } => codes.len() + cb.memory_bytes(),
+        };
+        payload
             + self.centroids.len() * 4
             + self.lists.iter().map(|l| l.len() * 4 + 24).sum::<usize>()
     }
 
-    /// kNN search probing the `nprobe` nearest Voronoi cells. Returns
-    /// `(id, distance)` sorted ascending; fewer than `k` results only when
-    /// the probed lists hold fewer vectors.
-    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u32, f64)> {
-        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
-        let nprobe = nprobe.clamp(1, self.lists.len());
-        // Rank centroids by distance to the query.
-        let mut order: Vec<usize> = (0..self.lists.len()).collect();
-        let cd: Vec<f64> = (0..self.lists.len())
-            .map(|c| {
-                self.metric
-                    .dist(query, &self.centroids[c * self.d..(c + 1) * self.d])
-            })
-            .collect();
-        order.sort_by(|&a, &b| cd[a].total_cmp(&cd[b]));
-
-        let mut hits: Vec<(u32, f64)> = Vec::new();
-        for &c in order.iter().take(nprobe) {
-            for &id in &self.lists[c] {
-                let v = &self.vectors[id as usize * self.d..(id as usize + 1) * self.d];
-                hits.push((id, self.metric.dist(query, v)));
-            }
+    /// Ranks centroids and leaves the `nprobe` nearest in
+    /// `scratch.order[..nprobe]` (unordered within the prefix — every
+    /// probed list is scanned anyway, so a partial selection via
+    /// `select_nth_unstable` replaces the former full sort).
+    fn probe_prefix(&self, query: &[f32], nprobe: usize, scratch: &mut SearchScratch) {
+        scratch.order.clear();
+        scratch.order.extend((0..self.lists.len() as u32).map(|c| {
+            let row = &self.centroids[c as usize * self.d..(c as usize + 1) * self.d];
+            let cd = match self.metric {
+                Metric::L1 => kernels::l1_f32(query, row),
+                Metric::L2 => kernels::l2_f32(query, row),
+            };
+            (cd, c)
+        }));
+        if nprobe < scratch.order.len() {
+            scratch
+                .order
+                .select_nth_unstable_by(nprobe - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         }
-        hits.sort_by(|a, b| a.1.total_cmp(&b.1));
-        hits.truncate(k);
-        hits
     }
 
-    /// Serialises the index (magic `IVF1`, metric, dims, centroids,
-    /// inverted lists, vectors; little-endian).
+    /// kNN search probing the `nprobe` nearest Voronoi cells. Returns
+    /// `(id, distance)` sorted ascending; fewer than `k` results only when
+    /// the probed lists hold fewer vectors. SQ8 distances are asymmetric
+    /// (exact query vs quantized rows) — supply the exact table via
+    /// [`IvfIndex::search_rescored`] for exact top-k distances.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u32, f64)> {
+        self.search_rescored(query, k, nprobe, None)
+    }
+
+    /// [`IvfIndex::search`] with optional exact rescoring: when `exact`
+    /// carries the original `(N, d)` f32 table, SQ8 searches over-fetch
+    /// the top `rescore_factor · k` quantized candidates and re-rank them
+    /// with exact f32 distances (f32-storage searches are already exact
+    /// and ignore `exact`).
+    pub fn search_rescored(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        exact: Option<&Tensor>,
+    ) -> Vec<(u32, f64)> {
+        let mut scratch = SearchScratch::default();
+        let mut out = Vec::new();
+        self.search_into(&mut scratch, query, k, nprobe, exact, &mut out);
+        out
+    }
+
+    /// The scratch-reusing search core behind every public search entry.
+    pub fn search_into(
+        &self,
+        scratch: &mut SearchScratch,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        exact: Option<&Tensor>,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        if let Some(t) = exact {
+            assert_eq!(t.shape().rows(), self.n, "exact table row mismatch");
+            assert_eq!(t.shape().last(), self.d, "exact table dim mismatch");
+        }
+        let nprobe = nprobe.clamp(1, self.lists.len());
+        self.probe_prefix(query, nprobe, scratch);
+        match &self.storage {
+            Storage::F32(vectors) => {
+                scratch.topk.reset(k);
+                for &(_, c) in &scratch.order[..nprobe] {
+                    kernels::scan_ids(
+                        self.metric,
+                        query,
+                        vectors,
+                        self.d,
+                        &self.lists[c as usize],
+                        &mut scratch.topk,
+                    );
+                }
+                scratch.topk.drain_sorted_into(out);
+            }
+            Storage::Sq8 { codes, cb } => {
+                let fetch = if exact.is_some() {
+                    k.saturating_mul(self.rescore_factor).max(k)
+                } else {
+                    k
+                };
+                scratch.topk.reset(fetch);
+                for &(_, c) in &scratch.order[..nprobe] {
+                    kernels::sq8_scan_ids(
+                        self.metric,
+                        query,
+                        codes,
+                        self.d,
+                        cb,
+                        &self.lists[c as usize],
+                        &mut scratch.topk,
+                    );
+                }
+                match exact {
+                    Some(table) => {
+                        scratch.topk.drain_sorted_into(&mut scratch.cand);
+                        scratch.topk.reset(k);
+                        for &(id, _) in scratch.cand.iter() {
+                            let row = table.row(id as usize);
+                            scratch
+                                .topk
+                                .offer(id, kernels::dist(self.metric, query, row));
+                        }
+                        scratch.topk.drain_sorted_into(out);
+                    }
+                    None => scratch.topk.drain_sorted_into(out),
+                }
+            }
+        }
+    }
+
+    /// Serialises the index. Exact-storage indexes keep the original
+    /// `IVF1` layout (metric, dims, centroids, inverted lists, f32 rows;
+    /// little-endian) so pre-quantization readers still load them; SQ8
+    /// indexes write the `IVF2` section (adds the rescore factor, the
+    /// per-dimension codebook and int8 codes). The output buffer is
+    /// preallocated to its exact final size.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.vectors.len() * 4);
-        out.extend_from_slice(b"IVF1");
+        let list_bytes: usize = self.lists.iter().map(|l| 4 + l.len() * 4).sum();
+        let header = 4 + 1 + 4 + 4 + 4;
+        let expected = header
+            + self.centroids.len() * 4
+            + list_bytes
+            + match &self.storage {
+                Storage::F32(vectors) => vectors.len() * 4,
+                Storage::Sq8 { codes, .. } => 4 + self.d * 8 + codes.len(),
+            };
+        let mut out = Vec::with_capacity(expected);
+        out.extend_from_slice(match &self.storage {
+            Storage::F32(_) => b"IVF1",
+            Storage::Sq8 { .. } => b"IVF2",
+        });
         out.push(match self.metric {
             Metric::L1 => 0u8,
             Metric::L2 => 1u8,
@@ -173,6 +415,9 @@ impl IvfIndex {
         out.extend_from_slice(&(self.n as u32).to_le_bytes());
         out.extend_from_slice(&(self.d as u32).to_le_bytes());
         out.extend_from_slice(&(self.lists.len() as u32).to_le_bytes());
+        if let Storage::Sq8 { .. } = &self.storage {
+            out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+        }
         for &c in &self.centroids {
             out.extend_from_slice(&c.to_le_bytes());
         }
@@ -182,83 +427,101 @@ impl IvfIndex {
                 out.extend_from_slice(&id.to_le_bytes());
             }
         }
-        for &v in &self.vectors {
-            out.extend_from_slice(&v.to_le_bytes());
+        match &self.storage {
+            Storage::F32(vectors) => {
+                for &v in vectors {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Storage::Sq8 { codes, cb } => {
+                for &v in cb.bias.iter().chain(&cb.scale) {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(codes);
+            }
         }
+        debug_assert_eq!(out.len(), expected, "to_bytes size accounting drifted");
         out
     }
 
-    /// Restores an index from [`IvfIndex::to_bytes`] output; `None` when
-    /// the buffer is malformed.
+    /// Restores an index from [`IvfIndex::to_bytes`] output (both the
+    /// legacy `IVF1` and the quantized `IVF2` sections); `None` when the
+    /// buffer is malformed. Parsing is zero-copy over the input slice —
+    /// fields decode straight out of `bytes` with no intermediate buffer.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        let mut r = bytes;
-        let take = |r: &mut &[u8], n: usize| -> Option<Vec<u8>> {
-            if r.len() < n {
-                return None;
-            }
-            let (head, rest) = r.split_at(n);
-            *r = rest;
-            Some(head.to_vec())
+        let mut r = Reader(bytes);
+        let quant = match r.bytes(4)? {
+            b"IVF1" => Quantization::None,
+            b"IVF2" => Quantization::Sq8,
+            _ => return None,
         };
-        let u32_of = |r: &mut &[u8]| -> Option<u32> {
-            take(r, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-        };
-        if take(&mut r, 4)? != b"IVF1" {
-            return None;
-        }
-        let metric = match take(&mut r, 1)?[0] {
+        let metric = match r.u8()? {
             0 => Metric::L1,
             1 => Metric::L2,
             _ => return None,
         };
-        let n = u32_of(&mut r)? as usize;
-        let d = u32_of(&mut r)? as usize;
-        let nlist = u32_of(&mut r)? as usize;
-        let nc = nlist.checked_mul(d)?.checked_mul(4)?;
-        let raw = take(&mut r, nc)?;
-        let centroids: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let n = r.u32()? as usize;
+        let d = r.u32()? as usize;
+        let nlist = r.u32()? as usize;
+        let rescore_factor = match quant {
+            Quantization::None => DEFAULT_RESCORE_FACTOR,
+            Quantization::Sq8 => (r.u32()? as usize).max(1),
+        };
+        let centroids = r.f32_vec(nlist.checked_mul(d)?)?;
         let mut lists = Vec::with_capacity(nlist);
         let mut total_ids = 0usize;
         for _ in 0..nlist {
-            let len = u32_of(&mut r)? as usize;
+            let len = r.u32()? as usize;
             total_ids += len;
             if total_ids > n {
                 return None;
             }
-            let raw = take(&mut r, len.checked_mul(4)?)?;
-            lists.push(
-                raw.chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect::<Vec<u32>>(),
-            );
+            lists.push(r.u32_vec(len)?);
         }
         if total_ids != n || lists.iter().flatten().any(|&id| id as usize >= n) {
             return None;
         }
-        let nv = n.checked_mul(d)?.checked_mul(4)?;
-        let raw = take(&mut r, nv)?;
-        let vectors: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        if !r.is_empty() {
+        let storage = match quant {
+            Quantization::None => Storage::F32(r.f32_vec(n.checked_mul(d)?)?),
+            Quantization::Sq8 => {
+                let bias = r.f32_vec(d)?;
+                let scale = r.f32_vec(d)?;
+                let codes = r.bytes(n.checked_mul(d)?)?.to_vec();
+                Storage::Sq8 {
+                    codes,
+                    cb: Sq8Codebook { bias, scale },
+                }
+            }
+        };
+        if !r.0.is_empty() {
             return None;
         }
         Some(IvfIndex {
             centroids,
             lists,
-            vectors,
+            storage,
             n,
             d,
             metric,
+            rescore_factor,
         })
     }
 
-    /// Batched parallel search.
+    /// Batched parallel search (one reusable [`SearchScratch`] per pool
+    /// lane, not per query).
     pub fn batch_search(&self, queries: &Tensor, k: usize, nprobe: usize) -> Vec<Vec<(u32, f64)>> {
+        self.batch_search_rescored(queries, k, nprobe, None)
+    }
+
+    /// [`IvfIndex::batch_search`] with optional exact rescoring (see
+    /// [`IvfIndex::search_rescored`]).
+    pub fn batch_search_rescored(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        nprobe: usize,
+        exact: Option<&Tensor>,
+    ) -> Vec<Vec<(u32, f64)>> {
         let q = queries.shape().rows();
         assert_eq!(
             queries.shape().last(),
@@ -269,31 +532,60 @@ impl IvfIndex {
         let per = pool::rows_per_lane(q);
         let qd = queries.data();
         pool::par_chunks_mut(&mut out, per, |c, chunk| {
+            let mut scratch = SearchScratch::default();
             let start = c * per;
             for (i, slot) in chunk.iter_mut().enumerate() {
                 let row = &qd[(start + i) * self.d..(start + i + 1) * self.d];
-                *slot = self.search(row, k, nprobe);
+                self.search_into(&mut scratch, row, k, nprobe, exact, slot);
             }
         });
         out
     }
 }
 
-fn nearest_centroid(centroids: &[f32], d: usize, v: &[f32], metric: Metric) -> usize {
-    let mut best = 0;
-    let mut best_d = f64::INFINITY;
-    for c in 0..centroids.len() / d {
-        let dist = metric.dist(v, &centroids[c * d..(c + 1) * d]);
-        if dist < best_d {
-            best_d = dist;
-            best = c;
+/// Zero-copy little-endian field reader over a borrowed byte slice.
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
         }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Some(head)
     }
-    best
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f32_vec(&mut self, count: usize) -> Option<Vec<f32>> {
+        let raw = self.bytes(count.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+
+    fn u32_vec(&mut self, count: usize) -> Option<Vec<u32>> {
+        let raw = self.bytes(count.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
 }
 
 /// Exact brute-force kNN over an embedding table (baseline for recall
-/// measurements).
+/// measurements): a fused blocked scan, no candidate materialisation.
 pub fn brute_force_knn(
     embeddings: &Tensor,
     query: &[f32],
@@ -301,22 +593,15 @@ pub fn brute_force_knn(
     metric: Metric,
 ) -> Vec<(u32, f64)> {
     let d = embeddings.shape().last();
-    let n = embeddings.shape().rows();
-    let mut hits: Vec<(u32, f64)> = (0..n)
-        .map(|i| {
-            (
-                i as u32,
-                metric.dist(query, &embeddings.data()[i * d..(i + 1) * d]),
-            )
-        })
-        .collect();
-    hits.sort_by(|a, b| a.1.total_cmp(&b.1));
-    hits.truncate(k);
-    hits
+    assert_eq!(query.len(), d, "query dimensionality mismatch");
+    let mut topk = TopK::new(k);
+    kernels::scan_block(metric, query, embeddings.data(), d, 0, &mut topk);
+    topk.into_sorted()
 }
 
 /// Parallel batched brute-force kNN: one result row per query row,
 /// splitting queries across the shared pool (the engine's no-IVF route).
+/// Each lane reuses one fused top-k heap across all its queries.
 pub fn brute_force_batch_knn(
     embeddings: &Tensor,
     queries: &Tensor,
@@ -329,11 +614,15 @@ pub fn brute_force_batch_knn(
     let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); q];
     let per = pool::rows_per_lane(q);
     let qd = queries.data();
+    let table = embeddings.data();
     pool::par_chunks_mut(&mut out, per, |c, chunk| {
+        let mut topk = TopK::new(k);
         let start = c * per;
         for (i, slot) in chunk.iter_mut().enumerate() {
             let row = &qd[(start + i) * d..(start + i + 1) * d];
-            *slot = brute_force_knn(embeddings, row, k, metric);
+            topk.reset(k);
+            kernels::scan_block(metric, row, table, d, 0, &mut topk);
+            topk.drain_sorted_into(slot);
         }
     });
     out
@@ -431,6 +720,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let index = IvfIndex::build(&emb, 10, Metric::L1, &mut rng);
         let bytes = index.to_bytes();
+        assert_eq!(&bytes[..4], b"IVF1", "f32 storage keeps the IVF1 layout");
         let restored = IvfIndex::from_bytes(&bytes).expect("round trip");
         assert_eq!(restored.len(), index.len());
         assert_eq!(restored.nlist(), index.nlist());
@@ -454,6 +744,10 @@ mod tests {
         assert!(IvfIndex::from_bytes(&bytes).is_none());
         bytes.clear();
         assert!(IvfIndex::from_bytes(&bytes).is_none());
+        // Trailing garbage after a valid payload is rejected too.
+        let mut bytes = index.to_bytes();
+        bytes.push(0);
+        assert!(IvfIndex::from_bytes(&bytes).is_none());
     }
 
     #[test]
@@ -462,5 +756,109 @@ mod tests {
         let index = IvfIndex::build(&emb, 100, Metric::L2, &mut StdRng::seed_from_u64(0));
         assert_eq!(index.nlist(), 3);
         assert_eq!(index.search(emb.row(0), 3, 100).len(), 3);
+    }
+
+    #[test]
+    fn sq8_memory_is_a_quarter_of_f32() {
+        let emb = table(1000, 32, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let f32_index = IvfIndex::build(&emb, 16, Metric::L1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(21);
+        let sq8 = IvfIndex::build_with(&emb, 16, Metric::L1, Quantization::Sq8, 4, &mut rng);
+        assert!(
+            (sq8.memory_bytes() as f64) < 0.30 * f32_index.memory_bytes() as f64,
+            "sq8 {} vs f32 {}",
+            sq8.memory_bytes(),
+            f32_index.memory_bytes()
+        );
+        assert_eq!(sq8.quantization(), Quantization::Sq8);
+        assert_eq!(f32_index.quantization(), Quantization::None);
+    }
+
+    #[test]
+    fn sq8_full_probe_distances_stay_within_quantization_bound() {
+        let emb = table(200, 16, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let index = IvfIndex::build_with(&emb, 8, Metric::L1, Quantization::Sq8, 4, &mut rng);
+        let bound = index.codebook().expect("sq8").l1_error_bound();
+        for qi in [3usize, 77, 140] {
+            let q = emb.row(qi);
+            for (id, d) in index.search(q, 10, index.nlist()) {
+                let exact = Metric::L1.dist(q, emb.row(id as usize));
+                assert!(
+                    (d - exact).abs() <= bound + 1e-5,
+                    "id {id}: sq8 {d} vs exact {exact} (bound {bound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_rescoring_returns_exact_distances() {
+        let emb = table(300, 12, 24);
+        let mut rng = StdRng::seed_from_u64(25);
+        let index = IvfIndex::build_with(&emb, 8, Metric::L1, Quantization::Sq8, 4, &mut rng);
+        let q = emb.row(9);
+        let rescored = index.search_rescored(q, 5, index.nlist(), Some(&emb));
+        assert_eq!(rescored[0], (9, 0.0), "self-query must rescore to zero");
+        for &(id, d) in &rescored {
+            let exact = Metric::L1.dist(q, emb.row(id as usize));
+            assert!((d - exact).abs() < 1e-9, "rescored distance must be exact");
+        }
+        // Batch rescoring agrees with the single-query path.
+        let queries = table(5, 12, 26);
+        let batch = index.batch_search_rescored(&queries, 4, 8, Some(&emb));
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(
+                hits,
+                &index.search_rescored(queries.row(i), 4, 8, Some(&emb))
+            );
+        }
+    }
+
+    #[test]
+    fn sq8_serialization_round_trip() {
+        let emb = table(90, 10, 30);
+        let mut rng = StdRng::seed_from_u64(31);
+        let index = IvfIndex::build_with(&emb, 6, Metric::L2, Quantization::Sq8, 7, &mut rng);
+        let bytes = index.to_bytes();
+        assert_eq!(&bytes[..4], b"IVF2");
+        let restored = IvfIndex::from_bytes(&bytes).expect("round trip");
+        assert_eq!(restored.rescore_factor(), 7);
+        assert_eq!(restored.to_bytes(), bytes, "bit-exact round trip");
+        for qi in [0usize, 44, 89] {
+            assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn decode_vector_matches_storage() {
+        let emb = table(40, 6, 33);
+        let mut rng = StdRng::seed_from_u64(34);
+        let f32_index = IvfIndex::build(&emb, 4, Metric::L1, &mut rng);
+        let mut out = Vec::new();
+        f32_index.decode_vector_into(7, &mut out);
+        assert_eq!(out.as_slice(), f32_index.vector(7));
+        let mut rng = StdRng::seed_from_u64(34);
+        let sq8 = IvfIndex::build_with(&emb, 4, Metric::L1, Quantization::Sq8, 4, &mut rng);
+        let bound = sq8.codebook().unwrap();
+        let mut decoded = Vec::new();
+        sq8.decode_vector_into(7, &mut decoded);
+        for (j, (&v, &w)) in emb.row(7).iter().zip(&decoded).enumerate() {
+            assert!((v - w).abs() <= bound.step_error(j) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn brute_force_batch_matches_single() {
+        let emb = table(120, 8, 40);
+        let queries = table(7, 8, 41);
+        let batch = brute_force_batch_knn(&emb, &queries, 6, Metric::L2);
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(hits, &brute_force_knn(&emb, queries.row(i), 6, Metric::L2));
+        }
     }
 }

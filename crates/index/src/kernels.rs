@@ -1,0 +1,609 @@
+//! Blocked, SIMD-friendly distance kernels, fused bounded top-k selection,
+//! and the SQ8 scalar quantizer — the compute core of million-scale kNN.
+//!
+//! Design notes:
+//!
+//! * **Distance kernels** accumulate in `f32` across 8 independent lanes
+//!   (one accumulator per unrolled element), so LLVM auto-vectorizes the
+//!   inner loop into full-width SIMD without any per-element `f64` upcast.
+//!   Database vectors live in contiguous row-major (SoA) storage; a search
+//!   streams one query against a block of rows, touching each cache line
+//!   exactly once.
+//! * **[`TopK`]** is a bounded binary max-heap fused into the scan: a
+//!   candidate whose distance is not below the current k-th best is
+//!   rejected with one comparison (early abandon), no full sort of the
+//!   candidate set ever happens, and the heap storage is reusable across
+//!   queries (see [`crate::ivf::SearchScratch`]) — no per-candidate-list
+//!   allocation.
+//! * **[`Sq8Codebook`]** quantizes each dimension independently to int8
+//!   codes (`v ≈ bias_j + scale_j · code_j`, code ∈ 0..=255). The
+//!   asymmetric kernels compare an exact `f32` query against quantized
+//!   database rows by decoding inline — two fused multiply-adds per
+//!   element, still auto-vectorizable — so the database shrinks 4× while
+//!   queries lose no precision.
+
+use crate::ivf::Metric;
+
+/// Unroll width of the f32 kernels (accumulator lanes).
+const LANES: usize = 8;
+
+/// L1 distance, f32 accumulation, 8-wide unrolled.
+#[inline]
+pub fn l1_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..LANES {
+            acc[j] += (xa[j] - xb[j]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (x - y).abs();
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Squared L2 distance, f32 accumulation, 8-wide unrolled.
+#[inline]
+pub fn l2_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..LANES {
+            let d = xa[j] - xb[j];
+            acc[j] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Distance under `metric` (f32 kernel, widened to `f64` at the boundary).
+#[inline]
+pub fn dist(metric: Metric, a: &[f32], b: &[f32]) -> f64 {
+    match metric {
+        Metric::L1 => l1_f32(a, b) as f64,
+        Metric::L2 => l2_f32(a, b) as f64,
+    }
+}
+
+/// Streams `query` against the contiguous `(rows.len()/d, d)` block `rows`,
+/// offering every row to `topk` as id `base + row_index`.
+#[inline]
+pub fn scan_block(
+    metric: Metric,
+    query: &[f32],
+    rows: &[f32],
+    d: usize,
+    base: u32,
+    topk: &mut TopK,
+) {
+    debug_assert_eq!(rows.len() % d, 0);
+    match metric {
+        Metric::L1 => {
+            for (i, row) in rows.chunks_exact(d).enumerate() {
+                topk.offer(base + i as u32, l1_f32(query, row) as f64);
+            }
+        }
+        Metric::L2 => {
+            for (i, row) in rows.chunks_exact(d).enumerate() {
+                topk.offer(base + i as u32, l2_f32(query, row) as f64);
+            }
+        }
+    }
+}
+
+/// Like [`scan_block`] but over a gather list of row ids into `rows`
+/// (the inverted-list scan: ids index the full SoA table).
+#[inline]
+pub fn scan_ids(
+    metric: Metric,
+    query: &[f32],
+    rows: &[f32],
+    d: usize,
+    ids: &[u32],
+    topk: &mut TopK,
+) {
+    match metric {
+        Metric::L1 => {
+            for &id in ids {
+                let row = &rows[id as usize * d..(id as usize + 1) * d];
+                topk.offer(id, l1_f32(query, row) as f64);
+            }
+        }
+        Metric::L2 => {
+            for &id in ids {
+                let row = &rows[id as usize * d..(id as usize + 1) * d];
+                topk.offer(id, l2_f32(query, row) as f64);
+            }
+        }
+    }
+}
+
+/// Index of the nearest row of `rows` to `query` (k-means assignment
+/// inner step); `rows` is contiguous `(n, d)`.
+#[inline]
+pub fn argmin_row(metric: Metric, query: &[f32], rows: &[f32], d: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    match metric {
+        Metric::L1 => {
+            for (i, row) in rows.chunks_exact(d).enumerate() {
+                let dd = l1_f32(query, row);
+                if dd < best_d {
+                    best_d = dd;
+                    best = i;
+                }
+            }
+        }
+        Metric::L2 => {
+            for (i, row) in rows.chunks_exact(d).enumerate() {
+                let dd = l2_f32(query, row);
+                if dd < best_d {
+                    best_d = dd;
+                    best = i;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// A bounded top-k selector: binary max-heap over `(distance, id)` with
+/// the heap root as the early-abandon bound.
+///
+/// Ordering is `(distance, id)` ascending, so results are deterministic
+/// even across equal distances. `offer` is O(1) for rejected candidates
+/// (one comparison against the current k-th best) and O(log k) for
+/// accepted ones. The backing storage is retained across [`TopK::reset`]
+/// calls, so one scratch heap serves any number of queries without
+/// reallocating.
+#[derive(Default)]
+pub struct TopK {
+    k: usize,
+    /// Max-heap: `heap[0]` is the worst retained candidate.
+    heap: Vec<(f64, u32)>,
+}
+
+impl TopK {
+    /// An empty selector for `k` results.
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: Vec::with_capacity(k.min(1 << 20)),
+        }
+    }
+
+    /// Clears the selector and re-arms it for `k` results, keeping the
+    /// backing allocation.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        // `reserve` is relative to the (now zero) length, so this
+        // guarantees capacity for k retained candidates up front — capped
+        // so a wire-supplied absurd k cannot become an absurd allocation.
+        self.heap.reserve(k.min(1 << 20));
+    }
+
+    /// Number of retained candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th best distance — the early-abandon bound. Any
+    /// candidate at or above it cannot enter the result set.
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    /// Offers a candidate; rejects in O(1) when it cannot rank.
+    #[inline]
+    pub fn offer(&mut self, id: u32, dist: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push((dist, id));
+            self.sift_up(self.heap.len() - 1);
+        } else if self.k > 0 && Self::less((dist, id), self.heap[0]) {
+            self.heap[0] = (dist, id);
+            self.sift_down(0);
+        }
+    }
+
+    /// `(dist, id)` lexicographic order (total over f64 via `total_cmp`).
+    #[inline]
+    fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+        match a.0.total_cmp(&b.0) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.1 < b.1,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(self.heap[parent], self.heap[i]) {
+                self.heap.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && Self::less(self.heap[largest], self.heap[l]) {
+                largest = l;
+            }
+            if r < self.heap.len() && Self::less(self.heap[largest], self.heap[r]) {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Drains the retained candidates into `out` as `(id, dist)` sorted
+    /// ascending by `(dist, id)`, leaving the selector empty (storage
+    /// kept). `out` is cleared first.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        out.extend(self.heap.iter().map(|&(d, id)| (id, d)));
+        self.heap.clear();
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    }
+
+    /// Convenience: drain into a fresh vector.
+    pub fn into_sorted(mut self) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        self.drain_sorted_into(&mut out);
+        out
+    }
+}
+
+/// Per-dimension affine scalar quantizer: `v_j ≈ bias_j + scale_j · c_j`
+/// with `c_j ∈ 0..=255` (one byte per dimension, 4× smaller than f32).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sq8Codebook {
+    /// Per-dimension minimum (the value of code 0).
+    pub bias: Vec<f32>,
+    /// Per-dimension step (the value span of one code increment).
+    pub scale: Vec<f32>,
+}
+
+impl Sq8Codebook {
+    /// Trains the per-dimension ranges over a contiguous `(n, d)` table.
+    pub fn train(data: &[f32], d: usize) -> Sq8Codebook {
+        assert!(
+            d > 0 && data.len().is_multiple_of(d),
+            "table must be (n, d)"
+        );
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for row in data.chunks_exact(d) {
+            for (j, &v) in row.iter().enumerate() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+        let scale = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| {
+                let span = h - l;
+                // Degenerate dimension (constant, or empty table): a zero
+                // scale keeps every code at 0 and decodes exactly to bias.
+                if span.is_finite() && span > 0.0 {
+                    span / 255.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let bias = lo
+            .into_iter()
+            .map(|l| if l.is_finite() { l } else { 0.0 })
+            .collect();
+        Sq8Codebook { bias, scale }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Encodes one `d`-vector, appending `d` codes to `out`.
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        debug_assert_eq!(v.len(), self.dim());
+        out.extend(
+            v.iter()
+                .zip(&self.bias)
+                .zip(&self.scale)
+                .map(|((&x, &b), &s)| {
+                    if s > 0.0 {
+                        ((x - b) / s).round().clamp(0.0, 255.0) as u8
+                    } else {
+                        0u8
+                    }
+                }),
+        );
+    }
+
+    /// Decodes `codes` (one row) into `out[..d]`.
+    pub fn decode_into(&self, codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(codes.len(), self.dim());
+        for ((o, &c), (&b, &s)) in out
+            .iter_mut()
+            .zip(codes)
+            .zip(self.bias.iter().zip(&self.scale))
+        {
+            *o = b + s * c as f32;
+        }
+    }
+
+    /// Worst-case absolute error of one decoded coordinate in dimension
+    /// `j` (half a quantization step).
+    pub fn step_error(&self, j: usize) -> f32 {
+        self.scale[j] * 0.5
+    }
+
+    /// Worst-case L1 distance error of one quantized row (the sum of all
+    /// per-dimension half-steps) — the bound quantization-aware tests and
+    /// the rescoring margin reason about.
+    pub fn l1_error_bound(&self) -> f64 {
+        self.scale.iter().map(|&s| s as f64 * 0.5).sum()
+    }
+
+    /// Approximate resident bytes of the codebook itself.
+    pub fn memory_bytes(&self) -> usize {
+        (self.bias.len() + self.scale.len()) * 4
+    }
+}
+
+/// Asymmetric L1: exact f32 `query` vs one quantized row, decoding inline
+/// (`chunks_exact` zips keep the loop bounds-check-free so it vectorizes
+/// like the pure-f32 kernels).
+#[inline]
+pub fn sq8_l1_asym(query: &[f32], codes: &[u8], bias: &[f32], scale: &[f32]) -> f32 {
+    debug_assert_eq!(query.len(), codes.len());
+    let mut acc = [0.0f32; LANES];
+    let mut cq = query.chunks_exact(LANES);
+    let mut cc = codes.chunks_exact(LANES);
+    let mut cb = bias.chunks_exact(LANES);
+    let mut cs = scale.chunks_exact(LANES);
+    for (((xq, xc), xb), xs) in (&mut cq).zip(&mut cc).zip(&mut cb).zip(&mut cs) {
+        for j in 0..LANES {
+            let v = xb[j] + xs[j] * xc[j] as f32;
+            acc[j] += (xq[j] - v).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for (((&q, &c), &b), &s) in cq
+        .remainder()
+        .iter()
+        .zip(cc.remainder())
+        .zip(cb.remainder())
+        .zip(cs.remainder())
+    {
+        tail += (q - (b + s * c as f32)).abs();
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Asymmetric squared L2: exact f32 `query` vs one quantized row.
+#[inline]
+pub fn sq8_l2_asym(query: &[f32], codes: &[u8], bias: &[f32], scale: &[f32]) -> f32 {
+    debug_assert_eq!(query.len(), codes.len());
+    let mut acc = [0.0f32; LANES];
+    let mut cq = query.chunks_exact(LANES);
+    let mut cc = codes.chunks_exact(LANES);
+    let mut cb = bias.chunks_exact(LANES);
+    let mut cs = scale.chunks_exact(LANES);
+    for (((xq, xc), xb), xs) in (&mut cq).zip(&mut cc).zip(&mut cb).zip(&mut cs) {
+        for j in 0..LANES {
+            let v = xb[j] + xs[j] * xc[j] as f32;
+            let d = xq[j] - v;
+            acc[j] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (((&q, &c), &b), &s) in cq
+        .remainder()
+        .iter()
+        .zip(cc.remainder())
+        .zip(cb.remainder())
+        .zip(cs.remainder())
+    {
+        let d = q - (b + s * c as f32);
+        tail += d * d;
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Asymmetric distance under `metric` (f64 at the boundary).
+#[inline]
+pub fn sq8_dist(metric: Metric, query: &[f32], codes: &[u8], cb: &Sq8Codebook) -> f64 {
+    match metric {
+        Metric::L1 => sq8_l1_asym(query, codes, &cb.bias, &cb.scale) as f64,
+        Metric::L2 => sq8_l2_asym(query, codes, &cb.bias, &cb.scale) as f64,
+    }
+}
+
+/// Scans quantized rows by gather list, offering to `topk` (the SQ8
+/// inverted-list scan; `codes` is the full `(n, d)` code table).
+#[inline]
+pub fn sq8_scan_ids(
+    metric: Metric,
+    query: &[f32],
+    codes: &[u8],
+    d: usize,
+    cb: &Sq8Codebook,
+    ids: &[u32],
+    topk: &mut TopK,
+) {
+    for &id in ids {
+        let row = &codes[id as usize * d..(id as usize + 1) * d];
+        topk.offer(id, sq8_dist(metric, query, row, cb));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randv(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-3.0f32..3.0)).collect()
+    }
+
+    #[test]
+    fn f32_kernels_match_scalar_reference() {
+        for d in [1usize, 7, 8, 9, 31, 64, 130] {
+            let a = randv(d, d as u64);
+            let b = randv(d, d as u64 + 99);
+            let l1_ref: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            let l2_ref: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!((l1_f32(&a, &b) - l1_ref).abs() < 1e-4, "L1 d={d}");
+            assert!((l2_f32(&a, &b) - l2_ref).abs() < 1e-3, "L2 d={d}");
+        }
+    }
+
+    #[test]
+    fn topk_selects_k_smallest_with_deterministic_ties() {
+        let mut topk = TopK::new(3);
+        for (id, d) in [
+            (5u32, 2.0f64),
+            (1, 1.0),
+            (7, 1.0),
+            (2, 3.0),
+            (9, 0.5),
+            (4, 2.0),
+        ] {
+            topk.offer(id, d);
+        }
+        assert_eq!(topk.into_sorted(), vec![(9, 0.5), (1, 1.0), (7, 1.0)]);
+        // k larger than the candidate count keeps everything.
+        let mut topk = TopK::new(10);
+        topk.offer(3, 1.5);
+        topk.offer(1, 0.5);
+        assert_eq!(topk.into_sorted(), vec![(1, 0.5), (3, 1.5)]);
+        // k = 0 retains nothing.
+        let mut topk = TopK::new(0);
+        topk.offer(1, 0.0);
+        assert!(topk.is_empty());
+    }
+
+    #[test]
+    fn topk_matches_full_sort_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(1usize..200);
+            let k = rng.gen_range(1usize..20);
+            let cands: Vec<(u32, f64)> = (0..n)
+                .map(|i| (i as u32, rng.gen_range(0.0..10.0f64)))
+                .collect();
+            let mut topk = TopK::new(k);
+            for &(id, d) in &cands {
+                topk.offer(id, d);
+            }
+            let mut want = cands.clone();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            want.truncate(k);
+            assert_eq!(topk.into_sorted(), want);
+        }
+    }
+
+    #[test]
+    fn topk_bound_tracks_kth_best() {
+        let mut topk = TopK::new(2);
+        assert_eq!(topk.bound(), f64::INFINITY);
+        topk.offer(0, 5.0);
+        assert_eq!(topk.bound(), f64::INFINITY);
+        topk.offer(1, 3.0);
+        assert_eq!(topk.bound(), 5.0);
+        topk.offer(2, 1.0);
+        assert_eq!(topk.bound(), 3.0);
+    }
+
+    #[test]
+    fn sq8_round_trip_error_is_bounded() {
+        let d = 24;
+        let data = randv(96 * d, 5);
+        let cb = Sq8Codebook::train(&data, d);
+        let mut codes = Vec::new();
+        let mut decoded = vec![0.0f32; d];
+        for row in data.chunks_exact(d) {
+            codes.clear();
+            cb.encode_into(row, &mut codes);
+            cb.decode_into(&codes, &mut decoded);
+            for (j, (&v, &w)) in row.iter().zip(&decoded).enumerate() {
+                assert!(
+                    (v - w).abs() <= cb.step_error(j) + 1e-6,
+                    "dim {j}: {v} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_handles_constant_dimensions() {
+        // One constant dimension must decode exactly and never divide by 0.
+        let d = 3;
+        let data = vec![1.0f32, 7.5, -2.0, 3.0, 7.5, 2.0];
+        let cb = Sq8Codebook::train(&data, d);
+        let mut codes = Vec::new();
+        cb.encode_into(&data[..d], &mut codes);
+        let mut decoded = vec![0.0f32; d];
+        cb.decode_into(&codes, &mut decoded);
+        assert_eq!(decoded[1], 7.5);
+    }
+
+    #[test]
+    fn asymmetric_distance_close_to_exact() {
+        let d = 32;
+        let n = 64;
+        let data = randv(n * d, 9);
+        let cb = Sq8Codebook::train(&data, d);
+        let mut codes = Vec::new();
+        for row in data.chunks_exact(d) {
+            cb.encode_into(row, &mut codes);
+        }
+        let q = randv(d, 1234);
+        for i in 0..n {
+            let row = &data[i * d..(i + 1) * d];
+            let crow = &codes[i * d..(i + 1) * d];
+            let exact = l1_f32(&q, row) as f64;
+            let approx = sq8_dist(Metric::L1, &q, crow, &cb);
+            assert!(
+                (exact - approx).abs() <= cb.l1_error_bound() + 1e-5,
+                "row {i}: exact {exact} vs sq8 {approx}"
+            );
+        }
+    }
+}

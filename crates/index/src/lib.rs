@@ -13,11 +13,21 @@
 //! For serving, [`MutableIndex`] wraps the IVF machinery in an upsert /
 //! remove / compact lifecycle with immutable, atomically-swapped read
 //! snapshots ([`IndexSnapshot`]).
+//!
+//! All hot paths run through [`kernels`]: blocked SIMD-friendly f32
+//! distance kernels, a fused bounded top-k selector ([`TopK`]) and the
+//! SQ8 scalar quantizer ([`Sq8Codebook`]) behind
+//! [`Quantization::Sq8`]-configured indexes.
 
 pub mod hausdorff_index;
 pub mod ivf;
+pub mod kernels;
 pub mod mutable;
 
 pub use hausdorff_index::SegmentHausdorffIndex;
-pub use ivf::{brute_force_batch_knn, brute_force_knn, IvfIndex, Metric};
-pub use mutable::{IndexSnapshot, MutableIndex};
+pub use ivf::{
+    brute_force_batch_knn, brute_force_knn, IvfIndex, Metric, Quantization, SearchScratch,
+    DEFAULT_RESCORE_FACTOR,
+};
+pub use kernels::{Sq8Codebook, TopK};
+pub use mutable::{IndexOptions, IndexSnapshot, MutableIndex};

@@ -20,7 +20,11 @@
 //!
 //! [`MutableIndex::compact`] folds tombstones and buffer into a newly
 //! trained sealed part (k-means re-run), emptying the mutable tail. Its
-//! cost is a full rebuild. Buffer-only writes republish in O(buffer)
+//! cost is a full rebuild. With [`Quantization::Sq8`] the sealed part
+//! stores int8 codes (the write buffer always stays exact f32); a
+//! compaction then reads sealed rows back *decoded*, so re-sealing a
+//! quantized part re-encodes values that already sit on the code lattice —
+//! the error does not compound beyond the codebook's per-step bound. Buffer-only writes republish in O(buffer)
 //! pointer copies (vectors and the tombstone bitmap are `Arc`-shared
 //! with snapshots); a write that tombstones a sealed position
 //! additionally pays one bitmap copy-on-write.
@@ -32,7 +36,36 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trajcl_tensor::{Shape, Tensor};
 
-use crate::ivf::{brute_force_knn, IvfIndex, Metric};
+use crate::ivf::{brute_force_knn, IvfIndex, Metric, Quantization, DEFAULT_RESCORE_FACTOR};
+
+/// Construction options for a [`MutableIndex`]: how the sealed part is
+/// trained and stored.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// IVF cells to train at every compaction (`None` = flat scan, unless
+    /// quantization forces an IVF container).
+    pub nlist: Option<usize>,
+    /// Seed for deterministic k-means retraining.
+    pub seed: u64,
+    /// Storage quantization of the sealed part. [`Quantization::Sq8`]
+    /// stores sealed rows as int8 codes (4× smaller); the write buffer
+    /// always stays exact f32 until the next compaction.
+    pub quantization: Quantization,
+    /// Over-fetch multiplier carried into the sealed [`IvfIndex`] for
+    /// callers that rescore against an exact table.
+    pub rescore_factor: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            nlist: None,
+            seed: 0,
+            quantization: Quantization::None,
+            rescore_factor: DEFAULT_RESCORE_FACTOR,
+        }
+    }
+}
 
 /// Where an external id currently lives (writer-side bookkeeping).
 #[derive(Clone, Copy, Debug)]
@@ -59,10 +92,19 @@ impl Sealed {
         }
     }
 
-    fn vector(&self, pos: u32) -> &[f32] {
+    /// Appends row `pos` to `out` (decoded when the sealed part is
+    /// quantized — the compaction read-back path).
+    fn append_vector(&self, pos: u32, out: &mut Vec<f32>) {
         match self {
-            Sealed::Ivf(ivf) => ivf.vector(pos),
-            Sealed::Flat(t) => t.row(pos as usize),
+            Sealed::Ivf(ivf) => ivf.decode_vector_into(pos, out),
+            Sealed::Flat(t) => out.extend_from_slice(t.row(pos as usize)),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            Sealed::Ivf(ivf) => ivf.memory_bytes(),
+            Sealed::Flat(t) => t.data().len() * 4,
         }
     }
 }
@@ -110,6 +152,16 @@ impl IndexSnapshot {
     /// compaction).
     pub fn buffer_len(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Approximate resident bytes of this snapshot's index state: the
+    /// sealed part (quantized when SQ8 is configured) plus the exact-f32
+    /// write buffer and tombstone bitmap.
+    pub fn memory_bytes(&self) -> usize {
+        self.sealed.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.buffer.len() * (16 + self.dim * 4)
+            + self.tombstones.len()
+            + self.sealed_ids.len() * 8
     }
 
     /// All live external ids, ascending (test/diagnostic helper).
@@ -187,15 +239,28 @@ pub struct MutableIndex {
     writer: Mutex<Writer>,
     dim: usize,
     metric: Metric,
-    /// IVF cells to train at the next compaction (`None` = stay flat).
-    nlist: Option<usize>,
-    seed: u64,
+    opts: IndexOptions,
 }
 
 impl MutableIndex {
     /// An empty index over `dim`-dimensional vectors. `nlist` requests IVF
     /// training at every compaction; `seed` makes retraining deterministic.
+    /// (Convenience wrapper over [`MutableIndex::with_options`].)
     pub fn new(dim: usize, metric: Metric, nlist: Option<usize>, seed: u64) -> Self {
+        Self::with_options(
+            dim,
+            metric,
+            IndexOptions {
+                nlist,
+                seed,
+                ..IndexOptions::default()
+            },
+        )
+    }
+
+    /// An empty index with full construction options (quantized sealed
+    /// storage, rescore factor).
+    pub fn with_options(dim: usize, metric: Metric, opts: IndexOptions) -> Self {
         assert!(dim > 0, "vector dimensionality must be positive");
         let snapshot = IndexSnapshot {
             sealed: None,
@@ -218,13 +283,13 @@ impl MutableIndex {
             }),
             dim,
             metric,
-            nlist,
-            seed,
+            opts,
         }
     }
 
     /// An index pre-seeded with `(ids[i], embeddings.row(i))` pairs, sealed
     /// immediately (IVF-trained when `nlist` is set). Ids must be unique.
+    /// (Convenience wrapper over [`MutableIndex::from_table_with`].)
     pub fn from_table(
         ids: Vec<u64>,
         embeddings: &Tensor,
@@ -232,12 +297,31 @@ impl MutableIndex {
         nlist: Option<usize>,
         seed: u64,
     ) -> Self {
+        Self::from_table_with(
+            ids,
+            embeddings,
+            metric,
+            IndexOptions {
+                nlist,
+                seed,
+                ..IndexOptions::default()
+            },
+        )
+    }
+
+    /// [`MutableIndex::from_table`] with full construction options.
+    pub fn from_table_with(
+        ids: Vec<u64>,
+        embeddings: &Tensor,
+        metric: Metric,
+        opts: IndexOptions,
+    ) -> Self {
         assert_eq!(
             ids.len(),
             embeddings.shape().rows(),
             "one id per embedding row"
         );
-        let index = MutableIndex::new(embeddings.shape().last(), metric, nlist, seed);
+        let index = MutableIndex::with_options(embeddings.shape().last(), metric, opts);
         if !ids.is_empty() {
             let mut w = index.writer.lock().unwrap_or_else(|p| p.into_inner());
             for (i, &id) in ids.iter().enumerate() {
@@ -365,7 +449,7 @@ impl MutableIndex {
             for pos in 0..sealed.len() {
                 if !w.tombstones[pos] {
                     ids.push(snap.sealed_ids[pos]);
-                    data.extend_from_slice(sealed.vector(pos as u32));
+                    sealed.append_vector(pos as u32, &mut data);
                 }
             }
         }
@@ -378,12 +462,27 @@ impl MutableIndex {
             None
         } else {
             let table = Tensor::from_vec(data, Shape::d2(n, self.dim));
-            Some(Arc::new(match self.nlist {
+            // Quantized storage always lives in an IVF container; without
+            // configured cells a single list keeps the scan exhaustive
+            // (every search probes at least one cell).
+            let nlist = match (self.opts.nlist, self.opts.quantization) {
+                (Some(nlist), _) => Some(nlist),
+                (None, Quantization::Sq8) => Some(1),
+                (None, Quantization::None) => None,
+            };
+            Some(Arc::new(match nlist {
                 Some(nlist) => {
                     // Deterministic retrain: seed varies with generation so
                     // repeated compactions don't re-use degenerate inits.
-                    let mut rng = StdRng::seed_from_u64(self.seed ^ w.generation);
-                    Sealed::Ivf(IvfIndex::build(&table, nlist, self.metric, &mut rng))
+                    let mut rng = StdRng::seed_from_u64(self.opts.seed ^ w.generation);
+                    Sealed::Ivf(IvfIndex::build_with(
+                        &table,
+                        nlist,
+                        self.metric,
+                        self.opts.quantization,
+                        self.opts.rescore_factor,
+                        &mut rng,
+                    ))
                 }
                 None => Sealed::Flat(table),
             }))

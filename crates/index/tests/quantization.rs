@@ -1,0 +1,159 @@
+//! SQ8 quantization acceptance suite: bit-exact serialization round
+//! trips (property-tested), the recall@10 gate against exact f32 brute
+//! force, and `IVF1` backward compatibility.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajcl_index::{brute_force_knn, IvfIndex, Metric, Quantization};
+use trajcl_tensor::{Shape, Tensor};
+
+/// Clustered table: rows scattered around `centers` Gaussian centers (the
+/// geometry IVF is designed for).
+fn mixture(n: usize, d: usize, centers: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = Tensor::randn(Shape::d2(centers, d), 0.0, 1.0, &mut rng);
+    let mut data = Tensor::randn(Shape::d2(n, d), 0.0, 0.2, &mut rng)
+        .data()
+        .to_vec();
+    for i in 0..n {
+        let row = c.row(rng.gen_range(0..centers));
+        for j in 0..d {
+            data[i * d + j] += row[j];
+        }
+    }
+    Tensor::from_vec(data, Shape::d2(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The satellite acceptance property: an SQ8 index must survive
+    // `to_bytes` -> `from_bytes` -> `to_bytes` BIT-EXACTLY, and the
+    // restored index must answer searches identically.
+    #[test]
+    fn sq8_round_trips_bit_exactly(
+        n in 10usize..150,
+        d in 2usize..24,
+        nlist in 1usize..12,
+        rescore in 1usize..9,
+        metric_l2 in 0u32..2,
+        seed in 0u64..1000,
+    ) {
+        let metric = if metric_l2 == 1 { Metric::L2 } else { Metric::L1 };
+        let emb = mixture(n, d, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let index =
+            IvfIndex::build_with(&emb, nlist, metric, Quantization::Sq8, rescore, &mut rng);
+        let bytes = index.to_bytes();
+        prop_assert_eq!(&bytes[..4], b"IVF2");
+        let restored = IvfIndex::from_bytes(&bytes).expect("valid bytes must deserialize");
+        prop_assert_eq!(restored.to_bytes(), bytes, "round trip must be bit-exact");
+        prop_assert_eq!(restored.len(), index.len());
+        prop_assert_eq!(restored.rescore_factor(), index.rescore_factor());
+        prop_assert_eq!(restored.quantization(), Quantization::Sq8);
+        for qi in [0, n / 2, n - 1] {
+            prop_assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3),
+                "restored index diverged on query {}", qi
+            );
+            prop_assert_eq!(
+                restored.search_rescored(emb.row(qi), 5, 3, Some(&emb)),
+                index.search_rescored(emb.row(qi), 5, 3, Some(&emb))
+            );
+        }
+    }
+
+    // f32 indexes keep the pre-quantization IVF1 layout and still load —
+    // new readers accept old blobs, old readers accept new f32 blobs.
+    #[test]
+    fn f32_round_trip_stays_ivf1(
+        n in 5usize..80,
+        d in 2usize..12,
+        nlist in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let emb = mixture(n, d, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = IvfIndex::build(&emb, nlist, Metric::L1, &mut rng);
+        let bytes = index.to_bytes();
+        prop_assert_eq!(&bytes[..4], b"IVF1");
+        let restored = IvfIndex::from_bytes(&bytes).expect("IVF1 must still deserialize");
+        prop_assert_eq!(restored.to_bytes(), bytes);
+        prop_assert_eq!(
+            restored.search(emb.row(0), 4, nlist),
+            index.search(emb.row(0), 4, nlist)
+        );
+    }
+}
+
+/// Mean recall@k of an index configuration against exact brute force.
+fn measured_recall(index: &IvfIndex, emb: &Tensor, nprobe: usize, k: usize, rescore: bool) -> f64 {
+    let n = emb.shape().rows();
+    let trials = 50;
+    let mut recall_sum = 0.0;
+    for t in 0..trials {
+        let q = emb.row((t * (n / trials)) % n);
+        let exact: Vec<u32> = brute_force_knn(emb, q, k, Metric::L1)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let table = rescore.then_some(emb);
+        let got = index.search_rescored(q, k, nprobe, table);
+        let hits = got.iter().filter(|(id, _)| exact.contains(id)).count();
+        recall_sum += hits as f64 / k as f64;
+    }
+    recall_sum / trials as f64
+}
+
+// The headline acceptance gate: IVF+SQ8 recall@10 >= 0.95 against exact
+// f32 brute force on a seeded clustered table, at a partial probe.
+#[test]
+fn sq8_recall_gate_at_partial_probe() {
+    let (n, d, nlist, nprobe, k) = (4000, 32, 32, 8, 10);
+    let emb = mixture(n, d, 16, 77);
+    let mut rng = StdRng::seed_from_u64(78);
+    let sq8 = IvfIndex::build_with(&emb, nlist, Metric::L1, Quantization::Sq8, 4, &mut rng);
+
+    let rescored = measured_recall(&sq8, &emb, nprobe, k, true);
+    assert!(
+        rescored >= 0.95,
+        "IVF+SQ8 (rescored) recall@10 gate failed: {rescored:.4} < 0.95"
+    );
+    // Even the raw asymmetric scan (no rescoring table) must clear the
+    // gate — rescoring sharpens distances, not recall floors.
+    let plain = measured_recall(&sq8, &emb, nprobe, k, false);
+    assert!(
+        plain >= 0.95,
+        "IVF+SQ8 (no rescore) recall@10 gate failed: {plain:.4} < 0.95"
+    );
+
+    // And the f32 IVF control at the same probe: SQ8 must not trail it by
+    // more than a whisker.
+    let mut rng = StdRng::seed_from_u64(78);
+    let f32_index = IvfIndex::build(&emb, nlist, Metric::L1, &mut rng);
+    let control = measured_recall(&f32_index, &emb, nprobe, k, false);
+    assert!(
+        rescored >= control - 0.02,
+        "quantization cost too much recall: sq8 {rescored:.4} vs f32 {control:.4}"
+    );
+}
+
+// Rescored distances are exact f32 distances: merged rankings (e.g. the
+// mutable index's buffer merge) can compare them against unquantized
+// candidates without bias.
+#[test]
+fn rescored_distances_equal_brute_force_distances() {
+    let emb = mixture(600, 16, 8, 91);
+    let mut rng = StdRng::seed_from_u64(92);
+    let sq8 = IvfIndex::build_with(&emb, 8, Metric::L1, Quantization::Sq8, 4, &mut rng);
+    for qi in [3usize, 299, 599] {
+        let q = emb.row(qi);
+        let got = sq8.search_rescored(q, 5, 8, Some(&emb));
+        for (id, dist) in got {
+            let exact = Metric::L1.dist(q, emb.row(id as usize));
+            assert_eq!(dist, exact, "id {id}: rescored distance not exact");
+        }
+    }
+}

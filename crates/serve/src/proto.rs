@@ -182,10 +182,11 @@ fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
         "stats" => {
             let s = server.stats();
             Ok(format!(
-                "\"size\":{},\"buffer\":{},\"generation\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                "\"size\":{},\"buffer\":{},\"generation\":{},\"memory_bytes\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{}",
                 s.index_len,
                 s.buffer_len,
                 s.generation,
+                s.index_memory_bytes,
                 s.requests,
                 s.batches,
                 s.batched_jobs,

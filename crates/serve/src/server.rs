@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{Metric, MutableIndex};
+use trajcl_index::{IndexOptions, Metric, MutableIndex, Quantization};
 
 use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
 use crate::cache::{content_hash, LruCache};
@@ -42,6 +42,13 @@ pub struct ServeConfig {
     /// engine-side index the server would never consult) avoids training
     /// k-means twice over the same table.
     pub ivf_nlist: Option<usize>,
+    /// Storage quantization of the index's sealed part; `None` inherits
+    /// the engine's configuration. [`Quantization::Sq8`] shrinks sealed
+    /// vectors to one byte per dimension; served distances are then
+    /// asymmetric (exact query vs quantized rows) within the codebook's
+    /// error bound — the sealed part keeps no exact copy to rescore
+    /// against (by design: that copy would forfeit the compression).
+    pub quantization: Option<Quantization>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +60,7 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             cache_cap: 4096,
             ivf_nlist: None,
+            quantization: None,
         }
     }
 }
@@ -79,6 +87,9 @@ pub struct ServerStats {
     pub buffer_len: usize,
     /// Index snapshot generation.
     pub generation: u64,
+    /// Approximate resident bytes of the served index (sealed part —
+    /// quantized when SQ8 is configured — plus write buffer).
+    pub index_memory_bytes: usize,
 }
 
 /// The concurrent micro-batching query server (see module docs).
@@ -111,16 +122,20 @@ impl Server {
             });
         }
         let dim = engine.backend().dim();
-        let nlist = cfg.ivf_nlist.or(engine.nlist());
+        let opts = IndexOptions {
+            nlist: cfg.ivf_nlist.or(engine.nlist()),
+            seed: engine.seed(),
+            quantization: cfg.quantization.unwrap_or(engine.quantization()),
+            rescore_factor: engine.rescore_factor(),
+        };
         let index = match engine.embeddings() {
-            Some(table) => MutableIndex::from_table(
+            Some(table) => MutableIndex::from_table_with(
                 (0..table.shape().rows() as u64).collect(),
                 table,
                 Metric::L1,
-                nlist,
-                engine.seed(),
+                opts,
             ),
-            None => MutableIndex::new(dim, Metric::L1, nlist, engine.seed()),
+            None => MutableIndex::with_options(dim, Metric::L1, opts),
         };
         let batch_stats = Arc::new(BatchStats::default());
         let batcher = Batcher::spawn(
@@ -280,6 +295,7 @@ impl Server {
             index_len: snap.len(),
             buffer_len: snap.buffer_len(),
             generation: snap.generation(),
+            index_memory_bytes: snap.memory_bytes(),
         }
     }
 

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
 use trajcl_engine::Engine;
 use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
-use trajcl_index::{Metric, MutableIndex};
+use trajcl_index::{IndexOptions, Metric, MutableIndex, Quantization};
 use trajcl_serve::{ServeConfig, Server};
 use trajcl_tensor::{Shape, Tensor};
 
@@ -43,6 +43,20 @@ fn traj_for(id: u64) -> Trajectory {
 
 fn l1(a: &[f32], b: &[f32]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum()
+}
+
+/// Conservative worst-case L1 error of SQ8-quantizing any vector drawn
+/// from `vecs`: the bound of a codebook trained on the full set (a
+/// codebook trained on any SUBSET has per-dimension spans no larger, so
+/// its true bound is no larger either).
+fn sq8_l1_bound<'a>(vecs: impl Iterator<Item = &'a Vec<f32>>) -> f64 {
+    let mut flat: Vec<f32> = Vec::new();
+    let mut d = 0;
+    for v in vecs {
+        d = v.len();
+        flat.extend_from_slice(v);
+    }
+    trajcl_index::Sq8Codebook::train(&flat, d).l1_error_bound()
 }
 
 #[test]
@@ -122,6 +136,99 @@ fn mixed_ops_from_many_threads_match_brute_force_oracle() {
             .collect();
         let want_ids: Vec<u64> = want.iter().take(5).map(|(id, _)| *id).collect();
         assert_eq!(got, want_ids, "post-compact query {qid} diverged");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn quantized_server_mixed_ops_match_oracle_within_quant_error() {
+    // The mixed-op oracle test against an SQ8-quantized MutableIndex: the
+    // sealed part holds int8 codes after every compaction, so reported
+    // distances may deviate from exact f32 by at most the codebook's L1
+    // half-step bound — and every returned id must therefore rank within
+    // (true kth distance + 2·bound) of the exact ordering.
+    let server = Arc::new(
+        Server::new(
+            Arc::new(tiny_engine()),
+            ServeConfig {
+                quantization: Some(Quantization::Sq8),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server"),
+    );
+    const THREADS: u64 = 4;
+    const OPS: u64 = 24;
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS {
+                    let id = t * 1000 + i;
+                    server.upsert(id, &traj_for(id)).expect("upsert");
+                    if i % 5 == 4 {
+                        assert!(server.remove(id - 2));
+                    }
+                    if t == 1 && i % 9 == 8 {
+                        server.compact(); // quantizes the sealed part
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    server.compact();
+
+    let mut oracle: HashMap<u64, Vec<f32>> = HashMap::new();
+    for t in 0..THREADS {
+        for i in 0..OPS {
+            let id = t * 1000 + i;
+            oracle.insert(id, server.embed(&traj_for(id)).expect("embed"));
+        }
+        for i in 0..OPS {
+            if i % 5 == 4 {
+                oracle.remove(&(t * 1000 + i - 2));
+            }
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.index_len, oracle.len());
+    // The quantized sealed part must actually be smaller than its f32
+    // footprint (codes + codebook + lists vs 4 bytes/dim alone).
+    let dim = server.engine().backend().dim();
+    assert!(
+        stats.index_memory_bytes < oracle.len() * dim * 4,
+        "sq8 index ({} B) not smaller than f32 rows ({} B)",
+        stats.index_memory_bytes,
+        oracle.len() * dim * 4
+    );
+
+    let bound = sq8_l1_bound(oracle.values());
+    const K: usize = 5;
+    for qid in [0u64, 7, 1003, 2019, 3020] {
+        let q = server.embed(&traj_for(qid)).expect("embed");
+        let mut want: Vec<(u64, f64)> = oracle.iter().map(|(id, v)| (*id, l1(&q, v))).collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let kth = want[K.min(want.len()) - 1].1;
+        let got = server.knn(&traj_for(qid), K).expect("knn");
+        assert_eq!(got.len(), K.min(oracle.len()));
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "sorted hits");
+        for (id, d) in &got {
+            let exact = l1(&q, &oracle[id]);
+            assert!(
+                (d - exact).abs() <= bound + 1e-5,
+                "query {qid}: id {id} reported {d}, exact {exact} (bound {bound})"
+            );
+            assert!(
+                exact <= kth + 2.0 * bound + 1e-5,
+                "query {qid}: id {id} ranks {exact} past kth {kth} + 2x{bound}"
+            );
+        }
     }
     server.shutdown();
 }
@@ -323,5 +430,77 @@ proptest! {
                 );
             }
         }
+    }
+
+    // The same compaction property against an SQ8-quantized MutableIndex:
+    // sealing quantizes, so full-probe results are compared to the exact
+    // oracle through the codebook's worst-case L1 error bound instead of
+    // exact rank equality — every reported distance stays within `bound`
+    // of the true distance, and no returned id ranks past the true kth
+    // distance plus `2·bound`. Distances of buffer (unsealed) vectors
+    // stay exact and merge consistently.
+    #[test]
+    fn quantized_compaction_preserves_knn_within_bound(
+        n in 20usize..80,
+        k in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let d = 6;
+        let rows = random_rows(n, d, seed);
+        let index = MutableIndex::with_options(
+            d,
+            Metric::L1,
+            IndexOptions {
+                nlist: Some(5),
+                seed,
+                quantization: Quantization::Sq8,
+                rescore_factor: 4,
+            },
+        );
+        let mut live: HashMap<u64, Vec<f32>> = HashMap::new();
+        for (i, v) in rows.iter().enumerate() {
+            index.upsert(i as u64, v.clone());
+            live.insert(i as u64, v.clone());
+        }
+        for i in (0..n).step_by(5) {
+            index.remove(i as u64);
+            live.remove(&(i as u64));
+        }
+        let bound = sq8_l1_bound(live.values());
+        let queries: Vec<Vec<f32>> = random_rows(4, d, seed ^ 0xabcd);
+
+        // Two compactions: the second re-quantizes already-decoded rows,
+        // which must not drift the error past the same single bound.
+        for round in 0..2 {
+            index.compact();
+            prop_assert_eq!(index.len(), live.len());
+            for q in &queries {
+                let mut want: Vec<(u64, f64)> =
+                    live.iter().map(|(id, v)| (*id, l1(q, v))).collect();
+                want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                let kth = want[k.min(want.len()) - 1].1;
+                for (id, dist) in index.search(q, k, usize::MAX) {
+                    let exact = l1(q, &live[&id]);
+                    prop_assert!(
+                        (dist - exact).abs() <= bound + 1e-5,
+                        "round {}: id {} reported {} vs exact {} (bound {})",
+                        round, id, dist, exact, bound
+                    );
+                    prop_assert!(
+                        exact <= kth + 2.0 * bound + 1e-5,
+                        "round {}: id {} at {} ranks past kth {} + 2x{}",
+                        round, id, exact, kth, bound
+                    );
+                }
+            }
+        }
+
+        // Fresh buffer writes on top of the quantized sealed part: a
+        // vector upserted after compaction is exact, so querying it must
+        // return itself at distance 0 ahead of quantized competitors.
+        let probe: Vec<f32> = (0..d).map(|j| 3.0 + j as f32).collect();
+        index.upsert(9999, probe.clone());
+        let hits = index.search(&probe, 1, usize::MAX);
+        prop_assert_eq!(hits[0], (9999u64, 0.0));
     }
 }
