@@ -1,17 +1,20 @@
-//! Million-scale kNN benchmark: exact brute force vs IVF vs IVF+SQ8 over
-//! synthetic embedding tables, recorded commit-tagged into
+//! Million-scale kNN benchmark: exact brute force vs IVF vs IVF+SQ8 vs
+//! IVF+PQ over synthetic embedding tables, recorded commit-tagged into
 //! `BENCH_index.json` — the index counterpart of `perf_snapshot` /
 //! `load_gen`.
 //!
 //! The table is a Gaussian-mixture synthetic (clustered, like real
 //! trajectory embeddings) of `--n` rows × `--dim` dimensions; queries are
-//! perturbed database rows. Three contenders answer the same k=10 batch:
+//! perturbed database rows. Four contenders answer the same k=10 batch:
 //!
 //! * `exact` — `brute_force_batch_knn` over the f32 table (ground truth);
 //! * `ivf` — f32-storage `IvfIndex`, `nprobe` of `nlist` cells;
 //! * `sq8` — SQ8-quantized `IvfIndex` (1 byte/dim), asymmetric scan plus
 //!   exact rescoring of the top `rescore_factor · k` candidates against
-//!   the f32 table (the engine's serving configuration).
+//!   the f32 table (the engine's serving configuration);
+//! * `pq` — PQ-quantized `IvfIndex` (`d/4` subspaces ⇒ a quarter byte
+//!   per dimension), ADC lookup-table scan plus exact rescoring with a
+//!   deep (64×) over-fetch.
 //!
 //! Usage:
 //!   index_scale [--quick] [--n N] [--dim D] [--label NAME]
@@ -19,8 +22,9 @@
 //!
 //! * default: measure and append a run entry to `--out`;
 //! * `--check`: measure and gate on ABSOLUTE floors — recall@10 ≥ 0.95
-//!   for both IVF and IVF+SQ8, SQ8 memory ≤ 32% of the f32 index, and
-//!   quantized-vs-exact qps ratio ≥ 2× (quick) / 4× (full). Absolute
+//!   for IVF and IVF+SQ8 and ≥ 0.90 for IVF+PQ (rescored), SQ8 memory
+//!   ≤ 32% and PQ memory ≤ 10% of the f32 index, quantized-vs-exact qps
+//!   ratio ≥ 2× (quick) / 4× (full) for SQ8 and ≥ 1× for PQ. Absolute
 //!   rather than baseline-relative because the ratios depend on the run's
 //!   own `n`/`nlist` geometry, which both sides of each ratio share.
 //!   Nothing is written.
@@ -43,6 +47,19 @@ const MIN_RECALL: f64 = 0.95;
 const MIN_SQ8_SPEEDUP_QUICK: f64 = 2.0;
 const MIN_SQ8_SPEEDUP_FULL: f64 = 4.0;
 const MAX_MEM_RATIO: f64 = 0.32;
+/// PQ floors: coarser codes pay a small recall tax (claimed back by the
+/// deeper rescore), must stay under a tenth of the f32 footprint, and
+/// must at least match exact brute force on speed.
+const MIN_PQ_RECALL: f64 = 0.90;
+const MIN_PQ_SPEEDUP: f64 = 1.0;
+const MAX_PQ_MEM_RATIO: f64 = 0.10;
+/// PQ geometry: 4 dims per subspace (m = d/4), 8-bit codes, and a 64×
+/// rescore over-fetch. PQ codes are coarse enough that within-cluster
+/// ADC order is noisy; at 100k a cluster holds ~1.5k rows, so recall
+/// needs both the finer subspaces AND a few hundred exact re-ranks per
+/// query — which stay cheap next to the scan.
+const PQ_DIMS_PER_SUBSPACE: usize = 4;
+const PQ_RESCORE_FACTOR: usize = 64;
 
 /// Clustered synthetic table: `n` rows scattered around `CLUSTERS`
 /// Gaussian centers (IVF behaves like it does on real embeddings, not on
@@ -106,8 +123,12 @@ struct Run {
     ivf_recall: f64,
     sq8_qps: f64,
     sq8_recall: f64,
+    pq_m: usize,
+    pq_qps: f64,
+    pq_recall: f64,
     f32_bytes: usize,
     sq8_bytes: usize,
+    pq_bytes: usize,
 }
 
 impl Run {
@@ -119,17 +140,26 @@ impl Run {
         self.sq8_qps / self.exact_qps
     }
 
+    fn speedup_pq(&self) -> f64 {
+        self.pq_qps / self.exact_qps
+    }
+
     fn mem_ratio(&self) -> f64 {
         self.sq8_bytes as f64 / self.f32_bytes as f64
+    }
+
+    fn pq_mem_ratio(&self) -> f64 {
+        self.pq_bytes as f64 / self.f32_bytes as f64
     }
 
     fn to_json(&self, label: &str, quick: bool) -> String {
         format!(
             "{{\"commit\":\"{}\",\"label\":\"{label}\",\"quick\":{quick},\"n\":{},\"d\":{},\"nlist\":{},\"nprobe\":{},\"k\":{K},\
-\"exact_qps\":{:.1},\"ivf_qps\":{:.1},\"sq8_qps\":{:.1},\
-\"ivf_recall10\":{:.4},\"sq8_recall10\":{:.4},\
-\"f32_index_bytes\":{},\"sq8_index_bytes\":{},\"table_bytes\":{},\
-\"speedup_ivf\":{:.2},\"speedup_sq8\":{:.2},\"mem_ratio\":{:.3}}}",
+\"exact_qps\":{:.1},\"ivf_qps\":{:.1},\"sq8_qps\":{:.1},\"pq_qps\":{:.1},\
+\"ivf_recall10\":{:.4},\"sq8_recall10\":{:.4},\"pq_recall10\":{:.4},\"pq_m\":{},\
+\"f32_index_bytes\":{},\"sq8_index_bytes\":{},\"pq_index_bytes\":{},\"table_bytes\":{},\
+\"speedup_ivf\":{:.2},\"speedup_sq8\":{:.2},\"speedup_pq\":{:.2},\
+\"mem_ratio\":{:.3},\"pq_mem_ratio\":{:.3}}}",
             git_commit(),
             self.n,
             self.d,
@@ -138,14 +168,20 @@ impl Run {
             self.exact_qps,
             self.ivf_qps,
             self.sq8_qps,
+            self.pq_qps,
             self.ivf_recall,
             self.sq8_recall,
+            self.pq_recall,
+            self.pq_m,
             self.f32_bytes,
             self.sq8_bytes,
+            self.pq_bytes,
             self.n * self.d * 4,
             self.speedup_ivf(),
             self.speedup_sq8(),
+            self.speedup_pq(),
             self.mem_ratio(),
+            self.pq_mem_ratio(),
         )
     }
 }
@@ -189,6 +225,26 @@ fn measure(n: usize, d: usize, nlist: usize, nprobe: usize, nq: usize) -> Run {
         sq8.memory_bytes() as f64 / 1e6
     );
 
+    let pq_m = (d / PQ_DIMS_PER_SUBSPACE).max(1);
+    let t0 = Instant::now();
+    let pq = IvfIndex::build_with(
+        &table,
+        nlist,
+        Metric::L1,
+        Quantization::Pq { m: pq_m, nbits: 8 },
+        PQ_RESCORE_FACTOR,
+        &mut StdRng::seed_from_u64(7),
+    );
+    let pq_build_s = t0.elapsed().as_secs_f64();
+    let (pq_hits, pq_qps) = timed(nq, || {
+        pq.batch_search_rescored(&queries, K, nprobe, Some(&table))
+    });
+    let pq_recall = recall_at_k(&pq_hits, &truth, K);
+    eprintln!(
+        "ivf+pq   {pq_qps:>9.1} qps  recall@10 {pq_recall:.4}  ({:.1} MB, m={pq_m}, built in {pq_build_s:.1}s)",
+        pq.memory_bytes() as f64 / 1e6
+    );
+
     Run {
         n,
         d,
@@ -199,8 +255,12 @@ fn measure(n: usize, d: usize, nlist: usize, nprobe: usize, nq: usize) -> Run {
         ivf_recall,
         sq8_qps,
         sq8_recall,
+        pq_m,
+        pq_qps,
+        pq_recall,
         f32_bytes: ivf.memory_bytes(),
         sq8_bytes: sq8.memory_bytes(),
+        pq_bytes: pq.memory_bytes(),
     }
 }
 
@@ -242,7 +302,10 @@ fn main() {
     }
 
     let (n, d, nlist, nprobe, nq) = if quick {
-        (n.unwrap_or(20_000), d.unwrap_or(32), 128, 8, 64)
+        // Quick mode keeps the full run's d=64 geometry so the PQ memory
+        // ceiling (codebook cost amortizes over dimensions) and recall
+        // floors gate the same configuration CI ships.
+        (n.unwrap_or(20_000), d.unwrap_or(64), 128, 8, 64)
     } else {
         let n = n.unwrap_or(100_000);
         // nlist ~ sqrt(n), power-of-two-ish, with enough cells that
@@ -261,8 +324,11 @@ fn main() {
         let gates = [
             ("ivf_recall10", run.ivf_recall, MIN_RECALL, true),
             ("sq8_recall10", run.sq8_recall, MIN_RECALL, true),
+            ("pq_recall10", run.pq_recall, MIN_PQ_RECALL, true),
             ("speedup_sq8", run.speedup_sq8(), min_speedup, true),
+            ("speedup_pq", run.speedup_pq(), MIN_PQ_SPEEDUP, true),
             ("mem_ratio", run.mem_ratio(), MAX_MEM_RATIO, false),
+            ("pq_mem_ratio", run.pq_mem_ratio(), MAX_PQ_MEM_RATIO, false),
         ];
         let mut failed = false;
         for (key, measured, bound, at_least) in gates {

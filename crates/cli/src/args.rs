@@ -129,9 +129,9 @@ USAGE:
   trajcl train    --input FILE --out MODEL [--dim N] [--epochs N] [--batch N] [--seed N]
   trajcl embed    --model MODEL --input FILE --out CSV
   trajcl query    --model MODEL --db FILE --query IDX [--k N] [--index NLIST]
-                  [--quantize sq8] [--rescore-factor N] [--json]
+                  [--quantize sq8|pq[:M]] [--rescore-factor N] [--json]
   trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw> [--json]
-  trajcl serve    --model MODEL --db FILE [--index NLIST] [--quantize sq8]
+  trajcl serve    --model MODEL --db FILE [--index NLIST] [--quantize sq8|pq[:M]]
                   [--workers N] [--max-batch N] [--max-wait-us N]
                   [--cache N] [--queue N]
 
@@ -144,10 +144,13 @@ All commands run through the unified trajcl-engine API; `--json` emits one
 machine-readable JSON object per line instead of the human-readable report.
 
 `--quantize sq8` stores indexed vectors as per-dimension int8 codes (4x
-smaller). `query` rescores the top `--rescore-factor` x k quantized
-candidates against the engine's exact f32 embeddings, so its distances
-stay exact; `serve`'s mutable index keeps no exact copy of sealed rows
-and returns asymmetric (quantized-storage) distances instead.
+smaller); `--quantize pq[:M]` as M-byte product-quantized codes (default
+M=8 — sub-byte per dimension). `query` rescores the top
+`--rescore-factor` x k quantized candidates against the engine's exact
+f32 embeddings, so its distances stay exact; `serve`'s mutable index
+keeps no exact copy of sealed rows, but rescores hits that still match
+the engine's cached table (ids upserted through the server keep
+asymmetric, error-bounded distances).
 
 `serve` speaks length-prefixed JSON frames (`LEN\\n{...}\\n`) on
 stdin/stdout: ops embed, knn, distance, upsert, remove, compact, stats.

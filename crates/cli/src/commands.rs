@@ -217,7 +217,8 @@ fn json_approx_line(measure: &str, k: usize, hr: f64, queries: usize, database: 
     )
 }
 
-/// Parses the `--quantize` option (`sq8` | `none`), when present.
+/// Parses the `--quantize` option (`sq8` | `pq[:M]` | `none`), when
+/// present.
 fn parse_quantize(args: &Args) -> Result<Option<trajcl_engine::Quantization>, EngineError> {
     args.options
         .get("quantize")
@@ -523,6 +524,17 @@ mod tests {
         assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
         assert_eq!(out.lines().count(), 3);
 
+        // And through PQ product-quantized storage (4 subspaces over the
+        // 16-d embeddings, exact rescoring against the cached table).
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --k 3 --index 4 --quantize pq:4 --rescore-factor 8 --json",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
+        assert_eq!(out.lines().count(), 3);
+
         // Unknown quantization is rejected with a parse error.
         let (code, out) = run_cmd(&format!(
             "query --model {} --db {} --query 0 --quantize pq4",
@@ -531,6 +543,15 @@ mod tests {
         ));
         assert_eq!(code, 1);
         assert!(out.contains("unknown quantization"));
+
+        // A malformed PQ subspace count is rejected too.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --index 4 --quantize pq:zero",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("subspace"));
 
         // --quantize without --index would be a silent no-op; reject it.
         let (code, out) = run_cmd(&format!(

@@ -89,9 +89,9 @@ impl Engine {
         self.quantization
     }
 
-    /// Over-fetch multiplier for SQ8 rescoring (indexed queries re-rank
-    /// the top `rescore_factor · k` quantized candidates against the
-    /// exact cached embedding table).
+    /// Over-fetch multiplier for quantized (SQ8/PQ) rescoring (indexed
+    /// queries re-rank the top `rescore_factor · k` quantized candidates
+    /// against the exact cached embedding table).
     pub fn rescore_factor(&self) -> usize {
         self.rescore_factor
     }
@@ -258,8 +258,8 @@ impl Engine {
         self
     }
 
-    /// Requests SQ8 (or exact) index storage; takes effect at the next
-    /// [`Engine::with_database`] call.
+    /// Requests quantized (SQ8/PQ) or exact index storage; takes effect
+    /// at the next [`Engine::with_database`] call.
     pub fn with_quantization(mut self, quantization: Quantization) -> Self {
         self.quantization = quantization;
         self
@@ -368,12 +368,25 @@ impl Engine {
             None => out.push(0),
         }
         // Quantization tail (appended so pre-SQ8 files — which simply end
-        // here — still load with default settings).
-        out.push(match self.quantization {
-            Quantization::None => 0u8,
-            Quantization::Sq8 => 1u8,
-        });
-        out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+        // here — still load with default settings). The PQ tag carries
+        // its geometry after the rescore factor; pre-PQ readers never see
+        // it because they reject the unknown tag.
+        match self.quantization {
+            Quantization::None => {
+                out.push(0u8);
+                out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+            }
+            Quantization::Sq8 => {
+                out.push(1u8);
+                out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+            }
+            Quantization::Pq { m, nbits } => {
+                out.push(2u8);
+                out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+                out.extend_from_slice(&(m as u32).to_le_bytes());
+                out.push(nbits);
+            }
+        }
         Ok(out)
     }
 
@@ -444,12 +457,21 @@ impl Engine {
                     .map_or(DEFAULT_RESCORE_FACTOR, IvfIndex::rescore_factor),
             )
         } else {
-            let quant = match take(&mut r, 1)?[0] {
+            let tag = take(&mut r, 1)?[0];
+            let rescore = (u32_of(&mut r)? as usize).max(1);
+            let quant = match tag {
                 0 => Quantization::None,
                 1 => Quantization::Sq8,
+                2 => {
+                    let m = u32_of(&mut r)? as usize;
+                    let nbits = take(&mut r, 1)?[0];
+                    if m == 0 || nbits == 0 || nbits > 8 {
+                        return Err(EngineError::CorruptEngineFile("pq geometry"));
+                    }
+                    Quantization::Pq { m, nbits }
+                }
                 _ => return Err(EngineError::CorruptEngineFile("quantization")),
             };
-            let rescore = (u32_of(&mut r)? as usize).max(1);
             // The tail is the final field: anything after it is corruption.
             if !r.is_empty() {
                 return Err(EngineError::CorruptEngineFile("trailing bytes"));
@@ -602,8 +624,10 @@ impl EngineBuilder {
 
     /// Storage quantization of the IVF index (default exact f32).
     /// [`Quantization::Sq8`] stores database vectors as per-dimension
-    /// int8 codes — 4× smaller — and rescores quantized candidates
-    /// against the exact cached embedding table at query time.
+    /// int8 codes (4× smaller); [`Quantization::Pq`] as `m`-byte
+    /// product-quantized codes (sub-byte per dimension). Both rescore
+    /// quantized candidates against the exact cached embedding table at
+    /// query time, so indexed engine kNN returns exact distances.
     pub fn quantization(mut self, quantization: Quantization) -> Self {
         self.quantization = quantization;
         self

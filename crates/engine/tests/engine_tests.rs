@@ -165,6 +165,55 @@ fn quantized_index_route_matches_brute_force_and_persists() {
 }
 
 #[test]
+fn pq_index_route_matches_brute_force_and_persists() {
+    // PQ storage with exact rescoring: at full probe with a generous
+    // over-fetch the product-quantized route must return the same ids AND
+    // the same (exact, rescored) distances as the brute-force route.
+    let ds = dataset(60, 16);
+    let (model, feat) = untrained_trajcl(&ds);
+    let brute = Engine::builder()
+        .trajcl(model.clone(), feat.clone())
+        .database(ds.trajectories.clone())
+        .build()
+        .unwrap();
+    let quant = Quantization::Pq { m: 4, nbits: 8 };
+    let pq = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories.clone())
+        .ivf_index(8)
+        .nprobe(8) // full probe
+        .quantization(quant)
+        .rescore_factor(16)
+        .seed(3)
+        .build()
+        .unwrap();
+    let index = pq.index().expect("index built");
+    assert_eq!(index.quantization(), quant);
+    assert_eq!(pq.quantization(), quant);
+    for qi in [0usize, 17, 42] {
+        let a = brute.knn(&ds.trajectories[qi], 5).unwrap();
+        let b = pq.knn(&ds.trajectories[qi], 5).unwrap();
+        assert_eq!(a, b, "pq route diverged on query {qi}");
+    }
+
+    // Persistence carries the IVF3 section and the PQ configuration tail.
+    let restored = Engine::from_bytes(&pq.to_bytes().unwrap()).unwrap();
+    assert_eq!(restored.quantization(), quant);
+    assert_eq!(restored.rescore_factor(), 16);
+    assert_eq!(
+        restored.index().expect("index persisted").quantization(),
+        quant
+    );
+    for qi in [0usize, 17, 42] {
+        assert_eq!(
+            pq.knn(&ds.trajectories[qi], 5).unwrap(),
+            restored.knn(&ds.trajectories[qi], 5).unwrap(),
+            "kNN diverged after reload on query {qi}"
+        );
+    }
+}
+
+#[test]
 fn embed_all_chunking_is_invisible() {
     let ds = dataset(30, 4);
     let (model, feat) = untrained_trajcl(&ds);

@@ -6,11 +6,13 @@
 //! them exactly. `nprobe = nlist` degenerates to exact brute force, which
 //! the tests exploit to validate recall.
 //!
-//! Storage is either exact f32 rows or SQ8 scalar-quantized codes
-//! ([`Quantization::Sq8`]): one byte per dimension with per-dimension
+//! Storage is exact f32 rows, SQ8 scalar-quantized codes
+//! ([`Quantization::Sq8`]: one byte per dimension with per-dimension
 //! affine decode, scanned by the asymmetric f32-query × int8-database
-//! kernels in [`crate::kernels`] and optionally **rescored** exactly — the
-//! top `rescore_factor · k` SQ8 candidates re-ranked against a
+//! kernels in [`crate::kernels`]) or PQ product-quantized codes
+//! ([`Quantization::Pq`]: `m` bytes per *vector*, scanned via a per-query
+//! ADC lookup table). Quantized searches are optionally **rescored**
+//! exactly — the top `rescore_factor · k` candidates re-ranked against a
 //! caller-supplied exact f32 table (the engine keeps its embedding table
 //! for precisely this). All scans run through the blocked f32 kernels and
 //! the fused bounded top-k selector, never a full sort.
@@ -19,7 +21,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use trajcl_tensor::{pool, Tensor};
 
-use crate::kernels::{self, Sq8Codebook, TopK};
+use crate::kernels::{self, PqCodebook, Sq8Codebook, TopK};
 
 /// Distance metric for index search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,27 +50,60 @@ pub enum Quantization {
     /// Per-dimension int8 scalar quantization (1 byte per dimension,
     /// asymmetric search, optional exact rescoring).
     Sq8,
+    /// Product quantization: `m` k-means sub-quantizers with
+    /// `2^nbits`-entry codebooks each — `m` bytes per vector, searched by
+    /// per-query ADC lookup tables ([`crate::kernels::PqCodebook`]).
+    /// Recall is recovered through the same over-fetch + exact-rescore
+    /// path SQ8 uses.
+    Pq {
+        /// Subspace count (= code bytes per vector); clamped to `1..=d`
+        /// at build time.
+        m: usize,
+        /// Code width in bits (clamped to `1..=8`; 8 ⇒ 256 centroids per
+        /// subspace).
+        nbits: u8,
+    },
 }
 
 impl std::str::FromStr for Quantization {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Quantization, String> {
-        match s.to_lowercase().as_str() {
-            "none" | "f32" => Ok(Quantization::None),
-            "sq8" | "int8" => Ok(Quantization::Sq8),
-            other => Err(format!("unknown quantization {other:?} (try sq8)")),
+        let lower = s.to_lowercase();
+        match lower.as_str() {
+            "none" | "f32" => return Ok(Quantization::None),
+            "sq8" | "int8" => return Ok(Quantization::Sq8),
+            "pq" => {
+                return Ok(Quantization::Pq {
+                    m: DEFAULT_PQ_M,
+                    nbits: 8,
+                })
+            }
+            _ => {}
         }
+        if let Some(m) = lower.strip_prefix("pq:") {
+            let m: usize = m
+                .parse()
+                .ok()
+                .filter(|&m| m >= 1)
+                .ok_or_else(|| format!("bad PQ subspace count in {s:?} (try pq:8)"))?;
+            return Ok(Quantization::Pq { m, nbits: 8 });
+        }
+        Err(format!("unknown quantization {s:?} (try sq8, pq or pq:M)"))
     }
 }
 
-/// Default over-fetch multiplier for SQ8 rescoring.
+/// Default over-fetch multiplier for quantized (SQ8/PQ) rescoring.
 pub const DEFAULT_RESCORE_FACTOR: usize = 4;
 
-/// The vector payload of an index: exact rows or SQ8 codes.
+/// Default PQ subspace count (`--quantize pq` without an explicit `:m`).
+pub const DEFAULT_PQ_M: usize = 8;
+
+/// The vector payload of an index: exact rows, SQ8 codes or PQ codes.
 enum Storage {
     F32(Vec<f32>),
     Sq8 { codes: Vec<u8>, cb: Sq8Codebook },
+    Pq { codes: Vec<u8>, cb: PqCodebook },
 }
 
 /// Reusable per-thread search state: centroid ranking buffer, fused
@@ -79,8 +114,11 @@ pub struct SearchScratch {
     /// `(centroid distance, centroid)` ranking buffer.
     order: Vec<(f32, u32)>,
     topk: TopK,
-    /// SQ8 candidate buffer between scan and rescore.
+    /// Quantized-candidate buffer between scan and rescore.
     cand: Vec<(u32, f64)>,
+    /// PQ ADC lookup table (`m × ksub`), rebuilt per query, allocation
+    /// reused across the batch.
+    lut: Vec<f32>,
 }
 
 /// An IVF index over fixed-dimension vectors (exact f32 or SQ8-quantized).
@@ -177,6 +215,11 @@ impl IvfIndex {
                 }
                 Storage::Sq8 { codes, cb }
             }
+            Quantization::Pq { m, nbits } => {
+                let mut cb = PqCodebook::train(data, d, m, nbits, rng);
+                let codes = cb.encode_table(data);
+                Storage::Pq { codes, cb }
+            }
         };
         IvfIndex {
             centroids,
@@ -209,53 +252,75 @@ impl IvfIndex {
         self.d
     }
 
-    /// The storage quantization of this index.
+    /// The storage quantization of this index (for PQ, the *effective*
+    /// parameters after build-time clamping).
     pub fn quantization(&self) -> Quantization {
-        match self.storage {
+        match &self.storage {
             Storage::F32(_) => Quantization::None,
             Storage::Sq8 { .. } => Quantization::Sq8,
+            Storage::Pq { cb, .. } => Quantization::Pq {
+                m: cb.m(),
+                nbits: cb.nbits(),
+            },
         }
     }
 
-    /// Over-fetch multiplier used by SQ8 rescoring.
+    /// Over-fetch multiplier used by quantized (SQ8/PQ) rescoring.
     pub fn rescore_factor(&self) -> usize {
         self.rescore_factor
     }
 
-    /// The SQ8 codebook, when the index is quantized (the worst-case
+    /// The SQ8 codebook, when the index uses SQ8 storage (the worst-case
     /// distance error bound quantization-aware tests reason about).
     pub fn codebook(&self) -> Option<&Sq8Codebook> {
         match &self.storage {
-            Storage::F32(_) => None,
             Storage::Sq8 { cb, .. } => Some(cb),
+            _ => None,
+        }
+    }
+
+    /// The PQ codebook, when the index uses PQ storage.
+    pub fn pq_codebook(&self) -> Option<&PqCodebook> {
+        match &self.storage {
+            Storage::Pq { cb, .. } => Some(cb),
+            _ => None,
         }
     }
 
     /// The exact indexed vector at position `id`.
     ///
     /// # Panics
-    /// On SQ8 storage, which holds no exact rows — use
+    /// On quantized (SQ8/PQ) storage, which holds no exact rows — use
     /// [`IvfIndex::decode_vector_into`] there.
     pub fn vector(&self, id: u32) -> &[f32] {
         match &self.storage {
             Storage::F32(vectors) => &vectors[id as usize * self.d..(id as usize + 1) * self.d],
-            Storage::Sq8 { .. } => {
-                panic!("IvfIndex::vector on SQ8 storage; use decode_vector_into")
+            Storage::Sq8 { .. } | Storage::Pq { .. } => {
+                panic!("IvfIndex::vector on quantized storage; use decode_vector_into")
             }
         }
     }
 
     /// Appends row `id` to `out`: the exact row for f32 storage, the
-    /// decoded (quantized) row for SQ8 — the read-back path compaction
-    /// uses, which works for either storage.
+    /// decoded (quantized) row for SQ8/PQ — the read-back path compaction
+    /// uses, which works for any storage.
     pub fn decode_vector_into(&self, id: u32, out: &mut Vec<f32>) {
-        let at = id as usize * self.d;
         match &self.storage {
-            Storage::F32(vectors) => out.extend_from_slice(&vectors[at..at + self.d]),
+            Storage::F32(vectors) => {
+                let at = id as usize * self.d;
+                out.extend_from_slice(&vectors[at..at + self.d]);
+            }
             Storage::Sq8 { codes, cb } => {
+                let at = id as usize * self.d;
                 let start = out.len();
                 out.resize(start + self.d, 0.0);
                 cb.decode_into(&codes[at..at + self.d], &mut out[start..]);
+            }
+            Storage::Pq { codes, cb } => {
+                let at = id as usize * cb.m();
+                let start = out.len();
+                out.resize(start + self.d, 0.0);
+                cb.decode_into(&codes[at..at + cb.m()], &mut out[start..]);
             }
         }
     }
@@ -265,6 +330,7 @@ impl IvfIndex {
         let payload = match &self.storage {
             Storage::F32(vectors) => vectors.len() * 4,
             Storage::Sq8 { codes, cb } => codes.len() + cb.memory_bytes(),
+            Storage::Pq { codes, cb } => codes.len() + cb.memory_bytes(),
         };
         payload
             + self.centroids.len() * 4
@@ -294,18 +360,40 @@ impl IvfIndex {
 
     /// kNN search probing the `nprobe` nearest Voronoi cells. Returns
     /// `(id, distance)` sorted ascending; fewer than `k` results only when
-    /// the probed lists hold fewer vectors. SQ8 distances are asymmetric
-    /// (exact query vs quantized rows) — supply the exact table via
-    /// [`IvfIndex::search_rescored`] for exact top-k distances.
+    /// the probed lists hold fewer vectors. Quantized (SQ8/PQ) distances
+    /// are asymmetric (exact query vs quantized rows) — supply the exact
+    /// table via [`IvfIndex::search_rescored`] for exact top-k distances.
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u32, f64)> {
         self.search_rescored(query, k, nprobe, None)
     }
 
     /// [`IvfIndex::search`] with optional exact rescoring: when `exact`
-    /// carries the original `(N, d)` f32 table, SQ8 searches over-fetch
-    /// the top `rescore_factor · k` quantized candidates and re-rank them
-    /// with exact f32 distances (f32-storage searches are already exact
-    /// and ignore `exact`).
+    /// carries the original `(N, d)` f32 table, quantized (SQ8/PQ)
+    /// searches over-fetch the top `rescore_factor · k` candidates by
+    /// asymmetric distance and re-rank them with exact f32 distances
+    /// (f32-storage searches are already exact and ignore `exact`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use trajcl_index::{IvfIndex, Metric, Quantization};
+    /// use trajcl_tensor::{Shape, Tensor};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(0);
+    /// let table = Tensor::randn(Shape::d2(64, 8), 0.0, 1.0, &mut rng);
+    /// let index =
+    ///     IvfIndex::build_with(&table, 4, Metric::L1, Quantization::Sq8, 4, &mut rng);
+    ///
+    /// // Without the exact table: asymmetric (quantized) distances.
+    /// let raw = index.search(table.row(3), 3, 4);
+    /// // With it: the same over-fetched candidates, re-ranked exactly —
+    /// // the self-query comes back at distance exactly 0.
+    /// let hits = index.search_rescored(table.row(3), 3, 4, Some(&table));
+    /// assert_eq!(hits[0], (3, 0.0));
+    /// assert!(raw[0].1 >= 0.0);
+    /// ```
     pub fn search_rescored(
         &self,
         query: &[f32],
@@ -352,12 +440,7 @@ impl IvfIndex {
                 scratch.topk.drain_sorted_into(out);
             }
             Storage::Sq8 { codes, cb } => {
-                let fetch = if exact.is_some() {
-                    k.saturating_mul(self.rescore_factor).max(k)
-                } else {
-                    k
-                };
-                scratch.topk.reset(fetch);
+                scratch.topk.reset(self.quantized_fetch(k, exact));
                 for &(_, c) in &scratch.order[..nprobe] {
                     kernels::sq8_scan_ids(
                         self.metric,
@@ -369,21 +452,62 @@ impl IvfIndex {
                         &mut scratch.topk,
                     );
                 }
-                match exact {
-                    Some(table) => {
-                        scratch.topk.drain_sorted_into(&mut scratch.cand);
-                        scratch.topk.reset(k);
-                        for &(id, _) in scratch.cand.iter() {
-                            let row = table.row(id as usize);
-                            scratch
-                                .topk
-                                .offer(id, kernels::dist(self.metric, query, row));
-                        }
-                        scratch.topk.drain_sorted_into(out);
-                    }
-                    None => scratch.topk.drain_sorted_into(out),
-                }
+                self.finish_quantized(scratch, query, k, exact, out);
             }
+            Storage::Pq { codes, cb } => {
+                // One ADC lookup table per query (m × ksub exact
+                // subvector distances); every scanned row is then m table
+                // lookups, no decode.
+                cb.build_lut_into(self.metric, query, &mut scratch.lut);
+                scratch.topk.reset(self.quantized_fetch(k, exact));
+                for &(_, c) in &scratch.order[..nprobe] {
+                    kernels::pq_scan_ids(
+                        &scratch.lut,
+                        codes,
+                        cb.m(),
+                        cb.ksub(),
+                        &self.lists[c as usize],
+                        &mut scratch.topk,
+                    );
+                }
+                self.finish_quantized(scratch, query, k, exact, out);
+            }
+        }
+    }
+
+    /// Candidate count of a quantized scan: `rescore_factor · k` when an
+    /// exact table will re-rank, plain `k` otherwise.
+    fn quantized_fetch(&self, k: usize, exact: Option<&Tensor>) -> usize {
+        if exact.is_some() {
+            k.saturating_mul(self.rescore_factor).max(k)
+        } else {
+            k
+        }
+    }
+
+    /// Drains a quantized scan's candidates into `out`, re-ranking the
+    /// over-fetched set against the exact table when one was supplied.
+    fn finish_quantized(
+        &self,
+        scratch: &mut SearchScratch,
+        query: &[f32],
+        k: usize,
+        exact: Option<&Tensor>,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        match exact {
+            Some(table) => {
+                scratch.topk.drain_sorted_into(&mut scratch.cand);
+                scratch.topk.reset(k);
+                for &(id, _) in scratch.cand.iter() {
+                    let row = table.row(id as usize);
+                    scratch
+                        .topk
+                        .offer(id, kernels::dist(self.metric, query, row));
+                }
+                scratch.topk.drain_sorted_into(out);
+            }
+            None => scratch.topk.drain_sorted_into(out),
         }
     }
 
@@ -391,8 +515,11 @@ impl IvfIndex {
     /// `IVF1` layout (metric, dims, centroids, inverted lists, f32 rows;
     /// little-endian) so pre-quantization readers still load them; SQ8
     /// indexes write the `IVF2` section (adds the rescore factor, the
-    /// per-dimension codebook and int8 codes). The output buffer is
-    /// preallocated to its exact final size.
+    /// per-dimension codebook and int8 codes); PQ indexes write `IVF3`
+    /// (rescore factor, PQ geometry, sub-centroid tables, the trained
+    /// error bound and `n·m` code bytes — see DESIGN.md §10 for the byte
+    /// diagrams). The output buffer is preallocated to its exact final
+    /// size.
     pub fn to_bytes(&self) -> Vec<u8> {
         let list_bytes: usize = self.lists.iter().map(|l| 4 + l.len() * 4).sum();
         let header = 4 + 1 + 4 + 4 + 4;
@@ -402,11 +529,15 @@ impl IvfIndex {
             + match &self.storage {
                 Storage::F32(vectors) => vectors.len() * 4,
                 Storage::Sq8 { codes, .. } => 4 + self.d * 8 + codes.len(),
+                Storage::Pq { codes, cb } => {
+                    4 + 4 + 1 + 4 + cb.centroids().len() * 4 + 4 + codes.len()
+                }
             };
         let mut out = Vec::with_capacity(expected);
         out.extend_from_slice(match &self.storage {
             Storage::F32(_) => b"IVF1",
             Storage::Sq8 { .. } => b"IVF2",
+            Storage::Pq { .. } => b"IVF3",
         });
         out.push(match self.metric {
             Metric::L1 => 0u8,
@@ -415,8 +546,17 @@ impl IvfIndex {
         out.extend_from_slice(&(self.n as u32).to_le_bytes());
         out.extend_from_slice(&(self.d as u32).to_le_bytes());
         out.extend_from_slice(&(self.lists.len() as u32).to_le_bytes());
-        if let Storage::Sq8 { .. } = &self.storage {
-            out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+        match &self.storage {
+            Storage::F32(_) => {}
+            Storage::Sq8 { .. } => {
+                out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+            }
+            Storage::Pq { cb, .. } => {
+                out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+                out.extend_from_slice(&(cb.m() as u32).to_le_bytes());
+                out.push(cb.nbits());
+                out.extend_from_slice(&(cb.ksub() as u32).to_le_bytes());
+            }
         }
         for &c in &self.centroids {
             out.extend_from_slice(&c.to_le_bytes());
@@ -439,20 +579,30 @@ impl IvfIndex {
                 }
                 out.extend_from_slice(codes);
             }
+            Storage::Pq { codes, cb } => {
+                for &v in cb.centroids() {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(&cb.l1_bound_raw().to_le_bytes());
+                out.extend_from_slice(codes);
+            }
         }
         debug_assert_eq!(out.len(), expected, "to_bytes size accounting drifted");
         out
     }
 
-    /// Restores an index from [`IvfIndex::to_bytes`] output (both the
-    /// legacy `IVF1` and the quantized `IVF2` sections); `None` when the
-    /// buffer is malformed. Parsing is zero-copy over the input slice —
-    /// fields decode straight out of `bytes` with no intermediate buffer.
+    /// Restores an index from [`IvfIndex::to_bytes`] output (the legacy
+    /// `IVF1`, the SQ8 `IVF2` and the PQ `IVF3` sections); `None` when
+    /// the buffer is malformed. Parsing is zero-copy over the input slice
+    /// — fields decode straight out of `bytes` with no intermediate
+    /// buffer.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
         let mut r = Reader(bytes);
-        let quant = match r.bytes(4)? {
-            b"IVF1" => Quantization::None,
-            b"IVF2" => Quantization::Sq8,
+        let section = r.bytes(4)?;
+        let (is_sq8, is_pq) = match section {
+            b"IVF1" => (false, false),
+            b"IVF2" => (true, false),
+            b"IVF3" => (false, true),
             _ => return None,
         };
         let metric = match r.u8()? {
@@ -463,9 +613,18 @@ impl IvfIndex {
         let n = r.u32()? as usize;
         let d = r.u32()? as usize;
         let nlist = r.u32()? as usize;
-        let rescore_factor = match quant {
-            Quantization::None => DEFAULT_RESCORE_FACTOR,
-            Quantization::Sq8 => (r.u32()? as usize).max(1),
+        let rescore_factor = if is_sq8 || is_pq {
+            (r.u32()? as usize).max(1)
+        } else {
+            DEFAULT_RESCORE_FACTOR
+        };
+        let pq_geom = if is_pq {
+            let m = r.u32()? as usize;
+            let nbits = r.u8()?;
+            let ksub = r.u32()? as usize;
+            Some((m, nbits, ksub))
+        } else {
+            None
         };
         let centroids = r.f32_vec(nlist.checked_mul(d)?)?;
         let mut lists = Vec::with_capacity(nlist);
@@ -481,17 +640,30 @@ impl IvfIndex {
         if total_ids != n || lists.iter().flatten().any(|&id| id as usize >= n) {
             return None;
         }
-        let storage = match quant {
-            Quantization::None => Storage::F32(r.f32_vec(n.checked_mul(d)?)?),
-            Quantization::Sq8 => {
-                let bias = r.f32_vec(d)?;
-                let scale = r.f32_vec(d)?;
-                let codes = r.bytes(n.checked_mul(d)?)?.to_vec();
-                Storage::Sq8 {
-                    codes,
-                    cb: Sq8Codebook { bias, scale },
-                }
+        let storage = if let Some((m, nbits, ksub)) = pq_geom {
+            let pq_centroids = r.f32_vec(ksub.checked_mul(d)?)?;
+            let l1_bound = r.f32()?;
+            let codes = r.bytes(n.checked_mul(m)?)?.to_vec();
+            // Every code byte indexes a ksub-entry table; an out-of-range
+            // code in a corrupt buffer must fail HERE, not as an
+            // out-of-bounds panic in the first LUT scan or decode.
+            if codes.iter().any(|&c| c as usize >= ksub) {
+                return None;
             }
+            Storage::Pq {
+                codes,
+                cb: PqCodebook::from_parts(d, m, nbits, ksub, pq_centroids, l1_bound)?,
+            }
+        } else if is_sq8 {
+            let bias = r.f32_vec(d)?;
+            let scale = r.f32_vec(d)?;
+            let codes = r.bytes(n.checked_mul(d)?)?.to_vec();
+            Storage::Sq8 {
+                codes,
+                cb: Sq8Codebook { bias, scale },
+            }
+        } else {
+            Storage::F32(r.f32_vec(n.checked_mul(d)?)?)
         };
         if !r.0.is_empty() {
             return None;
@@ -563,6 +735,11 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Option<u32> {
         self.bytes(4)
             .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Option<f32> {
+        self.bytes(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
     }
 
     fn f32_vec(&mut self, count: usize) -> Option<Vec<f32>> {
@@ -850,6 +1027,143 @@ mod tests {
         for (j, (&v, &w)) in emb.row(7).iter().zip(&decoded).enumerate() {
             assert!((v - w).abs() <= bound.step_error(j) + 1e-6);
         }
+    }
+
+    #[test]
+    fn pq_memory_is_under_a_tenth_of_f32() {
+        // 6-bit codes keep the codebook small enough that the 10% bound
+        // already holds at 2000 rows (at bench scale, 8-bit PQ lands
+        // around 5% — see BENCH_index.json).
+        let emb = table(2000, 64, 50);
+        let mut rng = StdRng::seed_from_u64(51);
+        let f32_index = IvfIndex::build(&emb, 16, Metric::L1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(51);
+        let pq = IvfIndex::build_with(
+            &emb,
+            16,
+            Metric::L1,
+            Quantization::Pq { m: 8, nbits: 6 },
+            8,
+            &mut rng,
+        );
+        assert!(
+            (pq.memory_bytes() as f64) < 0.10 * f32_index.memory_bytes() as f64,
+            "pq {} vs f32 {}",
+            pq.memory_bytes(),
+            f32_index.memory_bytes()
+        );
+        assert_eq!(pq.quantization(), Quantization::Pq { m: 8, nbits: 6 });
+        assert!(pq.pq_codebook().is_some() && pq.codebook().is_none());
+    }
+
+    #[test]
+    fn pq_full_probe_distances_stay_within_trained_bound() {
+        let emb = table(400, 16, 52);
+        let mut rng = StdRng::seed_from_u64(53);
+        let index = IvfIndex::build_with(
+            &emb,
+            8,
+            Metric::L1,
+            Quantization::Pq { m: 4, nbits: 8 },
+            8,
+            &mut rng,
+        );
+        let bound = index.pq_codebook().expect("pq").l1_error_bound();
+        for qi in [3usize, 177, 340] {
+            let q = emb.row(qi);
+            for (id, d) in index.search(q, 10, index.nlist()) {
+                let exact = Metric::L1.dist(q, emb.row(id as usize));
+                assert!(
+                    (d - exact).abs() <= bound + 1e-5,
+                    "id {id}: pq {d} vs exact {exact} (bound {bound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pq_rescoring_returns_exact_distances() {
+        let emb = table(300, 12, 54);
+        let mut rng = StdRng::seed_from_u64(55);
+        let index = IvfIndex::build_with(
+            &emb,
+            8,
+            Metric::L1,
+            Quantization::Pq { m: 3, nbits: 8 },
+            8,
+            &mut rng,
+        );
+        let q = emb.row(9);
+        let rescored = index.search_rescored(q, 5, index.nlist(), Some(&emb));
+        assert_eq!(rescored[0], (9, 0.0), "self-query must rescore to zero");
+        for &(id, d) in &rescored {
+            let exact = Metric::L1.dist(q, emb.row(id as usize));
+            assert!((d - exact).abs() < 1e-9, "rescored distance must be exact");
+        }
+        let queries = table(5, 12, 56);
+        let batch = index.batch_search_rescored(&queries, 4, 8, Some(&emb));
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(
+                hits,
+                &index.search_rescored(queries.row(i), 4, 8, Some(&emb))
+            );
+        }
+    }
+
+    #[test]
+    fn pq_serialization_round_trip() {
+        let emb = table(90, 10, 57);
+        let mut rng = StdRng::seed_from_u64(58);
+        let index = IvfIndex::build_with(
+            &emb,
+            6,
+            Metric::L2,
+            Quantization::Pq { m: 3, nbits: 8 },
+            5,
+            &mut rng,
+        );
+        let bytes = index.to_bytes();
+        assert_eq!(&bytes[..4], b"IVF3");
+        let restored = IvfIndex::from_bytes(&bytes).expect("round trip");
+        assert_eq!(restored.rescore_factor(), 5);
+        assert_eq!(restored.quantization(), index.quantization());
+        assert_eq!(restored.to_bytes(), bytes, "bit-exact round trip");
+        for qi in [0usize, 44, 89] {
+            assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3)
+            );
+        }
+        // Truncation and trailing garbage are rejected like IVF1/IVF2.
+        let mut bad = index.to_bytes();
+        bad.truncate(bad.len() - 3);
+        assert!(IvfIndex::from_bytes(&bad).is_none());
+        let mut bad = index.to_bytes();
+        bad.push(7);
+        assert!(IvfIndex::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_out_of_range_pq_codes() {
+        // A code byte must index the ksub-entry centroid table; with
+        // 4-bit codes (ksub = 16) a corrupt byte of 200 has to fail in
+        // from_bytes, not panic in the first scan or decode.
+        let emb = table(60, 8, 59);
+        let mut rng = StdRng::seed_from_u64(60);
+        let index = IvfIndex::build_with(
+            &emb,
+            4,
+            Metric::L1,
+            Quantization::Pq { m: 2, nbits: 4 },
+            4,
+            &mut rng,
+        );
+        let mut bytes = index.to_bytes();
+        assert!(IvfIndex::from_bytes(&bytes).is_some(), "sanity");
+        // Codes are the final n·m bytes of the IVF3 section.
+        let last = bytes.len() - 1;
+        bytes[last] = 200;
+        assert!(IvfIndex::from_bytes(&bytes).is_none());
     }
 
     #[test]

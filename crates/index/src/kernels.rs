@@ -21,6 +21,18 @@
 //!   database rows by decoding inline — two fused multiply-adds per
 //!   element, still auto-vectorizable — so the database shrinks 4× while
 //!   queries lose no precision.
+//! * **[`PqCodebook`]** goes below one byte per dimension: the vector is
+//!   split into `m` subspaces and each subvector is replaced by the index
+//!   of its nearest k-means-trained sub-centroid — `m` code bytes per
+//!   vector regardless of `d`. Search is ADC (asymmetric distance
+//!   computation): one `m × ksub` lookup table of exact
+//!   query-subvector-to-centroid distances is built per query
+//!   ([`PqCodebook::build_lut_into`]), after which scanning a row is `m`
+//!   table lookups and adds ([`pq_scan_ids`]) — no decode in the loop.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trajcl_tensor::pool;
 
 use crate::ivf::Metric;
 
@@ -287,6 +299,26 @@ impl TopK {
 
 /// Per-dimension affine scalar quantizer: `v_j ≈ bias_j + scale_j · c_j`
 /// with `c_j ∈ 0..=255` (one byte per dimension, 4× smaller than f32).
+///
+/// # Examples
+///
+/// ```
+/// use trajcl_index::Sq8Codebook;
+///
+/// // Train per-dimension ranges over a (3, 2) table, then round-trip a
+/// // row: the decode error is at most half a quantization step per dim.
+/// let table = [0.0f32, 10.0, 1.0, 20.0, 2.0, 30.0];
+/// let cb = Sq8Codebook::train(&table, 2);
+/// let mut codes = Vec::new();
+/// cb.encode_into(&table[2..4], &mut codes);
+/// assert_eq!(codes.len(), 2); // one byte per dimension
+///
+/// let mut decoded = [0.0f32; 2];
+/// cb.decode_into(&codes, &mut decoded);
+/// for j in 0..2 {
+///     assert!((decoded[j] - table[2 + j]).abs() <= cb.step_error(j) + 1e-6);
+/// }
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Sq8Codebook {
     /// Per-dimension minimum (the value of code 0).
@@ -471,6 +503,359 @@ pub fn sq8_scan_ids(
     }
 }
 
+/// Product quantizer: the vector is split into `m` contiguous subspaces
+/// and each subvector is stored as the index of its nearest sub-centroid
+/// (k-means-trained per subspace) — `m` bytes per vector, i.e. sub-byte
+/// cost *per dimension* once `m < d`.
+///
+/// Training follows standard practice: plain k-means (L2) per subspace
+/// over (a sample of) the indexed table, encoding by nearest-centroid
+/// assignment. Search never decodes rows: a per-query lookup table of
+/// exact query-subvector-to-centroid distances turns each row scan into
+/// `m` table lookups ([`pq_scan_ids`]).
+///
+/// When `d` is not a multiple of `m`, the first `d mod m` subspaces are
+/// one dimension wider — any `1 ≤ m ≤ d` works.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use trajcl_index::{Metric, PqCodebook};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // A tiny (32, 8) table; 2 subspaces of 4 dims, 8-bit codes.
+/// let table: Vec<f32> = (0..32 * 8).map(|i| (i % 13) as f32 * 0.1).collect();
+/// let mut cb = PqCodebook::train(&table, 8, 2, 8, &mut rng);
+/// let codes = cb.encode_table(&table); // 2 bytes per row
+/// assert_eq!(codes.len(), 32 * 2);
+///
+/// // ADC: build the per-query LUT once, then row distances are m lookups.
+/// let query = &table[..8];
+/// let mut lut = Vec::new();
+/// cb.build_lut_into(Metric::L1, query, &mut lut);
+/// let d0 = cb.lut_distance(&lut, &codes[..2]);
+/// assert!(d0 <= cb.l1_error_bound() + 1e-5); // self-row ≈ 0 within the bound
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PqCodebook {
+    m: usize,
+    nbits: u8,
+    /// Centroids per subspace (`min(2^nbits, n)` at training time).
+    ksub: usize,
+    d: usize,
+    /// Subspace boundaries, `m + 1` entries; subspace `s` covers
+    /// dimensions `offsets[s]..offsets[s+1]`. Recomputed from `(d, m)`,
+    /// never serialised.
+    offsets: Vec<usize>,
+    /// Concatenated per-subspace centroid tables (`ksub * d` floats):
+    /// subspace `s` occupies `ksub * dsub_s` floats starting at
+    /// `ksub * offsets[s]`, stored row-major (`ksub` rows of `dsub_s`).
+    centroids: Vec<f32>,
+    /// Max per-row L1 reconstruction error observed over the encoded
+    /// table ([`PqCodebook::encode_table`]); 0 until a table is encoded.
+    l1_bound: f32,
+}
+
+/// Lloyd iterations used by PQ sub-quantizer training.
+const PQ_KMEANS_ITERS: usize = 10;
+/// Training-sample cap per sub-quantizer, as a multiple of `ksub`
+/// (k-means quality saturates long before the full table is needed).
+const PQ_TRAIN_POINTS_PER_CENTROID: usize = 128;
+
+/// Subspace boundaries for a `(d, m)` split: `m + 1` offsets, the first
+/// `d mod m` subspaces one dimension wider. The single source of truth —
+/// training and deserialization must agree on the split or codes decode
+/// against the wrong centroids.
+fn subspace_offsets(d: usize, m: usize) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(m + 1);
+    offsets.push(0usize);
+    for s in 0..m {
+        offsets.push(offsets[s] + d / m + usize::from(s < d % m));
+    }
+    offsets
+}
+
+/// The ADC accumulation shared by [`pq_scan_ids`] and
+/// [`PqCodebook::lut_distance`]: sum of one LUT entry per code byte.
+#[inline]
+fn adc_sum(lut: &[f32], codes: &[u8], ksub: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (s, &c) in codes.iter().enumerate() {
+        acc += lut[s * ksub + c as usize];
+    }
+    acc
+}
+
+impl PqCodebook {
+    /// Trains `m` sub-quantizers (8-bit by default ⇒ `ksub = 256`
+    /// centroids each, clamped to the table size) over a contiguous
+    /// `(n, d)` table. Tables larger than `ksub ·` 128 rows are
+    /// subsampled for training; encoding always covers every row.
+    /// `m` is clamped to `1..=d`, `nbits` to `1..=8`.
+    pub fn train(data: &[f32], d: usize, m: usize, nbits: u8, rng: &mut impl Rng) -> PqCodebook {
+        assert!(
+            d > 0 && data.len().is_multiple_of(d) && !data.is_empty(),
+            "table must be a non-empty (n, d)"
+        );
+        let n = data.len() / d;
+        let m = m.clamp(1, d);
+        let nbits = nbits.clamp(1, 8);
+        let ksub = (1usize << nbits).min(n);
+        let offsets = subspace_offsets(d, m);
+        // Sample training rows once, shared by every subspace.
+        let cap = ksub * PQ_TRAIN_POINTS_PER_CENTROID;
+        let sample: Vec<usize> = if n <= cap {
+            (0..n).collect()
+        } else {
+            let mut ids: Vec<usize> = (0..n).collect();
+            ids.shuffle(rng);
+            ids.truncate(cap);
+            ids
+        };
+        let mut centroids = vec![0.0f32; ksub * d];
+        for s in 0..m {
+            let dsub = offsets[s + 1] - offsets[s];
+            let off = offsets[s];
+            let sub: Vec<f32> = sample
+                .iter()
+                .flat_map(|&i| data[i * d + off..i * d + off + dsub].iter().copied())
+                .collect();
+            let table = &mut centroids[ksub * off..ksub * off + ksub * dsub];
+            kmeans_subspace(&sub, dsub, ksub, table, rng);
+        }
+        PqCodebook {
+            m,
+            nbits,
+            ksub,
+            d,
+            offsets,
+            centroids,
+            l1_bound: 0.0,
+        }
+    }
+
+    /// Rebuilds a codebook from serialised parts (`IVF3` reader); `None`
+    /// when the field sizes are inconsistent.
+    pub fn from_parts(
+        d: usize,
+        m: usize,
+        nbits: u8,
+        ksub: usize,
+        centroids: Vec<f32>,
+        l1_bound: f32,
+    ) -> Option<PqCodebook> {
+        if d == 0
+            || m == 0
+            || m > d
+            || nbits == 0
+            || nbits > 8
+            || ksub == 0
+            || ksub > (1usize << nbits)
+            || centroids.len() != ksub.checked_mul(d)?
+        {
+            return None;
+        }
+        Some(PqCodebook {
+            m,
+            nbits,
+            ksub,
+            d,
+            offsets: subspace_offsets(d, m),
+            centroids,
+            l1_bound,
+        })
+    }
+
+    /// Number of subspaces (= code bytes per vector).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Code width in bits (8 ⇒ up to 256 centroids per subspace).
+    pub fn nbits(&self) -> u8 {
+        self.nbits
+    }
+
+    /// Centroids per subspace (`min(2^nbits, n)` at training time).
+    pub fn ksub(&self) -> usize {
+        self.ksub
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The flat centroid table (serialisation).
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// The centroid table of subspace `s` (`ksub` rows of `dsub_s`).
+    fn sub_centroids(&self, s: usize) -> &[f32] {
+        let dsub = self.offsets[s + 1] - self.offsets[s];
+        let at = self.ksub * self.offsets[s];
+        &self.centroids[at..at + self.ksub * dsub]
+    }
+
+    /// Encodes one `d`-vector, appending `m` code bytes to `out`.
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        debug_assert_eq!(v.len(), self.d);
+        for s in 0..self.m {
+            let sub = &v[self.offsets[s]..self.offsets[s + 1]];
+            let dsub = sub.len();
+            out.push(argmin_row(Metric::L2, sub, self.sub_centroids(s), dsub) as u8);
+        }
+    }
+
+    /// Encodes a whole `(n, d)` table (fanned across the shared pool) and
+    /// records the max per-row L1 reconstruction error into the bound
+    /// returned by [`PqCodebook::l1_error_bound`] — every sealed row is
+    /// an encoded row, so the bound covers exactly what the index stores.
+    pub fn encode_table(&mut self, data: &[f32]) -> Vec<u8> {
+        assert!(data.len().is_multiple_of(self.d), "table must be (n, d)");
+        let n = data.len() / self.d;
+        let mut codes = vec![0u8; n * self.m];
+        let per = pool::rows_per_lane(n);
+        let this = &*self;
+        pool::par_chunks_mut(&mut codes, per * self.m, |c, chunk| {
+            let start = c * per;
+            let mut scratch = Vec::with_capacity(this.m);
+            for (i, crow) in chunk.chunks_exact_mut(this.m).enumerate() {
+                scratch.clear();
+                this.encode_into(
+                    &data[(start + i) * this.d..(start + i + 1) * this.d],
+                    &mut scratch,
+                );
+                crow.copy_from_slice(&scratch);
+            }
+        });
+        let mut worst = 0.0f32;
+        let mut decoded = vec![0.0f32; self.d];
+        for (row, crow) in data.chunks_exact(self.d).zip(codes.chunks_exact(self.m)) {
+            self.decode_into(crow, &mut decoded);
+            worst = worst.max(l1_f32(row, &decoded));
+        }
+        self.l1_bound = worst;
+        codes
+    }
+
+    /// Decodes one code row into `out[..d]` (centroid gather).
+    pub fn decode_into(&self, codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(codes.len(), self.m);
+        debug_assert_eq!(out.len(), self.d);
+        for (s, &c) in codes.iter().enumerate() {
+            let dsub = self.offsets[s + 1] - self.offsets[s];
+            let cen = &self.sub_centroids(s)[c as usize * dsub..(c as usize + 1) * dsub];
+            out[self.offsets[s]..self.offsets[s + 1]].copy_from_slice(cen);
+        }
+    }
+
+    /// Fills `lut` with the `m × ksub` ADC table for `query`:
+    /// `lut[s * ksub + c]` is the exact `metric` distance between the
+    /// query's subvector `s` and centroid `c` of that subspace. Built
+    /// once per query, reused for every scanned row.
+    pub fn build_lut_into(&self, metric: Metric, query: &[f32], lut: &mut Vec<f32>) {
+        debug_assert_eq!(query.len(), self.d);
+        lut.clear();
+        lut.reserve(self.m * self.ksub);
+        for s in 0..self.m {
+            let qs = &query[self.offsets[s]..self.offsets[s + 1]];
+            let dsub = qs.len();
+            for cen in self.sub_centroids(s).chunks_exact(dsub) {
+                lut.push(match metric {
+                    Metric::L1 => l1_f32(qs, cen),
+                    Metric::L2 => l2_f32(qs, cen),
+                });
+            }
+        }
+    }
+
+    /// ADC distance of one code row under a LUT from
+    /// [`PqCodebook::build_lut_into`] — identical to the metric distance
+    /// between the query and the *decoded* row. (For squared L2 this holds
+    /// because subspaces partition the dimensions, so per-subspace squared
+    /// distances sum exactly.)
+    #[inline]
+    pub fn lut_distance(&self, lut: &[f32], codes: &[u8]) -> f64 {
+        debug_assert_eq!(lut.len(), self.m * self.ksub);
+        debug_assert_eq!(codes.len(), self.m);
+        adc_sum(lut, codes, self.ksub) as f64
+    }
+
+    /// Worst-case L1 distance error of any row encoded by the last
+    /// [`PqCodebook::encode_table`] (by the triangle inequality, the ADC
+    /// distance of a row deviates from its exact distance by at most the
+    /// row's L1 reconstruction error).
+    pub fn l1_error_bound(&self) -> f64 {
+        self.l1_bound as f64
+    }
+
+    /// The serialised bound field (exact f32, for bit-exact round trips).
+    pub fn l1_bound_raw(&self) -> f32 {
+        self.l1_bound
+    }
+
+    /// Approximate resident bytes of the codebook itself.
+    pub fn memory_bytes(&self) -> usize {
+        self.centroids.len() * 4 + self.offsets.len() * 8
+    }
+}
+
+/// Plain Lloyd k-means over `(n, dsub)` subvectors into `out`
+/// (`ksub * dsub`, pre-zeroed): distinct-random-row init, pooled
+/// assignment through [`argmin_row`], f64 mean accumulation; empty
+/// clusters keep their previous centroid.
+fn kmeans_subspace(sub: &[f32], dsub: usize, ksub: usize, out: &mut [f32], rng: &mut impl Rng) {
+    let n = sub.len() / dsub;
+    debug_assert!(ksub <= n);
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    for (c, &i) in ids.iter().take(ksub).enumerate() {
+        out[c * dsub..(c + 1) * dsub].copy_from_slice(&sub[i * dsub..(i + 1) * dsub]);
+    }
+    let mut assign = vec![0u32; n];
+    for _ in 0..PQ_KMEANS_ITERS {
+        let per = pool::rows_per_lane(n);
+        let centroids_ref = &*out;
+        pool::par_chunks_mut(&mut assign, per, |c, chunk| {
+            let start = c * per;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let row = &sub[(start + i) * dsub..(start + i + 1) * dsub];
+                *slot = argmin_row(Metric::L2, row, centroids_ref, dsub) as u32;
+            }
+        });
+        let mut sums = vec![0.0f64; ksub * dsub];
+        let mut counts = vec![0usize; ksub];
+        for (i, &c) in assign.iter().enumerate() {
+            counts[c as usize] += 1;
+            for j in 0..dsub {
+                sums[c as usize * dsub + j] += sub[i * dsub + j] as f64;
+            }
+        }
+        for c in 0..ksub {
+            if counts[c] > 0 {
+                for j in 0..dsub {
+                    out[c * dsub + j] = (sums[c * dsub + j] / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+}
+
+/// Scans PQ code rows by gather list, offering ADC distances to `topk`
+/// (the PQ inverted-list scan; `codes` is the full `(n, m)` code table,
+/// `lut` the current query's `m × ksub` ADC table).
+#[inline]
+pub fn pq_scan_ids(lut: &[f32], codes: &[u8], m: usize, ksub: usize, ids: &[u32], topk: &mut TopK) {
+    for &id in ids {
+        let crow = &codes[id as usize * m..(id as usize + 1) * m];
+        topk.offer(id, adc_sum(lut, crow, ksub) as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +967,81 @@ mod tests {
         let mut decoded = vec![0.0f32; d];
         cb.decode_into(&codes, &mut decoded);
         assert_eq!(decoded[1], 7.5);
+    }
+
+    #[test]
+    fn pq_round_trip_error_is_bounded_by_trained_bound() {
+        let d = 24;
+        let data = randv(300 * d, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut cb = PqCodebook::train(&data, d, 3, 8, &mut rng);
+        let codes = cb.encode_table(&data);
+        assert_eq!(codes.len(), 300 * 3, "3 bytes per row");
+        let bound = cb.l1_error_bound();
+        assert!(bound > 0.0, "real data cannot encode losslessly");
+        let mut decoded = vec![0.0f32; d];
+        for (row, crow) in data.chunks_exact(d).zip(codes.chunks_exact(3)) {
+            cb.decode_into(crow, &mut decoded);
+            assert!(l1_f32(row, &decoded) as f64 <= bound + 1e-5);
+        }
+    }
+
+    #[test]
+    fn pq_lut_distance_equals_decoded_distance() {
+        // ADC must be *exactly* the metric distance to the decoded row
+        // (up to f32 association noise) — for both metrics, including an
+        // uneven subspace split (d = 10, m = 3 → widths 4, 3, 3).
+        let d = 10;
+        let data = randv(120 * d, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut cb = PqCodebook::train(&data, d, 3, 8, &mut rng);
+        let codes = cb.encode_table(&data);
+        let q = randv(d, 777);
+        let mut lut = Vec::new();
+        let mut decoded = vec![0.0f32; d];
+        for metric in [Metric::L1, Metric::L2] {
+            cb.build_lut_into(metric, &q, &mut lut);
+            for crow in codes.chunks_exact(3).take(40) {
+                cb.decode_into(crow, &mut decoded);
+                let want = dist(metric, &q, &decoded);
+                let got = cb.lut_distance(&lut, crow);
+                assert!((want - got).abs() < 1e-4, "{metric:?}: {want} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn pq_scan_matches_lut_distance_and_parameters_clamp() {
+        let d = 8;
+        let n = 64;
+        let data = randv(n * d, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        // m and nbits out of range clamp rather than panic.
+        let mut cb = PqCodebook::train(&data, d, 99, 12, &mut rng);
+        assert_eq!(cb.m(), d);
+        assert_eq!(cb.nbits(), 8);
+        assert_eq!(cb.ksub(), n, "ksub clamps to the table size");
+        let codes = cb.encode_table(&data);
+        // With ksub == n and distinct rows, encoding is (near-)lossless.
+        assert!(cb.l1_error_bound() < 1e-4);
+        let q = randv(d, 33);
+        let mut lut = Vec::new();
+        cb.build_lut_into(Metric::L1, &q, &mut lut);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut topk = TopK::new(5);
+        pq_scan_ids(&lut, &codes, cb.m(), cb.ksub(), &ids, &mut topk);
+        let got = topk.into_sorted();
+        let mut want: Vec<(u32, f64)> = (0..n)
+            .map(|i| {
+                (
+                    i as u32,
+                    cb.lut_distance(&lut, &codes[i * cb.m()..(i + 1) * cb.m()]),
+                )
+            })
+            .collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(5);
+        assert_eq!(got, want);
     }
 
     #[test]

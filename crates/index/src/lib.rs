@@ -15,9 +15,14 @@
 //! snapshots ([`IndexSnapshot`]).
 //!
 //! All hot paths run through [`kernels`]: blocked SIMD-friendly f32
-//! distance kernels, a fused bounded top-k selector ([`TopK`]) and the
-//! SQ8 scalar quantizer ([`Sq8Codebook`]) behind
-//! [`Quantization::Sq8`]-configured indexes.
+//! distance kernels, a fused bounded top-k selector ([`TopK`]), the SQ8
+//! scalar quantizer ([`Sq8Codebook`]) behind
+//! [`Quantization::Sq8`]-configured indexes, and the product quantizer
+//! ([`PqCodebook`], ADC lookup-table scans) behind [`Quantization::Pq`].
+//! DESIGN.md §10 documents the storage layouts and the over-fetch /
+//! rescore recall math shared by both quantizers.
+
+#![warn(missing_docs)]
 
 pub mod hausdorff_index;
 pub mod ivf;
@@ -27,7 +32,7 @@ pub mod mutable;
 pub use hausdorff_index::SegmentHausdorffIndex;
 pub use ivf::{
     brute_force_batch_knn, brute_force_knn, IvfIndex, Metric, Quantization, SearchScratch,
-    DEFAULT_RESCORE_FACTOR,
+    DEFAULT_PQ_M, DEFAULT_RESCORE_FACTOR,
 };
-pub use kernels::{Sq8Codebook, TopK};
-pub use mutable::{IndexOptions, IndexSnapshot, MutableIndex};
+pub use kernels::{PqCodebook, Sq8Codebook, TopK};
+pub use mutable::{ExactRescorer, IndexOptions, IndexSnapshot, MutableIndex};

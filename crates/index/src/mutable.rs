@@ -20,11 +20,18 @@
 //!
 //! [`MutableIndex::compact`] folds tombstones and buffer into a newly
 //! trained sealed part (k-means re-run), emptying the mutable tail. Its
-//! cost is a full rebuild. With [`Quantization::Sq8`] the sealed part
-//! stores int8 codes (the write buffer always stays exact f32); a
-//! compaction then reads sealed rows back *decoded*, so re-sealing a
-//! quantized part re-encodes values that already sit on the code lattice —
-//! the error does not compound beyond the codebook's per-step bound. Buffer-only writes republish in O(buffer)
+//! cost is a full rebuild. With [`Quantization::Sq8`] (int8 codes) or
+//! [`Quantization::Pq`] (product-quantized codes, sub-quantizers
+//! retrained at every compaction) the sealed part is stored compressed
+//! (the write buffer always stays exact f32); a compaction then reads
+//! sealed rows back *decoded*, so re-sealing an SQ8 part re-encodes
+//! values that already sit on the code lattice — the error does not
+//! compound beyond the codebook's per-step bound (PQ re-seals re-train
+//! centroids on the decoded rows, which reproduce them near-exactly for
+//! the same reason). Sealed quantized searches return asymmetric
+//! distances; [`IndexSnapshot::search_rescored`] lets a caller holding
+//! exact vectors (the serving engine's cached table) re-rank them
+//! exactly. Buffer-only writes republish in O(buffer)
 //! pointer copies (vectors and the tombstone bitmap are `Arc`-shared
 //! with snapshots); a write that tombstones a sealed position
 //! additionally pays one bitmap copy-on-write.
@@ -48,11 +55,14 @@ pub struct IndexOptions {
     /// Seed for deterministic k-means retraining.
     pub seed: u64,
     /// Storage quantization of the sealed part. [`Quantization::Sq8`]
-    /// stores sealed rows as int8 codes (4× smaller); the write buffer
+    /// stores sealed rows as int8 codes (4× smaller);
+    /// [`Quantization::Pq`] as `m`-byte product-quantized codes
+    /// (retrained sub-quantizers at every compaction). The write buffer
     /// always stays exact f32 until the next compaction.
     pub quantization: Quantization,
     /// Over-fetch multiplier carried into the sealed [`IvfIndex`] for
-    /// callers that rescore against an exact table.
+    /// callers that rescore against an exact table
+    /// ([`IndexSnapshot::search_rescored`]).
     pub rescore_factor: usize,
 }
 
@@ -181,8 +191,38 @@ impl IndexSnapshot {
     /// kNN over this snapshot: probes the sealed part (IVF with `nprobe`
     /// cells, or exact flat scan), filters tombstones, brute-force-scans
     /// the write buffer, and merges. Returns `(external id, distance)`
-    /// ascending, at most `k` entries.
+    /// ascending, at most `k` entries. Quantized sealed hits carry
+    /// asymmetric distances — see [`IndexSnapshot::search_rescored`] for
+    /// the exact-rescoring variant.
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u64, f64)> {
+        self.search_rescored(query, k, nprobe, None)
+    }
+
+    /// [`IndexSnapshot::search`] with optional sealed-part rescoring.
+    ///
+    /// A quantized (SQ8/PQ) sealed part keeps no exact copy of its rows,
+    /// so plain searches return *asymmetric* distances (exact query vs
+    /// quantized rows), correct within the codebook's error bound. When
+    /// the caller can supply exact vectors for (some) external ids — the
+    /// serving layer's engine keeps its cached embedding table for
+    /// exactly this — passing a [`ExactRescorer`] makes the sealed scan
+    /// over-fetch `rescore_factor · k` candidates and re-rank every hit
+    /// the rescorer covers with exact distances.
+    ///
+    /// **Caveat:** ids the rescorer returns `None` for (vectors upserted
+    /// or replaced after the exact table was built) keep their asymmetric
+    /// distances and compete in the merged ranking as-is; each individual
+    /// distance stays within the quantization error bound, but the final
+    /// ordering mixes exact and asymmetric values. Buffer hits are always
+    /// exact. With an f32 (unquantized) sealed part the rescorer is
+    /// ignored — distances are exact already.
+    pub fn search_rescored(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        rescorer: Option<&dyn ExactRescorer>,
+    ) -> Vec<(u64, f64)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         // Clamp before allocating: at most len() hits exist, and k comes
         // straight off the wire in the serve protocol — an absurd k must
@@ -191,16 +231,35 @@ impl IndexSnapshot {
         let mut hits: Vec<(u64, f64)> = Vec::with_capacity(k + self.buffer.len());
         if let Some(sealed) = &self.sealed {
             // Over-fetch by the tombstone count so filtering cannot starve
-            // the result below k while live candidates were probed.
+            // the result below k while live candidates were probed; when a
+            // rescorer is in play, additionally over-fetch the sealed
+            // IvfIndex's rescore factor so re-ranking has candidates to
+            // promote.
+            let (fetch, rescoring) = match (sealed.as_ref(), rescorer) {
+                (Sealed::Ivf(ivf), Some(_)) if ivf.quantization() != Quantization::None => {
+                    (k.saturating_mul(ivf.rescore_factor()).max(k), true)
+                }
+                _ => (k, false),
+            };
             let sealed_hits = match sealed.as_ref() {
-                Sealed::Ivf(ivf) => ivf.search(query, k + self.dead, nprobe),
-                Sealed::Flat(t) => brute_force_knn(t, query, k + self.dead, self.metric),
+                Sealed::Ivf(ivf) => ivf.search(query, fetch + self.dead, nprobe),
+                Sealed::Flat(t) => brute_force_knn(t, query, fetch + self.dead, self.metric),
             };
             hits.extend(
                 sealed_hits
                     .into_iter()
                     .filter(|(pos, _)| !self.tombstones[*pos as usize])
-                    .map(|(pos, d)| (self.sealed_ids[pos as usize], d)),
+                    .map(|(pos, d)| {
+                        let id = self.sealed_ids[pos as usize];
+                        let d = if rescoring {
+                            rescorer
+                                .and_then(|r| r.exact_vector(id))
+                                .map_or(d, |v| self.metric.dist(query, v))
+                        } else {
+                            d
+                        };
+                        (id, d)
+                    }),
             );
         }
         for (id, v) in self.buffer.iter() {
@@ -210,6 +269,15 @@ impl IndexSnapshot {
         hits.truncate(k);
         hits
     }
+}
+
+/// A source of exact vectors for sealed-part rescoring
+/// ([`IndexSnapshot::search_rescored`]): maps an external id to its exact
+/// f32 vector when one is known to match what the index holds for that
+/// id, `None` otherwise (in which case the asymmetric distance is kept).
+pub trait ExactRescorer {
+    /// The exact vector for `id`, when available and current.
+    fn exact_vector(&self, id: u64) -> Option<&[f32]>;
 }
 
 /// Writer-side state (everything needed to build the next snapshot).
@@ -234,6 +302,28 @@ struct Writer {
 /// [`MutableIndex::search`] convenience wrapper); all write paths serialise
 /// internally, so `&self` methods are safe to call from any number of
 /// threads.
+///
+/// # Examples
+///
+/// ```
+/// use trajcl_index::{Metric, MutableIndex};
+///
+/// // An empty 2-d index that trains 2 IVF cells at every compaction.
+/// let index = MutableIndex::new(2, Metric::L1, Some(2), 0);
+/// index.upsert(7, vec![0.0, 0.0]);
+/// index.upsert(8, vec![5.0, 5.0]);
+///
+/// // Writes are visible immediately (buffer scan), no compaction needed.
+/// assert_eq!(index.search(&[0.1, 0.0], 1, 1)[0].0, 7);
+///
+/// // Compaction folds the buffer into a freshly trained sealed part;
+/// // readers holding older snapshots are unaffected.
+/// let old = index.snapshot();
+/// assert_eq!(index.compact(), 2);
+/// index.remove(7);
+/// assert_eq!(old.len(), 2); // the held snapshot still sees id 7
+/// assert_eq!(index.len(), 1);
+/// ```
 pub struct MutableIndex {
     snapshot: RwLock<Arc<IndexSnapshot>>,
     writer: Mutex<Writer>,
@@ -467,8 +557,8 @@ impl MutableIndex {
             // (every search probes at least one cell).
             let nlist = match (self.opts.nlist, self.opts.quantization) {
                 (Some(nlist), _) => Some(nlist),
-                (None, Quantization::Sq8) => Some(1),
                 (None, Quantization::None) => None,
+                (None, Quantization::Sq8 | Quantization::Pq { .. }) => Some(1),
             };
             Some(Arc::new(match nlist {
                 Some(nlist) => {

@@ -1,6 +1,7 @@
-//! SQ8 quantization acceptance suite: bit-exact serialization round
-//! trips (property-tested), the recall@10 gate against exact f32 brute
-//! force, and `IVF1` backward compatibility.
+//! Quantization acceptance suite (SQ8 + PQ): bit-exact serialization
+//! round trips (property-tested, `IVF2` and `IVF3`), the recall@10 gates
+//! against exact f32 brute force (SQ8 ≥ 0.95, PQ rescored ≥ 0.90), and
+//! `IVF1` backward compatibility.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -52,6 +53,57 @@ proptest! {
         prop_assert_eq!(restored.len(), index.len());
         prop_assert_eq!(restored.rescore_factor(), index.rescore_factor());
         prop_assert_eq!(restored.quantization(), Quantization::Sq8);
+        for qi in [0, n / 2, n - 1] {
+            prop_assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3),
+                "restored index diverged on query {}", qi
+            );
+            prop_assert_eq!(
+                restored.search_rescored(emb.row(qi), 5, 3, Some(&emb)),
+                index.search_rescored(emb.row(qi), 5, 3, Some(&emb))
+            );
+        }
+    }
+
+    // The PQ acceptance property: an IVF3 index must survive
+    // `to_bytes` -> `from_bytes` -> `to_bytes` BIT-EXACTLY (codebook
+    // centroids, trained error bound and codes included), and the
+    // restored index must answer plain and rescored searches identically.
+    #[test]
+    fn pq_round_trips_bit_exactly(
+        n in 10usize..150,
+        d in 2usize..24,
+        m in 1usize..6,
+        nbits in 4u8..9,
+        nlist in 1usize..12,
+        rescore in 1usize..9,
+        metric_l2 in 0u32..2,
+        seed in 0u64..1000,
+    ) {
+        let metric = if metric_l2 == 1 { Metric::L2 } else { Metric::L1 };
+        let emb = mixture(n, d, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x90);
+        let index = IvfIndex::build_with(
+            &emb,
+            nlist,
+            metric,
+            Quantization::Pq { m, nbits },
+            rescore,
+            &mut rng,
+        );
+        let bytes = index.to_bytes();
+        prop_assert_eq!(&bytes[..4], b"IVF3");
+        let restored = IvfIndex::from_bytes(&bytes).expect("valid bytes must deserialize");
+        prop_assert_eq!(restored.to_bytes(), bytes, "round trip must be bit-exact");
+        prop_assert_eq!(restored.len(), index.len());
+        prop_assert_eq!(restored.rescore_factor(), index.rescore_factor());
+        // The effective geometry survives (m clamps to d at build time).
+        prop_assert_eq!(restored.quantization(), index.quantization());
+        prop_assert_eq!(
+            restored.pq_codebook().map(|cb| (cb.m(), cb.nbits(), cb.ksub())),
+            index.pq_codebook().map(|cb| (cb.m(), cb.nbits(), cb.ksub()))
+        );
         for qi in [0, n / 2, n - 1] {
             prop_assert_eq!(
                 restored.search(emb.row(qi), 5, 3),
@@ -138,6 +190,37 @@ fn sq8_recall_gate_at_partial_probe() {
         rescored >= control - 0.02,
         "quantization cost too much recall: sq8 {rescored:.4} vs f32 {control:.4}"
     );
+}
+
+// The PQ acceptance gate: IVF+PQ recall@10 >= 0.90 *after rescoring* on
+// the same clustered geometry — m-byte codes are far coarser than SQ8,
+// so the deep (rescore_factor 32) over-fetch is what claws recall back.
+#[test]
+fn pq_recall_gate_at_partial_probe() {
+    let (n, d, nlist, nprobe, k) = (4000, 32, 32, 8, 10);
+    let emb = mixture(n, d, 16, 77);
+    let mut rng = StdRng::seed_from_u64(78);
+    let pq = IvfIndex::build_with(
+        &emb,
+        nlist,
+        Metric::L1,
+        Quantization::Pq { m: 4, nbits: 8 },
+        32,
+        &mut rng,
+    );
+
+    let rescored = measured_recall(&pq, &emb, nprobe, k, true);
+    assert!(
+        rescored >= 0.90,
+        "IVF+PQ (rescored) recall@10 gate failed: {rescored:.4} < 0.90"
+    );
+
+    // And rescored PQ distances are exact (the whole point of the
+    // over-fetch): every reported hit matches its brute-force distance.
+    let q = emb.row(123);
+    for (id, dist) in pq.search_rescored(q, k, nprobe, Some(&emb)) {
+        assert_eq!(dist, Metric::L1.dist(q, emb.row(id as usize)));
+    }
 }
 
 // Rescored distances are exact f32 distances: merged rankings (e.g. the

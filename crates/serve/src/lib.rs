@@ -52,6 +52,8 @@
 //! assert_eq!(server.compact(), 8); // 8 live vectors re-sealed
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod batcher;
 pub mod cache;
 pub mod json;

@@ -13,7 +13,23 @@
 //! are flat objects with `"ok"` plus op-specific fields, `distance` keys
 //! matching the CLI's existing `--json` output. An optional numeric
 //! `"req"` field is echoed back verbatim so pipelined callers can match
-//! responses to requests regardless of completion order.
+//! responses to requests regardless of completion order. Errors are
+//! in-band: `{"ok":false,"error":"..."}` with the request's echo.
+//!
+//! | op | request fields | response fields |
+//! |----|----------------|-----------------|
+//! | `embed`    | `traj`            | `embedding` (f32 array) |
+//! | `knn`      | `traj`, `k`       | `hits`: `[{rank,index,distance}]` |
+//! | `distance` | `a`, `b`          | `distance` |
+//! | `upsert`   | `id`, `traj`      | `replaced` (bool) |
+//! | `remove`   | `id`              | `removed` (bool) |
+//! | `compact`  | —                 | `sealed` (live vectors re-sealed) |
+//! | `stats`    | —                 | `size`, `buffer`, `generation`, `memory_bytes`, `requests`, `batches`, `batched_jobs`, `cache_hits`, `cache_misses` |
+//!
+//! `knn` distances are exact f32 L1 for unquantized indexes and for
+//! quantized hits the server can rescore against the engine's cached
+//! table; ids upserted over the wire keep asymmetric (error-bounded)
+//! distances — see `ServeConfig::rescore_sealed`.
 
 use std::io::{BufRead, Write};
 
@@ -27,6 +43,22 @@ use crate::server::Server;
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
 /// Reads one frame's payload; `Ok(None)` on clean end-of-stream.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Cursor;
+/// use trajcl_serve::proto::read_frame;
+///
+/// // `LEN\n{json}\n` — exactly what `write_frame` produces.
+/// let mut stream = Cursor::new(b"14\n{\"op\":\"stats\"}\n".to_vec());
+/// assert_eq!(read_frame(&mut stream).unwrap().unwrap(), "{\"op\":\"stats\"}");
+/// assert!(read_frame(&mut stream).unwrap().is_none()); // end-of-stream
+///
+/// // A non-numeric header is an error, not a hang.
+/// let mut bad = Cursor::new(b"banana\n{}\n".to_vec());
+/// assert!(read_frame(&mut bad).is_err());
+/// ```
 pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
     let mut header = String::new();
     loop {
@@ -69,6 +101,22 @@ pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<String>> 
 }
 
 /// Writes one frame.
+///
+/// # Examples
+///
+/// ```
+/// use trajcl_serve::proto::{read_frame, write_frame};
+///
+/// let mut buf = Vec::new();
+/// write_frame(&mut buf, r#"{"req":1,"op":"compact"}"#).unwrap();
+/// assert!(buf.starts_with(b"24\n")); // byte length, newline, payload
+///
+/// let mut reader = &buf[..];
+/// assert_eq!(
+///     read_frame(&mut reader).unwrap().unwrap(),
+///     r#"{"req":1,"op":"compact"}"#
+/// );
+/// ```
 pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
     writeln!(writer, "{}", payload.len())?;
     writer.write_all(payload.as_bytes())?;

@@ -13,13 +13,15 @@
 //! threads (the CLI's stdin dispatcher, the load generator's clients, the
 //! concurrency tests).
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{IndexOptions, Metric, MutableIndex, Quantization};
+use trajcl_index::{ExactRescorer, IndexOptions, Metric, MutableIndex, Quantization};
+use trajcl_tensor::Tensor;
 
 use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
 use crate::cache::{content_hash, LruCache};
@@ -44,11 +46,22 @@ pub struct ServeConfig {
     pub ivf_nlist: Option<usize>,
     /// Storage quantization of the index's sealed part; `None` inherits
     /// the engine's configuration. [`Quantization::Sq8`] shrinks sealed
-    /// vectors to one byte per dimension; served distances are then
-    /// asymmetric (exact query vs quantized rows) within the codebook's
-    /// error bound — the sealed part keeps no exact copy to rescore
-    /// against (by design: that copy would forfeit the compression).
+    /// vectors to one byte per dimension, [`Quantization::Pq`] to `m`
+    /// bytes per *vector*; the sealed part keeps no exact copy to rescore
+    /// against (by design: that copy would forfeit the compression), so
+    /// served quantized distances are asymmetric (exact query vs
+    /// quantized rows) within the codebook's error bound — except where
+    /// [`ServeConfig::rescore_sealed`] recovers exact values.
     pub quantization: Option<Quantization>,
+    /// Rescore sealed quantized hits against the engine's cached exact
+    /// embedding table (default `true`). Ids seeded from the engine's
+    /// database and never re-upserted since still match that table, so
+    /// their served distances come back exact; ids upserted through the
+    /// server have no exact counterpart and keep asymmetric distances
+    /// (the mixed-ordering caveat documented on
+    /// [`trajcl_index::IndexSnapshot::search_rescored`]). No effect on
+    /// unquantized indexes or engines without cached embeddings.
+    pub rescore_sealed: bool,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +74,7 @@ impl Default for ServeConfig {
             cache_cap: 4096,
             ivf_nlist: None,
             quantization: None,
+            rescore_sealed: true,
         }
     }
 }
@@ -102,10 +116,38 @@ pub struct Server {
     tx: Mutex<Option<mpsc::SyncSender<EmbedJob>>>,
     cache: Option<Mutex<LruCache>>,
     nprobe: usize,
+    /// Whether sealed quantized hits are rescored against the engine's
+    /// cached embedding table ([`ServeConfig::rescore_sealed`]).
+    rescore_sealed: bool,
+    /// Ids whose vectors may disagree with the engine's cached table
+    /// (everything ever upserted through the server). Sealed hits on
+    /// these ids are never rescored — the table row would be stale.
+    /// Copy-on-write behind an `Arc` so searches snapshot it with one
+    /// momentary read lock instead of holding the lock across the scan.
+    /// The set only grows (bounded by distinct upserted ids): pruning on
+    /// `remove` would race a concurrent re-upsert of the same id, and a
+    /// stale `true` is merely conservative (skips a rescore) while a
+    /// stale `false` would serve wrong distances.
+    dirty: RwLock<Arc<HashSet<u64>>>,
     batch_stats: Arc<BatchStats>,
     requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+}
+
+/// [`ExactRescorer`] over the engine's cached embedding table: ids are
+/// table row positions (how [`Server::new`] seeds the index), valid only
+/// while the id was never re-upserted (tracked by `Server::dirty`).
+struct TableRescorer<'a> {
+    table: &'a Tensor,
+    dirty: &'a HashSet<u64>,
+}
+
+impl ExactRescorer for TableRescorer<'_> {
+    fn exact_vector(&self, id: u64) -> Option<&[f32]> {
+        ((id as usize) < self.table.shape().rows() && !self.dirty.contains(&id))
+            .then(|| self.table.row(id as usize))
+    }
 }
 
 impl Server {
@@ -157,6 +199,8 @@ impl Server {
             tx: Mutex::new(Some(tx)),
             cache: (cfg.cache_cap > 0).then(|| Mutex::new(LruCache::new(cfg.cache_cap))),
             nprobe,
+            rescore_sealed: cfg.rescore_sealed,
+            dirty: RwLock::new(Arc::new(HashSet::new())),
             batch_stats,
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -237,11 +281,27 @@ impl Server {
     }
 
     /// k nearest indexed trajectories to `query`: `(id, distance)`
-    /// ascending, against one consistent index snapshot.
+    /// ascending, against one consistent index snapshot. When
+    /// [`ServeConfig::rescore_sealed`] is on (the default) and the engine
+    /// carries its cached embedding table, sealed quantized hits whose
+    /// ids still match that table are rescored to exact distances.
     pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<(u64, f64)>, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let q = self.embed_inner(query)?;
-        Ok(self.index.search(&q, k, self.nprobe))
+        let snap = self.index.snapshot();
+        if self.rescore_sealed {
+            if let Some(table) = self.engine.embeddings() {
+                // One pointer clone under the lock; the search itself runs
+                // against the snapshot, never blocking upserts.
+                let dirty = self.dirty.read().unwrap_or_else(|p| p.into_inner()).clone();
+                let rescorer = TableRescorer {
+                    table,
+                    dirty: &dirty,
+                };
+                return Ok(snap.search_rescored(&q, k, self.nprobe, Some(&rescorer)));
+            }
+        }
+        Ok(snap.search(&q, k, self.nprobe))
     }
 
     /// L1 distance between two trajectories in embedding space (both
@@ -259,6 +319,18 @@ impl Server {
     pub fn upsert(&self, id: u64, traj: &Trajectory) -> Result<bool, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let v = self.embed_inner(traj)?;
+        // Mark the id stale BEFORE the write publishes: any search that
+        // could observe the new vector sealed must already see it dirty
+        // (a conservative-only race — a fresh upsert may briefly skip
+        // rescoring, never rescore against a stale row).
+        let mut dirty = self.dirty.write().unwrap_or_else(|p| p.into_inner());
+        // Re-upserts of an already-dirty id (the replace-heavy workload)
+        // skip the copy-on-write entirely; only a first-time id pays the
+        // set clone, and only while a concurrent search holds the Arc.
+        if !dirty.contains(&id) {
+            Arc::make_mut(&mut dirty).insert(id);
+        }
+        drop(dirty);
         Ok(self.index.upsert(id, v))
     }
 

@@ -234,6 +234,187 @@ fn quantized_server_mixed_ops_match_oracle_within_quant_error() {
 }
 
 #[test]
+fn pq_server_mixed_ops_match_oracle_near_exactly() {
+    // The mixed-op oracle test extended to the PQ variant. At serve-test
+    // scale the live set stays under 2^nbits rows, so every sub-quantizer
+    // clamps ksub to the table size and k-means reproduces each training
+    // subvector as its own centroid: sealed PQ rows decode (near-)exactly
+    // and reported distances must match the oracle to f32 noise — which
+    // is precisely the property that makes repeated PQ re-compactions
+    // drift-free. Sealed rescoring is off so the raw ADC path is what is
+    // being served.
+    let server = Arc::new(
+        Server::new(
+            Arc::new(tiny_engine()),
+            ServeConfig {
+                quantization: Some(Quantization::Pq { m: 4, nbits: 8 }),
+                rescore_sealed: false,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server"),
+    );
+    const THREADS: u64 = 4;
+    const OPS: u64 = 24;
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS {
+                    let id = t * 1000 + i;
+                    server.upsert(id, &traj_for(id)).expect("upsert");
+                    if i % 5 == 4 {
+                        assert!(server.remove(id - 2));
+                    }
+                    if t == 1 && i % 9 == 8 {
+                        server.compact(); // product-quantizes the sealed part
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    server.compact();
+
+    let mut oracle: HashMap<u64, Vec<f32>> = HashMap::new();
+    for t in 0..THREADS {
+        for i in 0..OPS {
+            let id = t * 1000 + i;
+            oracle.insert(id, server.embed(&traj_for(id)).expect("embed"));
+        }
+        for i in 0..OPS {
+            if i % 5 == 4 {
+                oracle.remove(&(t * 1000 + i - 2));
+            }
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.index_len, oracle.len());
+    // (No memory assertion here: with ksub clamped to ~80 rows the
+    // codebook dominates — PQ's footprint win only amortizes at scale,
+    // which the index-scale bench gate measures. The code payload itself
+    // is m = 4 bytes per vector vs 64 for f32.)
+
+    const K: usize = 5;
+    const EPS: f64 = 1e-3; // ksub == n ⇒ reconstruction is f32-noise only
+    for qid in [0u64, 7, 1003, 2019, 3020] {
+        let q = server.embed(&traj_for(qid)).expect("embed");
+        let mut want: Vec<(u64, f64)> = oracle.iter().map(|(id, v)| (*id, l1(&q, v))).collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let kth = want[K.min(want.len()) - 1].1;
+        let got = server.knn(&traj_for(qid), K).expect("knn");
+        assert_eq!(got.len(), K.min(oracle.len()));
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "sorted hits");
+        for (id, d) in &got {
+            let exact = l1(&q, &oracle[id]);
+            assert!(
+                (d - exact).abs() <= EPS,
+                "query {qid}: id {id} reported {d}, exact {exact}"
+            );
+            assert!(
+                exact <= kth + 2.0 * EPS,
+                "query {qid}: id {id} ranks {exact} past kth {kth}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sealed_rescoring_serves_exact_distances_for_clean_ids() {
+    // The ROADMAP fix: a quantized sealed part returns asymmetric
+    // distances, but ids seeded from the engine's database still match
+    // its cached embedding table — with rescore_sealed on (the default),
+    // the server re-ranks those hits against the table and serves EXACT
+    // distances. Ids upserted through the server are tracked as dirty
+    // and keep their (error-bounded) asymmetric distances.
+    let db: Vec<Trajectory> = (0..20).map(traj_for).collect();
+    let engine = Arc::new(
+        Engine::builder()
+            .trajcl(
+                {
+                    let mut rng = StdRng::seed_from_u64(0);
+                    let cfg = TrajClConfig::test_default();
+                    TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng)
+                },
+                {
+                    let mut rng = StdRng::seed_from_u64(0);
+                    let cfg = TrajClConfig::test_default();
+                    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+                    let grid = Grid::new(region, 100.0);
+                    let table =
+                        Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+                    Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len)
+                },
+            )
+            .database(db.clone())
+            .build()
+            .expect("engine"),
+    );
+    let table_rows: Vec<Vec<f32>> = {
+        let t = engine.embeddings().expect("cached table");
+        (0..t.shape().rows()).map(|i| t.row(i).to_vec()).collect()
+    };
+    let metric = trajcl_index::Metric::L1;
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServeConfig {
+            quantization: Some(Quantization::Sq8),
+            ..ServeConfig::default() // rescore_sealed: true
+        },
+    )
+    .expect("server");
+
+    // Every seeded id is clean: served distances are bit-identical to
+    // exact distances against the engine's cached table.
+    for qid in [0u64, 7, 13] {
+        let q = server.embed(&db[qid as usize]).expect("embed");
+        for (id, d) in server.knn(&db[qid as usize], 5).expect("knn") {
+            assert_eq!(
+                d,
+                metric.dist(&q, &table_rows[id as usize]),
+                "query {qid}: clean id {id} not rescored to the exact distance"
+            );
+        }
+    }
+
+    // Replace id 3 through the server and seal it: the id is dirty, so
+    // its hit keeps an asymmetric distance (within the codebook bound)
+    // while every other id still rescores exactly.
+    let new_traj = traj_for(500);
+    server.upsert(3, &new_traj).expect("upsert");
+    server.compact();
+    let new_vec = server.embed(&new_traj).expect("embed");
+    let mut live: Vec<Vec<f32>> = Vec::new();
+    for (id, row) in table_rows.iter().enumerate() {
+        live.push(if id == 3 {
+            new_vec.clone()
+        } else {
+            row.clone()
+        });
+    }
+    let bound = sq8_l1_bound(live.iter());
+    let hits = server.knn(&new_traj, 3).expect("knn");
+    assert_eq!(hits[0].0, 3, "the replaced vector is its own neighbour");
+    assert!(
+        (hits[0].1 - 0.0).abs() <= bound + 1e-5,
+        "dirty id 3 must stay within the quantization bound"
+    );
+    for &(id, d) in &hits[1..] {
+        assert_eq!(
+            d,
+            metric.dist(&new_vec, &table_rows[id as usize]),
+            "clean id {id} must still rescore exactly"
+        );
+    }
+}
+
+#[test]
 fn concurrent_embeds_fuse_into_batches_and_stay_correct() {
     let engine = Arc::new(tiny_engine());
     let server = Arc::new(
