@@ -1,0 +1,459 @@
+//! Deterministic structure-aware mutation fuzzing for every decoder that
+//! parses untrusted bytes: the serve frame reader, the JSON parser, the
+//! IVF index loader (all three sections) and the TCE1 engine loader.
+//!
+//! The harness is a classic corpus mutator, not coverage-guided: each
+//! target starts from a small set of *valid* encodings (so mutations land
+//! near the format's structure instead of dying at the magic check) and
+//! runs `cases` mutated inputs through the decoder under
+//! [`std::panic::catch_unwind`]. The contract asserted for every input:
+//!
+//! 1. the decoder returns `Ok`/`Some` or `Err`/`None` — it never panics;
+//! 2. a decode that *succeeds* yields a value that survives a probe
+//!    (search/embed), i.e. accepted data is internally consistent.
+//!
+//! Determinism: case `i` of target `t` derives its RNG from
+//! `seed_from_u64(FUZZ_SEED ^ (t << 32) ^ i)`, so a CI failure replays
+//! bit-for-bit locally and every reproducer is re-derivable. Failures
+//! additionally drop their exact input bytes into `repro_dir`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_index::{IvfIndex, Metric, Quantization};
+use trajcl_tensor::{Shape, Tensor};
+
+/// Base seed of the whole fuzz run (xor-folded with target and case ids).
+pub const FUZZ_SEED: u64 = 0x7261_6a63_6c2d_6131; // "trajcl-a1"
+
+/// Fuzzing knobs.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Mutated inputs per target.
+    pub cases_per_target: usize,
+    /// Where failing inputs are written (skipped when `None`).
+    pub repro_dir: Option<PathBuf>,
+}
+
+/// Per-target outcome counts.
+#[derive(Debug)]
+pub struct TargetReport {
+    /// Target name (`json`, `proto`, `ivf`, `engine`).
+    pub name: &'static str,
+    /// Inputs executed (corpus entries + mutations).
+    pub cases: usize,
+    /// Inputs the decoder accepted.
+    pub accepted: usize,
+    /// Inputs the decoder rejected with a clean error.
+    pub rejected: usize,
+    /// Panics caught (each one is a bug).
+    pub panics: usize,
+    /// Reproducer files written for caught panics.
+    pub repro_paths: Vec<PathBuf>,
+}
+
+/// Outcome of a full fuzz run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// One report per target.
+    pub targets: Vec<TargetReport>,
+}
+
+impl FuzzReport {
+    /// Whether every target ran panic-free.
+    pub fn passed(&self) -> bool {
+        self.targets.iter().all(|t| t.panics == 0)
+    }
+
+    /// Total panics across targets.
+    pub fn total_panics(&self) -> usize {
+        self.targets.iter().map(|t| t.panics).sum()
+    }
+}
+
+/// What a decoder did with one input (when it didn't panic).
+enum Outcome {
+    Accepted,
+    Rejected,
+}
+
+/// Runs every fuzz target for `opts.cases_per_target` cases each.
+///
+/// The default panic hook prints a backtrace per panic; with ~100k cases
+/// per target that would swamp stderr, so the hook is silenced for the
+/// duration of the run and restored afterwards.
+pub fn run_all(opts: &FuzzOptions) -> FuzzReport {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let targets = vec![
+        run_target(0, "json", &corpus_json(), opts, |bytes| {
+            let text = String::from_utf8_lossy(bytes);
+            match trajcl_serve::json::parse(&text) {
+                Ok(_) => Outcome::Accepted,
+                Err(_) => Outcome::Rejected,
+            }
+        }),
+        run_target(1, "proto", &corpus_proto(), opts, |bytes| {
+            // Drain the mutated stream frame by frame, parsing every
+            // payload that frames correctly (capped so a mutation cannot
+            // manufacture an unbounded number of tiny frames).
+            let mut reader = std::io::Cursor::new(bytes);
+            let mut any = false;
+            for _ in 0..64 {
+                match trajcl_serve::proto::read_frame(&mut reader) {
+                    Ok(Some(payload)) => {
+                        any = true;
+                        let _ = trajcl_serve::json::parse(&payload);
+                    }
+                    Ok(None) => break,
+                    Err(_) => return Outcome::Rejected,
+                }
+            }
+            if any {
+                Outcome::Accepted
+            } else {
+                Outcome::Rejected
+            }
+        }),
+        run_target(2, "ivf", &corpus_ivf(), opts, |bytes| {
+            match IvfIndex::from_bytes(bytes) {
+                Some(idx) => {
+                    // Accepted indexes must be searchable: a decode that
+                    // passes validation but indexes out of bounds here is
+                    // exactly the bug class this target exists to catch.
+                    let query = vec![0.25f32; idx.dim()];
+                    let _ = idx.search(&query, 3, 2);
+                    Outcome::Accepted
+                }
+                None => Outcome::Rejected,
+            }
+        }),
+        run_target(3, "engine", &corpus_engine(), opts, |bytes| {
+            match Engine::from_bytes(bytes) {
+                Ok(engine) => {
+                    // Probe the loaded model end-to-end: mutated weights
+                    // may be garbage (NaNs are fine) but the forward pass
+                    // must not panic, and neither must an indexed query.
+                    let probe: Trajectory = (0..4)
+                        .map(|i| Point::new(100.0 + 50.0 * i as f64, 200.0))
+                        .collect();
+                    let _ = engine.embed_all(std::slice::from_ref(&probe));
+                    let _ = engine.knn(&probe, 2);
+                    Outcome::Accepted
+                }
+                Err(_) => Outcome::Rejected,
+            }
+        }),
+    ];
+    std::panic::set_hook(prev_hook);
+    FuzzReport { targets }
+}
+
+fn run_target(
+    target_id: u64,
+    name: &'static str,
+    corpus: &[Vec<u8>],
+    opts: &FuzzOptions,
+    check: impl Fn(&[u8]) -> Outcome,
+) -> TargetReport {
+    let mut report = TargetReport {
+        name,
+        cases: 0,
+        accepted: 0,
+        rejected: 0,
+        panics: 0,
+        repro_paths: Vec::new(),
+    };
+    let mut run_one = |input: &[u8], case: usize| {
+        report.cases += 1;
+        match catch_unwind(AssertUnwindSafe(|| check(input))) {
+            Ok(Outcome::Accepted) => report.accepted += 1,
+            Ok(Outcome::Rejected) => report.rejected += 1,
+            Err(_) => {
+                report.panics += 1;
+                if let Some(dir) = &opts.repro_dir {
+                    // Keep a bounded number of reproducers per target.
+                    if report.repro_paths.len() < 16 && std::fs::create_dir_all(dir).is_ok() {
+                        let path = dir.join(format!("{name}-case{case}.bin"));
+                        if std::fs::write(&path, input).is_ok() {
+                            report.repro_paths.push(path);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    // The unmutated corpus runs first: every entry must be accepted, so a
+    // panic here means the corpus (or a decoder regression) is broken in
+    // a way mutation statistics would hide.
+    for (i, entry) in corpus.iter().enumerate() {
+        run_one(entry, i);
+    }
+    for case in corpus.len()..opts.cases_per_target {
+        let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ (target_id << 32) ^ case as u64);
+        let base = &corpus[rng.gen_range(0..corpus.len())];
+        let input = mutate(base, corpus, &mut rng);
+        run_one(&input, case);
+    }
+    report
+}
+
+/// Values worth splicing over 4-byte fields: boundary counts and lengths
+/// that historically trip `n - 1`, `n * size` and `Vec::with_capacity`.
+const INTERESTING_U32: &[u32] = &[
+    0,
+    1,
+    2,
+    0x7f,
+    0xff,
+    0x100,
+    0xffff,
+    0x0100_0000,
+    0x00ff_ffff,
+    0x7fff_ffff,
+    0xffff_fffe,
+    0xffff_ffff,
+];
+
+/// Applies 1–4 random mutation operators to `base`.
+pub fn mutate(base: &[u8], corpus: &[Vec<u8>], rng: &mut StdRng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let ops = rng.gen_range(1..=4usize);
+    for _ in 0..ops {
+        if out.is_empty() {
+            out = vec![rng.gen_range(0..=u8::MAX)];
+            continue;
+        }
+        match rng.gen_range(0..7usize) {
+            // Bit flips: the classic off-by-one-bit probe.
+            0 => {
+                let flips = rng.gen_range(1..=4usize);
+                for _ in 0..flips {
+                    let i = rng.gen_range(0..out.len());
+                    out[i] ^= 1 << rng.gen_range(0..8u32);
+                }
+            }
+            // Byte randomization.
+            1 => {
+                let i = rng.gen_range(0..out.len());
+                out[i] = rng.gen_range(0..=u8::MAX);
+            }
+            // Truncation: every decoder must survive any prefix.
+            2 => {
+                let len = rng.gen_range(0..out.len());
+                out.truncate(len);
+            }
+            // Extension: trailing garbage after a valid encoding.
+            3 => {
+                let extra = rng.gen_range(1..=16usize);
+                for _ in 0..extra {
+                    out.push(rng.gen_range(0..=u8::MAX));
+                }
+            }
+            // Length-field attack: splice an interesting u32 anywhere —
+            // unaligned offsets included, since framing shifts fields.
+            4 => {
+                let v = match rng.gen_range(0..INTERESTING_U32.len() + 3) {
+                    i if i < INTERESTING_U32.len() => INTERESTING_U32[i],
+                    _ => {
+                        let len = out.len() as u32;
+                        [len.wrapping_sub(1), len, len.wrapping_add(1)][rng.gen_range(0..3usize)]
+                    }
+                };
+                if out.len() >= 4 {
+                    let at = rng.gen_range(0..=out.len() - 4);
+                    out[at..at + 4].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            // Splice a window from another corpus entry (crossover).
+            5 => {
+                let donor = &corpus[rng.gen_range(0..corpus.len())];
+                if !donor.is_empty() {
+                    let from = rng.gen_range(0..donor.len());
+                    let n = rng.gen_range(1..=(donor.len() - from).min(64));
+                    let at = rng.gen_range(0..=out.len());
+                    let insert: Vec<u8> = donor[from..from + n].to_vec();
+                    out.splice(at..at.min(out.len()), insert);
+                }
+            }
+            // ASCII digit tweak: mutates decimal headers / JSON numbers
+            // without destroying the surrounding structure.
+            _ => {
+                let digits: Vec<usize> = out
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.is_ascii_digit())
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&i) = digits.get(rng.gen_range(0..digits.len().max(1))) {
+                    out[i] = b'0' + rng.gen_range(0..10u8);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Valid protocol JSON payloads (one per op, plus edge shapes).
+fn corpus_json() -> Vec<Vec<u8>> {
+    [
+        r#"{"op":"knn","traj":[[1.5,-2.0],[3,4]],"k":5}"#,
+        r#"{"op":"embed","traj":[[0,0],[100.25,50.5],[200,100]],"req":7}"#,
+        r#"{"op":"distance","a":[[0,0],[1,1]],"b":[[2,2],[3,3]]}"#,
+        r#"{"op":"upsert","id":42,"traj":[[9.5,8.25],[10,11]]}"#,
+        r#"{"op":"remove","id":42}"#,
+        r#"{"op":"stats"}"#,
+        r#"{"s":"a\"b\\c\ndA","deep":[[[[1]]]],"neg":-1.25e2}"#,
+        r#"[1e308,-1e-308,0.5,123456789,null,true,false,""]"#,
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+/// Valid framed streams (`LEN\n{json}\n` sequences).
+fn corpus_proto() -> Vec<Vec<u8>> {
+    let payloads = corpus_json();
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    for (i, p) in payloads.iter().enumerate() {
+        let text = String::from_utf8_lossy(p).into_owned();
+        if i == 0 {
+            trajcl_serve::proto::write_frame(&mut single, &text).expect("vec write");
+        }
+        trajcl_serve::proto::write_frame(&mut multi, &text).expect("vec write");
+    }
+    let mut blanks = b"\n\n".to_vec();
+    blanks.extend_from_slice(&single);
+    vec![single, multi, blanks]
+}
+
+/// Valid IVF blobs covering all three sections: IVF1 (f32), IVF2 (SQ8)
+/// and IVF3 (PQ).
+fn corpus_ivf() -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED);
+    let emb = Tensor::randn(Shape::d2(64, 8), 0.0, 1.0, &mut rng);
+    let plain = IvfIndex::build(&emb, 4, Metric::L1, &mut rng);
+    let sq8 = IvfIndex::build_with(&emb, 4, Metric::L1, Quantization::Sq8, 4, &mut rng);
+    let pq = IvfIndex::build_with(
+        &emb,
+        4,
+        Metric::L1,
+        Quantization::Pq { m: 2, nbits: 4 },
+        4,
+        &mut rng,
+    );
+    vec![plain.to_bytes(), sq8.to_bytes(), pq.to_bytes()]
+}
+
+/// A small trained-shape (but untrained) model + featurizer, mirroring
+/// the persistence tests: cheap to build, structurally identical to a
+/// real checkpoint.
+fn tiny_model() -> (TrajClModel, Featurizer, Vec<Trajectory>) {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED);
+    let cfg = TrajClConfig::test_default();
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0));
+    let grid = Grid::new(region, 100.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    let trajs: Vec<Trajectory> = (0..40)
+        .map(|i| {
+            (0..10)
+                .map(|j| Point::new(50.0 + j as f64 * 80.0, 20.0 + (i % 8) as f64 * 90.0))
+                .collect()
+        })
+        .collect();
+    (model, feat, trajs)
+}
+
+/// Valid TCE1 blobs: bare model, SQ8-indexed, PQ-indexed, and a
+/// tail-less legacy file (pre-quantization format).
+fn corpus_engine() -> Vec<Vec<u8>> {
+    let (model, feat, trajs) = tiny_model();
+    let bare = Engine::builder()
+        .trajcl(model, feat)
+        .build()
+        .expect("bare engine");
+    let bare_bytes = bare.to_bytes().expect("serialize bare engine");
+
+    let (model, feat, _) = tiny_model();
+    let sq8 = Engine::builder()
+        .trajcl(model, feat)
+        .database(trajs.clone())
+        .ivf_index(3)
+        .quantization(Quantization::Sq8)
+        .build()
+        .expect("sq8 engine");
+    let sq8_bytes = sq8.to_bytes().expect("serialize sq8 engine");
+
+    let (model, feat, _) = tiny_model();
+    let pq = Engine::builder()
+        .trajcl(model, feat)
+        .database(trajs)
+        .ivf_index(3)
+        .quantization(Quantization::Pq { m: 4, nbits: 4 })
+        .build()
+        .expect("pq engine");
+    let pq_bytes = pq.to_bytes().expect("serialize pq engine");
+
+    // Dropping the 5-byte `tag 0/1 + rescore u32` tail yields a valid
+    // legacy (pre-SQ8) engine file, exercising the tail-absent path.
+    let legacy = sq8_bytes[..sq8_bytes.len() - 5].to_vec();
+
+    vec![bare_bytes, sq8_bytes, pq_bytes, legacy]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smoke-sized run of every target: the corpus itself must decode,
+    /// and a few thousand mutations must not panic. The full-depth run
+    /// lives behind `trajcl audit`.
+    #[test]
+    fn quick_fuzz_is_panic_free() {
+        let report = run_all(&FuzzOptions {
+            cases_per_target: 2_000,
+            repro_dir: None,
+        });
+        assert_eq!(report.targets.len(), 4);
+        for t in &report.targets {
+            assert_eq!(t.panics, 0, "target {} panicked", t.name);
+            assert_eq!(t.cases, 2_000, "target {} case count", t.name);
+            // The valid corpus must decode: if everything is rejected the
+            // mutator is exploring noise, not the format.
+            assert!(t.accepted > 0, "target {} accepted nothing", t.name);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let corpus = corpus_json();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            mutate(&corpus[0], &corpus, &mut a),
+            mutate(&corpus[0], &corpus, &mut b)
+        );
+    }
+
+    #[test]
+    fn truncated_corpora_are_rejected_not_panicking() {
+        for blob in corpus_ivf() {
+            for cut in [0, 1, 4, blob.len() / 2, blob.len() - 1] {
+                assert!(IvfIndex::from_bytes(&blob[..cut]).is_none());
+            }
+        }
+        for blob in corpus_engine() {
+            for cut in [0, 3, 8, blob.len() / 2] {
+                assert!(Engine::from_bytes(&blob[..cut]).is_err());
+            }
+        }
+    }
+}

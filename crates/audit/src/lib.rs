@@ -1,0 +1,25 @@
+//! `trajcl-audit`: the workspace's self-auditing toolkit, wired into CI
+//! as `trajcl audit`.
+//!
+//! Two halves, both dependency-free beyond the workspace itself:
+//!
+//! - [`lint`] — a lexer-level static-analysis pass enforcing the serving
+//!   stack's panic-safety contract (no `unwrap`/`expect`/`panic!` in
+//!   serve+index non-test code, `// SAFETY:` above every unsafe site,
+//!   no lossy `as` casts in codec modules, no `todo!`/`dbg!`), with a
+//!   count-ratcheted allowlist for grandfathered sites.
+//! - [`fuzz`] — a deterministic structure-aware mutation fuzzer for the
+//!   four untrusted decoders (serve frames, the JSON parser, IVF index
+//!   blobs, TCE1 engine files), asserting "reject cleanly or decode to
+//!   something probe-able, never panic".
+//!
+//! Trust boundaries and the rationale for each rule are documented in
+//! DESIGN.md §11.
+
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod lint;
+
+pub use fuzz::{FuzzOptions, FuzzReport};
+pub use lint::{LintReport, Violation};

@@ -28,12 +28,14 @@ pub enum ParsedCommand {
     Approx,
     /// Run the concurrent query server over stdin/stdout frames.
     Serve,
+    /// Run the workspace lint pass and decoder fuzzer.
+    Audit,
     /// Print usage.
     Help,
 }
 
 /// Options that are boolean flags: `--json` takes no value.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "lint", "fuzz", "fuzz-quick"];
 
 impl Args {
     /// Parses an argv-style list (excluding the program name).
@@ -90,6 +92,7 @@ impl Args {
             "query" => Ok(ParsedCommand::Query),
             "approx" => Ok(ParsedCommand::Approx),
             "serve" => Ok(ParsedCommand::Serve),
+            "audit" => Ok(ParsedCommand::Audit),
             "help" | "-h" | "--help" => Ok(ParsedCommand::Help),
             other => Err(format!("unknown command {other:?}; try `trajcl help`")),
         }
@@ -134,6 +137,8 @@ USAGE:
   trajcl serve    --model MODEL --db FILE [--index NLIST] [--quantize sq8|pq[:M]]
                   [--workers N] [--max-batch N] [--max-wait-us N]
                   [--cache N] [--queue N]
+  trajcl audit    [--lint] [--fuzz | --fuzz-quick] [--cases N]
+                  [--root DIR] [--repro-dir DIR]
 
 FILES:
   *.traj   one trajectory per line: `x,y x,y ...` (meters)

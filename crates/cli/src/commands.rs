@@ -40,6 +40,81 @@ fn execute(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), En
         ParsedCommand::Query => query(args, out),
         ParsedCommand::Approx => approx(args, out),
         ParsedCommand::Serve => serve(args, out),
+        ParsedCommand::Audit => audit_cmd(args, out),
+    }
+}
+
+/// `trajcl audit`: the workspace lint pass and/or decoder fuzzer.
+///
+/// Bare `trajcl audit` runs both at CI depth; `--lint`, `--fuzz-quick`
+/// (100k cases/target) and `--fuzz` (400k cases/target) select subsets,
+/// and `--cases N` overrides the depth explicitly. Reproducers for fuzz
+/// failures land in `--repro-dir` (default `target/audit-repros`).
+fn audit_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let want_lint = args.flag("lint");
+    let want_deep = args.flag("fuzz");
+    let want_quick = args.flag("fuzz-quick");
+    let everything = !(want_lint || want_deep || want_quick);
+    let root = std::path::PathBuf::from(args.opt("root", "."));
+    let mut failures: Vec<String> = Vec::new();
+
+    if want_lint || everything {
+        let report = trajcl_audit::lint::run_lint(&root)?;
+        writeln!(
+            out,
+            "lint: {} files, {} grandfathered site(s), {} new violation(s)",
+            report.files,
+            report.grandfathered,
+            report.new_violations.len()
+        )?;
+        for v in &report.new_violations {
+            writeln!(out, "  {v}")?;
+        }
+        for stale in &report.stale_allowances {
+            writeln!(out, "  note: stale allowance {stale}")?;
+        }
+        if !report.passed() {
+            failures.push(format!(
+                "{} lint violation(s) beyond crates/audit/allowlist.txt",
+                report.new_violations.len()
+            ));
+        }
+    }
+
+    if want_deep || want_quick || everything {
+        let default_cases = if want_deep { 400_000 } else { 100_000 };
+        let cases = num(args, "cases", default_cases)?;
+        let repro_dir = std::path::PathBuf::from(
+            args.opt(
+                "repro-dir",
+                &root.join("target/audit-repros").to_string_lossy(),
+            )
+            .to_string(),
+        );
+        let report = trajcl_audit::fuzz::run_all(&trajcl_audit::FuzzOptions {
+            cases_per_target: cases,
+            repro_dir: Some(repro_dir),
+        });
+        for t in &report.targets {
+            writeln!(
+                out,
+                "fuzz {}: {} cases ({} accepted, {} rejected), {} panic(s)",
+                t.name, t.cases, t.accepted, t.rejected, t.panics
+            )?;
+            for path in &t.repro_paths {
+                writeln!(out, "  reproducer: {}", path.display())?;
+            }
+        }
+        if !report.passed() {
+            failures.push(format!("{} fuzz panic(s)", report.total_panics()));
+        }
+    }
+
+    if failures.is_empty() {
+        writeln!(out, "audit: PASS")?;
+        Ok(())
+    } else {
+        Err(invalid(format!("audit failed: {}", failures.join("; "))))
     }
 }
 

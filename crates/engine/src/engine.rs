@@ -402,7 +402,7 @@ impl Engine {
             Ok(head.to_vec())
         };
         let u32_of = |r: &mut &[u8]| -> Result<u32, EngineError> {
-            take(r, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            take(r, 4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         };
         if take(&mut r, 4)? != ENGINE_MAGIC {
             return Err(EngineError::CorruptEngineFile("bad magic"));
@@ -423,14 +423,14 @@ impl Engine {
             _ => {
                 let rows = u32_of(&mut r)? as usize;
                 let dim = u32_of(&mut r)? as usize;
-                let n = rows
+                let n_bytes = rows
                     .checked_mul(dim)
-                    .and_then(|n| n.checked_mul(4).map(|_| n))
+                    .and_then(|n| n.checked_mul(4))
                     .ok_or(EngineError::CorruptEngineFile("embedding table size"))?;
-                let raw = take(&mut r, n * 4)?;
+                let raw = take(&mut r, n_bytes)?;
                 let data: Vec<f32> = raw
                     .chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect();
                 Some(Tensor::from_vec(data, Shape::d2(rows, dim)))
             }

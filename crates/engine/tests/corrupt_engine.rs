@@ -1,0 +1,116 @@
+//! Property tests for the `TCE1` engine decoder, focused on the
+//! quantization tail (the trailing `tag | rescore | [pq geometry]`
+//! section whose absence means "legacy file"): corrupted or truncated
+//! tails must be rejected or decode to a consistent engine — never
+//! panic. Deterministic sibling of the `trajcl audit` engine fuzz
+//! target.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::{Engine, Quantization};
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_tensor::{Shape, Tensor};
+
+/// Serialized SQ8- and PQ-indexed engines (built once: engine
+/// construction embeds a database, which dominates the test's runtime).
+fn corpus() -> &'static (Vec<u8>, Vec<u8>) {
+    static CORPUS: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let build = |quant: Quantization| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let cfg = TrajClConfig::test_default();
+            let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0));
+            let grid = Grid::new(region, 100.0);
+            let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+            let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+            let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+            let trajs: Vec<Trajectory> = (0..40)
+                .map(|i| {
+                    (0..10)
+                        .map(|j| Point::new(50.0 + j as f64 * 80.0, 20.0 + (i % 8) as f64 * 90.0))
+                        .collect()
+                })
+                .collect();
+            Engine::builder()
+                .trajcl(model, feat)
+                .database(trajs)
+                .ivf_index(3)
+                .quantization(quant)
+                .build()
+                .expect("build corpus engine")
+                .to_bytes()
+                .expect("serialize corpus engine")
+        };
+        (
+            build(Quantization::Sq8),
+            build(Quantization::Pq { m: 4, nbits: 4 }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Random bytes over the whole tail region (SQ8 tail: tag + rescore;
+    // PQ tail: tag + rescore + m + nbits). Any tag/geometry combination
+    // must be rejected or produce a consistent engine.
+    #[test]
+    fn corrupted_quantization_tail_never_panics(
+        offset_back in 1usize..12,
+        byte in 0u32..256,
+        pq in 0u32..2,
+    ) {
+        let (sq8, pq_bytes) = corpus();
+        let base = if pq == 1 { pq_bytes } else { sq8 };
+        let mut bytes = base.clone();
+        let len = bytes.len();
+        bytes[len - offset_back.min(len)] = byte as u8;
+        if let Ok(engine) = Engine::from_bytes(&bytes) {
+            // An accepted tail must carry a sane rescore factor and a
+            // recognised quantization mode.
+            prop_assert!(engine.rescore_factor() >= 1);
+            match engine.quantization() {
+                Quantization::None | Quantization::Sq8 => {}
+                Quantization::Pq { m, nbits } => {
+                    prop_assert!(m >= 1 && (1..=8).contains(&nbits));
+                }
+            }
+        }
+    }
+
+    // Truncating anywhere inside the tail (or further into the file)
+    // must fail cleanly — except exactly at the tail boundary, where the
+    // file is a valid legacy (pre-quantization) engine.
+    #[test]
+    fn truncated_tail_is_legacy_or_rejected(cut_back in 0usize..24, pq in 0u32..2) {
+        let (sq8, pq_bytes) = corpus();
+        let base = if pq == 1 { pq_bytes } else { sq8 };
+        let tail_len = if pq == 1 { 10 } else { 5 };
+        let bytes = &base[..base.len() - cut_back.min(base.len())];
+        match Engine::from_bytes(bytes) {
+            Ok(engine) => {
+                // Only the untouched file or the exact tail-less prefix
+                // (the legacy format) may decode.
+                prop_assert!(cut_back == 0 || cut_back == tail_len);
+                prop_assert!(engine.rescore_factor() >= 1);
+            }
+            Err(_) => {
+                prop_assert!(cut_back != 0 && cut_back != tail_len);
+            }
+        }
+    }
+
+    // Garbage appended after the tail must be rejected: the tail is the
+    // final field and the decoder checks for trailing bytes.
+    #[test]
+    fn trailing_garbage_is_rejected(extra in prop::collection::vec(0u32..256, 1..16)) {
+        let (sq8, _) = corpus();
+        let mut bytes = sq8.clone();
+        bytes.extend(extra.into_iter().map(|b| b as u8));
+        prop_assert!(Engine::from_bytes(&bytes).is_err());
+    }
+}

@@ -613,6 +613,13 @@ impl IvfIndex {
         let n = r.u32()? as usize;
         let d = r.u32()? as usize;
         let nlist = r.u32()? as usize;
+        // `build` never produces an empty index (it asserts `n > 0` and
+        // clamps `nlist` into `1..=n`), so zero counts only appear in
+        // corrupt buffers — and an accepted zero-list index would panic
+        // later in `search`'s `nprobe.clamp(1, nlist)`.
+        if n == 0 || d == 0 || nlist == 0 {
+            return None;
+        }
         let rescore_factor = if is_sq8 || is_pq {
             (r.u32()? as usize).max(1)
         } else {
@@ -734,19 +741,19 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Option<u32> {
         self.bytes(4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn f32(&mut self) -> Option<f32> {
         self.bytes(4)
-            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn f32_vec(&mut self, count: usize) -> Option<Vec<f32>> {
         let raw = self.bytes(count.checked_mul(4)?)?;
         Some(
             raw.chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect(),
         )
     }
@@ -755,7 +762,7 @@ impl<'a> Reader<'a> {
         let raw = self.bytes(count.checked_mul(4)?)?;
         Some(
             raw.chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect(),
         )
     }
@@ -924,6 +931,19 @@ mod tests {
         // Trailing garbage after a valid payload is rejected too.
         let mut bytes = index.to_bytes();
         bytes.push(0);
+        assert!(IvfIndex::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_zero_counts() {
+        // Fuzz regression: an all-zero IVF1 header (n = d = nlist = 0) is
+        // self-consistent — zero lists summing to zero ids over an empty
+        // table — so it used to decode; the first `search` then panicked
+        // at `nprobe.clamp(1, 0)`. Zero counts must fail to decode.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"IVF1");
+        bytes.push(0); // metric: L1
+        bytes.extend_from_slice(&[0u8; 12]); // n = d = nlist = 0
         assert!(IvfIndex::from_bytes(&bytes).is_none());
     }
 

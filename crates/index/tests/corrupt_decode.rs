@@ -1,0 +1,114 @@
+//! Property tests for decoder robustness: arbitrarily corrupted `IVF2`
+//! (SQ8) and `IVF3` (PQ) blobs must either be rejected (`None`) or decode
+//! to an index that answers a search — never panic, never index out of
+//! bounds. This is the checked-in distillation of the `trajcl audit`
+//! fuzzer's IVF target (which runs ~100k mutations per CI run); these
+//! cases replay the attack shapes deterministically under `cargo test`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_index::{IvfIndex, Metric, Quantization};
+use trajcl_tensor::{Shape, Tensor};
+
+/// A valid quantized blob to corrupt (geometry varies with the seed).
+fn valid_blob(quant: Quantization, n: usize, d: usize, nlist: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let emb = Tensor::randn(Shape::d2(n, d), 0.0, 1.0, &mut rng);
+    IvfIndex::build_with(&emb, nlist, Metric::L1, quant, 4, &mut rng).to_bytes()
+}
+
+/// The decode-or-reject contract: whatever `from_bytes` accepts must be
+/// searchable end to end.
+fn assert_decode_contract(bytes: &[u8]) {
+    if let Some(idx) = IvfIndex::from_bytes(bytes) {
+        let query = vec![0.5f32; idx.dim()];
+        let hits = idx.search(&query, 3, 2);
+        assert!(hits.len() <= idx.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Truncation at every kind of boundary: header, centroid table,
+    // inverted lists, codebook, code matrix.
+    #[test]
+    fn truncated_sq8_and_pq_blobs_never_panic(
+        cut_frac in 0.0f64..1.0,
+        sq8 in 0u32..2,
+        seed in 0u64..500,
+    ) {
+        let quant = if sq8 == 1 {
+            Quantization::Sq8
+        } else {
+            Quantization::Pq { m: 2, nbits: 4 }
+        };
+        let blob = valid_blob(quant, 48, 8, 4, seed);
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        let truncated = &blob[..cut.min(blob.len())];
+        // A strict prefix can never be a valid blob (the trailing-bytes
+        // check makes encodings self-delimiting), so anything short of
+        // the full length must be rejected outright.
+        if truncated.len() < blob.len() {
+            prop_assert!(IvfIndex::from_bytes(truncated).is_none());
+        } else {
+            assert_decode_contract(truncated);
+        }
+    }
+
+    // Random byte corruption anywhere in the blob.
+    #[test]
+    fn bitflipped_blobs_decode_or_reject(
+        flips in prop::collection::vec((0usize..4096, 0u32..8), 1..8),
+        sq8 in 0u32..2,
+        seed in 0u64..500,
+    ) {
+        let quant = if sq8 == 1 {
+            Quantization::Sq8
+        } else {
+            Quantization::Pq { m: 4, nbits: 4 }
+        };
+        let mut blob = valid_blob(quant, 40, 8, 3, seed);
+        for (pos, bit) in flips {
+            let at = pos % blob.len();
+            blob[at] ^= 1 << bit;
+        }
+        assert_decode_contract(&blob);
+    }
+
+    // Length-field attacks: interesting u32s spliced over any aligned or
+    // unaligned offset (counts, list lengths, ksub, ...).
+    #[test]
+    fn spliced_length_fields_decode_or_reject(
+        at_frac in 0.0f64..1.0,
+        value_idx in 0usize..9,
+        sq8 in 0u32..2,
+        seed in 0u64..500,
+    ) {
+        const INTERESTING: [u32; 9] =
+            [0, 1, 2, 0xff, 0x100, 0xffff, 0x00ff_ffff, 0x7fff_ffff, u32::MAX];
+        let value = INTERESTING[value_idx];
+        let quant = if sq8 == 1 {
+            Quantization::Sq8
+        } else {
+            Quantization::Pq { m: 2, nbits: 8 }
+        };
+        let mut blob = valid_blob(quant, 64, 6, 5, seed);
+        let at = ((blob.len() - 4) as f64 * at_frac) as usize;
+        blob[at..at + 4].copy_from_slice(&value.to_le_bytes());
+        assert_decode_contract(&blob);
+    }
+
+    // Trailing garbage after a valid encoding must be rejected (the
+    // format is self-delimiting).
+    #[test]
+    fn extended_blobs_are_rejected(
+        extra in prop::collection::vec(0u32..256, 1..32),
+        seed in 0u64..500,
+    ) {
+        let mut blob = valid_blob(Quantization::Sq8, 32, 8, 3, seed);
+        blob.extend(extra.into_iter().map(|b| b as u8));
+        prop_assert!(IvfIndex::from_bytes(&blob).is_none());
+    }
+}

@@ -168,9 +168,28 @@ impl ParamStore {
         }
     }
 
+    /// Whether `other` has the same slot layout: identical count, names
+    /// and per-slot shapes. A decoded store that merely *counts* the same
+    /// is not enough — replacing a slot with a differently-shaped tensor
+    /// poisons every downstream kernel (fuzz-found: a zero-element gamma
+    /// indexed out of bounds in the attention forward).
+    pub fn layout_matches(&self, other: &ParamStore) -> bool {
+        self.slots.len() == other.slots.len()
+            && self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .all(|(a, b)| a.name == b.name && a.value.shape() == b.value.shape())
+    }
+
     /// Copies all parameter values (not optimizer state) from `other`.
+    ///
+    /// # Panics
+    /// Panics if the two stores have different slot layouts (count, names
+    /// or shapes); callers holding untrusted stores must gate on
+    /// [`ParamStore::layout_matches`] first.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.slots.len(), other.slots.len(), "store layout mismatch");
+        assert!(self.layout_matches(other), "store layout mismatch");
         for (a, b) in self.slots.iter_mut().zip(&other.slots) {
             a.value = b.value.clone();
         }
@@ -234,11 +253,15 @@ impl ParamStore {
             for _ in 0..rank {
                 dims.push(buf.get_u32_le() as usize);
             }
-            let shape = Shape::from_slice(&dims);
-            let n = shape.numel();
-            if buf.remaining() < n * 4 {
-                return None;
+            // Element count and byte length with explicit overflow checks:
+            // four u32 dims can overflow `usize` multiplication, which in a
+            // hostile buffer would fake a tiny length past the size check.
+            let n = dims.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))?;
+            match n.checked_mul(4) {
+                Some(nb) if buf.remaining() >= nb => {}
+                _ => return None,
             }
+            let shape = Shape::from_slice(&dims);
             let mut data = Vec::with_capacity(n);
             for _ in 0..n {
                 data.push(buf.get_f32_le());
@@ -333,6 +356,42 @@ mod tests {
         assert!(ParamStore::from_bytes(&[1, 2, 3]).is_none());
         let mut bytes = ParamStore::new().to_bytes();
         bytes[0] = 200; // claims 200 slots, provides none
+        assert!(ParamStore::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn layout_matches_requires_names_and_shapes() {
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::from_vec(vec![1.0, 2.0], Shape::d1(2)));
+        let mut same = ParamStore::new();
+        same.add("w", Tensor::from_vec(vec![9.0, 9.0], Shape::d1(2)));
+        assert!(a.layout_matches(&same));
+        // Same slot count, same element count, different shape: a decoded
+        // store like this used to slip through a count-only check and
+        // poison downstream kernels (fuzz-found).
+        let mut reshaped = ParamStore::new();
+        reshaped.add("w", Tensor::from_vec(vec![9.0, 9.0], Shape::d2(2, 1)));
+        assert!(!a.layout_matches(&reshaped));
+        let mut renamed = ParamStore::new();
+        renamed.add("v", Tensor::from_vec(vec![9.0, 9.0], Shape::d1(2)));
+        assert!(!a.layout_matches(&renamed));
+        let mut empty_slot = ParamStore::new();
+        empty_slot.add("w", Tensor::from_vec(Vec::new(), Shape::d1(0)));
+        assert!(!a.layout_matches(&empty_slot));
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_shape() {
+        // One tensor whose four u32 dims multiply past usize::MAX: the
+        // wrapped element count must not slip past the length check.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one slot
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name "x"
+        bytes.push(b'x');
+        bytes.push(4); // rank 4
+        for _ in 0..4 {
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
         assert!(ParamStore::from_bytes(&bytes).is_none());
     }
 

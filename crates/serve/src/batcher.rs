@@ -60,33 +60,48 @@ pub(crate) struct Batcher {
 
 impl Batcher {
     /// Spawns `workers` threads over a bounded queue of `queue_cap` jobs.
+    ///
+    /// # Errors
+    /// Propagates the OS error when a worker thread cannot be spawned
+    /// (resource exhaustion); threads spawned before the failure are
+    /// joined through the dropped sender before the error returns.
     pub fn spawn(
         engine: Arc<Engine>,
         workers: usize,
         queue_cap: usize,
         policy: BatchPolicy,
         stats: Arc<BatchStats>,
-    ) -> Batcher {
+    ) -> std::io::Result<Batcher> {
         let workers = workers.max(1);
         let (tx, rx) = mpsc::sync_channel::<EmbedJob>(queue_cap.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let ctx_pool = Arc::new(CtxPool::with_contexts(workers));
-        let handles = (0..workers)
-            .map(|i| {
-                let engine = Arc::clone(&engine);
-                let rx = Arc::clone(&rx);
-                let ctx_pool = Arc::clone(&ctx_pool);
-                let stats = Arc::clone(&stats);
-                std::thread::Builder::new()
-                    .name(format!("trajcl-serve-{i}"))
-                    .spawn(move || worker_loop(&engine, &rx, &ctx_pool, policy, &stats))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Batcher {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let engine = Arc::clone(&engine);
+            let rx = Arc::clone(&rx);
+            let ctx_pool = Arc::clone(&ctx_pool);
+            let stats = Arc::clone(&stats);
+            let spawned = std::thread::Builder::new()
+                .name(format!("trajcl-serve-{i}"))
+                .spawn(move || worker_loop(&engine, &rx, &ctx_pool, policy, &stats));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Closing the queue lets the already-running workers
+                    // drain and exit before the constructor fails.
+                    drop(tx);
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Batcher {
             tx,
             workers: handles,
-        }
+        })
     }
 
     /// A submission handle (cloned per caller; all clones feed one queue).

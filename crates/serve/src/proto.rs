@@ -42,6 +42,16 @@ use crate::server::Server;
 /// JSON); bigger headers are rejected before any allocation happens.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Largest accepted header line. A valid header is the ASCII decimal of a
+/// length `<= MAX_FRAME_LEN` (8 digits) plus a newline; reading the line
+/// through a [`std::io::Read::take`] of this size keeps a hostile
+/// newline-less stream from growing the header string without bound.
+const MAX_HEADER_LEN: usize = 64;
+
+/// Largest accepted `k` for a `knn` request: bounds the per-request
+/// result-heap allocation no matter what the wire claims.
+pub const MAX_K: usize = 16 * 1024;
+
 /// Reads one frame's payload; `Ok(None)` on clean end-of-stream.
 ///
 /// # Examples
@@ -63,8 +73,17 @@ pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<String>> 
     let mut header = String::new();
     loop {
         header.clear();
-        if reader.read_line(&mut header)? == 0 {
+        // The limit applies per header line; `Take` over `&mut *reader`
+        // still drains the underlying stream position.
+        let mut limited = std::io::Read::take(&mut *reader, MAX_HEADER_LEN as u64);
+        if limited.read_line(&mut header)? == 0 {
             return Ok(None);
+        }
+        if header.len() >= MAX_HEADER_LEN && !header.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame header longer than {MAX_HEADER_LEN} bytes"),
+            ));
         }
         if !header.trim().is_empty() {
             break;
@@ -192,7 +211,8 @@ fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
             let traj = parse_traj(field(obj, "traj")?)?;
             let k = field(obj, "k")?
                 .as_u64()
-                .ok_or("\"k\" must be a non-negative integer")?;
+                .filter(|&k| k <= MAX_K as u64)
+                .ok_or_else(|| format!("\"k\" must be an integer in 0..={MAX_K}"))?;
             let hits = server.knn(&traj, k as usize).map_err(|e| e.to_string())?;
             let rows: Vec<String> = hits
                 .iter()
@@ -275,6 +295,20 @@ mod tests {
         // An absurd length must be rejected BEFORE any allocation.
         let mut reader = Cursor::new(b"9999999999999\n{}\n".to_vec());
         assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn frame_reader_bounds_the_header_line() {
+        // Fuzz regression: a newline-less stream used to accumulate into
+        // the header string without bound; now it fails at MAX_HEADER_LEN.
+        let mut reader = Cursor::new(vec![b'1'; 4096]);
+        assert!(read_frame(&mut reader).is_err());
+        // A maximum-length legitimate header still works.
+        let payload = "x".repeat(9);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut reader = Cursor::new(buf);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), payload);
     }
 
     #[test]

@@ -135,6 +135,13 @@ pub struct Server {
     cache_misses: AtomicU64,
 }
 
+/// The error a caller sees when the batcher hands back a different row
+/// count than the job submitted — a worker-side invariant break surfaced
+/// as a per-request failure instead of a served-thread panic.
+fn row_count_mismatch() -> EngineError {
+    EngineError::InvalidInput("batcher returned a mismatched row count".into())
+}
+
 /// [`ExactRescorer`] over the engine's cached embedding table: ids are
 /// table row positions (how [`Server::new`] seeds the index), valid only
 /// while the id was never re-upserted (tracked by `Server::dirty`).
@@ -189,7 +196,7 @@ impl Server {
                 max_wait: cfg.max_wait,
             },
             Arc::clone(&batch_stats),
-        );
+        )?;
         let tx = batcher.sender();
         let nprobe = engine.nprobe();
         Ok(Server {
@@ -241,7 +248,7 @@ impl Server {
 
     fn embed_inner(&self, traj: &Trajectory) -> Result<Vec<f32>, EngineError> {
         let mut rows = self.embed_many(std::slice::from_ref(traj))?;
-        Ok(rows.pop().expect("one row per trajectory"))
+        rows.pop().ok_or_else(row_count_mismatch)
     }
 
     /// Embeds several trajectories: the cache is consulted per trajectory
@@ -277,7 +284,9 @@ impl Server {
                 rows[i] = Some(row);
             }
         }
-        Ok(rows.into_iter().map(|r| r.expect("filled above")).collect())
+        rows.into_iter()
+            .map(|r| r.ok_or_else(row_count_mismatch))
+            .collect()
     }
 
     /// k nearest indexed trajectories to `query`: `(id, distance)`
@@ -309,8 +318,10 @@ impl Server {
     pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let mut rows = self.embed_many(&[a.clone(), b.clone()])?;
-        let eb = rows.pop().expect("two rows");
-        let ea = rows.pop().expect("two rows");
+        let (ea, eb) = match (rows.pop(), rows.pop()) {
+            (Some(eb), Some(ea)) => (ea, eb),
+            _ => return Err(row_count_mismatch()),
+        };
         Ok(ea.iter().zip(&eb).map(|(x, y)| (x - y).abs() as f64).sum())
     }
 

@@ -12,6 +12,12 @@
 //! calling thread, so `TRAJCL_THREADS=1` runs every region serially with no
 //! worker threads at all.
 
+// This module owns the workspace's only `unsafe` (raw-pointer task
+// trampolines and `SendPtr`); every unsafe operation must be written as an
+// explicit block with its own `// SAFETY:` justification, even inside
+// `unsafe fn` — enforced here by the lint and in CI by `trajcl audit`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -76,6 +82,10 @@ pub struct ThreadPool {
 }
 
 fn run_task(task: Task) {
+    // SAFETY: `task.call` is always `trampoline::<F>` for the same `F` whose
+    // closure `task.ctx` points at (both are set together in `run`), and the
+    // caller that owns that closure blocks in `latch.wait` until this task
+    // calls `complete_one`, so the pointer is live and correctly typed.
     let result = catch_unwind(AssertUnwindSafe(|| unsafe {
         (task.call)(task.ctx, task.index)
     }));
@@ -201,7 +211,11 @@ pub fn threads() -> usize {
 /// `*mut T` that may cross threads; safe because [`par_chunks_mut`] hands
 /// each task a disjoint sub-slice.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced through the disjoint, in-bounds
+// sub-slices carved out in `par_chunks_mut`, while the caller holds the
+// exclusive borrow of the underlying `&mut [T]` for the whole region.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared across tasks only to be copied; see the Send rationale.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> Clone for SendPtr<T> {
