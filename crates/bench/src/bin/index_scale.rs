@@ -5,16 +5,26 @@
 //!
 //! The table is a Gaussian-mixture synthetic (clustered, like real
 //! trajectory embeddings) of `--n` rows × `--dim` dimensions; queries are
-//! perturbed database rows. Four contenders answer the same k=10 batch:
+//! perturbed database rows. Six contenders answer the same k=10 batch:
 //!
 //! * `exact` — `brute_force_batch_knn` over the f32 table (ground truth);
 //! * `ivf` — f32-storage `IvfIndex`, `nprobe` of `nlist` cells;
 //! * `sq8` — SQ8-quantized `IvfIndex` (1 byte/dim), asymmetric scan plus
 //!   exact rescoring of the top `rescore_factor · k` candidates against
 //!   the f32 table (the engine's serving configuration);
+//! * `sym` — the same SQ8 storage under `ScanMode::Symmetric`: the query
+//!   is quantized too and lists are scanned with the runtime-dispatched
+//!   integer SAD/SSD kernels (AVX-512/AVX2/scalar), same exact rescore;
 //! * `pq` — PQ-quantized `IvfIndex` (`d/4` subspaces ⇒ a quarter byte
 //!   per dimension), ADC lookup-table scan plus exact rescoring with a
-//!   deep (64×) over-fetch.
+//!   deep (64×) over-fetch;
+//! * `pq4` — packed 4-bit PQ (`d/4` subspaces, two codes per byte ⇒ an
+//!   eighth of a byte per dimension, 16-entry LUTs), deeper (128×)
+//!   over-fetch to claim the coarser codes' recall back.
+//!
+//! Every JSON record also captures the dispatch decision (`cpu`) and
+//! whether `TRAJCL_FORCE_SCALAR` pinned the portable kernels, so rows
+//! from different machines stay comparable.
 //!
 //! Usage:
 //!   index_scale [--quick] [--n N] [--dim D] [--label NAME]
@@ -22,11 +32,13 @@
 //!
 //! * default: measure and append a run entry to `--out`;
 //! * `--check`: measure and gate on ABSOLUTE floors — recall@10 ≥ 0.95
-//!   for IVF and IVF+SQ8 and ≥ 0.90 for IVF+PQ (rescored), SQ8 memory
-//!   ≤ 32% and PQ memory ≤ 10% of the f32 index, quantized-vs-exact qps
-//!   ratio ≥ 2× (quick) / 4× (full) for SQ8 and ≥ 1× for PQ. Absolute
-//!   rather than baseline-relative because the ratios depend on the run's
-//!   own `n`/`nlist` geometry, which both sides of each ratio share.
+//!   for IVF and IVF+SQ8 and ≥ 0.90 for symmetric SQ8, IVF+PQ and pq4
+//!   (all rescored), SQ8 memory ≤ 32%, PQ memory ≤ 10% and pq4 memory
+//!   ≤ 6% of the f32 index, quantized-vs-exact qps ratio ≥ 2× (quick) /
+//!   4× (full) for SQ8 and ≥ 1× for PQ, and symmetric-vs-asymmetric SQ8
+//!   qps ratio ≥ 1.0× (quick) / 1.5× (full). Absolute rather than
+//!   baseline-relative because the ratios depend on the run's own
+//!   `n`/`nlist` geometry, which both sides of each ratio share.
 //!   Nothing is written.
 //!
 //! Scales to 1M rows (`--n 1000000`); the committed baseline entry is a
@@ -37,7 +49,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trajcl_bench::snapfile::{append_run, git_commit};
-use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric, Quantization};
+use trajcl_index::kernels::dispatch;
+use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric, Quantization, ScanMode};
 use trajcl_tensor::{Shape, Tensor};
 
 const K: usize = 10;
@@ -53,6 +66,18 @@ const MAX_MEM_RATIO: f64 = 0.32;
 const MIN_PQ_RECALL: f64 = 0.90;
 const MIN_PQ_SPEEDUP: f64 = 1.0;
 const MAX_PQ_MEM_RATIO: f64 = 0.10;
+/// Symmetric-SQ8 floors: the integer scan must beat the asymmetric
+/// decode-and-subtract scan end-to-end (quick runs scan so few rows per
+/// query that fixed per-query costs flatten the ratio), and the uniform
+/// codebook's coarser per-dimension scale pays a small recall tax that
+/// the exact rescore claims back down to the PQ floor.
+const MIN_SYM_SPEEDUP_QUICK: f64 = 1.0;
+const MIN_SYM_SPEEDUP_FULL: f64 = 1.5;
+/// Packed 4-bit PQ: half a PQ byte per code pair and a 128× over-fetch
+/// (16-entry codebooks rank within-cluster neighbours coarsely; the
+/// rescore is what holds recall@10 at the floor).
+const MAX_PQ4_MEM_RATIO: f64 = 0.06;
+const PQ4_RESCORE_FACTOR: usize = 128;
 /// PQ geometry: 4 dims per subspace (m = d/4), 8-bit codes, and a 64×
 /// rescore over-fetch. PQ codes are coarse enough that within-cluster
 /// ADC order is noisy; at 100k a cluster holds ~1.5k rows, so recall
@@ -123,12 +148,17 @@ struct Run {
     ivf_recall: f64,
     sq8_qps: f64,
     sq8_recall: f64,
+    sym_qps: f64,
+    sym_recall: f64,
     pq_m: usize,
     pq_qps: f64,
     pq_recall: f64,
+    pq4_qps: f64,
+    pq4_recall: f64,
     f32_bytes: usize,
     sq8_bytes: usize,
     pq_bytes: usize,
+    pq4_bytes: usize,
 }
 
 impl Run {
@@ -144,6 +174,12 @@ impl Run {
         self.pq_qps / self.exact_qps
     }
 
+    /// Symmetric-vs-asymmetric SQ8 qps — same storage, same rescore,
+    /// only the scan kernel differs, so this isolates the kernel win.
+    fn speedup_sym_vs_asym(&self) -> f64 {
+        self.sym_qps / self.sq8_qps
+    }
+
     fn mem_ratio(&self) -> f64 {
         self.sq8_bytes as f64 / self.f32_bytes as f64
     }
@@ -152,15 +188,22 @@ impl Run {
         self.pq_bytes as f64 / self.f32_bytes as f64
     }
 
+    fn pq4_mem_ratio(&self) -> f64 {
+        self.pq4_bytes as f64 / self.f32_bytes as f64
+    }
+
     fn to_json(&self, label: &str, quick: bool) -> String {
         format!(
-            "{{\"commit\":\"{}\",\"label\":\"{label}\",\"quick\":{quick},\"n\":{},\"d\":{},\"nlist\":{},\"nprobe\":{},\"k\":{K},\
-\"exact_qps\":{:.1},\"ivf_qps\":{:.1},\"sq8_qps\":{:.1},\"pq_qps\":{:.1},\
-\"ivf_recall10\":{:.4},\"sq8_recall10\":{:.4},\"pq_recall10\":{:.4},\"pq_m\":{},\
-\"f32_index_bytes\":{},\"sq8_index_bytes\":{},\"pq_index_bytes\":{},\"table_bytes\":{},\
-\"speedup_ivf\":{:.2},\"speedup_sq8\":{:.2},\"speedup_pq\":{:.2},\
-\"mem_ratio\":{:.3},\"pq_mem_ratio\":{:.3}}}",
+            "{{\"commit\":\"{}\",\"label\":\"{label}\",\"quick\":{quick},\"cpu\":\"{}\",\"force_scalar\":{},\
+\"n\":{},\"d\":{},\"nlist\":{},\"nprobe\":{},\"k\":{K},\
+\"exact_qps\":{:.1},\"ivf_qps\":{:.1},\"sq8_qps\":{:.1},\"sym_qps\":{:.1},\"pq_qps\":{:.1},\"pq4_qps\":{:.1},\
+\"ivf_recall10\":{:.4},\"sq8_recall10\":{:.4},\"sym_recall10\":{:.4},\"pq_recall10\":{:.4},\"pq4_recall10\":{:.4},\"pq_m\":{},\
+\"f32_index_bytes\":{},\"sq8_index_bytes\":{},\"pq_index_bytes\":{},\"pq4_index_bytes\":{},\"table_bytes\":{},\
+\"speedup_ivf\":{:.2},\"speedup_sq8\":{:.2},\"speedup_sym_vs_asym\":{:.2},\"speedup_pq\":{:.2},\
+\"mem_ratio\":{:.3},\"pq_mem_ratio\":{:.3},\"pq4_mem_ratio\":{:.3}}}",
             git_commit(),
+            dispatch::description(),
+            dispatch::forced_scalar(),
             self.n,
             self.d,
             self.nlist,
@@ -168,20 +211,27 @@ impl Run {
             self.exact_qps,
             self.ivf_qps,
             self.sq8_qps,
+            self.sym_qps,
             self.pq_qps,
+            self.pq4_qps,
             self.ivf_recall,
             self.sq8_recall,
+            self.sym_recall,
             self.pq_recall,
+            self.pq4_recall,
             self.pq_m,
             self.f32_bytes,
             self.sq8_bytes,
             self.pq_bytes,
+            self.pq4_bytes,
             self.n * self.d * 4,
             self.speedup_ivf(),
             self.speedup_sq8(),
+            self.speedup_sym_vs_asym(),
             self.speedup_pq(),
             self.mem_ratio(),
             self.pq_mem_ratio(),
+            self.pq4_mem_ratio(),
         )
     }
 }
@@ -225,6 +275,27 @@ fn measure(n: usize, d: usize, nlist: usize, nprobe: usize, nq: usize) -> Run {
         sq8.memory_bytes() as f64 / 1e6
     );
 
+    let t0 = Instant::now();
+    let sym = IvfIndex::build_with_scan(
+        &table,
+        nlist,
+        Metric::L1,
+        Quantization::Sq8,
+        4,
+        ScanMode::Symmetric,
+        &mut StdRng::seed_from_u64(7),
+    );
+    let sym_build_s = t0.elapsed().as_secs_f64();
+    let (sym_hits, sym_qps) = timed(nq, || {
+        sym.batch_search_rescored(&queries, K, nprobe, Some(&table))
+    });
+    let sym_recall = recall_at_k(&sym_hits, &truth, K);
+    eprintln!(
+        "ivf+sym  {sym_qps:>9.1} qps  recall@10 {sym_recall:.4}  ({:.1} MB, built in {sym_build_s:.1}s, {} kernels)",
+        sym.memory_bytes() as f64 / 1e6,
+        dispatch::description()
+    );
+
     let pq_m = (d / PQ_DIMS_PER_SUBSPACE).max(1);
     let t0 = Instant::now();
     let pq = IvfIndex::build_with(
@@ -245,6 +316,25 @@ fn measure(n: usize, d: usize, nlist: usize, nprobe: usize, nq: usize) -> Run {
         pq.memory_bytes() as f64 / 1e6
     );
 
+    let t0 = Instant::now();
+    let pq4 = IvfIndex::build_with(
+        &table,
+        nlist,
+        Metric::L1,
+        Quantization::Pq { m: pq_m, nbits: 4 },
+        PQ4_RESCORE_FACTOR,
+        &mut StdRng::seed_from_u64(7),
+    );
+    let pq4_build_s = t0.elapsed().as_secs_f64();
+    let (pq4_hits, pq4_qps) = timed(nq, || {
+        pq4.batch_search_rescored(&queries, K, nprobe, Some(&table))
+    });
+    let pq4_recall = recall_at_k(&pq4_hits, &truth, K);
+    eprintln!(
+        "ivf+pq4  {pq4_qps:>9.1} qps  recall@10 {pq4_recall:.4}  ({:.1} MB, m={pq_m} packed, built in {pq4_build_s:.1}s)",
+        pq4.memory_bytes() as f64 / 1e6
+    );
+
     Run {
         n,
         d,
@@ -255,12 +345,17 @@ fn measure(n: usize, d: usize, nlist: usize, nprobe: usize, nq: usize) -> Run {
         ivf_recall,
         sq8_qps,
         sq8_recall,
+        sym_qps,
+        sym_recall,
         pq_m,
         pq_qps,
         pq_recall,
+        pq4_qps,
+        pq4_recall,
         f32_bytes: ivf.memory_bytes(),
         sq8_bytes: sq8.memory_bytes(),
         pq_bytes: pq.memory_bytes(),
+        pq4_bytes: pq4.memory_bytes(),
     }
 }
 
@@ -321,14 +416,33 @@ fn main() {
         } else {
             MIN_SQ8_SPEEDUP_FULL
         };
+        let min_sym_speedup = if quick {
+            MIN_SYM_SPEEDUP_QUICK
+        } else {
+            MIN_SYM_SPEEDUP_FULL
+        };
         let gates = [
             ("ivf_recall10", run.ivf_recall, MIN_RECALL, true),
             ("sq8_recall10", run.sq8_recall, MIN_RECALL, true),
+            ("sym_recall10", run.sym_recall, MIN_PQ_RECALL, true),
             ("pq_recall10", run.pq_recall, MIN_PQ_RECALL, true),
+            ("pq4_recall10", run.pq4_recall, MIN_PQ_RECALL, true),
             ("speedup_sq8", run.speedup_sq8(), min_speedup, true),
+            (
+                "speedup_sym_vs_asym",
+                run.speedup_sym_vs_asym(),
+                min_sym_speedup,
+                true,
+            ),
             ("speedup_pq", run.speedup_pq(), MIN_PQ_SPEEDUP, true),
             ("mem_ratio", run.mem_ratio(), MAX_MEM_RATIO, false),
             ("pq_mem_ratio", run.pq_mem_ratio(), MAX_PQ_MEM_RATIO, false),
+            (
+                "pq4_mem_ratio",
+                run.pq4_mem_ratio(),
+                MAX_PQ4_MEM_RATIO,
+                false,
+            ),
         ];
         let mut failed = false;
         for (key, measured, bound, at_least) in gates {

@@ -171,9 +171,16 @@ struct Snapshot {
 
 impl Snapshot {
     fn to_json(&self) -> String {
+        // `cpu`/`force_scalar` record the integer-kernel dispatch decision
+        // (index scans under symmetric SQ8 route through it), keeping rows
+        // from different machines comparable.
         let mut s = format!(
-            "{{\"commit\":\"{}\",\"label\":\"{}\",\"quick\":{},\"hot\":{HOT_QUERIES},\"db\":{DB_SIZE}",
-            self.commit, self.label, self.quick
+            "{{\"commit\":\"{}\",\"label\":\"{}\",\"quick\":{},\"cpu\":\"{}\",\"force_scalar\":{},\"hot\":{HOT_QUERIES},\"db\":{DB_SIZE}",
+            self.commit,
+            self.label,
+            self.quick,
+            trajcl_index::kernels::dispatch::description(),
+            trajcl_index::kernels::dispatch::forced_scalar()
         );
         for (name, threads, cell) in &self.cells {
             s.push_str(&format!(

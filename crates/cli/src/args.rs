@@ -132,9 +132,11 @@ USAGE:
   trajcl train    --input FILE --out MODEL [--dim N] [--epochs N] [--batch N] [--seed N]
   trajcl embed    --model MODEL --input FILE --out CSV
   trajcl query    --model MODEL --db FILE --query IDX [--k N] [--index NLIST]
-                  [--quantize sq8|pq[:M]] [--rescore-factor N] [--json]
+                  [--quantize sq8|pq4[:M]|pq[:M]] [--scan symmetric|asym]
+                  [--rescore-factor N] [--json]
   trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw> [--json]
-  trajcl serve    --model MODEL --db FILE [--index NLIST] [--quantize sq8|pq[:M]]
+  trajcl serve    --model MODEL --db FILE [--index NLIST]
+                  [--quantize sq8|pq4[:M]|pq[:M]] [--scan symmetric|asym]
                   [--workers N] [--max-batch N] [--max-wait-us N]
                   [--cache N] [--queue N]
   trajcl audit    [--lint] [--fuzz | --fuzz-quick] [--cases N]
@@ -150,7 +152,11 @@ machine-readable JSON object per line instead of the human-readable report.
 
 `--quantize sq8` stores indexed vectors as per-dimension int8 codes (4x
 smaller); `--quantize pq[:M]` as M-byte product-quantized codes (default
-M=8 — sub-byte per dimension). `query` rescores the top
+M=8 — sub-byte per dimension); `--quantize pq4[:M]` packs two 4-bit PQ
+codes per byte for half the PQ footprint. `--scan symmetric` quantizes
+the query too and scans SQ8 codes with integer SIMD kernels
+(AVX-512/AVX2/scalar picked at runtime; set TRAJCL_FORCE_SCALAR=1 to pin
+the portable path). `query` rescores the top
 `--rescore-factor` x k quantized candidates against the engine's exact
 f32 embeddings, so its distances stay exact; `serve`'s mutable index
 keeps no exact copy of sealed rows, but rescores hits that still match

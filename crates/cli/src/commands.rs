@@ -292,11 +292,19 @@ fn json_approx_line(measure: &str, k: usize, hr: f64, queries: usize, database: 
     )
 }
 
-/// Parses the `--quantize` option (`sq8` | `pq[:M]` | `none`), when
-/// present.
+/// Parses the `--quantize` option (`sq8` | `pq4[:M]` | `pq[:M]` |
+/// `none`), when present.
 fn parse_quantize(args: &Args) -> Result<Option<trajcl_engine::Quantization>, EngineError> {
     args.options
         .get("quantize")
+        .map(|v| v.parse().map_err(invalid))
+        .transpose()
+}
+
+/// Parses the `--scan` option (`symmetric` | `asym`), when present.
+fn parse_scan(args: &Args) -> Result<Option<trajcl_engine::ScanMode>, EngineError> {
+    args.options
+        .get("scan")
         .map(|v| v.parse().map_err(invalid))
         .transpose()
 }
@@ -316,6 +324,16 @@ fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> 
             ));
         }
         engine = engine.with_quantization(quant);
+    }
+    if let Some(scan) = parse_scan(args)? {
+        // Symmetric scanning is a property of the SQ8-quantized IVF
+        // index; without one the flag would silently do nothing.
+        if scan == trajcl_engine::ScanMode::Symmetric && !args.options.contains_key("index") {
+            return Err(invalid(
+                "--scan symmetric needs --index NLIST and --quantize sq8 (it selects the SQ8 scan kernel)",
+            ));
+        }
+        engine = engine.with_scan_mode(scan);
     }
     let rescore = num(args, "rescore-factor", engine.rescore_factor())?;
     engine = engine.with_rescore_factor(rescore);
@@ -372,6 +390,7 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
         cfg.ivf_nlist = Some(nlist.max(1));
     }
     cfg.quantization = parse_quantize(args)?;
+    cfg.scan = parse_scan(args)?;
     cfg.workers = num(args, "workers", cfg.workers)?;
     cfg.max_batch = num(args, "max-batch", cfg.max_batch)?;
     cfg.max_wait = std::time::Duration::from_micros(num(args, "max-wait-us", 2000u64)?);
@@ -610,14 +629,53 @@ mod tests {
         assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
         assert_eq!(out.lines().count(), 3);
 
+        // And through packed 4-bit PQ with a symmetric-capable scan flag
+        // (the engine falls back to asymmetric scanning off SQ8).
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --k 3 --index 4 --quantize pq4:4 --rescore-factor 8 --json",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
+        assert_eq!(out.lines().count(), 3);
+
+        // Symmetric SQ8 scanning through the integer kernels.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --k 3 --index 4 --quantize sq8 --scan symmetric --rescore-factor 8 --json",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_json_lines(&out, &["rank", "index", "distance", "points", "km"]);
+        assert_eq!(out.lines().count(), 3);
+
         // Unknown quantization is rejected with a parse error.
         let (code, out) = run_cmd(&format!(
-            "query --model {} --db {} --query 0 --quantize pq4",
+            "query --model {} --db {} --query 0 --quantize pq9",
             model.display(),
             data.display()
         ));
         assert_eq!(code, 1);
         assert!(out.contains("unknown quantization"));
+
+        // Unknown scan mode likewise.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --index 4 --scan diagonal",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown scan mode"));
+
+        // --scan symmetric without an index would be a silent no-op.
+        let (code, out) = run_cmd(&format!(
+            "query --model {} --db {} --query 0 --scan symmetric",
+            model.display(),
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("--index"));
 
         // A malformed PQ subspace count is rejected too.
         let (code, out) = run_cmd(&format!(

@@ -17,7 +17,9 @@ use trajcl_core::{
 };
 use trajcl_data::Dataset;
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{brute_force_batch_knn, IvfIndex, Metric, Quantization, DEFAULT_RESCORE_FACTOR};
+use trajcl_index::{
+    brute_force_batch_knn, IvfIndex, Metric, Quantization, ScanMode, DEFAULT_RESCORE_FACTOR,
+};
 use trajcl_measures::HeuristicMeasure;
 use trajcl_tensor::{InferCtx, Shape, Tensor};
 
@@ -36,6 +38,7 @@ pub struct Engine {
     nprobe: usize,
     quantization: Quantization,
     rescore_factor: usize,
+    scan: ScanMode,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -94,6 +97,12 @@ impl Engine {
     /// against the exact cached embedding table).
     pub fn rescore_factor(&self) -> usize {
         self.rescore_factor
+    }
+
+    /// Scan kernel for quantized index scans ([`ScanMode::Symmetric`]
+    /// quantizes the query too and scans in integer arithmetic).
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan
     }
 
     /// Inference mini-batch size used by [`Engine::embed_all`].
@@ -237,12 +246,13 @@ impl Engine {
             let emb = self.embed_all(&self.database)?;
             if let Some(nlist) = self.nlist {
                 let mut rng = StdRng::seed_from_u64(self.seed);
-                self.index = Some(IvfIndex::build_with(
+                self.index = Some(IvfIndex::build_with_scan(
                     &emb,
                     nlist,
                     Metric::L1,
                     self.quantization,
                     self.rescore_factor,
+                    self.scan,
                     &mut rng,
                 ));
             }
@@ -269,6 +279,13 @@ impl Engine {
     /// next [`Engine::with_database`] call.
     pub fn with_rescore_factor(mut self, rescore_factor: usize) -> Self {
         self.rescore_factor = rescore_factor.max(1);
+        self
+    }
+
+    /// Sets the quantized-scan kernel; takes effect at the next
+    /// [`Engine::with_database`] call.
+    pub fn with_scan_mode(mut self, scan: ScanMode) -> Self {
+        self.scan = scan;
         self
     }
 
@@ -387,6 +404,13 @@ impl Engine {
                 out.push(nbits);
             }
         }
+        // Scan-mode tail (appended after the quantization tail the same
+        // way: pre-symmetric files end before it and default to the
+        // asymmetric kernel).
+        out.push(match self.scan {
+            ScanMode::Asymmetric => 0u8,
+            ScanMode::Symmetric => 1u8,
+        });
         Ok(out)
     }
 
@@ -472,11 +496,27 @@ impl Engine {
                 }
                 _ => return Err(EngineError::CorruptEngineFile("quantization")),
             };
+            (quant, rescore)
+        };
+        // Optional scan-mode tail: pre-symmetric files end at the
+        // quantization tail and keep the asymmetric kernel; a restored
+        // symmetric index also restores the mode (its IVF4 section
+        // carries it) even when the engine tail predates the byte.
+        let scan = if r.is_empty() {
+            index
+                .as_ref()
+                .map_or(ScanMode::Asymmetric, IvfIndex::scan_mode)
+        } else {
+            let scan = match take(&mut r, 1)?[0] {
+                0 => ScanMode::Asymmetric,
+                1 => ScanMode::Symmetric,
+                _ => return Err(EngineError::CorruptEngineFile("scan mode")),
+            };
             // The tail is the final field: anything after it is corruption.
             if !r.is_empty() {
                 return Err(EngineError::CorruptEngineFile("trailing bytes"));
             }
-            (quant, rescore)
+            scan
         };
         Ok(Engine {
             backend: Box::new(TrajClBackend::new(model, featurizer)),
@@ -487,6 +527,7 @@ impl Engine {
             nprobe,
             quantization,
             rescore_factor,
+            scan,
             batch_size: batch_size.max(1),
             seed,
             train_report: None,
@@ -503,6 +544,7 @@ pub struct EngineBuilder {
     nprobe: usize,
     quantization: Quantization,
     rescore_factor: usize,
+    scan: ScanMode,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -524,6 +566,7 @@ impl EngineBuilder {
             nprobe: 4,
             quantization: Quantization::None,
             rescore_factor: DEFAULT_RESCORE_FACTOR,
+            scan: ScanMode::Asymmetric,
             batch_size: DEFAULT_BATCH,
             seed: 0,
             train_report: None,
@@ -641,6 +684,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Scan kernel for quantized index scans (default asymmetric).
+    /// [`ScanMode::Symmetric`] quantizes the query with the index's SQ8
+    /// codebook too and scans codes against codes in integer arithmetic
+    /// (runtime-dispatched SIMD); rescoring still returns exact
+    /// distances.
+    pub fn scan_mode(mut self, scan: ScanMode) -> Self {
+        self.scan = scan;
+        self
+    }
+
     /// Inference mini-batch size (default [`DEFAULT_BATCH`]).
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
@@ -672,6 +725,7 @@ impl EngineBuilder {
             nprobe: self.nprobe,
             quantization: self.quantization,
             rescore_factor: self.rescore_factor,
+            scan: self.scan,
             batch_size: self.batch_size,
             seed: self.seed,
             train_report: self.train_report,
@@ -680,12 +734,13 @@ impl EngineBuilder {
             let emb = engine.embed_all(&engine.database)?;
             if let Some(nlist) = engine.nlist {
                 let mut rng = StdRng::seed_from_u64(engine.seed);
-                engine.index = Some(IvfIndex::build_with(
+                engine.index = Some(IvfIndex::build_with_scan(
                     &emb,
                     nlist,
                     Metric::L1,
                     engine.quantization,
                     engine.rescore_factor,
+                    engine.scan,
                     &mut rng,
                 ));
             }

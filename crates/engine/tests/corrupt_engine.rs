@@ -1,8 +1,8 @@
 //! Property tests for the `TCE1` engine decoder, focused on the
-//! quantization tail (the trailing `tag | rescore | [pq geometry]`
-//! section whose absence means "legacy file"): corrupted or truncated
-//! tails must be rejected or decode to a consistent engine — never
-//! panic. Deterministic sibling of the `trajcl audit` engine fuzz
+//! quantization tail (the trailing `tag | rescore | [pq geometry] |
+//! scan` section whose absence means "legacy file"): corrupted or
+//! truncated tails must be rejected or decode to a consistent engine —
+//! never panic. Deterministic sibling of the `trajcl audit` engine fuzz
 //! target.
 
 use std::sync::OnceLock;
@@ -83,23 +83,23 @@ proptest! {
     }
 
     // Truncating anywhere inside the tail (or further into the file)
-    // must fail cleanly — except exactly at the tail boundary, where the
-    // file is a valid legacy (pre-quantization) engine.
+    // must fail cleanly — except at the backward-compatibility
+    // boundaries: the full file, the pre-scan-mode file (scan byte cut),
+    // and the legacy pre-quantization prefix (whole tail cut).
     #[test]
     fn truncated_tail_is_legacy_or_rejected(cut_back in 0usize..24, pq in 0u32..2) {
         let (sq8, pq_bytes) = corpus();
         let base = if pq == 1 { pq_bytes } else { sq8 };
-        let tail_len = if pq == 1 { 10 } else { 5 };
+        // tag + rescore + [m + nbits for PQ] + scan byte.
+        let tail_len = if pq == 1 { 11 } else { 6 };
         let bytes = &base[..base.len() - cut_back.min(base.len())];
         match Engine::from_bytes(bytes) {
             Ok(engine) => {
-                // Only the untouched file or the exact tail-less prefix
-                // (the legacy format) may decode.
-                prop_assert!(cut_back == 0 || cut_back == tail_len);
+                prop_assert!(cut_back == 0 || cut_back == 1 || cut_back == tail_len);
                 prop_assert!(engine.rescore_factor() >= 1);
             }
             Err(_) => {
-                prop_assert!(cut_back != 0 && cut_back != tail_len);
+                prop_assert!(cut_back != 0 && cut_back != 1 && cut_back != tail_len);
             }
         }
     }

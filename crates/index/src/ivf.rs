@@ -10,12 +10,17 @@
 //! ([`Quantization::Sq8`]: one byte per dimension with per-dimension
 //! affine decode, scanned by the asymmetric f32-query × int8-database
 //! kernels in [`crate::kernels`]) or PQ product-quantized codes
-//! ([`Quantization::Pq`]: `m` bytes per *vector*, scanned via a per-query
-//! ADC lookup table). Quantized searches are optionally **rescored**
-//! exactly — the top `rescore_factor · k` candidates re-ranked against a
-//! caller-supplied exact f32 table (the engine keeps its embedding table
-//! for precisely this). All scans run through the blocked f32 kernels and
-//! the fused bounded top-k selector, never a full sort.
+//! ([`Quantization::Pq`]: `m` codes per *vector* — one byte each, or two
+//! per byte when `nbits ≤ 4` — scanned via a per-query ADC lookup table).
+//! SQ8 indexes built with [`ScanMode::Symmetric`] additionally quantize
+//! the *query* at search time and scan in pure integer arithmetic
+//! through the runtime-dispatched SIMD kernels
+//! ([`crate::kernels::dispatch`]). Quantized searches are optionally
+//! **rescored** exactly — the top `rescore_factor · k` candidates
+//! re-ranked against a caller-supplied exact f32 table (the engine keeps
+//! its embedding table for precisely this). All scans run through the
+//! blocked f32 kernels and the fused bounded top-k selector, never a
+//! full sort.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -56,13 +61,42 @@ pub enum Quantization {
     /// Recall is recovered through the same over-fetch + exact-rescore
     /// path SQ8 uses.
     Pq {
-        /// Subspace count (= code bytes per vector); clamped to `1..=d`
-        /// at build time.
+        /// Subspace count (= codes per vector); clamped to `1..=d` at
+        /// build time. With `nbits ≤ 4` two codes pack into each byte.
         m: usize,
         /// Code width in bits (clamped to `1..=8`; 8 ⇒ 256 centroids per
-        /// subspace).
+        /// subspace, `≤ 4` ⇒ nibble-packed rows).
         nbits: u8,
     },
+}
+
+/// Which kernel quantized SQ8 scans use before rescoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Exact f32 query against quantized rows (the default): per-element
+    /// decode in the scan, distances exact up to row quantization error.
+    #[default]
+    Asymmetric,
+    /// Quantize the query with the index's codebook too and scan codes
+    /// against codes in pure integer arithmetic (no per-element decode;
+    /// SIMD `psadbw`-class kernels via [`crate::kernels::dispatch`]).
+    /// Requires a uniform-scale SQ8 codebook — [`IvfIndex::build_with_scan`]
+    /// trains one — and adds at most twice the asymmetric error, which the
+    /// over-fetch + exact rescore path absorbs. Ignored (falls back to
+    /// asymmetric) for f32 and PQ storage.
+    Symmetric,
+}
+
+impl std::str::FromStr for ScanMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ScanMode, String> {
+        match s.to_lowercase().as_str() {
+            "asym" | "asymmetric" => Ok(ScanMode::Asymmetric),
+            "sym" | "symmetric" => Ok(ScanMode::Symmetric),
+            _ => Err(format!("unknown scan mode {s:?} (try symmetric or asym)")),
+        }
+    }
 }
 
 impl std::str::FromStr for Quantization {
@@ -79,17 +113,27 @@ impl std::str::FromStr for Quantization {
                     nbits: 8,
                 })
             }
+            "pq4" => {
+                return Ok(Quantization::Pq {
+                    m: DEFAULT_PQ_M,
+                    nbits: 4,
+                })
+            }
             _ => {}
         }
-        if let Some(m) = lower.strip_prefix("pq:") {
-            let m: usize = m
-                .parse()
-                .ok()
-                .filter(|&m| m >= 1)
-                .ok_or_else(|| format!("bad PQ subspace count in {s:?} (try pq:8)"))?;
-            return Ok(Quantization::Pq { m, nbits: 8 });
+        for (prefix, nbits) in [("pq:", 8u8), ("pq4:", 4u8)] {
+            if let Some(m) = lower.strip_prefix(prefix) {
+                let m: usize = m
+                    .parse()
+                    .ok()
+                    .filter(|&m| m >= 1)
+                    .ok_or_else(|| format!("bad PQ subspace count in {s:?} (try {prefix}8)"))?;
+                return Ok(Quantization::Pq { m, nbits });
+            }
         }
-        Err(format!("unknown quantization {s:?} (try sq8, pq or pq:M)"))
+        Err(format!(
+            "unknown quantization {s:?} (try sq8, pq, pq4, pq:M or pq4:M)"
+        ))
     }
 }
 
@@ -119,6 +163,9 @@ pub struct SearchScratch {
     /// PQ ADC lookup table (`m × ksub`), rebuilt per query, allocation
     /// reused across the batch.
     lut: Vec<f32>,
+    /// Quantized query codes for the symmetric SQ8 scan, rebuilt per
+    /// query, allocation reused across the batch.
+    qcodes: Vec<u8>,
 }
 
 /// An IVF index over fixed-dimension vectors (exact f32 or SQ8-quantized).
@@ -130,6 +177,7 @@ pub struct IvfIndex {
     d: usize,
     metric: Metric,
     rescore_factor: usize,
+    scan: ScanMode,
 }
 
 impl IvfIndex {
@@ -157,6 +205,34 @@ impl IvfIndex {
         metric: Metric,
         quant: Quantization,
         rescore_factor: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::build_with_scan(
+            embeddings,
+            nlist,
+            metric,
+            quant,
+            rescore_factor,
+            ScanMode::Asymmetric,
+            rng,
+        )
+    }
+
+    /// [`IvfIndex::build_with`] with an explicit scan mode. With
+    /// [`ScanMode::Symmetric`] and [`Quantization::Sq8`] the codebook is
+    /// trained with one *uniform* scale across dimensions
+    /// ([`crate::kernels::Sq8Codebook::train_uniform`]) so list scans
+    /// reduce to integer sum-of-absolute/squared-differences over code
+    /// bytes; other storages ignore the mode (normalised back to
+    /// asymmetric).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_scan(
+        embeddings: &Tensor,
+        nlist: usize,
+        metric: Metric,
+        quant: Quantization,
+        rescore_factor: usize,
+        scan: ScanMode,
         rng: &mut impl Rng,
     ) -> Self {
         let d = embeddings.shape().last();
@@ -205,10 +281,18 @@ impl IvfIndex {
         for (i, &c) in assign.iter().enumerate() {
             lists[c as usize].push(i as u32);
         }
+        // Symmetric scanning only exists for SQ8 storage.
+        let scan = match quant {
+            Quantization::Sq8 => scan,
+            _ => ScanMode::Asymmetric,
+        };
         let storage = match quant {
             Quantization::None => Storage::F32(data.to_vec()),
             Quantization::Sq8 => {
-                let cb = Sq8Codebook::train(data, d);
+                let cb = match scan {
+                    ScanMode::Symmetric => Sq8Codebook::train_uniform(data, d),
+                    ScanMode::Asymmetric => Sq8Codebook::train(data, d),
+                };
                 let mut codes = Vec::with_capacity(n * d);
                 for row in data.chunks_exact(d) {
                     cb.encode_into(row, &mut codes);
@@ -229,6 +313,7 @@ impl IvfIndex {
             d,
             metric,
             rescore_factor: rescore_factor.max(1),
+            scan,
         }
     }
 
@@ -268,6 +353,12 @@ impl IvfIndex {
     /// Over-fetch multiplier used by quantized (SQ8/PQ) rescoring.
     pub fn rescore_factor(&self) -> usize {
         self.rescore_factor
+    }
+
+    /// The scan mode this index was built with (always
+    /// [`ScanMode::Asymmetric`] for f32/PQ storage).
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan
     }
 
     /// The SQ8 codebook, when the index uses SQ8 storage (the worst-case
@@ -317,10 +408,11 @@ impl IvfIndex {
                 cb.decode_into(&codes[at..at + self.d], &mut out[start..]);
             }
             Storage::Pq { codes, cb } => {
-                let at = id as usize * cb.m();
+                let stride = cb.code_stride();
+                let at = id as usize * stride;
                 let start = out.len();
                 out.resize(start + self.d, 0.0);
-                cb.decode_into(&codes[at..at + cb.m()], &mut out[start..]);
+                cb.decode_into(&codes[at..at + stride], &mut out[start..]);
             }
         }
     }
@@ -361,7 +453,8 @@ impl IvfIndex {
     /// kNN search probing the `nprobe` nearest Voronoi cells. Returns
     /// `(id, distance)` sorted ascending; fewer than `k` results only when
     /// the probed lists hold fewer vectors. Quantized (SQ8/PQ) distances
-    /// are asymmetric (exact query vs quantized rows) — supply the exact
+    /// are approximate — asymmetric (exact query vs quantized rows), or
+    /// fully quantized under [`ScanMode::Symmetric`] — supply the exact
     /// table via [`IvfIndex::search_rescored`] for exact top-k distances.
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u32, f64)> {
         self.search_rescored(query, k, nprobe, None)
@@ -441,16 +534,39 @@ impl IvfIndex {
             }
             Storage::Sq8 { codes, cb } => {
                 scratch.topk.reset(self.quantized_fetch(k, exact));
-                for &(_, c) in &scratch.order[..nprobe] {
-                    kernels::sq8_scan_ids(
-                        self.metric,
-                        query,
-                        codes,
-                        self.d,
-                        cb,
-                        &self.lists[c as usize],
-                        &mut scratch.topk,
-                    );
+                // Symmetric scanning needs the uniform scale the codebook
+                // was trained with; a non-uniform codebook (deserialised
+                // from an asymmetric build) silently falls back.
+                let sym_scale = match self.scan {
+                    ScanMode::Symmetric => cb.uniform_scale(),
+                    ScanMode::Asymmetric => None,
+                };
+                if let Some(scale) = sym_scale {
+                    scratch.qcodes.clear();
+                    cb.encode_into(query, &mut scratch.qcodes);
+                    for &(_, c) in &scratch.order[..nprobe] {
+                        kernels::sq8_sym_scan_ids(
+                            self.metric,
+                            &scratch.qcodes,
+                            codes,
+                            self.d,
+                            scale,
+                            &self.lists[c as usize],
+                            &mut scratch.topk,
+                        );
+                    }
+                } else {
+                    for &(_, c) in &scratch.order[..nprobe] {
+                        kernels::sq8_scan_ids(
+                            self.metric,
+                            query,
+                            codes,
+                            self.d,
+                            cb,
+                            &self.lists[c as usize],
+                            &mut scratch.topk,
+                        );
+                    }
                 }
                 self.finish_quantized(scratch, query, k, exact, out);
             }
@@ -461,14 +577,26 @@ impl IvfIndex {
                 cb.build_lut_into(self.metric, query, &mut scratch.lut);
                 scratch.topk.reset(self.quantized_fetch(k, exact));
                 for &(_, c) in &scratch.order[..nprobe] {
-                    kernels::pq_scan_ids(
-                        &scratch.lut,
-                        codes,
-                        cb.m(),
-                        cb.ksub(),
-                        &self.lists[c as usize],
-                        &mut scratch.topk,
-                    );
+                    if cb.packed() {
+                        kernels::pq_packed_scan_ids(
+                            &scratch.lut,
+                            codes,
+                            cb.code_stride(),
+                            cb.m(),
+                            cb.ksub(),
+                            &self.lists[c as usize],
+                            &mut scratch.topk,
+                        );
+                    } else {
+                        kernels::pq_scan_ids(
+                            &scratch.lut,
+                            codes,
+                            cb.m(),
+                            cb.ksub(),
+                            &self.lists[c as usize],
+                            &mut scratch.topk,
+                        );
+                    }
                 }
                 self.finish_quantized(scratch, query, k, exact, out);
             }
@@ -511,19 +639,37 @@ impl IvfIndex {
         }
     }
 
+    /// True when this index needs the `IVF4` section: a symmetric-scan
+    /// SQ8 build (the scan mode must round-trip) or nibble-packed PQ
+    /// codes (the packed layout must round-trip). Everything else keeps
+    /// its legacy section so pre-existing readers still load it.
+    fn uses_ivf4(&self) -> bool {
+        match &self.storage {
+            Storage::F32(_) => false,
+            Storage::Sq8 { .. } => self.scan == ScanMode::Symmetric,
+            Storage::Pq { cb, .. } => cb.packed(),
+        }
+    }
+
     /// Serialises the index. Exact-storage indexes keep the original
     /// `IVF1` layout (metric, dims, centroids, inverted lists, f32 rows;
     /// little-endian) so pre-quantization readers still load them; SQ8
     /// indexes write the `IVF2` section (adds the rescore factor, the
-    /// per-dimension codebook and int8 codes); PQ indexes write `IVF3`
-    /// (rescore factor, PQ geometry, sub-centroid tables, the trained
-    /// error bound and `n·m` code bytes — see DESIGN.md §10 for the byte
-    /// diagrams). The output buffer is preallocated to its exact final
-    /// size.
+    /// per-dimension codebook and int8 codes); unpacked PQ indexes write
+    /// `IVF3` (rescore factor, PQ geometry, sub-centroid tables, the
+    /// trained error bound and `n·m` code bytes). Symmetric-scan SQ8 and
+    /// nibble-packed PQ (`nbits ≤ 4`) write `IVF4`, which inserts a scan
+    /// byte (0 = asymmetric, 1 = symmetric) and a storage tag (1 = SQ8,
+    /// 2 = PQ) between the list count and the rescore factor, and stores
+    /// PQ rows at `ceil(m / 2)` bytes — see DESIGN.md §10/§12 for the
+    /// byte diagrams. The output buffer is preallocated to its exact
+    /// final size.
     pub fn to_bytes(&self) -> Vec<u8> {
         let list_bytes: usize = self.lists.iter().map(|l| 4 + l.len() * 4).sum();
         let header = 4 + 1 + 4 + 4 + 4;
+        let ivf4 = self.uses_ivf4();
         let expected = header
+            + if ivf4 { 2 } else { 0 }
             + self.centroids.len() * 4
             + list_bytes
             + match &self.storage {
@@ -534,10 +680,14 @@ impl IvfIndex {
                 }
             };
         let mut out = Vec::with_capacity(expected);
-        out.extend_from_slice(match &self.storage {
-            Storage::F32(_) => b"IVF1",
-            Storage::Sq8 { .. } => b"IVF2",
-            Storage::Pq { .. } => b"IVF3",
+        out.extend_from_slice(if ivf4 {
+            b"IVF4"
+        } else {
+            match &self.storage {
+                Storage::F32(_) => b"IVF1",
+                Storage::Sq8 { .. } => b"IVF2",
+                Storage::Pq { .. } => b"IVF3",
+            }
         });
         out.push(match self.metric {
             Metric::L1 => 0u8,
@@ -546,13 +696,25 @@ impl IvfIndex {
         out.extend_from_slice(&(self.n as u32).to_le_bytes());
         out.extend_from_slice(&(self.d as u32).to_le_bytes());
         out.extend_from_slice(&(self.lists.len() as u32).to_le_bytes());
+        if ivf4 {
+            out.push(match self.scan {
+                ScanMode::Asymmetric => 0u8,
+                ScanMode::Symmetric => 1u8,
+            });
+        }
         match &self.storage {
             Storage::F32(_) => {}
             Storage::Sq8 { .. } => {
                 out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+                if ivf4 {
+                    out.push(1u8);
+                }
             }
             Storage::Pq { cb, .. } => {
                 out.extend_from_slice(&(self.rescore_factor as u32).to_le_bytes());
+                if ivf4 {
+                    out.push(2u8);
+                }
                 out.extend_from_slice(&(cb.m() as u32).to_le_bytes());
                 out.push(cb.nbits());
                 out.extend_from_slice(&(cb.ksub() as u32).to_le_bytes());
@@ -592,17 +754,18 @@ impl IvfIndex {
     }
 
     /// Restores an index from [`IvfIndex::to_bytes`] output (the legacy
-    /// `IVF1`, the SQ8 `IVF2` and the PQ `IVF3` sections); `None` when
-    /// the buffer is malformed. Parsing is zero-copy over the input slice
-    /// — fields decode straight out of `bytes` with no intermediate
-    /// buffer.
+    /// `IVF1`, the SQ8 `IVF2`, the PQ `IVF3` and the scan-mode/packed-PQ
+    /// `IVF4` sections); `None` when the buffer is malformed. Parsing is
+    /// zero-copy over the input slice — fields decode straight out of
+    /// `bytes` with no intermediate buffer.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
         let mut r = Reader(bytes);
         let section = r.bytes(4)?;
-        let (is_sq8, is_pq) = match section {
-            b"IVF1" => (false, false),
-            b"IVF2" => (true, false),
-            b"IVF3" => (false, true),
+        let version = match section {
+            b"IVF1" => 1u8,
+            b"IVF2" => 2,
+            b"IVF3" => 3,
+            b"IVF4" => 4,
             _ => return None,
         };
         let metric = match r.u8()? {
@@ -620,16 +783,38 @@ impl IvfIndex {
         if n == 0 || d == 0 || nlist == 0 {
             return None;
         }
-        let rescore_factor = if is_sq8 || is_pq {
+        let scan = if version == 4 {
+            match r.u8()? {
+                0 => ScanMode::Asymmetric,
+                1 => ScanMode::Symmetric,
+                _ => return None,
+            }
+        } else {
+            ScanMode::Asymmetric
+        };
+        let rescore_factor = if version >= 2 {
             (r.u32()? as usize).max(1)
         } else {
             DEFAULT_RESCORE_FACTOR
         };
-        let pq_geom = if is_pq {
+        // (is_sq8, Some(packed)) — IVF4 reads an explicit storage tag,
+        // the legacy sections imply one. IVF4 PQ rows are always packed,
+        // which from_parts bounds to nbits ≤ 4.
+        let (is_sq8, pq_packed) = match version {
+            1 => (false, None),
+            2 => (true, None),
+            3 => (false, Some(false)),
+            _ => match r.u8()? {
+                1 => (true, None),
+                2 => (false, Some(true)),
+                _ => return None,
+            },
+        };
+        let pq_geom = if let Some(packed) = pq_packed {
             let m = r.u32()? as usize;
             let nbits = r.u8()?;
             let ksub = r.u32()? as usize;
-            Some((m, nbits, ksub))
+            Some((m, nbits, ksub, packed))
         } else {
             None
         };
@@ -647,20 +832,30 @@ impl IvfIndex {
         if total_ids != n || lists.iter().flatten().any(|&id| id as usize >= n) {
             return None;
         }
-        let storage = if let Some((m, nbits, ksub)) = pq_geom {
+        let storage = if let Some((m, nbits, ksub, packed)) = pq_geom {
             let pq_centroids = r.f32_vec(ksub.checked_mul(d)?)?;
             let l1_bound = r.f32()?;
-            let codes = r.bytes(n.checked_mul(m)?)?.to_vec();
-            // Every code byte indexes a ksub-entry table; an out-of-range
-            // code in a corrupt buffer must fail HERE, not as an
-            // out-of-bounds panic in the first LUT scan or decode.
-            if codes.iter().any(|&c| c as usize >= ksub) {
+            let cb = PqCodebook::from_parts(d, m, nbits, ksub, pq_centroids, l1_bound, packed)?;
+            let codes = r.bytes(n.checked_mul(cb.code_stride())?)?.to_vec();
+            // Every code indexes a ksub-entry table; an out-of-range code
+            // in a corrupt buffer must fail HERE, not as an out-of-bounds
+            // panic in the first LUT scan or decode. Packed rows also
+            // reject a non-zero trailing nibble (odd m), which encode
+            // never produces — so round trips stay bit-exact.
+            if packed {
+                let stride = cb.code_stride();
+                for row in codes.chunks_exact(stride) {
+                    if (0..m).any(|s| cb.code_at(row, s) >= ksub) {
+                        return None;
+                    }
+                    if m % 2 == 1 && row[stride - 1] >> 4 != 0 {
+                        return None;
+                    }
+                }
+            } else if codes.iter().any(|&c| c as usize >= ksub) {
                 return None;
             }
-            Storage::Pq {
-                codes,
-                cb: PqCodebook::from_parts(d, m, nbits, ksub, pq_centroids, l1_bound)?,
-            }
+            Storage::Pq { codes, cb }
         } else if is_sq8 {
             let bias = r.f32_vec(d)?;
             let scale = r.f32_vec(d)?;
@@ -683,6 +878,7 @@ impl IvfIndex {
             d,
             metric,
             rescore_factor,
+            scan,
         })
     }
 
@@ -1165,8 +1361,8 @@ mod tests {
 
     #[test]
     fn from_bytes_rejects_out_of_range_pq_codes() {
-        // A code byte must index the ksub-entry centroid table; with
-        // 4-bit codes (ksub = 16) a corrupt byte of 200 has to fail in
+        // A code must index the ksub-entry centroid table; with 6-bit
+        // codes (ksub = 64) a corrupt byte of 200 has to fail in
         // from_bytes, not panic in the first scan or decode.
         let emb = table(60, 8, 59);
         let mut rng = StdRng::seed_from_u64(60);
@@ -1174,7 +1370,7 @@ mod tests {
             &emb,
             4,
             Metric::L1,
-            Quantization::Pq { m: 2, nbits: 4 },
+            Quantization::Pq { m: 2, nbits: 6 },
             4,
             &mut rng,
         );
@@ -1184,6 +1380,196 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] = 200;
         assert!(IvfIndex::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_corrupt_packed_pq_nibbles() {
+        // Packed rows fail on two corruptions the byte check can't see:
+        // a nibble ≥ ksub (3-bit codes → ksub 8, nibble 9 is garbage) and
+        // a non-zero trailing nibble on an odd m (never produced by
+        // encode, so it can only be corruption).
+        let emb = table(60, 9, 61);
+        let mut rng = StdRng::seed_from_u64(62);
+        let index = IvfIndex::build_with(
+            &emb,
+            4,
+            Metric::L1,
+            Quantization::Pq { m: 3, nbits: 3 },
+            4,
+            &mut rng,
+        );
+        assert_eq!(index.pq_codebook().expect("pq").code_stride(), 2);
+        let bytes = index.to_bytes();
+        assert!(IvfIndex::from_bytes(&bytes).is_some(), "sanity");
+        // Codes are the final n·stride bytes; corrupt the last row.
+        let mut bad = bytes.clone();
+        let first_of_last_row = bad.len() - 2;
+        bad[first_of_last_row] = 0x99; // nibbles 9, 9 ≥ ksub = 8
+        assert!(IvfIndex::from_bytes(&bad).is_none());
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] |= 0xF0; // trailing nibble of odd m must stay zero
+        assert!(IvfIndex::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn pq4_serialization_round_trip_is_packed() {
+        let emb = table(90, 10, 63);
+        let mut rng = StdRng::seed_from_u64(64);
+        let index = IvfIndex::build_with(
+            &emb,
+            6,
+            Metric::L1,
+            Quantization::Pq { m: 5, nbits: 4 },
+            5,
+            &mut rng,
+        );
+        let cb = index.pq_codebook().expect("pq");
+        assert!(cb.packed());
+        assert_eq!(cb.code_stride(), 3, "ceil(5 / 2) bytes per row");
+        let bytes = index.to_bytes();
+        assert_eq!(&bytes[..4], b"IVF4");
+        let restored = IvfIndex::from_bytes(&bytes).expect("round trip");
+        assert_eq!(restored.quantization(), index.quantization());
+        assert!(restored.pq_codebook().expect("pq").packed());
+        assert_eq!(restored.to_bytes(), bytes, "bit-exact round trip");
+        for qi in [0usize, 44, 89] {
+            assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_serialization_round_trips_scan_mode() {
+        let emb = table(120, 12, 65);
+        let mut rng = StdRng::seed_from_u64(66);
+        let index = IvfIndex::build_with_scan(
+            &emb,
+            8,
+            Metric::L1,
+            Quantization::Sq8,
+            6,
+            ScanMode::Symmetric,
+            &mut rng,
+        );
+        assert_eq!(index.scan_mode(), ScanMode::Symmetric);
+        assert!(index.codebook().expect("sq8").uniform_scale().is_some());
+        let bytes = index.to_bytes();
+        assert_eq!(&bytes[..4], b"IVF4");
+        let restored = IvfIndex::from_bytes(&bytes).expect("round trip");
+        assert_eq!(restored.scan_mode(), ScanMode::Symmetric);
+        assert_eq!(restored.rescore_factor(), 6);
+        assert_eq!(restored.to_bytes(), bytes, "bit-exact round trip");
+        for qi in [0usize, 44, 119] {
+            assert_eq!(
+                restored.search(emb.row(qi), 5, 4),
+                index.search(emb.row(qi), 5, 4)
+            );
+        }
+        // Asymmetric SQ8 builds still write the legacy IVF2 section.
+        let mut rng = StdRng::seed_from_u64(66);
+        let asym = IvfIndex::build_with(&emb, 8, Metric::L1, Quantization::Sq8, 6, &mut rng);
+        assert_eq!(&asym.to_bytes()[..4], b"IVF2");
+    }
+
+    #[test]
+    fn symmetric_search_stays_within_error_bound_and_rescores_exactly() {
+        let emb = table(300, 16, 67);
+        let mut rng = StdRng::seed_from_u64(68);
+        let index = IvfIndex::build_with_scan(
+            &emb,
+            8,
+            Metric::L1,
+            Quantization::Sq8,
+            4,
+            ScanMode::Symmetric,
+            &mut rng,
+        );
+        // Symmetric distances quantize both sides, so they deviate from
+        // exact by at most twice the codebook bound (queries drawn from
+        // the table are inside the trained box).
+        let bound = 2.0 * index.codebook().expect("sq8").l1_error_bound();
+        for qi in [3usize, 111, 280] {
+            let q = emb.row(qi);
+            for (id, dq) in index.search(q, 10, index.nlist()) {
+                let exact = Metric::L1.dist(q, emb.row(id as usize));
+                assert!(
+                    (dq - exact).abs() <= bound + 1e-5,
+                    "id {id}: sym {dq} vs exact {exact} (bound {bound})"
+                );
+            }
+        }
+        // Rescoring returns exact distances, identical to batch.
+        let q = emb.row(9);
+        let rescored = index.search_rescored(q, 5, index.nlist(), Some(&emb));
+        assert_eq!(rescored[0], (9, 0.0), "self-query must rescore to zero");
+        for &(id, dq) in &rescored {
+            let exact = Metric::L1.dist(q, emb.row(id as usize));
+            assert!((dq - exact).abs() < 1e-9);
+        }
+        let queries = table(5, 16, 69);
+        let batch = index.batch_search_rescored(&queries, 4, 8, Some(&emb));
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(
+                hits,
+                &index.search_rescored(queries.row(i), 4, 8, Some(&emb))
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_mode_normalises_to_asymmetric_off_sq8() {
+        let emb = table(50, 6, 70);
+        let mut rng = StdRng::seed_from_u64(71);
+        let f32_index = IvfIndex::build_with_scan(
+            &emb,
+            4,
+            Metric::L1,
+            Quantization::None,
+            4,
+            ScanMode::Symmetric,
+            &mut rng,
+        );
+        assert_eq!(f32_index.scan_mode(), ScanMode::Asymmetric);
+        assert_eq!(&f32_index.to_bytes()[..4], b"IVF1");
+        let mut rng = StdRng::seed_from_u64(71);
+        let pq = IvfIndex::build_with_scan(
+            &emb,
+            4,
+            Metric::L1,
+            Quantization::Pq { m: 2, nbits: 8 },
+            4,
+            ScanMode::Symmetric,
+            &mut rng,
+        );
+        assert_eq!(pq.scan_mode(), ScanMode::Asymmetric);
+    }
+
+    #[test]
+    fn scan_mode_and_pq4_parse_from_str() {
+        assert_eq!("symmetric".parse::<ScanMode>(), Ok(ScanMode::Symmetric));
+        assert_eq!("SYM".parse::<ScanMode>(), Ok(ScanMode::Symmetric));
+        assert_eq!("asym".parse::<ScanMode>(), Ok(ScanMode::Asymmetric));
+        assert!("fast".parse::<ScanMode>().is_err());
+        assert_eq!(
+            "pq4".parse::<Quantization>(),
+            Ok(Quantization::Pq {
+                m: DEFAULT_PQ_M,
+                nbits: 4
+            })
+        );
+        assert_eq!(
+            "pq4:16".parse::<Quantization>(),
+            Ok(Quantization::Pq { m: 16, nbits: 4 })
+        );
+        assert_eq!(
+            "pq:16".parse::<Quantization>(),
+            Ok(Quantization::Pq { m: 16, nbits: 8 })
+        );
+        assert!("pq4:0".parse::<Quantization>().is_err());
+        assert!("pq5".parse::<Quantization>().is_err());
     }
 
     #[test]

@@ -29,12 +29,28 @@
 //!   query-subvector-to-centroid distances is built per query
 //!   ([`PqCodebook::build_lut_into`]), after which scanning a row is `m`
 //!   table lookups and adds ([`pq_scan_ids`]) — no decode in the loop.
+//!   With `nbits ≤ 4` codes are **packed two per byte** (low nibble =
+//!   even subspace) and the whole LUT is `m × 16` floats — small enough
+//!   to live in L1 for any realistic `m` ([`pq_packed_scan_ids`]).
+//! * **Symmetric SQ8** ([`sq8_sym_scan_ids`]) quantizes the *query* with
+//!   the same uniform-scale codebook ([`Sq8Codebook::train_uniform`]) and
+//!   scans in the byte domain: `Σ scale·|q_j − c_j|` factors into one
+//!   integer sum-of-absolute-differences times a constant, which the
+//!   [`dispatch`] module maps onto `vpsadbw`-style SIMD chosen at
+//!   runtime. Distances deviate from asymmetric ones by at most the
+//!   codebook's encode error bound; the over-fetch rescore restores
+//!   exact results.
+//! * Every `*_scan_ids` variant funnels through one generic seam,
+//!   [`scan_ids_by`]: gather loop + per-row distance closure + the
+//!   `TopK::offer` early abandon — the scan logic exists once.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use trajcl_tensor::pool;
 
 use crate::ivf::Metric;
+
+pub mod dispatch;
 
 /// Unroll width of the f32 kernels (accumulator lanes).
 const LANES: usize = 8;
@@ -114,6 +130,23 @@ pub fn scan_block(
     }
 }
 
+/// The one gather-scan loop every `*_scan_ids` variant shares: walk the
+/// inverted list, compute a per-row distance through `dist_of`, offer it
+/// to the fused selector (whose `offer` is the O(1) early abandon).
+///
+/// Storage-specific scans differ only in how a row id becomes a
+/// distance, so they pass a closure here instead of re-rolling the loop
+/// — see [`scan_ids`] (f32), [`sq8_scan_ids`] (asymmetric int8),
+/// [`sq8_sym_scan_ids`] (symmetric int8), [`pq_scan_ids`] /
+/// [`pq_packed_scan_ids`] (ADC).
+#[inline]
+pub fn scan_ids_by(ids: &[u32], topk: &mut TopK, mut dist_of: impl FnMut(u32) -> f64) {
+    for &id in ids {
+        let d = dist_of(id);
+        topk.offer(id, d);
+    }
+}
+
 /// Like [`scan_block`] but over a gather list of row ids into `rows`
 /// (the inverted-list scan: ids index the full SoA table).
 #[inline]
@@ -126,18 +159,12 @@ pub fn scan_ids(
     topk: &mut TopK,
 ) {
     match metric {
-        Metric::L1 => {
-            for &id in ids {
-                let row = &rows[id as usize * d..(id as usize + 1) * d];
-                topk.offer(id, l1_f32(query, row) as f64);
-            }
-        }
-        Metric::L2 => {
-            for &id in ids {
-                let row = &rows[id as usize * d..(id as usize + 1) * d];
-                topk.offer(id, l2_f32(query, row) as f64);
-            }
-        }
+        Metric::L1 => scan_ids_by(ids, topk, |id| {
+            l1_f32(query, &rows[id as usize * d..(id as usize + 1) * d]) as f64
+        }),
+        Metric::L2 => scan_ids_by(ids, topk, |id| {
+            l2_f32(query, &rows[id as usize * d..(id as usize + 1) * d]) as f64
+        }),
     }
 }
 
@@ -363,6 +390,34 @@ impl Sq8Codebook {
         Sq8Codebook { bias, scale }
     }
 
+    /// Like [`Sq8Codebook::train`] but with **one shared scale** across
+    /// all dimensions: the widest per-dimension span divided by 255
+    /// (per-dimension bias is kept — it cancels out of code-to-code
+    /// differences). Encode, decode and serialization are unchanged;
+    /// what a uniform scale buys is the symmetric integer scan, where
+    /// `Σ_j scale_j · |q_j − c_j|` factors into
+    /// `scale · Σ_j |q_j − c_j|` — one byte-domain SAD and a single
+    /// multiply ([`sq8_sym_scan_ids`]). Narrow dimensions pay a slightly
+    /// coarser step (reflected honestly in
+    /// [`Sq8Codebook::l1_error_bound`]), which the over-fetch rescore
+    /// absorbs.
+    pub fn train_uniform(data: &[f32], d: usize) -> Sq8Codebook {
+        let mut cb = Sq8Codebook::train(data, d);
+        let widest = cb.scale.iter().fold(0.0f32, |a, &s| a.max(s));
+        cb.scale.fill(widest);
+        cb
+    }
+
+    /// The shared scale when every dimension uses the same one — `Some`
+    /// for [`Sq8Codebook::train_uniform`] codebooks (a bit-exact
+    /// property, preserved by serialization round trips), `None` for
+    /// per-dimension codebooks. Symmetric scans require `Some`; callers
+    /// fall back to the asymmetric kernels otherwise.
+    pub fn uniform_scale(&self) -> Option<f32> {
+        let s = *self.scale.first()?;
+        self.scale.iter().all(|&x| x == s).then_some(s)
+    }
+
     /// Dimensionality.
     pub fn dim(&self) -> usize {
         self.bias.len()
@@ -497,9 +552,62 @@ pub fn sq8_scan_ids(
     ids: &[u32],
     topk: &mut TopK,
 ) {
-    for &id in ids {
-        let row = &codes[id as usize * d..(id as usize + 1) * d];
-        topk.offer(id, sq8_dist(metric, query, row, cb));
+    scan_ids_by(ids, topk, |id| {
+        sq8_dist(
+            metric,
+            query,
+            &codes[id as usize * d..(id as usize + 1) * d],
+            cb,
+        )
+    });
+}
+
+/// Symmetric SQ8 distance between two code rows of a **uniform-scale**
+/// codebook (`scale` = [`Sq8Codebook::uniform_scale`]): the metric
+/// distance between the two *decoded* rows, computed without decoding —
+/// per-dimension bias cancels, so L1 is `scale · Σ|q_j − c_j|` and
+/// squared L2 is `scale² · Σ(q_j − c_j)²`, both exact integer sums
+/// scaled once at the end.
+#[inline]
+pub fn sq8_sym_dist(metric: Metric, qcodes: &[u8], codes: &[u8], scale: f32) -> f64 {
+    match metric {
+        Metric::L1 => dispatch::sad_scalar(qcodes, codes) as f64 * scale as f64,
+        Metric::L2 => dispatch::ssd_scalar(qcodes, codes) as f64 * scale as f64 * scale as f64,
+    }
+}
+
+/// Scans quantized rows against a quantized query (the symmetric SQ8
+/// inverted-list scan): byte-domain integer kernels resolved through
+/// [`dispatch`] once per call, no per-element decode. `qcodes` is the
+/// query encoded with the index's codebook, `scale` the codebook's
+/// uniform scale. Offered distances equal [`sq8_sym_dist`] for every
+/// dispatch level (the integer sums are bit-identical across scalar and
+/// SIMD paths).
+#[inline]
+pub fn sq8_sym_scan_ids(
+    metric: Metric,
+    qcodes: &[u8],
+    codes: &[u8],
+    d: usize,
+    scale: f32,
+    ids: &[u32],
+    topk: &mut TopK,
+) {
+    match metric {
+        Metric::L1 => {
+            let sad = dispatch::sad_fn();
+            let s = scale as f64;
+            scan_ids_by(ids, topk, |id| {
+                sad(qcodes, &codes[id as usize * d..(id as usize + 1) * d]) as f64 * s
+            });
+        }
+        Metric::L2 => {
+            let ssd = dispatch::ssd_fn();
+            let s2 = scale as f64 * scale as f64;
+            scan_ids_by(ids, topk, |id| {
+                ssd(qcodes, &codes[id as usize * d..(id as usize + 1) * d]) as f64 * s2
+            });
+        }
     }
 }
 
@@ -556,6 +664,11 @@ pub struct PqCodebook {
     /// Max per-row L1 reconstruction error observed over the encoded
     /// table ([`PqCodebook::encode_table`]); 0 until a table is encoded.
     l1_bound: f32,
+    /// Whether stored rows pack two 4-bit codes per byte (`nbits ≤ 4`):
+    /// subspace `2i` in the low nibble of byte `i`, `2i + 1` in the high
+    /// nibble, trailing nibble of an odd `m` always zero. Row stride is
+    /// [`PqCodebook::code_stride`] bytes either way.
+    packed: bool,
 }
 
 /// Lloyd iterations used by PQ sub-quantizer training.
@@ -584,6 +697,22 @@ fn adc_sum(lut: &[f32], codes: &[u8], ksub: usize) -> f32 {
     let mut acc = 0.0f32;
     for (s, &c) in codes.iter().enumerate() {
         acc += lut[s * ksub + c as usize];
+    }
+    acc
+}
+
+/// The packed-row ADC accumulation ([`pq_packed_scan_ids`],
+/// [`PqCodebook::lut_distance`]): two 4-bit codes per byte, low nibble =
+/// even subspace. The trailing high nibble of an odd `m` is skipped.
+#[inline]
+fn adc_sum_packed(lut: &[f32], row: &[u8], m: usize, ksub: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (i, &b) in row.iter().enumerate() {
+        let s = 2 * i;
+        acc += lut[s * ksub + (b & 0x0F) as usize];
+        if s + 1 < m {
+            acc += lut[(s + 1) * ksub + (b >> 4) as usize];
+        }
     }
     acc
 }
@@ -633,11 +762,13 @@ impl PqCodebook {
             offsets,
             centroids,
             l1_bound: 0.0,
+            packed: nbits <= 4,
         }
     }
 
-    /// Rebuilds a codebook from serialised parts (`IVF3` reader); `None`
-    /// when the field sizes are inconsistent.
+    /// Rebuilds a codebook from serialised parts (`IVF3`/`IVF4` readers);
+    /// `None` when the field sizes are inconsistent. `packed` must only
+    /// be set for `nbits ≤ 4` (two codes per byte need 4-bit codes).
     pub fn from_parts(
         d: usize,
         m: usize,
@@ -645,12 +776,14 @@ impl PqCodebook {
         ksub: usize,
         centroids: Vec<f32>,
         l1_bound: f32,
+        packed: bool,
     ) -> Option<PqCodebook> {
         if d == 0
             || m == 0
             || m > d
             || nbits == 0
             || nbits > 8
+            || (packed && nbits > 4)
             || ksub == 0
             || ksub > (1usize << nbits)
             || centroids.len() != ksub.checked_mul(d)?
@@ -665,6 +798,7 @@ impl PqCodebook {
             offsets: subspace_offsets(d, m),
             centroids,
             l1_bound,
+            packed,
         })
     }
 
@@ -681,6 +815,32 @@ impl PqCodebook {
     /// Centroids per subspace (`min(2^nbits, n)` at training time).
     pub fn ksub(&self) -> usize {
         self.ksub
+    }
+
+    /// Whether stored rows pack two 4-bit codes per byte.
+    pub fn packed(&self) -> bool {
+        self.packed
+    }
+
+    /// Bytes per stored code row: `ceil(m / 2)` when packed, `m` otherwise.
+    pub fn code_stride(&self) -> usize {
+        if self.packed {
+            self.m.div_ceil(2)
+        } else {
+            self.m
+        }
+    }
+
+    /// Code index of subspace `s` in a stored row (nibble extraction for
+    /// packed rows, plain byte otherwise).
+    #[inline]
+    pub fn code_at(&self, row: &[u8], s: usize) -> usize {
+        if self.packed {
+            let b = row[s / 2];
+            (if s.is_multiple_of(2) { b & 0x0F } else { b >> 4 }) as usize
+        } else {
+            row[s] as usize
+        }
     }
 
     /// Vector dimensionality.
@@ -700,13 +860,26 @@ impl PqCodebook {
         &self.centroids[at..at + self.ksub * dsub]
     }
 
-    /// Encodes one `d`-vector, appending `m` code bytes to `out`.
+    /// Encodes one `d`-vector, appending one stored code row
+    /// ([`PqCodebook::code_stride`] bytes) to `out` — nibble-packed when
+    /// the codebook is packed, one byte per subspace otherwise. The
+    /// trailing nibble of an odd packed `m` is always zero.
     pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
         debug_assert_eq!(v.len(), self.d);
+        let start = out.len();
+        if self.packed {
+            out.resize(start + self.code_stride(), 0);
+        }
         for s in 0..self.m {
             let sub = &v[self.offsets[s]..self.offsets[s + 1]];
             let dsub = sub.len();
-            out.push(argmin_row(Metric::L2, sub, self.sub_centroids(s), dsub) as u8);
+            let c = argmin_row(Metric::L2, sub, self.sub_centroids(s), dsub) as u8;
+            if self.packed {
+                // ksub ≤ 16, so `c` always fits in the nibble.
+                out[start + s / 2] |= if s % 2 == 0 { c } else { c << 4 };
+            } else {
+                out.push(c);
+            }
         }
     }
 
@@ -717,13 +890,14 @@ impl PqCodebook {
     pub fn encode_table(&mut self, data: &[f32]) -> Vec<u8> {
         assert!(data.len().is_multiple_of(self.d), "table must be (n, d)");
         let n = data.len() / self.d;
-        let mut codes = vec![0u8; n * self.m];
+        let stride = self.code_stride();
+        let mut codes = vec![0u8; n * stride];
         let per = pool::rows_per_lane(n);
         let this = &*self;
-        pool::par_chunks_mut(&mut codes, per * self.m, |c, chunk| {
+        pool::par_chunks_mut(&mut codes, per * stride, |c, chunk| {
             let start = c * per;
-            let mut scratch = Vec::with_capacity(this.m);
-            for (i, crow) in chunk.chunks_exact_mut(this.m).enumerate() {
+            let mut scratch = Vec::with_capacity(stride);
+            for (i, crow) in chunk.chunks_exact_mut(stride).enumerate() {
                 scratch.clear();
                 this.encode_into(
                     &data[(start + i) * this.d..(start + i + 1) * this.d],
@@ -734,7 +908,7 @@ impl PqCodebook {
         });
         let mut worst = 0.0f32;
         let mut decoded = vec![0.0f32; self.d];
-        for (row, crow) in data.chunks_exact(self.d).zip(codes.chunks_exact(self.m)) {
+        for (row, crow) in data.chunks_exact(self.d).zip(codes.chunks_exact(stride)) {
             self.decode_into(crow, &mut decoded);
             worst = worst.max(l1_f32(row, &decoded));
         }
@@ -742,13 +916,15 @@ impl PqCodebook {
         codes
     }
 
-    /// Decodes one code row into `out[..d]` (centroid gather).
+    /// Decodes one stored code row ([`PqCodebook::code_stride`] bytes)
+    /// into `out[..d]` (centroid gather).
     pub fn decode_into(&self, codes: &[u8], out: &mut [f32]) {
-        debug_assert_eq!(codes.len(), self.m);
+        debug_assert_eq!(codes.len(), self.code_stride());
         debug_assert_eq!(out.len(), self.d);
-        for (s, &c) in codes.iter().enumerate() {
+        for s in 0..self.m {
+            let c = self.code_at(codes, s);
             let dsub = self.offsets[s + 1] - self.offsets[s];
-            let cen = &self.sub_centroids(s)[c as usize * dsub..(c as usize + 1) * dsub];
+            let cen = &self.sub_centroids(s)[c * dsub..(c + 1) * dsub];
             out[self.offsets[s]..self.offsets[s + 1]].copy_from_slice(cen);
         }
     }
@@ -781,8 +957,12 @@ impl PqCodebook {
     #[inline]
     pub fn lut_distance(&self, lut: &[f32], codes: &[u8]) -> f64 {
         debug_assert_eq!(lut.len(), self.m * self.ksub);
-        debug_assert_eq!(codes.len(), self.m);
-        adc_sum(lut, codes, self.ksub) as f64
+        debug_assert_eq!(codes.len(), self.code_stride());
+        if self.packed {
+            adc_sum_packed(lut, codes, self.m, self.ksub) as f64
+        } else {
+            adc_sum(lut, codes, self.ksub) as f64
+        }
     }
 
     /// Worst-case L1 distance error of any row encoded by the last
@@ -850,10 +1030,34 @@ fn kmeans_subspace(sub: &[f32], dsub: usize, ksub: usize, out: &mut [f32], rng: 
 /// `lut` the current query's `m × ksub` ADC table).
 #[inline]
 pub fn pq_scan_ids(lut: &[f32], codes: &[u8], m: usize, ksub: usize, ids: &[u32], topk: &mut TopK) {
-    for &id in ids {
-        let crow = &codes[id as usize * m..(id as usize + 1) * m];
-        topk.offer(id, adc_sum(lut, crow, ksub) as f64);
-    }
+    scan_ids_by(ids, topk, |id| {
+        adc_sum(lut, &codes[id as usize * m..(id as usize + 1) * m], ksub) as f64
+    });
+}
+
+/// Scans nibble-packed PQ code rows by gather list (the `nbits ≤ 4`
+/// inverted-list scan): `codes` is the full `(n, stride)` packed table
+/// with `stride = ceil(m / 2)`, `lut` the current query's `m × ksub`
+/// ADC table — at `ksub ≤ 16` each subspace's LUT slice fits in one or
+/// two cache lines, so the whole table stays L1-resident.
+#[inline]
+pub fn pq_packed_scan_ids(
+    lut: &[f32],
+    codes: &[u8],
+    stride: usize,
+    m: usize,
+    ksub: usize,
+    ids: &[u32],
+    topk: &mut TopK,
+) {
+    scan_ids_by(ids, topk, |id| {
+        adc_sum_packed(
+            lut,
+            &codes[id as usize * stride..(id as usize + 1) * stride],
+            m,
+            ksub,
+        ) as f64
+    });
 }
 
 #[cfg(test)]
@@ -1042,6 +1246,182 @@ mod tests {
         want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         want.truncate(5);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pq4_pack_roundtrip_is_bit_exact_with_odd_m() {
+        // Packed rows must hold exactly the codes an unpacked twin
+        // produces — low nibble = even subspace — and the trailing
+        // nibble of an odd m must stay zero.
+        let d = 10;
+        let n = 80;
+        let data = randv(n * d, 41);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut cb = PqCodebook::train(&data, d, 3, 4, &mut rng);
+        assert!(cb.packed());
+        assert_eq!(cb.code_stride(), 2, "ceil(3 / 2) bytes per row");
+        let codes = cb.encode_table(&data);
+        assert_eq!(codes.len(), n * 2);
+        // Unpacked twin over the same centroids.
+        let twin = PqCodebook::from_parts(
+            d,
+            cb.m(),
+            cb.nbits(),
+            cb.ksub(),
+            cb.centroids().to_vec(),
+            cb.l1_bound_raw(),
+            false,
+        )
+        .expect("twin parts are consistent");
+        let mut want = Vec::new();
+        for (row, crow) in data.chunks_exact(d).zip(codes.chunks_exact(2)) {
+            want.clear();
+            twin.encode_into(row, &mut want);
+            for (s, &w) in want.iter().enumerate().take(cb.m()) {
+                assert_eq!(cb.code_at(crow, s), w as usize);
+            }
+            assert_eq!(crow[1] >> 4, 0, "trailing nibble of odd m is zero");
+        }
+        // Packed decode gathers the same centroids as the twin's.
+        let mut dec = vec![0.0f32; d];
+        let mut tdec = vec![0.0f32; d];
+        let mut tcodes = Vec::new();
+        for (row, crow) in data.chunks_exact(d).zip(codes.chunks_exact(2)) {
+            cb.decode_into(crow, &mut dec);
+            tcodes.clear();
+            twin.encode_into(row, &mut tcodes);
+            twin.decode_into(&tcodes, &mut tdec);
+            assert_eq!(dec, tdec);
+        }
+    }
+
+    #[test]
+    fn pq4_packed_scan_matches_lut_distance() {
+        let d = 12;
+        let n = 96;
+        let data = randv(n * d, 43);
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut cb = PqCodebook::train(&data, d, 5, 4, &mut rng);
+        let codes = cb.encode_table(&data);
+        let stride = cb.code_stride();
+        let q = randv(d, 45);
+        let mut lut = Vec::new();
+        let mut decoded = vec![0.0f32; d];
+        for metric in [Metric::L1, Metric::L2] {
+            cb.build_lut_into(metric, &q, &mut lut);
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let mut topk = TopK::new(7);
+            pq_packed_scan_ids(&lut, &codes, stride, cb.m(), cb.ksub(), &ids, &mut topk);
+            let got = topk.into_sorted();
+            let mut want: Vec<(u32, f64)> = (0..n)
+                .map(|i| {
+                    (
+                        i as u32,
+                        cb.lut_distance(&lut, &codes[i * stride..(i + 1) * stride]),
+                    )
+                })
+                .collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            want.truncate(7);
+            assert_eq!(got, want);
+            // And the ADC value is the decoded-row distance.
+            for (i, crow) in codes.chunks_exact(stride).take(20).enumerate() {
+                cb.decode_into(crow, &mut decoded);
+                let exact = dist(metric, &q, &decoded);
+                let adc = cb.lut_distance(&lut, crow);
+                assert!((exact - adc).abs() < 1e-4, "row {i}: {exact} vs {adc}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_codebook_has_one_scale_and_bounded_roundtrip() {
+        let d = 16;
+        let data = randv(200 * d, 51);
+        let cb = Sq8Codebook::train_uniform(&data, d);
+        let s = cb.uniform_scale().expect("trained uniform");
+        assert!(s > 0.0);
+        // Per-dim training on the same data is NOT uniform (distinct spans).
+        assert_eq!(Sq8Codebook::train(&data, d).uniform_scale(), None);
+        // The shared scale is the widest span, so every value still
+        // round-trips within half a step.
+        let mut codes = Vec::new();
+        let mut dec = vec![0.0f32; d];
+        for row in data.chunks_exact(d).take(50) {
+            codes.clear();
+            cb.encode_into(row, &mut codes);
+            cb.decode_into(&codes, &mut dec);
+            for (&v, &w) in row.iter().zip(&dec) {
+                assert!((v - w).abs() <= s / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_distance_equals_decoded_distance() {
+        // sym(q, row) must be *exactly* the metric distance between the
+        // two decoded vectors: biases cancel, scale factors out.
+        let d = 24;
+        let n = 64;
+        let data = randv(n * d, 53);
+        let cb = Sq8Codebook::train_uniform(&data, d);
+        let s = cb.uniform_scale().expect("uniform");
+        let q = randv(d, 54);
+        let mut qcodes = Vec::new();
+        cb.encode_into(&q, &mut qcodes);
+        let mut codes = Vec::new();
+        for row in data.chunks_exact(d) {
+            cb.encode_into(row, &mut codes);
+        }
+        let mut qdec = vec![0.0f32; d];
+        let mut rdec = vec![0.0f32; d];
+        cb.decode_into(&qcodes, &mut qdec);
+        for metric in [Metric::L1, Metric::L2] {
+            for i in 0..n {
+                let crow = &codes[i * d..(i + 1) * d];
+                cb.decode_into(crow, &mut rdec);
+                let want = dist(metric, &qdec, &rdec);
+                let got = sq8_sym_dist(metric, &qcodes, crow, s);
+                let tol = want.abs().max(1.0) * 1e-5;
+                assert!(
+                    (want - got).abs() <= tol,
+                    "{metric:?} row {i}: {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_scan_matches_symmetric_distance() {
+        let d = 16;
+        let n = 128;
+        let data = randv(n * d, 55);
+        let cb = Sq8Codebook::train_uniform(&data, d);
+        let s = cb.uniform_scale().expect("uniform");
+        let q = randv(d, 56);
+        let mut qcodes = Vec::new();
+        cb.encode_into(&q, &mut qcodes);
+        let mut codes = Vec::new();
+        for row in data.chunks_exact(d) {
+            cb.encode_into(row, &mut codes);
+        }
+        let ids: Vec<u32> = (0..n as u32).collect();
+        for metric in [Metric::L1, Metric::L2] {
+            let mut topk = TopK::new(9);
+            sq8_sym_scan_ids(metric, &qcodes, &codes, d, s, &ids, &mut topk);
+            let got = topk.into_sorted();
+            let mut want: Vec<(u32, f64)> = (0..n)
+                .map(|i| {
+                    (
+                        i as u32,
+                        sq8_sym_dist(metric, &qcodes, &codes[i * d..(i + 1) * d], s),
+                    )
+                })
+                .collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            want.truncate(9);
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //! scalar quantizer ([`Sq8Codebook`]) behind
 //! [`Quantization::Sq8`]-configured indexes, and the product quantizer
 //! ([`PqCodebook`], ADC lookup-table scans) behind [`Quantization::Pq`].
-//! DESIGN.md §10 documents the storage layouts and the over-fetch /
-//! rescore recall math shared by both quantizers.
+//! Integer scan kernels (symmetric SQ8 under [`ScanMode::Symmetric`])
+//! pick AVX-512/AVX2/scalar implementations at runtime through
+//! [`kernels::dispatch`]. DESIGN.md §10 documents the storage layouts
+//! and the over-fetch / rescore recall math shared by both quantizers;
+//! §12 covers the integer kernels and CPU dispatch.
 
 #![warn(missing_docs)]
 
@@ -31,8 +34,8 @@ pub mod mutable;
 
 pub use hausdorff_index::SegmentHausdorffIndex;
 pub use ivf::{
-    brute_force_batch_knn, brute_force_knn, IvfIndex, Metric, Quantization, SearchScratch,
-    DEFAULT_PQ_M, DEFAULT_RESCORE_FACTOR,
+    brute_force_batch_knn, brute_force_knn, IvfIndex, Metric, Quantization, ScanMode,
+    SearchScratch, DEFAULT_PQ_M, DEFAULT_RESCORE_FACTOR,
 };
 pub use kernels::{PqCodebook, Sq8Codebook, TopK};
 pub use mutable::{ExactRescorer, IndexOptions, IndexSnapshot, MutableIndex};

@@ -43,7 +43,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trajcl_tensor::{Shape, Tensor};
 
-use crate::ivf::{brute_force_knn, IvfIndex, Metric, Quantization, DEFAULT_RESCORE_FACTOR};
+use crate::ivf::{
+    brute_force_knn, IvfIndex, Metric, Quantization, ScanMode, DEFAULT_RESCORE_FACTOR,
+};
 
 /// Construction options for a [`MutableIndex`]: how the sealed part is
 /// trained and stored.
@@ -64,6 +66,10 @@ pub struct IndexOptions {
     /// callers that rescore against an exact table
     /// ([`IndexSnapshot::search_rescored`]).
     pub rescore_factor: usize,
+    /// Scan kernel of the sealed part ([`ScanMode::Symmetric`] trains a
+    /// uniform-scale SQ8 codebook and scans in integer arithmetic;
+    /// ignored by f32/PQ storage).
+    pub scan: ScanMode,
 }
 
 impl Default for IndexOptions {
@@ -73,6 +79,7 @@ impl Default for IndexOptions {
             seed: 0,
             quantization: Quantization::None,
             rescore_factor: DEFAULT_RESCORE_FACTOR,
+            scan: ScanMode::Asymmetric,
         }
     }
 }
@@ -565,12 +572,13 @@ impl MutableIndex {
                     // Deterministic retrain: seed varies with generation so
                     // repeated compactions don't re-use degenerate inits.
                     let mut rng = StdRng::seed_from_u64(self.opts.seed ^ w.generation);
-                    Sealed::Ivf(IvfIndex::build_with(
+                    Sealed::Ivf(IvfIndex::build_with_scan(
                         &table,
                         nlist,
                         self.metric,
                         self.opts.quantization,
                         self.opts.rescore_factor,
+                        self.opts.scan,
                         &mut rng,
                     ))
                 }

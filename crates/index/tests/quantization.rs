@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use trajcl_index::{brute_force_knn, IvfIndex, Metric, Quantization};
+use trajcl_index::{brute_force_knn, IvfIndex, Metric, Quantization, ScanMode};
 use trajcl_tensor::{Shape, Tensor};
 
 /// Clustered table: rows scattered around `centers` Gaussian centers (the
@@ -93,7 +93,9 @@ proptest! {
             &mut rng,
         );
         let bytes = index.to_bytes();
-        prop_assert_eq!(&bytes[..4], b"IVF3");
+        // nbits ≤ 4 packs two codes per byte, which needs the IVF4
+        // section; wider codes keep the legacy IVF3 layout.
+        prop_assert_eq!(&bytes[..4], if nbits <= 4 { &b"IVF4"[..] } else { &b"IVF3"[..] });
         let restored = IvfIndex::from_bytes(&bytes).expect("valid bytes must deserialize");
         prop_assert_eq!(restored.to_bytes(), bytes, "round trip must be bit-exact");
         prop_assert_eq!(restored.len(), index.len());
@@ -104,6 +106,105 @@ proptest! {
             restored.pq_codebook().map(|cb| (cb.m(), cb.nbits(), cb.ksub())),
             index.pq_codebook().map(|cb| (cb.m(), cb.nbits(), cb.ksub()))
         );
+        for qi in [0, n / 2, n - 1] {
+            prop_assert_eq!(
+                restored.search(emb.row(qi), 5, 3),
+                index.search(emb.row(qi), 5, 3),
+                "restored index diverged on query {}", qi
+            );
+            prop_assert_eq!(
+                restored.search_rescored(emb.row(qi), 5, 3, Some(&emb)),
+                index.search_rescored(emb.row(qi), 5, 3, Some(&emb))
+            );
+        }
+    }
+
+    // The symmetric-scan acceptance property: integer (code × code)
+    // distances must stay within the derived codebook error bound of the
+    // asymmetric ones. sym = L1(decode(enc(q)), decode(codes)) and
+    // asym = L1(q, decode(codes)) differ by at most L1(q, decode(enc(q)))
+    // ≤ Σ_j scale_j / 2 (the triangle inequality), provided q lies inside
+    // the trained box — so queries are drawn as convex combinations of
+    // table rows.
+    #[test]
+    fn symmetric_distances_stay_within_codebook_bound_of_asymmetric(
+        n in 10usize..150,
+        d in 2usize..24,
+        nlist in 1usize..12,
+        metric_l2 in 0u32..2,
+        qa in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let metric = if metric_l2 == 1 { Metric::L2 } else { Metric::L1 };
+        let emb = mixture(n, d, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let sym = IvfIndex::build_with_scan(
+            &emb, nlist, metric, Quantization::Sq8, 4, ScanMode::Symmetric, &mut rng,
+        );
+        let cb = sym.codebook().expect("sq8 storage");
+        let scale = cb.uniform_scale().expect("symmetric build trains uniform");
+        // In-box query: a convex combination of two table rows.
+        let (r0, r1) = (emb.row(0), emb.row(n / 2));
+        let q: Vec<f32> = r0
+            .iter()
+            .zip(r1)
+            .map(|(&a, &b)| (qa as f32) * a + (1.0 - qa as f32) * b)
+            .collect();
+        // Compare the two kernels row by row over the same codebook.
+        let mut qcodes = Vec::new();
+        cb.encode_into(&q, &mut qcodes);
+        let mut codes_row = Vec::new();
+        let half = 0.5f64 * scale as f64;
+        for i in 0..n {
+            codes_row.clear();
+            cb.encode_into(emb.row(i), &mut codes_row);
+            let sym_d = trajcl_index::kernels::sq8_sym_dist(metric, &qcodes, &codes_row, scale);
+            let asym_d = trajcl_index::kernels::sq8_dist(metric, &q, &codes_row, cb);
+            match metric {
+                Metric::L1 => {
+                    // |sym - asym| ≤ Σ_j |q_j - dec(enc(q))_j| ≤ d · scale/2.
+                    let bound = d as f64 * half + 1e-4;
+                    prop_assert!(
+                        (sym_d - asym_d).abs() <= bound,
+                        "row {}: sym {} vs asym {} (bound {})", i, sym_d, asym_d, bound
+                    );
+                }
+                Metric::L2 => {
+                    // √sym and √asym are Euclidean norms differing by the
+                    // norm of the encode error: |√sym - √asym| ≤ √(d)·scale/2.
+                    let bound = (d as f64).sqrt() * half + 1e-4;
+                    prop_assert!(
+                        (sym_d.sqrt() - asym_d.sqrt()).abs() <= bound,
+                        "row {}: √sym {} vs √asym {} (bound {})",
+                        i, sym_d.sqrt(), asym_d.sqrt(), bound
+                    );
+                }
+            }
+        }
+    }
+
+    // Symmetric SQ8 indexes round-trip through IVF4 bit-exactly with the
+    // scan mode preserved, and restored indexes search identically.
+    #[test]
+    fn symmetric_sq8_round_trips_bit_exactly(
+        n in 10usize..150,
+        d in 2usize..24,
+        nlist in 1usize..12,
+        rescore in 1usize..9,
+        metric_l2 in 0u32..2,
+        seed in 0u64..1000,
+    ) {
+        let metric = if metric_l2 == 1 { Metric::L2 } else { Metric::L1 };
+        let emb = mixture(n, d, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let index = IvfIndex::build_with_scan(
+            &emb, nlist, metric, Quantization::Sq8, rescore, ScanMode::Symmetric, &mut rng,
+        );
+        let bytes = index.to_bytes();
+        prop_assert_eq!(&bytes[..4], b"IVF4");
+        let restored = IvfIndex::from_bytes(&bytes).expect("valid bytes must deserialize");
+        prop_assert_eq!(restored.to_bytes(), bytes, "round trip must be bit-exact");
+        prop_assert_eq!(restored.scan_mode(), ScanMode::Symmetric);
         for qi in [0, n / 2, n - 1] {
             prop_assert_eq!(
                 restored.search(emb.row(qi), 5, 3),
@@ -221,6 +322,53 @@ fn pq_recall_gate_at_partial_probe() {
     for (id, dist) in pq.search_rescored(q, k, nprobe, Some(&emb)) {
         assert_eq!(dist, Metric::L1.dist(q, emb.row(id as usize)));
     }
+}
+
+// The symmetric-scan acceptance gate: quantizing the query too must not
+// drop rescored recall@10 below 0.90 (in practice it matches asymmetric
+// almost exactly — the rescore absorbs the extra half-step of error).
+#[test]
+fn symmetric_recall_gate_at_partial_probe() {
+    let (n, d, nlist, nprobe, k) = (4000, 32, 32, 8, 10);
+    let emb = mixture(n, d, 16, 77);
+    let mut rng = StdRng::seed_from_u64(78);
+    let sym = IvfIndex::build_with_scan(
+        &emb,
+        nlist,
+        Metric::L1,
+        Quantization::Sq8,
+        4,
+        ScanMode::Symmetric,
+        &mut rng,
+    );
+    let rescored = measured_recall(&sym, &emb, nprobe, k, true);
+    assert!(
+        rescored >= 0.90,
+        "IVF+SQ8 symmetric (rescored) recall@10 gate failed: {rescored:.4} < 0.90"
+    );
+}
+
+// The pq4 acceptance gate: nibble-packed 4-bit codes with a deep
+// over-fetch must still clear rescored recall@10 >= 0.90.
+#[test]
+fn pq4_recall_gate_at_partial_probe() {
+    let (n, d, nlist, nprobe, k) = (4000, 32, 32, 8, 10);
+    let emb = mixture(n, d, 16, 77);
+    let mut rng = StdRng::seed_from_u64(78);
+    let pq4 = IvfIndex::build_with(
+        &emb,
+        nlist,
+        Metric::L1,
+        Quantization::Pq { m: 8, nbits: 4 },
+        32,
+        &mut rng,
+    );
+    assert!(pq4.pq_codebook().expect("pq").packed());
+    let rescored = measured_recall(&pq4, &emb, nprobe, k, true);
+    assert!(
+        rescored >= 0.90,
+        "IVF+PQ4 (rescored) recall@10 gate failed: {rescored:.4} < 0.90"
+    );
 }
 
 // Rescored distances are exact f32 distances: merged rankings (e.g. the

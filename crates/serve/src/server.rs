@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{ExactRescorer, IndexOptions, Metric, MutableIndex, Quantization};
+use trajcl_index::{ExactRescorer, IndexOptions, Metric, MutableIndex, Quantization, ScanMode};
 use trajcl_tensor::Tensor;
 
 use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
@@ -53,6 +53,12 @@ pub struct ServeConfig {
     /// quantized rows) within the codebook's error bound — except where
     /// [`ServeConfig::rescore_sealed`] recovers exact values.
     pub quantization: Option<Quantization>,
+    /// Scan kernel for the sealed quantized part; `None` inherits the
+    /// engine's configuration. [`ScanMode::Symmetric`] quantizes queries
+    /// with the sealed SQ8 codebook too and scans in integer arithmetic
+    /// (runtime-dispatched SIMD kernels); exactness of served distances
+    /// is unchanged wherever [`ServeConfig::rescore_sealed`] applies.
+    pub scan: Option<ScanMode>,
     /// Rescore sealed quantized hits against the engine's cached exact
     /// embedding table (default `true`). Ids seeded from the engine's
     /// database and never re-upserted since still match that table, so
@@ -74,6 +80,7 @@ impl Default for ServeConfig {
             cache_cap: 4096,
             ivf_nlist: None,
             quantization: None,
+            scan: None,
             rescore_sealed: true,
         }
     }
@@ -176,6 +183,7 @@ impl Server {
             seed: engine.seed(),
             quantization: cfg.quantization.unwrap_or(engine.quantization()),
             rescore_factor: engine.rescore_factor(),
+            scan: cfg.scan.unwrap_or(engine.scan_mode()),
         };
         let index = match engine.embeddings() {
             Some(table) => MutableIndex::from_table_with(

@@ -636,6 +636,7 @@ proptest! {
                 seed,
                 quantization: Quantization::Sq8,
                 rescore_factor: 4,
+                ..Default::default()
             },
         );
         let mut live: HashMap<u64, Vec<f32>> = HashMap::new();
