@@ -12,20 +12,35 @@
 //! * `serve_cold` — same runtime with the cache disabled and a query pool
 //!   larger than any batch, isolating the batcher itself.
 //!
+//! With `--transport tcp` the scenarios instead run over a live TCP
+//! listener (`trajcl_serve::net`), sweeping the shard count 1/4/16:
+//!
+//! * `tcp_write_sN` — 8 client connections stream upsert frames over a
+//!   working set of [`WRITE_IDS`] ids (trajectory pool small enough that
+//!   the LRU embedding cache absorbs the encoder — the cell measures the
+//!   index write path, which is what sharding changes);
+//! * `tcp_knn_sN` — the same connections issue kNN frames against the
+//!   hot pool after a compact (the sealed scatter-gather read path).
+//!
+//! The sweep first asserts sharded kNN is bit-identical to unsharded
+//! over the engine's exact table (the merge-correctness leg).
+//!
 //! Usage:
-//!   load_gen [--quick] [--label NAME] [--out BENCH_serve.json]
-//!            [--check BENCH_serve.json]
+//!   load_gen [--quick] [--label NAME] [--transport inproc|tcp]
+//!            [--out BENCH_serve.json] [--check BENCH_serve.json]
 //!
 //! * default: measure and append a run entry to `--out`;
-//! * `--check FILE`: measure, compare the 8-client serving ratios
-//!   (hot/cold qps speedup over the in-run mutex baseline, cold p99 tail
-//!   ratio) against the last entry in FILE, and exit non-zero when any
-//!   regressed more than 30% (the CI serve gate — ratios, not raw
-//!   numbers, so the committed baseline is portable across machines).
-//!   Nothing is written.
+//! * `--check FILE`: measure and exit non-zero on a regression; nothing
+//!   is written. In-process, the 8-client serving ratios (hot/cold qps
+//!   speedup over the in-run mutex baseline, cold p99 tail ratio) are
+//!   compared against the last entry in FILE with a 30% budget — ratios,
+//!   not raw numbers, so the committed baseline is portable across
+//!   machines. Over TCP the shard gate is within-run and absolute
+//!   (4-shard write throughput >= 1.5x 1-shard, 4-shard read p99 no
+//!   worse than the tail-noise band), so FILE is not consulted.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -34,7 +49,8 @@ use trajcl_bench::snapfile::{append_run, git_commit, last_value};
 use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
 use trajcl_engine::Engine;
 use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
-use trajcl_serve::{ServeConfig, Server};
+use trajcl_index::{IndexOptions, Metric, ShardedIndex};
+use trajcl_serve::{Client, ServeConfig, Server};
 use trajcl_tensor::{Shape, Tensor};
 
 /// Maximum tolerated qps-ratio regression vs. the baseline.
@@ -55,6 +71,35 @@ const DB_SIZE: usize = 256;
 /// Batcher workers, pinned (not `available_parallelism`) so gated numbers
 /// are comparable across runners with different core counts.
 const WORKERS: usize = 2;
+
+/// Shard counts swept by `--transport tcp`.
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+/// Client connections for the TCP cells (matches the gated in-process
+/// thread count).
+const TCP_CLIENTS: usize = 8;
+/// Distinct ids the write cell cycles through — the steady-state write
+/// buffer size, prewarmed in-process before the cell so every measured
+/// upsert pays the full O(buffer / shards) publish clone. Sized so that
+/// clone dominates the per-request fixed cost (frame parse, cache
+/// lookup, socket round trip) even on a single-core runner.
+const WRITE_IDS: usize = 16384;
+/// Distinct trajectories behind those ids: small enough that the LRU
+/// embedding cache absorbs the encoder after warmup, so the cell
+/// measures the index write path (buffer publish + dirty tracking) that
+/// sharding actually changes.
+const WRITE_POOL: usize = 64;
+/// Id offset for write-cell ids, clear of the seeded database rows.
+const WRITE_BASE: u64 = 1 << 20;
+/// CI floor on 4-shard / 1-shard write throughput. Each upsert publishes
+/// a copy-on-write clone of its shard's buffer, an O(per-shard buffer)
+/// cost — four shards cut it ~4x even on a single-core runner, so 1.5x
+/// leaves wide headroom.
+const SHARD_WRITE_FLOOR: f64 = 1.5;
+/// CI ceiling on 4-shard / 1-shard read p99: "does not regress", with
+/// the same quick-window tail-noise allowance philosophy as
+/// [`TAIL_REGRESSION`] (p99 over a short window rests on a handful of
+/// samples).
+const SHARD_TAIL_CEILING: f64 = 1.5;
 
 fn engine() -> Engine {
     let mut rng = StdRng::seed_from_u64(0);
@@ -165,6 +210,10 @@ struct Snapshot {
     commit: String,
     label: String,
     quick: bool,
+    /// Which transport carried the cells (`"inproc"` or `"tcp"`).
+    transport: &'static str,
+    /// Shard counts the cells cover (`[1]` in-process, the sweep on TCP).
+    shards: Vec<usize>,
     /// (scenario, threads, cell)
     cells: Vec<(&'static str, usize, Cell)>,
 }
@@ -174,11 +223,14 @@ impl Snapshot {
         // `cpu`/`force_scalar` record the integer-kernel dispatch decision
         // (index scans under symmetric SQ8 route through it), keeping rows
         // from different machines comparable.
+        let shard_list: Vec<String> = self.shards.iter().map(|s| s.to_string()).collect();
         let mut s = format!(
-            "{{\"commit\":\"{}\",\"label\":\"{}\",\"quick\":{},\"cpu\":\"{}\",\"force_scalar\":{},\"hot\":{HOT_QUERIES},\"db\":{DB_SIZE}",
+            "{{\"commit\":\"{}\",\"label\":\"{}\",\"quick\":{},\"transport\":\"{}\",\"shards\":[{}],\"cpu\":\"{}\",\"force_scalar\":{},\"hot\":{HOT_QUERIES},\"db\":{DB_SIZE}",
             self.commit,
             self.label,
             self.quick,
+            self.transport,
+            shard_list.join(","),
             trajcl_index::kernels::dispatch::description(),
             trajcl_index::kernels::dispatch::forced_scalar()
         );
@@ -201,8 +253,24 @@ impl Snapshot {
                 sc.p99_us / m.p99_us
             ));
         }
+        // Shard-sweep ratios (TCP runs): what the sharding gate reads.
+        if let Some((w, r)) = self.shard_ratios() {
+            s.push_str(&format!(
+                ",\"shard4_write_speedup\":{w:.3},\"shard4_read_tail_ratio\":{r:.3}"
+            ));
+        }
         s.push('}');
         s
+    }
+
+    /// 4-shard-over-1-shard (write qps speedup, read p99 tail ratio),
+    /// when both sweep points were measured.
+    fn shard_ratios(&self) -> Option<(f64, f64)> {
+        let w1 = self.cell("tcp_write_s1", TCP_CLIENTS)?;
+        let w4 = self.cell("tcp_write_s4", TCP_CLIENTS)?;
+        let r1 = self.cell("tcp_knn_s1", TCP_CLIENTS)?;
+        let r4 = self.cell("tcp_knn_s4", TCP_CLIENTS)?;
+        Some((w4.qps / w1.qps, r4.p99_us / r1.p99_us))
     }
 
     fn cell(&self, name: &str, threads: usize) -> Option<&Cell> {
@@ -287,6 +355,161 @@ fn measure_all(quick: bool, label: &str) -> Snapshot {
         commit: git_commit(),
         label: label.to_string(),
         quick,
+        transport: "inproc",
+        shards: vec![1],
+        cells,
+    }
+}
+
+/// A trajectory as the wire protocol's `[[x,y],...]` point array.
+fn traj_json(t: &Trajectory) -> String {
+    let pts: Vec<String> = t
+        .points()
+        .iter()
+        .map(|p| format!("[{},{}]", p.x, p.y))
+        .collect();
+    format!("[{}]", pts.join(","))
+}
+
+/// Static scenario names per sweep point (`Snapshot::cells` keys are
+/// `&'static str`).
+fn shard_cell_names(shards: usize) -> (&'static str, &'static str) {
+    match shards {
+        1 => ("tcp_write_s1", "tcp_knn_s1"),
+        4 => ("tcp_write_s4", "tcp_knn_s4"),
+        16 => ("tcp_write_s16", "tcp_knn_s16"),
+        _ => unreachable!("sweep shard counts are fixed"),
+    }
+}
+
+/// Asserts scatter-gather kNN over N shards is bit-identical to the
+/// 1-shard index on the engine's exact embedding table — the
+/// merge-correctness leg of the serve gate (exact storage; quantized
+/// shards train per-shard codebooks and are equivalence-tested at the
+/// recall level elsewhere).
+fn verify_sharded_equivalence(engine: &Engine) {
+    let table = engine.embeddings().expect("engine has a database");
+    let ids: Vec<u64> = (0..table.shape().rows() as u64).collect();
+    let opts = IndexOptions::default();
+    let baseline = ShardedIndex::from_table_with(ids.clone(), table, Metric::L1, opts, 1);
+    for &shards in &SHARD_COUNTS[1..] {
+        let sharded = ShardedIndex::from_table_with(ids.clone(), table, Metric::L1, opts, shards);
+        for q in (0..table.shape().rows()).step_by(7) {
+            let query = table.row(q);
+            let want = baseline.search(query, K, usize::MAX);
+            let got = sharded.search(query, K, usize::MAX);
+            let same = want.len() == got.len()
+                && want
+                    .iter()
+                    .zip(&got)
+                    .all(|(w, g)| w.0 == g.0 && w.1.to_bits() == g.1.to_bits());
+            assert!(
+                same,
+                "sharded kNN diverged from unsharded at {shards} shards (query {q}):\n  want {want:?}\n  got  {got:?}"
+            );
+        }
+    }
+    eprintln!(
+        "equivalence: sharded kNN bit-identical to unsharded at {:?} shards",
+        &SHARD_COUNTS[1..]
+    );
+}
+
+/// The TCP shard sweep: per shard count, a write cell then (after a
+/// compact) a read cell, both through [`TCP_CLIENTS`] real socket
+/// connections against a listener on a free port.
+fn measure_tcp(quick: bool, label: &str) -> Snapshot {
+    let (warmup, measure) = if quick {
+        (Duration::from_millis(100), Duration::from_millis(400))
+    } else {
+        (Duration::from_millis(250), Duration::from_millis(1500))
+    };
+    let engine = Arc::new(engine());
+    verify_sharded_equivalence(&engine);
+    let hot = workload(HOT_QUERIES, 7);
+    let knn_payloads: Vec<String> = hot
+        .iter()
+        .map(|t| format!("{{\"op\":\"knn\",\"traj\":{},\"k\":{K}}}", traj_json(t)))
+        .collect();
+    let write_pool = workload(WRITE_POOL, 21);
+    let write_trajs: Vec<String> = write_pool.iter().map(traj_json).collect();
+    let mut cells = Vec::new();
+
+    for &shards in &SHARD_COUNTS {
+        let server = Arc::new(
+            Server::new(
+                Arc::clone(&engine),
+                ServeConfig {
+                    workers: WORKERS,
+                    shards: Some(shards),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("server"),
+        );
+        let net =
+            trajcl_serve::net::listen(Arc::clone(&server), "127.0.0.1:0", WORKERS).expect("listen");
+        let addr = net.local_addr().to_string();
+        let clients: Vec<Mutex<Client>> = (0..TCP_CLIENTS)
+            .map(|_| Mutex::new(Client::connect(&addr).expect("connect")))
+            .collect();
+        let (write_name, read_name) = shard_cell_names(shards);
+
+        // Bring the write buffer to its steady-state size in-process (and
+        // warm the embedding cache): the cell then measures replaces at a
+        // constant buffer size, not inserts into a growing prefix.
+        for j in 0..WRITE_IDS {
+            server
+                .upsert(WRITE_BASE + j as u64, &write_pool[j % write_pool.len()])
+                .expect("prewarm upsert");
+        }
+        let cell = run_cell(TCP_CLIENTS, warmup, measure, |client, i| {
+            let payload = format!(
+                "{{\"op\":\"upsert\",\"id\":{},\"traj\":{}}}",
+                WRITE_BASE + (i % WRITE_IDS) as u64,
+                write_trajs[i % write_trajs.len()]
+            );
+            let reply = clients[client]
+                .lock()
+                .expect("client mutex")
+                .call(&payload)
+                .expect("upsert reply");
+            assert!(reply.contains("\"ok\":true"), "upsert failed: {reply}");
+        });
+        eprintln!(
+            "{write_name:<12} clients={TCP_CLIENTS:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us",
+            cell.qps, cell.p50_us, cell.p99_us
+        );
+        cells.push((write_name, TCP_CLIENTS, cell));
+
+        // Seal the buffered writes so the read cell exercises the sealed
+        // scatter-gather path, not a brute-force buffer scan.
+        server.compact();
+        let cell = run_cell(TCP_CLIENTS, warmup, measure, |client, i| {
+            let reply = clients[client]
+                .lock()
+                .expect("client mutex")
+                .call(&knn_payloads[i % knn_payloads.len()])
+                .expect("knn reply");
+            assert!(reply.contains("\"ok\":true"), "knn failed: {reply}");
+        });
+        eprintln!(
+            "{read_name:<12} clients={TCP_CLIENTS:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us",
+            cell.qps, cell.p50_us, cell.p99_us
+        );
+        cells.push((read_name, TCP_CLIENTS, cell));
+
+        drop(clients);
+        net.shutdown();
+        server.shutdown();
+    }
+
+    Snapshot {
+        commit: git_commit(),
+        label: label.to_string(),
+        quick,
+        transport: "tcp",
+        shards: SHARD_COUNTS.to_vec(),
         cells,
     }
 }
@@ -297,6 +520,7 @@ fn main() {
     let mut out = "BENCH_serve.json".to_string();
     let mut check: Option<String> = None;
     let mut label = "snapshot".to_string();
+    let mut transport = "inproc".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -304,6 +528,14 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = args[i].clone();
+            }
+            "--transport" => {
+                i += 1;
+                transport = args[i].clone();
+                if transport != "inproc" && transport != "tcp" {
+                    eprintln!("--transport must be inproc or tcp, got {transport:?}");
+                    std::process::exit(2);
+                }
             }
             "--check" => {
                 i += 1;
@@ -321,7 +553,50 @@ fn main() {
         i += 1;
     }
 
-    let snap = measure_all(quick, &label);
+    let snap = if transport == "tcp" {
+        measure_tcp(quick, &label)
+    } else {
+        measure_all(quick, &label)
+    };
+
+    if transport == "tcp" {
+        if check.is_some() {
+            // The shard gate is within-run and absolute: both sides of
+            // each ratio come from this run on this machine, so there is
+            // no committed baseline to drift — `--check FILE` only keeps
+            // the CLI shape of the in-process gate (FILE is not read).
+            // Equivalence (sharded == unsharded, bit-identical) already
+            // asserted before the sweep.
+            let (write_speedup, read_tail) =
+                snap.shard_ratios().expect("sweep measured 1 and 4 shards");
+            eprintln!(
+                "check shard4_write_speedup: {write_speedup:.3} (floor {SHARD_WRITE_FLOOR:.3})"
+            );
+            eprintln!(
+                "check shard4_read_tail_ratio: {read_tail:.3} (ceiling {SHARD_TAIL_CEILING:.3})"
+            );
+            let mut failed = false;
+            if write_speedup < SHARD_WRITE_FLOOR {
+                eprintln!(
+                    "FAIL: 4-shard write throughput below {SHARD_WRITE_FLOOR}x the 1-shard run"
+                );
+                failed = true;
+            }
+            if read_tail > SHARD_TAIL_CEILING {
+                eprintln!("FAIL: 4-shard read p99 regressed past the tail-noise band");
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!("OK: sharding holds its write/read floors");
+        } else {
+            let entry = snap.to_json();
+            append_run(&out, &entry);
+            eprintln!("recorded run '{}' ({}) -> {out}", snap.label, snap.commit);
+        }
+        return;
+    }
 
     if let Some(baseline_path) = check {
         // The gate compares WITHIN-RUN ratios vs. the mutex baseline, not

@@ -24,6 +24,8 @@ pub enum ParsedCommand {
     Embed,
     /// kNN query against a trajectory database.
     Query,
+    /// Stream trajectories into a running server over the wire protocol.
+    Upsert,
     /// Fine-tune into a heuristic-measure estimator and evaluate it.
     Approx,
     /// Run the concurrent query server over stdin/stdout frames.
@@ -90,6 +92,7 @@ impl Args {
             "train" => Ok(ParsedCommand::Train),
             "embed" => Ok(ParsedCommand::Embed),
             "query" => Ok(ParsedCommand::Query),
+            "upsert" => Ok(ParsedCommand::Upsert),
             "approx" => Ok(ParsedCommand::Approx),
             "serve" => Ok(ParsedCommand::Serve),
             "audit" => Ok(ParsedCommand::Audit),
@@ -134,8 +137,11 @@ USAGE:
   trajcl query    --model MODEL --db FILE --query IDX [--k N] [--index NLIST]
                   [--quantize sq8|pq4[:M]|pq[:M]] [--scan symmetric|asym]
                   [--rescore-factor N] [--json]
+  trajcl query    --connect ADDR --db FILE --query IDX [--k N] [--json]
+  trajcl upsert   --connect ADDR --input FILE [--start-id N] [--json]
   trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw> [--json]
-  trajcl serve    --model MODEL --db FILE [--index NLIST]
+  trajcl serve    --model MODEL --db FILE [--listen ADDR] [--shards N]
+                  [--index NLIST]
                   [--quantize sq8|pq4[:M]|pq[:M]] [--scan symmetric|asym]
                   [--workers N] [--max-batch N] [--max-wait-us N]
                   [--cache N] [--queue N]
@@ -163,10 +169,20 @@ keeps no exact copy of sealed rows, but rescores hits that still match
 the engine's cached table (ids upserted through the server keep
 asymmetric, error-bounded distances).
 
-`serve` speaks length-prefixed JSON frames (`LEN\\n{...}\\n`) on
-stdin/stdout: ops embed, knn, distance, upsert, remove, compact, stats.
-Responses may arrive out of order; pass a numeric \"req\" field to match
-them up. Logs go to stderr; stdout carries only protocol frames.
+`serve` speaks length-prefixed JSON frames (`LEN\\n{...}\\n`): ops embed,
+knn, distance, upsert, remove, compact, stats (PROTOCOL.md at the repo
+root is the normative wire spec). By default frames flow over
+stdin/stdout (logs go to stderr; stdout carries only frames). With
+`--listen HOST:PORT` (or `--listen unix:PATH`) the server instead
+accepts any number of TCP / unix-socket connections and runs until
+stdin closes. `--shards N` partitions the mutable index into N
+hash-on-id shards so writes on different shards never contend (the
+count persists in the engine file; the flag overrides it). Responses
+may arrive out of order; pass a numeric \"req\" field to match them up.
+
+`query --connect` and `upsert --connect` are thin clients for a
+listening server: they speak the same frames over the same address
+syntax, so nothing needs a local model file.
 ";
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ fn execute(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), En
         ParsedCommand::Train => train_cmd(args, out),
         ParsedCommand::Embed => embed(args, out),
         ParsedCommand::Query => query(args, out),
+        ParsedCommand::Upsert => upsert_remote(args, out),
         ParsedCommand::Approx => approx(args, out),
         ParsedCommand::Serve => serve(args, out),
         ParsedCommand::Audit => audit_cmd(args, out),
@@ -310,6 +311,9 @@ fn parse_scan(args: &Args) -> Result<Option<trajcl_engine::ScanMode>, EngineErro
 }
 
 fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    if args.options.contains_key("connect") {
+        return query_remote(args, out);
+    }
     let mut engine = load_engine(req(args, "model")?)?;
     if args.options.contains_key("index") {
         let nlist: usize = num(args, "index", 16)?;
@@ -368,8 +372,120 @@ fn query(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> 
     Ok(())
 }
 
-/// Builds the serving runtime from CLI options and pumps protocol frames
-/// between `input` and `out` until end-of-stream.
+/// A trajectory as the wire protocol's `[[x,y],...]` point array.
+fn traj_json(t: &Trajectory) -> String {
+    let pts: Vec<String> = t
+        .points()
+        .iter()
+        .map(|p| format!("[{},{}]", p.x, p.y))
+        .collect();
+    format!("[{}]", pts.join(","))
+}
+
+/// Parses a response frame, turning the in-band `{"ok":false,...}` error
+/// convention into an [`EngineError`].
+fn parse_response(reply: &str) -> Result<trajcl_serve::json::Json, EngineError> {
+    let v = trajcl_serve::json::parse(reply)
+        .map_err(|e| invalid(format!("malformed response from server: {e}")))?;
+    if v.get("ok") == Some(&trajcl_serve::json::Json::Bool(true)) {
+        return Ok(v);
+    }
+    let msg = v
+        .get("error")
+        .and_then(|e| e.as_str())
+        .unwrap_or("request failed");
+    Err(invalid(format!("server error: {msg}")))
+}
+
+/// `trajcl query --connect ADDR`: the kNN runs on a listening server
+/// over the wire protocol (`PROTOCOL.md`) — no local model needed; the
+/// `--db` file only supplies the query trajectory.
+fn query_remote(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let addr = req(args, "connect")?;
+    let db = load_trajectory_file(Path::new(req(args, "db")?))?;
+    let qi: usize = num(args, "query", 0)?;
+    let traj = db.get(qi).ok_or_else(|| {
+        invalid(format!(
+            "--query {qi} out of range ({} trajectories in the file)",
+            db.len()
+        ))
+    })?;
+    let k: usize = num(args, "k", 5)?;
+    let mut client = trajcl_serve::Client::connect(addr)?;
+    let reply = client.call(&format!(
+        "{{\"op\":\"knn\",\"traj\":{},\"k\":{k}}}",
+        traj_json(traj)
+    ))?;
+    let v = parse_response(&reply)?;
+    let hits = v
+        .get("hits")
+        .and_then(|h| h.as_arr())
+        .ok_or_else(|| invalid("knn response carries no \"hits\""))?;
+    if !args.flag("json") {
+        writeln!(
+            out,
+            "top-{k} similar to trajectory {qi} (served by {addr}):"
+        )?;
+    }
+    for h in hits {
+        let rank = h.get("rank").and_then(|x| x.as_u64());
+        let id = h.get("index").and_then(|x| x.as_u64());
+        let dist = h.get("distance").and_then(|x| x.as_f64());
+        let (Some(rank), Some(id), Some(dist)) = (rank, id, dist) else {
+            return Err(invalid("malformed hit row in knn response"));
+        };
+        if args.flag("json") {
+            writeln!(
+                out,
+                "{{\"rank\":{rank},\"index\":{id},\"distance\":{dist:.6}}}"
+            )?;
+        } else {
+            writeln!(out, "  #{rank} idx={id} L1={dist:.4}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `trajcl upsert --connect ADDR`: streams every trajectory in `--input`
+/// into a listening server as upsert frames with ids `--start-id..`,
+/// awaiting each ack (writes are acknowledged, never fire-and-forget).
+fn upsert_remote(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
+    let addr = req(args, "connect")?;
+    let trajs = load_trajectory_file(Path::new(req(args, "input")?))?;
+    let start: u64 = num(args, "start-id", 0)?;
+    let mut client = trajcl_serve::Client::connect(addr)?;
+    let mut replaced = 0usize;
+    for (i, t) in trajs.iter().enumerate() {
+        let reply = client.call(&format!(
+            "{{\"op\":\"upsert\",\"id\":{},\"traj\":{}}}",
+            start + i as u64,
+            traj_json(t)
+        ))?;
+        let v = parse_response(&reply)?;
+        if v.get("replaced") == Some(&trajcl_serve::json::Json::Bool(true)) {
+            replaced += 1;
+        }
+    }
+    if args.flag("json") {
+        writeln!(
+            out,
+            "{{\"upserted\":{},\"replaced\":{replaced},\"start_id\":{start}}}",
+            trajs.len()
+        )?;
+    } else {
+        writeln!(
+            out,
+            "upserted {} trajectories as ids {start}..{} ({replaced} replaced)",
+            trajs.len(),
+            start + trajs.len() as u64
+        )?;
+    }
+    Ok(())
+}
+
+/// Builds the serving runtime from CLI options, then serves protocol
+/// frames: on a TCP / unix-socket listener with `--listen`, or between
+/// stdin and `out` until end-of-stream otherwise.
 fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), EngineError> {
     let engine = load_engine(req(args, "model")?)?;
     // The server only ever consults its own MutableIndex, so k-means must
@@ -396,12 +512,33 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
     cfg.max_wait = std::time::Duration::from_micros(num(args, "max-wait-us", 2000u64)?);
     cfg.cache_cap = num(args, "cache", cfg.cache_cap)?;
     cfg.queue_cap = num(args, "queue", cfg.queue_cap)?;
+    if args.options.contains_key("shards") {
+        cfg.shards = Some(num::<usize>(args, "shards", 1)?.max(1));
+    }
     let handlers = cfg.workers.max(1);
     let server = Server::new(std::sync::Arc::new(engine), cfg)?;
+    if let Some(addr) = args.options.get("listen") {
+        let server = std::sync::Arc::new(server);
+        let net = trajcl_serve::net::listen(std::sync::Arc::clone(&server), addr, handlers)?;
+        let stats = server.stats();
+        eprintln!(
+            "trajcl serve: {} vectors indexed across {} shard(s), {} workers; listening on {}",
+            stats.index_len,
+            stats.shards,
+            handlers,
+            net.local_addr()
+        );
+        // The listener runs until stdin closes (Ctrl-D interactively, or
+        // the parent process closing the pipe / sending SIGTERM).
+        std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink())?;
+        net.shutdown();
+        server.shutdown();
+        return Ok(());
+    }
+    let stats = server.stats();
     eprintln!(
-        "trajcl serve: {} vectors indexed, {} workers; reading frames from stdin",
-        server.stats().index_len,
-        handlers
+        "trajcl serve: {} vectors indexed across {} shard(s), {} workers; reading frames from stdin",
+        stats.index_len, stats.shards, handlers
     );
     let stdin = std::io::stdin();
     serve_session(&server, &mut stdin.lock(), out, handlers)?;
@@ -409,40 +546,17 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
     Ok(())
 }
 
-/// Pumps frames: requests are dispatched to `handlers` threads so
-/// independent queries micro-batch; responses are written as they finish
-/// (out of order — the protocol's `req` echo matches them up).
+/// Pumps frames between `input` and `out` — the stdin/stdout transport
+/// is [`trajcl_serve::net::pump_frames`] over standard streams, exactly
+/// the loop every TCP / unix-socket connection runs.
 fn serve_session(
     server: &Server,
     input: &mut impl std::io::BufRead,
     out: &mut (impl std::io::Write + Send),
     handlers: usize,
 ) -> Result<(), EngineError> {
-    let out = std::sync::Mutex::new(out);
-    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(handlers.max(1) * 2);
-    let rx = std::sync::Mutex::new(rx);
-    std::thread::scope(|scope| -> Result<(), EngineError> {
-        for _ in 0..handlers.max(1) {
-            let rx = &rx;
-            let out = &out;
-            scope.spawn(move || loop {
-                let payload = {
-                    let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
-                    rx.recv()
-                };
-                let Ok(payload) = payload else { return };
-                let response = trajcl_serve::proto::handle(server, &payload);
-                let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
-                let _ = trajcl_serve::proto::write_frame(&mut *out, &response);
-            });
-        }
-        while let Some(payload) = trajcl_serve::proto::read_frame(input)? {
-            tx.send(payload)
-                .expect("handler threads outlive the reader");
-        }
-        drop(tx);
-        Ok(())
-    })
+    trajcl_serve::net::pump_frames(server, input, out, handlers)?;
+    Ok(())
 }
 
 fn approx(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineError> {
@@ -780,6 +894,72 @@ mod tests {
         assert!(find(3).contains("\"removed\":true"));
         assert!(find(4).contains("\"size\":24"));
         assert!(find(5).contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn query_and_upsert_connect_to_a_listening_server() {
+        let data = tmp("client.traj");
+        let model = tmp("client.tcl");
+        let (code, out) = run_cmd(&format!(
+            "generate --profile porto --count 24 --out {}",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!(
+            "train --input {} --out {} --dim 16 --epochs 1 --batch 8",
+            data.display(),
+            model.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+
+        // A sharded server on a free TCP port, exactly as `trajcl serve
+        // --listen 127.0.0.1:0 --shards 2` builds one.
+        let engine = load_engine(&model.display().to_string())
+            .unwrap()
+            .with_database(trajcl_data::load_trajectory_file(std::path::Path::new(&data)).unwrap())
+            .unwrap();
+        let cfg = ServeConfig {
+            shards: Some(2),
+            ..ServeConfig::default()
+        };
+        let server = std::sync::Arc::new(Server::new(std::sync::Arc::new(engine), cfg).unwrap());
+        let net =
+            trajcl_serve::net::listen(std::sync::Arc::clone(&server), "127.0.0.1:0", 1).unwrap();
+        let addr = net.local_addr().to_string();
+
+        // kNN through the wire: same JSON line shape as the local query.
+        let (code, out) = run_cmd(&format!(
+            "query --connect {addr} --db {} --query 0 --k 3 --json",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_json_lines(&out, &["rank", "index", "distance"]);
+        assert_eq!(out.lines().count(), 3);
+
+        // Stream the whole file back in as ids 1000.. and replace one.
+        let (code, out) = run_cmd(&format!(
+            "upsert --connect {addr} --input {} --start-id 1000",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("upserted 24 trajectories as ids 1000..1024 (0 replaced)"));
+        let (code, out) = run_cmd(&format!(
+            "upsert --connect {addr} --input {} --start-id 1000 --json",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("{\"upserted\":24,\"replaced\":24,\"start_id\":1000}"));
+
+        // An out-of-range query index fails client-side with a clear message.
+        let (code, out) = run_cmd(&format!(
+            "query --connect {addr} --db {} --query 99",
+            data.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("out of range"));
+
+        net.shutdown();
+        server.shutdown();
     }
 
     #[test]

@@ -28,6 +28,10 @@ const ENGINE_MAGIC: &[u8; 4] = b"TCE1";
 /// Default inference mini-batch size for [`Engine::embed_all`].
 pub const DEFAULT_BATCH: usize = 64;
 
+/// Upper bound on the serving shard count carried in the engine file —
+/// a sanity cap on the TCE1 tail, far above any sensible deployment.
+pub const MAX_SHARDS: usize = 4096;
+
 /// A similarity-serving engine: backend + database + optional IVF index.
 pub struct Engine {
     backend: Box<dyn SimilarityBackend>,
@@ -39,6 +43,7 @@ pub struct Engine {
     quantization: Quantization,
     rescore_factor: usize,
     scan: ScanMode,
+    shards: usize,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -103,6 +108,14 @@ impl Engine {
     /// quantizes the query too and scans in integer arithmetic).
     pub fn scan_mode(&self) -> ScanMode {
         self.scan
+    }
+
+    /// Serving shard count: how many hash-on-id index shards
+    /// `trajcl-serve` partitions this engine's vectors into (1 = the
+    /// unsharded degenerate case). Carried in the TCE1 tail so a
+    /// reloaded engine serves with the shard layout it was saved with.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Inference mini-batch size used by [`Engine::embed_all`].
@@ -289,6 +302,13 @@ impl Engine {
         self
     }
 
+    /// Sets the serving shard count (clamped to `1..=`[`MAX_SHARDS`]);
+    /// persisted in the TCE1 tail and picked up by `trajcl-serve`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, MAX_SHARDS);
+        self
+    }
+
     /// Drops the IVF configuration (and any built index): subsequent
     /// [`Engine::with_database`] calls cache embeddings but skip k-means.
     /// The serving layer uses this so index training happens once, in its
@@ -336,6 +356,7 @@ impl Engine {
             .nprobe(self.nprobe)
             .quantization(self.quantization)
             .rescore_factor(self.rescore_factor)
+            .shards(self.shards)
             .batch_size(self.batch_size)
             .seed(self.seed)
             .build()
@@ -411,6 +432,9 @@ impl Engine {
             ScanMode::Asymmetric => 0u8,
             ScanMode::Symmetric => 1u8,
         });
+        // Shard-count tail (same append-only convention: pre-sharding
+        // files end at the scan byte and default to one shard).
+        out.extend_from_slice(&(self.shards as u32).to_le_bytes());
         Ok(out)
     }
 
@@ -507,16 +531,26 @@ impl Engine {
                 .as_ref()
                 .map_or(ScanMode::Asymmetric, IvfIndex::scan_mode)
         } else {
-            let scan = match take(&mut r, 1)?[0] {
+            match take(&mut r, 1)?[0] {
                 0 => ScanMode::Asymmetric,
                 1 => ScanMode::Symmetric,
                 _ => return Err(EngineError::CorruptEngineFile("scan mode")),
-            };
+            }
+        };
+        // Optional shard-count tail: pre-sharding files end at the scan
+        // byte and serve unsharded.
+        let shards = if r.is_empty() {
+            1
+        } else {
+            let shards = u32_of(&mut r)? as usize;
+            if shards == 0 || shards > MAX_SHARDS {
+                return Err(EngineError::CorruptEngineFile("shard count"));
+            }
             // The tail is the final field: anything after it is corruption.
             if !r.is_empty() {
                 return Err(EngineError::CorruptEngineFile("trailing bytes"));
             }
-            scan
+            shards
         };
         Ok(Engine {
             backend: Box::new(TrajClBackend::new(model, featurizer)),
@@ -528,6 +562,7 @@ impl Engine {
             quantization,
             rescore_factor,
             scan,
+            shards,
             batch_size: batch_size.max(1),
             seed,
             train_report: None,
@@ -545,6 +580,7 @@ pub struct EngineBuilder {
     quantization: Quantization,
     rescore_factor: usize,
     scan: ScanMode,
+    shards: usize,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -567,6 +603,7 @@ impl EngineBuilder {
             quantization: Quantization::None,
             rescore_factor: DEFAULT_RESCORE_FACTOR,
             scan: ScanMode::Asymmetric,
+            shards: 1,
             batch_size: DEFAULT_BATCH,
             seed: 0,
             train_report: None,
@@ -694,6 +731,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Serving shard count (default 1, clamped to `1..=`[`MAX_SHARDS`]):
+    /// how many hash-on-id index shards `trajcl-serve` partitions the
+    /// engine's vectors into. Persisted with the engine.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, MAX_SHARDS);
+        self
+    }
+
     /// Inference mini-batch size (default [`DEFAULT_BATCH`]).
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
@@ -726,6 +771,7 @@ impl EngineBuilder {
             quantization: self.quantization,
             rescore_factor: self.rescore_factor,
             scan: self.scan,
+            shards: self.shards,
             batch_size: self.batch_size,
             seed: self.seed,
             train_report: self.train_report,

@@ -1,9 +1,9 @@
 //! Property tests for the `TCE1` engine decoder, focused on the
 //! quantization tail (the trailing `tag | rescore | [pq geometry] |
-//! scan` section whose absence means "legacy file"): corrupted or
-//! truncated tails must be rejected or decode to a consistent engine —
-//! never panic. Deterministic sibling of the `trajcl audit` engine fuzz
-//! target.
+//! scan | shards` section whose absence means "legacy file"): corrupted
+//! or truncated tails must be rejected or decode to a consistent engine
+//! — never panic. Deterministic sibling of the `trajcl audit` engine
+//! fuzz target.
 
 use std::sync::OnceLock;
 
@@ -55,12 +55,12 @@ fn corpus() -> &'static (Vec<u8>, Vec<u8>) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    // Random bytes over the whole tail region (SQ8 tail: tag + rescore;
-    // PQ tail: tag + rescore + m + nbits). Any tag/geometry combination
-    // must be rejected or produce a consistent engine.
+    // Random bytes over the whole tail region (SQ8 tail: tag + rescore +
+    // scan + shards; PQ additionally m + nbits). Any tag/geometry/count
+    // combination must be rejected or produce a consistent engine.
     #[test]
     fn corrupted_quantization_tail_never_panics(
-        offset_back in 1usize..12,
+        offset_back in 1usize..16,
         byte in 0u32..256,
         pq in 0u32..2,
     ) {
@@ -70,9 +70,10 @@ proptest! {
         let len = bytes.len();
         bytes[len - offset_back.min(len)] = byte as u8;
         if let Ok(engine) = Engine::from_bytes(&bytes) {
-            // An accepted tail must carry a sane rescore factor and a
-            // recognised quantization mode.
+            // An accepted tail must carry a sane rescore factor, a sane
+            // shard count and a recognised quantization mode.
             prop_assert!(engine.rescore_factor() >= 1);
+            prop_assert!((1..=trajcl_engine::MAX_SHARDS).contains(&engine.shards()));
             match engine.quantization() {
                 Quantization::None | Quantization::Sq8 => {}
                 Quantization::Pq { m, nbits } => {
@@ -84,22 +85,25 @@ proptest! {
 
     // Truncating anywhere inside the tail (or further into the file)
     // must fail cleanly — except at the backward-compatibility
-    // boundaries: the full file, the pre-scan-mode file (scan byte cut),
-    // and the legacy pre-quantization prefix (whole tail cut).
+    // boundaries: the full file, the pre-sharding file (shards u32 cut),
+    // the pre-scan-mode file (scan byte also cut), and the legacy
+    // pre-quantization prefix (whole tail cut).
     #[test]
-    fn truncated_tail_is_legacy_or_rejected(cut_back in 0usize..24, pq in 0u32..2) {
+    fn truncated_tail_is_legacy_or_rejected(cut_back in 0usize..28, pq in 0u32..2) {
         let (sq8, pq_bytes) = corpus();
         let base = if pq == 1 { pq_bytes } else { sq8 };
-        // tag + rescore + [m + nbits for PQ] + scan byte.
-        let tail_len = if pq == 1 { 11 } else { 6 };
+        // tag + rescore + [m + nbits for PQ] + scan byte + shards u32.
+        let tail_len = if pq == 1 { 15 } else { 10 };
+        let legacy = [0, 4, 5, tail_len];
         let bytes = &base[..base.len() - cut_back.min(base.len())];
         match Engine::from_bytes(bytes) {
             Ok(engine) => {
-                prop_assert!(cut_back == 0 || cut_back == 1 || cut_back == tail_len);
+                prop_assert!(legacy.contains(&cut_back));
                 prop_assert!(engine.rescore_factor() >= 1);
+                prop_assert!(engine.shards() >= 1);
             }
             Err(_) => {
-                prop_assert!(cut_back != 0 && cut_back != 1 && cut_back != tail_len);
+                prop_assert!(!legacy.contains(&cut_back));
             }
         }
     }

@@ -321,6 +321,33 @@ fn persistence_round_trip_is_bit_exact() {
 }
 
 #[test]
+fn shard_count_round_trips_and_legacy_files_default_to_one() {
+    let ds = dataset(12, 9);
+    let (model, feat) = untrained_trajcl(&ds);
+    let engine = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories)
+        .shards(4)
+        .build()
+        .unwrap();
+    assert_eq!(engine.shards(), 4);
+    let bytes = engine.to_bytes().unwrap();
+    assert_eq!(Engine::from_bytes(&bytes).unwrap().shards(), 4);
+
+    // A pre-sharding file ends at the scan byte: loads with one shard.
+    let legacy = &bytes[..bytes.len() - 4];
+    assert_eq!(Engine::from_bytes(legacy).unwrap().shards(), 1);
+
+    // Zero or absurd shard counts in the tail are corruption.
+    for bad in [0u32, (trajcl_engine::MAX_SHARDS + 1) as u32] {
+        let mut bytes = bytes.clone();
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&bad.to_le_bytes());
+        assert!(Engine::from_bytes(&bytes).is_err(), "shards={bad} accepted");
+    }
+}
+
+#[test]
 fn persistence_rejects_garbage_and_heuristic_backends() {
     assert!(matches!(
         Engine::from_bytes(b"not an engine"),

@@ -837,7 +837,11 @@ impl PqCodebook {
     pub fn code_at(&self, row: &[u8], s: usize) -> usize {
         if self.packed {
             let b = row[s / 2];
-            (if s.is_multiple_of(2) { b & 0x0F } else { b >> 4 }) as usize
+            (if s.is_multiple_of(2) {
+                b & 0x0F
+            } else {
+                b >> 4
+            }) as usize
         } else {
             row[s] as usize
         }

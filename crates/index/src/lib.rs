@@ -31,6 +31,7 @@ pub mod hausdorff_index;
 pub mod ivf;
 pub mod kernels;
 pub mod mutable;
+pub mod sharded;
 
 pub use hausdorff_index::SegmentHausdorffIndex;
 pub use ivf::{
@@ -39,3 +40,4 @@ pub use ivf::{
 };
 pub use kernels::{PqCodebook, Sq8Codebook, TopK};
 pub use mutable::{ExactRescorer, IndexOptions, IndexSnapshot, MutableIndex};
+pub use sharded::{ShardedIndex, ShardedSnapshot};

@@ -10,15 +10,21 @@
 //!   forward per batch through per-worker [`trajcl_tensor::InferCtx`]s
 //!   checked out of a shared [`trajcl_tensor::CtxPool`], replacing the
 //!   engine backends' single serving mutex;
-//! * **mutable, snapshot-readable index** ([`trajcl_index::MutableIndex`])
-//!   — `upsert`/`remove` land in a brute-force-scanned write buffer next
-//!   to the sealed IVF lists, `compact()` re-trains centroids and swaps
-//!   the snapshot atomically, so readers never block on writers;
+//! * **sharded, snapshot-readable index** ([`router`], over
+//!   [`trajcl_index::ShardedIndex`]) — vectors partition across N
+//!   hash-on-id [`trajcl_index::MutableIndex`] shards, each with its own
+//!   write lock, snapshot and independent compaction; `upsert`/`remove`
+//!   land in per-shard write buffers, kNN scatter-gathers every shard and
+//!   merges exactly, so readers never block on writers and writers on
+//!   different shards never block each other;
 //! * **LRU embedding cache** ([`cache`]) — keyed by trajectory content
 //!   hash and consulted before the batcher, so hot queries skip the model
 //!   entirely;
 //! * **wire protocol** ([`proto`]) — length-prefixed JSON frames over any
-//!   byte stream, driven by the `trajcl serve` CLI subcommand.
+//!   byte stream (normative spec: `PROTOCOL.md` at the repo root);
+//! * **transport** ([`net`]) — a TCP / unix-socket listener and client
+//!   for those frames; the `trajcl serve` CLI subcommand speaks either
+//!   the listener or the degenerate stdin/stdout single-connection mode.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -57,8 +63,12 @@
 pub mod batcher;
 pub mod cache;
 pub mod json;
+pub mod net;
 pub mod proto;
+pub mod router;
 pub mod server;
 
 pub use cache::{content_hash, LruCache};
+pub use net::{listen, Client, NetServer};
+pub use router::ShardRouter;
 pub use server::{ServeConfig, Server, ServerStats};

@@ -1,0 +1,379 @@
+//! TCP and unix-socket transport for the serve wire protocol.
+//!
+//! The transport carries exactly the frames documented in `PROTOCOL.md`
+//! (and in the [`proto`](crate::proto) module docs) — promoting the
+//! stdin/stdout session to a listener changes *where* bytes come from,
+//! never what they mean. Three pieces:
+//!
+//! * [`pump_frames`] — the transport-agnostic session loop: reads
+//!   frames, fans them out to handler threads (so pipelined requests
+//!   micro-batch and complete out of order), writes responses as they
+//!   finish. The CLI's stdin/stdout mode is this function over standard
+//!   streams — the degenerate 1-connection transport.
+//! * [`NetServer`] / [`listen`] — a background acceptor over a TCP or
+//!   unix-socket address; every connection gets its own [`pump_frames`]
+//!   session over the shared [`Server`].
+//! * [`Client`] — the matching blocking client: [`Client::call`] for
+//!   lock-step request/response, [`Client::send`]/[`Client::recv`] for
+//!   pipelining.
+//!
+//! Addresses are `host:port` for TCP (port 0 picks a free port —
+//! [`NetServer::local_addr`] reports the bound one) or `unix:PATH` for a
+//! unix socket.
+//!
+//! A connection dies on its first malformed frame (torn frame, bad
+//! header, non-UTF-8 payload): framing errors are not recoverable
+//! in-stream, so the socket is closed and the client must reconnect.
+//! In-flight requests of a dropped connection still run to completion
+//! server-side (their responses go nowhere); acknowledged writes are
+//! never undone. Other connections and the listener are unaffected.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::proto::{handle, read_frame, write_frame};
+use crate::server::Server;
+
+/// One accepted or dialled connection, TCP or unix (a unified handle so
+/// every transport path is written once).
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Pumps protocol frames between `input` and `out` until end-of-stream
+/// or a framing error: requests are dispatched to `handlers` threads so
+/// independent queries micro-batch; responses are written as they finish
+/// (out of order — the protocol's `req` echo matches them up, see
+/// `PROTOCOL.md`).
+///
+/// This is the whole per-connection (and stdin/stdout) session loop;
+/// both the CLI's `serve` subcommand and [`listen`]'s connection threads
+/// run it verbatim.
+pub fn pump_frames(
+    server: &Server,
+    input: &mut impl BufRead,
+    out: &mut (impl Write + Send),
+    handlers: usize,
+) -> std::io::Result<()> {
+    let out = Mutex::new(out);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(handlers.max(1) * 2);
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for _ in 0..handlers.max(1) {
+            let rx = &rx;
+            let out = &out;
+            scope.spawn(move || loop {
+                let payload = {
+                    let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
+                    rx.recv()
+                };
+                let Ok(payload) = payload else { return };
+                let response = handle(server, &payload);
+                let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
+                // A vanished peer is this connection's problem only; the
+                // reader will hit the same condition and wind down.
+                let _ = write_frame(&mut **out, &response);
+            });
+        }
+        while let Some(payload) = read_frame(input)? {
+            // Handler threads outlive the reader (they only exit once tx
+            // drops below), so a failed send means the scope is already
+            // unwinding — stop reading rather than panic twice.
+            if tx.send(payload).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+        Ok(())
+    })
+}
+
+/// The acceptor's registry of live sessions: each entry keeps a handle
+/// on the connection's stream (so shutdown can sever it) and its
+/// session thread (so shutdown can join it).
+type ConnRegistry = Arc<Mutex<Vec<(Stream, JoinHandle<()>)>>>;
+
+/// A running listener created by [`listen`]: accepts connections in a
+/// background thread until [`NetServer::shutdown`].
+pub struct NetServer {
+    local_addr: String,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+/// Serves `server` on `addr` (`host:port`, or `unix:PATH`) in background
+/// threads: one acceptor plus, per connection, one [`pump_frames`]
+/// session with `handlers` handler threads (1 is right for lock-step
+/// clients; pipelining clients gain from more).
+///
+/// TCP port 0 binds a free port; read it back from
+/// [`NetServer::local_addr`]. A pre-existing socket file at a unix PATH
+/// is removed first (the standard daemon convention).
+///
+/// # Errors
+/// Address parse and bind failures surface as [`std::io::Error`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+/// use trajcl_engine::Engine;
+/// use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+/// use trajcl_serve::net::{listen, Client};
+/// use trajcl_serve::{ServeConfig, Server};
+/// use trajcl_tensor::{Shape, Tensor};
+///
+/// // A tiny engine over 4 synthetic trajectories.
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let cfg = TrajClConfig::test_default();
+/// let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+/// let grid = Grid::new(region, 100.0);
+/// let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+/// let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+/// let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+/// let db: Vec<Trajectory> = (0..4)
+///     .map(|i| (0..5).map(|t| Point::new(t as f64 * 90.0, i as f64 * 150.0)).collect())
+///     .collect();
+/// let engine = Engine::builder().trajcl(model, feat).database(db).build().unwrap();
+/// let server = Arc::new(Server::new(Arc::new(engine), ServeConfig::default()).unwrap());
+///
+/// // Serve on a free TCP port, dial it, round-trip one stats request.
+/// let net = listen(Arc::clone(&server), "127.0.0.1:0", 1).unwrap();
+/// let mut client = Client::connect(net.local_addr()).unwrap();
+/// let reply = client.call(r#"{"op":"stats"}"#).unwrap();
+/// assert!(reply.contains("\"ok\":true") && reply.contains("\"size\":4"));
+/// net.shutdown();
+/// server.shutdown();
+/// ```
+pub fn listen(server: Arc<Server>, addr: &str, handlers: usize) -> std::io::Result<NetServer> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+    let (local_addr, accept) = if let Some(path) = addr.strip_prefix("unix:") {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let thread = spawn_acceptor(
+            server,
+            Arc::clone(&stop),
+            Arc::clone(&conns),
+            handlers,
+            move || listener.accept().map(|(s, _)| Stream::Unix(s)),
+        );
+        (format!("unix:{path}"), thread)
+    } else {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?.to_string();
+        let thread = spawn_acceptor(
+            server,
+            Arc::clone(&stop),
+            Arc::clone(&conns),
+            handlers,
+            move || {
+                listener.accept().map(|(s, _)| {
+                    // Frames are small header+payload write pairs; without
+                    // TCP_NODELAY, Nagle + delayed ACK turns every
+                    // lock-step round trip into a ~40ms stall.
+                    let _ = s.set_nodelay(true);
+                    Stream::Tcp(s)
+                })
+            },
+        );
+        (local, thread)
+    };
+    Ok(NetServer {
+        local_addr,
+        stop,
+        accept: Some(accept),
+        conns,
+    })
+}
+
+/// The shared accept loop: take connections until the stop flag flips
+/// (the shutdown path wakes a blocked `accept` with a throwaway
+/// self-connection), spawning one session thread per connection.
+fn spawn_acceptor(
+    server: Arc<Server>,
+    stop: Arc<AtomicBool>,
+    conns: ConnRegistry,
+    handlers: usize,
+    accept: impl FnMut() -> std::io::Result<Stream> + Send + 'static,
+) -> JoinHandle<()> {
+    let mut accept = accept;
+    std::thread::spawn(move || loop {
+        let stream = match accept() {
+            Ok(s) => s,
+            Err(_) if stop.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(reader_half) = stream.try_clone() else {
+            continue;
+        };
+        let server = Arc::clone(&server);
+        let session = std::thread::spawn(move || {
+            let mut input = BufReader::new(reader_half);
+            let Ok(mut output) = input.get_ref().try_clone() else {
+                return;
+            };
+            // Framing errors and disconnects end this session only.
+            let _ = pump_frames(&server, &mut input, &mut output, handlers);
+            // Sever the socket now: the acceptor keeps its own duplicate
+            // of the fd until shutdown, so without this the peer of a
+            // dead session would never see EOF.
+            input.get_ref().shutdown();
+        });
+        conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((stream, session));
+    })
+}
+
+impl NetServer {
+    /// The bound address, in the same syntax [`listen`] accepts — for
+    /// TCP with port 0 this is where the actual port shows up.
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Stops accepting, severs every open connection, and joins all
+    /// transport threads. The [`Server`] itself keeps running (shut it
+    /// down separately — it may be shared with other listeners).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // A blocked accept() only wakes on a connection: dial ourselves.
+        if let Some(path) = self.local_addr.strip_prefix("unix:") {
+            let _ = UnixStream::connect(path);
+        } else {
+            let _ = TcpStream::connect(&self.local_addr);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for (stream, session) in conns {
+            stream.shutdown();
+            let _ = session.join();
+        }
+        if let Some(path) = self.local_addr.strip_prefix("unix:") {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A blocking protocol client over TCP or a unix socket (same address
+/// syntax as [`listen`]).
+///
+/// One request in flight: [`Client::call`]. Pipelining: issue several
+/// [`Client::send`]s tagged with distinct `"req"` values, then drain
+/// [`Client::recv`] and match responses by their echoed `req`
+/// (responses may arrive in any order — `PROTOCOL.md` has the rules).
+pub struct Client {
+    input: BufReader<Stream>,
+    output: Stream,
+}
+
+impl Client {
+    /// Dials `addr` (`host:port` or `unix:PATH`).
+    ///
+    /// # Errors
+    /// Connection failures surface as [`std::io::Error`].
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = if let Some(path) = addr.strip_prefix("unix:") {
+            Stream::Unix(UnixStream::connect(path)?)
+        } else {
+            let s = TcpStream::connect(addr)?;
+            // See `listen`: lock-step framing needs TCP_NODELAY.
+            let _ = s.set_nodelay(true);
+            Stream::Tcp(s)
+        };
+        let output = stream.try_clone()?;
+        Ok(Client {
+            input: BufReader::new(stream),
+            output,
+        })
+    }
+
+    /// Sends one request frame without waiting for the response.
+    ///
+    /// # Errors
+    /// Transport failures surface as [`std::io::Error`].
+    pub fn send(&mut self, payload: &str) -> std::io::Result<()> {
+        write_frame(&mut self.output, payload)
+    }
+
+    /// Receives the next response frame; `Ok(None)` when the server
+    /// closed the connection.
+    ///
+    /// # Errors
+    /// Transport and framing failures surface as [`std::io::Error`].
+    pub fn recv(&mut self) -> std::io::Result<Option<String>> {
+        read_frame(&mut self.input)
+    }
+
+    /// One lock-step request/response round trip.
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::UnexpectedEof`] when the server closes the
+    /// connection instead of answering; transport failures pass through.
+    pub fn call(&mut self, payload: &str) -> std::io::Result<String> {
+        self.send(payload)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )
+        })
+    }
+}

@@ -1,5 +1,11 @@
 //! The wire protocol of `trajcl serve`: length-prefixed JSON frames over
-//! any byte stream (stdin/stdout in the CLI).
+//! any byte stream — a TCP or unix socket via [`net`](crate::net), or
+//! stdin/stdout in the CLI's degenerate single-connection mode.
+//!
+//! The normative wire-format specification lives in `PROTOCOL.md` at the
+//! repository root (exact frame bytes, per-op request/response schemas,
+//! error frames, pipelining and shard-routing rules); this module is the
+//! reference implementation and the table below is a summary.
 //!
 //! A frame is the payload's byte length in ASCII decimal, a newline, the
 //! JSON payload, and a closing newline:
@@ -24,7 +30,7 @@
 //! | `upsert`   | `id`, `traj`      | `replaced` (bool) |
 //! | `remove`   | `id`              | `removed` (bool) |
 //! | `compact`  | —                 | `sealed` (live vectors re-sealed) |
-//! | `stats`    | —                 | `size`, `buffer`, `generation`, `memory_bytes`, `requests`, `batches`, `batched_jobs`, `cache_hits`, `cache_misses` |
+//! | `stats`    | —                 | `size`, `buffer`, `generation`, `memory_bytes`, `shards`, `requests`, `batches`, `batched_jobs`, `cache_hits`, `cache_misses` |
 //!
 //! `knn` distances are exact f32 L1 for unquantized indexes and for
 //! quantized hits the server can rescore against the engine's cached
@@ -250,11 +256,12 @@ fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
         "stats" => {
             let s = server.stats();
             Ok(format!(
-                "\"size\":{},\"buffer\":{},\"generation\":{},\"memory_bytes\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                "\"size\":{},\"buffer\":{},\"generation\":{},\"memory_bytes\":{},\"shards\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{}",
                 s.index_len,
                 s.buffer_len,
                 s.generation,
                 s.index_memory_bytes,
+                s.shards,
                 s.requests,
                 s.batches,
                 s.batched_jobs,

@@ -1,0 +1,216 @@
+//! [`ShardRouter`]: the serving layer's view of the sharded index —
+//! id-hash write routing, scatter-gather search, and sealed-hit exact
+//! rescoring with dirty-id tracking.
+//!
+//! The router owns what used to be the server's index-side state: a
+//! [`ShardedIndex`] (any shard count; 1 is the unsharded degenerate
+//! case) plus the copy-on-write set of ids whose vectors were upserted
+//! over the wire and therefore no longer match the engine's cached
+//! embedding table. [`Server`](crate::Server) delegates every index
+//! operation here; the batcher/cache half of serving stays in the
+//! server. See `PROTOCOL.md` for how shard routing surfaces (spoiler:
+//! it doesn't — clients address ids, never shards) and DESIGN.md §13
+//! for the architecture.
+
+use std::collections::HashSet;
+use std::sync::{Arc, RwLock};
+
+use trajcl_index::{ExactRescorer, ShardedIndex, ShardedSnapshot};
+use trajcl_tensor::Tensor;
+
+/// [`ExactRescorer`] over the engine's cached embedding table: ids are
+/// table row positions (how the server seeds the index), valid only
+/// while the id was never re-upserted (tracked by [`ShardRouter`]).
+struct TableRescorer<'a> {
+    table: &'a Tensor,
+    dirty: &'a HashSet<u64>,
+}
+
+impl ExactRescorer for TableRescorer<'_> {
+    fn exact_vector(&self, id: u64) -> Option<&[f32]> {
+        ((id as usize) < self.table.shape().rows() && !self.dirty.contains(&id))
+            .then(|| self.table.row(id as usize))
+    }
+}
+
+/// Routes index reads and writes across the shards of a
+/// [`ShardedIndex`] (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use trajcl_index::{IndexOptions, Metric, ShardedIndex};
+/// use trajcl_serve::ShardRouter;
+///
+/// let index = ShardedIndex::with_options(2, Metric::L1, IndexOptions::default(), 4);
+/// let router = ShardRouter::new(index, true);
+/// for id in 0..16u64 {
+///     router.upsert(id, vec![id as f32, 0.0]);
+/// }
+/// assert_eq!(router.shards(), 4);
+///
+/// // Scatter-gather kNN over all four shards (no exact table here, so
+/// // no rescoring — distances are exact f32 anyway).
+/// let hits = router.search(None, &[6.9, 0.0], 2, usize::MAX);
+/// assert_eq!(hits[0].0, 7);
+/// assert!(router.remove(7));
+/// assert_eq!(router.compact(), 15);
+/// ```
+pub struct ShardRouter {
+    index: ShardedIndex,
+    /// Whether sealed quantized hits are rescored against the exact
+    /// table handed to [`ShardRouter::search`]
+    /// ([`ServeConfig::rescore_sealed`](crate::ServeConfig::rescore_sealed)).
+    rescore_sealed: bool,
+    /// Ids whose vectors may disagree with the exact table (everything
+    /// ever upserted through the router). Sealed hits on these ids are
+    /// never rescored — the table row would be stale. Copy-on-write
+    /// behind an `Arc` so searches snapshot it with one momentary read
+    /// lock instead of holding the lock across the scan. The set only
+    /// grows (bounded by distinct upserted ids): pruning on `remove`
+    /// would race a concurrent re-upsert of the same id, and a stale
+    /// `true` is merely conservative (skips a rescore) while a stale
+    /// `false` would serve wrong distances.
+    dirty: RwLock<Arc<HashSet<u64>>>,
+}
+
+impl ShardRouter {
+    /// Wraps a sharded index. `rescore_sealed` gates whether
+    /// [`ShardRouter::search`] rescores sealed quantized hits against
+    /// the exact table it is given.
+    pub fn new(index: ShardedIndex, rescore_sealed: bool) -> Self {
+        ShardRouter {
+            index,
+            rescore_sealed,
+            dirty: RwLock::new(Arc::new(HashSet::new())),
+        }
+    }
+
+    /// The routed index (per-shard diagnostics, snapshots).
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.index.shards()
+    }
+
+    /// Inserts or replaces `id` in its owning shard, marking the id
+    /// dirty *before* the write publishes: any search that could observe
+    /// the new vector sealed must already see it dirty (a
+    /// conservative-only race — a fresh upsert may briefly skip
+    /// rescoring, never rescore against a stale row). Returns `true`
+    /// when the id already existed.
+    pub fn upsert(&self, id: u64, vector: Vec<f32>) -> bool {
+        let mut dirty = self.dirty.write().unwrap_or_else(|p| p.into_inner());
+        // Re-upserts of an already-dirty id (the replace-heavy workload)
+        // skip the copy-on-write entirely; only a first-time id pays the
+        // set clone, and only while a concurrent search holds the Arc.
+        if !dirty.contains(&id) {
+            Arc::make_mut(&mut dirty).insert(id);
+        }
+        drop(dirty);
+        self.index.upsert(id, vector)
+    }
+
+    /// Removes `id` from its owning shard; `true` when it was present.
+    pub fn remove(&self, id: u64) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Compacts every shard; returns total live vectors sealed.
+    pub fn compact(&self) -> usize {
+        self.index.compact()
+    }
+
+    /// A consistent-per-shard read view (see
+    /// [`ShardedIndex::snapshot`]).
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        self.index.snapshot()
+    }
+
+    /// Scatter-gather kNN across all shards. When rescoring is enabled
+    /// and `exact_table` is present, sealed quantized hits whose ids
+    /// still match the table (row position = id, never re-upserted) are
+    /// rescored to exact distances — per shard, exactly as the
+    /// unsharded path does.
+    pub fn search(
+        &self,
+        exact_table: Option<&Tensor>,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<(u64, f64)> {
+        let snap = self.index.snapshot();
+        if self.rescore_sealed {
+            if let Some(table) = exact_table {
+                // One pointer clone under the lock; the search itself
+                // runs against the snapshot, never blocking upserts.
+                let dirty = self.dirty.read().unwrap_or_else(|p| p.into_inner()).clone();
+                let rescorer = TableRescorer {
+                    table,
+                    dirty: &dirty,
+                };
+                return snap.search_rescored(query, k, nprobe, Some(&rescorer));
+            }
+        }
+        snap.search(query, k, nprobe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajcl_index::{IndexOptions, Metric};
+    use trajcl_tensor::Shape;
+
+    fn router(nshards: usize) -> ShardRouter {
+        ShardRouter::new(
+            ShardedIndex::with_options(2, Metric::L1, IndexOptions::default(), nshards),
+            true,
+        )
+    }
+
+    #[test]
+    fn routes_and_searches_across_shards() {
+        let r = router(3);
+        for id in 0..30u64 {
+            assert!(!r.upsert(id, vec![id as f32, 0.0]));
+        }
+        assert!(r.upsert(4, vec![4.0, 0.0]), "second upsert replaces");
+        let hits = r.search(None, &[10.2, 0.0], 3, usize::MAX);
+        assert_eq!(
+            hits.iter().map(|h| h.0).collect::<Vec<_>>(),
+            vec![10, 11, 9]
+        );
+        assert!(r.remove(10));
+        assert!(!r.remove(10));
+        assert_eq!(r.compact(), 29);
+        assert_eq!(r.snapshot().len(), 29);
+    }
+
+    #[test]
+    fn dirty_ids_are_never_rescored() {
+        // A quantized sealed part plus a lying exact table: clean ids
+        // must be rescored against the table, wire-upserted (dirty) ids
+        // must keep their own (asymmetric, error-bounded) distances.
+        let opts = IndexOptions {
+            quantization: trajcl_index::Quantization::Sq8,
+            ..IndexOptions::default()
+        };
+        let r = ShardRouter::new(ShardedIndex::with_options(2, Metric::L1, opts, 2), true);
+        // Clean id 0 via a path that never marks dirty: seeded through
+        // the index directly (as Server::new does from the engine table).
+        r.index().upsert(0, vec![1.0, 0.0]);
+        r.upsert(1, vec![2.0, 0.0]); // dirty: wire upsert
+        r.compact(); // both ids now sealed as SQ8 codes
+        let table = Tensor::from_vec(vec![5.0, 0.0, 5.0, 0.0], Shape::d2(2, 2));
+        let hits = r.search(Some(&table), &[0.0, 0.0], 2, usize::MAX);
+        // Dirty id 1 keeps its quantized distance (≈2): ranked first.
+        assert_eq!(hits[0].0, 1);
+        assert!((hits[0].1 - 2.0).abs() < 0.1, "got {}", hits[0].1);
+        // Clean id 0 is rescored against the table row: exactly 5.
+        assert_eq!(hits[1], (0, 5.0));
+    }
+}

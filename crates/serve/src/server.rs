@@ -13,18 +13,17 @@
 //! threads (the CLI's stdin dispatcher, the load generator's clients, the
 //! concurrency tests).
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{ExactRescorer, IndexOptions, Metric, MutableIndex, Quantization, ScanMode};
-use trajcl_tensor::Tensor;
+use trajcl_index::{IndexOptions, Metric, Quantization, ScanMode, ShardedIndex};
 
 use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
 use crate::cache::{content_hash, LruCache};
+use crate::router::ShardRouter;
 
 /// Tuning knobs for [`Server::new`].
 #[derive(Clone, Debug)]
@@ -68,6 +67,12 @@ pub struct ServeConfig {
     /// [`trajcl_index::IndexSnapshot::search_rescored`]). No effect on
     /// unquantized indexes or engines without cached embeddings.
     pub rescore_sealed: bool,
+    /// How many hash-on-id index shards to partition the served vectors
+    /// into; `None` inherits the engine's configuration
+    /// ([`trajcl_engine::Engine::shards`], 1 unless saved otherwise).
+    /// Each shard has its own write lock, snapshot and compaction; kNN
+    /// scatter-gathers across all of them (see DESIGN.md §13).
+    pub shards: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +87,7 @@ impl Default for ServeConfig {
             quantization: None,
             scan: None,
             rescore_sealed: true,
+            shards: None,
         }
     }
 }
@@ -111,31 +117,23 @@ pub struct ServerStats {
     /// Approximate resident bytes of the served index (sealed part —
     /// quantized when SQ8 is configured — plus write buffer).
     pub index_memory_bytes: usize,
+    /// Number of index shards the server scatter-gathers across.
+    pub shards: usize,
 }
 
 /// The concurrent micro-batching query server (see module docs).
 pub struct Server {
     engine: Arc<Engine>,
-    index: MutableIndex,
+    /// Index reads/writes all go through the router: id-hash shard
+    /// placement, scatter-gather kNN, and sealed-hit rescoring with
+    /// dirty-id tracking live there.
+    router: ShardRouter,
     batcher: Mutex<Option<Batcher>>,
     /// `None` after shutdown; dropped before joining workers so the queue
     /// actually closes (the batcher's own sender is not the last one).
     tx: Mutex<Option<mpsc::SyncSender<EmbedJob>>>,
     cache: Option<Mutex<LruCache>>,
     nprobe: usize,
-    /// Whether sealed quantized hits are rescored against the engine's
-    /// cached embedding table ([`ServeConfig::rescore_sealed`]).
-    rescore_sealed: bool,
-    /// Ids whose vectors may disagree with the engine's cached table
-    /// (everything ever upserted through the server). Sealed hits on
-    /// these ids are never rescored — the table row would be stale.
-    /// Copy-on-write behind an `Arc` so searches snapshot it with one
-    /// momentary read lock instead of holding the lock across the scan.
-    /// The set only grows (bounded by distinct upserted ids): pruning on
-    /// `remove` would race a concurrent re-upsert of the same id, and a
-    /// stale `true` is merely conservative (skips a rescore) while a
-    /// stale `false` would serve wrong distances.
-    dirty: RwLock<Arc<HashSet<u64>>>,
     batch_stats: Arc<BatchStats>,
     requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -149,24 +147,10 @@ fn row_count_mismatch() -> EngineError {
     EngineError::InvalidInput("batcher returned a mismatched row count".into())
 }
 
-/// [`ExactRescorer`] over the engine's cached embedding table: ids are
-/// table row positions (how [`Server::new`] seeds the index), valid only
-/// while the id was never re-upserted (tracked by `Server::dirty`).
-struct TableRescorer<'a> {
-    table: &'a Tensor,
-    dirty: &'a HashSet<u64>,
-}
-
-impl ExactRescorer for TableRescorer<'_> {
-    fn exact_vector(&self, id: u64) -> Option<&[f32]> {
-        ((id as usize) < self.table.shape().rows() && !self.dirty.contains(&id))
-            .then(|| self.table.row(id as usize))
-    }
-}
-
 impl Server {
-    /// Wraps `engine` in a serving runtime, seeding the mutable index from
-    /// the engine's database embeddings (ids are database positions).
+    /// Wraps `engine` in a serving runtime, seeding the sharded index
+    /// from the engine's database embeddings (ids are database
+    /// positions, routed to shards by id hash).
     ///
     /// # Errors
     /// [`EngineError::NoEmbedding`] for heuristic (no-embedding) backends —
@@ -185,15 +169,18 @@ impl Server {
             rescore_factor: engine.rescore_factor(),
             scan: cfg.scan.unwrap_or(engine.scan_mode()),
         };
+        let nshards = cfg.shards.unwrap_or(engine.shards()).max(1);
         let index = match engine.embeddings() {
-            Some(table) => MutableIndex::from_table_with(
+            Some(table) => ShardedIndex::from_table_with(
                 (0..table.shape().rows() as u64).collect(),
                 table,
                 Metric::L1,
                 opts,
+                nshards,
             ),
-            None => MutableIndex::with_options(dim, Metric::L1, opts),
+            None => ShardedIndex::with_options(dim, Metric::L1, opts, nshards),
         };
+        let router = ShardRouter::new(index, cfg.rescore_sealed);
         let batch_stats = Arc::new(BatchStats::default());
         let batcher = Batcher::spawn(
             Arc::clone(&engine),
@@ -209,13 +196,11 @@ impl Server {
         let nprobe = engine.nprobe();
         Ok(Server {
             engine,
-            index,
+            router,
             batcher: Mutex::new(Some(batcher)),
             tx: Mutex::new(Some(tx)),
             cache: (cfg.cache_cap > 0).then(|| Mutex::new(LruCache::new(cfg.cache_cap))),
             nprobe,
-            rescore_sealed: cfg.rescore_sealed,
-            dirty: RwLock::new(Arc::new(HashSet::new())),
             batch_stats,
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -305,20 +290,9 @@ impl Server {
     pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<(u64, f64)>, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let q = self.embed_inner(query)?;
-        let snap = self.index.snapshot();
-        if self.rescore_sealed {
-            if let Some(table) = self.engine.embeddings() {
-                // One pointer clone under the lock; the search itself runs
-                // against the snapshot, never blocking upserts.
-                let dirty = self.dirty.read().unwrap_or_else(|p| p.into_inner()).clone();
-                let rescorer = TableRescorer {
-                    table,
-                    dirty: &dirty,
-                };
-                return Ok(snap.search_rescored(&q, k, self.nprobe, Some(&rescorer)));
-            }
-        }
-        Ok(snap.search(&q, k, self.nprobe))
+        Ok(self
+            .router
+            .search(self.engine.embeddings(), &q, k, self.nprobe))
     }
 
     /// L1 distance between two trajectories in embedding space (both
@@ -338,44 +312,38 @@ impl Server {
     pub fn upsert(&self, id: u64, traj: &Trajectory) -> Result<bool, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let v = self.embed_inner(traj)?;
-        // Mark the id stale BEFORE the write publishes: any search that
-        // could observe the new vector sealed must already see it dirty
-        // (a conservative-only race — a fresh upsert may briefly skip
-        // rescoring, never rescore against a stale row).
-        let mut dirty = self.dirty.write().unwrap_or_else(|p| p.into_inner());
-        // Re-upserts of an already-dirty id (the replace-heavy workload)
-        // skip the copy-on-write entirely; only a first-time id pays the
-        // set clone, and only while a concurrent search holds the Arc.
-        if !dirty.contains(&id) {
-            Arc::make_mut(&mut dirty).insert(id);
-        }
-        drop(dirty);
-        Ok(self.index.upsert(id, v))
+        Ok(self.router.upsert(id, v))
     }
 
     /// Removes `id` from the served index; `true` when it was present.
     pub fn remove(&self, id: u64) -> bool {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.index.remove(id)
+        self.router.remove(id)
     }
 
-    /// Re-trains the index (folds the write buffer and tombstones into a
-    /// fresh sealed part); returns the number of live vectors sealed.
+    /// Re-trains every shard (folds write buffers and tombstones into
+    /// fresh sealed parts, each shard independently); returns the number
+    /// of live vectors sealed.
     pub fn compact(&self) -> usize {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.index.compact()
+        self.router.compact()
     }
 
-    /// The served mutable index (snapshots, diagnostics).
-    pub fn index(&self) -> &MutableIndex {
-        &self.index
+    /// The shard router (per-shard diagnostics, snapshots).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
     }
 
-    /// A point-in-time copy of the server's counters (all three index
-    /// fields read from ONE snapshot, so they are mutually consistent
-    /// even while writers churn).
+    /// The served sharded index (snapshots, diagnostics).
+    pub fn index(&self) -> &ShardedIndex {
+        self.router.index()
+    }
+
+    /// A point-in-time copy of the server's counters (the index fields
+    /// all read from ONE snapshot set, so they are mutually consistent
+    /// per shard even while writers churn).
     pub fn stats(&self) -> ServerStats {
-        let snap = self.index.snapshot();
+        let snap = self.router.snapshot();
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batch_stats.batches.load(Ordering::Relaxed),
@@ -387,6 +355,7 @@ impl Server {
             buffer_len: snap.buffer_len(),
             generation: snap.generation(),
             index_memory_bytes: snap.memory_bytes(),
+            shards: self.router.shards(),
         }
     }
 

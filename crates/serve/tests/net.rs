@@ -1,0 +1,278 @@
+//! Transport suite for `trajcl-serve`: mixed mutation/query traffic over
+//! real TCP connections against the in-process view, pipelined
+//! out-of-order response matching, torn-frame / mid-frame-disconnect
+//! rejection, and a unix-socket smoke test.
+
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_serve::{listen, Client, ServeConfig, Server};
+use trajcl_tensor::{Shape, Tensor};
+
+/// A tiny deterministic TrajCL engine (no pre-loaded database).
+fn tiny_engine() -> Engine {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = TrajClConfig::test_default();
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+    let grid = Grid::new(region, 100.0);
+    let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.5, &mut rng);
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    Engine::builder()
+        .trajcl(model, feat)
+        .build()
+        .expect("engine")
+}
+
+/// A well-separated synthetic trajectory, injective over the id ranges
+/// used here (see the concurrency suite).
+fn traj_for(id: u64) -> Trajectory {
+    let y0 = 10.0 + (id % 1000) as f64 * 9.7 + (id / 1000) as f64 * 211.0;
+    (0..6)
+        .map(|t| Point::new(40.0 + t as f64 * 120.0, y0 + t as f64 * 3.0))
+        .collect()
+}
+
+/// The trajectory as the protocol's `[[x,y],...]` array.
+fn traj_json(t: &Trajectory) -> String {
+    let pts: Vec<String> = t
+        .points()
+        .iter()
+        .map(|p| format!("[{},{}]", p.x, p.y))
+        .collect();
+    format!("[{}]", pts.join(","))
+}
+
+fn sharded_server(shards: usize) -> Arc<Server> {
+    Arc::new(
+        Server::new(
+            Arc::new(tiny_engine()),
+            ServeConfig {
+                shards: Some(shards),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server"),
+    )
+}
+
+#[test]
+fn tcp_mixed_ops_match_the_in_process_view() {
+    let server = sharded_server(3);
+    let net = listen(Arc::clone(&server), "127.0.0.1:0", 2).expect("listen");
+    let addr = net.local_addr().to_string();
+
+    const THREADS: u64 = 3;
+    const OPS: u64 = 20;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                // Each connection owns the id range [t*1000, t*1000+OPS):
+                // the final index state is interleaving-independent.
+                let mut client = Client::connect(&addr).expect("connect");
+                for i in 0..OPS {
+                    let id = t * 1000 + i;
+                    let reply = client
+                        .call(&format!(
+                            "{{\"op\":\"upsert\",\"id\":{id},\"traj\":{}}}",
+                            traj_json(&traj_for(id))
+                        ))
+                        .expect("upsert");
+                    assert!(reply.contains("\"replaced\":false"), "{reply}");
+                    if i % 4 == 0 {
+                        let reply = client
+                            .call(&format!(
+                                "{{\"op\":\"knn\",\"traj\":{},\"k\":3}}",
+                                traj_json(&traj_for(id))
+                            ))
+                            .expect("knn");
+                        assert!(reply.contains("\"ok\":true"), "{reply}");
+                    }
+                    if i % 5 == 4 {
+                        let reply = client
+                            .call(&format!("{{\"op\":\"remove\",\"id\":{}}}", id - 2))
+                            .expect("remove");
+                        assert!(reply.contains("\"removed\":true"), "{reply}");
+                    }
+                    if t == 0 && i % 7 == 6 {
+                        let reply = client.call("{\"op\":\"compact\"}").expect("compact");
+                        assert!(reply.contains("\"sealed\":"), "{reply}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // Every thread upserted OPS ids and removed OPS/5 of them.
+    let live = (THREADS * (OPS - OPS / 5)) as usize;
+    assert_eq!(server.stats().index_len, live);
+
+    // The wire view agrees with the in-process one: stats fields and,
+    // hit for hit (same {:.6} formatting), kNN results.
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.call("{\"op\":\"stats\"}").expect("stats");
+    assert!(stats.contains(&format!("\"size\":{live}")), "{stats}");
+    assert!(stats.contains("\"shards\":3"), "{stats}");
+    for qid in [0u64, 7, 1003, 2011] {
+        let reply = client
+            .call(&format!(
+                "{{\"op\":\"knn\",\"traj\":{},\"k\":5}}",
+                traj_json(&traj_for(qid))
+            ))
+            .expect("knn");
+        let want: Vec<String> = server
+            .knn(&traj_for(qid), 5)
+            .expect("knn")
+            .iter()
+            .enumerate()
+            .map(|(rank, (id, dist))| {
+                format!(
+                    "{{\"rank\":{},\"index\":{id},\"distance\":{dist:.6}}}",
+                    rank + 1
+                )
+            })
+            .collect();
+        assert!(
+            reply.contains(&format!("\"hits\":[{}]", want.join(","))),
+            "wire hits diverged from in-process for query {qid}:\n{reply}\nwant {want:?}"
+        );
+    }
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_match_by_req_echo() {
+    let server = sharded_server(2);
+    // 4 handler threads per connection: responses genuinely race.
+    let net = listen(Arc::clone(&server), "127.0.0.1:0", 4).expect("listen");
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+
+    const BATCH: u64 = 24;
+    for req in 0..BATCH {
+        // Mix op types so completion order differs from send order.
+        let payload = match req % 3 {
+            0 => format!(
+                "{{\"req\":{req},\"op\":\"upsert\",\"id\":{req},\"traj\":{}}}",
+                traj_json(&traj_for(req))
+            ),
+            1 => format!(
+                "{{\"req\":{req},\"op\":\"knn\",\"traj\":{},\"k\":2}}",
+                traj_json(&traj_for(req))
+            ),
+            _ => format!("{{\"req\":{req},\"op\":\"stats\"}}"),
+        };
+        client.send(&payload).expect("send");
+    }
+    let mut seen = vec![false; BATCH as usize];
+    for _ in 0..BATCH {
+        let frame = client.recv().expect("recv").expect("open connection");
+        assert!(frame.contains("\"ok\":true"), "{frame}");
+        let req = trajcl_serve::json::parse(&frame)
+            .expect("response json")
+            .get("req")
+            .and_then(|r| r.as_u64())
+            .expect("req echo") as usize;
+        assert!(!seen[req], "req {req} answered twice");
+        seen[req] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "every request answered exactly once"
+    );
+
+    net.shutdown();
+    server.shutdown();
+}
+
+/// Dials raw TCP, writes `bytes`, and returns what the server sends back
+/// until EOF (a closed connection reads as 0 bytes).
+fn raw_exchange(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.write_all(bytes).expect("write");
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf); // reset instead of FIN is fine too
+    buf
+}
+
+#[test]
+fn torn_frames_kill_only_their_connection() {
+    let server = sharded_server(2);
+    let net = listen(Arc::clone(&server), "127.0.0.1:0", 1).expect("listen");
+    let addr = net.local_addr().to_string();
+
+    // A garbage header: the server must close the connection without
+    // answering (framing errors are not recoverable in-stream).
+    let reply = raw_exchange(&addr, b"not a length\n{\"op\":\"stats\"}\n");
+    assert!(
+        reply.is_empty(),
+        "got {:?}",
+        String::from_utf8_lossy(&reply)
+    );
+
+    // An over-limit length is rejected the same way.
+    let reply = raw_exchange(&addr, b"99999999\n");
+    assert!(
+        reply.is_empty(),
+        "got {:?}",
+        String::from_utf8_lossy(&reply)
+    );
+
+    // A mid-frame disconnect: header promises 64 bytes, the peer vanishes
+    // after 10. The session must wind down without poisoning anything.
+    {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.write_all(b"64\n{\"op\":\"st").expect("write");
+    } // dropped here
+
+    // The listener and other connections are unaffected: a fresh client
+    // completes a full round trip.
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client.call("{\"op\":\"stats\"}").expect("stats");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn unix_socket_round_trip_and_cleanup() {
+    let dir = std::env::temp_dir().join("trajcl_net_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("serve-{}.sock", std::process::id()));
+    let addr = format!("unix:{}", path.display());
+
+    let server = sharded_server(2);
+    let net = listen(Arc::clone(&server), &addr, 1).expect("listen");
+    assert_eq!(net.local_addr(), addr);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client
+        .call(&format!(
+            "{{\"op\":\"upsert\",\"id\":9,\"traj\":{}}}",
+            traj_json(&traj_for(9))
+        ))
+        .expect("upsert");
+    assert!(reply.contains("\"replaced\":false"), "{reply}");
+    let reply = client
+        .call(&format!(
+            "{{\"op\":\"knn\",\"traj\":{},\"k\":1}}",
+            traj_json(&traj_for(9))
+        ))
+        .expect("knn");
+    assert!(reply.contains("\"index\":9"), "{reply}");
+
+    net.shutdown();
+    server.shutdown();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
