@@ -25,8 +25,19 @@
 //! The sweep first asserts sharded kNN is bit-identical to unsharded
 //! over the engine's exact table (the merge-correctness leg).
 //!
+//! With `--transport fleet` the scenarios run through the fault-tolerant
+//! front-end router (`trajcl_serve::Fleet`) over four downstream shard
+//! servers, all on real sockets:
+//!
+//! * `fleet_knn_4of4` — healthy fleet; every response is checked
+//!   `"partial":false` with all four shards answering;
+//! * `fleet_knn_3of4` — shard 0 is SIGKILL-equivalently torn down and
+//!   the health machine driven to Down first, then the same read load
+//!   runs degraded; every measured response is checked
+//!   `"partial":true,"shards_ok":3,"shards_total":4`.
+//!
 //! Usage:
-//!   load_gen [--quick] [--label NAME] [--transport inproc|tcp]
+//!   load_gen [--quick] [--label NAME] [--transport inproc|tcp|fleet]
 //!            [--out BENCH_serve.json] [--check BENCH_serve.json]
 //!
 //! * default: measure and append a run entry to `--out`;
@@ -50,7 +61,7 @@ use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
 use trajcl_engine::Engine;
 use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
 use trajcl_index::{IndexOptions, Metric, ShardedIndex};
-use trajcl_serve::{Client, ServeConfig, Server};
+use trajcl_serve::{Client, Fleet, FleetConfig, ServeConfig, Server, SessionOptions};
 use trajcl_tensor::{Shape, Tensor};
 
 /// Maximum tolerated qps-ratio regression vs. the baseline.
@@ -101,7 +112,18 @@ const SHARD_WRITE_FLOOR: f64 = 1.5;
 /// samples).
 const SHARD_TAIL_CEILING: f64 = 1.5;
 
-fn engine() -> Engine {
+/// Downstream shard servers in the fleet scenario; shard 0 is torn down
+/// for the degraded cell.
+const FLEET_SHARDS: usize = 4;
+/// Rows seeded through the fleet front-end before the read cells.
+const FLEET_DB: usize = 256;
+/// CI floor on degraded-over-healthy fleet read throughput: once the
+/// dead shard is marked Down the scatter skips it entirely, so degraded
+/// qps should sit near parity — 0.5 catches "every request burns a
+/// retry budget against the corpse" regressions without flaking.
+const FLEET_DEGRADED_FLOOR: f64 = 0.5;
+
+fn engine_with(database: Option<Vec<Trajectory>>) -> Engine {
     let mut rng = StdRng::seed_from_u64(0);
     let mut cfg = TrajClConfig::scaled_default();
     cfg.dim = 32;
@@ -111,12 +133,15 @@ fn engine() -> Engine {
     let table = Tensor::randn(Shape::d2(grid.num_cells(), cfg.dim), 0.0, 0.3, &mut rng);
     let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 200.0), 128);
     let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
-    Engine::builder()
-        .trajcl(model, feat)
-        .batch_size(128)
-        .database(workload(DB_SIZE, 0))
-        .build()
-        .expect("engine build")
+    let mut builder = Engine::builder().trajcl(model, feat).batch_size(128);
+    if let Some(db) = database {
+        builder = builder.database(db);
+    }
+    builder.build().expect("engine build")
+}
+
+fn engine() -> Engine {
+    engine_with(Some(workload(DB_SIZE, 0)))
 }
 
 /// Deterministic trajectories; `salt` decorrelates pools.
@@ -259,6 +284,11 @@ impl Snapshot {
                 ",\"shard4_write_speedup\":{w:.3},\"shard4_read_tail_ratio\":{r:.3}"
             ));
         }
+        // Degraded-over-healthy throughput (fleet runs): what the fleet
+        // gate reads.
+        if let Some(ratio) = self.fleet_degraded_ratio() {
+            s.push_str(&format!(",\"fleet_degraded_qps_ratio\":{ratio:.3}"));
+        }
         s.push('}');
         s
     }
@@ -271,6 +301,14 @@ impl Snapshot {
         let r1 = self.cell("tcp_knn_s1", TCP_CLIENTS)?;
         let r4 = self.cell("tcp_knn_s4", TCP_CLIENTS)?;
         Some((w4.qps / w1.qps, r4.p99_us / r1.p99_us))
+    }
+
+    /// Degraded (3 of 4 shards) over healthy fleet read qps, when both
+    /// fleet cells were measured.
+    fn fleet_degraded_ratio(&self) -> Option<f64> {
+        let healthy = self.cell("fleet_knn_4of4", TCP_CLIENTS)?;
+        let degraded = self.cell("fleet_knn_3of4", TCP_CLIENTS)?;
+        Some(degraded.qps / healthy.qps)
     }
 
     fn cell(&self, name: &str, threads: usize) -> Option<&Cell> {
@@ -514,6 +552,157 @@ fn measure_tcp(quick: bool, label: &str) -> Snapshot {
     }
 }
 
+/// The fleet scenario: four downstream shard servers on real sockets,
+/// the fault-tolerant front-end router in front, [`TCP_CLIENTS`] client
+/// connections against the front-end. Measures healthy reads, then
+/// tears one shard down SIGKILL-style and measures the degraded steady
+/// state — every degraded response is checked for the documented
+/// `"partial":true` marker with correct shard counts.
+fn measure_fleet(quick: bool, label: &str) -> Snapshot {
+    let (warmup, measure) = if quick {
+        (Duration::from_millis(100), Duration::from_millis(400))
+    } else {
+        (Duration::from_millis(250), Duration::from_millis(1500))
+    };
+
+    // Four shard "processes", seeded identically (same model weights, so
+    // distances agree across shards) but with EMPTY databases: rows
+    // arrive through the front-end, as in production.
+    let mut shards: Vec<Option<(Arc<Server>, trajcl_serve::NetServer)>> = (0..FLEET_SHARDS)
+        .map(|_| {
+            let server = Arc::new(
+                Server::new(
+                    Arc::new(engine_with(None)),
+                    ServeConfig {
+                        workers: WORKERS,
+                        ..ServeConfig::default()
+                    },
+                )
+                .expect("shard server"),
+            );
+            let net = trajcl_serve::net::listen(Arc::clone(&server), "127.0.0.1:0", WORKERS)
+                .expect("shard listen");
+            Some((server, net))
+        })
+        .collect();
+    let addrs: Vec<String> = shards
+        .iter()
+        .map(|s| s.as_ref().expect("live shard").1.local_addr().to_string())
+        .collect();
+
+    let fleet = Arc::new(Fleet::connect(&addrs, FleetConfig::default()).expect("fleet connect"));
+    let front = trajcl_serve::net::listen_with(
+        Arc::clone(&fleet),
+        "127.0.0.1:0",
+        WORKERS,
+        SessionOptions::default(),
+    )
+    .expect("front-end listen");
+    let addr = front.local_addr().to_string();
+    let clients: Vec<Mutex<Client>> = (0..TCP_CLIENTS)
+        .map(|_| Mutex::new(Client::connect(&addr).expect("connect")))
+        .collect();
+
+    // Seed every row through the front-end (hash-routed to its owner
+    // shard), then seal so reads hit the scatter-gather path.
+    {
+        let mut seeder = clients[0].lock().expect("client mutex");
+        for (j, t) in workload(FLEET_DB, 0).iter().enumerate() {
+            let reply = seeder
+                .call(&format!(
+                    "{{\"op\":\"upsert\",\"id\":{j},\"traj\":{}}}",
+                    traj_json(t)
+                ))
+                .expect("seed upsert");
+            assert!(reply.contains("\"ok\":true"), "seed failed: {reply}");
+        }
+        let reply = seeder.call("{\"op\":\"compact\"}").expect("compact");
+        assert!(reply.contains("\"ok\":true"), "compact failed: {reply}");
+    }
+
+    let hot = workload(HOT_QUERIES, 7);
+    let knn_payloads: Vec<String> = hot
+        .iter()
+        .map(|t| format!("{{\"op\":\"knn\",\"traj\":{},\"k\":{K}}}", traj_json(t)))
+        .collect();
+    let mut cells = Vec::new();
+
+    // Healthy fleet: all four shards answer every query in full.
+    let cell = run_cell(TCP_CLIENTS, warmup, measure, |client, i| {
+        let reply = clients[client]
+            .lock()
+            .expect("client mutex")
+            .call(&knn_payloads[i % knn_payloads.len()])
+            .expect("knn reply");
+        assert!(
+            reply.contains("\"partial\":false,\"shards_ok\":4,\"shards_total\":4"),
+            "expected a full answer: {reply}"
+        );
+    });
+    eprintln!(
+        "fleet_knn_4of4 clients={TCP_CLIENTS:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us",
+        cell.qps, cell.p50_us, cell.p99_us
+    );
+    cells.push(("fleet_knn_4of4", TCP_CLIENTS, cell));
+
+    // SIGKILL-equivalent teardown of shard 0 (listener gone, every
+    // connection severed mid-stream, no protocol goodbye), then drive
+    // the health machine to Down so the cell measures the degraded
+    // steady state rather than the transition.
+    let (server0, net0) = shards[0].take().expect("shard 0 alive");
+    net0.shutdown();
+    server0.shutdown();
+    {
+        let mut driver = clients[0].lock().expect("client mutex");
+        let mut settled = false;
+        for _ in 0..50 {
+            let reply = driver.call(&knn_payloads[0]).expect("degraded knn");
+            if reply.contains("\"partial\":true,\"shards_ok\":3,\"shards_total\":4") {
+                settled = true;
+                break;
+            }
+        }
+        assert!(settled, "shard 0 was never marked down by the fleet");
+    }
+    let cell = run_cell(TCP_CLIENTS, warmup, measure, |client, i| {
+        let reply = clients[client]
+            .lock()
+            .expect("client mutex")
+            .call(&knn_payloads[i % knn_payloads.len()])
+            .expect("degraded knn reply");
+        assert!(
+            reply.contains("\"ok\":true"),
+            "degraded knn failed: {reply}"
+        );
+        assert!(
+            reply.contains("\"partial\":true,\"shards_ok\":3,\"shards_total\":4"),
+            "expected a degraded answer: {reply}"
+        );
+    });
+    eprintln!(
+        "fleet_knn_3of4 clients={TCP_CLIENTS:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us",
+        cell.qps, cell.p50_us, cell.p99_us
+    );
+    cells.push(("fleet_knn_3of4", TCP_CLIENTS, cell));
+
+    drop(clients);
+    front.shutdown();
+    fleet.shutdown();
+    for (server, net) in shards.into_iter().flatten() {
+        net.shutdown();
+        server.shutdown();
+    }
+
+    Snapshot {
+        commit: git_commit(),
+        label: label.to_string(),
+        quick,
+        transport: "fleet",
+        shards: vec![FLEET_SHARDS],
+        cells,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -532,8 +721,8 @@ fn main() {
             "--transport" => {
                 i += 1;
                 transport = args[i].clone();
-                if transport != "inproc" && transport != "tcp" {
-                    eprintln!("--transport must be inproc or tcp, got {transport:?}");
+                if transport != "inproc" && transport != "tcp" && transport != "fleet" {
+                    eprintln!("--transport must be inproc, tcp or fleet, got {transport:?}");
                     std::process::exit(2);
                 }
             }
@@ -553,11 +742,38 @@ fn main() {
         i += 1;
     }
 
-    let snap = if transport == "tcp" {
-        measure_tcp(quick, &label)
-    } else {
-        measure_all(quick, &label)
+    let snap = match transport.as_str() {
+        "tcp" => measure_tcp(quick, &label),
+        "fleet" => measure_fleet(quick, &label),
+        _ => measure_all(quick, &label),
     };
+
+    if transport == "fleet" {
+        // Both sides of the gate come from this run: the cells already
+        // hard-assert the partial markers, so the gate only has to hold
+        // the degraded-throughput floor. `--check FILE` keeps the CLI
+        // shape of the other transports; FILE is not consulted.
+        let ratio = snap
+            .fleet_degraded_ratio()
+            .expect("both fleet cells measured");
+        if check.is_some() {
+            eprintln!(
+                "check fleet_degraded_qps_ratio: {ratio:.3} (floor {FLEET_DEGRADED_FLOOR:.3})"
+            );
+            if ratio < FLEET_DEGRADED_FLOOR {
+                eprintln!(
+                    "FAIL: degraded fleet throughput below {FLEET_DEGRADED_FLOOR}x the healthy run"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("OK: degraded fleet answers partially at full speed");
+        } else {
+            let entry = snap.to_json();
+            append_run(&out, &entry);
+            eprintln!("recorded run '{}' ({}) -> {out}", snap.label, snap.commit);
+        }
+        return;
+    }
 
     if transport == "tcp" {
         if check.is_some() {

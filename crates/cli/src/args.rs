@@ -37,7 +37,7 @@ pub enum ParsedCommand {
 }
 
 /// Options that are boolean flags: `--json` takes no value.
-const BOOL_FLAGS: &[&str] = &["json", "lint", "fuzz", "fuzz-quick"];
+const BOOL_FLAGS: &[&str] = &["json", "lint", "fuzz", "fuzz-quick", "fail-closed"];
 
 impl Args {
     /// Parses an argv-style list (excluding the program name).
@@ -144,7 +144,10 @@ USAGE:
                   [--index NLIST]
                   [--quantize sq8|pq4[:M]|pq[:M]] [--scan symmetric|asym]
                   [--workers N] [--max-batch N] [--max-wait-us N]
-                  [--cache N] [--queue N]
+                  [--cache N] [--queue N] [--idle-timeout-ms N]
+  trajcl serve    --fleet ADDR1,ADDR2,... [--listen ADDR] [--fail-closed]
+                  [--op-deadline-ms N] [--retries N] [--probe-ms N]
+                  [--idle-timeout-ms N]
   trajcl audit    [--lint] [--fuzz | --fuzz-quick] [--cases N]
                   [--root DIR] [--repro-dir DIR]
 
@@ -169,9 +172,9 @@ keeps no exact copy of sealed rows, but rescores hits that still match
 the engine's cached table (ids upserted through the server keep
 asymmetric, error-bounded distances).
 
-`serve` speaks length-prefixed JSON frames (`LEN\\n{...}\\n`): ops embed,
-knn, distance, upsert, remove, compact, stats (PROTOCOL.md at the repo
-root is the normative wire spec). By default frames flow over
+`serve` speaks length-prefixed JSON frames (`LEN\\n{...}\\n`): ops ping,
+embed, knn, distance, upsert, remove, compact, stats (PROTOCOL.md at
+the repo root is the normative wire spec). By default frames flow over
 stdin/stdout (logs go to stderr; stdout carries only frames). With
 `--listen HOST:PORT` (or `--listen unix:PATH`) the server instead
 accepts any number of TCP / unix-socket connections and runs until
@@ -179,6 +182,18 @@ stdin closes. `--shards N` partitions the mutable index into N
 hash-on-id shards so writes on different shards never contend (the
 count persists in the engine file; the flag overrides it). Responses
 may arrive out of order; pass a numeric \"req\" field to match them up.
+`--idle-timeout-ms N` reaps sessions quiet for N ms (0 disables).
+
+`serve --fleet` runs the front-end router instead: no model or db — it
+scatters the same wire protocol across the listed downstream shard
+servers (each a `serve --listen` process), routing writes by id hash
+and merging knn exactly. Shards are health-tracked (up/degraded/down,
+background ping probes); downstream calls carry deadlines and
+`--retries N` retries with backoff. Reads from a degraded fleet answer
+with \"partial\":true plus shards_ok/shards_total, or error in-band
+under `--fail-closed`. `--op-deadline-ms` bounds each downstream
+call's total budget; `--probe-ms` sets the prober cadence. See
+DESIGN.md §14 and the README operator's guide.
 
 `query --connect` and `upsert --connect` are thin clients for a
 listening server: they speak the same frames over the same address

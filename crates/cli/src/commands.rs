@@ -421,10 +421,21 @@ fn query_remote(args: &Args, out: &mut impl std::io::Write) -> Result<(), Engine
         .get("hits")
         .and_then(|h| h.as_arr())
         .ok_or_else(|| invalid("knn response carries no \"hits\""))?;
+    // Fleet front-ends mark degraded answers (PROTOCOL.md §7); surface
+    // the marker instead of letting a narrower answer pass as full.
+    let partial = v.get("partial") == Some(&trajcl_serve::json::Json::Bool(true));
+    let shards_ok = v.get("shards_ok").and_then(|x| x.as_u64());
+    let shards_total = v.get("shards_total").and_then(|x| x.as_u64());
     if !args.flag("json") {
+        let note = match (partial, shards_ok, shards_total) {
+            (true, Some(ok), Some(total)) => {
+                format!("; PARTIAL: {ok}/{total} shards answered")
+            }
+            _ => String::new(),
+        };
         writeln!(
             out,
-            "top-{k} similar to trajectory {qi} (served by {addr}):"
+            "top-{k} similar to trajectory {qi} (served by {addr}{note}):"
         )?;
     }
     for h in hits {
@@ -441,6 +452,16 @@ fn query_remote(args: &Args, out: &mut impl std::io::Write) -> Result<(), Engine
             )?;
         } else {
             writeln!(out, "  #{rank} idx={id} L1={dist:.4}")?;
+        }
+    }
+    // In --json mode a degraded answer appends one trailer object, so
+    // line-oriented consumers can't mistake a partial answer for full.
+    if args.flag("json") && partial {
+        if let (Some(ok), Some(total)) = (shards_ok, shards_total) {
+            writeln!(
+                out,
+                "{{\"partial\":true,\"shards_ok\":{ok},\"shards_total\":{total}}}"
+            )?;
         }
     }
     Ok(())
@@ -483,10 +504,28 @@ fn upsert_remote(args: &Args, out: &mut impl std::io::Write) -> Result<(), Engin
     Ok(())
 }
 
+/// The `--idle-timeout-ms` option: `0` disables reaping, absent keeps
+/// `default`.
+fn idle_timeout_opt(
+    args: &Args,
+    default: Option<std::time::Duration>,
+) -> Result<Option<std::time::Duration>, EngineError> {
+    if !args.options.contains_key("idle-timeout-ms") {
+        return Ok(default);
+    }
+    let ms: u64 = num(args, "idle-timeout-ms", 0)?;
+    Ok((ms > 0).then(|| std::time::Duration::from_millis(ms)))
+}
+
 /// Builds the serving runtime from CLI options, then serves protocol
 /// frames: on a TCP / unix-socket listener with `--listen`, or between
-/// stdin and `out` until end-of-stream otherwise.
+/// stdin and `out` until end-of-stream otherwise. With `--fleet` the
+/// process is instead the front-end router over downstream shard
+/// servers — no model or database of its own.
 fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), EngineError> {
+    if args.options.contains_key("fleet") {
+        return serve_fleet(args, out);
+    }
     let engine = load_engine(req(args, "model")?)?;
     // The server only ever consults its own MutableIndex, so k-means must
     // train there and nowhere else: remember the engine's persisted IVF
@@ -515,6 +554,7 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
     if args.options.contains_key("shards") {
         cfg.shards = Some(num::<usize>(args, "shards", 1)?.max(1));
     }
+    cfg.idle_timeout = idle_timeout_opt(args, cfg.idle_timeout)?;
     let handlers = cfg.workers.max(1);
     let server = Server::new(std::sync::Arc::new(engine), cfg)?;
     if let Some(addr) = args.options.get("listen") {
@@ -543,6 +583,59 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
     let stdin = std::io::stdin();
     serve_session(&server, &mut stdin.lock(), out, handlers)?;
     server.shutdown();
+    Ok(())
+}
+
+/// `trajcl serve --fleet A,B,...`: the front-end router. Dials the
+/// downstream shard servers, health-tracks them, and serves the same
+/// wire protocol — scattering reads, routing writes by id hash, and
+/// degrading to `"partial":true` answers when shards are down (or
+/// erroring under `--fail-closed`). See DESIGN.md §14.
+fn serve_fleet(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), EngineError> {
+    let addrs: Vec<String> = req(args, "fleet")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut cfg = trajcl_serve::FleetConfig {
+        fail_closed: args.flag("fail-closed"),
+        ..trajcl_serve::FleetConfig::default()
+    };
+    cfg.op_deadline = std::time::Duration::from_millis(num(args, "op-deadline-ms", 10_000u64)?);
+    cfg.retries = num(args, "retries", cfg.retries)?;
+    cfg.probe_interval = std::time::Duration::from_millis(num(args, "probe-ms", 500u64)?.max(1));
+    let fleet = std::sync::Arc::new(trajcl_serve::Fleet::connect(&addrs, cfg)?);
+    let up = fleet
+        .health()
+        .iter()
+        .filter(|h| **h == trajcl_serve::ShardHealth::Up)
+        .count();
+    let handlers = num(args, "workers", 4usize)?.max(1);
+    let session = trajcl_serve::SessionOptions {
+        idle_timeout: idle_timeout_opt(args, trajcl_serve::SessionOptions::default().idle_timeout)?,
+        ..trajcl_serve::SessionOptions::default()
+    };
+    if let Some(addr) = args.options.get("listen") {
+        let net =
+            trajcl_serve::listen_with(std::sync::Arc::clone(&fleet), addr, handlers, session)?;
+        eprintln!(
+            "trajcl serve: fleet front-end over {} shard(s) ({up} up); listening on {}",
+            fleet.shards_total(),
+            net.local_addr()
+        );
+        // Like shard mode: run until stdin closes.
+        std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink())?;
+        net.shutdown();
+        fleet.shutdown();
+        return Ok(());
+    }
+    eprintln!(
+        "trajcl serve: fleet front-end over {} shard(s) ({up} up); reading frames from stdin",
+        fleet.shards_total()
+    );
+    let stdin = std::io::stdin();
+    trajcl_serve::net::pump_frames(&*fleet, &mut stdin.lock(), out, handlers)?;
+    fleet.shutdown();
     Ok(())
 }
 
@@ -661,6 +754,30 @@ mod tests {
         let (code, out) = run_cmd("bogus --x 1");
         assert_eq!(code, 1);
         assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn fleet_with_no_reachable_shard_errors_fast() {
+        // Both "shards" refuse connections (port 1 is never listening);
+        // startup must fail within the connect deadline instead of
+        // hanging, and without demanding --model/--db.
+        let start = std::time::Instant::now();
+        let (code, out) =
+            run_cmd("serve --fleet 127.0.0.1:1,127.0.0.1:1 --fail-closed --retries 0");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.starts_with("error:"), "{out}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "startup failure took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn fleet_with_empty_address_list_errors() {
+        let (code, out) = run_cmd("serve --fleet , --retries 0");
+        assert_eq!(code, 1);
+        assert!(out.contains("at least one shard"), "{out}");
     }
 
     #[test]

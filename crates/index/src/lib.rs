@@ -40,4 +40,4 @@ pub use ivf::{
 };
 pub use kernels::{PqCodebook, Sq8Codebook, TopK};
 pub use mutable::{ExactRescorer, IndexOptions, IndexSnapshot, MutableIndex};
-pub use sharded::{ShardedIndex, ShardedSnapshot};
+pub use sharded::{merge_partials, shard_for, ShardedIndex, ShardedSnapshot};

@@ -31,11 +31,80 @@ use crate::mutable::{ExactRescorer, IndexOptions, IndexSnapshot, MutableIndex};
 /// permutation. Sequential ids (the common external-id pattern) land on
 /// different shards instead of striping through `id % n` hotspots.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// The shard owning external id `id` in any `nshards`-way trajcl
+/// partition: `splitmix64(id) % nshards`.
+///
+/// This is the **normative placement function** of the sharding
+/// contract — [`ShardedIndex`] uses it internally, and any out-of-process
+/// router (a fleet front-end addressing N shard servers) must use the
+/// same function so wire-routed writes land where a co-located
+/// [`ShardedIndex`] would put them. It is a pure function of
+/// `(id, nshards)`; no routing state ever needs persisting.
+///
+/// # Examples
+///
+/// ```
+/// use trajcl_index::shard_for;
+///
+/// // Sequential ids spread instead of striping.
+/// let shards: Vec<usize> = (0..8u64).map(|id| shard_for(id, 4)).collect();
+/// assert!(shards.iter().any(|&s| s != shards[0]));
+/// // Pure function: same inputs, same shard, forever.
+/// assert_eq!(shard_for(12345, 4), shard_for(12345, 4));
+/// ```
+#[inline]
+pub fn shard_for(id: u64, nshards: usize) -> usize {
+    (splitmix64(id) % nshards.max(1) as u64) as usize
+}
+
+/// Merges per-shard top-k partial hit lists into the exact global top-k
+/// — the gather half of scatter-gather kNN, shared by
+/// [`ShardedSnapshot::search`] and out-of-process routers (a fleet
+/// front-end merging wire responses from N shard servers).
+///
+/// The partial lists must draw from **disjoint id sets** (shards
+/// partition the id space), each sorted ascending as
+/// [`IndexSnapshot::search`] returns them. Because no candidate can be
+/// evicted inside its own shard by a vector from another shard, the
+/// union of per-shard top-k sets contains the true global top-k; this
+/// merge re-ranks that superset through the same fused [`TopK`] heap
+/// the scan kernels use, preserving the unsharded `(distance, id)`
+/// order bit-exactly (candidates are ordered by external id first and
+/// offered by position, so the heap's internal tie-break coincides with
+/// the external order).
+///
+/// # Examples
+///
+/// ```
+/// use trajcl_index::merge_partials;
+///
+/// let merged = merge_partials(
+///     vec![vec![(10, 0.5), (12, 2.0)], vec![(3, 1.0), (7, 2.0)]],
+///     3,
+/// );
+/// assert_eq!(merged, vec![(10, 0.5), (3, 1.0), (7, 2.0)]);
+/// ```
+pub fn merge_partials(partials: Vec<Vec<(u64, f64)>>, k: usize) -> Vec<(u64, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<(u64, f64)> = partials.into_iter().flatten().collect();
+    candidates.sort_unstable_by_key(|&(id, _)| id);
+    let mut topk = TopK::new(k);
+    for (pos, &(_, d)) in candidates.iter().enumerate() {
+        topk.offer(pos as u32, d);
+    }
+    topk.into_sorted()
+        .into_iter()
+        .map(|(pos, d)| (candidates[pos as usize].0, d))
+        .collect()
 }
 
 /// A group of hash-partitioned [`MutableIndex`] shards searched by
@@ -111,7 +180,7 @@ impl ShardedIndex {
         let mut part_ids: Vec<Vec<u64>> = vec![Vec::new(); n];
         let mut part_data: Vec<Vec<f32>> = vec![Vec::new(); n];
         for (row, &id) in ids.iter().enumerate() {
-            let s = (splitmix64(id) % n as u64) as usize;
+            let s = shard_for(id, n);
             part_ids[s].push(id);
             part_data[s].extend_from_slice(embeddings.row(row));
         }
@@ -152,7 +221,7 @@ impl ShardedIndex {
     /// placement, so routing state never needs persisting.
     #[inline]
     pub fn shard_of(&self, id: u64) -> usize {
-        (splitmix64(id) % self.shards.len() as u64) as usize
+        shard_for(id, self.shards.len())
     }
 
     /// The shard at position `s` (diagnostics, per-shard compaction
@@ -310,21 +379,9 @@ impl ShardedSnapshot {
                 rescorer.map(|r| r as &dyn ExactRescorer),
             );
         });
-        // Gather: merge at most shards*k candidates through the fused
-        // TopK heap. The heap tie-breaks equal distances by its u32 id,
-        // so candidates are first ordered by external id and offered by
-        // position — making the heap's (distance, position) order
-        // coincide with the unsharded (distance, external id) order.
-        let mut candidates: Vec<(u64, f64)> = partials.into_iter().flatten().collect();
-        candidates.sort_unstable_by_key(|&(id, _)| id);
-        let mut topk = TopK::new(k);
-        for (pos, &(_, d)) in candidates.iter().enumerate() {
-            topk.offer(pos as u32, d);
-        }
-        topk.into_sorted()
-            .into_iter()
-            .map(|(pos, d)| (candidates[pos as usize].0, d))
-            .collect()
+        // Gather: merge at most shards*k candidates through the shared
+        // exact-merge seam (fused TopK heap, tie order preserved).
+        merge_partials(partials, k)
     }
 }
 

@@ -1,0 +1,732 @@
+//! The fleet front-end: a router process that scatters the serve
+//! protocol across N independent downstream shard servers.
+//!
+//! [`Fleet`] owns one [`Client`] connection per downstream shard
+//! (`trajcl serve --listen` processes) and implements
+//! [`FrameHandler`], so [`crate::net::listen_with`] serves it on the
+//! wire exactly like a local [`crate::Server`] — clients speak the same
+//! PROTOCOL.md frames to a front-end and cannot tell (except for the
+//! extra degradation fields) that the data lives in other processes.
+//!
+//! Placement and merging reuse the in-process sharding machinery
+//! verbatim: `upsert`/`remove` route by
+//! [`trajcl_index::shard_for`]`(id, n)` — the same splitmix64 hash the
+//! in-process [`trajcl_index::ShardedIndex`] uses — and `knn` forwards
+//! the query to every shard and merges the per-shard top-k lists
+//! through [`trajcl_index::merge_partials`], the exact fused-top-k
+//! path. Because shards hold disjoint id sets and each returns its
+//! local top-k, the merged answer is bit-identical to an unsharded
+//! server over the same data (DESIGN.md §13.3; §14 for the fleet).
+//!
+//! Robustness is the point (DESIGN.md §14):
+//!
+//! * every downstream call carries connect/read/write deadlines and a
+//!   total per-op budget ([`FleetConfig::op_deadline`]) — no code path
+//!   blocks unboundedly on a dead shard;
+//! * failures retry with exponential backoff and deterministic seeded
+//!   jitter, within the op budget;
+//! * each shard runs a health state machine — [`ShardHealth::Up`] →
+//!   [`ShardHealth::Degraded`] → [`ShardHealth::Down`] on consecutive
+//!   failures, with a background `ping` prober re-admitting recovered
+//!   shards through a half-open circuit-breaker step;
+//! * when shards are unreachable, reads degrade instead of failing:
+//!   responses carry `"partial":true` with `shards_ok`/`shards_total`
+//!   (or error in-band under [`FleetConfig::fail_closed`]); writes to a
+//!   down shard error in-band immediately — never hang.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use trajcl_index::{merge_partials, shard_for};
+
+use crate::json::{parse, Json};
+use crate::net::{Client, ClientOptions, FrameHandler};
+use crate::proto::{err_response, req_echo, MAX_K};
+
+/// Tuning knobs for [`Fleet::connect`].
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Socket deadlines for downstream connections (dial, per-read,
+    /// per-write). The per-call read deadline is additionally tightened
+    /// to the remaining [`FleetConfig::op_deadline`] budget.
+    pub client: ClientOptions,
+    /// Total wall-clock budget for one downstream call including
+    /// reconnects, retries and backoff sleeps. This is the fleet's
+    /// answer-by deadline: a scattered read completes (possibly
+    /// partial) within roughly this budget regardless of shard state.
+    pub op_deadline: Duration,
+    /// Extra attempts after the first failed one.
+    pub retries: u32,
+    /// First retry's backoff sleep (doubles per attempt).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Consecutive failures that take a shard [`ShardHealth::Down`]
+    /// (fewer leave it [`ShardHealth::Degraded`]).
+    pub down_after: u32,
+    /// Cadence of the background health prober (fresh connection +
+    /// `ping` against every non-[`ShardHealth::Up`] shard).
+    pub probe_interval: Duration,
+    /// `true` errors degraded reads in-band instead of answering
+    /// `"partial":true` (fail-closed; the default is fail-open).
+    pub fail_closed: bool,
+    /// Seed of the deterministic backoff-jitter stream (splitmix64 over
+    /// a counter — two fleets with the same seed and call order sleep
+    /// identically, which the chaos suite relies on).
+    pub jitter_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            client: ClientOptions {
+                connect_timeout: Some(Duration::from_secs(2)),
+                read_timeout: Some(Duration::from_secs(10)),
+                write_timeout: Some(Duration::from_secs(10)),
+            },
+            op_deadline: Duration::from_secs(10),
+            retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(1),
+            down_after: 3,
+            probe_interval: Duration::from_millis(500),
+            fail_closed: false,
+            jitter_seed: 0x5EED_F1EE7,
+        }
+    }
+}
+
+/// A shard's position in the health state machine (DESIGN.md §14.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Up,
+    /// Recent failures (or a half-open probation after recovering from
+    /// [`ShardHealth::Down`]): still receives traffic, one step from
+    /// the breaker tripping.
+    Degraded,
+    /// Breaker open: skipped by reads, writes error in-band, only the
+    /// background prober talks to it.
+    Down,
+}
+
+impl ShardHealth {
+    /// The lowercase wire name (`"up"` / `"degraded"` / `"down"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Up => "up",
+            ShardHealth::Degraded => "degraded",
+            ShardHealth::Down => "down",
+        }
+    }
+}
+
+/// Mutable health-machine state, one per shard.
+struct HealthState {
+    health: ShardHealth,
+    consecutive_fails: u32,
+}
+
+/// One downstream shard: its address, the (lock-step) live connection,
+/// and its health state.
+struct Shard {
+    addr: String,
+    /// The persistent connection, dialled lazily and dropped on any
+    /// transport error (a failed call may leave the stream mid-frame;
+    /// resynchronisation is reconnection). Held across a full
+    /// request/response round trip, so calls to ONE shard serialise —
+    /// scatter parallelism is across shards, not within one.
+    conn: Mutex<Option<Client>>,
+    state: Mutex<HealthState>,
+}
+
+impl Shard {
+    fn health(&self) -> ShardHealth {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).health
+    }
+
+    /// A live call or probe succeeded: Degraded/Up → Up; Down → the
+    /// half-open probation step (Degraded with one strike left, so a
+    /// single failure re-trips the breaker instead of re-earning the
+    /// full failure budget).
+    fn record_success(&self, down_after: u32) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        match s.health {
+            ShardHealth::Down => {
+                s.health = ShardHealth::Degraded;
+                s.consecutive_fails = down_after.saturating_sub(1);
+            }
+            _ => {
+                s.health = ShardHealth::Up;
+                s.consecutive_fails = 0;
+            }
+        }
+    }
+
+    fn record_failure(&self, down_after: u32) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        s.consecutive_fails = s.consecutive_fails.saturating_add(1);
+        s.health = if s.consecutive_fails >= down_after {
+            ShardHealth::Down
+        } else {
+            ShardHealth::Degraded
+        };
+    }
+}
+
+/// The splitmix64 mixer (same constants as the placement hash) — drives
+/// the deterministic backoff-jitter stream.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fleet front-end router (module docs have the architecture).
+///
+/// Construct with [`Fleet::connect`], serve with
+/// [`crate::net::listen_with`] (it implements [`FrameHandler`]), stop
+/// with [`Fleet::shutdown`].
+pub struct Fleet {
+    shards: Vec<Arc<Shard>>,
+    cfg: FleetConfig,
+    stop: Arc<AtomicBool>,
+    prober: Mutex<Option<JoinHandle<()>>>,
+    /// Counter behind the jitter stream and single-shard round-robin.
+    ticket: AtomicU64,
+}
+
+impl Fleet {
+    /// Dials the downstream shards and starts the background health
+    /// prober. Unreachable shards start [`ShardHealth::Down`] (the
+    /// prober re-admits them when they appear); the call only fails if
+    /// `addrs` is empty or EVERY shard is unreachable — a fleet with no
+    /// healthy downstream cannot answer anything.
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::InvalidInput`] for an empty address list;
+    /// the last dial error when no shard is reachable.
+    pub fn connect(addrs: &[String], cfg: FleetConfig) -> std::io::Result<Fleet> {
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "fleet needs at least one shard address",
+            ));
+        }
+        let mut shards = Vec::with_capacity(addrs.len());
+        let mut reachable = 0usize;
+        let mut last_err = None;
+        for addr in addrs {
+            let shard = Arc::new(Shard {
+                addr: addr.clone(),
+                conn: Mutex::new(None),
+                state: Mutex::new(HealthState {
+                    health: ShardHealth::Up,
+                    consecutive_fails: 0,
+                }),
+            });
+            // One eager probe so startup state is honest: operators see
+            // dead addresses immediately instead of on first traffic.
+            match probe_once(&shard.addr, &cfg.client) {
+                Ok(()) => reachable += 1,
+                Err(e) => {
+                    let mut s = shard.state.lock().unwrap_or_else(|p| p.into_inner());
+                    s.health = ShardHealth::Down;
+                    s.consecutive_fails = cfg.down_after;
+                    last_err = Some(e);
+                }
+            }
+            shards.push(shard);
+        }
+        if reachable == 0 {
+            return Err(last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotConnected, "no shard reachable")
+            }));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let prober = spawn_prober(shards.clone(), cfg, Arc::clone(&stop));
+        Ok(Fleet {
+            shards,
+            cfg,
+            stop,
+            prober: Mutex::new(Some(prober)),
+            ticket: AtomicU64::new(0),
+        })
+    }
+
+    /// Downstream shard count (`shards_total` on the wire).
+    pub fn shards_total(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current health of every shard, in address order.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.shards.iter().map(|s| s.health()).collect()
+    }
+
+    /// Stops the prober and drops every downstream connection. Called
+    /// by `Drop`; explicit for tests and the CLI's clean-exit path.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let prober = self.prober.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(prober) = prober {
+            let _ = prober.join();
+        }
+        for shard in &self.shards {
+            shard.conn.lock().unwrap_or_else(|p| p.into_inner()).take();
+        }
+    }
+
+    /// The next value of the deterministic jitter/round-robin stream,
+    /// in `[0, 1)`.
+    fn jitter(&self) -> f64 {
+        let n = self.ticket.fetch_add(1, Ordering::Relaxed);
+        (splitmix64(self.cfg.jitter_seed ^ n) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One downstream call with the full robustness envelope: per-op
+    /// deadline, bounded retries, backoff+jitter, health recording.
+    /// Transport errors surface as `Err`; in-band downstream errors are
+    /// `Ok` (the shard is healthy — the request was bad).
+    fn call_shard(&self, shard: &Shard, payload: &str) -> std::io::Result<String> {
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.call_once(shard, payload, deadline) {
+                Ok(resp) => {
+                    shard.record_success(self.cfg.down_after);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    shard.record_failure(self.cfg.down_after);
+                    attempt += 1;
+                    if attempt > self.cfg.retries {
+                        return Err(e);
+                    }
+                    // Exponential backoff with deterministic jitter in
+                    // [0.5, 1.0)× — desynchronises retry storms without
+                    // nondeterminism the chaos suite couldn't replay.
+                    let exp = self
+                        .cfg
+                        .backoff_base
+                        .saturating_mul(1u32 << (attempt - 1).min(16));
+                    let capped = exp.min(self.cfg.backoff_max);
+                    let sleep = capped.mul_f64(0.5 + 0.5 * self.jitter());
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() || sleep >= remaining {
+                        return Err(e); // budget exhausted: fail now, not late
+                    }
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+    }
+
+    /// One attempt: (re)dial if needed, tighten the read deadline to
+    /// the remaining budget, round-trip. Any error drops the
+    /// connection — a half-written or half-read frame leaves the stream
+    /// unsynchronisable, so reconnection IS the resync protocol.
+    fn call_once(
+        &self,
+        shard: &Shard,
+        payload: &str,
+        deadline: Instant,
+    ) -> std::io::Result<String> {
+        let budget = |cap: Option<Duration>| -> std::io::Result<Option<Duration>> {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "op deadline exhausted",
+                ));
+            }
+            Ok(Some(cap.map_or(remaining, |c| c.min(remaining))))
+        };
+        let mut conn = shard.conn.lock().unwrap_or_else(|p| p.into_inner());
+        if conn.is_none() {
+            let opts = ClientOptions {
+                connect_timeout: budget(self.cfg.client.connect_timeout)?,
+                read_timeout: budget(self.cfg.client.read_timeout)?,
+                write_timeout: budget(self.cfg.client.write_timeout)?,
+            };
+            *conn = Some(Client::connect_with(&shard.addr, &opts)?);
+        }
+        let client = conn.as_mut().expect("dialled above");
+        let result = client
+            .set_read_timeout(budget(self.cfg.client.read_timeout)?)
+            .and_then(|()| client.call(payload));
+        if result.is_err() {
+            *conn = None;
+        }
+        result
+    }
+
+    /// Scatters `payload` to every non-Down shard in parallel, returning
+    /// per-shard results (`None` for skipped-Down and failed shards)
+    /// plus the ok count.
+    fn scatter(&self, payload: &str) -> (Vec<Option<String>>, usize) {
+        let mut results: Vec<Option<String>> = vec![None; self.shards.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    // Breaker open: don't even try (the prober owns
+                    // re-admission), keep the deadline for live shards.
+                    if shard.health() == ShardHealth::Down {
+                        return None;
+                    }
+                    Some(scope.spawn(move || self.call_shard(shard, payload).ok()))
+                })
+                .collect();
+            for (slot, handle) in results.iter_mut().zip(handles) {
+                if let Some(handle) = handle {
+                    *slot = handle.join().unwrap_or(None);
+                }
+            }
+        });
+        let ok = results.iter().filter(|r| r.is_some()).count();
+        (results, ok)
+    }
+
+    /// The fleet's degradation preamble: `"partial":…,"shards_ok":…,
+    /// "shards_total":…` (PROTOCOL.md §7).
+    fn degradation_fields(&self, ok: usize) -> String {
+        format!(
+            "\"partial\":{},\"shards_ok\":{ok},\"shards_total\":{}",
+            ok < self.shards.len(),
+            self.shards.len()
+        )
+    }
+
+    fn route(&self, obj: &Json, payload: &str) -> Result<String, String> {
+        let echo = req_echo(obj);
+        let op = obj
+            .get("op")
+            .ok_or("missing field \"op\"")?
+            .as_str()
+            .ok_or("\"op\" must be a string")?;
+        match op {
+            // Answered locally: the front-end's own liveness, not the
+            // shards' (probe those via `stats` health).
+            "ping" => Ok(format!("{{{echo}\"ok\":true,\"pong\":true}}")),
+            "knn" => self.route_knn(obj, &echo, payload),
+            "upsert" | "remove" => self.route_write(obj, &echo, payload),
+            "embed" | "distance" => self.route_any_shard(&echo, payload),
+            "compact" => self.route_compact(&echo, payload),
+            "stats" => self.route_stats(&echo, payload),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Scatter the query to every live shard, merge local top-k lists
+    /// through the exact path. Shards hold disjoint ids, so the union
+    /// of per-shard top-k contains the global top-k and the merge is
+    /// bit-exact vs an unsharded server (DESIGN.md §13.3).
+    fn route_knn(&self, obj: &Json, echo: &str, payload: &str) -> Result<String, String> {
+        let k = obj
+            .get("k")
+            .ok_or("missing field \"k\"")?
+            .as_u64()
+            .filter(|&k| k <= MAX_K as u64)
+            .ok_or_else(|| format!("\"k\" must be an integer in 0..={MAX_K}"))?
+            as usize;
+        let (results, ok) = self.scatter(payload);
+        if ok == 0 {
+            return Err("no shard reachable".into());
+        }
+        if self.cfg.fail_closed && ok < self.shards.len() {
+            return Err(format!(
+                "fail-closed: {} of {} shards unavailable",
+                self.shards.len() - ok,
+                self.shards.len()
+            ));
+        }
+        let mut partials = Vec::with_capacity(ok);
+        for resp in results.into_iter().flatten() {
+            partials.push(parse_hits(&resp)?);
+        }
+        let merged = merge_partials(partials, k);
+        let rows: Vec<String> = merged
+            .iter()
+            .enumerate()
+            .map(|(rank, (id, dist))| {
+                format!(
+                    "{{\"rank\":{},\"index\":{id},\"distance\":{dist:.6}}}",
+                    rank + 1
+                )
+            })
+            .collect();
+        Ok(format!(
+            "{{{echo}\"ok\":true,{},\"hits\":[{}]}}",
+            self.degradation_fields(ok),
+            rows.join(",")
+        ))
+    }
+
+    /// Route a write to its owning shard by the placement hash. A Down
+    /// owner errors in-band immediately — writes never hang and never
+    /// silently land on the wrong shard.
+    fn route_write(&self, obj: &Json, _echo: &str, payload: &str) -> Result<String, String> {
+        let id = obj
+            .get("id")
+            .ok_or("missing field \"id\"")?
+            .as_u64()
+            .ok_or("\"id\" must be a non-negative integer")?;
+        let shard = &self.shards[shard_for(id, self.shards.len())];
+        if shard.health() == ShardHealth::Down {
+            return Err(format!("shard {} is down; write refused", shard.addr));
+        }
+        match self.call_shard(shard, payload) {
+            // The downstream response already carries the req echo and
+            // the op's fields — forward it verbatim.
+            Ok(resp) => Ok(resp),
+            Err(e) => Err(format!("shard {}: {e}", shard.addr)),
+        }
+    }
+
+    /// Ops any one shard can answer (every shard holds the full model):
+    /// round-robin over live shards, failing over to the next.
+    fn route_any_shard(&self, _echo: &str, payload: &str) -> Result<String, String> {
+        let n = self.shards.len();
+        let start = (self.jitter() * n as f64) as usize % n;
+        let mut last_err = None;
+        for i in 0..n {
+            let shard = &self.shards[(start + i) % n];
+            if shard.health() == ShardHealth::Down {
+                continue;
+            }
+            match self.call_shard(shard, payload) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last_err = Some(format!("shard {}: {e}", shard.addr)),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| "no shard reachable".into()))
+    }
+
+    /// Scatter `compact`, sum the per-shard sealed counts.
+    fn route_compact(&self, echo: &str, payload: &str) -> Result<String, String> {
+        let (results, ok) = self.scatter(payload);
+        if ok == 0 {
+            return Err("no shard reachable".into());
+        }
+        let mut sealed: u64 = 0;
+        for resp in results.into_iter().flatten() {
+            sealed += parse_ok_field(&resp, "sealed")?;
+        }
+        Ok(format!(
+            "{{{echo}\"ok\":true,{},\"sealed\":{sealed}}}",
+            self.degradation_fields(ok)
+        ))
+    }
+
+    /// Scatter `stats`, sum the additive index fields, and report
+    /// fleet-level health (`"health":["up","down",...]` in shard
+    /// order). Counters of unreachable shards are simply missing from
+    /// the sums — `shards_ok` says how many contributed.
+    fn route_stats(&self, echo: &str, payload: &str) -> Result<String, String> {
+        let (results, ok) = self.scatter(payload);
+        if ok == 0 {
+            return Err("no shard reachable".into());
+        }
+        let mut sums: [u64; 4] = [0; 4]; // size, buffer, memory_bytes, shards
+        for resp in results.into_iter().flatten() {
+            for (slot, key) in sums
+                .iter_mut()
+                .zip(["size", "buffer", "memory_bytes", "shards"])
+            {
+                *slot += parse_ok_field(&resp, key)?;
+            }
+        }
+        let health: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| format!("\"{}\"", s.health().as_str()))
+            .collect();
+        Ok(format!(
+            "{{{echo}\"ok\":true,{},\"size\":{},\"buffer\":{},\"memory_bytes\":{},\"shards\":{},\"health\":[{}]}}",
+            self.degradation_fields(ok),
+            sums[0],
+            sums[1],
+            sums[2],
+            sums[3],
+            health.join(",")
+        ))
+    }
+}
+
+impl FrameHandler for Fleet {
+    fn handle_frame(&self, payload: &str) -> String {
+        let obj = match parse(payload) {
+            Ok(v) => v,
+            Err(e) => return err_response("", &format!("malformed JSON: {e}")),
+        };
+        let echo = req_echo(&obj);
+        match self.route(&obj, payload) {
+            Ok(resp) => resp,
+            Err(msg) => err_response(&echo, &msg),
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One fresh-connection `ping` round trip (the probe primitive: never
+/// touches the persistent per-shard connection, so probing cannot
+/// interfere with live traffic).
+fn probe_once(addr: &str, opts: &ClientOptions) -> std::io::Result<()> {
+    let mut client = Client::connect_with(addr, opts)?;
+    let resp = client.call("{\"op\":\"ping\"}")?;
+    if resp.contains("\"pong\":true") {
+        Ok(())
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected ping response: {resp}"),
+        ))
+    }
+}
+
+/// The background health prober: every `probe_interval`, ping each
+/// non-Up shard over a fresh connection. Success walks the state
+/// machine back up (Down → half-open Degraded → Up); failure keeps the
+/// breaker open. Sleeps in small slices so shutdown is prompt.
+fn spawn_prober(
+    shards: Vec<Arc<Shard>>,
+    cfg: FleetConfig,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let slice = Duration::from_millis(20);
+        loop {
+            let mut slept = Duration::ZERO;
+            while slept < cfg.probe_interval {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            for shard in &shards {
+                if shard.health() == ShardHealth::Up {
+                    continue;
+                }
+                match probe_once(&shard.addr, &cfg.client) {
+                    Ok(()) => shard.record_success(cfg.down_after),
+                    Err(_) => shard.record_failure(cfg.down_after),
+                }
+            }
+        }
+    })
+}
+
+/// Extracts `(id, distance)` pairs from a downstream `knn` response.
+/// An in-band downstream error propagates as this fleet request's error
+/// (the shard answered — the request itself was bad).
+fn parse_hits(resp: &str) -> Result<Vec<(u64, f64)>, String> {
+    let obj = parse(resp).map_err(|e| format!("malformed shard response: {e}"))?;
+    check_ok(&obj)?;
+    let hits = obj
+        .get("hits")
+        .and_then(Json::as_arr)
+        .ok_or("shard response missing \"hits\"")?;
+    hits.iter()
+        .map(|h| {
+            let id = h
+                .get("index")
+                .and_then(Json::as_u64)
+                .ok_or("shard hit missing \"index\"")?;
+            let dist = h
+                .get("distance")
+                .and_then(Json::as_f64)
+                .ok_or("shard hit missing \"distance\"")?;
+            Ok((id, dist))
+        })
+        .collect()
+}
+
+/// Extracts one non-negative integer field from an ok downstream
+/// response.
+fn parse_ok_field(resp: &str, key: &str) -> Result<u64, String> {
+    let obj = parse(resp).map_err(|e| format!("malformed shard response: {e}"))?;
+    check_ok(&obj)?;
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("shard response missing \"{key}\""))
+}
+
+fn check_ok(obj: &Json) -> Result<(), String> {
+    match obj.get("ok") {
+        Some(Json::Bool(true)) => Ok(()),
+        _ => Err(obj
+            .get("error")
+            .and_then(Json::as_str)
+            .map_or_else(|| "shard reported an error".into(), str::to_string)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_machine_walks_down_and_back_up() {
+        let shard = Shard {
+            addr: "test".into(),
+            conn: Mutex::new(None),
+            state: Mutex::new(HealthState {
+                health: ShardHealth::Up,
+                consecutive_fails: 0,
+            }),
+        };
+        shard.record_failure(3);
+        assert_eq!(shard.health(), ShardHealth::Degraded);
+        shard.record_failure(3);
+        assert_eq!(shard.health(), ShardHealth::Degraded);
+        shard.record_failure(3);
+        assert_eq!(shard.health(), ShardHealth::Down);
+        // Half-open: one probe success re-admits on probation...
+        shard.record_success(3);
+        assert_eq!(shard.health(), ShardHealth::Degraded);
+        // ...where a single failure re-trips the breaker...
+        shard.record_failure(3);
+        assert_eq!(shard.health(), ShardHealth::Down);
+        // ...and a success streak goes Down → Degraded → Up.
+        shard.record_success(3);
+        shard.record_success(3);
+        assert_eq!(shard.health(), ShardHealth::Up);
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic_and_in_range() {
+        let a: Vec<u64> = (0..64).map(|n| splitmix64(0x5EED ^ n)).collect();
+        let b: Vec<u64> = (0..64).map(|n| splitmix64(0x5EED ^ n)).collect();
+        assert_eq!(a, b);
+        for n in 0..1000u64 {
+            let j = (splitmix64(7 ^ n) >> 11) as f64 / (1u64 << 53) as f64;
+            assert!((0.0..1.0).contains(&j), "{j}");
+        }
+    }
+
+    #[test]
+    fn downstream_response_parsers() {
+        let hits = parse_hits(
+            "{\"ok\":true,\"hits\":[{\"rank\":1,\"index\":7,\"distance\":0.125000},{\"rank\":2,\"index\":3,\"distance\":2.500000}]}",
+        )
+        .unwrap();
+        assert_eq!(hits, vec![(7, 0.125), (3, 2.5)]);
+        assert_eq!(
+            parse_ok_field("{\"ok\":true,\"sealed\":42}", "sealed"),
+            Ok(42)
+        );
+        let err = parse_hits("{\"ok\":false,\"error\":\"boom\"}").unwrap_err();
+        assert_eq!(err, "boom");
+    }
+}

@@ -23,8 +23,20 @@
 //! * **wire protocol** ([`proto`]) — length-prefixed JSON frames over any
 //!   byte stream (normative spec: `PROTOCOL.md` at the repo root);
 //! * **transport** ([`net`]) — a TCP / unix-socket listener and client
-//!   for those frames; the `trajcl serve` CLI subcommand speaks either
-//!   the listener or the degenerate stdin/stdout single-connection mode.
+//!   for those frames, with connect/read/write deadlines on every socket
+//!   and idle-session reaping; the `trajcl serve` CLI subcommand speaks
+//!   either the listener or the degenerate stdin/stdout
+//!   single-connection mode;
+//! * **fleet front-end** ([`fleet`]) — a router process owning
+//!   [`Client`] connections to N downstream shard servers: scatters
+//!   `knn`/`upsert`/`remove` by the same hash-on-id placement, merges
+//!   through the exact top-k path, and degrades gracefully (retries
+//!   with backoff, per-shard health tracking, `"partial":true` answers)
+//!   when shards die;
+//! * **fault injection** ([`chaos`]) — a deterministic seeded
+//!   frame-corrupting proxy (drop/delay/truncate/garble/kill) that the
+//!   chaos test suite and `load_gen` use to prove the failure modes in
+//!   DESIGN.md §14 actually hold.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -62,6 +74,8 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod chaos;
+pub mod fleet;
 pub mod json;
 pub mod net;
 pub mod proto;
@@ -69,6 +83,10 @@ pub mod router;
 pub mod server;
 
 pub use cache::{content_hash, LruCache};
-pub use net::{listen, Client, NetServer};
+pub use chaos::{ChaosPlan, ChaosProxy, Fault};
+pub use fleet::{Fleet, FleetConfig, ShardHealth};
+pub use net::{
+    listen, listen_with, Client, ClientOptions, FrameHandler, NetServer, SessionOptions,
+};
 pub use router::ShardRouter;
 pub use server::{ServeConfig, Server, ServerStats};

@@ -27,16 +27,109 @@
 //! In-flight requests of a dropped connection still run to completion
 //! server-side (their responses go nowhere); acknowledged writes are
 //! never undone. Other connections and the listener are unaffected.
+//!
+//! Every socket carries deadlines: clients dial with [`ClientOptions`]
+//! (connect/read/write timeouts, sane defaults), accepted sessions run
+//! under [`SessionOptions`] (idle reaping + write deadline). A stalled
+//! peer can therefore never wedge a thread forever — it times out, and
+//! its session or connection winds down cleanly. [`listen_with`] serves
+//! any [`FrameHandler`] (a local [`Server`] or a
+//! [`Fleet`](crate::fleet::Fleet) front-end) with explicit deadlines.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::proto::{handle, read_frame, write_frame};
 use crate::server::Server;
+
+/// Anything that can answer one protocol request payload with one
+/// response payload — the seam that lets [`pump_frames`] and
+/// [`listen_with`] serve either a local [`Server`] (via
+/// [`handle`]) or a fleet front-end
+/// ([`crate::fleet::Fleet`]) routing to downstream shard servers.
+pub trait FrameHandler: Send + Sync {
+    /// Executes one request payload, returning the response payload
+    /// (errors are in-band — this never fails at the transport level).
+    fn handle_frame(&self, payload: &str) -> String;
+}
+
+impl FrameHandler for Server {
+    fn handle_frame(&self, payload: &str) -> String {
+        handle(self, payload)
+    }
+}
+
+/// Client-side I/O deadlines for [`Client::connect_with`].
+///
+/// `None` disables the corresponding deadline (the pre-deadline
+/// behaviour: block forever). The defaults are deliberately generous —
+/// they exist so a dead peer can never wedge a thread *forever*, not to
+/// win failover races; latency-sensitive callers (the fleet router)
+/// tighten them to their own budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientOptions {
+    /// TCP connection-establishment deadline (unix sockets connect
+    /// locally and ignore it). Default 5 s.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each blocking read ([`Client::recv`] /
+    /// [`Client::call`] response waits). Default 30 s.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each blocking write (a peer that stops draining its
+    /// socket eventually fills the kernel buffer). Default 30 s.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Server-side per-session deadlines for [`listen`] / [`listen_with`].
+///
+/// `None` disables the corresponding deadline. Defaults come from
+/// [`SessionOptions::default`]; `trajcl serve` surfaces them through
+/// `ServeConfig` / `--idle-timeout-ms`.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionOptions {
+    /// A session that has not delivered a complete frame for this long
+    /// is reaped: the socket is shut down cleanly and its threads wind
+    /// down, so leaked clients don't accumulate session threads. Also
+    /// bounds a peer that stalls *mid-frame*. Default 15 min.
+    pub idle_timeout: Option<Duration>,
+    /// Deadline for each blocking response write (a client that stops
+    /// reading eventually fills the kernel buffer; past the deadline its
+    /// session is dropped instead of wedging a handler). Default 30 s.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            idle_timeout: Some(Duration::from_secs(900)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// True for the error kinds a timed-out socket read/write surfaces
+/// (`SO_RCVTIMEO`/`SO_SNDTIMEO` report `WouldBlock` on most unixes,
+/// `TimedOut` elsewhere).
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// One accepted or dialled connection, TCP or unix (a unified handle so
 /// every transport path is written once).
@@ -58,6 +151,22 @@ impl Stream {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         };
+    }
+
+    // `SO_RCVTIMEO`/`SO_SNDTIMEO` live on the underlying socket, so one
+    // call here covers every `try_clone` duplicate of the fd.
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+            Stream::Unix(s) => s.set_write_timeout(dur),
+        }
     }
 }
 
@@ -94,9 +203,14 @@ impl Write for Stream {
 ///
 /// This is the whole per-connection (and stdin/stdout) session loop;
 /// both the CLI's `serve` subcommand and [`listen`]'s connection threads
-/// run it verbatim.
-pub fn pump_frames(
-    server: &Server,
+/// run it verbatim. `handler` is the local [`Server`] in shard mode or a
+/// [`crate::fleet::Fleet`] front-end in fleet mode.
+///
+/// When the input stream carries a read deadline (sessions accepted
+/// under [`SessionOptions::idle_timeout`]), a timed-out read ends the
+/// session cleanly (`Ok`) — that is the idle reaper, not an error.
+pub fn pump_frames<H: FrameHandler + ?Sized>(
+    handler: &H,
     input: &mut impl BufRead,
     out: &mut (impl Write + Send),
     handlers: usize,
@@ -114,19 +228,31 @@ pub fn pump_frames(
                     rx.recv()
                 };
                 let Ok(payload) = payload else { return };
-                let response = handle(server, &payload);
+                let response = handler.handle_frame(&payload);
                 let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
                 // A vanished peer is this connection's problem only; the
                 // reader will hit the same condition and wind down.
                 let _ = write_frame(&mut **out, &response);
             });
         }
-        while let Some(payload) = read_frame(input)? {
-            // Handler threads outlive the reader (they only exit once tx
-            // drops below), so a failed send means the scope is already
-            // unwinding — stop reading rather than panic twice.
-            if tx.send(payload).is_err() {
-                break;
+        loop {
+            match read_frame(input) {
+                Ok(Some(payload)) => {
+                    // Handler threads outlive the reader (they only exit
+                    // once tx drops below), so a failed send means the
+                    // scope is already unwinding — stop reading rather
+                    // than panic twice.
+                    if tx.send(payload).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                // The session's idle deadline elapsed: reap it cleanly.
+                Err(ref e) if is_timeout(e) => break,
+                Err(e) => {
+                    drop(tx);
+                    return Err(e);
+                }
             }
         }
         drop(tx);
@@ -196,16 +322,35 @@ pub struct NetServer {
 /// server.shutdown();
 /// ```
 pub fn listen(server: Arc<Server>, addr: &str, handlers: usize) -> std::io::Result<NetServer> {
+    let opts = server.session_options();
+    listen_with(server, addr, handlers, opts)
+}
+
+/// [`listen`] over any [`FrameHandler`] with explicit per-session
+/// deadlines — the entry point the fleet front-end uses to serve
+/// [`crate::fleet::Fleet`] on the wire; [`listen`] is this function
+/// specialised to a local [`Server`] and its configured
+/// [`SessionOptions`].
+///
+/// # Errors
+/// Address parse and bind failures surface as [`std::io::Error`].
+pub fn listen_with<H: FrameHandler + 'static>(
+    handler: Arc<H>,
+    addr: &str,
+    handlers: usize,
+    opts: SessionOptions,
+) -> std::io::Result<NetServer> {
     let stop = Arc::new(AtomicBool::new(false));
     let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
     let (local_addr, accept) = if let Some(path) = addr.strip_prefix("unix:") {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         let thread = spawn_acceptor(
-            server,
+            handler,
             Arc::clone(&stop),
             Arc::clone(&conns),
             handlers,
+            opts,
             move || listener.accept().map(|(s, _)| Stream::Unix(s)),
         );
         (format!("unix:{path}"), thread)
@@ -213,10 +358,11 @@ pub fn listen(server: Arc<Server>, addr: &str, handlers: usize) -> std::io::Resu
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?.to_string();
         let thread = spawn_acceptor(
-            server,
+            handler,
             Arc::clone(&stop),
             Arc::clone(&conns),
             handlers,
+            opts,
             move || {
                 listener.accept().map(|(s, _)| {
                     // Frames are small header+payload write pairs; without
@@ -240,11 +386,12 @@ pub fn listen(server: Arc<Server>, addr: &str, handlers: usize) -> std::io::Resu
 /// The shared accept loop: take connections until the stop flag flips
 /// (the shutdown path wakes a blocked `accept` with a throwaway
 /// self-connection), spawning one session thread per connection.
-fn spawn_acceptor(
-    server: Arc<Server>,
+fn spawn_acceptor<H: FrameHandler + 'static>(
+    handler: Arc<H>,
     stop: Arc<AtomicBool>,
     conns: ConnRegistry,
     handlers: usize,
+    opts: SessionOptions,
     accept: impl FnMut() -> std::io::Result<Stream> + Send + 'static,
 ) -> JoinHandle<()> {
     let mut accept = accept;
@@ -257,17 +404,24 @@ fn spawn_acceptor(
         if stop.load(Ordering::Acquire) {
             return;
         }
+        // The deadlines live on the socket itself, so they cover the
+        // session's reader and writer clones alike. A session whose
+        // reads go quiet past the idle deadline winds down cleanly in
+        // `pump_frames`; a peer that stops draining responses trips the
+        // write deadline and is dropped.
+        let _ = stream.set_read_timeout(opts.idle_timeout);
+        let _ = stream.set_write_timeout(opts.write_timeout);
         let Ok(reader_half) = stream.try_clone() else {
             continue;
         };
-        let server = Arc::clone(&server);
+        let handler = Arc::clone(&handler);
         let session = std::thread::spawn(move || {
             let mut input = BufReader::new(reader_half);
             let Ok(mut output) = input.get_ref().try_clone() else {
                 return;
             };
             // Framing errors and disconnects end this session only.
-            let _ = pump_frames(&server, &mut input, &mut output, handlers);
+            let _ = pump_frames(&*handler, &mut input, &mut output, handlers);
             // Sever the socket now: the acceptor keeps its own duplicate
             // of the fd until shutdown, so without this the peer of a
             // dead session would never see EOF.
@@ -325,24 +479,74 @@ pub struct Client {
 }
 
 impl Client {
-    /// Dials `addr` (`host:port` or `unix:PATH`).
+    /// Dials `addr` (`host:port` or `unix:PATH`) with the default
+    /// [`ClientOptions`] deadlines.
     ///
     /// # Errors
-    /// Connection failures surface as [`std::io::Error`].
+    /// Connection failures (including a blown connect deadline) surface
+    /// as [`std::io::Error`].
     pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Client::connect_with(addr, &ClientOptions::default())
+    }
+
+    /// Dials `addr` with explicit connect/read/write deadlines.
+    ///
+    /// # Errors
+    /// Connection failures surface as [`std::io::Error`]; a blown
+    /// connect deadline reads as [`std::io::ErrorKind::TimedOut`].
+    pub fn connect_with(addr: &str, opts: &ClientOptions) -> std::io::Result<Client> {
         let stream = if let Some(path) = addr.strip_prefix("unix:") {
+            // Local connects complete (or fail) immediately; the connect
+            // deadline only matters for TCP.
             Stream::Unix(UnixStream::connect(path)?)
         } else {
-            let s = TcpStream::connect(addr)?;
+            let s = match opts.connect_timeout {
+                Some(deadline) => {
+                    // `connect_timeout` wants a resolved SocketAddr; try
+                    // each resolution until one answers.
+                    let mut last_err = None;
+                    let mut connected = None;
+                    for sock_addr in addr.to_socket_addrs()? {
+                        match TcpStream::connect_timeout(&sock_addr, deadline) {
+                            Ok(s) => {
+                                connected = Some(s);
+                                break;
+                            }
+                            Err(e) => last_err = Some(e),
+                        }
+                    }
+                    connected.ok_or_else(|| {
+                        last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no endpoints",
+                            )
+                        })
+                    })?
+                }
+                None => TcpStream::connect(addr)?,
+            };
             // See `listen`: lock-step framing needs TCP_NODELAY.
             let _ = s.set_nodelay(true);
             Stream::Tcp(s)
         };
+        stream.set_read_timeout(opts.read_timeout)?;
+        stream.set_write_timeout(opts.write_timeout)?;
         let output = stream.try_clone()?;
         Ok(Client {
             input: BufReader::new(stream),
             output,
         })
+    }
+
+    /// Re-arms the read deadline on the live connection (the fleet
+    /// router tightens it per call to fit its remaining deadline
+    /// budget). `None` disables it.
+    ///
+    /// # Errors
+    /// Socket option failures surface as [`std::io::Error`].
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.input.get_ref().set_read_timeout(dur)
     }
 
     /// Sends one request frame without waiting for the response.

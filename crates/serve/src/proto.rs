@@ -24,6 +24,7 @@
 //!
 //! | op | request fields | response fields |
 //! |----|----------------|-----------------|
+//! | `ping`     | —                 | `pong` (always `true`) |
 //! | `embed`    | `traj`            | `embedding` (f32 array) |
 //! | `knn`      | `traj`, `k`       | `hits`: `[{rank,index,distance}]` |
 //! | `distance` | `a`, `b`          | `distance` |
@@ -31,6 +32,11 @@
 //! | `remove`   | `id`              | `removed` (bool) |
 //! | `compact`  | —                 | `sealed` (live vectors re-sealed) |
 //! | `stats`    | —                 | `size`, `buffer`, `generation`, `memory_bytes`, `shards`, `requests`, `batches`, `batched_jobs`, `cache_hits`, `cache_misses` |
+//!
+//! `ping` is the health probe: constant cost, answered without touching
+//! the engine, the index, or any lock — a wedged compaction or a full
+//! batcher queue cannot delay it. Fleet front-ends probe downstream
+//! shard health with it (DESIGN.md §14); load balancers can too.
 //!
 //! `knn` distances are exact f32 L1 for unquantized indexes and for
 //! quantized hits the server can rescore against the engine's cached
@@ -177,14 +183,14 @@ fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
 }
 
 /// The `"req":N,` echo prefix (empty when the request carried no `req`).
-fn req_echo(obj: &Json) -> String {
+pub(crate) fn req_echo(obj: &Json) -> String {
     match obj.get("req").and_then(Json::as_u64) {
         Some(n) => format!("\"req\":{n},"),
         None => String::new(),
     }
 }
 
-fn err_response(echo: &str, msg: &str) -> String {
+pub(crate) fn err_response(echo: &str, msg: &str) -> String {
     format!("{{{echo}\"ok\":false,\"error\":\"{}\"}}", escape(msg))
 }
 
@@ -207,6 +213,10 @@ fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
         .as_str()
         .ok_or("\"op\" must be a string")?;
     match op {
+        // The health probe: answered from this match arm alone — no
+        // engine call, no index snapshot, no lock, no counters — so it
+        // stays honest about liveness even when the data path is wedged.
+        "ping" => Ok("\"pong\":true".to_string()),
         "embed" => {
             let traj = parse_traj(field(obj, "traj")?)?;
             let e = server.embed(&traj).map_err(|e| e.to_string())?;

@@ -23,6 +23,7 @@ use trajcl_index::{IndexOptions, Metric, Quantization, ScanMode, ShardedIndex};
 
 use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
 use crate::cache::{content_hash, LruCache};
+use crate::net::SessionOptions;
 use crate::router::ShardRouter;
 
 /// Tuning knobs for [`Server::new`].
@@ -69,10 +70,19 @@ pub struct ServeConfig {
     pub rescore_sealed: bool,
     /// How many hash-on-id index shards to partition the served vectors
     /// into; `None` inherits the engine's configuration
-    /// ([`trajcl_engine::Engine::shards`], 1 unless saved otherwise).
+    /// ([`trajcl_engine::Engine`] shards, 1 unless saved otherwise).
     /// Each shard has its own write lock, snapshot and compaction; kNN
     /// scatter-gathers across all of them (see DESIGN.md §13).
     pub shards: Option<usize>,
+    /// Network sessions quiet for this long are reaped (socket shut
+    /// down, threads wound down) — `--idle-timeout-ms` on the CLI,
+    /// `None` disables reaping. Applies to [`crate::net::listen`]
+    /// sessions, not the stdin/stdout pipe.
+    pub idle_timeout: Option<Duration>,
+    /// Per-write deadline on network sessions: a client that stops
+    /// draining its socket is dropped instead of wedging a handler
+    /// thread. `None` disables it.
+    pub session_write_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +98,8 @@ impl Default for ServeConfig {
             scan: None,
             rescore_sealed: true,
             shards: None,
+            idle_timeout: SessionOptions::default().idle_timeout,
+            session_write_timeout: SessionOptions::default().write_timeout,
         }
     }
 }
@@ -133,6 +145,7 @@ pub struct Server {
     /// actually closes (the batcher's own sender is not the last one).
     tx: Mutex<Option<mpsc::SyncSender<EmbedJob>>>,
     cache: Option<Mutex<LruCache>>,
+    session: SessionOptions,
     nprobe: usize,
     batch_stats: Arc<BatchStats>,
     requests: AtomicU64,
@@ -200,6 +213,10 @@ impl Server {
             batcher: Mutex::new(Some(batcher)),
             tx: Mutex::new(Some(tx)),
             cache: (cfg.cache_cap > 0).then(|| Mutex::new(LruCache::new(cfg.cache_cap))),
+            session: SessionOptions {
+                idle_timeout: cfg.idle_timeout,
+                write_timeout: cfg.session_write_timeout,
+            },
             nprobe,
             batch_stats,
             requests: AtomicU64::new(0),
@@ -211,6 +228,14 @@ impl Server {
     /// The wrapped engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The per-session network deadlines this server was configured
+    /// with ([`ServeConfig::idle_timeout`] /
+    /// [`ServeConfig::session_write_timeout`]); [`crate::net::listen`]
+    /// applies them to every accepted connection.
+    pub fn session_options(&self) -> SessionOptions {
+        self.session
     }
 
     /// Embeds trajectories through the batcher, no cache consulted.

@@ -1,0 +1,535 @@
+//! Chaos suite: the fleet front-end under injected faults.
+//!
+//! Everything here is seeded and deterministic — the fault schedules
+//! come from [`trajcl_serve::ChaosPlan`]'s pure per-frame function, and
+//! the only timing dependence is on deadlines *holding* (assertions are
+//! "within the budget", never "at exactly t").
+//!
+//! The headline test is the PR's acceptance scenario: with one of four
+//! shard servers killed mid-pipelined-query, the front-end keeps
+//! answering within its configured deadline with `"partial":true` and
+//! correct `shards_ok`/`shards_total`, and returns to bit-exact
+//! unsharded-oracle-equivalent answers after the shard restarts.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajcl_core::{EncoderVariant, Featurizer, TrajClConfig, TrajClModel};
+use trajcl_engine::Engine;
+use trajcl_geo::{Bbox, Grid, Point, SpatialNorm, Trajectory};
+use trajcl_index::shard_for;
+use trajcl_serve::net::listen_with;
+use trajcl_serve::proto::{read_frame, write_frame};
+use trajcl_serve::{
+    listen, ChaosPlan, ChaosProxy, Client, ClientOptions, Fleet, FleetConfig, FrameHandler,
+    NetServer, ServeConfig, Server, SessionOptions, ShardHealth,
+};
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// A tiny deterministic TrajCL engine (no pre-loaded database). Every
+/// shard and the oracle build the SAME engine (seed 0), so embeddings —
+/// and therefore wire-formatted distances — are bit-identical across
+/// processes.
+fn tiny_engine() -> Engine {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = TrajClConfig::test_default();
+    let region = Bbox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+    let grid = Grid::new(region, 100.0);
+    let table = trajcl_tensor::Tensor::randn(
+        trajcl_tensor::Shape::d2(grid.num_cells(), cfg.dim),
+        0.0,
+        0.5,
+        &mut rng,
+    );
+    let feat = Featurizer::new(grid, table, SpatialNorm::new(region, 100.0), cfg.max_len);
+    let model = TrajClModel::new(&cfg, EncoderVariant::Dual, &mut rng);
+    Engine::builder()
+        .trajcl(model, feat)
+        .build()
+        .expect("engine")
+}
+
+/// Well-separated synthetic trajectories (same family as the net suite).
+fn traj_for(id: u64) -> Trajectory {
+    let y0 = 10.0 + (id % 1000) as f64 * 9.7 + (id / 1000) as f64 * 211.0;
+    (0..6)
+        .map(|t| Point::new(40.0 + t as f64 * 120.0, y0 + t as f64 * 3.0))
+        .collect()
+}
+
+fn traj_json(t: &Trajectory) -> String {
+    let pts: Vec<String> = t
+        .points()
+        .iter()
+        .map(|p| format!("[{},{}]", p.x, p.y))
+        .collect();
+    format!("[{}]", pts.join(","))
+}
+
+fn upsert_payload(id: u64) -> String {
+    format!(
+        "{{\"op\":\"upsert\",\"id\":{id},\"traj\":{}}}",
+        traj_json(&traj_for(id))
+    )
+}
+
+fn knn_payload(qid: u64, k: usize) -> String {
+    format!(
+        "{{\"op\":\"knn\",\"traj\":{},\"k\":{k}}}",
+        traj_json(&traj_for(qid))
+    )
+}
+
+/// One downstream "process": a single-shard server on a free TCP port.
+struct ShardServer {
+    server: Arc<Server>,
+    net: NetServer,
+}
+
+impl ShardServer {
+    fn spawn() -> ShardServer {
+        let server =
+            Arc::new(Server::new(Arc::new(tiny_engine()), ServeConfig::default()).expect("server"));
+        let net = listen(Arc::clone(&server), "127.0.0.1:0", 2).expect("listen");
+        ShardServer { server, net }
+    }
+
+    fn addr(&self) -> String {
+        self.net.local_addr().to_string()
+    }
+
+    /// SIGKILL-equivalent: the listener stops and every connection is
+    /// severed without any protocol goodbye.
+    fn kill(self) {
+        self.net.shutdown();
+        self.server.shutdown();
+    }
+}
+
+/// A tight fleet config: everything fails (and recovers) fast enough
+/// for a test, with real retry/backoff/probing behaviour.
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        client: ClientOptions {
+            connect_timeout: Some(ms(250)),
+            read_timeout: Some(ms(1000)),
+            write_timeout: Some(ms(1000)),
+        },
+        op_deadline: ms(2500),
+        retries: 1,
+        backoff_base: ms(10),
+        backoff_max: ms(40),
+        down_after: 2,
+        probe_interval: ms(100),
+        fail_closed: false,
+        jitter_seed: 0xC0FFEE,
+    }
+}
+
+/// The `"hits":[...]` tail of a knn response — the part that must be
+/// bit-identical between the fleet and the unsharded oracle.
+fn hits_of(resp: &str) -> &str {
+    let at = resp
+        .find("\"hits\":")
+        .unwrap_or_else(|| panic!("no hits in {resp}"));
+    resp[at..].trim_end_matches('}')
+}
+
+fn wait_for<F: FnMut() -> bool>(mut cond: F, budget: Duration, what: &str) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < budget, "timed out waiting for {what}");
+        std::thread::sleep(ms(25));
+    }
+}
+
+/// The acceptance scenario (ISSUE 9): kill 1 of 4 shards mid-pipelined
+/// queries → bounded partial answers; restart it → re-admission through
+/// half-open probing and bit-exact answers again.
+#[test]
+fn fleet_degrades_on_shard_death_and_recovers_bit_exact() {
+    const NSHARDS: usize = 4;
+    const N: u64 = 48;
+    const QIDS: [u64; 4] = [0, 5, 17, 33];
+
+    // Four shard "processes", each behind a fault-free chaos proxy so the
+    // fleet-visible address survives a restart onto a fresh port.
+    let mut shards: Vec<Option<ShardServer>> =
+        (0..NSHARDS).map(|_| Some(ShardServer::spawn())).collect();
+    let proxies: Vec<ChaosProxy> = shards
+        .iter()
+        .map(|s| ChaosProxy::start(&s.as_ref().unwrap().addr(), ChaosPlan::none(1)).expect("proxy"))
+        .collect();
+    let addrs: Vec<String> = proxies.iter().map(|p| p.local_addr().to_string()).collect();
+
+    let fleet = Arc::new(Fleet::connect(&addrs, fleet_cfg()).expect("fleet"));
+    let front = listen_with(
+        Arc::clone(&fleet),
+        "127.0.0.1:0",
+        4,
+        SessionOptions::default(),
+    )
+    .expect("front-end listen");
+    let mut client = Client::connect(front.local_addr()).expect("connect front");
+
+    // The unsharded oracle holds the SAME data in one process.
+    let oracle = ShardServer::spawn();
+    let mut oracle_client = Client::connect(&oracle.addr()).expect("connect oracle");
+
+    for id in 0..N {
+        let r = client.call(&upsert_payload(id)).expect("fleet upsert");
+        assert!(r.contains("\"replaced\":false"), "{r}");
+        let r = oracle_client
+            .call(&upsert_payload(id))
+            .expect("oracle upsert");
+        assert!(r.contains("\"replaced\":false"), "{r}");
+    }
+    let r = client.call("{\"op\":\"compact\"}").expect("fleet compact");
+    assert!(r.contains(&format!("\"sealed\":{N}")), "{r}");
+    oracle_client
+        .call("{\"op\":\"compact\"}")
+        .expect("oracle compact");
+
+    // Healthy fleet: full answers, bit-exact against the oracle.
+    for qid in QIDS {
+        let f = client.call(&knn_payload(qid, 5)).expect("fleet knn");
+        assert!(
+            f.contains("\"partial\":false,\"shards_ok\":4,\"shards_total\":4"),
+            "{f}"
+        );
+        let o = oracle_client
+            .call(&knn_payload(qid, 5))
+            .expect("oracle knn");
+        assert_eq!(hits_of(&f), hits_of(&o), "query {qid}");
+    }
+    // Aggregated stats see every vector and all-Up health.
+    let stats = client.call("{\"op\":\"stats\"}").expect("stats");
+    assert!(stats.contains(&format!("\"size\":{N}")), "{stats}");
+    assert!(
+        stats.contains("\"health\":[\"up\",\"up\",\"up\",\"up\"]"),
+        "{stats}"
+    );
+
+    // Kill shard 0 mid-pipelined-query: queue six queries, kill, drain.
+    const BATCH: u64 = 6;
+    for req in 0..BATCH {
+        let payload = format!(
+            "{{\"req\":{req},\"op\":\"knn\",\"traj\":{},\"k\":5}}",
+            traj_json(&traj_for(QIDS[(req % 4) as usize]))
+        );
+        client.send(&payload).expect("send");
+    }
+    shards[0].take().unwrap().kill();
+    let drain_started = Instant::now();
+    for _ in 0..BATCH {
+        let r = client.recv().expect("recv").expect("open front connection");
+        // Depending on the race each answer is full or partial — but it
+        // IS an answer, never a hang and never a transport error.
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    assert!(
+        drain_started.elapsed() < Duration::from_secs(20),
+        "pipelined drain took {:?} — a downstream read blocked past its deadline",
+        drain_started.elapsed()
+    );
+
+    // Settled degraded state: partial answers with correct counts,
+    // within the per-op deadline, and the survivors' hits still exact.
+    let one = Instant::now();
+    let f = client.call(&knn_payload(QIDS[1], 5)).expect("degraded knn");
+    assert!(
+        one.elapsed() < fleet_cfg().op_deadline + Duration::from_secs(2),
+        "degraded knn took {:?}",
+        one.elapsed()
+    );
+    assert!(
+        f.contains("\"partial\":true,\"shards_ok\":3,\"shards_total\":4"),
+        "{f}"
+    );
+    wait_for(
+        || fleet.health()[0] == ShardHealth::Down,
+        Duration::from_secs(10),
+        "shard 0 marked down",
+    );
+    // Writes owned by the dead shard error in-band, immediately.
+    let owned_by_0: Vec<u64> = (0..N).filter(|&id| shard_for(id, NSHARDS) == 0).collect();
+    assert!(!owned_by_0.is_empty(), "hash sent no ids to shard 0?");
+    let w = Instant::now();
+    let r = client
+        .call(&upsert_payload(owned_by_0[0]))
+        .expect("refused write still answers");
+    assert!(r.contains("\"ok\":false"), "{r}");
+    assert!(r.contains("down"), "{r}");
+    assert!(w.elapsed() < Duration::from_secs(2), "{:?}", w.elapsed());
+
+    // Restart shard 0 (fresh process, fresh port, EMPTY index) behind
+    // the same front address; the prober re-admits it half-open.
+    let restarted = ShardServer::spawn();
+    proxies[0].set_upstream(&restarted.addr());
+    wait_for(
+        || fleet.health()[0] == ShardHealth::Up,
+        Duration::from_secs(10),
+        "shard 0 re-admitted",
+    );
+
+    // Re-drive the lost partition through the fleet, then the answers
+    // must be bit-exact against the oracle again.
+    for &id in &owned_by_0 {
+        let r = client.call(&upsert_payload(id)).expect("re-upsert");
+        assert!(r.contains("\"replaced\":false"), "{r}");
+    }
+    let r = client.call("{\"op\":\"compact\"}").expect("compact");
+    assert!(r.contains("\"partial\":false"), "{r}");
+    for qid in QIDS {
+        let f = client.call(&knn_payload(qid, 5)).expect("recovered knn");
+        assert!(
+            f.contains("\"partial\":false,\"shards_ok\":4,\"shards_total\":4"),
+            "{f}"
+        );
+        let o = oracle_client
+            .call(&knn_payload(qid, 5))
+            .expect("oracle knn");
+        assert_eq!(hits_of(&f), hits_of(&o), "query {qid} after recovery");
+    }
+
+    front.shutdown();
+    fleet.shutdown();
+    for p in proxies {
+        p.shutdown();
+    }
+    restarted.kill();
+    for s in shards.into_iter().flatten() {
+        s.kill();
+    }
+    oracle.kill();
+}
+
+/// Frame-level faults (drop / garble / truncate / delay) between the
+/// fleet and its only shard: every request is answered or in-band
+/// errored within bounds, state converges, and the final index matches
+/// a direct unproxied view bit-for-bit.
+#[test]
+fn fleet_survives_frame_faults_and_converges() {
+    let shard = ShardServer::spawn();
+    let plan = ChaosPlan {
+        drop_per_mille: 50,
+        garble_per_mille: 30,
+        truncate_per_mille: 20,
+        delay_per_mille: 50,
+        delay: ms(20),
+        ..ChaosPlan::none(2024)
+    };
+    let proxy = ChaosProxy::start(&shard.addr(), plan).expect("proxy");
+    let mut cfg = fleet_cfg();
+    cfg.client.read_timeout = Some(ms(300)); // dropped frames fail fast
+    cfg.retries = 3;
+    // The startup probe itself runs through the faulty proxy; its frames
+    // can be faulted, so allow a few (deterministic) attempts.
+    let addrs = [proxy.local_addr().to_string()];
+    let fleet = (0..5)
+        .find_map(|_| Fleet::connect(&addrs, cfg).ok())
+        .expect("fleet never connected through the chaos proxy");
+
+    const N: u64 = 40;
+    let mut in_band_errors = 0u32;
+    for id in 0..N {
+        // The fleet retries transport faults internally; a call that
+        // still fails surfaces in-band and we just try again — exactly
+        // what a real writer does.
+        let mut done = false;
+        for _ in 0..20 {
+            let r = fleet.handle_frame(&upsert_payload(id));
+            if r.contains("\"ok\":true") {
+                done = true;
+                break;
+            }
+            in_band_errors += 1;
+        }
+        assert!(done, "upsert {id} never succeeded");
+    }
+    for _ in 0..20 {
+        if fleet
+            .handle_frame("{\"op\":\"compact\"}")
+            .contains("\"ok\":true")
+        {
+            break;
+        }
+    }
+
+    // The fleet's view converges with the direct, unproxied view.
+    let mut direct = Client::connect(&shard.addr()).expect("direct connect");
+    for qid in [1u64, 9, 23] {
+        let d = direct.call(&knn_payload(qid, 5)).expect("direct knn");
+        let mut f = String::new();
+        for _ in 0..20 {
+            f = fleet.handle_frame(&knn_payload(qid, 5));
+            if f.contains("\"ok\":true") {
+                break;
+            }
+        }
+        assert!(f.contains("\"ok\":true"), "{f}");
+        assert_eq!(hits_of(&f), hits_of(&d), "query {qid}");
+    }
+    assert!(
+        proxy.faults_injected() > 0,
+        "the plan injected nothing — the test exercised no fault path"
+    );
+    // The seeded schedule really did bite (and the fleet absorbed it).
+    eprintln!(
+        "chaos: {} frames forwarded, {} faults injected, {} in-band errors surfaced",
+        proxy.frames_forwarded(),
+        proxy.faults_injected(),
+        in_band_errors
+    );
+
+    fleet.shutdown();
+    proxy.shutdown();
+    shard.kill();
+}
+
+/// A shard that accepts, reads, answers `ping` — and silently swallows
+/// everything else. The deadliest failure mode: TCP healthy, probes
+/// green, data path dead. Reads must still complete within the op
+/// budget, marked partial.
+#[test]
+fn stalled_shard_hits_read_deadline_and_degrades() {
+    // The stalling listener.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let stall_addr = listener.local_addr().expect("addr").to_string();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stall_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            listener.set_nonblocking(false).expect("blocking listener");
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let Ok((conn, _)) = listener.accept() else {
+                    break;
+                };
+                std::thread::spawn(move || {
+                    let mut reader = std::io::BufReader::new(conn.try_clone().expect("clone"));
+                    let mut writer = conn;
+                    while let Ok(Some(payload)) = read_frame(&mut reader) {
+                        // Anything but a ping: swallowed. The caller waits.
+                        if payload.contains("\"op\":\"ping\"")
+                            && write_frame(&mut writer, "{\"ok\":true,\"pong\":true}").is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+    };
+
+    let real = ShardServer::spawn();
+    let mut cfg = fleet_cfg();
+    cfg.client.read_timeout = Some(ms(300));
+    cfg.op_deadline = ms(1000);
+    let addrs = [real.addr(), stall_addr.clone()];
+    let fleet = Fleet::connect(&addrs, cfg).expect("fleet");
+
+    // Seed only ids the REAL shard owns (writes to the staller would
+    // themselves stall into their deadline — separately tested budget).
+    let mine: Vec<u64> = (0..40).filter(|&id| shard_for(id, 2) == 0).collect();
+    for &id in &mine {
+        let r = fleet.handle_frame(&upsert_payload(id));
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+
+    // The scattered read: the staller burns its read deadline, the
+    // answer still arrives within the op budget, marked partial.
+    let started = Instant::now();
+    let f = fleet.handle_frame(&knn_payload(mine[0], 3));
+    let elapsed = started.elapsed();
+    assert!(
+        f.contains("\"partial\":true,\"shards_ok\":1,\"shards_total\":2"),
+        "{f}"
+    );
+    assert!(f.contains(&format!("\"index\":{}", mine[0])), "{f}");
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "stalled-shard knn took {elapsed:?}"
+    );
+    // The staller is now marked unhealthy; pings keep it from flapping
+    // all the way out, but it must not be Up.
+    assert_ne!(fleet.health()[1], ShardHealth::Up, "{:?}", fleet.health());
+
+    fleet.shutdown();
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let _ = std::net::TcpStream::connect(&stall_addr); // wake accept()
+    let _ = stall_thread.join();
+    real.kill();
+}
+
+/// Fail-closed fleets refuse degraded reads instead of answering
+/// partially; writes to a down shard are refused in-band either way.
+#[test]
+fn fail_closed_refuses_partial_answers() {
+    let real = ShardServer::spawn();
+    let mut cfg = fleet_cfg();
+    cfg.fail_closed = true;
+    // Port 1 refuses connections: shard 1 is Down from the start.
+    let addrs = [real.addr(), "127.0.0.1:1".to_string()];
+    let fleet = Fleet::connect(&addrs, cfg).expect("one live shard suffices");
+    assert_eq!(fleet.health()[1], ShardHealth::Down);
+
+    let id_live = (0..64).find(|&id| shard_for(id, 2) == 0).unwrap();
+    let r = fleet.handle_frame(&upsert_payload(id_live));
+    assert!(r.contains("\"ok\":true"), "{r}");
+
+    let r = fleet.handle_frame(&knn_payload(id_live, 1));
+    assert!(r.contains("\"ok\":false"), "{r}");
+    assert!(r.contains("fail-closed"), "{r}");
+
+    let id_dead = (0..64).find(|&id| shard_for(id, 2) == 1).unwrap();
+    let r = fleet.handle_frame(&upsert_payload(id_dead));
+    assert!(r.contains("\"ok\":false"), "{r}");
+    assert!(r.contains("down"), "{r}");
+
+    fleet.shutdown();
+    real.kill();
+}
+
+/// `kill_after_frames`: the proxy severs the connection after its frame
+/// budget — a plain client sees the documented mid-stream death, and
+/// the server keeps serving fresh connections.
+#[test]
+fn kill_after_frames_severs_the_connection() {
+    let shard = ShardServer::spawn();
+    let plan = ChaosPlan {
+        kill_after_frames: Some(4),
+        ..ChaosPlan::none(7)
+    };
+    let proxy = ChaosProxy::start(&shard.addr(), plan).expect("proxy");
+
+    let mut client = Client::connect_with(
+        proxy.local_addr(),
+        &ClientOptions {
+            read_timeout: Some(ms(500)),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect");
+    // 2 round trips = 4 frames: both succeed, the 5th frame dies.
+    for _ in 0..2 {
+        let r = client.call("{\"op\":\"ping\"}").expect("ping");
+        assert!(r.contains("\"pong\":true"), "{r}");
+    }
+    let dead = client.call("{\"op\":\"ping\"}");
+    assert!(dead.is_err(), "{dead:?}");
+
+    // A fresh connection through the proxy gets its own frame budget.
+    let mut fresh = Client::connect(proxy.local_addr()).expect("reconnect");
+    let r = fresh
+        .call("{\"op\":\"ping\"}")
+        .expect("ping after reconnect");
+    assert!(r.contains("\"pong\":true"), "{r}");
+
+    proxy.shutdown();
+    shard.kill();
+}

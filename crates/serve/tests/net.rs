@@ -246,6 +246,69 @@ fn torn_frames_kill_only_their_connection() {
 }
 
 #[test]
+fn ping_answers_with_echo() {
+    let server = sharded_server(2);
+    let net = listen(Arc::clone(&server), "127.0.0.1:0", 1).expect("listen");
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+
+    let reply = client.call("{\"op\":\"ping\"}").expect("ping");
+    assert_eq!(reply, "{\"ok\":true,\"pong\":true}");
+    let reply = client.call("{\"req\":7,\"op\":\"ping\"}").expect("ping");
+    assert_eq!(reply, "{\"req\":7,\"ok\":true,\"pong\":true}");
+    // A probe is not a data-path request: the counter must not move.
+    assert_eq!(server.stats().requests, 0);
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_reaped_but_active_ones_survive() {
+    let engine = Arc::new(tiny_engine());
+    let server = Arc::new(
+        Server::new(
+            Arc::clone(&engine),
+            ServeConfig {
+                shards: Some(2),
+                idle_timeout: Some(std::time::Duration::from_millis(250)),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server"),
+    );
+    let net = listen(Arc::clone(&server), "127.0.0.1:0", 1).expect("listen");
+    let addr = net.local_addr().to_string();
+
+    // An active session outlives several idle deadlines as long as its
+    // gaps stay under the deadline.
+    let mut busy = Client::connect(&addr).expect("connect");
+    for _ in 0..5 {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let reply = busy.call("{\"op\":\"ping\"}").expect("ping");
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+    }
+
+    // A quiet session is severed by the server within the deadline: the
+    // blocked read sees EOF, well before the client's own 30s timeout.
+    let started = std::time::Instant::now();
+    let reaped = busy.recv().expect("clean close, not an error");
+    assert!(reaped.is_none(), "expected EOF, got {reaped:?}");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "reap took {:?}",
+        started.elapsed()
+    );
+
+    // The listener is unaffected: fresh connections keep working.
+    let mut fresh = Client::connect(&addr).expect("connect");
+    let reply = fresh.call("{\"op\":\"stats\"}").expect("stats");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
 fn unix_socket_round_trip_and_cleanup() {
     let dir = std::env::temp_dir().join("trajcl_net_test");
     std::fs::create_dir_all(&dir).expect("tmp dir");
