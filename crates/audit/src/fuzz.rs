@@ -1,6 +1,7 @@
 //! Deterministic structure-aware mutation fuzzing for every decoder that
 //! parses untrusted bytes: the serve frame reader, the JSON parser, the
-//! IVF index loader (all three sections) and the TCE1 engine loader.
+//! IVF index loader (all three sections), the TCE1 engine loader and the
+//! write-ahead-log record/checkpoint decoders.
 //!
 //! The harness is a classic corpus mutator, not coverage-guided: each
 //! target starts from a small set of *valid* encodings (so mutations land
@@ -43,7 +44,7 @@ pub struct FuzzOptions {
 /// Per-target outcome counts.
 #[derive(Debug)]
 pub struct TargetReport {
-    /// Target name (`json`, `proto`, `ivf`, `engine`).
+    /// Target name (`json`, `proto`, `ivf`, `engine`, `wal`).
     pub name: &'static str,
     /// Inputs executed (corpus entries + mutations).
     pub cases: usize,
@@ -147,6 +148,45 @@ pub fn run_all(opts: &FuzzOptions) -> FuzzReport {
                     Outcome::Accepted
                 }
                 Err(_) => Outcome::Rejected,
+            }
+        }),
+        run_target(4, "wal", &corpus_wal(), opts, |bytes| {
+            // The log replayer is total: any byte string yields a valid
+            // prefix of ops plus a torn tail it refuses to consume. The
+            // contract fuzzed here is exactly the one recovery relies on:
+            // whatever it accepts must re-encode to the bytes it consumed
+            // (canonical encoding), and the tail must start with a record
+            // that strictly errors.
+            let (ops, consumed) = trajcl_index::wal::replay(bytes);
+            let reencoded: Vec<u8> = ops
+                .iter()
+                .flat_map(trajcl_index::wal::encode_record)
+                .collect();
+            assert_eq!(
+                reencoded,
+                bytes[..consumed],
+                "replayed prefix must re-encode canonically"
+            );
+            if consumed < bytes.len() {
+                assert!(
+                    trajcl_index::wal::decode_record(&bytes[consumed..]).is_err(),
+                    "replay stopped before a decodable record"
+                );
+            }
+            // The same input doubles as a checkpoint-blob candidate: an
+            // accepted blob must survive an encode round trip bit-exactly.
+            let ckpt = trajcl_index::wal::decode_checkpoint(bytes);
+            if let Ok((dim, entries)) = &ckpt {
+                assert_eq!(
+                    trajcl_index::wal::encode_checkpoint(*dim, entries),
+                    bytes,
+                    "accepted checkpoint must round-trip"
+                );
+            }
+            if !ops.is_empty() || ckpt.is_ok() {
+                Outcome::Accepted
+            } else {
+                Outcome::Rejected
             }
         }),
     ];
@@ -402,11 +442,53 @@ fn corpus_engine() -> Vec<Vec<u8>> {
         .expect("pq engine");
     let pq_bytes = pq.to_bytes().expect("serialize pq engine");
 
-    // Dropping the 5-byte `tag 0/1 + rescore u32` tail yields a valid
-    // legacy (pre-SQ8) engine file, exercising the tail-absent path.
+    // Dropping the last 5 bytes removes the `shards u32 + durability u8`
+    // suffix, yielding a valid pre-sharding engine file (quantization and
+    // scan-mode tails intact) and exercising the tail-absent path.
     let legacy = sq8_bytes[..sq8_bytes.len() - 5].to_vec();
 
     vec![bare_bytes, sq8_bytes, pq_bytes, legacy]
+}
+
+/// Valid WAL inputs: single records of every op tag, a multi-record log
+/// stream, and checkpoint blobs (empty and populated) — the replayer
+/// accepts any bytes, so "valid" here means "decodes at least one op or
+/// checkpoint", keeping mutations near the record framing.
+fn corpus_wal() -> Vec<Vec<u8>> {
+    use trajcl_index::wal::{encode_checkpoint, encode_record};
+    use trajcl_index::{CheckpointEntry, WalOp};
+
+    let upsert = |id: u64, fill: f32| WalOp::Upsert {
+        id,
+        vector: (0..8).map(|i| fill + i as f32 * 0.25).collect(),
+    };
+    let single = encode_record(&upsert(42, 1.5));
+    let mut stream = Vec::new();
+    for op in [
+        upsert(1, -0.5),
+        WalOp::Remove { id: 1 },
+        WalOp::Compact,
+        upsert(u64::MAX, 0.0),
+        WalOp::Upsert {
+            id: 7,
+            vector: Vec::new(), // zero-dim vector: smallest legal upsert
+        },
+    ] {
+        stream.extend_from_slice(&encode_record(&op));
+    }
+    let entries: Vec<CheckpointEntry> = (0..6)
+        .map(|i| CheckpointEntry {
+            id: i,
+            dirty: i % 2 == 1,
+            vector: (0..8).map(|j| (i * 8 + j) as f32 * 0.125).collect(),
+        })
+        .collect();
+    vec![
+        single,
+        stream,
+        encode_checkpoint(8, &entries),
+        encode_checkpoint(8, &[]),
+    ]
 }
 
 #[cfg(test)]
@@ -422,7 +504,7 @@ mod tests {
             cases_per_target: 2_000,
             repro_dir: None,
         });
-        assert_eq!(report.targets.len(), 4);
+        assert_eq!(report.targets.len(), 5);
         for t in &report.targets {
             assert_eq!(t.panics, 0, "target {} panicked", t.name);
             assert_eq!(t.cases, 2_000, "target {} case count", t.name);
@@ -455,5 +537,42 @@ mod tests {
                 assert!(Engine::from_bytes(&blob[..cut]).is_err());
             }
         }
+        // WAL decoders: a truncated stream replays to a strict prefix and
+        // a truncated checkpoint is an error, never a panic.
+        for blob in corpus_wal() {
+            for cut in [0, 3, 7, blob.len() / 2, blob.len() - 1] {
+                let (_, consumed) = trajcl_index::wal::replay(&blob[..cut]);
+                assert!(consumed <= cut);
+                assert!(trajcl_index::wal::decode_checkpoint(&blob[..cut]).is_err());
+            }
+        }
+    }
+
+    /// The documented WAL failure modes each map to a clean error: bad op
+    /// tag, impossible length prefix, garbled checksum.
+    #[test]
+    fn wal_corruption_errors_cleanly() {
+        use trajcl_index::wal::{decode_record, encode_record, WalError};
+        use trajcl_index::WalOp;
+
+        let good = encode_record(&WalOp::Remove { id: 9 });
+        let mut bad_tag = good.clone();
+        bad_tag[8] = 0xEE; // first payload byte is the op tag
+        assert!(matches!(
+            decode_record(&bad_tag),
+            Err(WalError::BadChecksum) | Err(WalError::BadTag(_))
+        ));
+        let mut bad_len = good.clone();
+        bad_len[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_record(&bad_len),
+            Err(WalError::BadLength(_))
+        ));
+        let mut bad_crc = good;
+        bad_crc[4] ^= 0xFF;
+        assert!(matches!(
+            decode_record(&bad_crc),
+            Err(WalError::BadChecksum)
+        ));
     }
 }

@@ -36,8 +36,15 @@
 //!   runs degraded; every measured response is checked
 //!   `"partial":true,"shards_ok":3,"shards_total":4`.
 //!
+//! With `--transport wal` the scenarios measure what durability costs:
+//! the same in-process 8-client upsert cell runs twice — once on a plain
+//! server (`wal_off_write`) and once with a write-ahead log configured
+//! (`wal_on_write`, every ack preceded by a group-commit fsync) — and
+//! the within-run ratio `wal_write_qps_ratio` is gated against
+//! [`WAL_WRITE_FLOOR`].
+//!
 //! Usage:
-//!   load_gen [--quick] [--label NAME] [--transport inproc|tcp|fleet]
+//!   load_gen [--quick] [--label NAME] [--transport inproc|tcp|fleet|wal]
 //!            [--out BENCH_serve.json] [--check BENCH_serve.json]
 //!
 //! * default: measure and append a run entry to `--out`;
@@ -122,6 +129,15 @@ const FLEET_DB: usize = 256;
 /// qps should sit near parity — 0.5 catches "every request burns a
 /// retry budget against the corpse" regressions without flaking.
 const FLEET_DEGRADED_FLOOR: f64 = 0.5;
+
+/// CI floor on wal-on / wal-off write throughput at the [`WRITE_IDS`]
+/// steady state: group commit batches all concurrent appends into one
+/// fsync (~1/8th of an fsync per op under 8 closed-loop clients), and at
+/// a 16k-id buffer the publish clone both sides pay dominates that
+/// share, so durable writes should stay within ~2x of ephemeral ones;
+/// 0.5 catches "every ack pays a private fsync" (or worse, a checkpoint
+/// stampede) regressions without flaking on storage-speed noise.
+const WAL_WRITE_FLOOR: f64 = 0.5;
 
 fn engine_with(database: Option<Vec<Trajectory>>) -> Engine {
     let mut rng = StdRng::seed_from_u64(0);
@@ -289,6 +305,11 @@ impl Snapshot {
         if let Some(ratio) = self.fleet_degraded_ratio() {
             s.push_str(&format!(",\"fleet_degraded_qps_ratio\":{ratio:.3}"));
         }
+        // Durable-over-ephemeral write throughput (wal runs): what the
+        // durability gate reads.
+        if let Some(ratio) = self.wal_write_ratio() {
+            s.push_str(&format!(",\"wal_write_qps_ratio\":{ratio:.3}"));
+        }
         s.push('}');
         s
     }
@@ -309,6 +330,14 @@ impl Snapshot {
         let healthy = self.cell("fleet_knn_4of4", TCP_CLIENTS)?;
         let degraded = self.cell("fleet_knn_3of4", TCP_CLIENTS)?;
         Some(degraded.qps / healthy.qps)
+    }
+
+    /// WAL-on over WAL-off write qps, when both durability cells were
+    /// measured.
+    fn wal_write_ratio(&self) -> Option<f64> {
+        let off = self.cell("wal_off_write", TCP_CLIENTS)?;
+        let on = self.cell("wal_on_write", TCP_CLIENTS)?;
+        Some(on.qps / off.qps)
     }
 
     fn cell(&self, name: &str, threads: usize) -> Option<&Cell> {
@@ -522,7 +551,7 @@ fn measure_tcp(quick: bool, label: &str) -> Snapshot {
 
         // Seal the buffered writes so the read cell exercises the sealed
         // scatter-gather path, not a brute-force buffer scan.
-        server.compact();
+        server.compact().expect("compact");
         let cell = run_cell(TCP_CLIENTS, warmup, measure, |client, i| {
             let reply = clients[client]
                 .lock()
@@ -703,6 +732,86 @@ fn measure_fleet(quick: bool, label: &str) -> Snapshot {
     }
 }
 
+/// The durability scenario: the same in-process 8-client upsert cell
+/// against a plain server and against one with a write-ahead log, so the
+/// ratio isolates exactly what `--wal` adds (group-commit fsync before
+/// every ack) with the encoder cache, batcher and index write path held
+/// constant.
+fn measure_wal(quick: bool, label: &str) -> Snapshot {
+    let (warmup, measure) = if quick {
+        (Duration::from_millis(100), Duration::from_millis(400))
+    } else {
+        (Duration::from_millis(250), Duration::from_millis(1500))
+    };
+    let engine = Arc::new(engine());
+    let write_pool = workload(WRITE_POOL, 21);
+    let wal_dir = std::env::temp_dir().join(format!("trajcl-walbench-{}", std::process::id()));
+    let mut cells = Vec::new();
+
+    for durable in [false, true] {
+        let mut cfg = ServeConfig {
+            workers: WORKERS,
+            ..ServeConfig::default()
+        };
+        if durable {
+            cfg.wal = Some(trajcl_serve::WalConfig::new(&wal_dir));
+        }
+        let server = Server::new(Arc::clone(&engine), cfg).expect("server");
+        // Steady-state prewarm, as in the TCP write cells: the measured
+        // loop replaces ids at a constant buffer size (and, wal-on, a
+        // constant append cadence), instead of growing a prefix. Runs on
+        // [`TCP_CLIENTS`] threads so the wal-on prewarm's appends group
+        // into shared fsyncs, just like the measured cell.
+        std::thread::scope(|scope| {
+            for client in 0..TCP_CLIENTS {
+                let server = &server;
+                let write_pool = &write_pool;
+                scope.spawn(move || {
+                    for j in (client..WRITE_IDS).step_by(TCP_CLIENTS) {
+                        server
+                            .upsert(WRITE_BASE + j as u64, &write_pool[j % write_pool.len()])
+                            .expect("prewarm upsert");
+                    }
+                });
+            }
+        });
+        let cell = run_cell(TCP_CLIENTS, warmup, measure, |_, i| {
+            server
+                .upsert(
+                    WRITE_BASE + (i % WRITE_IDS) as u64,
+                    &write_pool[i % write_pool.len()],
+                )
+                .expect("upsert");
+        });
+        let name = if durable {
+            "wal_on_write"
+        } else {
+            "wal_off_write"
+        };
+        let log_note = if durable {
+            format!("  (log {} KiB)", server.stats().wal_log_bytes / 1024)
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "{name:<13} clients={TCP_CLIENTS:<3} {:>9.1} qps  p50 {:>8.1}us  p99 {:>8.1}us{log_note}",
+            cell.qps, cell.p50_us, cell.p99_us
+        );
+        cells.push((name, TCP_CLIENTS, cell));
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    Snapshot {
+        commit: git_commit(),
+        label: label.to_string(),
+        quick,
+        transport: "wal",
+        shards: vec![1],
+        cells,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -721,8 +830,8 @@ fn main() {
             "--transport" => {
                 i += 1;
                 transport = args[i].clone();
-                if transport != "inproc" && transport != "tcp" && transport != "fleet" {
-                    eprintln!("--transport must be inproc, tcp or fleet, got {transport:?}");
+                if !["inproc", "tcp", "fleet", "wal"].contains(&transport.as_str()) {
+                    eprintln!("--transport must be inproc, tcp, fleet or wal, got {transport:?}");
                     std::process::exit(2);
                 }
             }
@@ -745,8 +854,32 @@ fn main() {
     let snap = match transport.as_str() {
         "tcp" => measure_tcp(quick, &label),
         "fleet" => measure_fleet(quick, &label),
+        "wal" => measure_wal(quick, &label),
         _ => measure_all(quick, &label),
     };
+
+    if transport == "wal" {
+        // Both sides of the durability gate come from this run on this
+        // machine (ephemeral vs. durable server, same engine, same load),
+        // so the floor is absolute; `--check FILE` keeps the CLI shape of
+        // the other transports and FILE is not consulted.
+        let ratio = snap.wal_write_ratio().expect("both wal cells measured");
+        if check.is_some() {
+            eprintln!("check wal_write_qps_ratio: {ratio:.3} (floor {WAL_WRITE_FLOOR:.3})");
+            if ratio < WAL_WRITE_FLOOR {
+                eprintln!(
+                    "FAIL: durable write throughput below {WAL_WRITE_FLOOR}x the ephemeral run"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("OK: group commit keeps durable writes within budget");
+        } else {
+            let entry = snap.to_json();
+            append_run(&out, &entry);
+            eprintln!("recorded run '{}' ({}) -> {out}", snap.label, snap.commit);
+        }
+        return;
+    }
 
     if transport == "fleet" {
         // Both sides of the gate come from this run: the cells already

@@ -141,7 +141,7 @@ USAGE:
   trajcl upsert   --connect ADDR --input FILE [--start-id N] [--json]
   trajcl approx   --model MODEL --input FILE --measure <hausdorff|frechet|edr|edwp|dtw> [--json]
   trajcl serve    --model MODEL --db FILE [--listen ADDR] [--shards N]
-                  [--index NLIST]
+                  [--index NLIST] [--wal DIR]
                   [--quantize sq8|pq4[:M]|pq[:M]] [--scan symmetric|asym]
                   [--workers N] [--max-batch N] [--max-wait-us N]
                   [--cache N] [--queue N] [--idle-timeout-ms N]
@@ -183,6 +183,11 @@ hash-on-id shards so writes on different shards never contend (the
 count persists in the engine file; the flag overrides it). Responses
 may arrive out of order; pass a numeric \"req\" field to match them up.
 `--idle-timeout-ms N` reaps sessions quiet for N ms (0 disables).
+`--wal DIR` makes writes durable: every upsert/remove/compact is
+appended to a per-shard write-ahead log under DIR and fsync'd before it
+is acknowledged; on restart with the same DIR the server recovers the
+last checkpoint plus the log tail, so no acknowledged write is ever
+lost (DESIGN.md §15; the README shows a recovery transcript).
 
 `serve --fleet` runs the front-end router instead: no model or db — it
 scatters the same wire protocol across the listed downstream shard

@@ -254,7 +254,7 @@ fn train_cmd(args: &Args, out: &mut impl std::io::Write) -> Result<(), EngineErr
         report.epoch_losses.last().copied().unwrap_or(f32::NAN)
     )?;
     let path = req(args, "out")?;
-    std::fs::write(path, engine.to_bytes()?)?;
+    engine.save(Path::new(path))?;
     writeln!(out, "saved engine to {path}")?;
     Ok(())
 }
@@ -555,8 +555,26 @@ fn serve(args: &Args, out: &mut (impl std::io::Write + Send)) -> Result<(), Engi
         cfg.shards = Some(num::<usize>(args, "shards", 1)?.max(1));
     }
     cfg.idle_timeout = idle_timeout_opt(args, cfg.idle_timeout)?;
+    if let Some(dir) = args.options.get("wal") {
+        let mut wal = trajcl_serve::WalConfig::new(dir.as_str());
+        // An engine saved with a Buffered preference keeps it; any other
+        // preference (including the Ephemeral default) serves at full
+        // fsync durability — asking for --wal means asking for the
+        // ack-implies-durable contract.
+        if engine.durability() == trajcl_engine::Durability::Buffered {
+            wal.durability = trajcl_engine::Durability::Buffered;
+        }
+        cfg.wal = Some(wal);
+    }
     let handlers = cfg.workers.max(1);
     let server = Server::new(std::sync::Arc::new(engine), cfg)?;
+    if let Some(rec) = server.wal_recovery() {
+        eprintln!(
+            "trajcl serve: WAL recovery replayed {} checkpoint row(s) + {} log op(s), \
+             discarded {} torn byte(s)",
+            rec.checkpoint_rows, rec.replayed_ops, rec.truncated_bytes
+        );
+    }
     if let Some(addr) = args.options.get("listen") {
         let server = std::sync::Arc::new(server);
         let net = trajcl_serve::net::listen(std::sync::Arc::clone(&server), addr, handlers)?;
@@ -1011,6 +1029,87 @@ mod tests {
         assert!(find(3).contains("\"removed\":true"));
         assert!(find(4).contains("\"size\":24"));
         assert!(find(5).contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn serve_session_recovers_from_wal_across_restart() {
+        use trajcl_serve::proto::{read_frame, write_frame};
+
+        let data = tmp("walserve.traj");
+        let model = tmp("walserve.tcl");
+        let wal_dir = tmp("walserve.wal");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let (code, out) = run_cmd(&format!(
+            "generate --profile porto --count 24 --out {}",
+            data.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!(
+            "train --input {} --out {} --dim 16 --epochs 1 --batch 8",
+            data.display(),
+            model.display()
+        ));
+        assert_eq!(code, 0, "{out}");
+
+        let build = || {
+            load_engine(&model.display().to_string())
+                .unwrap()
+                .with_database(
+                    trajcl_data::load_trajectory_file(std::path::Path::new(&data)).unwrap(),
+                )
+                .unwrap()
+        };
+        let wal_cfg = || ServeConfig {
+            wal: Some(trajcl_serve::WalConfig::new(&wal_dir)),
+            ..ServeConfig::default()
+        };
+
+        // First life: upsert over the wire (the ack implies the record
+        // is fsync-durable), then die without compacting — the write
+        // exists only in the log.
+        {
+            let server = Server::new(std::sync::Arc::new(build()), wal_cfg()).unwrap();
+            assert!(server.wal_recovery().is_some());
+            let mut input = Vec::new();
+            write_frame(
+                &mut input,
+                "{\"req\":1,\"op\":\"upsert\",\"id\":1000,\"traj\":[[1,1],[2,2]]}",
+            )
+            .unwrap();
+            write_frame(&mut input, "{\"req\":2,\"op\":\"stats\"}").unwrap();
+            let mut output = Vec::new();
+            serve_session(&server, &mut &input[..], &mut output, 1).unwrap();
+            server.shutdown();
+            let text = String::from_utf8(output).unwrap();
+            assert!(text.contains("\"replaced\":false"), "{text}");
+            assert!(!text.contains("\"wal_log_bytes\":0,"), "{text}");
+        }
+
+        // Second life, same WAL dir: recovery must replay the upsert.
+        let server = Server::new(std::sync::Arc::new(build()), wal_cfg()).unwrap();
+        let rec = server.wal_recovery().expect("wal recovery ran");
+        assert_eq!(rec.replayed_ops, 1, "the logged upsert replays");
+        let mut input = Vec::new();
+        write_frame(&mut input, "{\"req\":1,\"op\":\"stats\"}").unwrap();
+        write_frame(&mut input, "{\"req\":2,\"op\":\"remove\",\"id\":1000}").unwrap();
+        let mut output = Vec::new();
+        serve_session(&server, &mut &input[..], &mut output, 1).unwrap();
+        server.shutdown();
+        let mut reader = &output[..];
+        let mut responses = Vec::new();
+        while let Some(frame) = read_frame(&mut reader).unwrap() {
+            responses.push(frame);
+        }
+        let find = |req: usize| {
+            responses
+                .iter()
+                .find(|r| r.contains(&format!("\"req\":{req},")))
+                .unwrap_or_else(|| panic!("no response for req {req}"))
+        };
+        // 24 seeded + the recovered upsert.
+        assert!(find(1).contains("\"size\":25"), "{}", find(1));
+        assert!(find(2).contains("\"removed\":true"), "{}", find(2));
+        let _ = std::fs::remove_dir_all(&wal_dir);
     }
 
     #[test]

@@ -18,7 +18,8 @@ use trajcl_core::{
 use trajcl_data::Dataset;
 use trajcl_geo::{validate_batch, Trajectory};
 use trajcl_index::{
-    brute_force_batch_knn, IvfIndex, Metric, Quantization, ScanMode, DEFAULT_RESCORE_FACTOR,
+    atomic_write, brute_force_batch_knn, Durability, IvfIndex, Metric, Quantization, RealFs,
+    ScanMode, DEFAULT_RESCORE_FACTOR,
 };
 use trajcl_measures::HeuristicMeasure;
 use trajcl_tensor::{InferCtx, Shape, Tensor};
@@ -44,6 +45,7 @@ pub struct Engine {
     rescore_factor: usize,
     scan: ScanMode,
     shards: usize,
+    durability: Durability,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -116,6 +118,15 @@ impl Engine {
     /// reloaded engine serves with the shard layout it was saved with.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Write durability expectation for serving this engine (default
+    /// [`Durability::Ephemeral`]): when not ephemeral, `trajcl serve
+    /// --wal DIR` pairs each index shard with a write-ahead log and only
+    /// acknowledges a write once its record is durable under this
+    /// policy. Carried in the TCE1 tail.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// Inference mini-batch size used by [`Engine::embed_all`].
@@ -357,6 +368,7 @@ impl Engine {
             .quantization(self.quantization)
             .rescore_factor(self.rescore_factor)
             .shards(self.shards)
+            .durability(self.durability)
             .batch_size(self.batch_size)
             .seed(self.seed)
             .build()
@@ -435,7 +447,26 @@ impl Engine {
         // Shard-count tail (same append-only convention: pre-sharding
         // files end at the scan byte and default to one shard).
         out.extend_from_slice(&(self.shards as u32).to_le_bytes());
+        // Durability tail (same convention: pre-WAL files end at the
+        // shard count and default to ephemeral).
+        out.push(match self.durability {
+            Durability::Ephemeral => 0u8,
+            Durability::Buffered => 1u8,
+            Durability::Fsync => 2u8,
+        });
         Ok(out)
+    }
+
+    /// Writes [`Engine::to_bytes`] to `path` crash-safely: temp file,
+    /// fsync, atomic rename. A crash mid-save leaves the previous
+    /// snapshot intact — never a torn TCE1 file.
+    ///
+    /// # Errors
+    /// [`EngineError::Unsupported`] for non-TrajCL backends (as
+    /// [`Engine::to_bytes`]); [`EngineError::Io`] on filesystem failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), EngineError> {
+        let bytes = self.to_bytes()?;
+        atomic_write(&RealFs, path, &bytes).map_err(EngineError::Io)
     }
 
     /// Restores an engine from [`Engine::to_bytes`] output.
@@ -546,11 +577,24 @@ impl Engine {
             if shards == 0 || shards > MAX_SHARDS {
                 return Err(EngineError::CorruptEngineFile("shard count"));
             }
+            shards
+        };
+        // Optional durability tail: pre-WAL files end at the shard count
+        // and serve ephemerally.
+        let durability = if r.is_empty() {
+            Durability::Ephemeral
+        } else {
+            let durability = match take(&mut r, 1)?[0] {
+                0 => Durability::Ephemeral,
+                1 => Durability::Buffered,
+                2 => Durability::Fsync,
+                _ => return Err(EngineError::CorruptEngineFile("durability")),
+            };
             // The tail is the final field: anything after it is corruption.
             if !r.is_empty() {
                 return Err(EngineError::CorruptEngineFile("trailing bytes"));
             }
-            shards
+            durability
         };
         Ok(Engine {
             backend: Box::new(TrajClBackend::new(model, featurizer)),
@@ -563,6 +607,7 @@ impl Engine {
             rescore_factor,
             scan,
             shards,
+            durability,
             batch_size: batch_size.max(1),
             seed,
             train_report: None,
@@ -581,6 +626,7 @@ pub struct EngineBuilder {
     rescore_factor: usize,
     scan: ScanMode,
     shards: usize,
+    durability: Durability,
     batch_size: usize,
     seed: u64,
     train_report: Option<TrainReport>,
@@ -604,6 +650,7 @@ impl EngineBuilder {
             rescore_factor: DEFAULT_RESCORE_FACTOR,
             scan: ScanMode::Asymmetric,
             shards: 1,
+            durability: Durability::Ephemeral,
             batch_size: DEFAULT_BATCH,
             seed: 0,
             train_report: None,
@@ -739,6 +786,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Write durability expectation for serving (default
+    /// [`Durability::Ephemeral`]): persisted in the TCE1 tail so an
+    /// operator-chosen policy travels with the engine file; honoured by
+    /// `trajcl serve --wal DIR`, which pairs every index shard with a
+    /// write-ahead log under this policy.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
     /// Inference mini-batch size (default [`DEFAULT_BATCH`]).
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
@@ -772,6 +829,7 @@ impl EngineBuilder {
             rescore_factor: self.rescore_factor,
             scan: self.scan,
             shards: self.shards,
+            durability: self.durability,
             batch_size: self.batch_size,
             seed: self.seed,
             train_report: self.train_report,

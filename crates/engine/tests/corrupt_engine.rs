@@ -85,16 +85,18 @@ proptest! {
 
     // Truncating anywhere inside the tail (or further into the file)
     // must fail cleanly — except at the backward-compatibility
-    // boundaries: the full file, the pre-sharding file (shards u32 cut),
-    // the pre-scan-mode file (scan byte also cut), and the legacy
+    // boundaries: the full file, the pre-durability file (durability
+    // byte cut), the pre-sharding file (shards u32 also cut), the
+    // pre-scan-mode file (scan byte also cut), and the legacy
     // pre-quantization prefix (whole tail cut).
     #[test]
     fn truncated_tail_is_legacy_or_rejected(cut_back in 0usize..28, pq in 0u32..2) {
         let (sq8, pq_bytes) = corpus();
         let base = if pq == 1 { pq_bytes } else { sq8 };
-        // tag + rescore + [m + nbits for PQ] + scan byte + shards u32.
-        let tail_len = if pq == 1 { 15 } else { 10 };
-        let legacy = [0, 4, 5, tail_len];
+        // tag + rescore + [m + nbits for PQ] + scan byte + shards u32 +
+        // durability byte.
+        let tail_len = if pq == 1 { 16 } else { 11 };
+        let legacy = [0, 1, 5, 6, tail_len];
         let bytes = &base[..base.len() - cut_back.min(base.len())];
         match Engine::from_bytes(bytes) {
             Ok(engine) => {

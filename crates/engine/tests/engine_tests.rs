@@ -8,7 +8,8 @@ use trajcl_core::{
 };
 use trajcl_data::{Dataset, DatasetProfile};
 use trajcl_engine::{
-    Engine, EngineBuilder, EngineError, HeuristicBackend, Quantization, SimilarityBackend,
+    Durability, Engine, EngineBuilder, EngineError, HeuristicBackend, Quantization,
+    SimilarityBackend,
 };
 use trajcl_geo::{Grid, SpatialNorm, Trajectory};
 use trajcl_measures::HeuristicMeasure;
@@ -334,17 +335,52 @@ fn shard_count_round_trips_and_legacy_files_default_to_one() {
     let bytes = engine.to_bytes().unwrap();
     assert_eq!(Engine::from_bytes(&bytes).unwrap().shards(), 4);
 
+    // A pre-durability file ends at the shard count: loads ephemeral.
+    let legacy = &bytes[..bytes.len() - 1];
+    let restored = Engine::from_bytes(legacy).unwrap();
+    assert_eq!(restored.shards(), 4);
+    assert_eq!(restored.durability(), Durability::Ephemeral);
+
     // A pre-sharding file ends at the scan byte: loads with one shard.
-    let legacy = &bytes[..bytes.len() - 4];
+    let legacy = &bytes[..bytes.len() - 5];
     assert_eq!(Engine::from_bytes(legacy).unwrap().shards(), 1);
 
     // Zero or absurd shard counts in the tail are corruption.
     for bad in [0u32, (trajcl_engine::MAX_SHARDS + 1) as u32] {
         let mut bytes = bytes.clone();
         let len = bytes.len();
-        bytes[len - 4..].copy_from_slice(&bad.to_le_bytes());
+        bytes[len - 5..len - 1].copy_from_slice(&bad.to_le_bytes());
         assert!(Engine::from_bytes(&bytes).is_err(), "shards={bad} accepted");
     }
+}
+
+#[test]
+fn durability_round_trips_and_bad_tail_bytes_are_corruption() {
+    let ds = dataset(12, 9);
+    let (model, feat) = untrained_trajcl(&ds);
+    let engine = Engine::builder()
+        .trajcl(model, feat)
+        .database(ds.trajectories)
+        .durability(Durability::Fsync)
+        .build()
+        .unwrap();
+    assert_eq!(engine.durability(), Durability::Fsync);
+    let bytes = engine.to_bytes().unwrap();
+    assert_eq!(
+        Engine::from_bytes(&bytes).unwrap().durability(),
+        Durability::Fsync
+    );
+
+    // An unknown durability tag is corruption.
+    let mut bad = bytes.clone();
+    let len = bad.len();
+    bad[len - 1] = 9;
+    assert!(Engine::from_bytes(&bad).is_err());
+
+    // Trailing garbage after the durability byte is corruption.
+    let mut extended = bytes.clone();
+    extended.push(0);
+    assert!(Engine::from_bytes(&extended).is_err());
 }
 
 #[test]

@@ -12,7 +12,11 @@
 //!
 //! For serving, [`MutableIndex`] wraps the IVF machinery in an upsert /
 //! remove / compact lifecycle with immutable, atomically-swapped read
-//! snapshots ([`IndexSnapshot`]).
+//! snapshots ([`IndexSnapshot`]). The [`wal`] module adds crash
+//! durability on top: a per-shard write-ahead log with group-commit
+//! fsync, snapshot checkpointing, and a deterministic crash-point fault
+//! injector ([`CrashPointFs`]) behind the crash-recovery test matrix
+//! (DESIGN.md §15).
 //!
 //! All hot paths run through [`kernels`]: blocked SIMD-friendly f32
 //! distance kernels, a fused bounded top-k selector ([`TopK`]), the SQ8
@@ -32,6 +36,7 @@ pub mod ivf;
 pub mod kernels;
 pub mod mutable;
 pub mod sharded;
+pub mod wal;
 
 pub use hausdorff_index::SegmentHausdorffIndex;
 pub use ivf::{
@@ -41,3 +46,7 @@ pub use ivf::{
 pub use kernels::{PqCodebook, Sq8Codebook, TopK};
 pub use mutable::{ExactRescorer, IndexOptions, IndexSnapshot, MutableIndex};
 pub use sharded::{merge_partials, shard_for, ShardedIndex, ShardedSnapshot};
+pub use wal::{
+    atomic_write, CheckpointData, CheckpointEntry, CrashPointFs, Durability, RealFs, Wal, WalFs,
+    WalOp, WalRecovery,
+};

@@ -46,6 +46,7 @@ use trajcl_tensor::{Shape, Tensor};
 use crate::ivf::{
     brute_force_knn, IvfIndex, Metric, Quantization, ScanMode, DEFAULT_RESCORE_FACTOR,
 };
+use crate::wal::Durability;
 
 /// Construction options for a [`MutableIndex`]: how the sealed part is
 /// trained and stored.
@@ -70,6 +71,12 @@ pub struct IndexOptions {
     /// uniform-scale SQ8 codebook and scans in integer arithmetic;
     /// ignored by f32/PQ storage).
     pub scan: ScanMode,
+    /// Durability expectation for mutations (see [`crate::wal`]). The
+    /// index itself is always in-memory; this knob is carried by the
+    /// engine snapshot and honoured by the serving layer, which pairs
+    /// each shard with a write-ahead log when it is not
+    /// [`Durability::Ephemeral`].
+    pub durability: Durability,
 }
 
 impl Default for IndexOptions {
@@ -80,6 +87,7 @@ impl Default for IndexOptions {
             quantization: Quantization::None,
             rescore_factor: DEFAULT_RESCORE_FACTOR,
             scan: ScanMode::Asymmetric,
+            durability: Durability::Ephemeral,
         }
     }
 }
@@ -193,6 +201,27 @@ impl IndexSnapshot {
         ids.extend(self.buffer.iter().map(|(id, _)| *id));
         ids.sort_unstable();
         ids
+    }
+
+    /// Every live `(id, vector)` pair: sealed survivors (decoded — exact
+    /// for f32 storage, codebook-reconstructed for SQ8/PQ, the same
+    /// read-back a compaction performs) followed by the write buffer.
+    /// This is the WAL checkpoint capture path (DESIGN.md §15).
+    pub fn live_entries(&self) -> Vec<(u64, Vec<f32>)> {
+        let mut out = Vec::with_capacity(self.len());
+        if let Some(sealed) = &self.sealed {
+            for pos in 0..sealed.len() {
+                if !self.tombstones[pos] {
+                    let mut v = Vec::with_capacity(self.dim);
+                    sealed.append_vector(pos as u32, &mut v);
+                    out.push((self.sealed_ids[pos], v));
+                }
+            }
+        }
+        for (id, v) in self.buffer.iter() {
+            out.push((*id, v.as_slice().to_vec()));
+        }
+        out
     }
 
     /// kNN over this snapshot: probes the sealed part (IVF with `nprobe`
@@ -518,6 +547,31 @@ impl MutableIndex {
             self.publish(&mut w);
         }
         removed
+    }
+
+    /// Drops every vector and publishes an empty snapshot — the reset
+    /// step of checkpoint-based crash recovery (the recovered state is
+    /// rebuilt from the checkpoint's complete live set, so nothing
+    /// pre-existing may survive). Readers holding old snapshots are
+    /// unaffected.
+    pub fn clear(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        w.id_loc = HashMap::new();
+        w.tombstones = Arc::new(Vec::new());
+        w.dead = 0;
+        w.buffer = Vec::new();
+        w.generation += 1;
+        let published = IndexSnapshot {
+            sealed: None,
+            sealed_ids: Arc::new(Vec::new()),
+            tombstones: w.tombstones.clone(),
+            dead: 0,
+            buffer: Arc::new(Vec::new()),
+            generation: w.generation,
+            dim: self.dim,
+            metric: self.metric,
+        };
+        *self.snapshot.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(published);
     }
 
     /// Vectors currently sitting in the write buffer (0 right after a

@@ -1,0 +1,321 @@
+//! The deterministic crash-point matrix (DESIGN.md §15): a scripted
+//! writer runs against a WAL through `CrashPointFs`, which simulates a
+//! `SIGKILL` at the N-th filesystem operation — for *every* N, in both
+//! whole-op and torn-append (half-written record) modes. After each
+//! crash the harness restarts, recovers from checkpoint + log tail, and
+//! asserts the two durability invariants:
+//!
+//! 1. **No acknowledged write lost, nothing half-applied**: the
+//!    recovered live set equals the state after some *prefix* of the
+//!    script — never a state no op sequence produced — and that prefix
+//!    covers at least every acknowledged op. (An unacknowledged op may
+//!    survive whole: its record can be durable even though the response
+//!    was lost. It may never survive torn.)
+//! 2. **Bit-exact kNN vs an always-in-memory oracle**: searches against
+//!    the recovered index equal — ids and f64 distance bits — searches
+//!    against a fresh in-memory index fed the same prefix. The script
+//!    uses exact f32 storage, where recovery is bit-lossless; quantized
+//!    sealed storage recovers within its codebook bound instead
+//!    (DESIGN.md §15).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use trajcl_index::wal::{
+    apply_op, CheckpointEntry, CrashPointFs, Durability, RealFs, Wal, WalFs, WalOp,
+};
+use trajcl_index::{Metric, MutableIndex};
+
+const DIM: usize = 4;
+const METRIC: Metric = Metric::L1;
+
+/// Self-cleaning scratch directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("trajcl-crashmatrix-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic dense vector for id/salt (splitmix64-expanded).
+fn vec_for(id: u64, salt: u64) -> Vec<f32> {
+    let mut x = id ^ (salt << 17) ^ 0x9e37_79b9_7f4a_7c15;
+    (0..DIM)
+        .map(|_| {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z >> 40) as f32) / 1000.0 - 8.0
+        })
+        .collect()
+}
+
+/// The scripted workload: upserts, replacements, removes and two
+/// compactions (each compaction checkpoints, exercising the
+/// create/fsync/rename/truncate boundaries mid-matrix).
+fn script() -> Vec<WalOp> {
+    let up = |id: u64, salt: u64| WalOp::Upsert {
+        id,
+        vector: vec_for(id, salt),
+    };
+    vec![
+        up(1, 0),
+        up(2, 0),
+        up(3, 0),
+        WalOp::Remove { id: 2 },
+        up(4, 0),
+        WalOp::Compact,
+        up(5, 0),
+        up(3, 1), // replace a sealed row
+        WalOp::Remove { id: 1 },
+        WalOp::Compact,
+        up(6, 0),
+        up(7, 0),
+        WalOp::Remove { id: 4 },
+        up(2, 2), // re-insert a previously removed id
+    ]
+}
+
+fn fresh_index() -> MutableIndex {
+    MutableIndex::new(DIM, METRIC, Some(2), 0)
+}
+
+/// Runs the scripted writer until completion or simulated crash,
+/// returning how many ops were *acknowledged*. The serve-layer ordering
+/// is reproduced exactly: append+fsync, then apply, then (for compacts)
+/// checkpoint — an op only counts as acked once the whole sequence
+/// succeeded, and the first failure aborts the run like a dead process.
+fn run_workload(dir: &Path, fs: Arc<dyn WalFs>) -> usize {
+    let Ok((wal, recovery)) = Wal::open(dir, "s0", Durability::Fsync, fs) else {
+        return 0;
+    };
+    let index = fresh_index();
+    if let Some(ckpt) = &recovery.checkpoint {
+        for e in &ckpt.entries {
+            index.upsert(e.id, e.vector.clone());
+        }
+    }
+    for op in &recovery.ops {
+        apply_op(&index, op);
+    }
+    let mut acked = 0;
+    for op in script() {
+        if wal.append_durable(&op).is_err() {
+            return acked;
+        }
+        apply_op(&index, &op);
+        if matches!(op, WalOp::Compact) {
+            let entries: Vec<CheckpointEntry> = index
+                .snapshot()
+                .live_entries()
+                .into_iter()
+                .map(|(id, vector)| CheckpointEntry {
+                    id,
+                    dirty: id % 2 == 0, // exercise both dirty-bit values
+                    vector,
+                })
+                .collect();
+            if wal.checkpoint(DIM, &entries).is_err() {
+                return acked;
+            }
+        }
+        acked += 1;
+    }
+    acked
+}
+
+/// Restart: recover an index from whatever the crash left on disk.
+fn recover(dir: &Path) -> MutableIndex {
+    let (_wal, recovery) =
+        Wal::open(dir, "s0", Durability::Fsync, Arc::new(RealFs)).expect("recovery open");
+    let index = fresh_index();
+    if let Some(ckpt) = &recovery.checkpoint {
+        assert_eq!(ckpt.dim, DIM, "checkpoint dimensionality");
+        index.clear();
+        for e in &ckpt.entries {
+            index.upsert(e.id, e.vector.clone());
+        }
+    }
+    for op in &recovery.ops {
+        apply_op(&index, op);
+    }
+    index
+}
+
+/// Live id -> vector-bit-pattern map after applying `ops[..p]`.
+fn oracle_state(p: usize) -> HashMap<u64, Vec<u32>> {
+    let mut live = HashMap::new();
+    for op in script().iter().take(p) {
+        match op {
+            WalOp::Upsert { id, vector } => {
+                live.insert(*id, vector.iter().map(|v| v.to_bits()).collect());
+            }
+            WalOp::Remove { id } => {
+                live.remove(id);
+            }
+            WalOp::Compact => {}
+        }
+    }
+    live
+}
+
+/// Asserts the recovered index equals the state after some script prefix
+/// covering every acked op, and that its kNN answers are bit-exact
+/// against an in-memory oracle index fed that same prefix.
+fn verify_recovery(dir: &Path, acked: usize, label: &str) {
+    let recovered = recover(dir);
+    let got: HashMap<u64, Vec<u32>> = recovered
+        .snapshot()
+        .live_entries()
+        .into_iter()
+        .map(|(id, v)| (id, v.iter().map(|x| x.to_bits()).collect()))
+        .collect();
+    let total = script().len();
+    let Some(prefix) = (acked..=total).find(|&p| oracle_state(p) == got) else {
+        panic!(
+            "{label}: recovered state matches no script prefix >= acked {acked} \
+             (live ids {:?})",
+            {
+                let mut ids: Vec<u64> = got.keys().copied().collect();
+                ids.sort_unstable();
+                ids
+            }
+        );
+    };
+    // Bit-exact kNN: replay the matched prefix into a fresh in-memory
+    // index (the oracle never touched a disk) and compare full searches.
+    let oracle = fresh_index();
+    for op in script().iter().take(prefix) {
+        apply_op(&oracle, op);
+    }
+    let mut queries: Vec<Vec<f32>> = (1..=7).map(|id| vec_for(id, 0)).collect();
+    queries.push(vec![0.0; DIM]);
+    queries.push(vec![-4.0, 2.0, -1.0, 5.5]);
+    for (qi, q) in queries.iter().enumerate() {
+        let got_hits: Vec<(u64, u64)> = recovered
+            .search(q, 3, usize::MAX)
+            .into_iter()
+            .map(|(id, d)| (id, d.to_bits()))
+            .collect();
+        let want_hits: Vec<(u64, u64)> = oracle
+            .search(q, 3, usize::MAX)
+            .into_iter()
+            .map(|(id, d)| (id, d.to_bits()))
+            .collect();
+        assert_eq!(
+            got_hits, want_hits,
+            "{label}: query {qi} diverges from the in-memory oracle (prefix {prefix})"
+        );
+    }
+}
+
+/// The full matrix: crash at every filesystem-operation boundary, in
+/// whole-op mode (covers pre-fsync, post-fsync, mid-checkpoint-rename,
+/// mid-truncate — a crash *after* op N is a crash *before* op N+1) and
+/// torn-append mode (a half-written record reaches the disk).
+#[test]
+fn crash_point_matrix_recovers_every_boundary() {
+    // Dry run under a counting-only injector to learn the op total.
+    let total_fs_ops = {
+        let tmp = TempDir::new("count");
+        let fs = Arc::new(CrashPointFs::unlimited());
+        let acked = run_workload(&tmp.0, fs.clone());
+        assert_eq!(acked, script().len(), "clean run must ack everything");
+        verify_recovery(&tmp.0, acked, "clean run");
+        fs.ops()
+    };
+    assert!(
+        total_fs_ops > 30,
+        "script too small to exercise the matrix ({total_fs_ops} fs ops)"
+    );
+    for partial in [false, true] {
+        for point in 0..total_fs_ops {
+            let label = format!(
+                "crash at fs op {point}/{total_fs_ops} ({} mode)",
+                if partial { "torn-append" } else { "whole-op" }
+            );
+            let tmp = TempDir::new(&format!("p{}-{point}", u8::from(partial)));
+            let fs = Arc::new(CrashPointFs::new(point, partial));
+            let acked = run_workload(&tmp.0, fs.clone());
+            assert!(fs.crashed(), "{label}: injector never fired");
+            assert!(acked < script().len() || point >= total_fs_ops, "{label}");
+            verify_recovery(&tmp.0, acked, &label);
+        }
+    }
+}
+
+/// Crashing *during recovery itself* (the torn-tail truncate) must leave
+/// a state the next recovery still handles.
+#[test]
+fn crash_during_recovery_truncate_is_recoverable() {
+    let tmp = TempDir::new("rerecover");
+    {
+        let (wal, _) = Wal::open(&tmp.0, "s0", Durability::Fsync, Arc::new(RealFs)).expect("open");
+        wal.append_durable(&WalOp::Upsert {
+            id: 1,
+            vector: vec_for(1, 0),
+        })
+        .expect("append");
+        wal.append_durable(&WalOp::Upsert {
+            id: 2,
+            vector: vec_for(2, 0),
+        })
+        .expect("append");
+    }
+    // Tear the tail by hand, then crash at the recovery truncate.
+    let log = tmp.0.join("s0.log");
+    let bytes = std::fs::read(&log).expect("read log");
+    std::fs::write(&log, &bytes[..bytes.len() - 3]).expect("tear");
+    let fs = Arc::new(CrashPointFs::new(0, false));
+    assert!(Wal::open(&tmp.0, "s0", Durability::Fsync, fs).is_err());
+    // The next (healthy) recovery still lands on the durable prefix.
+    let recovered = recover(&tmp.0);
+    let ids: Vec<u64> = recovered
+        .snapshot()
+        .live_entries()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(ids, vec![1]);
+}
+
+/// Double crash: die once mid-script, recover, resume appending to the
+/// same log, die again, recover again — state must still be a prefix of
+/// the combined history.
+#[test]
+fn repeated_crashes_compose() {
+    let tmp = TempDir::new("double");
+    let fs1 = Arc::new(CrashPointFs::new(9, true));
+    let acked1 = run_workload(&tmp.0, fs1.clone());
+    assert!(fs1.crashed());
+    verify_recovery(&tmp.0, acked1, "first crash");
+    // Second run replays recovery, then re-runs the script on top (every
+    // id rewritten, so the final state is the full-script state).
+    let fs2 = Arc::new(CrashPointFs::new(23, false));
+    let _acked2 = run_workload(&tmp.0, fs2.clone());
+    assert!(fs2.crashed());
+    // After a full clean pass, the state must equal the complete script.
+    let acked3 = run_workload(&tmp.0, Arc::new(RealFs));
+    assert_eq!(acked3, script().len());
+    let recovered = recover(&tmp.0);
+    let got: HashMap<u64, Vec<u32>> = recovered
+        .snapshot()
+        .live_entries()
+        .into_iter()
+        .map(|(id, v)| (id, v.iter().map(|x| x.to_bits()).collect()))
+        .collect();
+    assert_eq!(got, oracle_state(script().len()));
+}

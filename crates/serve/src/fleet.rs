@@ -33,6 +33,16 @@
 //!   responses carry `"partial":true` with `shards_ok`/`shards_total`
 //!   (or error in-band under [`FleetConfig::fail_closed`]); writes to a
 //!   down shard error in-band immediately — never hang.
+//!
+//! **Shard recovery is the shard's own job.** A downstream started with
+//! `trajcl serve --wal DIR` recovers its partition from its write-ahead
+//! log (last checkpoint + log tail, DESIGN.md §15) before it answers
+//! the prober's first `ping`; once the health machine re-admits it, the
+//! fleet is serving the full id space again with every acknowledged
+//! write intact — no operator replay of the lost partition. The
+//! `shard_restart_with_wal_recovers_acked_writes` chaos test drives
+//! exactly this path (SIGKILL mid-pipeline, restart, bit-exact
+//! verification).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -346,15 +356,17 @@ impl Fleet {
             Ok(Some(cap.map_or(remaining, |c| c.min(remaining))))
         };
         let mut conn = shard.conn.lock().unwrap_or_else(|p| p.into_inner());
-        if conn.is_none() {
-            let opts = ClientOptions {
-                connect_timeout: budget(self.cfg.client.connect_timeout)?,
-                read_timeout: budget(self.cfg.client.read_timeout)?,
-                write_timeout: budget(self.cfg.client.write_timeout)?,
-            };
-            *conn = Some(Client::connect_with(&shard.addr, &opts)?);
-        }
-        let client = conn.as_mut().expect("dialled above");
+        let client = match conn.as_mut() {
+            Some(client) => client,
+            None => {
+                let opts = ClientOptions {
+                    connect_timeout: budget(self.cfg.client.connect_timeout)?,
+                    read_timeout: budget(self.cfg.client.read_timeout)?,
+                    write_timeout: budget(self.cfg.client.write_timeout)?,
+                };
+                conn.insert(Client::connect_with(&shard.addr, &opts)?)
+            }
+        };
         let result = client
             .set_read_timeout(budget(self.cfg.client.read_timeout)?)
             .and_then(|()| client.call(payload));

@@ -36,7 +36,13 @@
 //! * **fault injection** ([`chaos`]) — a deterministic seeded
 //!   frame-corrupting proxy (drop/delay/truncate/garble/kill) that the
 //!   chaos test suite and `load_gen` use to prove the failure modes in
-//!   DESIGN.md §14 actually hold.
+//!   DESIGN.md §14 actually hold;
+//! * **durability** ([`server::WalConfig`], over
+//!   [`trajcl_index::Wal`]) — an optional per-shard write-ahead log:
+//!   every mutation is appended and group-fsync'd *before* it is
+//!   applied or acknowledged, recovery replays last checkpoint + log
+//!   tail, and the crash-point matrix in `crates/index/tests/`
+//!   proves no acknowledged write is ever lost (DESIGN.md §15).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -66,8 +72,8 @@
 //! let hits = server.knn(&db[2], 3).unwrap();
 //! assert_eq!(hits[0].0, 2); // the query is its own nearest neighbour
 //! server.upsert(100, &db[5]).unwrap();
-//! server.remove(0);
-//! assert_eq!(server.compact(), 8); // 8 live vectors re-sealed
+//! server.remove(0).unwrap();
+//! assert_eq!(server.compact().unwrap(), 8); // 8 live vectors re-sealed
 //! ```
 
 #![warn(missing_docs)]
@@ -89,4 +95,4 @@ pub use net::{
     listen, listen_with, Client, ClientOptions, FrameHandler, NetServer, SessionOptions,
 };
 pub use router::ShardRouter;
-pub use server::{ServeConfig, Server, ServerStats};
+pub use server::{ServeConfig, Server, ServerStats, WalConfig, WalRecoveryStats};

@@ -260,13 +260,17 @@ fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
             let id = field(obj, "id")?
                 .as_u64()
                 .ok_or("\"id\" must be a non-negative integer")?;
-            Ok(format!("\"removed\":{}", server.remove(id)))
+            let removed = server.remove(id).map_err(|e| e.to_string())?;
+            Ok(format!("\"removed\":{removed}"))
         }
-        "compact" => Ok(format!("\"sealed\":{}", server.compact())),
+        "compact" => {
+            let sealed = server.compact().map_err(|e| e.to_string())?;
+            Ok(format!("\"sealed\":{sealed}"))
+        }
         "stats" => {
             let s = server.stats();
             Ok(format!(
-                "\"size\":{},\"buffer\":{},\"generation\":{},\"memory_bytes\":{},\"shards\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                "\"size\":{},\"buffer\":{},\"generation\":{},\"memory_bytes\":{},\"shards\":{},\"requests\":{},\"batches\":{},\"batched_jobs\":{},\"cache_hits\":{},\"cache_misses\":{},\"wal_log_bytes\":{}",
                 s.index_len,
                 s.buffer_len,
                 s.generation,
@@ -277,6 +281,7 @@ fn dispatch(server: &Server, obj: &Json) -> Result<String, String> {
                 s.batched_jobs,
                 s.cache_hits,
                 s.cache_misses,
+                s.wal_log_bytes,
             ))
         }
         other => Err(format!("unknown op {other:?}")),

@@ -13,18 +13,85 @@
 //! threads (the CLI's stdin dispatcher, the load generator's clients, the
 //! concurrency tests).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use trajcl_engine::{Engine, EngineError};
 use trajcl_geo::{validate_batch, Trajectory};
-use trajcl_index::{IndexOptions, Metric, Quantization, ScanMode, ShardedIndex};
+use trajcl_index::{
+    Durability, IndexOptions, Metric, Quantization, RealFs, ScanMode, ShardedIndex, Wal, WalFs,
+};
 
 use crate::batcher::{BatchPolicy, BatchStats, Batcher, EmbedJob};
 use crate::cache::{content_hash, LruCache};
 use crate::net::SessionOptions;
 use crate::router::ShardRouter;
+
+/// Durability configuration for [`ServeConfig::wal`]: where the
+/// per-shard write-ahead logs live and how they sync. See DESIGN.md §15
+/// for the on-disk format and the checkpoint/truncate protocol.
+#[derive(Clone)]
+pub struct WalConfig {
+    /// Directory holding the per-shard logs and checkpoints
+    /// (`shardN.log` / `shardN.ckpt`) plus the `wal.meta` layout guard.
+    /// Created if absent; a directory written under a different shard
+    /// count or dimensionality is rejected at startup (shard placement
+    /// is id-hash, so the logs only replay under the layout that wrote
+    /// them).
+    pub dir: PathBuf,
+    /// Sync policy. [`Durability::Fsync`] (the default) group-fsyncs
+    /// every record before the write acks — ack implies durable.
+    /// [`Durability::Buffered`] appends without syncing: writes survive
+    /// a process crash (the OS holds the pages) but not power loss.
+    /// [`Durability::Ephemeral`] here behaves like `Buffered` — callers
+    /// wanting no log at all leave [`ServeConfig::wal`] unset.
+    pub durability: Durability,
+    /// Per-shard log size that triggers an automatic checkpoint
+    /// (snapshot + log truncate, no index compaction). Default 64 MiB.
+    pub checkpoint_bytes: u64,
+    /// Filesystem seam the logs go through — [`RealFs`] in production,
+    /// a [`trajcl_index::CrashPointFs`] injector in durability tests.
+    pub fs: Arc<dyn WalFs>,
+}
+
+impl WalConfig {
+    /// A WAL under `dir`: full fsync durability, 64 MiB auto-checkpoint
+    /// threshold, the real filesystem.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            durability: Durability::Fsync,
+            checkpoint_bytes: 64 << 20,
+            fs: Arc::new(RealFs),
+        }
+    }
+}
+
+impl std::fmt::Debug for WalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalConfig")
+            .field("dir", &self.dir)
+            .field("durability", &self.durability)
+            .field("checkpoint_bytes", &self.checkpoint_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What WAL recovery replayed while a [`Server`] started up (summed
+/// over shards) — surfaced so operators can log a recovery transcript.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalRecoveryStats {
+    /// Rows restored from shard checkpoints.
+    pub checkpoint_rows: usize,
+    /// Log records replayed on top of the checkpoints.
+    pub replayed_ops: usize,
+    /// Torn trailing bytes discarded from the logs (a crash mid-append;
+    /// by the ack-implies-durable contract these were never
+    /// acknowledged).
+    pub truncated_bytes: u64,
+}
 
 /// Tuning knobs for [`Server::new`].
 #[derive(Clone, Debug)]
@@ -83,6 +150,14 @@ pub struct ServeConfig {
     /// draining its socket is dropped instead of wedging a handler
     /// thread. `None` disables it.
     pub session_write_timeout: Option<Duration>,
+    /// Write-ahead logging (`None` disables durability — the seed-era
+    /// behaviour). With a WAL, [`Server::new`] first *recovers*: each
+    /// shard reloads its last checkpoint (or the engine-seeded table on
+    /// first boot) and replays its log tail; afterwards every
+    /// upsert/remove/compact is appended and made durable per
+    /// [`WalConfig::durability`] **before** it is applied or
+    /// acknowledged.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +175,7 @@ impl Default for ServeConfig {
             shards: None,
             idle_timeout: SessionOptions::default().idle_timeout,
             session_write_timeout: SessionOptions::default().write_timeout,
+            wal: None,
         }
     }
 }
@@ -131,6 +207,9 @@ pub struct ServerStats {
     pub index_memory_bytes: usize,
     /// Number of index shards the server scatter-gathers across.
     pub shards: usize,
+    /// Bytes currently in the per-shard write-ahead logs (how much
+    /// replay a crash right now would cost); `0` without a WAL.
+    pub wal_log_bytes: u64,
 }
 
 /// The concurrent micro-batching query server (see module docs).
@@ -151,6 +230,65 @@ pub struct Server {
     requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// What WAL recovery replayed at startup; `None` without a WAL.
+    wal_recovery: Option<WalRecoveryStats>,
+}
+
+/// Opens (or validates) the WAL directory, replays each shard's
+/// checkpoint + log tail into `router`, and attaches the logs — after
+/// this, the router's write path is durable. The `wal.meta` guard pins
+/// the directory to one `(shards, dim)` layout: id-hash placement means
+/// a log written under a different shard count would replay ids into
+/// the wrong shards.
+fn recover_wal(
+    router: &mut ShardRouter,
+    cfg: &WalConfig,
+    nshards: usize,
+    dim: usize,
+) -> Result<WalRecoveryStats, EngineError> {
+    std::fs::create_dir_all(&cfg.dir).map_err(EngineError::Io)?;
+    let meta_path = cfg.dir.join("wal.meta");
+    let meta = format!("trajcl-wal shards {nshards} dim {dim}\n");
+    match std::fs::read_to_string(&meta_path) {
+        Ok(existing) if existing == meta => {}
+        Ok(existing) => {
+            return Err(EngineError::InvalidInput(format!(
+                "WAL dir {} has layout {:?}, this server needs {:?} — \
+                 shard count and dimension are part of the log contract",
+                cfg.dir.display(),
+                existing.trim(),
+                meta.trim(),
+            )));
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            trajcl_index::atomic_write(cfg.fs.as_ref(), &meta_path, meta.as_bytes())
+                .map_err(EngineError::Io)?;
+        }
+        Err(e) => return Err(EngineError::Io(e)),
+    }
+    let mut stats = WalRecoveryStats::default();
+    let mut wals = Vec::with_capacity(nshards);
+    for s in 0..nshards {
+        let (wal, recovery) = Wal::open(
+            &cfg.dir,
+            &format!("shard{s}"),
+            cfg.durability,
+            Arc::clone(&cfg.fs),
+        )
+        .map_err(EngineError::Io)?;
+        if let Some(ckpt) = &recovery.checkpoint {
+            stats.checkpoint_rows += ckpt.entries.len();
+            router.reset_shard_from_checkpoint(s, &ckpt.entries);
+        }
+        stats.replayed_ops += recovery.ops.len();
+        stats.truncated_bytes += recovery.truncated_tail_bytes;
+        for op in &recovery.ops {
+            router.replay_op(s, op);
+        }
+        wals.push(wal);
+    }
+    router.attach_wal(wals, cfg.checkpoint_bytes);
+    Ok(stats)
 }
 
 /// The error a caller sees when the batcher hands back a different row
@@ -181,6 +319,10 @@ impl Server {
             quantization: cfg.quantization.unwrap_or(engine.quantization()),
             rescore_factor: engine.rescore_factor(),
             scan: cfg.scan.unwrap_or(engine.scan_mode()),
+            durability: cfg
+                .wal
+                .as_ref()
+                .map_or(engine.durability(), |w| w.durability),
         };
         let nshards = cfg.shards.unwrap_or(engine.shards()).max(1);
         let index = match engine.embeddings() {
@@ -193,7 +335,11 @@ impl Server {
             ),
             None => ShardedIndex::with_options(dim, Metric::L1, opts, nshards),
         };
-        let router = ShardRouter::new(index, cfg.rescore_sealed);
+        let mut router = ShardRouter::new(index, cfg.rescore_sealed);
+        let wal_recovery = match &cfg.wal {
+            Some(wal_cfg) => Some(recover_wal(&mut router, wal_cfg, nshards, dim)?),
+            None => None,
+        };
         let batch_stats = Arc::new(BatchStats::default());
         let batcher = Batcher::spawn(
             Arc::clone(&engine),
@@ -222,7 +368,14 @@ impl Server {
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            wal_recovery,
         })
+    }
+
+    /// What WAL recovery replayed when this server started; `None`
+    /// without a WAL. The CLI prints this as the recovery transcript.
+    pub fn wal_recovery(&self) -> Option<WalRecoveryStats> {
+        self.wal_recovery
     }
 
     /// The wrapped engine.
@@ -333,25 +486,36 @@ impl Server {
     }
 
     /// Inserts or replaces trajectory `id` in the served index (embedding
-    /// it first). Returns `true` when the id already existed.
+    /// it first). Returns `true` when the id already existed. With a WAL
+    /// configured, `Ok` means the record is durable per
+    /// [`WalConfig::durability`] — an `Err` write was never applied.
     pub fn upsert(&self, id: u64, traj: &Trajectory) -> Result<bool, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let v = self.embed_inner(traj)?;
-        Ok(self.router.upsert(id, v))
+        self.router.upsert(id, v).map_err(EngineError::Io)
     }
 
     /// Removes `id` from the served index; `true` when it was present.
-    pub fn remove(&self, id: u64) -> bool {
+    ///
+    /// # Errors
+    /// Only with a WAL configured (same durable-ack contract as
+    /// [`Server::upsert`]).
+    pub fn remove(&self, id: u64) -> Result<bool, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.router.remove(id)
+        self.router.remove(id).map_err(EngineError::Io)
     }
 
     /// Re-trains every shard (folds write buffers and tombstones into
     /// fresh sealed parts, each shard independently); returns the number
-    /// of live vectors sealed.
-    pub fn compact(&self) -> usize {
+    /// of live vectors sealed. With a WAL configured every shard is also
+    /// checkpointed (its log truncated), so `Ok` means the compacted
+    /// state is the new recovery baseline.
+    ///
+    /// # Errors
+    /// Only with a WAL configured.
+    pub fn compact(&self) -> Result<usize, EngineError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.router.compact()
+        self.router.compact().map_err(EngineError::Io)
     }
 
     /// The shard router (per-shard diagnostics, snapshots).
@@ -381,6 +545,7 @@ impl Server {
             generation: snap.generation(),
             index_memory_bytes: snap.memory_bytes(),
             shards: self.router.shards(),
+            wal_log_bytes: self.router.wal_log_bytes(),
         }
     }
 

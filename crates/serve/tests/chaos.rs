@@ -99,6 +99,18 @@ impl ShardServer {
         ShardServer { server, net }
     }
 
+    /// Like [`ShardServer::spawn`], but durable: writes go through a
+    /// write-ahead log under `dir` (recovered on spawn if it exists).
+    fn spawn_wal(dir: &std::path::Path) -> ShardServer {
+        let cfg = ServeConfig {
+            wal: Some(trajcl_serve::WalConfig::new(dir)),
+            ..ServeConfig::default()
+        };
+        let server = Arc::new(Server::new(Arc::new(tiny_engine()), cfg).expect("server"));
+        let net = listen(Arc::clone(&server), "127.0.0.1:0", 2).expect("listen");
+        ShardServer { server, net }
+    }
+
     fn addr(&self) -> String {
         self.net.local_addr().to_string()
     }
@@ -307,6 +319,166 @@ fn fleet_degrades_on_shard_death_and_recovers_bit_exact() {
         s.kill();
     }
     oracle.kill();
+}
+
+/// The `"req":N` echo of a response (pipelined-batch bookkeeping).
+fn req_of(resp: &str) -> usize {
+    let at = resp
+        .find("\"req\":")
+        .unwrap_or_else(|| panic!("no req echo in {resp}"))
+        + "\"req\":".len();
+    resp[at..]
+        .bytes()
+        .take_while(u8::is_ascii_digit)
+        .fold(0, |acc, b| acc * 10 + usize::from(b - b'0'))
+}
+
+/// ROADMAP fleet follow-on (a), closed by the WAL: a durable shard is
+/// killed mid-pipelined-upsert, restarted on the same WAL directory,
+/// and recovers **every acknowledged write by itself** — no operator
+/// replay of the lost partition. After the in-flight batch is re-driven
+/// (idempotent), the fleet's answers are bit-exact against an
+/// always-alive unsharded oracle.
+#[test]
+fn shard_restart_with_wal_recovers_acked_writes() {
+    const NSHARDS: usize = 2;
+    const N: u64 = 32;
+    let wal_dir = std::env::temp_dir().join(format!("trajcl-chaos-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // Shard 0 is durable; shard 1 and the oracle are plain in-memory
+    // servers. Both shards sit behind fault-free proxies so the
+    // fleet-visible address survives shard 0's restart.
+    let shard0 = ShardServer::spawn_wal(&wal_dir);
+    let shard1 = ShardServer::spawn();
+    let proxies = [
+        ChaosProxy::start(&shard0.addr(), ChaosPlan::none(1)).expect("proxy 0"),
+        ChaosProxy::start(&shard1.addr(), ChaosPlan::none(2)).expect("proxy 1"),
+    ];
+    let addrs: Vec<String> = proxies.iter().map(|p| p.local_addr().to_string()).collect();
+    let fleet = Arc::new(Fleet::connect(&addrs, fleet_cfg()).expect("fleet"));
+    let front = listen_with(
+        Arc::clone(&fleet),
+        "127.0.0.1:0",
+        4,
+        SessionOptions::default(),
+    )
+    .expect("front-end listen");
+    let mut client = Client::connect(front.local_addr()).expect("connect front");
+    let oracle = ShardServer::spawn();
+    let mut oracle_client = Client::connect(&oracle.addr()).expect("connect oracle");
+
+    for id in 0..N {
+        let r = client.call(&upsert_payload(id)).expect("fleet upsert");
+        assert!(r.contains("\"replaced\":false"), "{r}");
+        oracle_client
+            .call(&upsert_payload(id))
+            .expect("oracle upsert");
+    }
+    // Compact checkpoints shard 0's WAL (snapshot + log truncate): the
+    // seeded ids now live in the checkpoint, not the log.
+    let r = client.call("{\"op\":\"compact\"}").expect("fleet compact");
+    assert!(r.contains("\"ok\":true"), "{r}");
+    oracle_client
+        .call("{\"op\":\"compact\"}")
+        .expect("oracle compact");
+
+    // Pipeline 8 fresh upserts owned by shard 0, kill it mid-batch, and
+    // record which of them the fleet actually acknowledged.
+    let fresh: Vec<u64> = (1000..)
+        .filter(|&id| shard_for(id, NSHARDS) == 0)
+        .take(8)
+        .collect();
+    for (req, &id) in fresh.iter().enumerate() {
+        let payload = format!(
+            "{{\"req\":{req},\"op\":\"upsert\",\"id\":{id},\"traj\":{}}}",
+            traj_json(&traj_for(id))
+        );
+        client.send(&payload).expect("send");
+    }
+    shard0.kill();
+    let mut acked: Vec<u64> = Vec::new();
+    for _ in 0..fresh.len() {
+        let r = client.recv().expect("recv").expect("open front connection");
+        // An in-band error is the fleet telling the client the write did
+        // NOT happen; an ack means the shard fsync'd it before dying.
+        if r.contains("\"ok\":true") {
+            acked.push(fresh[req_of(&r)]);
+        }
+    }
+    wait_for(
+        || fleet.health()[0] == ShardHealth::Down,
+        Duration::from_secs(10),
+        "shard 0 marked down",
+    );
+
+    // Restart on the SAME WAL directory: the shard recovers its own
+    // partition (checkpoint + log tail) before answering the prober.
+    let restarted = ShardServer::spawn_wal(&wal_dir);
+    let rec = restarted.server.wal_recovery().expect("recovery ran");
+    assert!(
+        rec.checkpoint_rows > 0,
+        "compact must have checkpointed the seeded partition: {rec:?}"
+    );
+    proxies[0].set_upstream(&restarted.addr());
+    wait_for(
+        || fleet.health()[0] == ShardHealth::Up,
+        Duration::from_secs(10),
+        "shard 0 re-admitted",
+    );
+
+    // Durability invariant: every acknowledged write survived the kill —
+    // its self-query answers through the fleet at exactly distance 0.
+    // So did the checkpointed seeded partition.
+    let seeded_on_0: Vec<u64> = (0..N).filter(|&id| shard_for(id, NSHARDS) == 0).collect();
+    assert!(
+        !seeded_on_0.is_empty(),
+        "hash sent no seeded ids to shard 0?"
+    );
+    for &id in acked.iter().chain(seeded_on_0.iter().take(3)) {
+        let f = client.call(&knn_payload(id, 1)).expect("recovered knn");
+        assert!(
+            f.contains(&format!("\"index\":{id}")) && f.contains("\"distance\":0.000000"),
+            "acked write {id} lost after restart: {f}"
+        );
+    }
+
+    // Re-drive the whole in-flight batch (idempotent — acked ids are
+    // replaced, lost ones inserted), mirror it into the oracle, compact
+    // both, and the merged answers must be bit-exact again.
+    for &id in &fresh {
+        let r = client.call(&upsert_payload(id)).expect("re-upsert");
+        assert!(r.contains("\"ok\":true"), "{r}");
+        oracle_client
+            .call(&upsert_payload(id))
+            .expect("oracle upsert");
+    }
+    let r = client.call("{\"op\":\"compact\"}").expect("fleet compact");
+    assert!(r.contains("\"partial\":false"), "{r}");
+    oracle_client
+        .call("{\"op\":\"compact\"}")
+        .expect("oracle compact");
+    for qid in [0u64, 7, 17, fresh[0], fresh[5]] {
+        let f = client.call(&knn_payload(qid, 5)).expect("recovered knn");
+        assert!(
+            f.contains("\"partial\":false,\"shards_ok\":2,\"shards_total\":2"),
+            "{f}"
+        );
+        let o = oracle_client
+            .call(&knn_payload(qid, 5))
+            .expect("oracle knn");
+        assert_eq!(hits_of(&f), hits_of(&o), "query {qid} after recovery");
+    }
+
+    front.shutdown();
+    fleet.shutdown();
+    for p in proxies {
+        p.shutdown();
+    }
+    restarted.kill();
+    shard1.kill();
+    oracle.kill();
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
 /// Frame-level faults (drop / garble / truncate / delay) between the

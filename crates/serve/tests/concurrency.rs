@@ -83,10 +83,10 @@ fn mixed_ops_from_many_threads_match_brute_force_oracle() {
                         assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1), "sorted hits");
                     }
                     if i % 5 == 4 {
-                        assert!(server.remove(id - 2));
+                        assert!(server.remove(id - 2).expect("remove"));
                     }
                     if t == 0 && i % 11 == 10 {
-                        server.compact();
+                        server.compact().expect("compact");
                     }
                 }
             })
@@ -123,7 +123,7 @@ fn mixed_ops_from_many_threads_match_brute_force_oracle() {
     }
 
     // And the same ground truth must survive a full compaction.
-    server.compact();
+    server.compact().expect("compact");
     for qid in [0u64, 1003, 3025] {
         let q = server.embed(&traj_for(qid)).expect("embed");
         let mut want: Vec<(u64, f64)> = oracle.iter().map(|(id, v)| (*id, l1(&q, v))).collect();
@@ -170,10 +170,10 @@ fn quantized_server_mixed_ops_match_oracle_within_quant_error() {
                     let id = t * 1000 + i;
                     server.upsert(id, &traj_for(id)).expect("upsert");
                     if i % 5 == 4 {
-                        assert!(server.remove(id - 2));
+                        assert!(server.remove(id - 2).expect("remove"));
                     }
                     if t == 1 && i % 9 == 8 {
-                        server.compact(); // quantizes the sealed part
+                        server.compact().expect("compact"); // quantizes the sealed part
                     }
                 }
             })
@@ -182,7 +182,7 @@ fn quantized_server_mixed_ops_match_oracle_within_quant_error() {
     for h in handles {
         h.join().expect("worker thread");
     }
-    server.compact();
+    server.compact().expect("compact");
 
     let mut oracle: HashMap<u64, Vec<f32>> = HashMap::new();
     for t in 0..THREADS {
@@ -267,10 +267,10 @@ fn pq_server_mixed_ops_match_oracle_near_exactly() {
                     let id = t * 1000 + i;
                     server.upsert(id, &traj_for(id)).expect("upsert");
                     if i % 5 == 4 {
-                        assert!(server.remove(id - 2));
+                        assert!(server.remove(id - 2).expect("remove"));
                     }
                     if t == 1 && i % 9 == 8 {
-                        server.compact(); // product-quantizes the sealed part
+                        server.compact().expect("compact"); // product-quantizes the sealed part
                     }
                 }
             })
@@ -279,7 +279,7 @@ fn pq_server_mixed_ops_match_oracle_near_exactly() {
     for h in handles {
         h.join().expect("worker thread");
     }
-    server.compact();
+    server.compact().expect("compact");
 
     let mut oracle: HashMap<u64, Vec<f32>> = HashMap::new();
     for t in 0..THREADS {
@@ -388,7 +388,7 @@ fn sealed_rescoring_serves_exact_distances_for_clean_ids() {
     // while every other id still rescores exactly.
     let new_traj = traj_for(500);
     server.upsert(3, &new_traj).expect("upsert");
-    server.compact();
+    server.compact().expect("compact");
     let new_vec = server.embed(&new_traj).expect("embed");
     let mut live: Vec<Vec<f32>> = Vec::new();
     for (id, row) in table_rows.iter().enumerate() {
